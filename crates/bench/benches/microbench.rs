@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the core building blocks.
+
+use ccopt_engine::cc::SgtCc;
+use ccopt_engine::db::Database;
+use ccopt_model::ids::TxnId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::systems;
+use ccopt_model::Executor;
+use ccopt_schedule::enumerate::{all_schedules, count_schedules, sample_schedule};
+use ccopt_schedule::graph::is_csr;
+use ccopt_schedule::herbrand::HerbrandCtx;
+use ccopt_schedule::schedule::Schedule;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_model_execution(c: &mut Criterion) {
+    let sys = systems::banking();
+    let ex = Executor::new(&sys);
+    let init = sys.space.initial_states[0].clone();
+    let serial = Schedule::serial(&sys.format(), &[TxnId(0), TxnId(1), TxnId(2)]);
+    c.bench_function("model_execute_banking_serial", |b| {
+        b.iter(|| black_box(ex.run_sequence(init.clone(), serial.steps()).unwrap()))
+    });
+}
+
+fn bench_herbrand(c: &mut Criterion) {
+    let sys = systems::banking();
+    let ctx = HerbrandCtx::for_system(&sys);
+    let serial = Schedule::serial(&sys.format(), &[TxnId(2), TxnId(0), TxnId(1)]);
+    c.bench_function("herbrand_symbolic_run_banking", |b| {
+        b.iter(|| black_box(ctx.run_schedule(&serial).len()))
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("enumeration");
+    g.bench_function("all_schedules_2_2_2", |b| {
+        b.iter(|| black_box(all_schedules(&[2, 2, 2]).len()))
+    });
+    g.bench_function("count_schedules_banking", |b| {
+        b.iter(|| black_box(count_schedules(&[3, 2, 4])))
+    });
+    g.bench_function("sample_schedule_banking", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_schedule(&[3, 2, 4], &mut rng).len()))
+    });
+    g.finish();
+}
+
+fn bench_csr_test(c: &mut Criterion) {
+    let sys = systems::banking();
+    let schedules: Vec<Schedule> = all_schedules(&sys.format()).into_iter().take(64).collect();
+    c.bench_function("csr_test_banking_64", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for h in &schedules {
+                if is_csr(&sys.syntax, h) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let sys = systems::hotspot(4, 3);
+    let ids: Vec<TxnId> = (0..4u32).map(TxnId).collect();
+    c.bench_function("engine_hotspot_sgt_run", |b| {
+        b.iter(|| {
+            let mut db = Database::new(
+                sys.clone(),
+                Box::new(SgtCc::default()),
+                GlobalState::from_ints(&[0]),
+            );
+            black_box(db.run_round_robin(&ids, 10_000).unwrap().metrics.commits)
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(40);
+    targets = bench_model_execution,
+        bench_herbrand,
+        bench_enumeration,
+        bench_csr_test,
+        bench_engine
+}
+criterion_main!(micro);

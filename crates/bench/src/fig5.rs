@@ -1,0 +1,71 @@
+//! Experiment F5 — Figure 5: 2PL′, the correct separable policy strictly
+//! better than 2PL.
+
+use ccopt_locking::analysis::{compare_policies, outputs_serializable};
+use ccopt_locking::policy::{check_separability, LockingPolicy};
+use ccopt_locking::two_phase::TwoPhasePolicy;
+use ccopt_locking::variant::TwoPhasePrimePolicy;
+use ccopt_model::syntax::SyntaxBuilder;
+use ccopt_model::systems;
+
+/// The printable report.
+pub fn report() -> String {
+    let sys = systems::fig2_like();
+    let x = sys.syntax.var_by_name("x").expect("x exists");
+    let prime = TwoPhasePrimePolicy::new(x);
+    let locked = prime.transform(&sys.syntax);
+
+    let mut out = String::new();
+    out.push_str("EXPERIMENT F5 — Figure 5: locked transaction using 2PL'\n\n");
+    out.push_str(&locked.render_txn(0));
+    out.push_str(&format!(
+        "\nwell-formed: {}   two-phase: {} (2PL' is deliberately not)   separable: {}\n",
+        locked.is_well_formed(),
+        locked.txns[0].is_two_phase(),
+        check_separability(&prime, &sys.syntax),
+    ));
+
+    // Strict improvement on an x-first workload with private tails: 2PL
+    // holds X to the phase shift (after locking a/b), 2PL' releases it
+    // right after the x access.
+    let syn = SyntaxBuilder::new()
+        .txn("T1", |t| t.update("x").update("a").update("b"))
+        .txn("T2", |t| t.update("x").update("c").update("d"))
+        .build();
+    let x2 = syn.var_by_name("x").expect("x exists");
+    let prime2 = TwoPhasePrimePolicy::new(x2);
+    let cmp = compare_policies(&syn, &TwoPhasePolicy, &prime2);
+    let n_2pl_prime = outputs_serializable(&syn, &prime2);
+    out.push_str("\nOutput sets on the x-first workload (T1 = x,a,b; T2 = x,c,d):\n");
+    out.push_str(&format!(
+        "  |O(2PL)| = {}   |O(2PL')| = {}   O(2PL) ⊆ O(2PL'): {}   strictly better: {}\n",
+        cmp.a.1,
+        cmp.b.1,
+        cmp.a_subset_b,
+        cmp.b_strictly_better()
+    ));
+    out.push_str(&format!(
+        "  all 2PL' outputs Herbrand-serializable: {}\n",
+        n_2pl_prime.is_ok()
+    ));
+    out.push_str("\nRenaming-invariance: 2PL' distinguishes x, so it is NOT invariant\n");
+    out.push_str("under variable renamings — consistent with Theorem (§5.4): 2PL is\n");
+    out.push_str("optimal among separable policies on *unstructured* variables, and\n");
+    out.push_str("2PL' escapes that bound only by exploiting structure.\n");
+    out.push_str("\nScope note (see ccopt-locking::variant docs): the conference text's\n");
+    out.push_str("terse 4-rule recipe is verified correct here for x-first systems;\n");
+    out.push_str("the boundary case where x is a transaction's last access is pinned\n");
+    out.push_str("down by a dedicated test.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_shows_strict_improvement() {
+        let rep = super::report();
+        assert!(rep.contains("lock X'_x"));
+        assert!(rep.contains("strictly better: true"));
+        assert!(rep.contains("all 2PL' outputs Herbrand-serializable: true"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment G1 — deadlock-region exposure across lock placements.
+//!
+//! Quantifies Figure 3's corollary: how much of the (legal, reachable)
+//! progress space is doomed, as a function of the locking policy and of the
+//! access-pattern alignment, over a family of random two-transaction
+//! systems.
+
+use ccopt_geometry::deadlock::DeadlockAnalysis;
+use ccopt_geometry::space::ProgressSpace;
+use ccopt_locking::conservative::ConservativePolicy;
+use ccopt_locking::policy::LockingPolicy;
+use ccopt_locking::tree::TreePolicy;
+use ccopt_locking::two_phase::TwoPhasePolicy;
+use ccopt_model::ids::TxnId;
+use ccopt_model::random::{random_system, RandomConfig};
+use ccopt_sim::report::{f3, pct, Table};
+use ccopt_sim::stats::Summary;
+
+/// Deadlock fractions of 2PL over `count` random two-transaction systems.
+pub fn two_pl_fractions(count: usize) -> Vec<f64> {
+    (0..count as u64)
+        .map(|seed| {
+            let sys = random_system(
+                &RandomConfig {
+                    num_txns: 2,
+                    steps_per_txn: (3, 3),
+                    num_vars: 3,
+                    ..RandomConfig::default()
+                },
+                seed,
+            );
+            let lts = TwoPhasePolicy.transform(&sys.syntax);
+            let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+            DeadlockAnalysis::new(&sp).deadlock_fraction()
+        })
+        .collect()
+}
+
+/// The printable report.
+pub fn report() -> String {
+    let fracs = two_pl_fractions(60);
+    let s = Summary::of(&fracs);
+    let with_deadlocks = fracs.iter().filter(|&&f| f > 0.0).count();
+
+    // Aligned vs crossing access orders.
+    use ccopt_model::syntax::SyntaxBuilder;
+    let crossing = SyntaxBuilder::new()
+        .txn("T1", |t| t.update("x").update("y"))
+        .txn("T2", |t| t.update("y").update("x"))
+        .build();
+    let aligned = SyntaxBuilder::new()
+        .txn("T1", |t| t.update("x").update("y"))
+        .txn("T2", |t| t.update("x").update("y"))
+        .build();
+    let chain = SyntaxBuilder::new()
+        .vars(["v0", "v1", "v2"])
+        .txn("T1", |t| t.update("v0").update("v1").update("v2"))
+        .txn("T2", |t| t.update("v0").update("v1").update("v2"))
+        .build();
+
+    let mut t = Table::new(
+        "G1: deadlock-region fraction of the legal reachable space",
+        &["workload", "policy", "deadlock fraction"],
+    );
+    let frac = |syn: &ccopt_model::syntax::Syntax, p: &dyn LockingPolicy| {
+        let lts = p.transform(syn);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        DeadlockAnalysis::new(&sp).deadlock_fraction()
+    };
+    t.row(&[
+        "crossing (fig3)".into(),
+        "2PL".into(),
+        pct(frac(&crossing, &TwoPhasePolicy)),
+    ]);
+    t.row(&[
+        "aligned".into(),
+        "2PL".into(),
+        pct(frac(&aligned, &TwoPhasePolicy)),
+    ]);
+    t.row(&[
+        "chain".into(),
+        "2PL".into(),
+        pct(frac(&chain, &TwoPhasePolicy)),
+    ]);
+    t.row(&[
+        "chain".into(),
+        "tree".into(),
+        pct(frac(&chain, &TreePolicy::chain(3))),
+    ]);
+    t.row(&[
+        "crossing (fig3)".into(),
+        "conservative".into(),
+        pct(frac(&crossing, &ConservativePolicy)),
+    ]);
+
+    let mut out = String::new();
+    out.push_str("EXPERIMENT G1 — deadlock exposure (Figure 3's region D, quantified)\n\n");
+    out.push_str(&t.to_string());
+    out.push_str(&format!(
+        "\nRandom 2-txn systems (n={}): mean fraction {} (p95 {}), {} of {} systems have D ≠ ∅.\n",
+        s.n,
+        f3(s.mean),
+        f3(s.p95),
+        with_deadlocks,
+        s.n,
+    ));
+    out.push_str("\nCrossing access orders create the Figure 3 deadlock region;\n");
+    out.push_str("aligned orders are deadlock-free; lock-coupling (tree) removes\n");
+    out.push_str("exposure on hierarchical workloads; conservative ordered\n");
+    out.push_str("acquisition removes it everywhere (at an output-set cost).\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crossing_has_deadlock_aligned_does_not() {
+        let rep = super::report();
+        assert!(rep.contains("aligned"));
+        // aligned 2PL row must be 0.0%.
+        let aligned_line = rep
+            .lines()
+            .find(|l| l.contains("aligned"))
+            .expect("aligned row");
+        assert!(aligned_line.contains("0.0%"), "{aligned_line}");
+        let crossing_line = rep
+            .lines()
+            .find(|l| l.contains("crossing"))
+            .expect("crossing row");
+        assert!(!crossing_line.contains(" 0.0%"), "{crossing_line}");
+    }
+
+    #[test]
+    fn fractions_are_probabilities() {
+        for f in super::two_pl_fractions(20) {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

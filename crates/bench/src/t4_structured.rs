@@ -1,0 +1,95 @@
+//! Experiment T4 — structured data: 2PL vs 2PL′ vs tree locking (§5.5).
+//!
+//! "Restricting ourselves to locking, 2PL is optimal only for unstructured
+//! data. More general locking policies can therefore be devised by taking
+//! advantage of structured data."
+
+use ccopt_locking::analysis::{compare_policies, output_set};
+use ccopt_locking::policy::LockingPolicy;
+use ccopt_locking::tree::TreePolicy;
+use ccopt_locking::two_phase::TwoPhasePolicy;
+use ccopt_locking::variant::TwoPhasePrimePolicy;
+use ccopt_model::syntax::{Syntax, SyntaxBuilder};
+use ccopt_sim::report::Table;
+
+/// The hierarchical (chain) workload: both transactions walk v0 → v1 → v2.
+pub fn chain_syntax() -> Syntax {
+    SyntaxBuilder::new()
+        .vars(["v0", "v1", "v2"])
+        .txn("T1", |t| t.update("v0").update("v1").update("v2"))
+        .txn("T2", |t| t.update("v0").update("v1").update("v2"))
+        .build()
+}
+
+/// The x-first workload for 2PL′: shared head x, private tails.
+pub fn xfirst_syntax() -> Syntax {
+    SyntaxBuilder::new()
+        .txn("T1", |t| t.update("x").update("a").update("b"))
+        .txn("T2", |t| t.update("x").update("c").update("d"))
+        .build()
+}
+
+/// The printable report.
+pub fn report() -> String {
+    let mut t = Table::new(
+        "T4: output-set sizes of locking policies on structured workloads",
+        &[
+            "workload",
+            "policy",
+            "|O(L)|",
+            "deadlock states",
+            "renaming-invariant",
+        ],
+    );
+
+    let chain = chain_syntax();
+    for policy in [&TwoPhasePolicy as &dyn LockingPolicy, &TreePolicy::chain(3)] {
+        let o = output_set(&policy.transform(&chain));
+        t.row(&[
+            "chain v0->v1->v2".into(),
+            policy.name().into(),
+            o.schedules.len().to_string(),
+            o.deadlock_states.to_string(),
+            policy.is_renaming_invariant().to_string(),
+        ]);
+    }
+
+    let xf = xfirst_syntax();
+    let x = xf.var_by_name("x").expect("x");
+    let prime = TwoPhasePrimePolicy::new(x);
+    for policy in [&TwoPhasePolicy as &dyn LockingPolicy, &prime] {
+        let o = output_set(&policy.transform(&xf));
+        t.row(&[
+            "x-first (x,a,b | x,c,d)".into(),
+            policy.name().into(),
+            o.schedules.len().to_string(),
+            o.deadlock_states.to_string(),
+            policy.is_renaming_invariant().to_string(),
+        ]);
+    }
+
+    let cmp_tree = compare_policies(&chain, &TwoPhasePolicy, &TreePolicy::chain(3));
+    let cmp_prime = compare_policies(&xf, &TwoPhasePolicy, &prime);
+
+    let mut out = String::new();
+    out.push_str("EXPERIMENT T4 — structured locking beats 2PL where structure holds\n\n");
+    out.push_str(&t.to_string());
+    out.push_str(&format!(
+        "\ntree strictly better than 2PL on chains: {}\n2PL' strictly better than 2PL on x-first: {}\n",
+        cmp_tree.b_strictly_better(),
+        cmp_prime.b_strictly_better()
+    ));
+    out.push_str("\nBoth winners give up renaming-invariance — exactly the §5.4\n");
+    out.push_str("characterization of why 2PL remains optimal for unstructured data.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn structured_policies_win() {
+        let rep = super::report();
+        assert!(rep.contains("tree strictly better than 2PL on chains: true"));
+        assert!(rep.contains("2PL' strictly better than 2PL on x-first: true"));
+    }
+}

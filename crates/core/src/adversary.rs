@@ -1,0 +1,240 @@
+//! Bounded families of indistinguishable transaction systems.
+//!
+//! A scheduler at information level `I` must be correct for *every* system
+//! in `I`. The optimality proofs are adversary arguments: the adversary
+//! picks the worst `T' ∈ I`. This module enumerates finite sub-families of
+//! `I` — rich enough to contain the paper's adversaries — used by the
+//! executable theorems.
+
+use ccopt_model::expr::{Cond, Expr};
+use ccopt_model::ic::{CondIc, IntegrityConstraint, TrueIc};
+use ccopt_model::interp::ExprInterpretation;
+use ccopt_model::random::{small_ics, small_step_functions};
+use ccopt_model::syntax::{StepKind, StepSyntax, Syntax, TransactionSyntax};
+use ccopt_model::system::{StateSpace, TransactionSystem};
+use ccopt_model::Executor;
+use std::sync::Arc;
+
+/// Enumerate interpretations for `syntax` from the small step-function
+/// library, up to `cap` systems; each combined with each IC from the small
+/// IC library. Only systems satisfying the basic assumption (every
+/// transaction individually correct) are returned — the others are not
+/// legal transaction systems under the paper's standing assumption.
+pub fn syntactic_family(syntax: &Syntax, cap: usize) -> Vec<TransactionSystem> {
+    let mut out = Vec::new();
+    let arities: Vec<usize> = syntax
+        .transactions
+        .iter()
+        .flat_map(|t| 0..t.steps.len())
+        .collect();
+    let libs: Vec<Vec<Expr>> = arities.iter().map(|&j| small_step_functions(j)).collect();
+    let radixes: Vec<usize> = libs.iter().map(Vec::len).collect();
+
+    let mut cursor = vec![0usize; radixes.len()];
+    'outer: loop {
+        // Assemble the interpretation for this cursor.
+        let mut exprs: Vec<Vec<Expr>> = Vec::with_capacity(syntax.num_txns());
+        let mut flat = 0usize;
+        for t in &syntax.transactions {
+            let mut es = Vec::with_capacity(t.steps.len());
+            for _ in 0..t.steps.len() {
+                es.push(libs[flat][cursor[flat]].clone());
+                flat += 1;
+            }
+            exprs.push(es);
+        }
+        let interp = ExprInterpretation::new(exprs);
+        for ic_cond in small_ics() {
+            if out.len() >= cap {
+                break 'outer;
+            }
+            let sys = assemble(syntax, interp.clone(), ic_cond.clone());
+            if let Some(sys) = sys {
+                out.push(sys);
+            }
+        }
+        // Mixed-radix increment.
+        let mut k = 0;
+        loop {
+            if k == cursor.len() {
+                break 'outer;
+            }
+            cursor[k] += 1;
+            if cursor[k] < radixes[k] {
+                break;
+            }
+            cursor[k] = 0;
+            k += 1;
+        }
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+/// Enumerate systems sharing only the *format*: vary the variable
+/// assignment of each step over `num_vars` variables (all steps `Update`),
+/// then delegate to [`syntactic_family`] for each syntax, respecting `cap`.
+pub fn format_family(format: &[u32], num_vars: usize, cap: usize) -> Vec<TransactionSystem> {
+    let total: usize = format.iter().map(|&m| m as usize).sum();
+    let mut out = Vec::new();
+    let mut assignment = vec![0usize; total];
+    loop {
+        let syntax = syntax_from_assignment(format, num_vars, &assignment);
+        let remaining = cap.saturating_sub(out.len());
+        if remaining == 0 {
+            break;
+        }
+        // A couple of interpretations per syntax keeps the family broad
+        // rather than deep.
+        let per_syntax = remaining.min(8);
+        out.extend(syntactic_family(&syntax, per_syntax));
+        // Mixed-radix increment over variable assignments.
+        let mut k = 0;
+        loop {
+            if k == assignment.len() {
+                return out;
+            }
+            assignment[k] += 1;
+            if assignment[k] < num_vars {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Systems sharing syntax **and** interpretation with `sys`, varying only
+/// the integrity constraints (the Theorem 4 family).
+pub fn semantic_family(sys: &TransactionSystem, cap: usize) -> Vec<TransactionSystem> {
+    let mut out = Vec::new();
+    for ic_cond in small_ics() {
+        if out.len() >= cap {
+            break;
+        }
+        let ic: Arc<dyn IntegrityConstraint> = match &ic_cond {
+            Cond::Bool(true) => Arc::new(TrueIc),
+            c => Arc::new(CondIc((*c).clone())),
+        };
+        let space = check_space_for(sys.syntax.num_vars(), ic.as_ref());
+        if space.is_empty() {
+            continue;
+        }
+        let candidate = sys.with_ic(ic, space);
+        if Executor::new(&candidate).verify_basic_assumption().is_ok() {
+            out.push(candidate);
+        }
+    }
+    out
+}
+
+fn syntax_from_assignment(format: &[u32], num_vars: usize, assignment: &[usize]) -> Syntax {
+    let vars: Vec<String> = (0..num_vars).map(|i| format!("v{i}")).collect();
+    let mut flat = 0usize;
+    let transactions = format
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| TransactionSyntax {
+            name: format!("T{}", i + 1),
+            steps: (0..m)
+                .map(|_| {
+                    let v = assignment[flat];
+                    flat += 1;
+                    StepSyntax {
+                        var: ccopt_model::ids::VarId(v as u32),
+                        kind: StepKind::Update,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Syntax { vars, transactions }
+}
+
+fn assemble(
+    syntax: &Syntax,
+    interp: ExprInterpretation,
+    ic_cond: Cond,
+) -> Option<TransactionSystem> {
+    if interp.validate(syntax).is_err() {
+        return None;
+    }
+    let ic: Arc<dyn IntegrityConstraint> = match &ic_cond {
+        Cond::Bool(true) => Arc::new(TrueIc),
+        c => Arc::new(CondIc(c.clone())),
+    };
+    let space = check_space_for(syntax.num_vars(), ic.as_ref());
+    if space.is_empty() {
+        return None;
+    }
+    let sys = TransactionSystem::new("family-member", syntax.clone(), Arc::new(interp), ic, space);
+    // The paper's standing assumption: individually correct transactions.
+    Executor::new(&sys).verify_basic_assumption().ok()?;
+    Some(sys)
+}
+
+/// Consistent check states: small grid filtered by the IC.
+fn check_space_for(num_vars: usize, ic: &dyn IntegrityConstraint) -> StateSpace {
+    StateSpace::enumerate_grid(num_vars, -1..=1, ic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::{indistinguishable, InfoLevel};
+    use ccopt_model::systems;
+
+    #[test]
+    fn syntactic_family_members_share_syntax() {
+        let sys = systems::fig1();
+        let fam = syntactic_family(&sys.syntax, 40);
+        assert!(!fam.is_empty());
+        for member in &fam {
+            assert_eq!(member.syntax, sys.syntax);
+            // Each member satisfies the basic assumption by construction.
+            Executor::new(member).verify_basic_assumption().unwrap();
+        }
+    }
+
+    #[test]
+    fn syntactic_family_contains_nontrivial_ics() {
+        let sys = systems::fig1();
+        let fam = syntactic_family(&sys.syntax, 60);
+        let with_ic = fam.iter().filter(|m| m.ic.describe() != "true").count();
+        assert!(with_ic > 0, "family has only trivial ICs");
+    }
+
+    #[test]
+    fn format_family_members_share_format() {
+        let fam = format_family(&[2, 1], 2, 30);
+        assert!(!fam.is_empty());
+        for member in &fam {
+            assert_eq!(member.format(), vec![2, 1]);
+        }
+        // At least two distinct syntaxes appear.
+        let distinct: std::collections::HashSet<_> =
+            fam.iter().map(|m| format!("{}", m.syntax)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn semantic_family_varies_only_ic() {
+        let sys = systems::fig1();
+        let fam = semantic_family(&sys, 10);
+        assert!(!fam.is_empty());
+        for member in &fam {
+            assert!(indistinguishable(InfoLevel::SemanticNoIc, &sys, member));
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let sys = systems::fig1();
+        assert!(syntactic_family(&sys.syntax, 5).len() <= 5);
+        assert!(format_family(&[1, 1], 2, 7).len() <= 7);
+        assert!(semantic_family(&sys, 2).len() <= 2);
+    }
+}

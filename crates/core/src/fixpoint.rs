@@ -1,0 +1,256 @@
+//! Fixpoint sets: the paper's performance measure (Sections 3.2 and 6).
+//!
+//! "We measure the performance of a scheduler S by its fixpoint set P [...]
+//! the larger P is the less chance that the scheduler will have to ask a
+//! user to wait for other users." Section 6 quantifies: "the probability
+//! that none of the transaction steps have to wait is |P|/|H|, if all
+//! request histories are assumed to be equally likely."
+
+use crate::scheduler::{run_scheduler, OnlineScheduler};
+use ccopt_schedule::enumerate::{count_schedules, for_each_schedule, sample_schedule};
+use ccopt_schedule::schedule::Schedule;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Is `h` a fixpoint of `s` (granted with no delays)?
+pub fn is_fixpoint(s: &mut dyn OnlineScheduler, h: &Schedule) -> bool {
+    run_scheduler(s, h).no_delays
+}
+
+/// Compute the exact fixpoint set of `s` over all of `H` (enumerates `H`;
+/// small formats only).
+pub fn fixpoint_set(s: &mut dyn OnlineScheduler, format: &[u32]) -> BTreeSet<Schedule> {
+    let mut out = BTreeSet::new();
+    for_each_schedule(format, |h| {
+        if is_fixpoint(s, h) {
+            out.insert(h.clone());
+        }
+        true
+    });
+    out
+}
+
+/// Exact `|P|/|H|` by enumeration.
+pub fn fixpoint_ratio(s: &mut dyn OnlineScheduler, format: &[u32]) -> f64 {
+    let total = count_schedules(format);
+    if total == 0 {
+        return 1.0;
+    }
+    let mut fix = 0u128;
+    for_each_schedule(format, |h| {
+        if is_fixpoint(s, h) {
+            fix += 1;
+        }
+        true
+    });
+    fix as f64 / total as f64
+}
+
+/// Estimate `|P|/|H|` by uniform sampling (for formats too large to
+/// enumerate). Returns `(estimate, samples)`.
+pub fn fixpoint_ratio_sampled<R: Rng + ?Sized>(
+    s: &mut dyn OnlineScheduler,
+    format: &[u32],
+    samples: usize,
+    rng: &mut R,
+) -> (f64, usize) {
+    let mut fix = 0usize;
+    for _ in 0..samples {
+        let h = sample_schedule(format, rng);
+        if is_fixpoint(s, &h) {
+            fix += 1;
+        }
+    }
+    (fix as f64 / samples as f64, samples)
+}
+
+/// Outcome of comparing two fixpoint sets — the paper's performance partial
+/// order: "S performs better than S' if P' ⊊ P".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Comparison {
+    /// The sets are equal.
+    Equal,
+    /// The first set strictly contains the second (first performs better).
+    FirstBetter,
+    /// The second set strictly contains the first.
+    SecondBetter,
+    /// Neither contains the other.
+    Incomparable,
+}
+
+/// Compare two fixpoint sets under inclusion.
+pub fn compare(p1: &BTreeSet<Schedule>, p2: &BTreeSet<Schedule>) -> Comparison {
+    let p1_in_p2 = p1.is_subset(p2);
+    let p2_in_p1 = p2.is_subset(p1);
+    match (p1_in_p2, p2_in_p1) {
+        (true, true) => Comparison::Equal,
+        (false, true) => Comparison::FirstBetter,
+        (true, false) => Comparison::SecondBetter,
+        (false, false) => Comparison::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::InfoLevel;
+    use crate::scheduler::PassThrough;
+    use ccopt_model::ids::StepId;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Scheduler whose fixpoints are exactly the serial histories: delays
+    /// any step whose transaction differs from an unfinished current one.
+    struct SerialOnly {
+        format: Vec<u32>,
+        current: Option<u32>,
+        done_in_current: u32,
+        pending: Vec<StepId>,
+    }
+
+    impl SerialOnly {
+        fn new(format: &[u32]) -> Self {
+            SerialOnly {
+                format: format.to_vec(),
+                current: None,
+                done_in_current: 0,
+                pending: Vec::new(),
+            }
+        }
+
+        fn try_grant(&mut self, step: StepId) -> bool {
+            match self.current {
+                None => {
+                    self.current = Some(step.txn.0);
+                    self.done_in_current = 1;
+                    true
+                }
+                Some(t) if t == step.txn.0 => {
+                    self.done_in_current += 1;
+                    true
+                }
+                _ => false,
+            }
+        }
+
+        fn roll(&mut self) -> Vec<StepId> {
+            // Complete the current transaction, then pick up pending ones.
+            let mut granted = Vec::new();
+            loop {
+                if let Some(t) = self.current {
+                    if self.done_in_current == self.format[t as usize] {
+                        self.current = None;
+                        self.done_in_current = 0;
+                    }
+                }
+                if let Some(cur) = self.current {
+                    // Grant pending steps of the current transaction, in
+                    // program order (arrival order preserves it).
+                    if let Some(pos) = self.pending.iter().position(|s| s.txn.0 == cur) {
+                        let s = self.pending.remove(pos);
+                        self.done_in_current += 1;
+                        granted.push(s);
+                        continue;
+                    }
+                    break;
+                }
+                // No current: start the earliest pending.
+                if let Some(s) = self.pending.first().copied() {
+                    self.pending.remove(0);
+                    self.current = Some(s.txn.0);
+                    self.done_in_current = 1;
+                    granted.push(s);
+                    continue;
+                }
+                break;
+            }
+            granted
+        }
+    }
+
+    impl OnlineScheduler for SerialOnly {
+        fn reset(&mut self) {
+            self.current = None;
+            self.done_in_current = 0;
+            self.pending.clear();
+        }
+
+        fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+            let mut granted = Vec::new();
+            if self.try_grant(step) {
+                granted.push(step);
+            } else {
+                self.pending.push(step);
+            }
+            granted.extend(self.roll());
+            granted
+        }
+
+        fn finish(&mut self) -> Vec<StepId> {
+            self.roll()
+        }
+
+        fn name(&self) -> &str {
+            "serial-only-test"
+        }
+
+        fn info(&self) -> InfoLevel {
+            InfoLevel::FormatOnly
+        }
+    }
+
+    #[test]
+    fn pass_through_has_full_fixpoint_set() {
+        let format = [2, 1];
+        let mut s = PassThrough;
+        let p = fixpoint_set(&mut s, &format);
+        assert_eq!(p.len() as u128, count_schedules(&format));
+        assert_eq!(fixpoint_ratio(&mut s, &format), 1.0);
+    }
+
+    #[test]
+    fn serial_only_fixpoints_are_the_serials() {
+        let format = [2, 2];
+        let mut s = SerialOnly::new(&format);
+        let p = fixpoint_set(&mut s, &format);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(Schedule::is_serial));
+        let ratio = fixpoint_ratio(&mut s, &format);
+        assert!((ratio - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_only_outputs_are_always_serial() {
+        let format = [2, 2];
+        let mut s = SerialOnly::new(&format);
+        ccopt_schedule::enumerate::for_each_schedule(&format, |h| {
+            let run = run_scheduler(&mut s, h);
+            assert!(run.output.is_serial(), "output {} not serial", run.output);
+            assert!(run.output.is_legal(&format));
+            true
+        });
+    }
+
+    #[test]
+    fn comparison_detects_strict_inclusion() {
+        let format = [2, 2];
+        let mut serial = SerialOnly::new(&format);
+        let mut all = PassThrough;
+        let p_serial = fixpoint_set(&mut serial, &format);
+        let p_all = fixpoint_set(&mut all, &format);
+        assert_eq!(compare(&p_all, &p_serial), Comparison::FirstBetter);
+        assert_eq!(compare(&p_serial, &p_all), Comparison::SecondBetter);
+        assert_eq!(compare(&p_serial, &p_serial), Comparison::Equal);
+    }
+
+    #[test]
+    fn sampled_ratio_approximates_exact() {
+        let format = [2, 2];
+        let mut s = SerialOnly::new(&format);
+        let exact = fixpoint_ratio(&mut s, &format);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (est, n) = fixpoint_ratio_sampled(&mut s, &format, 3000, &mut rng);
+        assert_eq!(n, 3000);
+        assert!((est - exact).abs() < 0.05, "est {est} vs exact {exact}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Levels of information (Section 3.2–3.3).
+//!
+//! "A level of information available to a scheduler about a transaction
+//! system T is a set I of transaction systems that contains T. [...]
+//! Alternatively, we could define I as a projection that maps any
+//! transaction system T to an object I(T)."
+//!
+//! We implement the four levels the paper analyzes, as projections. The
+//! refinement order (`I ⊆ I'`, i.e. *more* information) is:
+//!
+//! `Complete ⊑ SemanticNoIc ⊑ Syntactic ⊑ FormatOnly`.
+
+use ccopt_model::expr::Env;
+use ccopt_model::ids::Format;
+use ccopt_model::syntax::Syntax;
+use ccopt_model::system::TransactionSystem;
+use ccopt_model::value::Value;
+use std::fmt;
+
+/// The four information levels analyzed in Section 4.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum InfoLevel {
+    /// Minimum information: only the format `(m_1, ..., m_n)` (§4.1).
+    FormatOnly,
+    /// Complete syntactic information (§4.2).
+    Syntactic,
+    /// Complete semantic information but no integrity constraints (§4.3).
+    SemanticNoIc,
+    /// Maximum information: the full system, `I = {T}` (§4.1).
+    Complete,
+}
+
+impl InfoLevel {
+    /// All four levels, coarsest first.
+    pub const ALL: [InfoLevel; 4] = [
+        InfoLevel::FormatOnly,
+        InfoLevel::Syntactic,
+        InfoLevel::SemanticNoIc,
+        InfoLevel::Complete,
+    ];
+
+    /// Does `self` refine `other` — is a scheduler at `self` at least as
+    /// informed (its indistinguishability set `I` is contained in
+    /// `other`'s)? The paper: "S is more sophisticated than S' if I ⊆ I'".
+    pub fn refines(self, other: InfoLevel) -> bool {
+        self.rank() >= other.rank()
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            InfoLevel::FormatOnly => 0,
+            InfoLevel::Syntactic => 1,
+            InfoLevel::SemanticNoIc => 2,
+            InfoLevel::Complete => 3,
+        }
+    }
+}
+
+impl fmt::Display for InfoLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfoLevel::FormatOnly => write!(f, "format-only"),
+            InfoLevel::Syntactic => write!(f, "syntactic"),
+            InfoLevel::SemanticNoIc => write!(f, "semantic-no-IC"),
+            InfoLevel::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// The projection `I(T)` of a system at a level: what the scheduler may see.
+///
+/// Two systems are indistinguishable at a level iff their projections are
+/// equal. Interpretations are compared by a *behavioral fingerprint*
+/// (outputs of every step function on a canonical grid of small inputs) —
+/// exact equality of interpretations over enumerable domains is not
+/// decidable, and the fingerprint is the standard finite substitute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Projection {
+    /// Only the format survives.
+    Format(Format),
+    /// The complete syntax survives.
+    Syntax(Syntax),
+    /// Syntax plus interpretation fingerprint.
+    Semantics(Syntax, Vec<Vec<Vec<Option<Value>>>>),
+    /// The full system (identified by name; systems are values, not
+    /// interned, so completeness keeps the name as identity).
+    Complete(String),
+}
+
+/// Compute `I(T)` at `level`.
+pub fn project(level: InfoLevel, sys: &TransactionSystem) -> Projection {
+    match level {
+        InfoLevel::FormatOnly => Projection::Format(sys.format()),
+        InfoLevel::Syntactic => Projection::Syntax(sys.syntax.clone()),
+        InfoLevel::SemanticNoIc => Projection::Semantics(sys.syntax.clone(), fingerprint(sys)),
+        InfoLevel::Complete => Projection::Complete(sys.name.clone()),
+    }
+}
+
+/// Behavioral fingerprint of an interpretation: for every step `T_ij`,
+/// apply `ρ_ij` to every tuple of locals drawn from a small canonical grid
+/// and record the outputs (`None` when evaluation fails).
+pub fn fingerprint(sys: &TransactionSystem) -> Vec<Vec<Vec<Option<Value>>>> {
+    const PROBES: [i64; 4] = [-1, 0, 1, 2];
+    let mut out = Vec::with_capacity(sys.num_txns());
+    for (i, t) in sys.syntax.transactions.iter().enumerate() {
+        let mut per_txn = Vec::with_capacity(t.steps.len());
+        for j in 0..t.steps.len() {
+            let arity = j + 1;
+            let mut results = Vec::new();
+            // Enumerate PROBES^arity tuples (arity is small in practice; we
+            // cap the blow-up at 4^4 tuples by truncating deep arities).
+            let capped = arity.min(4);
+            let mut idx = vec![0usize; capped];
+            loop {
+                let mut locals: Vec<Value> = idx.iter().map(|&k| Value::Int(PROBES[k])).collect();
+                // Pad truncated arities with zeros.
+                locals.resize(arity, Value::Int(0));
+                let site = ccopt_model::ids::StepId::new(i as u32, j as u32);
+                results.push(sys.interp.apply(site, &locals).ok());
+                // Odometer.
+                let mut k = 0;
+                loop {
+                    if k == capped {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < PROBES.len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == capped {
+                    break;
+                }
+            }
+            per_txn.push(results);
+        }
+        out.push(per_txn);
+    }
+    out
+}
+
+/// Are `a` and `b` indistinguishable to a scheduler at `level`?
+pub fn indistinguishable(level: InfoLevel, a: &TransactionSystem, b: &TransactionSystem) -> bool {
+    project(level, a) == project(level, b)
+}
+
+/// Evaluate a [`ccopt_model::expr::Expr`] on integer locals — small helper
+/// for adversary construction tests.
+pub fn eval_on_ints(e: &ccopt_model::expr::Expr, locals: &[i64]) -> Option<i64> {
+    let vals: Vec<Value> = locals.iter().map(|&i| Value::Int(i)).collect();
+    e.eval(Env::locals(&vals)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_model::expr::{Cond, Expr};
+    use ccopt_model::ic::{CondIc, TrueIc};
+    use ccopt_model::ids::VarId;
+    use ccopt_model::interp::ExprInterpretation;
+    use ccopt_model::system::StateSpace;
+    use ccopt_model::systems;
+    use std::sync::Arc;
+
+    #[test]
+    fn refinement_order_is_total_here() {
+        use InfoLevel::*;
+        assert!(Complete.refines(SemanticNoIc));
+        assert!(SemanticNoIc.refines(Syntactic));
+        assert!(Syntactic.refines(FormatOnly));
+        assert!(Complete.refines(FormatOnly));
+        assert!(!FormatOnly.refines(Syntactic));
+        // Reflexive.
+        for l in InfoLevel::ALL {
+            assert!(l.refines(l));
+        }
+    }
+
+    #[test]
+    fn format_level_conflates_different_syntaxes() {
+        let a = systems::fig1(); // format (2,1) on one variable
+        let b = {
+            // Same format, different variable usage.
+            use ccopt_model::syntax::SyntaxBuilder;
+            let syn = SyntaxBuilder::new()
+                .txn("T1", |t| t.update("x").update("y"))
+                .txn("T2", |t| t.update("y"))
+                .build();
+            let interp = ExprInterpretation::new(vec![
+                vec![Expr::Local(0), Expr::Local(1)],
+                vec![Expr::Local(0)],
+            ]);
+            ccopt_model::system::TransactionSystem::new(
+                "other",
+                syn,
+                Arc::new(interp),
+                Arc::new(TrueIc),
+                StateSpace::from_ints(&[&[0, 0]]),
+            )
+        };
+        assert!(indistinguishable(InfoLevel::FormatOnly, &a, &b));
+        assert!(!indistinguishable(InfoLevel::Syntactic, &a, &b));
+    }
+
+    #[test]
+    fn syntactic_level_conflates_different_semantics() {
+        let a = systems::fig1();
+        let b = systems::thm2_adversary().with_ic(Arc::new(TrueIc), a.space.clone());
+        // fig1 and thm2 share syntax ((2,1), all updates on x) but differ in
+        // step functions (2x vs x-1 at T12 / T21).
+        assert!(indistinguishable(InfoLevel::Syntactic, &a, &b));
+        assert!(!indistinguishable(InfoLevel::SemanticNoIc, &a, &b));
+    }
+
+    #[test]
+    fn semantic_level_conflates_different_ics() {
+        let a = systems::thm2_adversary();
+        let b = a.with_ic(
+            Arc::new(CondIc(Cond::Ge(Expr::Var(VarId(0)), Expr::Const(0)))),
+            a.space.clone(),
+        );
+        assert!(indistinguishable(InfoLevel::SemanticNoIc, &a, &b));
+    }
+
+    #[test]
+    fn fingerprint_detects_semantic_differences() {
+        let a = systems::fig1();
+        let b = systems::thm2_adversary();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&a));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InfoLevel::FormatOnly.to_string(), "format-only");
+        assert_eq!(InfoLevel::Complete.to_string(), "complete");
+    }
+
+    #[test]
+    fn eval_on_ints_helper() {
+        let e = Expr::add(Expr::Local(0), Expr::Const(1));
+        assert_eq!(eval_on_ints(&e, &[4]), Some(5));
+        assert_eq!(eval_on_ints(&Expr::Local(3), &[4]), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! # `ccopt-core` — the optimality theory (Sections 3 and 4)
+//!
+//! This crate is the paper's primary contribution made executable:
+//!
+//! * [`info`] — *levels of information*: a scheduler knows only a projection
+//!   of the transaction system (its format, its syntax, everything but the
+//!   integrity constraints, or everything). Levels form a lattice under
+//!   refinement.
+//! * [`scheduler`] — schedulers as mappings `S : H → C(T)`, realized online:
+//!   requests arrive one at a time and are granted or delayed.
+//! * [`fixpoint`] — the performance measure: the fixpoint set
+//!   `P = {h : S(h) = h}` and its exact ratio `|P|/|H|` (Section 6's
+//!   probability that no step waits).
+//! * [`optimal`] — the optimal scheduler for each information level,
+//!   realized as a *class scheduler* that grants a request iff the granted
+//!   prefix stays extendable inside the target class
+//!   (serial / SR / WSR / C).
+//! * [`theorems`] — executable versions of Theorems 1–4 with the paper's
+//!   adversary constructions, checked by exhaustive enumeration.
+//! * [`adversary`] — bounded families of transaction systems representing
+//!   "all systems the scheduler cannot distinguish" at a level.
+//! * [`assertions`] — the Section 6 extension: the Lamport-style
+//!   assertion-based scheduler that uses the integrity constraints
+//!   themselves, passing histories beyond every serializability class.
+//!
+//! ## The fundamental trade-off
+//!
+//! ```
+//! use ccopt_core::optimal::OptimalScheduler;
+//! use ccopt_core::info::InfoLevel;
+//! use ccopt_core::fixpoint::fixpoint_set;
+//! use ccopt_model::systems;
+//!
+//! let sys = systems::fig1();
+//! let mut serial = OptimalScheduler::for_level(&sys, InfoLevel::FormatOnly);
+//! let mut weak = OptimalScheduler::for_level(&sys, InfoLevel::SemanticNoIc);
+//! let p_serial = fixpoint_set(&mut serial, &sys.format());
+//! let p_weak = fixpoint_set(&mut weak, &sys.format());
+//! // More information => larger fixpoint set (better performance).
+//! assert!(p_serial.len() < p_weak.len());
+//! ```
+
+pub mod adversary;
+pub mod assertions;
+pub mod fixpoint;
+pub mod info;
+pub mod optimal;
+pub mod scheduler;
+pub mod theorems;
+
+pub use fixpoint::{fixpoint_ratio, fixpoint_set, is_fixpoint, Comparison};
+pub use info::InfoLevel;
+pub use optimal::{ClassScheduler, OptimalScheduler};
+pub use scheduler::{run_scheduler, OnlineScheduler, SchedulerRun};

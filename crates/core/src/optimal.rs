@@ -1,0 +1,341 @@
+//! Optimal schedulers (Section 4).
+//!
+//! Theorem 1's corollary: "the maximum-performance scheduler that is correct
+//! using information I is the one that has its fixpoint set
+//! `P = ⋂_{T'∈I} C(T')`". Section 4 identifies that intersection for each
+//! level: serial schedules (format only), `SR(T)` (syntactic), `WSR(T)`
+//! (semantic without IC), `C(T)` (complete).
+//!
+//! We realize each optimal scheduler as a [`ClassScheduler`]: a request is
+//! granted iff the granted prefix remains extendable to a member of the
+//! target class; otherwise it waits. Pending requests are retried after
+//! every grant and at end-of-input, where the schedule is completed inside
+//! the class. The fixpoint set of a class scheduler is exactly its class
+//! (every member passes untouched; every non-member incurs a delay), which
+//! is what makes it optimal for its level.
+
+use crate::info::InfoLevel;
+use crate::scheduler::OnlineScheduler;
+use ccopt_model::ids::StepId;
+use ccopt_model::system::TransactionSystem;
+use ccopt_schedule::classes::Class;
+use ccopt_schedule::enumerate::all_schedules;
+use ccopt_schedule::herbrand::HerbrandCtx;
+use ccopt_schedule::schedule::Schedule;
+use ccopt_schedule::sr::sr_membership;
+use ccopt_schedule::wsr::{wsr_membership, WsrOptions};
+use ccopt_schedule::{correct, graph};
+
+/// Compute a class of schedules as an explicit set (enumerates `H`).
+pub fn class_set(sys: &TransactionSystem, class: Class, wsr_opts: WsrOptions) -> Vec<Schedule> {
+    let format = sys.format();
+    match class {
+        Class::Serial => {
+            let mut v = Schedule::all_serials(&format);
+            v.sort();
+            v.dedup();
+            v
+        }
+        Class::Csr => all_schedules(&format)
+            .into_iter()
+            .filter(|h| graph::is_csr(&sys.syntax, h))
+            .collect(),
+        Class::Sr => {
+            let ctx = HerbrandCtx::for_system(sys);
+            let all = all_schedules(&format);
+            let flags = sr_membership(&ctx, &all);
+            all.into_iter()
+                .zip(flags)
+                .filter_map(|(h, m)| m.then_some(h))
+                .collect()
+        }
+        Class::Wsr => {
+            let all = all_schedules(&format);
+            let flags = wsr_membership(sys, &all, wsr_opts);
+            all.into_iter()
+                .zip(flags)
+                .filter_map(|(h, m)| m.then_some(h))
+                .collect()
+        }
+        Class::Correct => all_schedules(&format)
+            .into_iter()
+            .filter(|h| correct::is_correct(sys, h))
+            .collect(),
+    }
+}
+
+/// A scheduler whose behaviour is determined by an explicit target class
+/// `K ⊆ H`: grant iff the granted prefix stays extendable inside `K`.
+#[derive(Clone, Debug)]
+pub struct ClassScheduler {
+    /// The class, sorted lexicographically for prefix queries.
+    class: Vec<Schedule>,
+    name: String,
+    info: InfoLevel,
+    granted: Vec<StepId>,
+    pending: Vec<StepId>,
+}
+
+impl ClassScheduler {
+    /// Build from a class. `K` must be non-empty (it always contains the
+    /// serial schedules for the paper's classes).
+    ///
+    /// # Panics
+    /// Panics when `class` is empty — such a scheduler could not map any
+    /// history anywhere.
+    pub fn new(mut class: Vec<Schedule>, name: &str, info: InfoLevel) -> Self {
+        assert!(!class.is_empty(), "target class must be non-empty");
+        class.sort();
+        class.dedup();
+        ClassScheduler {
+            class,
+            name: name.to_string(),
+            info,
+            granted: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The target class (sorted).
+    pub fn class(&self) -> &[Schedule] {
+        &self.class
+    }
+
+    /// Is some member of the class an extension of `prefix`?
+    fn extendable(&self, prefix: &[StepId]) -> bool {
+        let idx = self.class.partition_point(|s| s.steps() < prefix);
+        self.class
+            .get(idx)
+            .is_some_and(|s| s.steps().starts_with(prefix))
+    }
+
+    /// Grant every pending step that keeps the prefix extendable, repeating
+    /// until a fixed point; returns the granted steps in order.
+    fn drain_pending(&mut self) -> Vec<StepId> {
+        let mut out = Vec::new();
+        loop {
+            let mut progressed = false;
+            let mut k = 0;
+            while k < self.pending.len() {
+                let cand = self.pending[k];
+                self.granted.push(cand);
+                if self.extendable(&self.granted) {
+                    self.pending.remove(k);
+                    out.push(cand);
+                    progressed = true;
+                    // Restart the scan: earlier pendings may now fit.
+                    break;
+                }
+                self.granted.pop();
+                k += 1;
+            }
+            if !progressed {
+                return out;
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for ClassScheduler {
+    fn reset(&mut self) {
+        self.granted.clear();
+        self.pending.clear();
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        self.pending.push(step);
+        self.drain_pending()
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        // All steps have arrived; complete inside the class. The invariant
+        // guarantees a completion exists: `granted` is extendable and every
+        // class member is a permutation of all steps.
+        let idx = self
+            .class
+            .partition_point(|s| s.steps() < self.granted.as_slice());
+        let completion = self.class[idx].clone();
+        debug_assert!(completion.steps().starts_with(&self.granted));
+        let tail: Vec<StepId> = completion.steps()[self.granted.len()..].to_vec();
+        debug_assert_eq!(tail.len(), self.pending.len());
+        self.pending.clear();
+        self.granted.extend_from_slice(&tail);
+        tail
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn info(&self) -> InfoLevel {
+        self.info
+    }
+}
+
+/// The optimal scheduler for an information level, per Section 4.
+pub struct OptimalScheduler {
+    inner: ClassScheduler,
+}
+
+impl OptimalScheduler {
+    /// Build the optimal scheduler for `level` over `sys`, with default
+    /// WSR search options (bound automatically raised to the number of
+    /// transactions so serial schedules always qualify).
+    pub fn for_level(sys: &TransactionSystem, level: InfoLevel) -> Self {
+        let wsr_opts = WsrOptions {
+            max_len: WsrOptions::default().max_len.max(sys.num_txns()),
+            ..WsrOptions::default()
+        };
+        Self::for_level_with(sys, level, wsr_opts)
+    }
+
+    /// Build with explicit WSR options.
+    pub fn for_level_with(sys: &TransactionSystem, level: InfoLevel, wsr_opts: WsrOptions) -> Self {
+        let (class, name) = match level {
+            InfoLevel::FormatOnly => (class_set(sys, Class::Serial, wsr_opts), "optimal-serial"),
+            InfoLevel::Syntactic => (class_set(sys, Class::Sr, wsr_opts), "optimal-serialization"),
+            InfoLevel::SemanticNoIc => (
+                class_set(sys, Class::Wsr, wsr_opts),
+                "optimal-weak-serialization",
+            ),
+            InfoLevel::Complete => (
+                class_set(sys, Class::Correct, wsr_opts),
+                "optimal-full-info",
+            ),
+        };
+        OptimalScheduler {
+            inner: ClassScheduler::new(class, name, level),
+        }
+    }
+
+    /// The underlying class.
+    pub fn class(&self) -> &[Schedule] {
+        self.inner.class()
+    }
+}
+
+impl OnlineScheduler for OptimalScheduler {
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        self.inner.on_request(step)
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        self.inner.finish()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn info(&self) -> InfoLevel {
+        self.inner.info()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixpoint::{fixpoint_set, is_fixpoint};
+    use crate::scheduler::run_scheduler;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::systems;
+    use std::collections::BTreeSet;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn class_scheduler_fixpoints_equal_its_class() {
+        // The central property making class schedulers optimal.
+        for sys in [systems::fig1(), systems::thm2_adversary()] {
+            for class in [Class::Serial, Class::Sr, Class::Correct] {
+                let k = class_set(&sys, class, WsrOptions::default());
+                let expected: BTreeSet<Schedule> = k.iter().cloned().collect();
+                let mut s = ClassScheduler::new(k, "test", InfoLevel::Complete);
+                let p = fixpoint_set(&mut s, &sys.format());
+                assert_eq!(p, expected, "class {class:?} on {}", sys.name);
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_always_land_in_the_class() {
+        let sys = systems::thm2_adversary();
+        let k = class_set(&sys, Class::Correct, WsrOptions::default());
+        let kset: BTreeSet<Schedule> = k.iter().cloned().collect();
+        let mut s = ClassScheduler::new(k, "test", InfoLevel::Complete);
+        ccopt_schedule::enumerate::for_each_schedule(&sys.format(), |h| {
+            let run = run_scheduler(&mut s, h);
+            assert!(
+                kset.contains(&run.output),
+                "output {} escaped the class for input {h}",
+                run.output
+            );
+            true
+        });
+    }
+
+    #[test]
+    fn optimal_serial_passes_only_serials() {
+        let sys = systems::fig1();
+        let mut s = OptimalScheduler::for_level(&sys, InfoLevel::FormatOnly);
+        let serial = Schedule::new_unchecked(vec![sid(0, 0), sid(0, 1), sid(1, 0)]);
+        assert!(is_fixpoint(&mut s, &serial));
+        let inter = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        assert!(!is_fixpoint(&mut s, &inter));
+    }
+
+    #[test]
+    fn optimal_weak_passes_fig1_history() {
+        // The non-serializable but weakly serializable history of Figure 1
+        // passes the semantic-level optimal scheduler without delay, but not
+        // the syntactic one.
+        let sys = systems::fig1();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let mut weak = OptimalScheduler::for_level(&sys, InfoLevel::SemanticNoIc);
+        assert!(is_fixpoint(&mut weak, &h));
+        let mut syn = OptimalScheduler::for_level(&sys, InfoLevel::Syntactic);
+        assert!(!is_fixpoint(&mut syn, &h));
+    }
+
+    #[test]
+    fn fixpoint_sets_grow_with_information() {
+        // The fundamental trade-off (the lattice isomorphism), end to end.
+        let sys = systems::thm2_adversary();
+        let mut sizes = Vec::new();
+        for level in InfoLevel::ALL {
+            let mut s = OptimalScheduler::for_level(&sys, level);
+            sizes.push(fixpoint_set(&mut s, &sys.format()).len());
+        }
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1], "sizes not monotone: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn delayed_step_is_granted_once_unblocked() {
+        // Serial-optimal on (2,1): feeding (T11, T21, T12) must delay T21
+        // until T1 finishes, then grant it.
+        let sys = systems::fig1();
+        let mut s = OptimalScheduler::for_level(&sys, InfoLevel::FormatOnly);
+        s.reset();
+        assert_eq!(s.on_request(sid(0, 0)), vec![sid(0, 0)]);
+        assert_eq!(s.on_request(sid(1, 0)), vec![]);
+        assert_eq!(s.on_request(sid(0, 1)), vec![sid(0, 1), sid(1, 0)]);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_class_is_rejected() {
+        let _ = ClassScheduler::new(Vec::new(), "empty", InfoLevel::Complete);
+    }
+}

@@ -1,0 +1,230 @@
+//! Schedulers (Section 3.1–3.2).
+//!
+//! "A scheduler for a transaction system T is a mapping S from H to C(T)."
+//!
+//! We realize schedulers *online*: the history `h` arrives one request at a
+//! time, and the scheduler either grants the request immediately or delays
+//! it. Delayed requests are re-examined after every grant and flushed at
+//! end-of-input. The induced mapping `S(h)` is the grant order; `h` is a
+//! *fixpoint* iff every request was granted immediately (so `S(h) = h` with
+//! no delays — the paper's no-waiting reading of the fixpoint set).
+
+use ccopt_model::ids::StepId;
+use ccopt_schedule::schedule::Schedule;
+
+use crate::info::InfoLevel;
+
+/// An online scheduler.
+///
+/// Protocol per history: `reset()`, then `on_request(step)` for each arrival
+/// (returning the steps granted *now*, in execution order), then `finish()`
+/// (returning the execution order of everything still pending).
+pub trait OnlineScheduler {
+    /// Clear all per-history state.
+    fn reset(&mut self);
+
+    /// A new request arrives; return the steps granted now (possibly empty,
+    /// possibly several if the arrival unblocks pending ones).
+    fn on_request(&mut self, step: StepId) -> Vec<StepId>;
+
+    /// End of input: emit the remaining pending steps in execution order.
+    fn finish(&mut self) -> Vec<StepId>;
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &str;
+
+    /// The information level the scheduler operates at.
+    fn info(&self) -> InfoLevel;
+
+    /// Number of steps force-emitted by the last [`finish`](Self::finish)
+    /// because no delay could ever make them grantable (the order-model
+    /// image of abort-and-restart). Delay-based schedulers (the class
+    /// schedulers, the lock-respecting scheduler on deadlock-free runs)
+    /// report 0, and their outputs stay inside their safe class; a nonzero
+    /// value means the output order corresponds to a run with restarts.
+    fn forced_flushes(&self) -> usize {
+        0
+    }
+}
+
+/// The outcome of feeding a whole history to a scheduler.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SchedulerRun {
+    /// The output schedule `S(h)`.
+    pub output: Schedule,
+    /// Was every request granted immediately (⇒ `h` is in the fixpoint set)?
+    pub no_delays: bool,
+    /// Number of requests that were delayed at least once.
+    pub delayed_requests: usize,
+    /// Total waiting: sum over delayed requests of (grant position − arrival
+    /// position) in steps. The discrete analogue of Section 6's waiting
+    /// time.
+    pub total_wait: usize,
+    /// Steps force-emitted at end-of-input (abort/restart image); when 0
+    /// the output is a pure delay-rearrangement. See
+    /// [`OnlineScheduler::forced_flushes`].
+    pub forced: usize,
+}
+
+/// Feed history `h` through scheduler `s` and collect the run statistics.
+pub fn run_scheduler(s: &mut dyn OnlineScheduler, h: &Schedule) -> SchedulerRun {
+    s.reset();
+    let mut output: Vec<StepId> = Vec::with_capacity(h.len());
+    let mut arrival_pos: Vec<(StepId, usize)> = Vec::with_capacity(h.len());
+    let mut no_delays = true;
+
+    for (pos, &step) in h.steps().iter().enumerate() {
+        arrival_pos.push((step, pos));
+        let granted = s.on_request(step);
+        if granted.first() != Some(&step) {
+            no_delays = false;
+        }
+        output.extend(granted);
+    }
+    let tail = s.finish();
+    if !tail.is_empty() {
+        no_delays = false;
+    }
+    output.extend(tail);
+    let forced = s.forced_flushes();
+
+    // Waiting statistics: grant position minus arrival position.
+    let mut delayed_requests = 0;
+    let mut total_wait = 0;
+    for (step, apos) in &arrival_pos {
+        let gpos = output
+            .iter()
+            .position(|x| x == step)
+            .expect("scheduler must eventually grant every request");
+        // A request is "delayed" when steps that arrived after it were
+        // granted before it, or when it was granted strictly later than its
+        // arrival turn.
+        if gpos > *apos {
+            delayed_requests += 1;
+            total_wait += gpos - apos;
+        }
+    }
+
+    SchedulerRun {
+        output: Schedule::new_unchecked(output),
+        no_delays,
+        delayed_requests,
+        total_wait,
+        forced,
+    }
+}
+
+/// The functional view: `S(h)`.
+pub fn apply(s: &mut dyn OnlineScheduler, h: &Schedule) -> Schedule {
+    run_scheduler(s, h).output
+}
+
+/// A trivial pass-through scheduler (correct only for systems where every
+/// schedule is correct); used in tests and as the identity element of
+/// comparisons.
+#[derive(Default, Debug, Clone)]
+pub struct PassThrough;
+
+impl OnlineScheduler for PassThrough {
+    fn reset(&mut self) {}
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        vec![step]
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "pass-through"
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Complete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_model::ids::TxnId;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    /// A scheduler that delays every step of T2 until input ends.
+    struct DelayT2 {
+        pending: Vec<StepId>,
+    }
+
+    impl OnlineScheduler for DelayT2 {
+        fn reset(&mut self) {
+            self.pending.clear();
+        }
+
+        fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+            if step.txn == TxnId(1) {
+                self.pending.push(step);
+                Vec::new()
+            } else {
+                vec![step]
+            }
+        }
+
+        fn finish(&mut self) -> Vec<StepId> {
+            std::mem::take(&mut self.pending)
+        }
+
+        fn name(&self) -> &str {
+            "delay-T2"
+        }
+
+        fn info(&self) -> InfoLevel {
+            InfoLevel::FormatOnly
+        }
+    }
+
+    #[test]
+    fn pass_through_is_identity_with_no_delays() {
+        let mut s = PassThrough;
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let run = run_scheduler(&mut s, &h);
+        assert_eq!(run.output, h);
+        assert!(run.no_delays);
+        assert_eq!(run.delayed_requests, 0);
+        assert_eq!(run.total_wait, 0);
+    }
+
+    #[test]
+    fn delaying_scheduler_reorders_and_reports_waits() {
+        let mut s = DelayT2 { pending: vec![] };
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let run = run_scheduler(&mut s, &h);
+        assert_eq!(
+            run.output,
+            Schedule::new_unchecked(vec![sid(0, 0), sid(0, 1), sid(1, 0)])
+        );
+        assert!(!run.no_delays);
+        assert_eq!(run.delayed_requests, 1);
+        assert_eq!(run.total_wait, 1); // T2,1 arrived at 1, granted at 2
+    }
+
+    #[test]
+    fn histories_without_t2_are_fixpoints_of_delay_t2() {
+        let mut s = DelayT2 { pending: vec![] };
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(0, 1)]);
+        let run = run_scheduler(&mut s, &h);
+        assert!(run.no_delays);
+        assert_eq!(run.output, h);
+    }
+
+    #[test]
+    fn apply_returns_the_output_schedule() {
+        let mut s = DelayT2 { pending: vec![] };
+        let h = Schedule::new_unchecked(vec![sid(1, 0), sid(0, 0)]);
+        let out = apply(&mut s, &h);
+        assert_eq!(out.steps(), &[sid(0, 0), sid(1, 0)]);
+    }
+}

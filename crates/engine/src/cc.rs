@@ -1,0 +1,703 @@
+//! Pluggable concurrency control for the engine.
+//!
+//! Each implementation answers three questions: may this step run now, may
+//! this transaction commit, and what happens on abort. The five classical
+//! mechanisms are provided; each corresponds to one scheduler of
+//! `ccopt-schedulers`, but here with real abort/rollback/restart dynamics.
+
+use ccopt_model::ids::{TxnId, VarId};
+use ccopt_model::syntax::StepKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Decision for a step or commit request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CcDecision {
+    /// Execute now.
+    Proceed,
+    /// Block; retry after other transactions make progress.
+    Wait,
+    /// Abort the requesting transaction (rollback and restart).
+    Abort,
+}
+
+/// A concurrency-control mechanism.
+pub trait ConcurrencyControl {
+    /// A transaction (re)starts; `tick` is a monotone engine clock.
+    fn begin(&mut self, t: TxnId, tick: u64);
+
+    /// A transaction wants to execute a step on `var`.
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision;
+
+    /// A transaction wants to commit.
+    fn on_commit(&mut self, t: TxnId, tick: u64) -> CcDecision;
+
+    /// Cleanup after a successful commit.
+    fn after_commit(&mut self, t: TxnId);
+
+    /// Cleanup after an abort (locks released, footprints dropped).
+    fn on_abort(&mut self, t: TxnId);
+
+    /// Name for reports.
+    fn name(&self) -> &str;
+
+    /// When true, the engine buffers the transaction's writes locally and
+    /// applies them to storage only at commit (OCC's write phase). When
+    /// false, writes go to storage immediately and aborts restore
+    /// before-images.
+    fn defers_writes(&self) -> bool {
+        false
+    }
+}
+
+// --------------------------------------------------------------------------
+// Serial: one global token.
+// --------------------------------------------------------------------------
+
+/// The introduction's strawman: a single global token; only the holder may
+/// execute, everyone else waits.
+#[derive(Default, Debug)]
+pub struct SerialCc {
+    holder: Option<TxnId>,
+}
+
+impl ConcurrencyControl for SerialCc {
+    fn begin(&mut self, _t: TxnId, _tick: u64) {}
+
+    fn on_step(&mut self, t: TxnId, _var: VarId, _kind: StepKind) -> CcDecision {
+        match self.holder {
+            None => {
+                self.holder = Some(t);
+                CcDecision::Proceed
+            }
+            Some(h) if h == t => CcDecision::Proceed,
+            Some(_) => CcDecision::Wait,
+        }
+    }
+
+    fn on_commit(&mut self, _t: TxnId, _tick: u64) -> CcDecision {
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        if self.holder == Some(t) {
+            self.holder = None;
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        if self.holder == Some(t) {
+            self.holder = None;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "serial"
+    }
+}
+
+// --------------------------------------------------------------------------
+// Strict two-phase locking with deadlock-victim abort.
+// --------------------------------------------------------------------------
+
+/// Strict 2PL: exclusive lock per variable acquired at first access, all
+/// locks held to commit; a lock request that would close a waits-for cycle
+/// aborts the requester.
+#[derive(Default, Debug)]
+pub struct Strict2plCc {
+    /// Lock table: variable -> holder.
+    locks: BTreeMap<VarId, TxnId>,
+    /// Current waits: waiter -> holder.
+    waits: BTreeMap<TxnId, TxnId>,
+    /// Locks held per transaction.
+    held: BTreeMap<TxnId, BTreeSet<VarId>>,
+}
+
+impl Strict2plCc {
+    fn would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
+        // Follow the waits-for chain from `holder`; a path back to `waiter`
+        // means adding this edge closes a cycle.
+        let mut cur = holder;
+        let mut hops = 0;
+        while let Some(&next) = self.waits.get(&cur) {
+            if next == waiter {
+                return true;
+            }
+            cur = next;
+            hops += 1;
+            if hops > self.waits.len() {
+                break; // defensive: existing cycle not involving waiter
+            }
+        }
+        cur == waiter
+    }
+}
+
+impl ConcurrencyControl for Strict2plCc {
+    fn begin(&mut self, t: TxnId, _tick: u64) {
+        self.waits.remove(&t);
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, _kind: StepKind) -> CcDecision {
+        match self.locks.get(&var) {
+            None => {
+                self.locks.insert(var, t);
+                self.held.entry(t).or_default().insert(var);
+                self.waits.remove(&t);
+                CcDecision::Proceed
+            }
+            Some(&h) if h == t => {
+                self.waits.remove(&t);
+                CcDecision::Proceed
+            }
+            Some(&h) => {
+                if self.would_deadlock(t, h) {
+                    self.waits.remove(&t);
+                    CcDecision::Abort
+                } else {
+                    self.waits.insert(t, h);
+                    CcDecision::Wait
+                }
+            }
+        }
+    }
+
+    fn on_commit(&mut self, _t: TxnId, _tick: u64) -> CcDecision {
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        self.release_all(t);
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.release_all(t);
+    }
+
+    fn name(&self) -> &str {
+        "strict-2PL"
+    }
+}
+
+impl Strict2plCc {
+    fn release_all(&mut self, t: TxnId) {
+        if let Some(vars) = self.held.remove(&t) {
+            for v in vars {
+                self.locks.remove(&v);
+            }
+        }
+        self.waits.remove(&t);
+        // Anyone who waited on t will retry and re-insert their edges.
+        self.waits.retain(|_, holder| *holder != t);
+    }
+}
+
+// --------------------------------------------------------------------------
+// Serialization-graph testing.
+// --------------------------------------------------------------------------
+
+/// SGT: maintain the conflict graph over live and committed transactions;
+/// an access that would close a cycle aborts the requester. For
+/// recoverability the engine-level SGT is *strict*: accessing a variable
+/// whose last writer is still live makes the requester wait for the commit
+/// (a wait cycle aborts the requester).
+#[derive(Default, Debug)]
+pub struct SgtCc {
+    /// Per variable: access log of (txn, kind), non-aborted entries only.
+    log: BTreeMap<VarId, Vec<(TxnId, StepKind)>>,
+    /// Edges of the serialization graph.
+    edges: BTreeSet<(TxnId, TxnId)>,
+    /// Live transactions (cleared on abort; kept on commit).
+    live: BTreeSet<TxnId>,
+    /// Last uncommitted writer per variable.
+    dirty: BTreeMap<VarId, TxnId>,
+    /// Commit-waits: waiter -> live writer.
+    waits: BTreeMap<TxnId, TxnId>,
+}
+
+impl SgtCc {
+    fn has_cycle_with(&self, extra: &[(TxnId, TxnId)]) -> bool {
+        // DFS over the union of edges.
+        let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
+        for &(a, b) in self.edges.iter().chain(extra) {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let succ = |u: TxnId| -> Vec<TxnId> {
+            self.edges
+                .iter()
+                .chain(extra)
+                .filter(|&&(a, _)| a == u)
+                .map(|&(_, b)| b)
+                .collect()
+        };
+        #[derive(PartialEq, Clone, Copy)]
+        enum C {
+            W,
+            G,
+            B,
+        }
+        let idx: BTreeMap<TxnId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut color = vec![C::W; nodes.len()];
+        fn dfs(
+            u: TxnId,
+            succ: &dyn Fn(TxnId) -> Vec<TxnId>,
+            idx: &BTreeMap<TxnId, usize>,
+            color: &mut [C],
+        ) -> bool {
+            color[idx[&u]] = C::G;
+            for v in succ(u) {
+                match color[idx[&v]] {
+                    C::G => return true,
+                    C::W => {
+                        if dfs(v, succ, idx, color) {
+                            return true;
+                        }
+                    }
+                    C::B => {}
+                }
+            }
+            color[idx[&u]] = C::B;
+            false
+        }
+        for &n in &nodes {
+            if color[idx[&n]] == C::W && dfs(n, &succ, &idx, &mut color) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl SgtCc {
+    fn wait_would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
+        let mut cur = holder;
+        let mut hops = 0;
+        loop {
+            if cur == waiter {
+                return true;
+            }
+            match self.waits.get(&cur) {
+                Some(&next) => cur = next,
+                None => return false,
+            }
+            hops += 1;
+            if hops > self.waits.len() + 1 {
+                return false;
+            }
+        }
+    }
+}
+
+impl ConcurrencyControl for SgtCc {
+    fn begin(&mut self, t: TxnId, _tick: u64) {
+        self.live.insert(t);
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
+        // Strictness: the last writer must have committed before anyone
+        // else touches the variable.
+        if let Some(&w) = self.dirty.get(&var) {
+            if w != t && self.live.contains(&w) {
+                if self.wait_would_deadlock(t, w) {
+                    self.waits.remove(&t);
+                    return CcDecision::Abort;
+                }
+                self.waits.insert(t, w);
+                return CcDecision::Wait;
+            }
+        }
+        let new_edges: Vec<(TxnId, TxnId)> = self
+            .log
+            .get(&var)
+            .map(|log| {
+                log.iter()
+                    .filter(|&&(u, k)| u != t && k.conflicts_with(kind))
+                    .map(|&(u, _)| (u, t))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if self.has_cycle_with(&new_edges) {
+            return CcDecision::Abort;
+        }
+        self.edges.extend(new_edges);
+        self.log.entry(var).or_default().push((t, kind));
+        if kind.writes() {
+            self.dirty.insert(var, t);
+        }
+        self.waits.remove(&t);
+        CcDecision::Proceed
+    }
+
+    fn on_commit(&mut self, _t: TxnId, _tick: u64) -> CcDecision {
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        self.live.remove(&t);
+        self.dirty.retain(|_, w| *w != t);
+        self.waits.remove(&t);
+        self.waits.retain(|_, h| *h != t);
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.live.remove(&t);
+        for log in self.log.values_mut() {
+            log.retain(|&(u, _)| u != t);
+        }
+        self.edges.retain(|&(a, b)| a != t && b != t);
+        self.dirty.retain(|_, w| *w != t);
+        self.waits.remove(&t);
+        self.waits.retain(|_, h| *h != t);
+    }
+
+    fn name(&self) -> &str {
+        "SGT"
+    }
+}
+
+// --------------------------------------------------------------------------
+// Timestamp ordering.
+// --------------------------------------------------------------------------
+
+/// Basic T/O: late conflicting accesses abort; restarts get fresh stamps.
+/// Strict for recoverability: touching a variable whose last writer is
+/// still live waits for that commit (wait cycles abort the requester).
+#[derive(Default, Debug)]
+pub struct TimestampCc {
+    next: u64,
+    stamp: BTreeMap<TxnId, u64>,
+    read_stamp: BTreeMap<VarId, u64>,
+    write_stamp: BTreeMap<VarId, u64>,
+    live: BTreeSet<TxnId>,
+    dirty: BTreeMap<VarId, TxnId>,
+    waits: BTreeMap<TxnId, TxnId>,
+}
+
+impl TimestampCc {
+    fn wait_would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
+        let mut cur = holder;
+        let mut hops = 0;
+        loop {
+            if cur == waiter {
+                return true;
+            }
+            match self.waits.get(&cur) {
+                Some(&next) => cur = next,
+                None => return false,
+            }
+            hops += 1;
+            if hops > self.waits.len() + 1 {
+                return false;
+            }
+        }
+    }
+}
+
+impl ConcurrencyControl for TimestampCc {
+    fn begin(&mut self, t: TxnId, _tick: u64) {
+        self.next += 1;
+        self.stamp.insert(t, self.next);
+        self.live.insert(t);
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
+        let ts = self.stamp[&t];
+        let rts = self.read_stamp.get(&var).copied().unwrap_or(0);
+        let wts = self.write_stamp.get(&var).copied().unwrap_or(0);
+        if kind.reads() && ts < wts {
+            return CcDecision::Abort;
+        }
+        if kind.writes() && (ts < rts || ts < wts) {
+            return CcDecision::Abort;
+        }
+        // Strictness: wait for a live writer's commit before touching the
+        // value it produced.
+        if let Some(&w) = self.dirty.get(&var) {
+            if w != t && self.live.contains(&w) {
+                if self.wait_would_deadlock(t, w) {
+                    self.waits.remove(&t);
+                    return CcDecision::Abort;
+                }
+                self.waits.insert(t, w);
+                return CcDecision::Wait;
+            }
+        }
+        if kind.reads() {
+            self.read_stamp.insert(var, rts.max(ts));
+        }
+        if kind.writes() {
+            self.write_stamp.insert(var, wts.max(ts));
+            self.dirty.insert(var, t);
+        }
+        self.waits.remove(&t);
+        CcDecision::Proceed
+    }
+
+    fn on_commit(&mut self, _t: TxnId, _tick: u64) -> CcDecision {
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        self.stamp.remove(&t);
+        self.live.remove(&t);
+        self.dirty.retain(|_, w| *w != t);
+        self.waits.remove(&t);
+        self.waits.retain(|_, h| *h != t);
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.stamp.remove(&t);
+        self.live.remove(&t);
+        self.dirty.retain(|_, w| *w != t);
+        self.waits.remove(&t);
+        self.waits.retain(|_, h| *h != t);
+        // The variable stamps stay — standard T/O conservatism.
+    }
+
+    fn name(&self) -> &str {
+        "T/O"
+    }
+}
+
+// --------------------------------------------------------------------------
+// Optimistic concurrency control.
+// --------------------------------------------------------------------------
+
+/// OCC with backward validation: reads and writes always proceed (writes go
+/// to the store but are undone on abort by the engine's rollback); at
+/// commit the transaction validates against the write sets of transactions
+/// that committed after it began.
+#[derive(Default, Debug)]
+pub struct OccCc {
+    start: BTreeMap<TxnId, u64>,
+    access: BTreeMap<TxnId, BTreeSet<VarId>>,
+    writes: BTreeMap<TxnId, BTreeSet<VarId>>,
+    committed: Vec<(u64, BTreeSet<VarId>)>,
+}
+
+impl ConcurrencyControl for OccCc {
+    fn begin(&mut self, t: TxnId, tick: u64) {
+        self.start.insert(t, tick);
+        self.access.insert(t, BTreeSet::new());
+        self.writes.insert(t, BTreeSet::new());
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
+        self.access.entry(t).or_default().insert(var);
+        if kind.writes() {
+            self.writes.entry(t).or_default().insert(var);
+        }
+        CcDecision::Proceed
+    }
+
+    fn on_commit(&mut self, t: TxnId, tick: u64) -> CcDecision {
+        let start = self.start.get(&t).copied().unwrap_or(0);
+        let accessed = self.access.entry(t).or_default().clone();
+        for (commit_tick, writes) in &self.committed {
+            if *commit_tick > start && writes.intersection(&accessed).next().is_some() {
+                return CcDecision::Abort;
+            }
+        }
+        let w = self.writes.entry(t).or_default().clone();
+        self.committed.push((tick, w));
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        self.start.remove(&t);
+        self.access.remove(&t);
+        self.writes.remove(&t);
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.start.remove(&t);
+        self.access.remove(&t);
+        self.writes.remove(&t);
+    }
+
+    fn name(&self) -> &str {
+        "OCC"
+    }
+
+    fn defers_writes(&self) -> bool {
+        true // the Kung-Robinson write phase happens at commit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TxnId {
+        TxnId(i)
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn serial_cc_gives_token_to_one_txn() {
+        let mut cc = SerialCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_step(t(1), v(1), StepKind::Update), CcDecision::Wait);
+        assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn strict_2pl_detects_two_cycle() {
+        let mut cc = Strict2plCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_step(t(0), v(1), StepKind::Update), CcDecision::Wait);
+        // T1 -> waits for T0's v0 while T0 waits for T1's v1: deadlock.
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(1));
+        // After the victim aborts, T0 can take v1.
+        assert_eq!(
+            cc.on_step(t(0), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn sgt_cc_strictness_waits_and_deadlock_aborts() {
+        let mut cc = SgtCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // T0 touches v1 whose live writer is T1: strictness -> wait.
+        assert_eq!(cc.on_step(t(0), v(1), StepKind::Update), CcDecision::Wait);
+        // T1 touches v0 whose live writer is T0: wait cycle -> abort.
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(1));
+        // With T1 gone, T0's retry proceeds (v1 is clean now).
+        assert_eq!(
+            cc.on_step(t(0), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        // A fresh T1 then runs serially after T0.
+        cc.begin(t(1), 1);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn sgt_cc_aborts_on_conflict_cycle_with_committed_txn() {
+        // Cycles through *committed* transactions cannot wait their way
+        // out: they abort. T0 reads v0; T1 overwrites v0 (edge T0 -> T1)
+        // and commits; T0's own later write of v0 would add T1 -> T0,
+        // closing the cycle.
+        let mut cc = SgtCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+    }
+
+    #[test]
+    fn timestamp_cc_aborts_latecomers() {
+        let mut cc = TimestampCc::default();
+        cc.begin(t(0), 0); // stamp 1
+        cc.begin(t(1), 0); // stamp 2
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // Older T0 now conflicts with younger T1's write: abort.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(0));
+        // Restart gets a fresh, younger stamp — but waits for the live
+        // writer T1 (strictness), proceeding once T1 commits.
+        cc.begin(t(0), 1); // stamp 3
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Wait);
+        assert_eq!(cc.on_commit(t(1), 2), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn timestamp_cc_allows_read_read() {
+        let mut cc = TimestampCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn occ_validates_against_concurrent_writers() {
+        let mut cc = OccCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // T0 read v0 before T1's commit: backward validation fails.
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Abort);
+        cc.on_abort(t(0));
+        cc.begin(t(0), 2);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 3), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn occ_disjoint_txns_commit() {
+        let mut cc = OccCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        cc.on_step(t(0), v(0), StepKind::Update);
+        cc.on_step(t(1), v(1), StepKind::Update);
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+    }
+}

@@ -1,0 +1,402 @@
+//! The database: step execution, commit, rollback, restart.
+
+use crate::cc::{CcDecision, ConcurrencyControl};
+use crate::metrics::Metrics;
+use crate::storage::Storage;
+use ccopt_model::ids::{StepId, TxnId, VarId};
+use ccopt_model::state::GlobalState;
+use ccopt_model::system::TransactionSystem;
+use ccopt_model::value::Value;
+use std::collections::BTreeMap;
+
+/// Runtime state of one transaction.
+#[derive(Clone, Debug)]
+struct RunTxn {
+    next_step: u32,
+    locals: Vec<Option<Value>>,
+    undo: Vec<(VarId, Value)>,
+    /// Local write buffer, used when the CC defers writes (OCC).
+    wbuf: BTreeMap<VarId, Value>,
+    committed: bool,
+    attempts: u32,
+}
+
+/// Outcome of attempting one step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The step executed (and the transaction committed if it was the last).
+    Executed {
+        /// Did this step complete and commit the transaction?
+        committed: bool,
+    },
+    /// The concurrency control said wait; nothing changed.
+    Waited,
+    /// The transaction aborted and was rolled back; it will restart.
+    Aborted,
+    /// The transaction is already committed.
+    AlreadyCommitted,
+}
+
+/// Statistics of a full run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunStats {
+    /// Engine counters.
+    pub metrics: Metrics,
+    /// Scheduling rounds used.
+    pub rounds: usize,
+}
+
+/// An in-memory database executing one transaction system instance.
+pub struct Database {
+    sys: TransactionSystem,
+    storage: Storage,
+    cc: Box<dyn ConcurrencyControl>,
+    txns: Vec<RunTxn>,
+    tick: u64,
+    /// Counters (public for the simulator).
+    pub metrics: Metrics,
+}
+
+impl Database {
+    /// Create a database over `sys` starting from `init`, using `cc`.
+    pub fn new(sys: TransactionSystem, cc: Box<dyn ConcurrencyControl>, init: GlobalState) -> Self {
+        let format = sys.format();
+        let txns = format
+            .iter()
+            .map(|&m| RunTxn {
+                next_step: 0,
+                locals: vec![None; m as usize],
+                undo: Vec::new(),
+                wbuf: BTreeMap::new(),
+                committed: false,
+                attempts: 0,
+            })
+            .collect();
+        let mut db = Database {
+            sys,
+            storage: Storage::new(init),
+            cc,
+            txns,
+            tick: 0,
+            metrics: Metrics::default(),
+        };
+        for i in 0..db.txns.len() {
+            db.txns[i].attempts = 1;
+            db.cc.begin(TxnId(i as u32), db.tick);
+        }
+        db
+    }
+
+    /// The concurrency control's name.
+    pub fn cc_name(&self) -> String {
+        self.cc.name().to_string()
+    }
+
+    /// Current global state.
+    pub fn globals(&self) -> GlobalState {
+        self.storage.snapshot()
+    }
+
+    /// Has every transaction committed?
+    pub fn all_committed(&self) -> bool {
+        self.txns.iter().all(|t| t.committed)
+    }
+
+    /// Is transaction `t` committed?
+    pub fn committed(&self, t: TxnId) -> bool {
+        self.txns[t.index()].committed
+    }
+
+    /// Number of restart attempts of `t` so far (1 = first run).
+    pub fn attempts(&self, t: TxnId) -> u32 {
+        self.txns[t.index()].attempts
+    }
+
+    /// Attempt the next step of transaction `t`.
+    pub fn step(&mut self, t: TxnId) -> StepOutcome {
+        let ti = t.index();
+        if self.txns[ti].committed {
+            return StepOutcome::AlreadyCommitted;
+        }
+        let m = self.sys.format()[ti];
+        let j = self.txns[ti].next_step;
+        debug_assert!(j < m);
+        let step_id = StepId { txn: t, idx: j };
+        let sx = self.sys.syntax.step(step_id);
+
+        match self.cc.on_step(t, sx.var, sx.kind) {
+            CcDecision::Wait => {
+                self.metrics.waits += 1;
+                return StepOutcome::Waited;
+            }
+            CcDecision::Abort => {
+                self.abort(t);
+                return StepOutcome::Aborted;
+            }
+            CcDecision::Proceed => {}
+        }
+
+        // Execute: t_ij <- x ; x <- rho(t_i1..t_ij). With deferred writes
+        // (OCC), reads see the transaction's own buffered writes first and
+        // writes stay in the buffer until the commit-time write phase.
+        let deferred = self.cc.defers_writes();
+        let read = if deferred {
+            self.txns[ti]
+                .wbuf
+                .get(&sx.var)
+                .copied()
+                .unwrap_or_else(|| self.storage.get(sx.var))
+        } else {
+            self.storage.get(sx.var)
+        };
+        self.txns[ti].locals[j as usize] = Some(read);
+        let args: Vec<Value> = self.txns[ti].locals[..=j as usize]
+            .iter()
+            .map(|v| v.expect("locals filled in order"))
+            .collect();
+        let new_value = self
+            .sys
+            .interp
+            .apply(step_id, &args)
+            .expect("engine systems use total interpretations");
+        if deferred {
+            self.txns[ti].wbuf.insert(sx.var, new_value);
+        } else {
+            let prev = self.storage.set(sx.var, new_value);
+            self.txns[ti].undo.push((sx.var, prev));
+        }
+        self.txns[ti].next_step += 1;
+        self.metrics.steps_executed += 1;
+        self.tick += 1;
+
+        // Commit at the last step.
+        if self.txns[ti].next_step == m {
+            match self.cc.on_commit(t, self.tick) {
+                CcDecision::Proceed => {
+                    // Write phase for deferred-write CCs.
+                    let wbuf = std::mem::take(&mut self.txns[ti].wbuf);
+                    for (var, value) in wbuf {
+                        self.storage.set(var, value);
+                    }
+                    self.txns[ti].committed = true;
+                    self.cc.after_commit(t);
+                    self.metrics.commits += 1;
+                    StepOutcome::Executed { committed: true }
+                }
+                CcDecision::Abort => {
+                    self.abort(t);
+                    StepOutcome::Aborted
+                }
+                CcDecision::Wait => {
+                    // Commit-waiting is treated as a wait of the final step:
+                    // roll the step back so it can retry cleanly.
+                    self.rollback_last_step(t);
+                    self.metrics.waits += 1;
+                    StepOutcome::Waited
+                }
+            }
+        } else {
+            StepOutcome::Executed { committed: false }
+        }
+    }
+
+    fn rollback_last_step(&mut self, t: TxnId) {
+        let ti = t.index();
+        if let Some((var, prev)) = self.txns[ti].undo.pop() {
+            self.storage.set(var, prev);
+            self.txns[ti].next_step -= 1;
+            let j = self.txns[ti].next_step;
+            self.txns[ti].locals[j as usize] = None;
+        }
+    }
+
+    /// Abort `t`: undo its writes, reset it, notify the CC, restart.
+    fn abort(&mut self, t: TxnId) {
+        let ti = t.index();
+        let undo = std::mem::take(&mut self.txns[ti].undo);
+        self.storage.undo(&undo);
+        self.txns[ti].wbuf.clear();
+        self.txns[ti].next_step = 0;
+        self.txns[ti].locals.iter_mut().for_each(|l| *l = None);
+        self.cc.on_abort(t);
+        self.metrics.aborts += 1;
+        self.tick += 1;
+        // Restart immediately with a fresh CC context.
+        self.txns[ti].attempts += 1;
+        self.cc.begin(t, self.tick);
+    }
+
+    /// Drive the database with a round-robin policy biased by `order`:
+    /// repeatedly walk `order`, attempting one step of each uncommitted
+    /// transaction, until everything commits. Returns `None` if progress
+    /// stalls for `max_rounds` full sweeps (should not happen with the
+    /// provided CC mechanisms, which always abort someone on deadlock).
+    pub fn run_round_robin(&mut self, order: &[TxnId], max_rounds: usize) -> Option<RunStats> {
+        let mut rounds = 0;
+        while !self.all_committed() {
+            rounds += 1;
+            if rounds > max_rounds {
+                return None;
+            }
+            let mut progressed = false;
+            for &t in order {
+                if self.committed(t) {
+                    continue;
+                }
+                match self.step(t) {
+                    StepOutcome::Executed { .. } | StepOutcome::Aborted => progressed = true,
+                    StepOutcome::Waited | StepOutcome::AlreadyCommitted => {}
+                }
+            }
+            if !progressed {
+                // Everyone waited: let the CC break the tie by aborting the
+                // first waiter (live-lock safety valve; strict 2PL's cycle
+                // detection normally prevents reaching here).
+                if let Some(t) = (0..self.txns.len())
+                    .map(|i| TxnId(i as u32))
+                    .find(|&t| !self.committed(t))
+                {
+                    self.abort(t);
+                }
+            }
+        }
+        Some(RunStats {
+            metrics: self.metrics,
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+    use ccopt_model::exec::Executor;
+    use ccopt_model::ids::VarId;
+    use ccopt_model::systems;
+    use ccopt_schedule::schedule::permutations;
+
+    fn all_ccs() -> Vec<Box<dyn ConcurrencyControl>> {
+        vec![
+            Box::new(SerialCc::default()),
+            Box::new(Strict2plCc::default()),
+            Box::new(SgtCc::default()),
+            Box::new(TimestampCc::default()),
+            Box::new(OccCc::default()),
+        ]
+    }
+
+    /// Every CC must produce a final state equal to SOME serial execution
+    /// (state-level serializability), for every round-robin order.
+    #[test]
+    fn every_cc_is_state_serializable_on_fig3() {
+        let sys = systems::fig3_pair();
+        let init = sys.space.initial_states[0].clone();
+        // Precompute serial outcomes.
+        let ex = Executor::new(&sys);
+        let ids: Vec<TxnId> = (0..sys.num_txns() as u32).map(TxnId).collect();
+        let serial_states: Vec<GlobalState> = permutations(&ids)
+            .into_iter()
+            .map(|order| ex.run_concatenation(init.clone(), &order).unwrap())
+            .collect();
+        for order in permutations(&ids) {
+            for cc in all_ccs() {
+                let name = cc.name().to_string();
+                let mut db = Database::new(sys.clone(), cc, init.clone());
+                let stats = db
+                    .run_round_robin(&order, 1000)
+                    .unwrap_or_else(|| panic!("{name} stalled"));
+                assert!(stats.metrics.commits >= 2);
+                let fin = db.globals();
+                assert!(
+                    serial_states.contains(&fin),
+                    "{name} produced non-serializable state {fin} for order {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_increments_are_never_lost() {
+        // n transactions x steps incrementing one variable: final value
+        // must be exactly n*steps under every CC.
+        let sys = systems::hotspot(3, 2);
+        let init = GlobalState::from_ints(&[0]);
+        let ids: Vec<TxnId> = (0..3u32).map(TxnId).collect();
+        for cc in all_ccs() {
+            let name = cc.name().to_string();
+            let mut db = Database::new(sys.clone(), cc, init.clone());
+            db.run_round_robin(&ids, 1000)
+                .unwrap_or_else(|| panic!("{name} stalled"));
+            assert_eq!(
+                db.globals().get(VarId(0)),
+                Some(Value::Int(6)),
+                "{name} lost updates"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_2pl_resolves_the_fig3_deadlock_by_abort() {
+        let sys = systems::fig3_pair();
+        let init = sys.space.initial_states[0].clone();
+        let mut db = Database::new(sys, Box::new(Strict2plCc::default()), init);
+        // Interleave so both take their first lock: T1 x, T2 y, then cross.
+        db.step(TxnId(0)); // T1: x
+        db.step(TxnId(1)); // T2: y
+        let a = db.step(TxnId(0)); // T1 wants y -> wait
+        assert_eq!(a, StepOutcome::Waited);
+        let b = db.step(TxnId(1)); // T2 wants x -> deadlock -> abort
+        assert_eq!(b, StepOutcome::Aborted);
+        assert!(db.metrics.aborts >= 1);
+        // Finish everything.
+        db.run_round_robin(&[TxnId(0), TxnId(1)], 1000).unwrap();
+        assert!(db.all_committed());
+    }
+
+    #[test]
+    fn aborted_transaction_leaves_no_trace() {
+        let sys = systems::fig3_pair();
+        let init = sys.space.initial_states[0].clone();
+        let mut db = Database::new(sys.clone(), Box::new(Strict2plCc::default()), init.clone());
+        db.step(TxnId(0));
+        db.step(TxnId(1));
+        db.step(TxnId(0));
+        db.step(TxnId(1)); // T2 aborts
+                           // T2's write to y must be rolled back: finish only T1 and compare
+                           // with T1 running alone.
+        while !db.committed(TxnId(0)) {
+            db.step(TxnId(0));
+        }
+        let ex = Executor::new(&sys);
+        let solo = ex.run_transaction(init, TxnId(0)).unwrap();
+        assert_eq!(db.globals(), solo.globals);
+        assert!(db.attempts(TxnId(1)) >= 2);
+    }
+
+    #[test]
+    fn banking_consistency_preserved_under_all_ccs() {
+        let sys = systems::banking();
+        let ids: Vec<TxnId> = (0..3u32).map(TxnId).collect();
+        for init in sys.space.initial_states.clone() {
+            for cc in all_ccs() {
+                let name = cc.name().to_string();
+                let mut db = Database::new(sys.clone(), cc, init.clone());
+                db.run_round_robin(&ids, 2000)
+                    .unwrap_or_else(|| panic!("{name} stalled"));
+                assert!(
+                    sys.ic.is_consistent(&db.globals()),
+                    "{name} broke the banking invariant from {init}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_reports_stall_with_tiny_budget() {
+        let sys = systems::fig3_pair();
+        let init = sys.space.initial_states[0].clone();
+        let mut db = Database::new(sys, Box::new(SerialCc::default()), init);
+        assert!(db.run_round_robin(&[TxnId(0), TxnId(1)], 0).is_none());
+    }
+}

@@ -1,0 +1,27 @@
+//! # `ccopt-engine` — the database substrate
+//!
+//! The paper assumes "a database system time-shared among multiple users".
+//! This crate is that substrate: an in-memory store executing the
+//! transaction programs of `ccopt-model` under a pluggable concurrency
+//! control, with real waits, aborts, rollback and restarts — the dynamics
+//! the order-theoretic scheduler view abstracts away and the Section 6
+//! simulator needs back.
+//!
+//! * [`storage`] — the value store with undo support;
+//! * [`cc`] — the [`ConcurrencyControl`] trait and
+//!   its implementations: global-token serial execution, strict 2PL with
+//!   deadlock-cycle victim abort, SGT (abort on serialization-graph cycle),
+//!   timestamp ordering (abort on late conflict), and OCC with backward
+//!   validation;
+//! * [`db`] — the [`Database`]: step execution, commit,
+//!   rollback, restart, and a round-robin driver;
+//! * [`metrics`] — commit/abort/wait counters shared by the simulator.
+
+pub mod cc;
+pub mod db;
+pub mod metrics;
+pub mod storage;
+
+pub use cc::{CcDecision, ConcurrencyControl};
+pub use db::{Database, RunStats, StepOutcome};
+pub use metrics::Metrics;

@@ -1,0 +1,59 @@
+//! Execution counters.
+
+/// Counters collected by the engine and consumed by the simulator's
+/// reports.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Metrics {
+    /// Steps executed (including ones later rolled back).
+    pub steps_executed: usize,
+    /// Steps that had to wait at least once.
+    pub waits: usize,
+    /// Transaction aborts (each restart re-runs the transaction).
+    pub aborts: usize,
+    /// Transaction commits.
+    pub commits: usize,
+}
+
+impl Metrics {
+    /// Abort rate per commit (0 when nothing committed).
+    pub fn abort_rate(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    /// Fraction of executed steps that waited.
+    pub fn wait_rate(&self) -> f64 {
+        if self.steps_executed == 0 {
+            0.0
+        } else {
+            self.waits as f64 / self.steps_executed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let m = Metrics::default();
+        assert_eq!(m.abort_rate(), 0.0);
+        assert_eq!(m.wait_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let m = Metrics {
+            steps_executed: 10,
+            waits: 2,
+            aborts: 1,
+            commits: 4,
+        };
+        assert!((m.abort_rate() - 0.25).abs() < 1e-12);
+        assert!((m.wait_rate() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! The value store with undo support.
+
+use ccopt_model::ids::VarId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::value::Value;
+
+/// In-memory storage for the global variables.
+#[derive(Clone, Debug)]
+pub struct Storage {
+    vals: Vec<Value>,
+}
+
+impl Storage {
+    /// Initialize from a global state.
+    pub fn new(init: GlobalState) -> Self {
+        Storage { vals: init.0 }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True when the store holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Read a variable.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range (syntax validation prevents this).
+    pub fn get(&self, v: VarId) -> Value {
+        self.vals[v.index()]
+    }
+
+    /// Write a variable, returning the previous value (for undo logs).
+    pub fn set(&mut self, v: VarId, value: Value) -> Value {
+        std::mem::replace(&mut self.vals[v.index()], value)
+    }
+
+    /// Snapshot the full state.
+    pub fn snapshot(&self) -> GlobalState {
+        GlobalState(self.vals.clone())
+    }
+
+    /// Apply an undo log (most recent entry last; applied in reverse).
+    pub fn undo(&mut self, log: &[(VarId, Value)]) {
+        for &(v, val) in log.iter().rev() {
+            self.vals[v.index()] = val;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = Storage::new(GlobalState::from_ints(&[1, 2]));
+        assert_eq!(s.get(VarId(0)), Value::Int(1));
+        let prev = s.set(VarId(0), Value::Int(9));
+        assert_eq!(prev, Value::Int(1));
+        assert_eq!(s.get(VarId(0)), Value::Int(9));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn undo_restores_in_reverse_order() {
+        let mut s = Storage::new(GlobalState::from_ints(&[0]));
+        let first = (VarId(0), s.set(VarId(0), Value::Int(1)));
+        let second = (VarId(0), s.set(VarId(0), Value::Int(2)));
+        let log = vec![first, second];
+        assert_eq!(s.get(VarId(0)), Value::Int(2));
+        s.undo(&log);
+        assert_eq!(s.get(VarId(0)), Value::Int(0));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut s = Storage::new(GlobalState::from_ints(&[5]));
+        let snap = s.snapshot();
+        s.set(VarId(0), Value::Int(6));
+        assert_eq!(snap, GlobalState::from_ints(&[5]));
+        assert_eq!(s.snapshot(), GlobalState::from_ints(&[6]));
+    }
+}

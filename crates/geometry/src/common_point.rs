@@ -1,0 +1,208 @@
+//! The common-point criterion for 2PL (Figure 4(d)).
+//!
+//! "The two-phase locking is now extremely easy to explain. It simply keeps
+//! all blocks connected by letting them have a point u in common. The
+//! coordinates u_1, u_2 of u are the phase-shift points, at which all locks
+//! have been granted, and none has been released. It is easy to check that
+//! u is contained by all blocks. This implies that 2PL is correct."
+
+use crate::space::{Block, ProgressSpace};
+use ccopt_locking::locked::{LockedStep, LockedSystem, LockedTransaction};
+use ccopt_model::ids::TxnId;
+
+/// Outcome of the common-point check on a two-transaction progress space.
+#[derive(Clone, Debug)]
+pub struct CommonPointReport {
+    /// The common point, when all blocks share one.
+    pub common_point: Option<(usize, usize)>,
+    /// The phase-shift point `u` (position after the final lock of each
+    /// transaction, before its first unlock), when both transactions are
+    /// two-phase.
+    pub phase_shift: Option<(usize, usize)>,
+    /// The blocks of the space.
+    pub blocks: Vec<Block>,
+}
+
+/// Intersect all blocks; `Some(point)` when the intersection is non-empty
+/// (any point of it is returned — the minimal corner).
+pub fn blocks_common_point(sp: &ProgressSpace) -> Option<(usize, usize)> {
+    if sp.blocks.is_empty() {
+        // Vacuously connected: report the completion point.
+        return Some(sp.completion());
+    }
+    let mut x0 = 0usize;
+    let mut x1 = usize::MAX;
+    let mut y0 = 0usize;
+    let mut y1 = usize::MAX;
+    for b in &sp.blocks {
+        x0 = x0.max(b.x.0);
+        x1 = x1.min(b.x.1);
+        y0 = y0.max(b.y.0);
+        y1 = y1.min(b.y.1);
+    }
+    (x0 <= x1 && y0 <= y1).then_some((x0, y0))
+}
+
+/// The phase-shift progress value of a two-phase locked transaction: the
+/// point right after its final lock step (all locks held, none released).
+/// `None` when the transaction takes no locks or is not two-phase.
+pub fn phase_shift_point(t: &LockedTransaction) -> Option<usize> {
+    if !t.is_two_phase() {
+        return None;
+    }
+    t.steps
+        .iter()
+        .rposition(|s| matches!(s, LockedStep::Lock(_)))
+        .map(|p| p + 1)
+}
+
+/// Full Figure 4(d) analysis of a locked two-transaction system.
+pub fn common_point_report(lts: &LockedSystem) -> CommonPointReport {
+    let sp = ProgressSpace::new(lts, TxnId(0), TxnId(1));
+    let phase_shift = match (
+        phase_shift_point(&lts.txns[0]),
+        phase_shift_point(&lts.txns[1]),
+    ) {
+        (Some(u1), Some(u2)) => Some((u1, u2)),
+        _ => None,
+    };
+    CommonPointReport {
+        common_point: blocks_common_point(&sp),
+        phase_shift,
+        blocks: sp.blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_locking::locked::LockId;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::syntax::SyntaxBuilder;
+    use ccopt_model::systems;
+
+    #[test]
+    fn two_pl_blocks_share_the_phase_shift_point() {
+        // The exact Figure 4(d) statement, on systems where both
+        // transactions contend on every variable.
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .txn("T2", |t| t.update("y").update("x"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let report = common_point_report(&lts);
+        let u = report.phase_shift.expect("2PL is two-phase");
+        let c = report.common_point.expect("blocks must intersect");
+        // The phase-shift point is contained in every block.
+        for b in &report.blocks {
+            assert!(
+                b.contains(u.0, u.1),
+                "phase shift {u:?} outside block {b:?}"
+            );
+        }
+        // And therefore the common intersection is non-empty at or before u.
+        assert!(c.0 <= u.0 && c.1 <= u.1);
+    }
+
+    #[test]
+    fn two_pl_common_point_on_paper_systems() {
+        for sys in [systems::fig3_pair(), systems::fig2_like()] {
+            let lts = TwoPhasePolicy.transform(&sys.syntax);
+            let report = common_point_report(&lts);
+            assert!(
+                report.common_point.is_some(),
+                "{}: 2PL blocks must share a point",
+                sys.name
+            );
+        }
+    }
+
+    #[test]
+    fn early_release_policy_separates_blocks() {
+        // A manual non-2PL locking of the fig3 pattern: each transaction
+        // releases its first lock before acquiring the second. The two
+        // blocks become disjoint — the geometric signature of incorrectness.
+        use ccopt_locking::locked::LockedTransaction;
+        use ccopt_model::ids::StepId;
+        let sys = systems::fig3_pair();
+        let mk = |txn: u32, first: LockId, second: LockId| LockedTransaction {
+            name: format!("T{}", txn + 1),
+            steps: vec![
+                LockedStep::Lock(first),
+                LockedStep::Data(StepId::new(txn, 0)),
+                LockedStep::Unlock(first),
+                LockedStep::Lock(second),
+                LockedStep::Data(StepId::new(txn, 1)),
+                LockedStep::Unlock(second),
+            ],
+        };
+        let lts = LockedSystem {
+            base: sys.syntax.clone(),
+            lock_names: vec!["X".into(), "Y".into()],
+            lock_of_var: vec![Some(LockId(0)), Some(LockId(1))],
+            txns: vec![mk(0, LockId(0), LockId(1)), mk(1, LockId(1), LockId(0))],
+            policy_name: "early-release".into(),
+        };
+        lts.validate().unwrap();
+        let report = common_point_report(&lts);
+        assert!(report.common_point.is_none(), "blocks should be disjoint");
+        // And indeed the policy emits a non-serializable schedule.
+        let err =
+            ccopt_locking::analysis::outputs_serializable(&sys.syntax, &FixedPolicy(lts.clone()));
+        assert!(
+            err.is_err(),
+            "separated blocks must admit incorrect outputs"
+        );
+    }
+
+    /// A "policy" that returns a fixed locked system (test helper).
+    struct FixedPolicy(LockedSystem);
+
+    impl LockingPolicy for FixedPolicy {
+        fn transform(&self, _base: &ccopt_model::syntax::Syntax) -> LockedSystem {
+            self.0.clone()
+        }
+
+        fn is_separable(&self) -> bool {
+            true
+        }
+
+        fn is_renaming_invariant(&self) -> bool {
+            false
+        }
+
+        fn info(&self) -> ccopt_core::info::InfoLevel {
+            ccopt_core::info::InfoLevel::Syntactic
+        }
+
+        fn name(&self) -> &str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn no_blocks_reports_completion_point() {
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x"))
+            .txn("T2", |t| t.update("y"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        assert_eq!(blocks_common_point(&sp), Some(sp.completion()));
+    }
+
+    #[test]
+    fn phase_shift_requires_two_phase() {
+        let t = LockedTransaction {
+            name: "T".into(),
+            steps: vec![
+                LockedStep::Lock(LockId(0)),
+                LockedStep::Unlock(LockId(0)),
+                LockedStep::Lock(LockId(1)),
+                LockedStep::Unlock(LockId(1)),
+            ],
+        };
+        assert_eq!(phase_shift_point(&t), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! Progress curves and schedule step functions.
+//!
+//! "The joint progress of T_1 and T_2 is represented by a nondecreasing
+//! curve from the origin to the point F that avoids all blocks. [...] A
+//! schedule produced by a scheduler corresponds to a nondecreasing step
+//! function, reflecting the fact that the scheduler grants only one request
+//! at a time."
+
+use crate::space::ProgressSpace;
+use ccopt_locking::locked::LockedSystem;
+use ccopt_locking::lrs::LrsState;
+use ccopt_model::ids::TxnId;
+
+/// A monotone staircase path through the grid: the sequence of grid points
+/// visited, starting at the origin, each move advancing one transaction by
+/// one step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GridPath {
+    /// Visited points, `(a, b)` pairs, origin first.
+    pub points: Vec<(usize, usize)>,
+}
+
+impl GridPath {
+    /// The path of a *locked-step* execution order for two transactions:
+    /// `order[i]` tells which transaction executed the i-th locked step.
+    pub fn from_moves(moves: &[TxnId]) -> Self {
+        let mut points = vec![(0usize, 0usize)];
+        let mut cur = (0usize, 0usize);
+        for &t in moves {
+            if t == TxnId(0) {
+                cur.0 += 1;
+            } else {
+                cur.1 += 1;
+            }
+            points.push(cur);
+        }
+        GridPath { points }
+    }
+
+    /// Does the path avoid every forbidden block of the space?
+    pub fn avoids_blocks(&self, sp: &ProgressSpace) -> bool {
+        self.points.iter().all(|&(a, b)| !sp.forbidden(a, b))
+    }
+
+    /// Does the path reach the completion point `F`?
+    pub fn reaches_completion(&self, sp: &ProgressSpace) -> bool {
+        self.points.last() == Some(&sp.completion())
+    }
+
+    /// Is the path monotone with unit moves (a valid step function)?
+    pub fn is_valid_staircase(&self) -> bool {
+        self.points.first() == Some(&(0, 0))
+            && self.points.windows(2).all(|w| {
+                let ((a0, b0), (a1, b1)) = (w[0], w[1]);
+                (a1 == a0 + 1 && b1 == b0) || (a1 == a0 && b1 == b0 + 1)
+            })
+    }
+}
+
+/// Execute a locked system with two transactions in the given locked-step
+/// order, returning the path; `None` when some move is illegal (blocked
+/// lock), with the prefix path up to the illegal move.
+pub fn execute_moves(lts: &LockedSystem, moves: &[TxnId]) -> Result<GridPath, GridPath> {
+    let mut state = LrsState::new(lts);
+    let mut points = vec![(0usize, 0usize)];
+    for &t in moves {
+        if !state.can_move(lts, t) {
+            return Err(GridPath { points });
+        }
+        state.do_move(lts, t);
+        points.push((state.pos[0], state.pos[1]));
+    }
+    Ok(GridPath { points })
+}
+
+/// Convert a *data-step* schedule of a two-transaction system into a
+/// locked-step move order realizing it, if one exists.
+///
+/// How far each transaction advances through its lock/unlock steps between
+/// data grants is a genuine degree of freedom (releasing early may unblock
+/// the partner; locking late may leave room for it), so this performs a
+/// memoized search over all placements rather than committing to one
+/// discipline. Returns `None` exactly when no legal locked execution
+/// projects to `h` — i.e. `h` is not an LRS output.
+pub fn schedule_to_path(
+    lts: &LockedSystem,
+    h: &ccopt_schedule::schedule::Schedule,
+) -> Option<GridPath> {
+    use ccopt_locking::locked::LockedStep;
+    use std::collections::HashSet;
+
+    // The lock table is a function of the position vector, so (positions,
+    // consumed-prefix) identifies a search state.
+    let mut visited: HashSet<(Vec<usize>, usize)> = HashSet::new();
+
+    fn dfs(
+        lts: &LockedSystem,
+        state: &mut LrsState,
+        h: &[ccopt_model::ids::StepId],
+        k: usize,
+        moves: &mut Vec<TxnId>,
+        visited: &mut HashSet<(Vec<usize>, usize)>,
+    ) -> bool {
+        if state.all_finished(lts) {
+            return k == h.len();
+        }
+        if !visited.insert((state.pos.clone(), k)) {
+            return false;
+        }
+        for i in 0..lts.num_txns() {
+            let t = TxnId(i as u32);
+            let Some(step) = state.next_step(lts, t) else {
+                continue;
+            };
+            // Data steps must follow the projection; lock/unlock steps are
+            // free moves.
+            let allowed = match step {
+                LockedStep::Data(sid) => k < h.len() && h[k] == sid,
+                LockedStep::Lock(_) | LockedStep::Unlock(_) => state.can_move(lts, t),
+            };
+            if !allowed || !state.can_move(lts, t) {
+                continue;
+            }
+            let saved_pos = state.pos[i];
+            let done = state.do_move(lts, t);
+            moves.push(t);
+            let k2 = if matches!(done, LockedStep::Data(_)) {
+                k + 1
+            } else {
+                k
+            };
+            if dfs(lts, state, h, k2, moves, visited) {
+                return true;
+            }
+            moves.pop();
+            state.pos[i] = saved_pos;
+            match done {
+                LockedStep::Lock(x) => state.table[x.index()] = None,
+                LockedStep::Unlock(x) => state.table[x.index()] = Some(t),
+                LockedStep::Data(_) => {}
+            }
+        }
+        false
+    }
+
+    let mut state = LrsState::new(lts);
+    let mut moves: Vec<TxnId> = Vec::new();
+    dfs(lts, &mut state, h.steps(), 0, &mut moves, &mut visited)
+        .then(|| GridPath::from_moves(&moves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ProgressSpace;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::systems;
+    use ccopt_schedule::schedule::Schedule;
+
+    fn setup() -> (LockedSystem, ProgressSpace) {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        (lts, sp)
+    }
+
+    #[test]
+    fn serial_path_is_an_l_shaped_staircase() {
+        let (lts, sp) = setup();
+        let moves: Vec<TxnId> = std::iter::repeat_n(TxnId(0), 6)
+            .chain(std::iter::repeat_n(TxnId(1), 6))
+            .collect();
+        let path = execute_moves(&lts, &moves).unwrap();
+        assert!(path.is_valid_staircase());
+        assert!(path.avoids_blocks(&sp));
+        assert!(path.reaches_completion(&sp));
+    }
+
+    #[test]
+    fn blocked_move_is_rejected_with_prefix() {
+        let (lts, _) = setup();
+        // T1 locks X_x (move 0), T2 locks X_y, T1 data, T2 data, then
+        // T1 tries lock X_y: blocked.
+        let moves = [TxnId(0), TxnId(1), TxnId(0), TxnId(1), TxnId(0)];
+        let err = execute_moves(&lts, &moves).unwrap_err();
+        assert_eq!(err.points.len(), 5); // origin + 4 successful moves
+    }
+
+    #[test]
+    fn schedule_to_path_for_serial_schedule() {
+        let (lts, sp) = setup();
+        let format = [2, 2];
+        let serial = Schedule::serial(&format, &[TxnId(0), TxnId(1)]);
+        let path = schedule_to_path(&lts, &serial).unwrap();
+        assert!(path.is_valid_staircase());
+        assert!(path.avoids_blocks(&sp));
+        assert!(path.reaches_completion(&sp));
+    }
+
+    #[test]
+    fn schedule_to_path_rejects_lock_violating_order() {
+        let (lts, _) = setup();
+        // (T1:x, T2:y, T2:x...) — T2's x needs X_x held by T1 until its
+        // phase shift; the direct execution blocks.
+        let h = Schedule::new_unchecked(vec![
+            StepId::new(0, 0),
+            StepId::new(1, 0),
+            StepId::new(1, 1),
+            StepId::new(0, 1),
+        ]);
+        assert!(schedule_to_path(&lts, &h).is_none());
+    }
+
+    #[test]
+    fn staircase_validation() {
+        let good = GridPath {
+            points: vec![(0, 0), (1, 0), (1, 1)],
+        };
+        assert!(good.is_valid_staircase());
+        let diagonal = GridPath {
+            points: vec![(0, 0), (1, 1)],
+        };
+        assert!(!diagonal.is_valid_staircase());
+        let wrong_origin = GridPath {
+            points: vec![(1, 0), (2, 0)],
+        };
+        assert!(!wrong_origin.is_valid_staircase());
+    }
+}

@@ -1,0 +1,204 @@
+//! The deadlock region `D` (Figure 3).
+//!
+//! "Region D is a deadlock region, in the sense that any progress curve
+//! trapped in the region will not be able to reach F. In fact, this
+//! geometric method was used for the study of deadlocks by Dijkstra
+//! [Coffman et al. 71]."
+//!
+//! A grid point is *doomed* when no monotone block-avoiding path from it
+//! reaches `F`; the deadlock region is the set of doomed points that are
+//! themselves legal (not inside a block) and reachable from the origin.
+
+use crate::space::ProgressSpace;
+
+/// Classification of every grid point of a progress space.
+#[derive(Clone, Debug)]
+pub struct DeadlockAnalysis {
+    space_m1: usize,
+    space_m2: usize,
+    /// `true` when the point is inside a forbidden block.
+    pub forbidden: Vec<bool>,
+    /// `true` when a monotone block-avoiding path from the point reaches F.
+    pub can_finish: Vec<bool>,
+    /// `true` when the point is reachable from the origin by a monotone
+    /// block-avoiding path.
+    pub reachable: Vec<bool>,
+}
+
+impl DeadlockAnalysis {
+    /// Analyze a progress space.
+    pub fn new(sp: &ProgressSpace) -> Self {
+        let (m1, m2) = (sp.m1, sp.m2);
+        let idx = |a: usize, b: usize| a * (m2 + 1) + b;
+        let mut forbidden = vec![false; (m1 + 1) * (m2 + 1)];
+        for a in 0..=m1 {
+            for b in 0..=m2 {
+                forbidden[idx(a, b)] = sp.forbidden(a, b);
+            }
+        }
+        // Backward: can_finish.
+        let mut can_finish = vec![false; forbidden.len()];
+        for a in (0..=m1).rev() {
+            for b in (0..=m2).rev() {
+                if forbidden[idx(a, b)] {
+                    continue;
+                }
+                if (a, b) == (m1, m2) {
+                    can_finish[idx(a, b)] = true;
+                    continue;
+                }
+                let right = a < m1 && can_finish[idx(a + 1, b)];
+                let up = b < m2 && can_finish[idx(a, b + 1)];
+                can_finish[idx(a, b)] = right || up;
+            }
+        }
+        // Forward: reachable from origin.
+        let mut reachable = vec![false; forbidden.len()];
+        for a in 0..=m1 {
+            for b in 0..=m2 {
+                if forbidden[idx(a, b)] {
+                    continue;
+                }
+                if (a, b) == (0, 0) {
+                    reachable[idx(a, b)] = true;
+                    continue;
+                }
+                let from_left = a > 0 && reachable[idx(a - 1, b)];
+                let from_below = b > 0 && reachable[idx(a, b - 1)];
+                reachable[idx(a, b)] = from_left || from_below;
+            }
+        }
+        DeadlockAnalysis {
+            space_m1: m1,
+            space_m2: m2,
+            forbidden,
+            can_finish,
+            reachable,
+        }
+    }
+
+    fn idx(&self, a: usize, b: usize) -> usize {
+        a * (self.space_m2 + 1) + b
+    }
+
+    /// Is `(a, b)` in the deadlock region `D`: legal, reachable, doomed?
+    pub fn in_deadlock_region(&self, a: usize, b: usize) -> bool {
+        let i = self.idx(a, b);
+        !self.forbidden[i] && self.reachable[i] && !self.can_finish[i]
+    }
+
+    /// All points of the deadlock region.
+    pub fn deadlock_region(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..=self.space_m1 {
+            for b in 0..=self.space_m2 {
+                if self.in_deadlock_region(a, b) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of legal, origin-reachable points that are doomed — the
+    /// quantitative deadlock-exposure measure used by experiment G1.
+    pub fn deadlock_fraction(&self) -> f64 {
+        let mut legal = 0usize;
+        let mut doomed = 0usize;
+        for a in 0..=self.space_m1 {
+            for b in 0..=self.space_m2 {
+                let i = self.idx(a, b);
+                if !self.forbidden[i] && self.reachable[i] {
+                    legal += 1;
+                    if !self.can_finish[i] {
+                        doomed += 1;
+                    }
+                }
+            }
+        }
+        if legal == 0 {
+            0.0
+        } else {
+            doomed as f64 / legal as f64
+        }
+    }
+
+    /// Is the whole space deadlock-free (D empty)?
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlock_region().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ProgressSpace;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::tree::TreePolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::ids::TxnId;
+    use ccopt_model::syntax::SyntaxBuilder;
+    use ccopt_model::systems;
+
+    #[test]
+    fn fig3_deadlock_region_exists_and_sits_between_blocks() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let an = DeadlockAnalysis::new(&sp);
+        let region = an.deadlock_region();
+        assert!(!region.is_empty(), "Figure 3's D must exist");
+        // The classic D: both transactions have taken their first lock and
+        // executed their first data step: (1..=2) x (1..=2).
+        assert!(an.in_deadlock_region(2, 2));
+        assert!(!an.in_deadlock_region(0, 0));
+        // Points past the blocks can finish.
+        assert!(an.can_finish[an.idx(6, 6)]);
+        assert!(an.deadlock_fraction() > 0.0);
+    }
+
+    #[test]
+    fn same_order_access_is_deadlock_free() {
+        // Both transactions lock x then y: no crossing, no deadlock.
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .txn("T2", |t| t.update("x").update("y"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let an = DeadlockAnalysis::new(&sp);
+        assert!(an.deadlock_free());
+    }
+
+    #[test]
+    fn tree_locking_reduces_deadlock_exposure_on_chains() {
+        let syn = SyntaxBuilder::new()
+            .vars(["v0", "v1", "v2"])
+            .txn("T1", |t| t.update("v0").update("v1").update("v2"))
+            .txn("T2", |t| t.update("v0").update("v1").update("v2"))
+            .build();
+        let two_pl = TwoPhasePolicy.transform(&syn);
+        let tree = TreePolicy::chain(3).transform(&syn);
+        let f_2pl = DeadlockAnalysis::new(&ProgressSpace::new(&two_pl, TxnId(0), TxnId(1)))
+            .deadlock_fraction();
+        let f_tree = DeadlockAnalysis::new(&ProgressSpace::new(&tree, TxnId(0), TxnId(1)))
+            .deadlock_fraction();
+        assert!(
+            f_tree <= f_2pl,
+            "tree locking should not increase deadlock exposure: {f_tree} vs {f_2pl}"
+        );
+    }
+
+    #[test]
+    fn empty_space_trivially_deadlock_free() {
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x"))
+            .txn("T2", |t| t.update("y"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let an = DeadlockAnalysis::new(&sp);
+        assert!(an.deadlock_free());
+        assert_eq!(an.deadlock_fraction(), 0.0);
+    }
+}

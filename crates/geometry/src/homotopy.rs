@@ -1,0 +1,177 @@
+//! Elementary transformations and homotopy (Figure 4(b), (c)).
+//!
+//! "It can be shown that a schedule h is serializable if it can be
+//! transformed by elementary transformations to one of the serial schedules
+//! without passing through any of the forbidden blocks. [...] In the
+//! classic mathematical terminology, a serializable schedule is homotopic
+//! to some serial schedule. So non-serializable schedules are schedules
+//! that separate blocks."
+//!
+//! An elementary transformation swaps two adjacent steps of different
+//! transactions when they do not conflict — geometrically, it slides a
+//! staircase corner across a unit cell that is not blocked.
+
+use ccopt_model::system::TransactionSystem;
+use ccopt_schedule::schedule::Schedule;
+use std::collections::{HashMap, VecDeque};
+
+/// Result of searching for a homotopy from `h` to a serial schedule.
+#[derive(Clone, Debug)]
+pub enum HomotopyResult {
+    /// A chain `h = c_0, c_1, ..., c_k` of elementary transformations with
+    /// `c_k` serial. Each consecutive pair differs by one adjacent swap.
+    Chain(Vec<Schedule>),
+    /// No serial schedule is reachable; the payload is the full homotopy
+    /// class of `h` (the connected component).
+    Separated(Vec<Schedule>),
+}
+
+impl HomotopyResult {
+    /// Did we reach a serial schedule?
+    pub fn is_serializable(&self) -> bool {
+        matches!(self, HomotopyResult::Chain(_))
+    }
+}
+
+/// BFS over elementary transformations from `h`, recording parents, until a
+/// serial schedule is found or the class is exhausted.
+pub fn homotopy_to_serial(sys: &TransactionSystem, h: &Schedule) -> HomotopyResult {
+    let mut parent: HashMap<Schedule, Option<Schedule>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    parent.insert(h.clone(), None);
+    queue.push_back(h.clone());
+    while let Some(cur) = queue.pop_front() {
+        if cur.is_serial() {
+            // Reconstruct the chain.
+            let mut chain = vec![cur.clone()];
+            let mut node = cur;
+            while let Some(Some(p)) = parent.get(&node).cloned() {
+                chain.push(p.clone());
+                node = p;
+            }
+            chain.reverse();
+            return HomotopyResult::Chain(chain);
+        }
+        for k in 0..cur.len().saturating_sub(1) {
+            let steps = cur.steps();
+            if steps[k].txn == steps[k + 1].txn || sys.syntax.conflict(steps[k], steps[k + 1]) {
+                continue;
+            }
+            let next = cur.swap_adjacent(k).expect("checked");
+            if !parent.contains_key(&next) {
+                parent.insert(next.clone(), Some(cur.clone()));
+                queue.push_back(next);
+            }
+        }
+    }
+    let mut class: Vec<Schedule> = parent.into_keys().collect();
+    class.sort();
+    HomotopyResult::Separated(class)
+}
+
+/// Render a transformation chain as the paper would: one schedule per line
+/// with the swapped positions marked.
+pub fn render_chain(chain: &[Schedule]) -> String {
+    let mut out = String::new();
+    for (i, s) in chain.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("  {s}\n"));
+        } else {
+            // Find the swap position vs the previous schedule.
+            let prev = &chain[i - 1];
+            let k = prev
+                .steps()
+                .iter()
+                .zip(s.steps())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            out.push_str(&format!("~ {s}   (swap at positions {},{})\n", k, k + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::systems;
+    use ccopt_schedule::enumerate::all_schedules;
+    use ccopt_schedule::graph::is_csr;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn serial_schedule_has_trivial_chain() {
+        let sys = systems::fig2_like();
+        let s = Schedule::serial(
+            &sys.format(),
+            &ccopt_schedule::enumerate::txn_ids(&sys.format()),
+        );
+        match homotopy_to_serial(&sys, &s) {
+            HomotopyResult::Chain(c) => assert_eq!(c.len(), 1),
+            HomotopyResult::Separated(_) => panic!("serial must be homotopic to itself"),
+        }
+    }
+
+    #[test]
+    fn fig1_interleaving_separates_blocks() {
+        // Figure 4(c): a non-serializable schedule cannot be transformed to
+        // serial.
+        let sys = systems::fig1();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let r = homotopy_to_serial(&sys, &h);
+        assert!(!r.is_serializable());
+        if let HomotopyResult::Separated(class) = r {
+            // All steps conflict pairwise (same variable): the class is h
+            // alone.
+            assert_eq!(class.len(), 1);
+        }
+    }
+
+    #[test]
+    fn homotopy_agrees_with_csr_exhaustively() {
+        for sys in [systems::fig2_like(), systems::rw_pair(1)] {
+            for h in all_schedules(&sys.format()) {
+                assert_eq!(
+                    homotopy_to_serial(&sys, &h).is_serializable(),
+                    is_csr(&sys.syntax, &h),
+                    "mismatch on {h} in {}",
+                    sys.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_steps_are_single_swaps() {
+        let sys = systems::rw_pair(2);
+        // Pick some serializable interleaving.
+        let all = all_schedules(&sys.format());
+        let h = all
+            .iter()
+            .find(|h| !h.is_serial() && is_csr(&sys.syntax, h))
+            .expect("rw_pair has non-serial CSR schedules");
+        match homotopy_to_serial(&sys, h) {
+            HomotopyResult::Chain(chain) => {
+                assert!(chain.len() >= 2);
+                assert_eq!(&chain[0], h);
+                assert!(chain.last().unwrap().is_serial());
+                for w in chain.windows(2) {
+                    let diffs = w[0]
+                        .steps()
+                        .iter()
+                        .zip(w[1].steps())
+                        .filter(|(a, b)| a != b)
+                        .count();
+                    assert_eq!(diffs, 2, "exactly one adjacent swap per move");
+                }
+                let rendered = render_chain(&chain);
+                assert!(rendered.contains("swap at positions"));
+            }
+            HomotopyResult::Separated(_) => panic!("expected serializable"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # `ccopt-geometry` — the geometry of locking (Section 5.3)
+//!
+//! "Much insight into locking can be gained by a simple geometric method."
+//!
+//! * [`space`] — the 2-D *progress space* of two locked transactions and
+//!   the forbidden rectangular *blocks* induced by their lock intervals
+//!   (Figure 3's `Bx`, `By`).
+//! * [`curve`] — progress curves and the step functions of schedules; a
+//!   schedule corresponds to a monotone staircase from the origin `O` to
+//!   the completion point `F` avoiding all blocks.
+//! * [`deadlock`] — the deadlock region `D`: points from which no monotone
+//!   block-avoiding path reaches `F` (computed by backward reachability).
+//! * [`homotopy`] — elementary transformations (adjacent-step commutations)
+//!   as homotopy moves; "a serializable schedule is homotopic to some
+//!   serial schedule" (Figure 4(b), (c)).
+//! * [`common_point`] — the geometric proof of 2PL's correctness: all
+//!   blocks share the phase-shift point `u` (Figure 4(d)).
+//! * [`render`] — ASCII rendering of the progress-space pictures.
+//! * [`nd`] — the n-dimensional generalization for three or more
+//!   transactions (grid reachability).
+
+pub mod common_point;
+pub mod curve;
+pub mod deadlock;
+pub mod homotopy;
+pub mod nd;
+pub mod render;
+pub mod space;
+
+pub use common_point::{blocks_common_point, CommonPointReport};
+pub use curve::{schedule_to_path, GridPath};
+pub use deadlock::DeadlockAnalysis;
+pub use space::{Block, ProgressSpace};

@@ -1,0 +1,242 @@
+//! The n-dimensional generalization (Section 5.3: "the exact condition for
+//! a correct locking policy is somewhat less trivial for high dimensional
+//! cases, which correspond to transaction systems consisting of more than
+//! two transactions").
+//!
+//! Points of the n-dimensional progress grid are vectors of per-transaction
+//! progress. A point is forbidden when two transactions hold the same lock
+//! there. Reachability and doom are computed by BFS over unit moves.
+
+use ccopt_locking::locked::{LockId, LockedSystem};
+use std::collections::HashMap;
+
+/// n-dimensional progress-grid analysis of a locked system.
+#[derive(Clone, Debug)]
+pub struct GridAnalysis {
+    /// Per-transaction locked lengths (the grid dimensions).
+    pub dims: Vec<usize>,
+    /// Hold intervals `[l+1, u]` per transaction per lock.
+    holds: Vec<HashMap<LockId, Vec<(usize, usize)>>>,
+    /// Number of legal points reachable from the origin.
+    pub reachable_points: usize,
+    /// Number of reachable points that cannot finish (n-dim deadlock
+    /// region size).
+    pub doomed_points: usize,
+    /// Number of forbidden points.
+    pub forbidden_points: usize,
+}
+
+impl GridAnalysis {
+    /// Analyze the full grid. Grid size is `Π (len_i + 1)`; intended for
+    /// systems whose product stays within a few million points.
+    pub fn new(lts: &LockedSystem) -> Self {
+        let dims: Vec<usize> = lts.txns.iter().map(|t| t.len()).collect();
+        let holds: Vec<HashMap<LockId, Vec<(usize, usize)>>> = lts
+            .txns
+            .iter()
+            .map(|t| {
+                let mut m: HashMap<LockId, Vec<(usize, usize)>> = HashMap::new();
+                for lock_idx in 0..lts.num_locks() {
+                    let x = LockId(lock_idx as u32);
+                    let iv = crate::space::hold_intervals(t, x);
+                    if !iv.is_empty() {
+                        m.insert(x, iv.into_iter().map(|(l, u)| (l + 1, u)).collect());
+                    }
+                }
+                m
+            })
+            .collect();
+        let mut an = GridAnalysis {
+            dims,
+            holds,
+            reachable_points: 0,
+            doomed_points: 0,
+            forbidden_points: 0,
+        };
+        an.sweep();
+        an
+    }
+
+    /// Does transaction `i` hold lock `x` at progress `a`?
+    fn holds_at(&self, i: usize, x: LockId, a: usize) -> bool {
+        self.holds[i]
+            .get(&x)
+            .is_some_and(|ivs| ivs.iter().any(|&(lo, hi)| lo <= a && a <= hi))
+    }
+
+    /// Is the point forbidden (two transactions hold one lock)?
+    pub fn forbidden(&self, point: &[usize]) -> bool {
+        // Collect locks held by each transaction at its coordinate.
+        for i in 0..self.dims.len() {
+            for &x in self.holds[i].keys() {
+                if self.holds_at(i, x, point[i])
+                    && ((i + 1)..self.dims.len()).any(|k| self.holds_at(k, x, point[k]))
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn sweep(&mut self) {
+        // Enumerate all points, compute forbidden/reachable/can_finish with
+        // two DP sweeps in lexicographic order (monotone moves only).
+        let total: usize = self.dims.iter().map(|&d| d + 1).product();
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * (self.dims[i + 1] + 1);
+        }
+        let index = |pt: &[usize]| -> usize { pt.iter().zip(&strides).map(|(a, s)| a * s).sum() };
+
+        let mut forbidden = vec![false; total];
+        let mut point = vec![0usize; self.dims.len()];
+        loop {
+            forbidden[index(&point)] = self.forbidden(&point);
+            if !increment(&mut point, &self.dims) {
+                break;
+            }
+        }
+        self.forbidden_points = forbidden.iter().filter(|&&b| b).count();
+
+        // Reachable: forward lexicographic sweep works because predecessors
+        // are lexicographically smaller.
+        let mut reachable = vec![false; total];
+        point.fill(0);
+        loop {
+            let idx = index(&point);
+            if !forbidden[idx] {
+                if point.iter().all(|&a| a == 0) {
+                    reachable[idx] = true;
+                } else {
+                    for i in 0..point.len() {
+                        if point[i] > 0 {
+                            point[i] -= 1;
+                            let pred = index(&point);
+                            point[i] += 1;
+                            if reachable[pred] {
+                                reachable[idx] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !increment(&mut point, &self.dims) {
+                break;
+            }
+        }
+
+        // Can-finish: backward sweep.
+        let mut can_finish = vec![false; total];
+        point.clone_from(&self.dims.clone());
+        loop {
+            let idx = index(&point);
+            if !forbidden[idx] {
+                if point == self.dims {
+                    can_finish[idx] = true;
+                } else {
+                    for i in 0..point.len() {
+                        if point[i] < self.dims[i] {
+                            point[i] += 1;
+                            let succ = index(&point);
+                            point[i] -= 1;
+                            if can_finish[succ] {
+                                can_finish[idx] = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !decrement(&mut point, &self.dims) {
+                break;
+            }
+        }
+
+        self.reachable_points = reachable.iter().filter(|&&b| b).count();
+        self.doomed_points = (0..total)
+            .filter(|&i| reachable[i] && !can_finish[i] && !forbidden[i])
+            .count();
+    }
+
+    /// Is the locked system deadlock-free in the n-dimensional sense?
+    pub fn deadlock_free(&self) -> bool {
+        self.doomed_points == 0
+    }
+}
+
+fn increment(point: &mut [usize], dims: &[usize]) -> bool {
+    for i in (0..point.len()).rev() {
+        point[i] += 1;
+        if point[i] <= dims[i] {
+            return true;
+        }
+        point[i] = 0;
+    }
+    false
+}
+
+fn decrement(point: &mut [usize], dims: &[usize]) -> bool {
+    for i in (0..point.len()).rev() {
+        if point[i] > 0 {
+            point[i] -= 1;
+            // Trailing coordinates wrap to their maxima: lexicographic
+            // predecessor.
+            let end = point.len();
+            point[(i + 1)..].copy_from_slice(&dims[(i + 1)..end]);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::DeadlockAnalysis;
+    use crate::space::ProgressSpace;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::ids::TxnId;
+    use ccopt_model::syntax::SyntaxBuilder;
+    use ccopt_model::systems;
+
+    #[test]
+    fn two_dims_agree_with_the_2d_analysis() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let nd = GridAnalysis::new(&lts);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let d2 = DeadlockAnalysis::new(&sp);
+        assert_eq!(nd.forbidden_points, sp.forbidden_points());
+        assert_eq!(nd.doomed_points, d2.deadlock_region().len());
+        assert_eq!(nd.deadlock_free(), d2.deadlock_free());
+    }
+
+    #[test]
+    fn three_transactions_cyclic_contention_has_deadlocks() {
+        // T1: x y, T2: y z, T3: z x — the 3-D analogue of Figure 3.
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .txn("T2", |t| t.update("y").update("z"))
+            .txn("T3", |t| t.update("z").update("x"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let nd = GridAnalysis::new(&lts);
+        assert!(!nd.deadlock_free());
+        assert!(nd.reachable_points > 0);
+    }
+
+    #[test]
+    fn aligned_access_order_is_deadlock_free_in_3d() {
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .txn("T2", |t| t.update("x").update("y"))
+            .txn("T3", |t| t.update("x").update("y"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let nd = GridAnalysis::new(&lts);
+        assert!(nd.deadlock_free());
+    }
+}

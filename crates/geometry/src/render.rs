@@ -1,0 +1,124 @@
+//! ASCII rendering of progress-space pictures (Figure 3 and 4(d)).
+//!
+//! Axes follow the paper: the first transaction progresses rightwards, the
+//! second upwards; `O` is the bottom-left origin and `F` the top-right
+//! completion point. Blocks print as `#`, the deadlock region as `D`, a
+//! supplied path as `*`.
+
+use crate::curve::GridPath;
+use crate::deadlock::DeadlockAnalysis;
+use crate::space::ProgressSpace;
+
+/// Rendering options.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RenderOptions {
+    /// Overlay the deadlock region as `D`.
+    pub show_deadlock: bool,
+}
+
+/// Render the space, optionally overlaying a path.
+pub fn render(sp: &ProgressSpace, path: Option<&GridPath>, opts: RenderOptions) -> String {
+    let analysis = opts.show_deadlock.then(|| DeadlockAnalysis::new(sp));
+    let on_path = |a: usize, b: usize| path.is_some_and(|p| p.points.contains(&(a, b)));
+    let mut out = String::new();
+    for b in (0..=sp.m2).rev() {
+        // Row label.
+        out.push_str(&format!("{b:>3} "));
+        for a in 0..=sp.m1 {
+            let ch = if (a, b) == (0, 0) {
+                'O'
+            } else if (a, b) == (sp.m1, sp.m2) {
+                'F'
+            } else if on_path(a, b) {
+                '*'
+            } else if sp.forbidden(a, b) {
+                '#'
+            } else if analysis
+                .as_ref()
+                .is_some_and(|an| an.in_deadlock_region(a, b))
+            {
+                'D'
+            } else {
+                '.'
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ");
+    for a in 0..=sp.m1 {
+        out.push_str(&format!("{} ", a % 10));
+    }
+    out.push('\n');
+    out
+}
+
+/// Legend for the rendering, to print alongside.
+pub fn legend() -> &'static str {
+    "O origin, F completion, # forbidden block, D deadlock region, * path"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::ids::TxnId;
+    use ccopt_model::systems;
+
+    fn space() -> ProgressSpace {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        ProgressSpace::new(&lts, TxnId(0), TxnId(1))
+    }
+
+    #[test]
+    fn render_contains_origin_completion_and_blocks() {
+        let sp = space();
+        let pic = render(&sp, None, RenderOptions::default());
+        assert!(pic.contains('O'));
+        assert!(pic.contains('F'));
+        assert!(pic.contains('#'));
+        // 7 rows of grid + 1 axis row.
+        assert_eq!(pic.lines().count(), 8);
+    }
+
+    #[test]
+    fn deadlock_overlay_shows_d() {
+        let sp = space();
+        let pic = render(
+            &sp,
+            None,
+            RenderOptions {
+                show_deadlock: true,
+            },
+        );
+        assert!(pic.contains('D'), "deadlock region should render:\n{pic}");
+    }
+
+    #[test]
+    fn path_overlay_shows_stars() {
+        let sp = space();
+        let path = GridPath {
+            points: vec![
+                (0, 0),
+                (1, 0),
+                (2, 0),
+                (3, 0),
+                (4, 0),
+                (5, 0),
+                (6, 0),
+                (6, 1),
+            ],
+        };
+        let pic = render(&sp, Some(&path), RenderOptions::default());
+        assert!(pic.contains('*'));
+    }
+
+    #[test]
+    fn legend_mentions_symbols() {
+        assert!(legend().contains('#'));
+        assert!(legend().contains('D'));
+    }
+}

@@ -1,0 +1,228 @@
+//! The 2-D progress space and its forbidden blocks (Figure 3).
+//!
+//! "Any state of progress towards the completion of T_i and T_j can be
+//! viewed as a point in the two-dimensional progress space. [...] Locking
+//! has the effect of imposing restrictions in the form of forbidden
+//! rectangular regions."
+
+use ccopt_locking::locked::{LockId, LockedSystem};
+use ccopt_model::ids::TxnId;
+
+/// A forbidden axis-aligned block in the progress space of two locked
+/// transactions: both hold the same lock.
+///
+/// Coordinates are *points* of the grid: after executing its `lock` at
+/// position `l`, transaction progress `a` satisfies `a ≥ l + 1`; the lock
+/// is held until the `unlock` at position `u` executes, i.e. while
+/// `a ≤ u`. The block is thus the integer rectangle
+/// `[l1+1, u1] × [l2+1, u2]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// The lock both transactions contend on.
+    pub lock: LockId,
+    /// Inclusive progress range of the first transaction while holding.
+    pub x: (usize, usize),
+    /// Inclusive progress range of the second transaction while holding.
+    pub y: (usize, usize),
+}
+
+impl Block {
+    /// Does the block contain grid point `(a, b)`?
+    pub fn contains(&self, a: usize, b: usize) -> bool {
+        self.x.0 <= a && a <= self.x.1 && self.y.0 <= b && b <= self.y.1
+    }
+
+    /// Intersection with another block, if non-empty.
+    pub fn intersect(&self, other: &Block) -> Option<(usize, usize, usize, usize)> {
+        let x0 = self.x.0.max(other.x.0);
+        let x1 = self.x.1.min(other.x.1);
+        let y0 = self.y.0.max(other.y.0);
+        let y1 = self.y.1.min(other.y.1);
+        (x0 <= x1 && y0 <= y1).then_some((x0, x1, y0, y1))
+    }
+}
+
+/// The progress space of a *pair* of locked transactions.
+#[derive(Clone, Debug)]
+pub struct ProgressSpace {
+    /// Number of locked steps of the first transaction (x-axis length).
+    pub m1: usize,
+    /// Number of locked steps of the second transaction (y-axis length).
+    pub m2: usize,
+    /// The forbidden blocks.
+    pub blocks: Vec<Block>,
+    /// Indices of the two transactions in the locked system.
+    pub txns: (TxnId, TxnId),
+}
+
+impl ProgressSpace {
+    /// Build the progress space of transactions `t1` and `t2` of a locked
+    /// system. Locks that either transaction acquires more than once are
+    /// handled by taking every (hold-interval × hold-interval) product.
+    pub fn new(lts: &LockedSystem, t1: TxnId, t2: TxnId) -> Self {
+        let a = &lts.txns[t1.index()];
+        let b = &lts.txns[t2.index()];
+        let mut blocks = Vec::new();
+        for lock_idx in 0..lts.num_locks() {
+            let x = LockId(lock_idx as u32);
+            for (l1, u1) in hold_intervals(a, x) {
+                for (l2, u2) in hold_intervals(b, x) {
+                    blocks.push(Block {
+                        lock: x,
+                        x: (l1 + 1, u1),
+                        y: (l2 + 1, u2),
+                    });
+                }
+            }
+        }
+        ProgressSpace {
+            m1: a.len(),
+            m2: b.len(),
+            blocks,
+            txns: (t1, t2),
+        }
+    }
+
+    /// Is the grid point `(a, b)` inside some forbidden block?
+    pub fn forbidden(&self, a: usize, b: usize) -> bool {
+        self.blocks.iter().any(|bl| bl.contains(a, b))
+    }
+
+    /// The completion point `F`.
+    pub fn completion(&self) -> (usize, usize) {
+        (self.m1, self.m2)
+    }
+
+    /// Total number of grid points.
+    pub fn num_points(&self) -> usize {
+        (self.m1 + 1) * (self.m2 + 1)
+    }
+
+    /// Number of forbidden grid points.
+    pub fn forbidden_points(&self) -> usize {
+        let mut n = 0;
+        for a in 0..=self.m1 {
+            for b in 0..=self.m2 {
+                if self.forbidden(a, b) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// All hold intervals `(lock position, unlock position)` of lock `x` in a
+/// locked transaction (supports multiple acquisitions, e.g. 2PL′'s `X'`).
+pub fn hold_intervals(
+    t: &ccopt_locking::locked::LockedTransaction,
+    x: LockId,
+) -> Vec<(usize, usize)> {
+    use ccopt_locking::locked::LockedStep;
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (p, &s) in t.steps.iter().enumerate() {
+        match s {
+            LockedStep::Lock(y) if y == x => open = Some(p),
+            LockedStep::Unlock(y) if y == x => {
+                if let Some(l) = open.take() {
+                    out.push((l, p));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_locking::policy::LockingPolicy;
+    use ccopt_locking::two_phase::TwoPhasePolicy;
+    use ccopt_model::systems;
+
+    fn fig3_space() -> ProgressSpace {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        ProgressSpace::new(&lts, TxnId(0), TxnId(1))
+    }
+
+    #[test]
+    fn fig3_has_two_overlapping_blocks() {
+        let sp = fig3_space();
+        assert_eq!(sp.blocks.len(), 2);
+        // T1: lock X_x@0 ... unlock X_x@3; lock X_y@2 ... unlock X_y@5.
+        // T2 symmetric with X and Y swapped.
+        let bx = sp.blocks.iter().find(|b| b.lock == LockId(0)).unwrap();
+        let by = sp.blocks.iter().find(|b| b.lock == LockId(1)).unwrap();
+        assert_eq!(bx.x, (1, 3));
+        assert_eq!(bx.y, (3, 5));
+        assert_eq!(by.x, (3, 5));
+        assert_eq!(by.y, (1, 3));
+        // The two blocks share the phase-shift corner (3, 3).
+        assert!(bx.contains(3, 3) && by.contains(3, 3));
+    }
+
+    #[test]
+    fn forbidden_points_counted() {
+        let sp = fig3_space();
+        assert_eq!(sp.m1, 6);
+        assert_eq!(sp.m2, 6);
+        assert_eq!(sp.num_points(), 49);
+        // Each block is 3x3 = 9 points; they overlap in exactly (3,3).
+        assert_eq!(sp.forbidden_points(), 17);
+        assert!(sp.forbidden(2, 4));
+        assert!(!sp.forbidden(0, 0));
+        assert!(!sp.forbidden(6, 6));
+    }
+
+    #[test]
+    fn block_intersection() {
+        let a = Block {
+            lock: LockId(0),
+            x: (1, 3),
+            y: (3, 5),
+        };
+        let b = Block {
+            lock: LockId(1),
+            x: (3, 5),
+            y: (1, 3),
+        };
+        assert_eq!(a.intersect(&b), Some((3, 3, 3, 3)));
+        let c = Block {
+            lock: LockId(2),
+            x: (5, 6),
+            y: (5, 6),
+        };
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn disjoint_transactions_have_no_blocks() {
+        use ccopt_model::syntax::SyntaxBuilder;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x"))
+            .txn("T2", |t| t.update("y"))
+            .build();
+        let lts = TwoPhasePolicy.transform(&syn);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        assert!(sp.blocks.is_empty());
+        assert_eq!(sp.forbidden_points(), 0);
+    }
+
+    #[test]
+    fn hold_intervals_support_reacquisition() {
+        use ccopt_locking::locked::{LockedStep, LockedTransaction};
+        let t = LockedTransaction {
+            name: "T".into(),
+            steps: vec![
+                LockedStep::Lock(LockId(0)),
+                LockedStep::Unlock(LockId(0)),
+                LockedStep::Lock(LockId(0)),
+                LockedStep::Unlock(LockId(0)),
+            ],
+        };
+        assert_eq!(hold_intervals(&t, LockId(0)), vec![(0, 1), (2, 3)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Conservative (static) locking: all locks at transaction start, acquired
+//! in a global variable order.
+//!
+//! The paper's geometric view makes the trade-off vivid: 2PL's late locks
+//! maximize the output set but carve deadlock regions into the progress
+//! space (Figure 3's `D`); acquiring every lock up front in one globally
+//! consistent order removes every deadlock — a progress curve can always
+//! reach `F` — at the price of a smaller output set. This is the classic
+//! third point on the §5 design spectrum (predeclaration locking), included
+//! here because the geometry crate can *prove* its deadlock-freedom
+//! per-system by computing the doomed region exactly.
+
+use crate::locked::{LockId, LockedStep, LockedSystem, LockedTransaction};
+use crate::policy::LockingPolicy;
+use ccopt_core::info::InfoLevel;
+use ccopt_model::ids::StepId;
+use ccopt_model::syntax::{Syntax, TransactionSyntax};
+
+/// Conservative static locking with ordered acquisition.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ConservativePolicy;
+
+impl LockingPolicy for ConservativePolicy {
+    fn transform(&self, base: &Syntax) -> LockedSystem {
+        let lock_names: Vec<String> = base.vars.iter().map(|v| format!("X_{v}")).collect();
+        let lock_of_var: Vec<Option<LockId>> = (0..base.vars.len())
+            .map(|i| Some(LockId(i as u32)))
+            .collect();
+        let txns = base
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| lock_transaction_conservative(t, i as u32))
+            .collect();
+        LockedSystem {
+            base: base.clone(),
+            lock_names,
+            lock_of_var,
+            txns,
+            policy_name: "conservative".into(),
+        }
+    }
+
+    fn is_separable(&self) -> bool {
+        true
+    }
+
+    fn is_renaming_invariant(&self) -> bool {
+        // The acquisition order follows variable identity, but *any* global
+        // order gives the same policy up to the run-canonicalization used
+        // by the renaming analysis — the policy treats all variables
+        // uniformly.
+        true
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Syntactic
+    }
+
+    fn name(&self) -> &str {
+        "conservative"
+    }
+}
+
+/// All locks first (ascending variable order — one global order shared by
+/// every transaction), each released right after the variable's last
+/// access.
+pub fn lock_transaction_conservative(t: &TransactionSyntax, txn_index: u32) -> LockedTransaction {
+    let vars = t.accessed_vars(); // BTreeSet: ascending order
+    let mut steps: Vec<LockedStep> = vars
+        .iter()
+        .map(|&v| LockedStep::Lock(LockId(v.0)))
+        .collect();
+    for (p, s) in t.steps.iter().enumerate() {
+        steps.push(LockedStep::Data(StepId::new(txn_index, p as u32)));
+        if t.last_access(s.var) == Some(p) {
+            steps.push(LockedStep::Unlock(LockId(s.var.0)));
+        }
+    }
+    LockedTransaction {
+        name: t.name.clone(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{compare_policies, output_set, outputs_serializable};
+    use crate::two_phase::TwoPhasePolicy;
+    use ccopt_model::systems;
+
+    #[test]
+    fn output_is_well_formed_and_two_phase() {
+        for sys in [
+            systems::fig3_pair(),
+            systems::fig2_like(),
+            systems::banking(),
+        ] {
+            let lts = ConservativePolicy.transform(&sys.syntax);
+            lts.validate().unwrap();
+            assert!(lts.is_well_formed(), "{}", sys.name);
+            assert!(lts.is_two_phase(), "{}", sys.name);
+        }
+    }
+
+    #[test]
+    fn outputs_are_serializable() {
+        for sys in [systems::fig3_pair(), systems::rw_pair(1)] {
+            outputs_serializable(&sys.syntax, &ConservativePolicy)
+                .unwrap_or_else(|e| panic!("{}: {e}", sys.name));
+        }
+    }
+
+    #[test]
+    fn no_deadlock_states_on_the_crossing_pair() {
+        // 2PL has Figure 3's deadlock region here; conservative locking
+        // does not.
+        let sys = systems::fig3_pair();
+        let cons = output_set(&ConservativePolicy.transform(&sys.syntax));
+        assert_eq!(cons.deadlock_states, 0);
+        let tpl = output_set(&TwoPhasePolicy.transform(&sys.syntax));
+        assert!(tpl.deadlock_states > 0);
+    }
+
+    #[test]
+    fn pays_for_safety_with_fewer_outputs() {
+        // The policies are incomparable as sets in general (conservative
+        // releases earlier, 2PL acquires later), but 2PL's output set is
+        // larger on workloads with private work — and on fig2-like it
+        // strictly dominates. The §5 spectrum: safety costs performance.
+        let rw = systems::rw_pair(2);
+        let cmp = compare_policies(&rw.syntax, &ConservativePolicy, &TwoPhasePolicy);
+        assert!(cmp.a.1 < cmp.b.1, "2PL should emit more outputs: {cmp:?}");
+        let fig2 = systems::fig2_like();
+        let cmp = compare_policies(&fig2.syntax, &ConservativePolicy, &TwoPhasePolicy);
+        assert!(cmp.b_strictly_better(), "{cmp:?}");
+    }
+
+    #[test]
+    fn acquisition_follows_the_global_order() {
+        let sys = systems::fig3_pair(); // T2 accesses y then x
+        let lts = ConservativePolicy.transform(&sys.syntax);
+        // T2's lock prelude is still in ascending variable order (x, y).
+        let locks: Vec<LockId> = lts.txns[1]
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                LockedStep::Lock(x) => Some(*x),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = locks.clone();
+        sorted.sort();
+        assert_eq!(locks, sorted);
+    }
+}

@@ -1,0 +1,50 @@
+//! # `ccopt-locking` — locking policies and the lock-respecting scheduler
+//!
+//! Section 5 of the paper: "A locking policy, L, takes an ordinary
+//! transaction system T [...] and maps it into another transaction system,
+//! L(T), called the locked transaction system. [...] After a locking policy
+//! L is designed, all we have to do is entrust L(T) to a very simple
+//! scheduler, the lock respecting scheduler LRS."
+//!
+//! * [`locked`] — locked transaction systems: lock variables with domain
+//!   `{0 (unlocked), 1 (locked), -1 (error)}`, lock/unlock steps interleaved
+//!   with the original data steps; well-formedness and two-phase checks.
+//! * [`policy`] — the [`LockingPolicy`] trait
+//!   (transforms systems; carries separability and information metadata).
+//! * [`two_phase`] — **2PL** exactly as Figure 2: locks as late and unlocks
+//!   as early as possible subject to no-lock-after-unlock.
+//! * [`variant`] — **2PL′** (Section 5.4 / Figure 5): the separable policy
+//!   that is correct and strictly better than 2PL by distinguishing one
+//!   variable.
+//! * [`tree`] — tree (hierarchical) locking in the style of
+//!   Silberschatz–Kedem: lock-crabbing down a variable tree.
+//! * [`lrs`] — the lock-respecting scheduler and the enumeration of all its
+//!   possible executions.
+//! * [`analysis`] — output sets of locking policies (the paper's
+//!   performance measure for policies: LRS outputs with lock steps
+//!   removed), policy comparison, deadlock search.
+//! * [`conservative`] — conservative/static locking (all locks at start,
+//!   globally ordered): the deadlock-free end of the §5 spectrum.
+//! * [`renaming`] — the §5.4 unstructured-variables analysis: which
+//!   policies commute with variable renamings (2PL does; 2PL′ and tree
+//!   locking deliberately do not).
+//! * [`wfg`] — waits-for graphs and deadlock-cycle detection.
+
+pub mod analysis;
+pub mod conservative;
+pub mod locked;
+pub mod lrs;
+pub mod policy;
+pub mod renaming;
+pub mod tree;
+pub mod two_phase;
+pub mod variant;
+pub mod wfg;
+
+pub use analysis::{output_set, PolicyComparison};
+pub use conservative::ConservativePolicy;
+pub use locked::{LockId, LockState, LockedStep, LockedSystem, LockedTransaction};
+pub use policy::LockingPolicy;
+pub use tree::TreePolicy;
+pub use two_phase::TwoPhasePolicy;
+pub use variant::TwoPhasePrimePolicy;

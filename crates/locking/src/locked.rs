@@ -1,0 +1,429 @@
+//! Locked transaction systems (Section 5.1).
+//!
+//! "Besides the set of variable names V of T, L(T) has also a set of new
+//! variable names LV, the locking variables. If X ∈ LV, then the domain of
+//! X contains only three elements: 0 (for unlocked), 1 (for locked) and -1
+//! (for error). [...] lock X means X := if X = 0 then 1 else -1 and
+//! unlock X means X := if X = 1 then 0 else -1. The integrity constraints
+//! of L(T) correspond just to the assertion that ∧_{X∈LV} (X = 0)."
+
+use ccopt_model::ids::{StepId, TxnId, VarId};
+use ccopt_model::syntax::Syntax;
+use std::fmt;
+
+/// Index of a locking variable in a [`LockedSystem`]'s lock table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// Zero-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// The paper's three-valued lock domain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LockState {
+    /// `0` — unlocked.
+    #[default]
+    Unlocked,
+    /// `1` — locked.
+    Locked,
+    /// `-1` — error (double lock or spurious unlock).
+    Error,
+}
+
+/// One step of a locked transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockedStep {
+    /// `lock X`.
+    Lock(LockId),
+    /// `unlock X`.
+    Unlock(LockId),
+    /// An original data step of the base system.
+    Data(StepId),
+}
+
+impl LockedStep {
+    /// The data step, if this is one.
+    pub fn data(self) -> Option<StepId> {
+        match self {
+            LockedStep::Data(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A locked transaction: the original steps with lock/unlock steps
+/// interleaved.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LockedTransaction {
+    /// Name (inherited from the base transaction).
+    pub name: String,
+    /// The step sequence.
+    pub steps: Vec<LockedStep>,
+}
+
+impl LockedTransaction {
+    /// Number of locked steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the transaction has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The data steps, in order (must equal the base transaction's steps).
+    pub fn data_steps(&self) -> Vec<StepId> {
+        self.steps.iter().filter_map(|s| s.data()).collect()
+    }
+
+    /// Positions holding `lock X` for the given lock.
+    pub fn lock_positions(&self, x: LockId) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &s)| (s == LockedStep::Lock(x)).then_some(p))
+            .collect()
+    }
+
+    /// The interval `[lock position, unlock position]` during which `x` is
+    /// held, when the transaction locks it exactly once.
+    pub fn hold_interval(&self, x: LockId) -> Option<(usize, usize)> {
+        let mut lock_at = None;
+        let mut unlock_at = None;
+        for (p, &s) in self.steps.iter().enumerate() {
+            match s {
+                LockedStep::Lock(y) if y == x => {
+                    if lock_at.is_some() {
+                        return None; // locked more than once
+                    }
+                    lock_at = Some(p);
+                }
+                LockedStep::Unlock(y) if y == x => {
+                    unlock_at = Some(p);
+                }
+                _ => {}
+            }
+        }
+        match (lock_at, unlock_at) {
+            (Some(a), Some(b)) if a < b => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Is the transaction *two-phase*: no `lock` after the first `unlock`?
+    pub fn is_two_phase(&self) -> bool {
+        let first_unlock = self
+            .steps
+            .iter()
+            .position(|s| matches!(s, LockedStep::Unlock(_)));
+        match first_unlock {
+            None => true,
+            Some(u) => !self.steps[u..]
+                .iter()
+                .any(|s| matches!(s, LockedStep::Lock(_))),
+        }
+    }
+
+    /// Are lock/unlock steps *balanced*: every lock released exactly once,
+    /// never unlocking a lock that is not held, never re-locking a held
+    /// lock, and nothing held at the end? (The paper's "well-nested in the
+    /// obvious sense".)
+    pub fn is_balanced(&self, num_locks: usize) -> bool {
+        let mut held = vec![false; num_locks];
+        for &s in &self.steps {
+            match s {
+                LockedStep::Lock(x) => {
+                    if held[x.index()] {
+                        return false;
+                    }
+                    held[x.index()] = true;
+                }
+                LockedStep::Unlock(x) => {
+                    if !held[x.index()] {
+                        return false;
+                    }
+                    held[x.index()] = false;
+                }
+                LockedStep::Data(_) => {}
+            }
+        }
+        held.iter().all(|&h| !h)
+    }
+}
+
+/// A locked transaction system `L(T)`.
+#[derive(Clone, Debug)]
+pub struct LockedSystem {
+    /// The base system's syntax (data steps refer into it).
+    pub base: Syntax,
+    /// Names of the locking variables `LV`.
+    pub lock_names: Vec<String>,
+    /// For each base variable, its lock-bit when the usual isomorphism
+    /// `LV ≅ V` is used (extra locks like 2PL′'s `X'` have no preimage).
+    pub lock_of_var: Vec<Option<LockId>>,
+    /// The locked transactions, aligned with the base transactions.
+    pub txns: Vec<LockedTransaction>,
+    /// The policy that produced this system, for reports.
+    pub policy_name: String,
+}
+
+impl LockedSystem {
+    /// Number of lock variables.
+    pub fn num_locks(&self) -> usize {
+        self.lock_names.len()
+    }
+
+    /// Number of transactions.
+    pub fn num_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// The lock-bit of base variable `v`, if any.
+    pub fn lock_for(&self, v: VarId) -> Option<LockId> {
+        self.lock_of_var.get(v.index()).copied().flatten()
+    }
+
+    /// Structural validation: each locked transaction's data steps equal the
+    /// base transaction's steps in order, and lock usage is balanced.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.txns.len() != self.base.transactions.len() {
+            return Err("transaction count mismatch".into());
+        }
+        for (i, lt) in self.txns.iter().enumerate() {
+            let expected: Vec<StepId> = (0..self.base.transactions[i].steps.len())
+                .map(|j| StepId::new(i as u32, j as u32))
+                .collect();
+            if lt.data_steps() != expected {
+                return Err(format!("T{}: data steps do not match the base", i + 1));
+            }
+            if !lt.is_balanced(self.num_locks()) {
+                return Err(format!("T{}: lock/unlock steps are not balanced", i + 1));
+            }
+        }
+        Ok(())
+    }
+
+    /// Is every data access of a lock-bitted variable covered by its lock
+    /// (the paper's *well-formed* condition)?
+    pub fn is_well_formed(&self) -> bool {
+        for (i, lt) in self.txns.iter().enumerate() {
+            let mut held = vec![false; self.num_locks()];
+            for &s in &lt.steps {
+                match s {
+                    LockedStep::Lock(x) => held[x.index()] = true,
+                    LockedStep::Unlock(x) => held[x.index()] = false,
+                    LockedStep::Data(sid) => {
+                        debug_assert_eq!(sid.txn, TxnId(i as u32));
+                        let v = self.base.var_of(sid);
+                        if let Some(x) = self.lock_for(v) {
+                            if !held[x.index()] {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Is the whole system two-phase?
+    pub fn is_two_phase(&self) -> bool {
+        self.txns.iter().all(LockedTransaction::is_two_phase)
+    }
+
+    /// Render one transaction in the paper's Figure 2/5 style.
+    pub fn render_txn(&self, i: usize) -> String {
+        let lt = &self.txns[i];
+        let mut out = String::new();
+        for &s in &lt.steps {
+            match s {
+                LockedStep::Lock(x) => {
+                    out.push_str(&format!("lock {}\n", self.lock_names[x.index()]))
+                }
+                LockedStep::Unlock(x) => {
+                    out.push_str(&format!("unlock {}\n", self.lock_names[x.index()]))
+                }
+                LockedStep::Data(sid) => {
+                    let v = self.base.var_of(sid);
+                    out.push_str(&format!("{}: {} <- ...\n", sid, self.base.var_name(v)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_model::syntax::SyntaxBuilder;
+
+    fn base() -> Syntax {
+        SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .build()
+    }
+
+    fn lid(i: u32) -> LockId {
+        LockId(i)
+    }
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn two_phase_detection() {
+        let good = LockedTransaction {
+            name: "T1".into(),
+            steps: vec![
+                LockedStep::Lock(lid(0)),
+                LockedStep::Data(sid(0, 0)),
+                LockedStep::Lock(lid(1)),
+                LockedStep::Data(sid(0, 1)),
+                LockedStep::Unlock(lid(0)),
+                LockedStep::Unlock(lid(1)),
+            ],
+        };
+        assert!(good.is_two_phase());
+        let bad = LockedTransaction {
+            name: "T1".into(),
+            steps: vec![
+                LockedStep::Lock(lid(0)),
+                LockedStep::Data(sid(0, 0)),
+                LockedStep::Unlock(lid(0)),
+                LockedStep::Lock(lid(1)),
+                LockedStep::Data(sid(0, 1)),
+                LockedStep::Unlock(lid(1)),
+            ],
+        };
+        assert!(!bad.is_two_phase());
+    }
+
+    #[test]
+    fn balance_detection() {
+        let double_lock = LockedTransaction {
+            name: "T".into(),
+            steps: vec![LockedStep::Lock(lid(0)), LockedStep::Lock(lid(0))],
+        };
+        assert!(!double_lock.is_balanced(1));
+        let dangling = LockedTransaction {
+            name: "T".into(),
+            steps: vec![LockedStep::Lock(lid(0))],
+        };
+        assert!(!dangling.is_balanced(1));
+        let spurious_unlock = LockedTransaction {
+            name: "T".into(),
+            steps: vec![LockedStep::Unlock(lid(0))],
+        };
+        assert!(!spurious_unlock.is_balanced(1));
+    }
+
+    #[test]
+    fn hold_interval_and_positions() {
+        let lt = LockedTransaction {
+            name: "T".into(),
+            steps: vec![
+                LockedStep::Lock(lid(0)),
+                LockedStep::Data(sid(0, 0)),
+                LockedStep::Unlock(lid(0)),
+            ],
+        };
+        assert_eq!(lt.hold_interval(lid(0)), Some((0, 2)));
+        assert_eq!(lt.hold_interval(lid(1)), None);
+        assert_eq!(lt.lock_positions(lid(0)), vec![0]);
+    }
+
+    #[test]
+    fn well_formedness_requires_cover() {
+        let base = base();
+        let covered = LockedSystem {
+            base: base.clone(),
+            lock_names: vec!["X".into(), "Y".into()],
+            lock_of_var: vec![Some(lid(0)), Some(lid(1))],
+            txns: vec![LockedTransaction {
+                name: "T1".into(),
+                steps: vec![
+                    LockedStep::Lock(lid(0)),
+                    LockedStep::Data(sid(0, 0)),
+                    LockedStep::Lock(lid(1)),
+                    LockedStep::Data(sid(0, 1)),
+                    LockedStep::Unlock(lid(0)),
+                    LockedStep::Unlock(lid(1)),
+                ],
+            }],
+            policy_name: "manual".into(),
+        };
+        covered.validate().unwrap();
+        assert!(covered.is_well_formed());
+        assert!(covered.is_two_phase());
+
+        let uncovered = LockedSystem {
+            txns: vec![LockedTransaction {
+                name: "T1".into(),
+                steps: vec![
+                    LockedStep::Data(sid(0, 0)),
+                    LockedStep::Lock(lid(0)),
+                    LockedStep::Unlock(lid(0)),
+                    LockedStep::Lock(lid(1)),
+                    LockedStep::Data(sid(0, 1)),
+                    LockedStep::Unlock(lid(1)),
+                ],
+            }],
+            ..covered
+        };
+        assert!(!uncovered.is_well_formed());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_data_order() {
+        let base = base();
+        let sys = LockedSystem {
+            base,
+            lock_names: vec![],
+            lock_of_var: vec![None, None],
+            txns: vec![LockedTransaction {
+                name: "T1".into(),
+                steps: vec![LockedStep::Data(sid(0, 1)), LockedStep::Data(sid(0, 0))],
+            }],
+            policy_name: "manual".into(),
+        };
+        assert!(sys.validate().is_err());
+    }
+
+    #[test]
+    fn render_produces_figure_style_listing() {
+        let base = base();
+        let sys = LockedSystem {
+            base,
+            lock_names: vec!["X".into()],
+            lock_of_var: vec![Some(lid(0)), None],
+            txns: vec![LockedTransaction {
+                name: "T1".into(),
+                steps: vec![
+                    LockedStep::Lock(lid(0)),
+                    LockedStep::Data(sid(0, 0)),
+                    LockedStep::Unlock(lid(0)),
+                    LockedStep::Data(sid(0, 1)),
+                ],
+            }],
+            policy_name: "manual".into(),
+        };
+        let r = sys.render_txn(0);
+        assert!(r.contains("lock X"));
+        assert!(r.contains("T1,1: x <- ..."));
+        assert!(r.contains("unlock X"));
+    }
+}

@@ -1,0 +1,396 @@
+//! The lock-respecting scheduler LRS (Section 5.1).
+//!
+//! "After a locking policy L is designed, all we have to do is entrust L(T)
+//! to a very simple scheduler, the lock respecting scheduler LRS, which can
+//! only 'see' the locking-unlocking steps, the integrity constraints, and
+//! nothing else. Obviously, LRS is optimal with respect to this level of
+//! information."
+//!
+//! Two views are provided:
+//!
+//! * [`LrsState`] — the raw execution state of a locked system (per-
+//!   transaction positions plus the lock table), used by the exhaustive
+//!   output-set enumeration in [`crate::analysis`];
+//! * [`LrsScheduler`] — an [`OnlineScheduler`] over *data-step* requests:
+//!   each arriving `T_ij` advances its transaction through the interleaved
+//!   lock/unlock steps; a blocked lock parks the transaction until the
+//!   holder releases.
+
+use crate::locked::{LockId, LockedStep, LockedSystem};
+use crate::wfg::WaitsForGraph;
+use ccopt_core::info::InfoLevel;
+use ccopt_core::scheduler::OnlineScheduler;
+use ccopt_model::ids::{StepId, TxnId};
+
+/// Raw execution state of a locked system.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LrsState {
+    /// Next locked-step position of each transaction.
+    pub pos: Vec<usize>,
+    /// Lock table: holder of each lock, if any.
+    pub table: Vec<Option<TxnId>>,
+}
+
+impl LrsState {
+    /// Fresh state: all transactions at position 0, all locks free.
+    pub fn new(lts: &LockedSystem) -> Self {
+        LrsState {
+            pos: vec![0; lts.num_txns()],
+            table: vec![None; lts.num_locks()],
+        }
+    }
+
+    /// The next locked step of transaction `t`, if it has not finished.
+    pub fn next_step(&self, lts: &LockedSystem, t: TxnId) -> Option<LockedStep> {
+        lts.txns[t.index()].steps.get(self.pos[t.index()]).copied()
+    }
+
+    /// May transaction `t` execute its next step right now?
+    pub fn can_move(&self, lts: &LockedSystem, t: TxnId) -> bool {
+        match self.next_step(lts, t) {
+            None => false,
+            Some(LockedStep::Lock(x)) => self.table[x.index()].is_none(),
+            Some(LockedStep::Unlock(_)) | Some(LockedStep::Data(_)) => true,
+        }
+    }
+
+    /// Execute the next step of `t`.
+    ///
+    /// # Panics
+    /// Panics when the move is illegal (caller must check [`can_move`]).
+    ///
+    /// [`can_move`]: Self::can_move
+    pub fn do_move(&mut self, lts: &LockedSystem, t: TxnId) -> LockedStep {
+        let step = self.next_step(lts, t).expect("transaction finished");
+        match step {
+            LockedStep::Lock(x) => {
+                assert!(
+                    self.table[x.index()].is_none(),
+                    "lock {x} already held — the paper's error value -1"
+                );
+                self.table[x.index()] = Some(t);
+            }
+            LockedStep::Unlock(x) => {
+                assert_eq!(
+                    self.table[x.index()],
+                    Some(t),
+                    "unlock of a lock not held — the paper's error value -1"
+                );
+                self.table[x.index()] = None;
+            }
+            LockedStep::Data(_) => {}
+        }
+        self.pos[t.index()] += 1;
+        step
+    }
+
+    /// Has transaction `t` executed all of its locked steps?
+    pub fn finished(&self, lts: &LockedSystem, t: TxnId) -> bool {
+        self.pos[t.index()] == lts.txns[t.index()].len()
+    }
+
+    /// Have all transactions finished?
+    pub fn all_finished(&self, lts: &LockedSystem) -> bool {
+        (0..lts.num_txns()).all(|i| self.finished(lts, TxnId(i as u32)))
+    }
+
+    /// Transactions that can move now.
+    pub fn movers(&self, lts: &LockedSystem) -> Vec<TxnId> {
+        (0..lts.num_txns() as u32)
+            .map(TxnId)
+            .filter(|&t| self.can_move(lts, t))
+            .collect()
+    }
+
+    /// Is the state deadlocked: not everything finished, nothing can move?
+    /// (The geometric region `D` of Figure 3.)
+    pub fn is_deadlocked(&self, lts: &LockedSystem) -> bool {
+        !self.all_finished(lts) && self.movers(lts).is_empty()
+    }
+
+    /// The waits-for graph of the current state: `t → u` when `t`'s next
+    /// step is a lock held by `u`.
+    pub fn waits_for(&self, lts: &LockedSystem) -> WaitsForGraph {
+        let mut g = WaitsForGraph::new(lts.num_txns());
+        for i in 0..lts.num_txns() {
+            let t = TxnId(i as u32);
+            if let Some(LockedStep::Lock(x)) = self.next_step(lts, t) {
+                if let Some(holder) = self.table[x.index()] {
+                    if holder != t {
+                        g.add_wait(t, holder);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+/// The LRS as an online scheduler over data-step requests.
+///
+/// On each arriving data request the owning transaction advances through
+/// its pending lock steps; if some lock is held elsewhere the request parks.
+/// Releases retry parked transactions. When end-of-input finds a genuine
+/// deadlock, the victims' remaining data steps are emitted in arrival order
+/// — modelling abort-and-restart, whose replayed requests arrive in exactly
+/// that order (the run already counts as delayed).
+pub struct LrsScheduler {
+    lts: LockedSystem,
+    state: LrsState,
+    /// Parked data requests in arrival order.
+    parked: Vec<StepId>,
+    forced: usize,
+}
+
+impl LrsScheduler {
+    /// Build an LRS over a locked system.
+    pub fn new(lts: LockedSystem) -> Self {
+        let state = LrsState::new(&lts);
+        LrsScheduler {
+            lts,
+            state,
+            parked: Vec::new(),
+            forced: 0,
+        }
+    }
+
+    /// The locked system driving this scheduler.
+    pub fn locked_system(&self) -> &LockedSystem {
+        &self.lts
+    }
+
+    /// Try to advance transaction `t` up to and including the data step
+    /// `target`, then through any immediately-following unlock steps.
+    /// Returns `Some(target)` when the data step executed, `None` when a
+    /// lock blocked progress.
+    fn advance_to(&mut self, target: StepId) -> Option<StepId> {
+        let t = target.txn;
+        loop {
+            match self.state.next_step(&self.lts, t) {
+                None => return None, // already past — duplicate request
+                Some(LockedStep::Lock(x)) => {
+                    if self.state.table[x.index()].is_some() {
+                        return None; // blocked
+                    }
+                    self.state.do_move(&self.lts, t);
+                }
+                Some(LockedStep::Unlock(_)) => {
+                    self.state.do_move(&self.lts, t);
+                }
+                Some(LockedStep::Data(sid)) => {
+                    if sid == target {
+                        self.state.do_move(&self.lts, t);
+                        self.drain_trailing_unlocks(t);
+                        return Some(sid);
+                    }
+                    // A data step earlier than the target has not been
+                    // requested yet; stop (program order of requests
+                    // guarantees this does not occur for legal histories).
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Execute any unlock steps directly following the current position
+    /// (releasing as early as possible, before the next lock/data step).
+    fn drain_trailing_unlocks(&mut self, t: TxnId) {
+        while let Some(LockedStep::Unlock(_)) = self.state.next_step(&self.lts, t) {
+            self.state.do_move(&self.lts, t);
+        }
+    }
+
+    /// Retry every parked request until no further progress.
+    fn retry_parked(&mut self) -> Vec<StepId> {
+        let mut granted = Vec::new();
+        loop {
+            let mut progressed = false;
+            let mut k = 0;
+            while k < self.parked.len() {
+                let target = self.parked[k];
+                if let Some(sid) = self.advance_to(target) {
+                    self.parked.remove(k);
+                    granted.push(sid);
+                    progressed = true;
+                } else {
+                    k += 1;
+                }
+            }
+            if !progressed {
+                return granted;
+            }
+        }
+    }
+
+    /// The set of locks currently held (for tests/diagnostics).
+    pub fn held_locks(&self) -> Vec<(LockId, TxnId)> {
+        self.state
+            .table
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|t| (LockId(i as u32), t)))
+            .collect()
+    }
+}
+
+impl OnlineScheduler for LrsScheduler {
+    fn reset(&mut self) {
+        self.state = LrsState::new(&self.lts);
+        self.parked.clear();
+        self.forced = 0;
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        let mut granted = Vec::new();
+        if self.parked.iter().any(|p| p.txn == step.txn) {
+            // Program order: a parked earlier step must go first.
+            self.parked.push(step);
+        } else if let Some(sid) = self.advance_to(step) {
+            granted.push(sid);
+        } else {
+            self.parked.push(step);
+        }
+        granted.extend(self.retry_parked());
+        granted
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        let mut out = self.retry_parked();
+        if !self.parked.is_empty() {
+            // Deadlock: resolve by emitting the remaining data requests in
+            // arrival order (abort-and-restart order, reported via
+            // `forced_flushes`).
+            self.forced += self.parked.len();
+            out.append(&mut self.parked);
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "LRS"
+    }
+
+    fn info(&self) -> InfoLevel {
+        // LRS sees only locks; the locking policy consumed the syntax.
+        InfoLevel::Syntactic
+    }
+
+    fn forced_flushes(&self) -> usize {
+        self.forced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LockingPolicy;
+    use crate::two_phase::TwoPhasePolicy;
+    use ccopt_core::scheduler::run_scheduler;
+    use ccopt_model::systems;
+    use ccopt_schedule::schedule::Schedule;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn raw_state_tracks_locks() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut st = LrsState::new(&lts);
+        // T1: lock X_x, data, lock X_y ... T2: lock X_y, data, lock X_x ...
+        assert!(st.can_move(&lts, TxnId(0)));
+        st.do_move(&lts, TxnId(0)); // T1 lock X_x
+        st.do_move(&lts, TxnId(1)); // T2 lock X_y
+        st.do_move(&lts, TxnId(0)); // T1 data x
+        st.do_move(&lts, TxnId(1)); // T2 data y
+                                    // Now T1 wants lock X_y (held by T2), T2 wants lock X_x (held by T1).
+        assert!(!st.can_move(&lts, TxnId(0)));
+        assert!(!st.can_move(&lts, TxnId(1)));
+        assert!(st.is_deadlocked(&lts));
+        let wfg = st.waits_for(&lts);
+        assert!(wfg.find_cycle().is_some());
+    }
+
+    #[test]
+    fn serial_execution_never_blocks() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut st = LrsState::new(&lts);
+        for t in [TxnId(0), TxnId(1)] {
+            while !st.finished(&lts, t) {
+                assert!(st.can_move(&lts, t));
+                st.do_move(&lts, t);
+            }
+        }
+        assert!(st.all_finished(&lts));
+        assert!(st.table.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn online_lrs_passes_serial_histories() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut s = LrsScheduler::new(lts);
+        for serial in Schedule::all_serials(&sys.format()) {
+            let run = run_scheduler(&mut s, &serial);
+            assert!(run.no_delays, "serial {serial} delayed by LRS");
+            assert_eq!(run.output, serial);
+        }
+    }
+
+    #[test]
+    fn online_lrs_delays_conflicting_interleaving() {
+        // fig3_pair: h = (T1:x, T2:y, T2:x, T1:y) — T2's x must wait for
+        // T1's unlock, which under 2PL happens only after T1's y.
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut s = LrsScheduler::new(lts);
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(1, 1), sid(0, 1)]);
+        let run = run_scheduler(&mut s, &h);
+        assert!(!run.no_delays);
+        assert!(run.output.is_legal(&sys.format()));
+    }
+
+    #[test]
+    fn online_lrs_handles_the_deadlock_history() {
+        // (T1:x, T2:y, T1:y, T2:x): both park — the Figure 3 deadlock.
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut s = LrsScheduler::new(lts);
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1), sid(1, 1)]);
+        let run = run_scheduler(&mut s, &h);
+        assert!(!run.no_delays);
+        // All steps are still emitted exactly once, in a legal order.
+        assert!(run.output.is_legal(&sys.format()));
+    }
+
+    #[test]
+    fn noconflict_interleavings_pass_without_delay() {
+        // Two transactions on disjoint variables: 2PL never blocks.
+        let sys = systems::rw_pair(1); // T1: shared,a0; T2: b0,shared
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut s = LrsScheduler::new(lts);
+        // Interleave on the private variables first: T1 shared, T2 b0 ...
+        let h = Schedule::new_unchecked(vec![
+            sid(0, 0), // T1 shared (locks shared)
+            sid(0, 1), // T1 a0 — phase shift, releases shared after
+            sid(1, 0), // T2 b0
+            sid(1, 1), // T2 shared
+        ]);
+        let run = run_scheduler(&mut s, &h);
+        assert!(run.no_delays, "expected no delays, got {run:?}");
+    }
+
+    #[test]
+    fn held_locks_reports_holders() {
+        let sys = systems::fig3_pair();
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let mut s = LrsScheduler::new(lts);
+        s.reset();
+        s.on_request(sid(0, 0));
+        let held = s.held_locks();
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].1, TxnId(0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Renaming-invariance analysis (§5.4): "2PL is the best among all
+//! separable locking policies with syntactic information on *unstructured*
+//! variables. In other words, it is optimal among all policies that remain
+//! correct under arbitrary, local to the transactions, renamings of the
+//! variables."
+//!
+//! A policy is renaming-invariant when conjugating it with a variable
+//! permutation changes nothing: `rename ∘ L = L ∘ rename`. 2PL commutes
+//! with every permutation; 2PL′ and tree locking do not (they name a
+//! distinguished variable / a hierarchy) — that is exactly how they escape
+//! 2PL's optimality bound.
+
+use crate::analysis::{output_set, outputs_serializable};
+use crate::locked::LockedStep;
+use crate::policy::LockingPolicy;
+use ccopt_model::ids::VarId;
+use ccopt_model::syntax::Syntax;
+use ccopt_schedule::schedule::permutations;
+
+/// Apply a variable permutation to a syntax (`perm[old] = new`).
+pub fn rename_syntax(base: &Syntax, perm: &[usize]) -> Syntax {
+    let rename: Vec<VarId> = perm.iter().map(|&p| VarId(p as u32)).collect();
+    let mut new_vars = vec![String::new(); base.vars.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        new_vars[new] = base.vars[old].clone();
+    }
+    base.renamed(&rename, new_vars)
+}
+
+/// Does the policy *commute* with every variable permutation of `base`:
+/// `L(rename(T))` equals `rename(L(T))` up to lock identities?
+///
+/// Compared structurally, after canonicalization: maximal runs of
+/// consecutive lock (resp. unlock) steps are order-normalized, because
+/// policies emit simultaneous releases in variable-id order and a renaming
+/// permutes that incidental order without changing the policy's meaning.
+pub fn commutes_with_renamings(policy: &dyn LockingPolicy, base: &Syntax) -> bool {
+    let n = base.vars.len();
+    let idx: Vec<usize> = (0..n).collect();
+    let lts_base = policy.transform(base);
+    for perm in permutations(&idx) {
+        let renamed = rename_syntax(base, &perm);
+        let lts_renamed = policy.transform(&renamed);
+        for (t_base, t_ren) in lts_base.txns.iter().zip(&lts_renamed.txns) {
+            // Map the base transaction's lock ids through the permutation,
+            // then compare canonical forms.
+            let expected: Vec<LockedStep> = t_base
+                .steps
+                .iter()
+                .map(|&s| match s {
+                    LockedStep::Lock(x) if x.index() < n => {
+                        LockedStep::Lock(crate::locked::LockId(perm[x.index()] as u32))
+                    }
+                    LockedStep::Unlock(x) if x.index() < n => {
+                        LockedStep::Unlock(crate::locked::LockId(perm[x.index()] as u32))
+                    }
+                    other => other,
+                })
+                .collect();
+            if canonicalize(&expected) != canonicalize(&t_ren.steps) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Sort each maximal run of consecutive Lock (resp. Unlock) steps by lock
+/// id; data steps break runs.
+fn canonicalize(steps: &[LockedStep]) -> Vec<LockedStep> {
+    let mut out: Vec<LockedStep> = Vec::with_capacity(steps.len());
+    let mut run: Vec<LockedStep> = Vec::new();
+    let mut run_is_lock = true;
+    let flush = |run: &mut Vec<LockedStep>, out: &mut Vec<LockedStep>| {
+        run.sort_by_key(|s| match s {
+            LockedStep::Lock(x) | LockedStep::Unlock(x) => x.index(),
+            LockedStep::Data(_) => usize::MAX,
+        });
+        out.append(run);
+    };
+    for &s in steps {
+        match s {
+            LockedStep::Lock(_) => {
+                if !run.is_empty() && !run_is_lock {
+                    flush(&mut run, &mut out);
+                }
+                run_is_lock = true;
+                run.push(s);
+            }
+            LockedStep::Unlock(_) => {
+                if !run.is_empty() && run_is_lock {
+                    flush(&mut run, &mut out);
+                }
+                run_is_lock = false;
+                run.push(s);
+            }
+            LockedStep::Data(_) => {
+                flush(&mut run, &mut out);
+                out.push(s);
+            }
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+/// Is the policy correct (all outputs Herbrand-serializable) on `base`
+/// under *every* variable permutation? Renaming-invariant policies pass
+/// trivially; structured policies may fail once their structural
+/// assumption is rotated away.
+pub fn correct_under_all_renamings(
+    policy: &dyn LockingPolicy,
+    base: &Syntax,
+) -> Result<(), String> {
+    let n = base.vars.len();
+    let idx: Vec<usize> = (0..n).collect();
+    for perm in permutations(&idx) {
+        let renamed = rename_syntax(base, &perm);
+        outputs_serializable(&renamed, policy)
+            .map_err(|e| format!("under renaming {perm:?}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Performance profile across renamings: the min/max output-set sizes.
+/// Renaming-invariant policies have min == max.
+pub fn output_size_range(policy: &dyn LockingPolicy, base: &Syntax) -> (usize, usize) {
+    let n = base.vars.len();
+    let idx: Vec<usize> = (0..n).collect();
+    let mut lo = usize::MAX;
+    let mut hi = 0;
+    for perm in permutations(&idx) {
+        let renamed = rename_syntax(base, &perm);
+        let sz = output_set(&policy.transform(&renamed)).schedules.len();
+        lo = lo.min(sz);
+        hi = hi.max(sz);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreePolicy;
+    use crate::two_phase::TwoPhasePolicy;
+    use crate::variant::TwoPhasePrimePolicy;
+    use ccopt_model::syntax::SyntaxBuilder;
+    use ccopt_model::systems;
+
+    #[test]
+    fn two_pl_commutes_with_renamings() {
+        for sys in [systems::fig3_pair(), systems::fig2_like()] {
+            assert!(commutes_with_renamings(&TwoPhasePolicy, &sys.syntax));
+        }
+    }
+
+    #[test]
+    fn two_pl_prime_does_not_commute() {
+        // The distinguished variable breaks commutation as soon as the
+        // permutation moves x.
+        let sys = systems::fig2_like();
+        let x = sys.syntax.var_by_name("x").unwrap();
+        assert!(!commutes_with_renamings(
+            &TwoPhasePrimePolicy::new(x),
+            &sys.syntax
+        ));
+    }
+
+    #[test]
+    fn tree_policy_does_not_commute() {
+        // Three variables: reversing the chain defeats the hierarchy
+        // assumption (the 2PL fallback has a different shape than
+        // lock-coupling). Two variables are too few — there tree locking
+        // coincides with 2PL and commutes.
+        let syn = SyntaxBuilder::new()
+            .vars(["v0", "v1", "v2"])
+            .txn("T1", |t| t.update("v0").update("v1").update("v2"))
+            .build();
+        assert!(!commutes_with_renamings(&TreePolicy::chain(3), &syn));
+    }
+
+    #[test]
+    fn two_pl_is_correct_under_every_renaming() {
+        let sys = systems::fig3_pair();
+        correct_under_all_renamings(&TwoPhasePolicy, &sys.syntax).unwrap();
+        // And its performance is renaming-independent.
+        let (lo, hi) = output_size_range(&TwoPhasePolicy, &sys.syntax);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn two_pl_prime_performance_depends_on_the_renaming() {
+        // On the x-first workload 2PL' beats 2PL, but its advantage is tied
+        // to which variable is x: across renamings the output-set size
+        // varies — the §5.4 structured-information signature.
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("a").update("b"))
+            .txn("T2", |t| t.update("x").update("c").update("d"))
+            .build();
+        let x = syn.var_by_name("x").unwrap();
+        let (lo, hi) = output_size_range(&TwoPhasePrimePolicy::new(x), &syn);
+        assert!(
+            lo < hi,
+            "expected renaming-dependent performance: {lo}..{hi}"
+        );
+    }
+
+    #[test]
+    fn rename_syntax_round_trips() {
+        let sys = systems::fig3_pair();
+        let n = sys.syntax.num_vars();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let renamed = rename_syntax(&sys.syntax, &perm);
+        let back = rename_syntax(&renamed, &perm); // reversal is involutive
+        assert_eq!(back.format(), sys.syntax.format());
+        for (a, b) in sys.syntax.all_steps().zip(back.all_steps()) {
+            assert_eq!(sys.syntax.var_of(a), back.var_of(b));
+        }
+    }
+}

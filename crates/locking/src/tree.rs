@@ -1,0 +1,221 @@
+//! Tree (hierarchical) locking, after Silberschatz–Kedem (cited in §5.4).
+//!
+//! "The tree-locking schema of [Silberschatz and Kedem 78] violates this
+//! [renaming invariance] by assuming a hierarchical database" — tree
+//! locking is the paper's example of a *structured-data* policy that beats
+//! 2PL when the structure assumption holds.
+//!
+//! The protocol implemented here is lock-coupling down the tree: a
+//! transaction locks its first variable, and locks each next variable while
+//! still holding the previous one on the tree path, releasing a variable as
+//! soon as its last access is past *and* its successor is locked. Unlike
+//! 2PL, locks can be released before others are acquired (not two-phase),
+//! yet all outputs remain serializable when every transaction's access
+//! order follows the tree order.
+
+use crate::locked::{LockId, LockedStep, LockedSystem, LockedTransaction};
+use crate::policy::LockingPolicy;
+use ccopt_core::info::InfoLevel;
+use ccopt_model::ids::{StepId, VarId};
+use ccopt_model::syntax::{Syntax, TransactionSyntax};
+
+/// Tree locking over a variable hierarchy.
+#[derive(Clone, Debug)]
+pub struct TreePolicy {
+    /// `order[v]` is the position of variable `v` in the tree's preorder;
+    /// transactions must access variables in increasing preorder.
+    pub preorder: Vec<u32>,
+}
+
+impl TreePolicy {
+    /// A policy over a chain hierarchy `v0 → v1 → ...` in variable-id
+    /// order.
+    pub fn chain(num_vars: usize) -> Self {
+        TreePolicy {
+            preorder: (0..num_vars as u32).collect(),
+        }
+    }
+
+    /// Does the transaction access variables in tree (preorder) order?
+    pub fn admits(&self, t: &TransactionSyntax) -> bool {
+        let mut seen: Vec<VarId> = Vec::new();
+        for s in &t.steps {
+            match seen.last() {
+                Some(&last) if last == s.var => {}
+                Some(&last) => {
+                    if self.preorder[s.var.index()] <= self.preorder[last.index()]
+                        || seen.contains(&s.var)
+                    {
+                        return false;
+                    }
+                    seen.push(s.var);
+                }
+                None => seen.push(s.var),
+            }
+        }
+        true
+    }
+
+    /// Does every transaction of the syntax follow the tree order?
+    pub fn admits_syntax(&self, base: &Syntax) -> bool {
+        base.transactions.iter().all(|t| self.admits(t))
+    }
+
+    fn lock_transaction(&self, t: &TransactionSyntax, txn_index: u32) -> LockedTransaction {
+        // Variables in first-access order (which equals preorder when the
+        // transaction is admitted).
+        let mut order: Vec<VarId> = Vec::new();
+        for s in &t.steps {
+            if !order.contains(&s.var) {
+                order.push(s.var);
+            }
+        }
+        let mut steps = Vec::with_capacity(t.steps.len() * 3);
+        for (p, s) in t.steps.iter().enumerate() {
+            if t.first_access(s.var) == Some(p) {
+                steps.push(LockedStep::Lock(LockId(s.var.0)));
+                // Lock coupling: the predecessor on the path can be dropped
+                // once its last access is past and this lock is held.
+                if let Some(k) = order.iter().position(|&v| v == s.var) {
+                    if k > 0 {
+                        let prev = order[k - 1];
+                        if t.last_access(prev).expect("accessed") < p {
+                            steps.push(LockedStep::Unlock(LockId(prev.0)));
+                        }
+                    }
+                }
+            }
+            steps.push(LockedStep::Data(StepId::new(txn_index, p as u32)));
+            // The final variable (or one whose successor was locked before
+            // its last access) is released right after its last access.
+            if t.last_access(s.var) == Some(p) {
+                let k = order.iter().position(|&v| v == s.var).expect("present");
+                let successor_locked = order
+                    .get(k + 1)
+                    .map(|&nxt| t.first_access(nxt).expect("accessed") < p);
+                if successor_locked != Some(false) {
+                    // Either no successor, or the successor lock is already
+                    // held — safe to release now.
+                    steps.push(LockedStep::Unlock(LockId(s.var.0)));
+                }
+            }
+        }
+        LockedTransaction {
+            name: t.name.clone(),
+            steps,
+        }
+    }
+}
+
+impl LockingPolicy for TreePolicy {
+    fn transform(&self, base: &Syntax) -> LockedSystem {
+        let lock_names: Vec<String> = base.vars.iter().map(|v| format!("X_{v}")).collect();
+        let lock_of_var: Vec<Option<LockId>> = (0..base.vars.len())
+            .map(|i| Some(LockId(i as u32)))
+            .collect();
+        let txns = base
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if self.admits(t) {
+                    self.lock_transaction(t, i as u32)
+                } else {
+                    // Fall back to 2PL for transactions that do not follow
+                    // the hierarchy (keeps the policy total and correct).
+                    crate::two_phase::lock_transaction_2pl(t, i as u32)
+                }
+            })
+            .collect();
+        LockedSystem {
+            base: base.clone(),
+            lock_names,
+            lock_of_var,
+            txns,
+            policy_name: "tree".into(),
+        }
+    }
+
+    fn is_separable(&self) -> bool {
+        true
+    }
+
+    fn is_renaming_invariant(&self) -> bool {
+        false // depends on the hierarchy
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Syntactic
+    }
+
+    fn name(&self) -> &str {
+        "tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{compare_policies, outputs_serializable};
+    use crate::two_phase::TwoPhasePolicy;
+    use ccopt_model::syntax::SyntaxBuilder;
+
+    /// Two transactions walking the same chain v0 -> v1 -> v2.
+    fn chain_syntax() -> Syntax {
+        SyntaxBuilder::new()
+            .vars(["v0", "v1", "v2"])
+            .txn("T1", |t| t.update("v0").update("v1").update("v2"))
+            .txn("T2", |t| t.update("v0").update("v1").update("v2"))
+            .build()
+    }
+
+    #[test]
+    fn admits_in_order_transactions() {
+        let policy = TreePolicy::chain(3);
+        let syn = chain_syntax();
+        assert!(policy.admits_syntax(&syn));
+        let bad = SyntaxBuilder::new()
+            .vars(["v0", "v1", "v2"])
+            .txn("T1", |t| t.update("v1").update("v0"))
+            .build();
+        assert!(!policy.admits_syntax(&bad));
+    }
+
+    #[test]
+    fn tree_locked_transactions_are_not_two_phase_but_balanced() {
+        let policy = TreePolicy::chain(3);
+        let lts = policy.transform(&chain_syntax());
+        lts.validate().unwrap();
+        assert!(lts.is_well_formed());
+        // Lock coupling releases v0 before locking v2: not two-phase.
+        assert!(!lts.txns[0].is_two_phase());
+    }
+
+    #[test]
+    fn tree_outputs_are_serializable_on_chains() {
+        let policy = TreePolicy::chain(3);
+        let n = outputs_serializable(&chain_syntax(), &policy).unwrap();
+        assert!(n >= 2);
+    }
+
+    #[test]
+    fn tree_beats_2pl_on_chain_workloads() {
+        let cmp = compare_policies(&chain_syntax(), &TwoPhasePolicy, &TreePolicy::chain(3));
+        assert!(
+            cmp.b_strictly_better(),
+            "expected tree locking strictly better on chains: {cmp:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_to_2pl_for_non_conforming_transactions() {
+        let policy = TreePolicy::chain(2);
+        let syn = SyntaxBuilder::new()
+            .vars(["v0", "v1"])
+            .txn("T1", |t| t.update("v1").update("v0"))
+            .build();
+        let lts = policy.transform(&syn);
+        lts.validate().unwrap();
+        assert!(lts.txns[0].is_two_phase());
+    }
+}

@@ -1,0 +1,223 @@
+//! The two-phase locking policy 2PL (Section 5.2, Figure 2).
+//!
+//! "2PL transforms a transaction system into a locked one as follows:
+//! 1. Associate a locking variable X with every x ∈ V.
+//! 2. If a step T_ij accesses x_ij, then there is a step lock X_ij before
+//!    T_ij, and a step unlock X_ij after T_ij subject to the following
+//!    rules: (a) in no transaction is there a lock step after the first
+//!    unlock step; (b) lock steps are as late and unlock steps as early as
+//!    possible subject to condition (a)."
+//!
+//! The placement realizing (b): lock `X_v` immediately before the first
+//! access of `v`; once the final lock of the transaction has been taken
+//! (the *phase shift*), release every lock whose variable has had its last
+//! access, and afterwards release each lock right after its variable's last
+//! access.
+
+use crate::locked::{LockId, LockedStep, LockedSystem, LockedTransaction};
+use crate::policy::LockingPolicy;
+use ccopt_core::info::InfoLevel;
+use ccopt_model::ids::StepId;
+use ccopt_model::syntax::{Syntax, TransactionSyntax};
+
+/// The classic two-phase locking policy.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TwoPhasePolicy;
+
+impl LockingPolicy for TwoPhasePolicy {
+    fn transform(&self, base: &Syntax) -> LockedSystem {
+        let lock_names: Vec<String> = base.vars.iter().map(|v| format!("X_{v}")).collect();
+        let lock_of_var: Vec<Option<LockId>> = (0..base.vars.len())
+            .map(|i| Some(LockId(i as u32)))
+            .collect();
+        let txns = base
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| lock_transaction_2pl(t, i as u32))
+            .collect();
+        LockedSystem {
+            base: base.clone(),
+            lock_names,
+            lock_of_var,
+            txns,
+            policy_name: "2PL".into(),
+        }
+    }
+
+    fn is_separable(&self) -> bool {
+        true
+    }
+
+    fn is_renaming_invariant(&self) -> bool {
+        true
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Syntactic
+    }
+
+    fn name(&self) -> &str {
+        "2PL"
+    }
+}
+
+/// Apply the Figure 2 placement to a single transaction (2PL is separable,
+/// so this is the whole policy).
+pub fn lock_transaction_2pl(t: &TransactionSyntax, txn_index: u32) -> LockedTransaction {
+    let m = t.steps.len();
+    // First/last access position of each accessed variable.
+    let vars = t.accessed_vars();
+    let first: Vec<(ccopt_model::ids::VarId, usize)> = vars
+        .iter()
+        .map(|&v| (v, t.first_access(v).expect("accessed")))
+        .collect();
+    let phase_shift = first.iter().map(|&(_, p)| p).max().unwrap_or(0);
+
+    let mut steps = Vec::with_capacity(m * 3);
+    let mut unlocked: std::collections::BTreeSet<ccopt_model::ids::VarId> =
+        std::collections::BTreeSet::new();
+    for (p, s) in t.steps.iter().enumerate() {
+        // Rule (b): lock as late as possible — right before the first access.
+        if t.first_access(s.var) == Some(p) {
+            steps.push(LockedStep::Lock(LockId(s.var.0)));
+        }
+        // Unlocks as early as possible: the moment the final lock is taken,
+        // everything whose last access is already past can be released —
+        // *before* the data step at the phase-shift position (Figure 2
+        // places "unlock X / unlock Y" between "lock Z" and the z step).
+        if p == phase_shift {
+            for &(v, _) in &first {
+                if t.last_access(v).expect("accessed") < p && unlocked.insert(v) {
+                    steps.push(LockedStep::Unlock(LockId(v.0)));
+                }
+            }
+        }
+        steps.push(LockedStep::Data(StepId::new(txn_index, p as u32)));
+        // After the data step: release variables whose last access was here,
+        // provided the phase shift has passed.
+        if p >= phase_shift {
+            for &(v, _) in &first {
+                if t.last_access(v).expect("accessed") <= p && unlocked.insert(v) {
+                    steps.push(LockedStep::Unlock(LockId(v.0)));
+                }
+            }
+        }
+    }
+    // Defensive: release anything not yet released (cannot happen for legal
+    // inputs, but keeps the output balanced under all circumstances).
+    for &(v, _) in &first {
+        if unlocked.insert(v) {
+            steps.push(LockedStep::Unlock(LockId(v.0)));
+        }
+    }
+    LockedTransaction {
+        name: t.name.clone(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::check_separability;
+    use ccopt_model::systems;
+
+    /// The exact Figure 2 check: transaction `x y x z` becomes
+    /// `lock X, x, lock Y, y, x, lock Z, unlock X, unlock Y, z, unlock Z`.
+    #[test]
+    fn figure2_transformation_is_exact() {
+        let sys = systems::fig2_like();
+        let locked = TwoPhasePolicy.transform(&sys.syntax);
+        let rendered = locked.render_txn(0);
+        let expected = "lock X_x\n\
+                        T1,1: x <- ...\n\
+                        lock X_y\n\
+                        T1,2: y <- ...\n\
+                        T1,3: x <- ...\n\
+                        lock X_z\n\
+                        unlock X_x\n\
+                        unlock X_y\n\
+                        T1,4: z <- ...\n\
+                        unlock X_z\n";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn output_is_well_formed_two_phase_and_balanced() {
+        for sys in [
+            systems::fig2_like(),
+            systems::fig3_pair(),
+            systems::banking(),
+            systems::rw_pair(2),
+        ] {
+            let locked = TwoPhasePolicy.transform(&sys.syntax);
+            locked.validate().unwrap();
+            assert!(locked.is_well_formed(), "{} not well-formed", sys.name);
+            assert!(locked.is_two_phase(), "{} not two-phase", sys.name);
+        }
+    }
+
+    #[test]
+    fn locks_are_as_late_as_possible() {
+        // In fig3_pair T1 (x then y), lock X_y must come after the x access.
+        let sys = systems::fig3_pair();
+        let locked = TwoPhasePolicy.transform(&sys.syntax);
+        let t1 = &locked.txns[0];
+        let y_lock = t1
+            .steps
+            .iter()
+            .position(|&s| s == LockedStep::Lock(LockId(1)))
+            .unwrap();
+        let x_data = t1
+            .steps
+            .iter()
+            .position(|&s| s == LockedStep::Data(StepId::new(0, 0)))
+            .unwrap();
+        assert!(y_lock > x_data);
+    }
+
+    #[test]
+    fn single_variable_transaction_wraps_tightly() {
+        use ccopt_model::syntax::SyntaxBuilder;
+        let syn = SyntaxBuilder::new().txn("T1", |t| t.update("x")).build();
+        let locked = TwoPhasePolicy.transform(&syn);
+        assert_eq!(
+            locked.txns[0].steps,
+            vec![
+                LockedStep::Lock(LockId(0)),
+                LockedStep::Data(StepId::new(0, 0)),
+                LockedStep::Unlock(LockId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn separability_holds() {
+        assert!(check_separability(
+            &TwoPhasePolicy,
+            &systems::banking().syntax
+        ));
+    }
+
+    #[test]
+    fn repeated_accesses_lock_once() {
+        use ccopt_model::syntax::SyntaxBuilder;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("x").update("x"))
+            .build();
+        let locked = TwoPhasePolicy.transform(&syn);
+        let locks = locked.txns[0]
+            .steps
+            .iter()
+            .filter(|s| matches!(s, LockedStep::Lock(_)))
+            .count();
+        let unlocks = locked.txns[0]
+            .steps
+            .iter()
+            .filter(|s| matches!(s, LockedStep::Unlock(_)))
+            .count();
+        assert_eq!(locks, 1);
+        assert_eq!(unlocks, 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! The 2PL′ policy (Section 5.4, Figure 5): correct, separable, and
+//! strictly better than 2PL — by *distinguishing* one variable.
+//!
+//! "The following variant of 2PL can be shown to be both correct and
+//! strictly better than 2PL in performance:
+//! 1. Apply 2PL to all variables except to a distinguished one, x.
+//! 2. After the first usage of x insert a pair of steps lock X′ - unlock X′.
+//! 3. After the last usage of x insert the steps lock X′, unlock X.
+//! 4. After the last lock step insert unlock X′."
+//!
+//! `X` (the lock-bit of `x`) is taken just before the first usage of `x`
+//! and — unlike 2PL — released right after its last usage, before the
+//! transaction's phase shift; the auxiliary lock `X′` serializes the
+//! release order so that correctness is preserved. 2PL′ exists to show 2PL
+//! is *not* optimal among separable policies once a variable may be treated
+//! non-uniformly (structured information); it is intentionally not
+//! renaming-invariant.
+//!
+//! ## Scope of the correctness claim
+//!
+//! The conference version states the recipe in four lines and defers the
+//! analysis to the (then-forthcoming) full paper. Taken literally — every
+//! `X′` interaction placed *after* the x usage, as Figure 5 shows — the
+//! construction is correct for **x-first systems**: systems in which every
+//! transaction that touches `x` touches it before any other variable (the
+//! Figure 5 shape, and the root-entry pattern that later became tree
+//! locking). When some transaction reaches `x` as its *last* access, the
+//! early release of `X` admits a non-serializable interleaving; the
+//! boundary is pinned down by
+//! `analysis::tests::two_pl_prime_boundary_when_x_is_accessed_last`.
+//! Our executable comparisons (strict improvement over 2PL) are therefore
+//! stated on x-first systems.
+
+use crate::locked::{LockId, LockedStep, LockedSystem, LockedTransaction};
+use crate::policy::LockingPolicy;
+use crate::two_phase::lock_transaction_2pl;
+use ccopt_core::info::InfoLevel;
+use ccopt_model::ids::{StepId, VarId};
+use ccopt_model::syntax::{Syntax, TransactionSyntax};
+
+/// 2PL′ with a distinguished variable.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoPhasePrimePolicy {
+    /// The distinguished variable `x`.
+    pub distinguished: VarId,
+}
+
+impl TwoPhasePrimePolicy {
+    /// Distinguish variable `x`.
+    pub fn new(distinguished: VarId) -> Self {
+        TwoPhasePrimePolicy { distinguished }
+    }
+}
+
+impl LockingPolicy for TwoPhasePrimePolicy {
+    fn transform(&self, base: &Syntax) -> LockedSystem {
+        // Lock table: one lock per variable, plus the auxiliary X'.
+        let mut lock_names: Vec<String> = base.vars.iter().map(|v| format!("X_{v}")).collect();
+        let aux = LockId(lock_names.len() as u32);
+        lock_names.push(format!(
+            "X'_{}",
+            base.vars[self.distinguished.index()].clone()
+        ));
+        let lock_of_var: Vec<Option<LockId>> = (0..base.vars.len())
+            .map(|i| Some(LockId(i as u32)))
+            .collect();
+        let txns = base
+            .transactions
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.lock_transaction(t, i as u32, aux))
+            .collect();
+        LockedSystem {
+            base: base.clone(),
+            lock_names,
+            lock_of_var,
+            txns,
+            policy_name: "2PL'".into(),
+        }
+    }
+
+    fn is_separable(&self) -> bool {
+        true
+    }
+
+    fn is_renaming_invariant(&self) -> bool {
+        false // the whole point: x is distinguished
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Syntactic
+    }
+
+    fn name(&self) -> &str {
+        "2PL'"
+    }
+}
+
+impl TwoPhasePrimePolicy {
+    fn lock_transaction(
+        &self,
+        t: &TransactionSyntax,
+        txn_index: u32,
+        aux: LockId,
+    ) -> LockedTransaction {
+        let x = self.distinguished;
+        let Some(first_x) = t.first_access(x) else {
+            // Transaction does not touch x: plain 2PL.
+            return lock_transaction_2pl(t, txn_index);
+        };
+        let last_x = t.last_access(x).expect("accessed");
+        let x_lock = LockId(x.0);
+
+        // Rule 1: 2PL over the other variables. Phase shift considers only
+        // the non-distinguished variables.
+        let others: Vec<VarId> = t.accessed_vars().into_iter().filter(|&v| v != x).collect();
+        let phase_shift = others
+            .iter()
+            .map(|&v| t.first_access(v).expect("accessed"))
+            .max();
+
+        let mut steps: Vec<LockedStep> = Vec::with_capacity(t.steps.len() * 3);
+        let mut unlocked: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+        let mut aux_unlock_pending = false;
+
+        for (p, s) in t.steps.iter().enumerate() {
+            // Lock placement (as late as possible) for every variable,
+            // including X just before the first usage of x.
+            if t.first_access(s.var) == Some(p) {
+                steps.push(LockedStep::Lock(if s.var == x {
+                    x_lock
+                } else {
+                    LockId(s.var.0)
+                }));
+            }
+            // 2PL early unlocks for the other variables at the phase shift.
+            if Some(p) == phase_shift {
+                for &v in &others {
+                    if t.last_access(v).expect("accessed") < p && unlocked.insert(v) {
+                        steps.push(LockedStep::Unlock(LockId(v.0)));
+                    }
+                }
+                // Rule 4 applies here when x's last usage preceded the
+                // phase shift: the final 2PL lock just emitted is the last
+                // lock step, and unlock X' follows it immediately.
+                if aux_unlock_pending {
+                    steps.push(LockedStep::Unlock(aux));
+                    aux_unlock_pending = false;
+                }
+            }
+            steps.push(LockedStep::Data(StepId::new(txn_index, p as u32)));
+            // Rule 2: after the first usage of x, a lock X' / unlock X'
+            // pulse.
+            if p == first_x {
+                steps.push(LockedStep::Lock(aux));
+                steps.push(LockedStep::Unlock(aux));
+            }
+            // Rule 3: after the last usage of x, lock X' then unlock X.
+            if p == last_x {
+                steps.push(LockedStep::Lock(aux));
+                steps.push(LockedStep::Unlock(x_lock));
+                unlocked.insert(x);
+                aux_unlock_pending = true;
+            }
+            // 2PL unlocks after the phase shift for the other variables.
+            if phase_shift.is_some_and(|ps| p >= ps) {
+                for &v in &others {
+                    if t.last_access(v).expect("accessed") <= p && unlocked.insert(v) {
+                        steps.push(LockedStep::Unlock(LockId(v.0)));
+                    }
+                }
+            }
+            // Rule 4: after the last lock step insert unlock X'. The last
+            // lock step is either the final 2PL lock (at the phase shift) or
+            // rule 3's own lock X', whichever comes later.
+            if aux_unlock_pending && phase_shift.is_none_or(|ps| p >= ps) {
+                steps.push(LockedStep::Unlock(aux));
+                aux_unlock_pending = false;
+            }
+        }
+        for &v in &others {
+            if unlocked.insert(v) {
+                steps.push(LockedStep::Unlock(LockId(v.0)));
+            }
+        }
+        if aux_unlock_pending {
+            steps.push(LockedStep::Unlock(aux));
+        }
+        LockedTransaction {
+            name: t.name.clone(),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::check_separability;
+    use ccopt_model::systems;
+
+    /// Figure 5: transaction `x y x z` with distinguished `x`.
+    #[test]
+    fn figure5_transformation_structure() {
+        let sys = systems::fig2_like();
+        let x = sys.syntax.var_by_name("x").unwrap();
+        let locked = TwoPhasePrimePolicy::new(x).transform(&sys.syntax);
+        let rendered = locked.render_txn(0);
+        let expected = "lock X_x\n\
+                        T1,1: x <- ...\n\
+                        lock X'_x\n\
+                        unlock X'_x\n\
+                        lock X_y\n\
+                        T1,2: y <- ...\n\
+                        T1,3: x <- ...\n\
+                        lock X'_x\n\
+                        unlock X_x\n\
+                        lock X_z\n\
+                        unlock X_y\n\
+                        unlock X'_x\n\
+                        T1,4: z <- ...\n\
+                        unlock X_z\n";
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn output_is_well_formed_and_balanced_but_not_two_phase() {
+        let sys = systems::fig2_like();
+        let x = sys.syntax.var_by_name("x").unwrap();
+        let locked = TwoPhasePrimePolicy::new(x).transform(&sys.syntax);
+        locked.validate().unwrap();
+        assert!(locked.is_well_formed());
+        // 2PL' is deliberately not two-phase (unlock X before lock Z).
+        assert!(!locked.txns[0].is_two_phase());
+    }
+
+    #[test]
+    fn transactions_not_touching_x_get_plain_2pl() {
+        let sys = systems::fig2_like(); // T2 touches z, y only
+        let x = sys.syntax.var_by_name("x").unwrap();
+        let locked = TwoPhasePrimePolicy::new(x).transform(&sys.syntax);
+        assert!(locked.txns[1].is_two_phase());
+        locked.validate().unwrap();
+    }
+
+    #[test]
+    fn separability_holds() {
+        let sys = systems::fig2_like();
+        let x = sys.syntax.var_by_name("x").unwrap();
+        assert!(check_separability(
+            &TwoPhasePrimePolicy::new(x),
+            &sys.syntax
+        ));
+    }
+
+    #[test]
+    fn metadata() {
+        let p = TwoPhasePrimePolicy::new(VarId(0));
+        assert!(!p.is_renaming_invariant());
+        assert!(p.is_separable());
+        assert_eq!(p.name(), "2PL'");
+    }
+
+    #[test]
+    fn single_access_of_x_is_handled() {
+        use ccopt_model::syntax::SyntaxBuilder;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .build();
+        let x = syn.var_by_name("x").unwrap();
+        let locked = TwoPhasePrimePolicy::new(x).transform(&syn);
+        locked.validate().unwrap();
+        assert!(locked.is_well_formed());
+    }
+}

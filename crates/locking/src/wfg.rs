@@ -1,0 +1,142 @@
+//! Waits-for graphs and deadlock cycles.
+//!
+//! A transaction waits for the holder of the lock it needs next; a cycle in
+//! the waits-for relation is a deadlock (the discrete counterpart of the
+//! geometric region `D` in Figure 3).
+
+use ccopt_model::ids::TxnId;
+
+/// A waits-for graph over `n` transactions.
+#[derive(Clone, Debug)]
+pub struct WaitsForGraph {
+    n: usize,
+    edges: Vec<bool>,
+}
+
+impl WaitsForGraph {
+    /// Empty graph over `n` transactions.
+    pub fn new(n: usize) -> Self {
+        WaitsForGraph {
+            n,
+            edges: vec![false; n * n],
+        }
+    }
+
+    /// Record that `waiter` waits for `holder`.
+    pub fn add_wait(&mut self, waiter: TxnId, holder: TxnId) {
+        self.edges[waiter.index() * self.n + holder.index()] = true;
+    }
+
+    /// Does `waiter` wait for `holder`?
+    pub fn waits(&self, waiter: TxnId, holder: TxnId) -> bool {
+        self.edges[waiter.index() * self.n + holder.index()]
+    }
+
+    /// All wait edges.
+    pub fn edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for k in 0..self.n {
+                if self.edges[i * self.n + k] {
+                    out.push((TxnId(i as u32), TxnId(k as u32)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Find a deadlock cycle, if any (DFS with colors).
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; self.n];
+        let mut stack: Vec<usize> = Vec::new();
+
+        fn dfs(
+            g: &WaitsForGraph,
+            u: usize,
+            color: &mut [Color],
+            stack: &mut Vec<usize>,
+        ) -> Option<Vec<TxnId>> {
+            color[u] = Color::Gray;
+            stack.push(u);
+            for v in 0..g.n {
+                if !g.edges[u * g.n + v] {
+                    continue;
+                }
+                match color[v] {
+                    Color::Gray => {
+                        let start = stack.iter().position(|&w| w == v).expect("on stack");
+                        return Some(stack[start..].iter().map(|&w| TxnId(w as u32)).collect());
+                    }
+                    Color::White => {
+                        if let Some(c) = dfs(g, v, color, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Color::Black => {}
+                }
+            }
+            stack.pop();
+            color[u] = Color::Black;
+            None
+        }
+
+        for u in 0..self.n {
+            if color[u] == Color::White {
+                if let Some(c) = dfs(self, u, &mut color, &mut stack) {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        let g = WaitsForGraph::new(3);
+        assert!(g.find_cycle().is_none());
+        assert!(g.edges().is_empty());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitsForGraph::new(2);
+        g.add_wait(TxnId(0), TxnId(1));
+        g.add_wait(TxnId(1), TxnId(0));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(g.waits(TxnId(0), TxnId(1)));
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut g = WaitsForGraph::new(4);
+        g.add_wait(TxnId(0), TxnId(1));
+        g.add_wait(TxnId(1), TxnId(2));
+        g.add_wait(TxnId(2), TxnId(3));
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn three_cycle_found_even_with_tail() {
+        let mut g = WaitsForGraph::new(5);
+        g.add_wait(TxnId(0), TxnId(1)); // tail into the cycle
+        g.add_wait(TxnId(1), TxnId(2));
+        g.add_wait(TxnId(2), TxnId(3));
+        g.add_wait(TxnId(3), TxnId(1));
+        let c = g.find_cycle().unwrap();
+        assert_eq!(c.len(), 3);
+        // The cycle is 1 -> 2 -> 3 -> 1 in some rotation.
+        assert!(c.contains(&TxnId(1)) && c.contains(&TxnId(2)) && c.contains(&TxnId(3)));
+    }
+}

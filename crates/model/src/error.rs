@@ -1,0 +1,94 @@
+//! Error types for the model crate.
+
+use crate::expr::EvalError;
+use crate::ids::{StepId, TxnId};
+use std::fmt;
+
+/// Errors produced while constructing or executing transaction systems.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A step was submitted for execution out of program order.
+    NotEligible {
+        /// The offending step.
+        step: StepId,
+        /// The program counter the transaction was actually at.
+        pc: u32,
+    },
+    /// A step id referenced a transaction or position outside the syntax.
+    UnknownStep(StepId),
+    /// The initial global state has the wrong arity for the system.
+    StateArity {
+        /// Number of variables the system declares.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A step function failed to evaluate.
+    Eval {
+        /// The step whose function failed.
+        step: StepId,
+        /// The underlying expression error.
+        source: EvalError,
+    },
+    /// The paper's basic assumption failed: a transaction run alone mapped a
+    /// consistent state to an inconsistent one.
+    TransactionIncorrect {
+        /// The incorrect transaction.
+        txn: TxnId,
+        /// A consistent initial state it breaks (rendered).
+        from_state: String,
+    },
+    /// Syntax validation failed.
+    InvalidSyntax(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotEligible { step, pc } => write!(
+                f,
+                "step {step} is not eligible: transaction is at step {}",
+                pc + 1
+            ),
+            ModelError::UnknownStep(s) => write!(f, "unknown step {s}"),
+            ModelError::StateArity { expected, got } => {
+                write!(f, "state has {got} values but system declares {expected}")
+            }
+            ModelError::Eval { step, source } => {
+                write!(f, "evaluating f at {step}: {source}")
+            }
+            ModelError::TransactionIncorrect { txn, from_state } => write!(
+                f,
+                "basic assumption violated: {txn} alone breaks consistency from {from_state}"
+            ),
+            ModelError::InvalidSyntax(msg) => write!(f, "invalid syntax: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::NotEligible {
+            step: StepId::new(0, 1),
+            pc: 0,
+        };
+        assert!(e.to_string().contains("T1,2"));
+        let e = ModelError::StateArity {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('2'));
+        let e = ModelError::TransactionIncorrect {
+            txn: TxnId(2),
+            from_state: "(0)".into(),
+        };
+        assert!(e.to_string().contains("T3"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Execution of transaction steps and step sequences.
+//!
+//! Section 2: "if transaction step T_ij is eligible for execution at state
+//! (J, L, G) [...] then its execution modifies the three components of the
+//! state as follows: j_i ← j_i + 1; t_ij ← x_ij; x_ij ← ρ_ij(t_i1, ..., t_ij)."
+
+use crate::error::ModelError;
+use crate::ids::{StepId, TxnId};
+use crate::state::{GlobalState, SystemState};
+use crate::system::TransactionSystem;
+use crate::value::Value;
+
+/// Step-by-step executor for a transaction system.
+///
+/// The executor borrows the system; states are owned by the caller so that
+/// search procedures can fork them freely.
+pub struct Executor<'a> {
+    sys: &'a TransactionSystem,
+    format: Vec<u32>,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor for `sys`.
+    pub fn new(sys: &'a TransactionSystem) -> Self {
+        Executor {
+            format: sys.format(),
+            sys,
+        }
+    }
+
+    /// The system being executed.
+    pub fn system(&self) -> &TransactionSystem {
+        self.sys
+    }
+
+    /// Fresh initial state with the given globals.
+    pub fn initial_state(&self, globals: GlobalState) -> Result<SystemState, ModelError> {
+        if globals.len() != self.sys.syntax.num_vars() {
+            return Err(ModelError::StateArity {
+                expected: self.sys.syntax.num_vars(),
+                got: globals.len(),
+            });
+        }
+        Ok(SystemState::initial(&self.format, globals))
+    }
+
+    /// Execute one step, enforcing eligibility.
+    pub fn execute_step(&self, state: &mut SystemState, step: StepId) -> Result<(), ModelError> {
+        let ti = step.txn.index();
+        if ti >= self.format.len() || step.idx >= self.format[ti] {
+            return Err(ModelError::UnknownStep(step));
+        }
+        if !state.eligible(step) {
+            return Err(ModelError::NotEligible {
+                step,
+                pc: state.pc[ti],
+            });
+        }
+        let var = self.sys.syntax.var_of(step);
+        // t_ij <- x_ij
+        let read = state
+            .globals
+            .get(var)
+            .expect("syntax validated: variable in range");
+        state.locals[ti][step.idx as usize] = Some(read);
+        // x_ij <- rho_ij(t_i1 .. t_ij)
+        let args = state.declared_locals(step.txn, step.idx as usize + 1);
+        let new_value = self.sys.interp.apply(step, &args)?;
+        state.globals.set(var, new_value);
+        // j_i <- j_i + 1
+        state.pc[ti] += 1;
+        Ok(())
+    }
+
+    /// Execute a sequence of steps from the given initial globals, returning
+    /// the final state. The sequence need not contain every step of the
+    /// system, but must respect program order.
+    pub fn run_sequence(
+        &self,
+        globals: GlobalState,
+        steps: &[StepId],
+    ) -> Result<SystemState, ModelError> {
+        let mut state = self.initial_state(globals)?;
+        for &s in steps {
+            self.execute_step(&mut state, s)?;
+        }
+        Ok(state)
+    }
+
+    /// Execute one whole transaction serially from the given globals.
+    pub fn run_transaction(
+        &self,
+        globals: GlobalState,
+        txn: TxnId,
+    ) -> Result<SystemState, ModelError> {
+        let steps: Vec<StepId> = (0..self.format[txn.index()])
+            .map(|j| StepId { txn, idx: j })
+            .collect();
+        self.run_sequence(globals, &steps)
+    }
+
+    /// Execute the transactions serially in the given order (a
+    /// *concatenation* in the paper's sense, possibly with repetitions and
+    /// omissions) and return the final globals.
+    ///
+    /// Repetitions restart the transaction from a fresh local state — this is
+    /// what "concatenation of serial executions of transactions" means for
+    /// straight-line programs.
+    pub fn run_concatenation(
+        &self,
+        globals: GlobalState,
+        order: &[TxnId],
+    ) -> Result<GlobalState, ModelError> {
+        let mut g = globals;
+        for &t in order {
+            // Each occurrence runs against a fresh (J, L): build a one-shot
+            // state so repetitions are legal.
+            let st = self.run_transaction(g, t)?;
+            g = st.globals;
+        }
+        Ok(g)
+    }
+
+    /// Is the step sequence *correct* in the paper's sense: does its serial
+    /// execution map every consistent initial state of the check space to a
+    /// consistent state?
+    ///
+    /// Returns `Ok(())` when correct, or the first witness initial state
+    /// (rendered) when not. Execution errors count as incorrect.
+    pub fn check_sequence_correct(&self, steps: &[StepId]) -> Result<(), String> {
+        for init in &self.sys.space.initial_states {
+            match self.run_sequence(init.clone(), steps) {
+                Ok(st) => {
+                    if !self.sys.ic.is_consistent(&st.globals) {
+                        return Err(format!(
+                            "from {} execution reaches inconsistent {}",
+                            init, st.globals
+                        ));
+                    }
+                }
+                Err(e) => return Err(format!("from {init}: execution error: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify the paper's *basic assumption*: every transaction, run alone,
+    /// maps each consistent check state to a consistent state.
+    pub fn verify_basic_assumption(&self) -> Result<(), ModelError> {
+        for i in 0..self.format.len() {
+            let txn = TxnId(i as u32);
+            for init in &self.sys.space.initial_states {
+                let ok = self
+                    .run_transaction(init.clone(), txn)
+                    .map(|st| self.sys.ic.is_consistent(&st.globals));
+                if !matches!(ok, Ok(true)) {
+                    return Err(ModelError::TransactionIncorrect {
+                        txn,
+                        from_state: init.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final global state of a full serial execution in transaction order
+    /// `order` (each transaction exactly once), from `globals`.
+    pub fn run_serial(
+        &self,
+        globals: GlobalState,
+        order: &[TxnId],
+    ) -> Result<GlobalState, ModelError> {
+        debug_assert_eq!(order.len(), self.format.len());
+        self.run_concatenation(globals, order)
+    }
+
+    /// Convenience: the values read by each step when running `steps` from
+    /// `globals` (used by reads-from analyses and the engine tests).
+    pub fn trace_reads(
+        &self,
+        globals: GlobalState,
+        steps: &[StepId],
+    ) -> Result<Vec<(StepId, Value)>, ModelError> {
+        let mut state = self.initial_state(globals)?;
+        let mut trace = Vec::with_capacity(steps.len());
+        for &s in steps {
+            let var = self.sys.syntax.var_of(s);
+            let before = state.globals.get(var).expect("validated");
+            self.execute_step(&mut state, s)?;
+            trace.push((s, before));
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Cond, Expr};
+    use crate::ic::{CondIc, TrueIc};
+    use crate::ids::VarId;
+    use crate::interp::ExprInterpretation;
+    use crate::syntax::SyntaxBuilder;
+    use crate::system::{StateSpace, TransactionSystem};
+    use std::sync::Arc;
+
+    /// T1: x += 1 ; x -= 1.  T2: x *= 2.  IC: x = 0. (Theorem 2's adversary.)
+    fn counter_system() -> TransactionSystem {
+        let syntax = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("x"))
+            .txn("T2", |t| t.update("x"))
+            .build();
+        let interp = ExprInterpretation::new(vec![
+            vec![
+                Expr::add(Expr::Local(0), Expr::Const(1)),
+                Expr::sub(Expr::Local(1), Expr::Const(1)),
+            ],
+            vec![Expr::mul(Expr::Local(0), Expr::Const(2))],
+        ]);
+        interp.validate(&syntax).unwrap();
+        TransactionSystem::new(
+            "counter",
+            syntax,
+            Arc::new(interp),
+            Arc::new(CondIc(Cond::Eq(Expr::Var(VarId(0)), Expr::Const(0)))),
+            StateSpace::from_ints(&[&[0]]),
+        )
+    }
+
+    #[test]
+    fn step_execution_follows_the_paper() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        let mut st = ex.initial_state(GlobalState::from_ints(&[0])).unwrap();
+        ex.execute_step(&mut st, StepId::new(0, 0)).unwrap();
+        assert_eq!(st.globals.get(VarId(0)), Some(Value::Int(1)));
+        assert_eq!(st.pc[0], 1);
+        assert_eq!(st.locals[0][0], Some(Value::Int(0)));
+        ex.execute_step(&mut st, StepId::new(0, 1)).unwrap();
+        assert_eq!(st.globals.get(VarId(0)), Some(Value::Int(0)));
+    }
+
+    #[test]
+    fn eligibility_is_enforced() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        let mut st = ex.initial_state(GlobalState::from_ints(&[0])).unwrap();
+        let err = ex.execute_step(&mut st, StepId::new(0, 1)).unwrap_err();
+        assert!(matches!(err, ModelError::NotEligible { .. }));
+        let err = ex.execute_step(&mut st, StepId::new(5, 0)).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownStep(_)));
+    }
+
+    #[test]
+    fn state_arity_is_checked() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        assert!(matches!(
+            ex.initial_state(GlobalState::from_ints(&[0, 0])),
+            Err(ModelError::StateArity { .. })
+        ));
+    }
+
+    #[test]
+    fn interleaving_that_breaks_ic_is_detected() {
+        // (T11, T21, T12): 0 -> 1 -> 2 -> 1, inconsistent under x = 0.
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        let h = [StepId::new(0, 0), StepId::new(1, 0), StepId::new(0, 1)];
+        let st = ex.run_sequence(GlobalState::from_ints(&[0]), &h).unwrap();
+        assert_eq!(st.globals.get(VarId(0)), Some(Value::Int(1)));
+        assert!(ex.check_sequence_correct(&h).is_err());
+    }
+
+    #[test]
+    fn serial_schedules_are_correct() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        let serial = [StepId::new(0, 0), StepId::new(0, 1), StepId::new(1, 0)];
+        assert!(ex.check_sequence_correct(&serial).is_ok());
+        let serial = [StepId::new(1, 0), StepId::new(0, 0), StepId::new(0, 1)];
+        assert!(ex.check_sequence_correct(&serial).is_ok());
+    }
+
+    #[test]
+    fn basic_assumption_holds_for_counter_system() {
+        let sys = counter_system();
+        Executor::new(&sys).verify_basic_assumption().unwrap();
+    }
+
+    #[test]
+    fn basic_assumption_detects_bad_transaction() {
+        // T1: x += 1 with IC x = 0 is individually incorrect.
+        let syntax = SyntaxBuilder::new().txn("T1", |t| t.update("x")).build();
+        let interp = ExprInterpretation::new(vec![vec![Expr::add(Expr::Local(0), Expr::Const(1))]]);
+        let sys = TransactionSystem::new(
+            "bad",
+            syntax,
+            Arc::new(interp),
+            Arc::new(CondIc(Cond::Eq(Expr::Var(VarId(0)), Expr::Const(0)))),
+            StateSpace::from_ints(&[&[0]]),
+        );
+        assert!(matches!(
+            Executor::new(&sys).verify_basic_assumption(),
+            Err(ModelError::TransactionIncorrect { .. })
+        ));
+    }
+
+    #[test]
+    fn concatenation_supports_repetition_and_omission() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        // T2; T2 from x = 3: 3 -> 6 -> 12. T1 omitted entirely.
+        let g = ex
+            .run_concatenation(GlobalState::from_ints(&[3]), &[TxnId(1), TxnId(1)])
+            .unwrap();
+        assert_eq!(g.get(VarId(0)), Some(Value::Int(12)));
+        // Empty concatenation is identity.
+        let g = ex
+            .run_concatenation(GlobalState::from_ints(&[3]), &[])
+            .unwrap();
+        assert_eq!(g.get(VarId(0)), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn trace_reads_reports_pre_values() {
+        let sys = counter_system();
+        let ex = Executor::new(&sys);
+        let h = [StepId::new(0, 0), StepId::new(1, 0), StepId::new(0, 1)];
+        let tr = ex.trace_reads(GlobalState::from_ints(&[0]), &h).unwrap();
+        assert_eq!(tr[0].1, Value::Int(0)); // T11 read 0
+        assert_eq!(tr[1].1, Value::Int(1)); // T21 read 1
+        assert_eq!(tr[2].1, Value::Int(2)); // T12 read 2
+    }
+
+    #[test]
+    fn executor_with_true_ic_accepts_everything() {
+        let sys = counter_system().with_ic(Arc::new(TrueIc), StateSpace::from_ints(&[&[5]]));
+        let ex = Executor::new(&sys);
+        let h = [StepId::new(0, 0), StepId::new(1, 0), StepId::new(0, 1)];
+        assert!(ex.check_sequence_correct(&h).is_ok());
+    }
+}

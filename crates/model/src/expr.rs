@@ -1,0 +1,375 @@
+//! A small first-order expression language for step functions and integrity
+//! constraints.
+//!
+//! Concrete interpretations can be given as Rust closures
+//! ([`crate::interp::FnInterpretation`]) — opaque but convenient — or as
+//! [`Expr`] terms, which are comparable, printable, hashable and
+//! *enumerable*. Enumerability is what the optimality theorems need: the
+//! adversary of Theorem 2 ranges over "transaction systems with any integrity
+//! constraints and interpretations for steps", and `ccopt-core` realizes that
+//! by enumerating small `Expr`/[`Cond`] programs.
+//!
+//! Expressions are evaluated over the locals `t_i1 .. t_ij` of the executing
+//! transaction ([`Expr::Local`] indexes into them); conditions additionally
+//! evaluate over global states when used as integrity constraints
+//! ([`Expr::Var`]).
+
+use crate::ids::VarId;
+use crate::state::GlobalState;
+use crate::value::Value;
+use std::fmt;
+
+/// An integer-valued expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// The local variable `t_{i,k+1}` of the executing transaction
+    /// (zero-based `k`). Only valid in step functions.
+    Local(usize),
+    /// The global variable `v`. Only valid in integrity constraints.
+    Var(VarId),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product of two expressions.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Conditional expression.
+    If(Box<Cond>, Box<Expr>, Box<Expr>),
+}
+
+/// A boolean condition over expressions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Constant truth value.
+    Bool(bool),
+    /// `a == b`.
+    Eq(Expr, Expr),
+    /// `a >= b`.
+    Ge(Expr, Expr),
+    /// `a < b`.
+    Lt(Expr, Expr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+/// Evaluation environment: transaction locals and (optionally) the global
+/// state.
+#[derive(Clone, Copy)]
+pub struct Env<'a> {
+    /// Values of the declared locals `t_i1 .. t_ij` (may be empty).
+    pub locals: &'a [Value],
+    /// Global state for `Expr::Var`; `None` inside step functions.
+    pub globals: Option<&'a GlobalState>,
+}
+
+impl Env<'_> {
+    /// Environment with locals only (step-function evaluation).
+    pub fn locals(locals: &[Value]) -> Env<'_> {
+        Env {
+            locals,
+            globals: None,
+        }
+    }
+
+    /// Environment with globals only (integrity-constraint evaluation).
+    pub fn globals(g: &GlobalState) -> Env<'_> {
+        Env {
+            locals: &[],
+            globals: Some(g),
+        }
+    }
+}
+
+/// Errors arising during expression evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// `Expr::Local(k)` referenced a local that is not yet declared.
+    UnboundLocal(usize),
+    /// `Expr::Var` used where no global state is available.
+    NoGlobals,
+    /// `Expr::Var(v)` referenced a variable outside the state.
+    UnboundVar(VarId),
+    /// A symbolic (Herbrand) value reached an arithmetic operator.
+    SymbolicValue,
+    /// Arithmetic overflow (we use checked arithmetic; domains are
+    /// enumerable, not modular).
+    Overflow,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundLocal(k) => write!(f, "unbound local t{}", k + 1),
+            EvalError::NoGlobals => write!(f, "global variable used without a global state"),
+            EvalError::UnboundVar(v) => write!(f, "unbound global variable {v}"),
+            EvalError::SymbolicValue => write!(f, "symbolic value in arithmetic"),
+            EvalError::Overflow => write!(f, "integer overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[allow(clippy::should_implement_trait)] // smart constructors, deliberately named like the AST nodes
+impl Expr {
+    /// Evaluate to an integer under `env`.
+    pub fn eval(&self, env: Env<'_>) -> Result<i64, EvalError> {
+        match self {
+            Expr::Const(c) => Ok(*c),
+            Expr::Local(k) => env
+                .locals
+                .get(*k)
+                .ok_or(EvalError::UnboundLocal(*k))?
+                .as_int()
+                .ok_or(EvalError::SymbolicValue),
+            Expr::Var(v) => {
+                let g = env.globals.ok_or(EvalError::NoGlobals)?;
+                g.get(*v)
+                    .ok_or(EvalError::UnboundVar(*v))?
+                    .as_int()
+                    .ok_or(EvalError::SymbolicValue)
+            }
+            Expr::Add(a, b) => a
+                .eval(env)?
+                .checked_add(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Expr::Sub(a, b) => a
+                .eval(env)?
+                .checked_sub(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Expr::Mul(a, b) => a
+                .eval(env)?
+                .checked_mul(b.eval(env)?)
+                .ok_or(EvalError::Overflow),
+            Expr::If(c, t, e) => {
+                if c.eval(env)? {
+                    t.eval(env)
+                } else {
+                    e.eval(env)
+                }
+            }
+        }
+    }
+
+    /// The largest `Local` index mentioned, if any — used to validate that a
+    /// step function only reads declared locals.
+    pub fn max_local(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => None,
+            Expr::Local(k) => Some(*k),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                opt_max(a.max_local(), b.max_local())
+            }
+            Expr::If(c, t, e) => opt_max(c.max_local(), opt_max(t.max_local(), e.max_local())),
+        }
+    }
+
+    /// Shorthand: `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand: `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand: `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand: `if c then t else e`.
+    pub fn ite(c: Cond, t: Expr, e: Expr) -> Expr {
+        Expr::If(Box::new(c), Box::new(t), Box::new(e))
+    }
+}
+
+impl Cond {
+    /// Evaluate to a boolean under `env`.
+    pub fn eval(&self, env: Env<'_>) -> Result<bool, EvalError> {
+        match self {
+            Cond::Bool(b) => Ok(*b),
+            Cond::Eq(a, b) => Ok(a.eval(env)? == b.eval(env)?),
+            Cond::Ge(a, b) => Ok(a.eval(env)? >= b.eval(env)?),
+            Cond::Lt(a, b) => Ok(a.eval(env)? < b.eval(env)?),
+            Cond::And(a, b) => Ok(a.eval(env)? && b.eval(env)?),
+            Cond::Or(a, b) => Ok(a.eval(env)? || b.eval(env)?),
+            Cond::Not(a) => Ok(!a.eval(env)?),
+        }
+    }
+
+    /// The largest `Local` index mentioned, if any.
+    pub fn max_local(&self) -> Option<usize> {
+        match self {
+            Cond::Bool(_) => None,
+            Cond::Eq(a, b) | Cond::Ge(a, b) | Cond::Lt(a, b) => {
+                opt_max(a.max_local(), b.max_local())
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => opt_max(a.max_local(), b.max_local()),
+            Cond::Not(a) => a.max_local(),
+        }
+    }
+
+    /// Shorthand: `a && b`.
+    pub fn and(a: Cond, b: Cond) -> Cond {
+        Cond::And(Box::new(a), Box::new(b))
+    }
+
+    /// Shorthand: `a || b`.
+    pub fn or(a: Cond, b: Cond) -> Cond {
+        Cond::Or(Box::new(a), Box::new(b))
+    }
+}
+
+fn opt_max(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Local(k) => write!(f, "t{}", k + 1),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Bool(b) => write!(f, "{b}"),
+            Cond::Eq(a, b) => write!(f, "{a} = {b}"),
+            Cond::Ge(a, b) => write!(f, "{a} >= {b}"),
+            Cond::Lt(a, b) => write!(f, "{a} < {b}"),
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Not(a) => write!(f, "not {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with(locals: &[Value]) -> Env<'_> {
+        Env::locals(locals)
+    }
+
+    #[test]
+    fn arithmetic_evaluates() {
+        let e = Expr::add(Expr::Local(0), Expr::Const(1));
+        let locals = [Value::Int(41)];
+        assert_eq!(e.eval(env_with(&locals)), Ok(42));
+        let e = Expr::mul(Expr::Const(2), Expr::Local(0));
+        assert_eq!(e.eval(env_with(&locals)), Ok(82));
+        let e = Expr::sub(Expr::Local(0), Expr::Const(50));
+        assert_eq!(e.eval(env_with(&locals)), Ok(-9));
+    }
+
+    #[test]
+    fn conditional_selects_branch() {
+        // if t1 >= 100 then t1 - 100 else t1  (the banking debit)
+        let e = Expr::ite(
+            Cond::Ge(Expr::Local(0), Expr::Const(100)),
+            Expr::sub(Expr::Local(0), Expr::Const(100)),
+            Expr::Local(0),
+        );
+        assert_eq!(e.eval(env_with(&[Value::Int(150)])), Ok(50));
+        assert_eq!(e.eval(env_with(&[Value::Int(80)])), Ok(80));
+    }
+
+    #[test]
+    fn unbound_local_errors() {
+        let e = Expr::Local(2);
+        assert_eq!(
+            e.eval(env_with(&[Value::Int(1)])),
+            Err(EvalError::UnboundLocal(2))
+        );
+    }
+
+    #[test]
+    fn var_requires_globals() {
+        let e = Expr::Var(VarId(0));
+        assert_eq!(e.eval(env_with(&[])), Err(EvalError::NoGlobals));
+        let g = GlobalState::from_ints(&[7]);
+        assert_eq!(e.eval(Env::globals(&g)), Ok(7));
+        let bad = Expr::Var(VarId(9));
+        assert_eq!(
+            bad.eval(Env::globals(&g)),
+            Err(EvalError::UnboundVar(VarId(9)))
+        );
+    }
+
+    #[test]
+    fn symbolic_values_are_rejected() {
+        use crate::term::TermId;
+        let e = Expr::add(Expr::Local(0), Expr::Const(1));
+        let locals = [Value::Term(TermId(0))];
+        assert_eq!(e.eval(env_with(&locals)), Err(EvalError::SymbolicValue));
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let e = Expr::add(Expr::Const(i64::MAX), Expr::Const(1));
+        assert_eq!(e.eval(env_with(&[])), Err(EvalError::Overflow));
+        let e = Expr::mul(Expr::Const(i64::MAX), Expr::Const(2));
+        assert_eq!(e.eval(env_with(&[])), Err(EvalError::Overflow));
+    }
+
+    #[test]
+    fn cond_operators() {
+        let env = env_with(&[]);
+        assert_eq!(
+            Cond::and(Cond::Bool(true), Cond::Bool(false)).eval(env),
+            Ok(false)
+        );
+        assert_eq!(
+            Cond::or(Cond::Bool(true), Cond::Bool(false)).eval(env),
+            Ok(true)
+        );
+        assert_eq!(Cond::Not(Box::new(Cond::Bool(true))).eval(env), Ok(false));
+        assert_eq!(Cond::Eq(Expr::Const(3), Expr::Const(3)).eval(env), Ok(true));
+        assert_eq!(
+            Cond::Lt(Expr::Const(3), Expr::Const(3)).eval(env),
+            Ok(false)
+        );
+    }
+
+    #[test]
+    fn max_local_is_computed() {
+        let e = Expr::ite(
+            Cond::Ge(Expr::Local(0), Expr::Const(100)),
+            Expr::add(Expr::Local(3), Expr::Const(1)),
+            Expr::Local(1),
+        );
+        assert_eq!(e.max_local(), Some(3));
+        assert_eq!(Expr::Const(1).max_local(), None);
+    }
+
+    #[test]
+    fn display_round_trip_is_readable() {
+        let e = Expr::ite(
+            Cond::Ge(Expr::Local(0), Expr::Const(100)),
+            Expr::sub(Expr::Local(0), Expr::Const(100)),
+            Expr::Local(0),
+        );
+        assert_eq!(e.to_string(), "(if t1 >= 100 then (t1 - 100) else t1)");
+    }
+}

@@ -1,0 +1,179 @@
+//! Integrity constraints.
+//!
+//! Section 2: "The integrity constraints of a transaction system T
+//! correspond to a subset IC of the product Π_v D(v). A state (J, L, G) of T
+//! is said to be consistent if G belongs to IC."
+
+use crate::expr::{Cond, Env};
+use crate::state::GlobalState;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate selecting the consistent global states.
+pub trait IntegrityConstraint: Send + Sync {
+    /// Does `g` belong to IC?
+    fn is_consistent(&self, g: &GlobalState) -> bool;
+
+    /// Human-readable description (e.g. `A >= 0 and A + B = S - 50*C`).
+    fn describe(&self) -> String {
+        "IC".to_string()
+    }
+}
+
+/// The trivial constraint: every state is consistent. Used when studying
+/// levels of information that exclude integrity constraints (Theorem 4).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TrueIc;
+
+impl IntegrityConstraint for TrueIc {
+    fn is_consistent(&self, _g: &GlobalState) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        "true".to_string()
+    }
+}
+
+/// A constraint given by a [`Cond`] over the global variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CondIc(pub Cond);
+
+impl IntegrityConstraint for CondIc {
+    fn is_consistent(&self, g: &GlobalState) -> bool {
+        self.0.eval(Env::globals(g)).unwrap_or(false)
+    }
+
+    fn describe(&self) -> String {
+        self.0.to_string()
+    }
+}
+
+/// A constraint given by explicit enumeration of the consistent states
+/// (useful for adversary constructions where IC is "the set of states
+/// reachable by serial executions").
+#[derive(Clone, Default, Debug)]
+pub struct EnumeratedIc {
+    states: BTreeSet<GlobalState>,
+    label: String,
+}
+
+impl EnumeratedIc {
+    /// Build from an explicit state set.
+    pub fn new(states: impl IntoIterator<Item = GlobalState>, label: &str) -> Self {
+        EnumeratedIc {
+            states: states.into_iter().collect(),
+            label: label.to_string(),
+        }
+    }
+
+    /// Number of consistent states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no state is consistent (degenerate but legal).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+impl IntegrityConstraint for EnumeratedIc {
+    fn is_consistent(&self, g: &GlobalState) -> bool {
+        self.states.contains(g)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} ({} states)", self.label, self.states.len())
+    }
+}
+
+/// A constraint given by an arbitrary closure.
+pub struct PredIc {
+    pred: Arc<dyn Fn(&GlobalState) -> bool + Send + Sync>,
+    label: String,
+}
+
+impl PredIc {
+    /// Build from a closure and a description.
+    pub fn new(label: &str, pred: impl Fn(&GlobalState) -> bool + Send + Sync + 'static) -> Self {
+        PredIc {
+            pred: Arc::new(pred),
+            label: label.to_string(),
+        }
+    }
+}
+
+impl IntegrityConstraint for PredIc {
+    fn is_consistent(&self, g: &GlobalState) -> bool {
+        (self.pred)(g)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl fmt::Debug for PredIc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PredIc({})", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ids::VarId;
+
+    #[test]
+    fn true_ic_accepts_everything() {
+        let ic = TrueIc;
+        assert!(ic.is_consistent(&GlobalState::from_ints(&[-5, 0, 3])));
+        assert_eq!(ic.describe(), "true");
+    }
+
+    #[test]
+    fn cond_ic_evaluates_predicate() {
+        // x = 0 (the Theorem 2 adversary's constraint).
+        let ic = CondIc(Cond::Eq(Expr::Var(VarId(0)), Expr::Const(0)));
+        assert!(ic.is_consistent(&GlobalState::from_ints(&[0])));
+        assert!(!ic.is_consistent(&GlobalState::from_ints(&[1])));
+        assert_eq!(ic.describe(), "v0 = 0");
+    }
+
+    #[test]
+    fn cond_ic_eval_error_means_inconsistent() {
+        // References an unbound variable: treated as inconsistent, not panic.
+        let ic = CondIc(Cond::Eq(Expr::Var(VarId(7)), Expr::Const(0)));
+        assert!(!ic.is_consistent(&GlobalState::from_ints(&[0])));
+    }
+
+    #[test]
+    fn enumerated_ic_membership() {
+        let ic = EnumeratedIc::new(
+            [
+                GlobalState::from_ints(&[0, 0]),
+                GlobalState::from_ints(&[1, 1]),
+            ],
+            "diag",
+        );
+        assert_eq!(ic.len(), 2);
+        assert!(ic.is_consistent(&GlobalState::from_ints(&[1, 1])));
+        assert!(!ic.is_consistent(&GlobalState::from_ints(&[0, 1])));
+        assert!(ic.describe().contains("diag"));
+    }
+
+    #[test]
+    fn pred_ic_wraps_closures() {
+        let ic = PredIc::new("x even", |g| {
+            g.get(VarId(0))
+                .and_then(|v| v.as_int())
+                .is_some_and(|i| i % 2 == 0)
+        });
+        assert!(ic.is_consistent(&GlobalState::from_ints(&[4])));
+        assert!(!ic.is_consistent(&GlobalState::from_ints(&[3])));
+        assert_eq!(ic.describe(), "x even");
+    }
+}

@@ -1,0 +1,160 @@
+//! Identifiers for transactions, steps and variables.
+//!
+//! The paper writes transactions `T_1 .. T_n`, steps `T_ij` and global
+//! variables `x_ij ∈ V`. We use dense zero-based indices internally and
+//! render the paper's one-based notation in `Display` impls.
+
+use std::fmt;
+
+/// Index of a transaction within a transaction system (`T_{i+1}` in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// Zero-based index usable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0 + 1)
+    }
+}
+
+/// Index of a global variable name in `V`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Zero-based index usable for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A single transaction step `T_ij`: the `idx`-th step (zero-based) of
+/// transaction `txn`.
+///
+/// `StepId` orders first by transaction, then by position; this matches the
+/// program order required of schedules (`π(T_ij) < π(T_ik)` for `j < k`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StepId {
+    /// Owning transaction.
+    pub txn: TxnId,
+    /// Zero-based position within the transaction (`j-1` in paper notation).
+    pub idx: u32,
+}
+
+impl StepId {
+    /// Construct a step id from zero-based transaction and step indices.
+    #[inline]
+    pub fn new(txn: u32, idx: u32) -> Self {
+        StepId {
+            txn: TxnId(txn),
+            idx,
+        }
+    }
+
+    /// The step that follows this one in the same transaction.
+    #[inline]
+    pub fn next(self) -> StepId {
+        StepId {
+            txn: self.txn,
+            idx: self.idx + 1,
+        }
+    }
+
+    /// True when `self` precedes `other` in program order (same transaction,
+    /// earlier position).
+    #[inline]
+    pub fn program_precedes(self, other: StepId) -> bool {
+        self.txn == other.txn && self.idx < other.idx
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{},{}", self.txn.0 + 1, self.idx + 1)
+    }
+}
+
+/// The format `(m_1, ..., m_n)` of a transaction system: the number of steps
+/// in each transaction. The paper's *minimum information* level is exactly
+/// this tuple.
+pub type Format = Vec<u32>;
+
+/// Total number of steps `Σ m_i` in a format.
+pub fn total_steps(format: &[u32]) -> usize {
+    format.iter().map(|&m| m as usize).sum()
+}
+
+/// Enumerate every step id of a format in program order, transaction by
+/// transaction.
+pub fn all_steps(format: &[u32]) -> impl Iterator<Item = StepId> + '_ {
+    format
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &m)| (0..m).map(move |j| StepId::new(i as u32, j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_one_based_notation() {
+        assert_eq!(StepId::new(0, 0).to_string(), "T1,1");
+        assert_eq!(StepId::new(2, 3).to_string(), "T3,4");
+        assert_eq!(TxnId(1).to_string(), "T2");
+    }
+
+    #[test]
+    fn program_order_is_reflected_by_ord() {
+        let a = StepId::new(0, 0);
+        let b = StepId::new(0, 1);
+        let c = StepId::new(1, 0);
+        assert!(a < b);
+        assert!(b < c);
+        assert!(a.program_precedes(b));
+        assert!(!a.program_precedes(c));
+        assert!(!b.program_precedes(a));
+    }
+
+    #[test]
+    fn next_advances_within_transaction() {
+        let s = StepId::new(1, 0);
+        assert_eq!(s.next(), StepId::new(1, 1));
+        assert_eq!(s.next().txn, TxnId(1));
+    }
+
+    #[test]
+    fn total_and_enumeration_agree() {
+        let format = vec![3, 2, 4];
+        assert_eq!(total_steps(&format), 9);
+        let steps: Vec<StepId> = all_steps(&format).collect();
+        assert_eq!(steps.len(), 9);
+        assert_eq!(steps[0], StepId::new(0, 0));
+        assert_eq!(steps[3], StepId::new(1, 0));
+        assert_eq!(steps[8], StepId::new(2, 3));
+        // Program order within each transaction.
+        for w in steps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn empty_format_has_no_steps() {
+        assert_eq!(total_steps(&[]), 0);
+        assert_eq!(all_steps(&[]).count(), 0);
+    }
+}

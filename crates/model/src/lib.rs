@@ -1,0 +1,63 @@
+//! # `ccopt-model` — the transaction-system model of Kung & Papadimitriou (1979)
+//!
+//! This crate implements Section 2 of *An Optimality Theory of Concurrency
+//! Control for Databases* verbatim:
+//!
+//! * **Syntax** — a transaction system `T = {T_1, ..., T_n}` where each
+//!   transaction `T_i` is a straight-line sequence of steps
+//!   `T_i1, ..., T_im_i`, each step naming one global variable `x_ij`.
+//!   The tuple `(m_1, ..., m_n)` is the *format*. See [`syntax`].
+//! * **Semantics** — every variable has an enumerable domain; step `T_ij`
+//!   executes the indivisible pair
+//!   `t_ij ← x_ij ; x_ij ← f_ij(t_i1, ..., t_ij)` where the `t_ik` are the
+//!   transaction's local variables and `f_ij` is a function symbol whose
+//!   *interpretation* `ρ_ij` gives it meaning. See [`interp`] and [`exec`].
+//! * **Herbrand semantics** — the canonical free interpretation in which
+//!   every `f_ij` builds the formal term `f_ij(a_1, ..., a_j)`; used in
+//!   Section 4.2 of the paper to define serializability. See [`term`].
+//! * **Integrity constraints** — a predicate over global states; a state is
+//!   *consistent* when the predicate holds. See [`ic`].
+//! * **States** `(J, L, G)` — program counters, local values, global values —
+//!   and step execution over them. See [`state`] and [`exec`].
+//!
+//! The crate also ships the paper's running examples ([`systems`]) and a
+//! seeded random-system generator ([`random`]) used by the test suite,
+//! benchmarks and the simulator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccopt_model::systems;
+//! use ccopt_model::exec::Executor;
+//!
+//! // The banking example from Section 2 of the paper.
+//! let sys = systems::banking();
+//! assert_eq!(sys.syntax.format(), vec![3, 2, 4]);
+//!
+//! // Every transaction is individually correct (the paper's basic assumption).
+//! Executor::new(&sys).verify_basic_assumption().unwrap();
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod ic;
+pub mod ids;
+pub mod interp;
+pub mod random;
+pub mod state;
+pub mod syntax;
+pub mod system;
+pub mod systems;
+pub mod term;
+pub mod value;
+
+pub use error::ModelError;
+pub use exec::Executor;
+pub use ic::IntegrityConstraint;
+pub use ids::{Format, StepId, TxnId, VarId};
+pub use interp::Interpretation;
+pub use state::{GlobalState, SystemState};
+pub use syntax::{StepKind, StepSyntax, Syntax, TransactionSyntax};
+pub use system::{StateSpace, TransactionSystem};
+pub use value::Value;

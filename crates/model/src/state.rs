@@ -1,0 +1,197 @@
+//! States of a transaction system.
+//!
+//! Section 2: "A state of a transaction system T is a triple (J, L, G)" —
+//! program counters, declared-local values, and global-variable values.
+
+use crate::ids::{StepId, TxnId, VarId};
+use crate::value::Value;
+use std::fmt;
+
+/// The values `G` of all global variables (index = `VarId`).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GlobalState(pub Vec<Value>);
+
+impl GlobalState {
+    /// A state with all variables initialized to the given values.
+    pub fn new(values: Vec<Value>) -> Self {
+        GlobalState(values)
+    }
+
+    /// Convenience constructor from integers.
+    pub fn from_ints(ints: &[i64]) -> Self {
+        GlobalState(ints.iter().map(|&i| Value::Int(i)).collect())
+    }
+
+    /// Number of global variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value of variable `v`, if in range.
+    pub fn get(&self, v: VarId) -> Option<Value> {
+        self.0.get(v.index()).copied()
+    }
+
+    /// Set the value of variable `v`.
+    ///
+    /// # Panics
+    /// Panics when `v` is out of range.
+    pub fn set(&mut self, v: VarId, value: Value) {
+        self.0[v.index()] = value;
+    }
+
+    /// Iterate `(VarId, Value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (VarId(i as u32), v))
+    }
+}
+
+impl fmt::Display for GlobalState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The full state `(J, L, G)` of a transaction system mid-execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SystemState {
+    /// Program counters `J`: `pc[i]` is the index of the *next* step of
+    /// transaction `i`; `pc[i] == m_i` means the transaction has terminated.
+    pub pc: Vec<u32>,
+    /// Declared locals `L`: `locals[i][k]` is `Some` once step `k` of
+    /// transaction `i` has executed and stored `t_{i,k+1}`.
+    pub locals: Vec<Vec<Option<Value>>>,
+    /// Global values `G`.
+    pub globals: GlobalState,
+}
+
+impl SystemState {
+    /// Initial state for a system with the given format and initial globals:
+    /// all counters at 0, no locals declared.
+    pub fn initial(format: &[u32], globals: GlobalState) -> Self {
+        SystemState {
+            pc: vec![0; format.len()],
+            locals: format.iter().map(|&m| vec![None; m as usize]).collect(),
+            globals,
+        }
+    }
+
+    /// Is step `s` eligible for execution (it is the next step of its
+    /// transaction)?
+    pub fn eligible(&self, s: StepId) -> bool {
+        self.pc.get(s.txn.index()).is_some_and(|&pc| pc == s.idx)
+    }
+
+    /// Has transaction `t` executed all of its steps?
+    pub fn terminated(&self, t: TxnId, format: &[u32]) -> bool {
+        self.pc[t.index()] == format[t.index()]
+    }
+
+    /// Have all transactions terminated?
+    pub fn all_terminated(&self, format: &[u32]) -> bool {
+        self.pc.iter().zip(format.iter()).all(|(&pc, &m)| pc == m)
+    }
+
+    /// The declared locals `t_i1..t_ij` of transaction `i` (values up to but
+    /// not including index `upto`). Panics if any of them is undeclared —
+    /// that would indicate out-of-order execution.
+    pub fn declared_locals(&self, t: TxnId, upto: usize) -> Vec<Value> {
+        self.locals[t.index()][..upto]
+            .iter()
+            .map(|v| v.expect("local declared out of order"))
+            .collect()
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J=(")?;
+        for (i, pc) in self.pc.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", pc + 1)?;
+        }
+        write!(f, ") G={}", self.globals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_shape() {
+        let s = SystemState::initial(&[3, 2], GlobalState::from_ints(&[10, 20]));
+        assert_eq!(s.pc, vec![0, 0]);
+        assert_eq!(s.locals[0].len(), 3);
+        assert_eq!(s.locals[1].len(), 2);
+        assert_eq!(s.globals.get(VarId(1)), Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn eligibility_tracks_program_counter() {
+        let mut s = SystemState::initial(&[2, 1], GlobalState::from_ints(&[0]));
+        assert!(s.eligible(StepId::new(0, 0)));
+        assert!(!s.eligible(StepId::new(0, 1)));
+        s.pc[0] = 1;
+        assert!(s.eligible(StepId::new(0, 1)));
+        assert!(!s.eligible(StepId::new(0, 0)));
+        // Unknown transaction is never eligible.
+        assert!(!s.eligible(StepId::new(7, 0)));
+    }
+
+    #[test]
+    fn termination_checks() {
+        let format = [2, 1];
+        let mut s = SystemState::initial(&format, GlobalState::from_ints(&[0]));
+        assert!(!s.all_terminated(&format));
+        s.pc = vec![2, 1];
+        assert!(s.terminated(TxnId(0), &format));
+        assert!(s.all_terminated(&format));
+    }
+
+    #[test]
+    fn global_state_accessors() {
+        let mut g = GlobalState::from_ints(&[1, 2, 3]);
+        assert_eq!(g.len(), 3);
+        g.set(VarId(0), Value::Int(9));
+        assert_eq!(g.get(VarId(0)), Some(Value::Int(9)));
+        assert_eq!(g.get(VarId(7)), None);
+        let pairs: Vec<_> = g.iter().collect();
+        assert_eq!(pairs[2], (VarId(2), Value::Int(3)));
+    }
+
+    #[test]
+    fn display_renders_one_based_counters() {
+        let s = SystemState::initial(&[1], GlobalState::from_ints(&[5]));
+        assert_eq!(s.to_string(), "J=(1) G=(5)");
+    }
+
+    #[test]
+    fn declared_locals_returns_prefix() {
+        let mut s = SystemState::initial(&[3], GlobalState::from_ints(&[0]));
+        s.locals[0][0] = Some(Value::Int(4));
+        s.locals[0][1] = Some(Value::Int(5));
+        assert_eq!(
+            s.declared_locals(TxnId(0), 2),
+            vec![Value::Int(4), Value::Int(5)]
+        );
+        assert_eq!(s.declared_locals(TxnId(0), 0), Vec::<Value>::new());
+    }
+}

@@ -1,0 +1,471 @@
+//! Transaction-system syntax.
+//!
+//! Section 2: "A transaction system T is a finite set of transactions
+//! {T_1, ..., T_n}, where each transaction T_i is a finite sequence of
+//! transaction steps T_i1, ..., T_im_i. [...] The transactions in a
+//! transaction system operate on a set of variable names V."
+//!
+//! Each step `T_ij` names exactly one global variable `x_ij`. The paper
+//! notes two special shapes of the step function `f_ij`: the identity on
+//! `t_ij` (a pure *read*) and functions independent of `t_ij` (a pure
+//! *write*). We record that declaration as [`StepKind`] so downstream
+//! conflict analysis can exploit it; the paper's base model declares every
+//! step [`StepKind::Update`].
+
+use crate::ids::{Format, StepId, VarId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Declared shape of a step's function symbol `f_ij`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StepKind {
+    /// `f_ij` is the identity on `t_ij`: the step only observes `x_ij`.
+    Read,
+    /// `f_ij` does not depend on `t_ij`: the step overwrites `x_ij` using
+    /// only earlier locals (a *blind* write when it ignores all of them).
+    Write,
+    /// The general read-modify-write step of the paper's base model.
+    Update,
+}
+
+impl StepKind {
+    /// Does executing the step observe the current value of its variable?
+    pub fn reads(self) -> bool {
+        matches!(self, StepKind::Read | StepKind::Update)
+    }
+
+    /// Does executing the step change the value of its variable?
+    pub fn writes(self) -> bool {
+        matches!(self, StepKind::Write | StepKind::Update)
+    }
+
+    /// Two steps on the *same* variable conflict unless both are reads.
+    pub fn conflicts_with(self, other: StepKind) -> bool {
+        self.writes() || other.writes()
+    }
+}
+
+impl fmt::Display for StepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepKind::Read => write!(f, "r"),
+            StepKind::Write => write!(f, "w"),
+            StepKind::Update => write!(f, "u"),
+        }
+    }
+}
+
+/// Syntax of one step: the global variable it accesses and its declared kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StepSyntax {
+    /// The global variable `x_ij` accessed by the step.
+    pub var: VarId,
+    /// Declared shape of `f_ij`.
+    pub kind: StepKind,
+}
+
+/// Syntax of one transaction: an ordered sequence of steps.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransactionSyntax {
+    /// Human-readable name (`T1`, `transfer`, ...).
+    pub name: String,
+    /// The steps in program order.
+    pub steps: Vec<StepSyntax>,
+}
+
+impl TransactionSyntax {
+    /// Number of steps `m_i`.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the transaction has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The set of variables the transaction accesses (its *read/write set*).
+    pub fn accessed_vars(&self) -> BTreeSet<VarId> {
+        self.steps.iter().map(|s| s.var).collect()
+    }
+
+    /// Position of the first access of `v`, if any.
+    pub fn first_access(&self, v: VarId) -> Option<usize> {
+        self.steps.iter().position(|s| s.var == v)
+    }
+
+    /// Position of the last access of `v`, if any.
+    pub fn last_access(&self, v: VarId) -> Option<usize> {
+        self.steps.iter().rposition(|s| s.var == v)
+    }
+}
+
+/// Complete syntax of a transaction system: variable names plus the
+/// transactions. This is exactly the paper's "complete syntactic
+/// information" — what a scheduler at the level of Theorem 3 may see.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Syntax {
+    /// Names of the global variables `V` (index = `VarId`).
+    pub vars: Vec<String>,
+    /// The transactions `T_1 .. T_n`.
+    pub transactions: Vec<TransactionSyntax>,
+}
+
+impl Syntax {
+    /// Number of transactions `n`.
+    pub fn num_txns(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Number of global variables `|V|`.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The format `(m_1, ..., m_n)`.
+    pub fn format(&self) -> Format {
+        self.transactions
+            .iter()
+            .map(|t| t.steps.len() as u32)
+            .collect()
+    }
+
+    /// Total number of steps `Σ m_i`.
+    pub fn total_steps(&self) -> usize {
+        self.transactions.iter().map(|t| t.steps.len()).sum()
+    }
+
+    /// Syntax of step `T_ij`.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range for this syntax.
+    pub fn step(&self, id: StepId) -> StepSyntax {
+        self.transactions[id.txn.index()].steps[id.idx as usize]
+    }
+
+    /// The variable accessed by step `T_ij`.
+    pub fn var_of(&self, id: StepId) -> VarId {
+        self.step(id).var
+    }
+
+    /// Name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()]
+    }
+
+    /// Look up a variable id by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Enumerate every step id in program order.
+    pub fn all_steps(&self) -> impl Iterator<Item = StepId> + '_ {
+        self.transactions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| (0..t.steps.len() as u32).map(move |j| StepId::new(i as u32, j)))
+    }
+
+    /// Do two steps *conflict*: distinct transactions, same variable, and not
+    /// both reads? This is the syntactic conflict relation used by the
+    /// serialization-graph machinery.
+    pub fn conflict(&self, a: StepId, b: StepId) -> bool {
+        if a.txn == b.txn {
+            return false;
+        }
+        let sa = self.step(a);
+        let sb = self.step(b);
+        sa.var == sb.var && sa.kind.conflicts_with(sb.kind)
+    }
+
+    /// Structural validation: every step's variable id is in range and every
+    /// transaction is non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.transactions.iter().enumerate() {
+            if t.steps.is_empty() {
+                return Err(format!("transaction {} (T{}) has no steps", t.name, i + 1));
+            }
+            for (j, s) in t.steps.iter().enumerate() {
+                if s.var.index() >= self.vars.len() {
+                    return Err(format!(
+                        "step T{},{} references unknown variable {}",
+                        i + 1,
+                        j + 1,
+                        s.var
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply a per-transaction variable renaming (used for the §5.4
+    /// *unstructured variables* analysis: 2PL must stay correct under
+    /// arbitrary renamings local to the transactions' access patterns).
+    ///
+    /// `rename[v]` gives the new id for old variable `v`; `new_vars` the new
+    /// name table.
+    pub fn renamed(&self, rename: &[VarId], new_vars: Vec<String>) -> Syntax {
+        let transactions = self
+            .transactions
+            .iter()
+            .map(|t| TransactionSyntax {
+                name: t.name.clone(),
+                steps: t
+                    .steps
+                    .iter()
+                    .map(|s| StepSyntax {
+                        var: rename[s.var.index()],
+                        kind: s.kind,
+                    })
+                    .collect(),
+            })
+            .collect();
+        Syntax {
+            vars: new_vars,
+            transactions,
+        }
+    }
+}
+
+impl fmt::Display for Syntax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.transactions.iter().enumerate() {
+            write!(f, "T{} ({}):", i + 1, t.name)?;
+            for s in &t.steps {
+                write!(f, " {}[{}]", s.kind, self.var_name(s.var))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder for [`Syntax`].
+///
+/// ```
+/// use ccopt_model::syntax::{SyntaxBuilder, StepKind};
+///
+/// let syn = SyntaxBuilder::new()
+///     .vars(["x", "y"])
+///     .txn("T1", |t| t.update("x").update("y"))
+///     .txn("T2", |t| t.read("y").write("x"))
+///     .build();
+/// assert_eq!(syn.format(), vec![2, 2]);
+/// ```
+#[derive(Default)]
+pub struct SyntaxBuilder {
+    vars: Vec<String>,
+    transactions: Vec<TransactionSyntax>,
+}
+
+/// Builder for one transaction's steps; obtained through
+/// [`SyntaxBuilder::txn`].
+pub struct TxnBuilder<'a> {
+    vars: &'a mut Vec<String>,
+    steps: Vec<StepSyntax>,
+}
+
+impl SyntaxBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare variables up front (otherwise they are auto-registered on
+    /// first use).
+    pub fn vars<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            let n = n.into();
+            if !self.vars.contains(&n) {
+                self.vars.push(n);
+            }
+        }
+        self
+    }
+
+    /// Add a transaction, describing its steps through the closure.
+    pub fn txn(mut self, name: &str, f: impl FnOnce(TxnBuilder<'_>) -> TxnBuilder<'_>) -> Self {
+        let b = TxnBuilder {
+            vars: &mut self.vars,
+            steps: Vec::new(),
+        };
+        let b = f(b);
+        self.transactions.push(TransactionSyntax {
+            name: name.to_string(),
+            steps: b.steps,
+        });
+        self
+    }
+
+    /// Finish, validating the result.
+    pub fn build(self) -> Syntax {
+        let s = Syntax {
+            vars: self.vars,
+            transactions: self.transactions,
+        };
+        if let Err(e) = s.validate() {
+            panic!("invalid syntax: {e}");
+        }
+        s
+    }
+}
+
+impl TxnBuilder<'_> {
+    fn var_id(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.vars.iter().position(|n| n == name) {
+            VarId(i as u32)
+        } else {
+            self.vars.push(name.to_string());
+            VarId((self.vars.len() - 1) as u32)
+        }
+    }
+
+    /// Append a step of the given kind on `var`.
+    pub fn step(mut self, var: &str, kind: StepKind) -> Self {
+        let var = self.var_id(var);
+        self.steps.push(StepSyntax { var, kind });
+        self
+    }
+
+    /// Append a read step on `var`.
+    pub fn read(self, var: &str) -> Self {
+        self.step(var, StepKind::Read)
+    }
+
+    /// Append a write step on `var`.
+    pub fn write(self, var: &str) -> Self {
+        self.step(var, StepKind::Write)
+    }
+
+    /// Append a general update step on `var` (the paper's base step).
+    pub fn update(self, var: &str) -> Self {
+        self.step(var, StepKind::Update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_txn() -> Syntax {
+        SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y"))
+            .txn("T2", |t| t.read("y").write("x"))
+            .build()
+    }
+
+    #[test]
+    fn builder_registers_vars_in_order_of_first_use() {
+        let s = two_txn();
+        assert_eq!(s.vars, vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(s.var_by_name("y"), Some(VarId(1)));
+        assert_eq!(s.var_by_name("zz"), None);
+    }
+
+    #[test]
+    fn format_and_steps() {
+        let s = two_txn();
+        assert_eq!(s.format(), vec![2, 2]);
+        assert_eq!(s.total_steps(), 4);
+        assert_eq!(s.var_of(StepId::new(0, 1)), VarId(1));
+        assert_eq!(s.step(StepId::new(1, 0)).kind, StepKind::Read);
+    }
+
+    #[test]
+    fn conflict_relation_respects_kinds() {
+        let s = two_txn();
+        // T1,2 (update y) vs T2,1 (read y): conflict (update writes).
+        assert!(s.conflict(StepId::new(0, 1), StepId::new(1, 0)));
+        // T1,1 (update x) vs T2,2 (write x): conflict.
+        assert!(s.conflict(StepId::new(0, 0), StepId::new(1, 1)));
+        // Different variables: no conflict.
+        assert!(!s.conflict(StepId::new(0, 0), StepId::new(1, 0)));
+        // Same transaction: never a conflict.
+        assert!(!s.conflict(StepId::new(0, 0), StepId::new(0, 1)));
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        let s = SyntaxBuilder::new()
+            .txn("T1", |t| t.read("x"))
+            .txn("T2", |t| t.read("x"))
+            .build();
+        assert!(!s.conflict(StepId::new(0, 0), StepId::new(1, 0)));
+    }
+
+    #[test]
+    fn first_and_last_access() {
+        let s = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("y").update("x").update("z"))
+            .build();
+        let t = &s.transactions[0];
+        let x = s.var_by_name("x").unwrap();
+        assert_eq!(t.first_access(x), Some(0));
+        assert_eq!(t.last_access(x), Some(2));
+        assert_eq!(t.accessed_vars().len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_empty_transaction() {
+        let s = Syntax {
+            vars: vec!["x".into()],
+            transactions: vec![TransactionSyntax {
+                name: "T1".into(),
+                steps: vec![],
+            }],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_var() {
+        let s = Syntax {
+            vars: vec!["x".into()],
+            transactions: vec![TransactionSyntax {
+                name: "T1".into(),
+                steps: vec![StepSyntax {
+                    var: VarId(5),
+                    kind: StepKind::Update,
+                }],
+            }],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn renaming_is_structure_preserving() {
+        let s = two_txn();
+        // Swap x and y.
+        let r = s.renamed(&[VarId(1), VarId(0)], vec!["x".into(), "y".into()]);
+        assert_eq!(r.var_of(StepId::new(0, 0)), VarId(1));
+        assert_eq!(r.var_of(StepId::new(0, 1)), VarId(0));
+        assert_eq!(r.format(), s.format());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = two_txn();
+        let d = s.to_string();
+        assert!(d.contains("T1"));
+        assert!(d.contains("u[x]"));
+        assert!(d.contains("r[y]"));
+    }
+
+    #[test]
+    fn step_kind_predicates() {
+        assert!(StepKind::Read.reads() && !StepKind::Read.writes());
+        assert!(!StepKind::Write.reads() && StepKind::Write.writes());
+        assert!(StepKind::Update.reads() && StepKind::Update.writes());
+        assert!(!StepKind::Read.conflicts_with(StepKind::Read));
+        assert!(StepKind::Read.conflicts_with(StepKind::Write));
+        assert!(StepKind::Update.conflicts_with(StepKind::Update));
+    }
+}

@@ -1,0 +1,439 @@
+//! The paper's running examples, packaged as ready-made transaction systems.
+//!
+//! * [`banking`] — the three-transaction banking example of Section 2
+//!   (transfer / withdraw / audit over accounts A, B, sum S, counter C).
+//! * [`fig1`] — the Figure 1 system (`T1: x+=1; x*=2` and `T2: x+=1`) whose
+//!   history `(T11, T21, T12)` is weakly serializable but not serializable.
+//! * [`thm2_adversary`] — the Theorem 2 adversary (`T1: x+=1; x-=1`,
+//!   `T2: x*=2`, IC `x=0`).
+//! * [`fig2_like`] — a system whose first transaction is Figure 2's
+//!   `x y x z` pattern (locking experiments).
+//! * [`fig3_pair`] — the two-transaction, two-variable pattern producing the
+//!   Figure 3 progress-space picture (and a deadlock region under 2PL).
+//! * [`rw_pair`], [`hotspot`] — parameterized families for tests/benches.
+
+use crate::expr::{Cond, Expr};
+use crate::ic::{CondIc, TrueIc};
+use crate::ids::VarId;
+use crate::interp::ExprInterpretation;
+use crate::syntax::SyntaxBuilder;
+use crate::system::{StateSpace, TransactionSystem};
+use std::sync::Arc;
+
+fn local(k: usize) -> Expr {
+    Expr::Local(k)
+}
+
+fn c(v: i64) -> Expr {
+    Expr::Const(v)
+}
+
+/// The banking example of Section 2.
+///
+/// Variables `A, B, S, C`; format `(3, 2, 4)`:
+///
+/// * `T1` transfers $100 from A to B if A has enough funds and B is below
+///   $100: reads A, conditionally updates B, conditionally updates A.
+/// * `T2` withdraws $50 from B and increments the counter C if B has enough
+///   funds.
+/// * `T3` audits: `S ← A + B`, `C ← 0`.
+///
+/// IC: `A ≥ 0 ∧ B ≥ 0 ∧ A + B = S − 50·C`.
+pub fn banking() -> TransactionSystem {
+    let syntax = SyntaxBuilder::new()
+        .vars(["A", "B", "S", "C"])
+        .txn("transfer", |t| t.read("A").update("B").update("A"))
+        .txn("withdraw", |t| t.update("B").update("C"))
+        .txn("audit", |t| t.read("A").read("B").write("S").write("C"))
+        .build();
+
+    let t1_cond = Cond::and(Cond::Ge(local(0), c(100)), Cond::Lt(local(1), c(100)));
+    // phi_13's condition re-tests the locals t11 (A) and t12 (B) read earlier.
+    let t1_cond_for_a = Cond::and(Cond::Ge(local(0), c(100)), Cond::Lt(local(1), c(100)));
+    let interp = ExprInterpretation::new(vec![
+        vec![
+            // phi_11 = t11 (read A)
+            local(0),
+            // phi_12 = if t11 >= 100 and t12 < 100 then t12 + 100 else t12
+            Expr::ite(t1_cond, Expr::add(local(1), c(100)), local(1)),
+            // phi_13 = if t11 >= 100 and t12 < 100 then t13 - 100 else t13
+            Expr::ite(t1_cond_for_a, Expr::sub(local(2), c(100)), local(2)),
+        ],
+        vec![
+            // phi_21 = if t21 >= 50 then t21 - 50 else t21
+            Expr::ite(
+                Cond::Ge(local(0), c(50)),
+                Expr::sub(local(0), c(50)),
+                local(0),
+            ),
+            // phi_22 = if t21 >= 50 then t22 + 1 else t22
+            Expr::ite(
+                Cond::Ge(local(0), c(50)),
+                Expr::add(local(1), c(1)),
+                local(1),
+            ),
+        ],
+        vec![
+            // phi_31 = t31, phi_32 = t32 (reads)
+            local(0),
+            local(1),
+            // phi_33 = t31 + t32 (S <- A + B)
+            Expr::add(local(0), local(1)),
+            // phi_34 = 0 (C <- 0)
+            c(0),
+        ],
+    ]);
+    interp
+        .validate(&syntax)
+        .expect("banking interpretation matches syntax");
+
+    // IC: A >= 0 and B >= 0 and A + B = S - 50*C.
+    let a = Expr::Var(VarId(0));
+    let b = Expr::Var(VarId(1));
+    let s = Expr::Var(VarId(2));
+    let cc = Expr::Var(VarId(3));
+    let ic = CondIc(Cond::and(
+        Cond::and(Cond::Ge(a.clone(), c(0)), Cond::Ge(b.clone(), c(0))),
+        Cond::Eq(Expr::add(a, b), Expr::sub(s, Expr::mul(c(50), cc))),
+    ));
+
+    // Consistent check states, including the paper's (150, 50, 200, 0).
+    let space = StateSpace::from_ints(&[
+        &[150, 50, 200, 0],
+        &[100, 100, 200, 0],
+        &[0, 0, 0, 0],
+        &[250, 100, 400, 1],
+        &[120, 40, 210, 1],
+    ]);
+
+    TransactionSystem::new("banking", syntax, Arc::new(interp), Arc::new(ic), space)
+}
+
+/// The Figure 1 system: `T1 = (T11: x ← x+1, T12: x ← 2x)` and
+/// `T2 = (T21: x ← x+1)`; no integrity constraints.
+///
+/// The history `h = (T11, T21, T12)` is **not** serializable (the Herbrand
+/// terms differ from both serials) but **is** weakly serializable: under the
+/// given interpretations it produces the same state as the serial history
+/// `(T21, T11, T12)` from every start state.
+pub fn fig1() -> TransactionSystem {
+    let syntax = SyntaxBuilder::new()
+        .vars(["x"])
+        .txn("T1", |t| t.update("x").update("x"))
+        .txn("T2", |t| t.update("x"))
+        .build();
+    let interp = ExprInterpretation::new(vec![
+        vec![Expr::add(local(0), c(1)), Expr::mul(c(2), local(1))],
+        vec![Expr::add(local(0), c(1))],
+    ]);
+    interp.validate(&syntax).expect("fig1 interpretation");
+    let space = StateSpace::from_ints(&[&[0], &[1], &[2], &[5], &[-3], &[10]]);
+    TransactionSystem::new("fig1", syntax, Arc::new(interp), Arc::new(TrueIc), space)
+}
+
+/// The Theorem 2 adversary: `T1 = (x ← x+1, x ← x−1)`, `T2 = (x ← 2x)`,
+/// IC `x = 0`.
+///
+/// Both transactions are individually correct, but the non-serial history
+/// `(T11, T21, T12)` maps the consistent state `x = 0` to `x = 1`. This is
+/// the witness that no scheduler with minimum information can pass any
+/// non-serial schedule.
+pub fn thm2_adversary() -> TransactionSystem {
+    let syntax = SyntaxBuilder::new()
+        .vars(["x"])
+        .txn("T1", |t| t.update("x").update("x"))
+        .txn("T2", |t| t.update("x"))
+        .build();
+    let interp = ExprInterpretation::new(vec![
+        vec![Expr::add(local(0), c(1)), Expr::sub(local(1), c(1))],
+        vec![Expr::mul(c(2), local(0))],
+    ]);
+    interp.validate(&syntax).expect("thm2 interpretation");
+    let ic = CondIc(Cond::Eq(Expr::Var(VarId(0)), c(0)));
+    let space = StateSpace::from_ints(&[&[0]]);
+    TransactionSystem::new(
+        "thm2-adversary",
+        syntax,
+        Arc::new(interp),
+        Arc::new(ic),
+        space,
+    )
+}
+
+/// A system whose first transaction is the Figure 2 pattern
+/// `x ← …; y ← …; x ← …; z ← …` (the 2PL transformation example), with a
+/// symmetric partner transaction so locking interactions are non-trivial.
+pub fn fig2_like() -> TransactionSystem {
+    let syntax = SyntaxBuilder::new()
+        .vars(["x", "y", "z"])
+        .txn("T1", |t| t.update("x").update("y").update("x").update("z"))
+        .txn("T2", |t| t.update("z").update("y"))
+        .build();
+    let interp = ExprInterpretation::new(vec![
+        vec![
+            Expr::add(local(0), c(1)),
+            Expr::add(local(1), c(10)),
+            Expr::add(local(2), c(100)),
+            Expr::add(local(3), c(1000)),
+        ],
+        vec![Expr::mul(local(0), c(3)), Expr::mul(local(1), c(5))],
+    ]);
+    interp.validate(&syntax).expect("fig2 interpretation");
+    let space = StateSpace::from_ints(&[&[0, 0, 0], &[1, 2, 3]]);
+    TransactionSystem::new(
+        "fig2-like",
+        syntax,
+        Arc::new(interp),
+        Arc::new(TrueIc),
+        space,
+    )
+}
+
+/// The classic two-transaction, two-variable crossing pattern that produces
+/// the Figure 3 progress-space picture: `T1: x then y`, `T2: y then x`.
+/// Under 2PL the progress space contains two overlapping forbidden blocks
+/// and a deadlock region `D`.
+pub fn fig3_pair() -> TransactionSystem {
+    let syntax = SyntaxBuilder::new()
+        .vars(["x", "y"])
+        .txn("T1", |t| t.update("x").update("y"))
+        .txn("T2", |t| t.update("y").update("x"))
+        .build();
+    let interp = ExprInterpretation::new(vec![
+        vec![Expr::add(local(0), c(1)), Expr::add(local(1), c(1))],
+        vec![Expr::mul(local(0), c(2)), Expr::mul(local(1), c(2))],
+    ]);
+    interp.validate(&syntax).expect("fig3 interpretation");
+    let space = StateSpace::from_ints(&[&[0, 0], &[1, 1], &[2, 5]]);
+    TransactionSystem::new(
+        "fig3-pair",
+        syntax,
+        Arc::new(interp),
+        Arc::new(TrueIc),
+        space,
+    )
+}
+
+/// A pair of transactions with disjoint read/write behaviour on `k`
+/// variables each plus one shared variable — the smallest family where
+/// serialization strictly beats locking. All steps increment.
+pub fn rw_pair(private_steps: usize) -> TransactionSystem {
+    let mut b = SyntaxBuilder::new().vars(["shared"]);
+    b = b.txn("T1", |mut t| {
+        t = t.update("shared");
+        for k in 0..private_steps {
+            // Private variables are auto-registered on first use.
+            t = t.update(&format!("a{k}"));
+        }
+        t
+    });
+    b = b.txn("T2", |mut t| {
+        for k in 0..private_steps {
+            t = t.update(&format!("b{k}"));
+        }
+        t.update("shared")
+    });
+    let syntax = b.build();
+    let exprs = syntax
+        .transactions
+        .iter()
+        .map(|t| {
+            (0..t.steps.len())
+                .map(|j| Expr::add(local(j), c(1)))
+                .collect()
+        })
+        .collect();
+    let interp = ExprInterpretation::new(exprs);
+    interp.validate(&syntax).expect("rw_pair interpretation");
+    let zeros: Vec<i64> = vec![0; syntax.num_vars()];
+    let space = StateSpace::from_ints(&[&zeros]);
+    TransactionSystem::new("rw-pair", syntax, Arc::new(interp), Arc::new(TrueIc), space)
+}
+
+/// `n` transactions of `steps` increment-steps each, all on one hot variable.
+/// Maximal contention: only serial-equivalent interleavings are correct for
+/// non-commuting semantics; with pure increments everything commutes.
+pub fn hotspot(n: usize, steps: usize) -> TransactionSystem {
+    let mut b = SyntaxBuilder::new().vars(["hot"]);
+    for i in 0..n {
+        b = b.txn(&format!("T{}", i + 1), |mut t| {
+            for _ in 0..steps {
+                t = t.update("hot");
+            }
+            t
+        });
+    }
+    let syntax = b.build();
+    let exprs = (0..n)
+        .map(|_| (0..steps).map(|j| Expr::add(local(j), c(1))).collect())
+        .collect();
+    let interp = ExprInterpretation::new(exprs);
+    interp.validate(&syntax).expect("hotspot interpretation");
+    let space = StateSpace::from_ints(&[&[0]]);
+    TransactionSystem::new("hotspot", syntax, Arc::new(interp), Arc::new(TrueIc), space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::ids::{StepId, TxnId};
+    use crate::state::GlobalState;
+    use crate::value::Value;
+
+    #[test]
+    fn banking_matches_paper_format() {
+        let sys = banking();
+        assert_eq!(sys.format(), vec![3, 2, 4]);
+        assert_eq!(sys.syntax.num_vars(), 4);
+        // x11 = A, x12 = B, x13 = A.
+        assert_eq!(
+            sys.syntax.var_name(sys.syntax.var_of(StepId::new(0, 0))),
+            "A"
+        );
+        assert_eq!(
+            sys.syntax.var_name(sys.syntax.var_of(StepId::new(0, 1))),
+            "B"
+        );
+        assert_eq!(
+            sys.syntax.var_name(sys.syntax.var_of(StepId::new(0, 2))),
+            "A"
+        );
+        // x31..x34 = A, B, S, C.
+        assert_eq!(
+            sys.syntax.var_name(sys.syntax.var_of(StepId::new(2, 2))),
+            "S"
+        );
+        assert_eq!(
+            sys.syntax.var_name(sys.syntax.var_of(StepId::new(2, 3))),
+            "C"
+        );
+    }
+
+    #[test]
+    fn banking_satisfies_basic_assumption() {
+        let sys = banking();
+        Executor::new(&sys).verify_basic_assumption().unwrap();
+    }
+
+    #[test]
+    fn banking_transfer_moves_funds_when_allowed() {
+        let sys = banking();
+        let ex = Executor::new(&sys);
+        let st = ex
+            .run_transaction(GlobalState::from_ints(&[150, 50, 200, 0]), TxnId(0))
+            .unwrap();
+        assert_eq!(st.globals.get(VarId(0)), Some(Value::Int(50))); // A
+        assert_eq!(st.globals.get(VarId(1)), Some(Value::Int(150))); // B
+    }
+
+    #[test]
+    fn banking_transfer_noops_when_b_is_rich() {
+        let sys = banking();
+        let ex = Executor::new(&sys);
+        let st = ex
+            .run_transaction(GlobalState::from_ints(&[100, 100, 200, 0]), TxnId(0))
+            .unwrap();
+        assert_eq!(st.globals.get(VarId(0)), Some(Value::Int(100)));
+        assert_eq!(st.globals.get(VarId(1)), Some(Value::Int(100)));
+    }
+
+    #[test]
+    fn banking_withdraw_and_audit() {
+        let sys = banking();
+        let ex = Executor::new(&sys);
+        let g = ex
+            .run_concatenation(
+                GlobalState::from_ints(&[150, 50, 200, 0]),
+                &[TxnId(1), TxnId(2)],
+            )
+            .unwrap();
+        // After withdraw: B = 0, C = 1. After audit: S = 150, C = 0.
+        assert_eq!(g.get(VarId(1)), Some(Value::Int(0)));
+        assert_eq!(g.get(VarId(2)), Some(Value::Int(150)));
+        assert_eq!(g.get(VarId(3)), Some(Value::Int(0)));
+        assert!(sys.ic.is_consistent(&g));
+    }
+
+    #[test]
+    fn fig1_history_is_not_equal_to_either_serial_concretely_but_matches_t2_t1() {
+        let sys = fig1();
+        let ex = Executor::new(&sys);
+        let h = [StepId::new(0, 0), StepId::new(1, 0), StepId::new(0, 1)];
+        for init in &sys.space.initial_states {
+            let x0 = init.get(VarId(0)).unwrap().as_int().unwrap();
+            let got = ex.run_sequence(init.clone(), &h).unwrap();
+            let got = got.globals.get(VarId(0)).unwrap().as_int().unwrap();
+            // h: x -> 2(x + 2)
+            assert_eq!(got, 2 * (x0 + 2));
+            // Serial T2;T1 gives the same; serial T1;T2 gives 2(x+1)+1.
+            let t2t1 = ex
+                .run_concatenation(init.clone(), &[TxnId(1), TxnId(0)])
+                .unwrap();
+            assert_eq!(t2t1.get(VarId(0)).unwrap().as_int().unwrap(), got);
+            let t1t2 = ex
+                .run_concatenation(init.clone(), &[TxnId(0), TxnId(1)])
+                .unwrap();
+            assert_eq!(
+                t1t2.get(VarId(0)).unwrap().as_int().unwrap(),
+                2 * (x0 + 1) + 1
+            );
+        }
+    }
+
+    #[test]
+    fn thm2_adversary_witness() {
+        let sys = thm2_adversary();
+        let ex = Executor::new(&sys);
+        ex.verify_basic_assumption().unwrap();
+        // The interleaving (T11, T21, T12) maps x=0 to x=1: inconsistent.
+        let h = [StepId::new(0, 0), StepId::new(1, 0), StepId::new(0, 1)];
+        assert!(ex.check_sequence_correct(&h).is_err());
+        // Both serials are fine.
+        let s1 = [StepId::new(0, 0), StepId::new(0, 1), StepId::new(1, 0)];
+        let s2 = [StepId::new(1, 0), StepId::new(0, 0), StepId::new(0, 1)];
+        assert!(ex.check_sequence_correct(&s1).is_ok());
+        assert!(ex.check_sequence_correct(&s2).is_ok());
+    }
+
+    #[test]
+    fn fig2_like_shapes() {
+        let sys = fig2_like();
+        assert_eq!(sys.format(), vec![4, 2]);
+        let t1 = &sys.syntax.transactions[0];
+        let names: Vec<&str> = t1
+            .steps
+            .iter()
+            .map(|s| sys.syntax.var_name(s.var))
+            .collect();
+        assert_eq!(names, vec!["x", "y", "x", "z"]);
+        Executor::new(&sys).verify_basic_assumption().unwrap();
+    }
+
+    #[test]
+    fn fig3_pair_crosses_variables() {
+        let sys = fig3_pair();
+        let t1: Vec<&str> = sys.syntax.transactions[0]
+            .steps
+            .iter()
+            .map(|s| sys.syntax.var_name(s.var))
+            .collect();
+        let t2: Vec<&str> = sys.syntax.transactions[1]
+            .steps
+            .iter()
+            .map(|s| sys.syntax.var_name(s.var))
+            .collect();
+        assert_eq!(t1, vec!["x", "y"]);
+        assert_eq!(t2, vec!["y", "x"]);
+    }
+
+    #[test]
+    fn rw_pair_and_hotspot_are_well_formed() {
+        let sys = rw_pair(2);
+        assert_eq!(sys.format(), vec![3, 3]);
+        Executor::new(&sys).verify_basic_assumption().unwrap();
+        let sys = hotspot(3, 2);
+        assert_eq!(sys.format(), vec![2, 2, 2]);
+        Executor::new(&sys).verify_basic_assumption().unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! Herbrand terms and the hash-consing arena.
+//!
+//! Section 4.2 of the paper supplements syntax with *Herbrand semantics*: the
+//! domain of every variable is the set of formal terms over the alphabet
+//! `V ∪ {f_ij}`, and the interpretation of `f_ij(a_1, ..., a_j)` is the
+//! string `f_ij(a_1, ..., a_j)` itself. "The Herbrand interpretation captures
+//! all the history of the values of all global variables."
+//!
+//! Terms are hash-consed: structurally equal terms share one [`TermId`], so
+//! schedule-equivalence checks are O(1) id comparisons and symbolic execution
+//! of exponentially-sized value histories stays linear in the number of
+//! distinct subterms.
+
+use crate::ids::{StepId, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned reference to a Herbrand term inside a [`TermArena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TermId(pub u32);
+
+/// A Herbrand term: either the initial value symbol of a global variable, or
+/// a formal application `f_ij(a_1, ..., a_j)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// The (symbolic) initial value of variable `v` — the paper's `(v_1..v_k)`
+    /// initial-value tuple.
+    Init(VarId),
+    /// Application of the function symbol `f_ij` at step `site` to argument
+    /// terms. In the paper's base model `args.len() == site.idx + 1`
+    /// (all declared locals `t_i1..t_ij`).
+    App {
+        /// The step `T_ij` whose function symbol is applied.
+        site: StepId,
+        /// Interned argument terms.
+        args: Box<[TermId]>,
+    },
+}
+
+/// Hash-consing arena for Herbrand terms.
+///
+/// All terms of one symbolic execution must be interned in the same arena
+/// for `TermId` equality to coincide with structural equality.
+#[derive(Default, Debug)]
+pub struct TermArena {
+    terms: Vec<Term>,
+    intern: HashMap<Term, TermId>,
+}
+
+impl TermArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern a term, returning the existing id when an equal term is known.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.intern.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term arena overflow"));
+        self.terms.push(term.clone());
+        self.intern.insert(term, id);
+        id
+    }
+
+    /// Intern the initial-value symbol of variable `v`.
+    pub fn init(&mut self, v: VarId) -> TermId {
+        self.intern(Term::Init(v))
+    }
+
+    /// Intern the application `f_site(args...)`.
+    pub fn app(&mut self, site: StepId, args: &[TermId]) -> TermId {
+        self.intern(Term::App {
+            site,
+            args: args.into(),
+        })
+    }
+
+    /// Look up a term by id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this arena.
+    pub fn get(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// The number of function applications in the term (its *size*); `Init`
+    /// symbols count zero. Used to bound weak-serializability searches.
+    pub fn app_count(&self, id: TermId) -> usize {
+        match self.get(id) {
+            Term::Init(_) => 0,
+            Term::App { args, .. } => 1 + args.iter().map(|&a| self.app_count(a)).sum::<usize>(),
+        }
+    }
+
+    /// Depth of the term (Init = 0).
+    pub fn depth(&self, id: TermId) -> usize {
+        match self.get(id) {
+            Term::Init(_) => 0,
+            Term::App { args, .. } => 1 + args.iter().map(|&a| self.depth(a)).max().unwrap_or(0),
+        }
+    }
+
+    /// Render a term in the paper's notation, e.g. `f12(f11(A), f21(B))`,
+    /// resolving variable names through `var_names` when provided.
+    pub fn render(&self, id: TermId, var_names: Option<&[String]>) -> String {
+        let mut out = String::new();
+        self.render_into(id, var_names, &mut out);
+        out
+    }
+
+    fn render_into(&self, id: TermId, var_names: Option<&[String]>, out: &mut String) {
+        match self.get(id) {
+            Term::Init(v) => {
+                match var_names.and_then(|ns| ns.get(v.index())) {
+                    Some(name) => out.push_str(name),
+                    None => out.push_str(&format!("x{}", v.0)),
+                }
+                out.push('0'); // the paper's "initial value of" marker
+            }
+            Term::App { site, args } => {
+                out.push_str(&format!("f{}{}(", site.txn.0 + 1, site.idx + 1));
+                for (k, &a) in args.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    self.render_into(a, var_names, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+}
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut a = TermArena::new();
+        let x = a.init(VarId(0));
+        let x2 = a.init(VarId(0));
+        assert_eq!(x, x2);
+        assert_eq!(a.len(), 1);
+        let y = a.init(VarId(1));
+        assert_ne!(x, y);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn applications_are_structural() {
+        let mut a = TermArena::new();
+        let x = a.init(VarId(0));
+        let s = StepId::new(0, 0);
+        let t1 = a.app(s, &[x]);
+        let t2 = a.app(s, &[x]);
+        assert_eq!(t1, t2);
+        let t3 = a.app(StepId::new(1, 0), &[x]);
+        assert_ne!(t1, t3);
+        // Nested application with different argument is distinct.
+        let t4 = a.app(s, &[t1]);
+        assert_ne!(t1, t4);
+    }
+
+    #[test]
+    fn sizes_and_depths() {
+        let mut a = TermArena::new();
+        let x = a.init(VarId(0));
+        assert_eq!(a.app_count(x), 0);
+        assert_eq!(a.depth(x), 0);
+        let f = a.app(StepId::new(0, 0), &[x]);
+        let g = a.app(StepId::new(1, 0), &[f, x]);
+        assert_eq!(a.app_count(f), 1);
+        assert_eq!(a.app_count(g), 2);
+        assert_eq!(a.depth(g), 2);
+    }
+
+    #[test]
+    fn rendering_matches_paper_notation() {
+        let mut a = TermArena::new();
+        let x = a.init(VarId(0));
+        let f11 = a.app(StepId::new(0, 0), &[x]);
+        let f21 = a.app(StepId::new(1, 0), &[f11]);
+        let f12 = a.app(StepId::new(0, 1), &[x, f21]);
+        assert_eq!(a.render(x, None), "x00");
+        assert_eq!(a.render(f12, None), "f12(x00, f21(f11(x00)))");
+        let names = vec!["x".to_string()];
+        assert_eq!(a.render(f11, Some(&names)), "f11(x0)");
+    }
+
+    #[test]
+    fn get_roundtrips() {
+        let mut a = TermArena::new();
+        let x = a.init(VarId(3));
+        assert_eq!(a.get(x), &Term::Init(VarId(3)));
+    }
+}

@@ -1,0 +1,122 @@
+//! Domain values.
+//!
+//! The paper associates with each variable an enumerable domain `D(v)` —
+//! "typically the integers, the set {0,1}, or finite strings". We support
+//! integers and booleans for concrete semantics, plus Herbrand terms for the
+//! canonical free semantics of Section 4.2.
+
+use crate::term::TermId;
+use std::fmt;
+
+/// A value drawn from some variable domain.
+///
+/// Concrete interpretations manipulate `Int`/`Bool`; the Herbrand
+/// interpretation manipulates `Term` (indices into a
+/// [`TermArena`](crate::term::TermArena)).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// An integer (the paper's "natural numbers" examples use these).
+    Int(i64),
+    /// A boolean, for domains like `{0, 1}`.
+    Bool(bool),
+    /// A Herbrand term; meaningful only relative to a term arena.
+    Term(TermId),
+}
+
+impl Value {
+    /// Interpret the value as an integer, treating booleans as 0/1.
+    ///
+    /// Returns `None` for Herbrand terms, which have no numeric reading.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            Value::Bool(b) => Some(i64::from(b)),
+            Value::Term(_) => None,
+        }
+    }
+
+    /// Interpret the value as a boolean (`Int` is true iff nonzero).
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Int(i) => Some(i != 0),
+            Value::Bool(b) => Some(b),
+            Value::Term(_) => None,
+        }
+    }
+
+    /// The Herbrand term id, if this value is symbolic.
+    pub fn as_term(self) -> Option<TermId> {
+        match self {
+            Value::Term(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True when this is a symbolic (Herbrand) value.
+    pub fn is_symbolic(self) -> bool {
+        matches!(self, Value::Term(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Term(t) => write!(f, "#{}", t.0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_conversions() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Bool(false).as_int(), Some(0));
+        assert_eq!(Value::Term(TermId(0)).as_int(), None);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Int(-3).as_bool(), Some(true));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Term(TermId(1)).as_bool(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn symbolic_detection() {
+        assert!(Value::Term(TermId(3)).is_symbolic());
+        assert!(!Value::Int(3).is_symbolic());
+        assert_eq!(Value::Term(TermId(3)).as_term(), Some(TermId(3)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Term(TermId(9)).to_string(), "#9");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the model crate: execution, Herbrand interning,
+//! expression evaluation.
+
+use ccopt_model::exec::Executor;
+use ccopt_model::expr::{Cond, Env, Expr};
+use ccopt_model::ids::{StepId, TxnId, VarId};
+use ccopt_model::random::{random_system, RandomConfig};
+use ccopt_model::state::GlobalState;
+use ccopt_model::term::TermArena;
+use ccopt_model::value::Value;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executing a full serial order visits every step exactly once and
+    /// terminates every transaction.
+    #[test]
+    fn serial_execution_terminates(seed in 0u64..500) {
+        let cfg = RandomConfig {
+            num_txns: 3,
+            steps_per_txn: (1, 3),
+            num_vars: 2,
+            read_fraction: 0.3,
+            hot_fraction: 0.2,
+            num_check_states: 2,
+            value_range: (-3, 3),
+        };
+        let sys = random_system(&cfg, seed);
+        let ex = Executor::new(&sys);
+        let init = sys.space.initial_states[0].clone();
+        let order: Vec<TxnId> = (0..sys.num_txns() as u32).map(TxnId).collect();
+        let g = ex.run_concatenation(init, &order).expect("serial runs");
+        prop_assert_eq!(g.len(), sys.syntax.num_vars());
+    }
+
+    /// Step execution is deterministic: same inputs, same outputs.
+    #[test]
+    fn execution_is_deterministic(seed in 0u64..500) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (1, 3),
+            num_vars: 2,
+            read_fraction: 0.0,
+            hot_fraction: 0.5,
+            num_check_states: 1,
+            value_range: (-2, 2),
+        };
+        let sys = random_system(&cfg, seed);
+        let ex = Executor::new(&sys);
+        let init = sys.space.initial_states[0].clone();
+        let steps: Vec<StepId> = sys.syntax.all_steps().collect();
+        // all_steps is T1's steps then T2's — a legal (serial) sequence.
+        let a = ex.run_sequence(init.clone(), &steps).expect("runs");
+        let b = ex.run_sequence(init, &steps).expect("runs");
+        prop_assert_eq!(a.globals, b.globals);
+    }
+
+    /// Out-of-order execution is always rejected.
+    #[test]
+    fn out_of_order_rejected(seed in 0u64..200) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (2, 3),
+            num_vars: 2,
+            read_fraction: 0.0,
+            hot_fraction: 0.0,
+            num_check_states: 1,
+            value_range: (-1, 1),
+        };
+        let sys = random_system(&cfg, seed);
+        let ex = Executor::new(&sys);
+        let init = sys.space.initial_states[0].clone();
+        // Second step of T1 before the first.
+        let bad = [StepId::new(0, 1), StepId::new(0, 0)];
+        prop_assert!(ex.run_sequence(init, &bad).is_err());
+    }
+
+    /// Hash-consing: interning the same structure twice yields the same id,
+    /// and ids are stable under unrelated interning.
+    #[test]
+    fn term_interning_is_stable(vars in proptest::collection::vec(0u32..4, 1..6)) {
+        let mut arena = TermArena::new();
+        let ids: Vec<_> = vars.iter().map(|&v| arena.init(VarId(v))).collect();
+        // Build applications over them.
+        let site = StepId::new(0, 0);
+        let app1 = arena.app(site, &ids);
+        let _noise = arena.init(VarId(99));
+        let app2 = arena.app(site, &ids);
+        prop_assert_eq!(app1, app2);
+        for (&v, &id) in vars.iter().zip(&ids) {
+            prop_assert_eq!(arena.init(VarId(v)), id);
+        }
+    }
+
+    /// Expression evaluation never panics on integer locals and matches a
+    /// reference interpreter for affine expressions.
+    #[test]
+    fn affine_expr_eval(a in -3i64..=3, b in -3i64..=3, x in -100i64..=100) {
+        let e = Expr::add(Expr::mul(Expr::Const(a), Expr::Local(0)), Expr::Const(b));
+        let locals = [Value::Int(x)];
+        prop_assert_eq!(e.eval(Env::locals(&locals)), Ok(a * x + b));
+    }
+
+    /// Conditions are total on integer states.
+    #[test]
+    fn cond_eval_total(x in -50i64..=50, y in -50i64..=50) {
+        let g = GlobalState::from_ints(&[x, y]);
+        let c = Cond::and(
+            Cond::Ge(Expr::Var(VarId(0)), Expr::Const(0)),
+            Cond::Lt(Expr::Var(VarId(1)), Expr::Const(10)),
+        );
+        let expected = x >= 0 && y < 10;
+        prop_assert_eq!(c.eval(Env::globals(&g)), Ok(expected));
+    }
+}

@@ -1,0 +1,238 @@
+//! One-call analysis of the full class hierarchy over `H`.
+//!
+//! Computes, for every schedule of a (small-format) system, membership in:
+//! serial ⊆ CSR ⊆ SR ⊆ WSR ⊆ C(T). This is the data behind the paper's
+//! information/performance ladder (Theorems 2–4) and the `hierarchy_table`
+//! experiment.
+
+use crate::correct::correct_membership;
+use crate::enumerate::all_schedules;
+use crate::graph::is_csr;
+use crate::herbrand::HerbrandCtx;
+use crate::schedule::Schedule;
+use crate::sr::sr_membership;
+use crate::wsr::{wsr_membership, WsrOptions};
+use ccopt_model::system::TransactionSystem;
+
+/// Sizes of each class (and of `H`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassSizes {
+    /// `|H|`.
+    pub h: usize,
+    /// Number of serial schedules (= n! modulo coinciding formats).
+    pub serial: usize,
+    /// `|CSR(T)|` — conflict-serializable schedules.
+    pub csr: usize,
+    /// `|SR(T)|` — Herbrand-serializable schedules.
+    pub sr: usize,
+    /// `|WSR(T)|` — weakly serializable schedules (bounded search).
+    pub wsr: usize,
+    /// `|C(T)|` — correct schedules over the check space.
+    pub correct: usize,
+}
+
+/// Full membership analysis over an explicit enumeration of `H`.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// The schedules of `H` in enumeration order.
+    pub schedules: Vec<Schedule>,
+    /// Serial-schedule flags.
+    pub serial: Vec<bool>,
+    /// CSR membership flags.
+    pub csr: Vec<bool>,
+    /// SR membership flags.
+    pub sr: Vec<bool>,
+    /// WSR membership flags.
+    pub wsr: Vec<bool>,
+    /// C(T) membership flags.
+    pub correct: Vec<bool>,
+}
+
+impl Analysis {
+    /// Run the full analysis. Intended for formats with at most a few
+    /// thousand schedules.
+    pub fn run(sys: &TransactionSystem, wsr_opts: WsrOptions) -> Self {
+        let schedules = all_schedules(&sys.format());
+        let ctx = HerbrandCtx::for_system(sys);
+        let serial = schedules.iter().map(Schedule::is_serial).collect();
+        let csr = schedules.iter().map(|h| is_csr(&sys.syntax, h)).collect();
+        let sr = sr_membership(&ctx, &schedules);
+        let wsr = wsr_membership(sys, &schedules, wsr_opts);
+        let correct = correct_membership(sys, &schedules);
+        Analysis {
+            schedules,
+            serial,
+            csr,
+            sr,
+            wsr,
+            correct,
+        }
+    }
+
+    /// The class sizes.
+    pub fn sizes(&self) -> ClassSizes {
+        fn count(v: &[bool]) -> usize {
+            v.iter().filter(|&&b| b).count()
+        }
+        ClassSizes {
+            h: self.schedules.len(),
+            serial: count(&self.serial),
+            csr: count(&self.csr),
+            sr: count(&self.sr),
+            wsr: count(&self.wsr),
+            correct: count(&self.correct),
+        }
+    }
+
+    /// Verify the inclusion chain serial ⊆ CSR ⊆ SR ⊆ WSR ⊆ C pointwise;
+    /// returns the name of the first violated inclusion.
+    pub fn check_inclusions(&self) -> Result<(), String> {
+        for (i, h) in self.schedules.iter().enumerate() {
+            if self.serial[i] && !self.csr[i] {
+                return Err(format!("serial ⊄ CSR at {h}"));
+            }
+            if self.csr[i] && !self.sr[i] {
+                return Err(format!("CSR ⊄ SR at {h}"));
+            }
+            if self.sr[i] && !self.wsr[i] {
+                return Err(format!("SR ⊄ WSR at {h}"));
+            }
+            if self.wsr[i] && !self.correct[i] {
+                return Err(format!("WSR ⊄ C at {h}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of schedules in a named class.
+    pub fn members(&self, class: Class) -> Vec<usize> {
+        let flags = self.flags(class);
+        (0..self.schedules.len()).filter(|&i| flags[i]).collect()
+    }
+
+    /// Flags slice of a named class.
+    pub fn flags(&self, class: Class) -> &[bool] {
+        match class {
+            Class::Serial => &self.serial,
+            Class::Csr => &self.csr,
+            Class::Sr => &self.sr,
+            Class::Wsr => &self.wsr,
+            Class::Correct => &self.correct,
+        }
+    }
+}
+
+/// The five classes of the ladder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Class {
+    /// Serial schedules.
+    Serial,
+    /// Conflict-serializable schedules.
+    Csr,
+    /// Herbrand-serializable schedules (`SR(T)`).
+    Sr,
+    /// Weakly serializable schedules (`WSR(T)`).
+    Wsr,
+    /// Correct schedules (`C(T)`).
+    Correct,
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Class::Serial => write!(f, "serial"),
+            Class::Csr => write!(f, "CSR"),
+            Class::Sr => write!(f, "SR"),
+            Class::Wsr => write!(f, "WSR"),
+            Class::Correct => write!(f, "C"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_model::random::{random_system, RandomConfig};
+    use ccopt_model::systems;
+
+    #[test]
+    fn fig1_ladder_is_strict_between_sr_and_wsr() {
+        let sys = systems::fig1();
+        let a = Analysis::run(&sys, WsrOptions::default());
+        a.check_inclusions().unwrap();
+        let s = a.sizes();
+        assert_eq!(s.h, 3);
+        assert_eq!(s.serial, 2);
+        assert_eq!(s.csr, 2);
+        assert_eq!(s.sr, 2);
+        assert_eq!(s.wsr, 3); // the gap exhibited by Figure 1
+        assert_eq!(s.correct, 3); // TrueIc
+    }
+
+    #[test]
+    fn thm2_ladder_collapses_to_serial() {
+        let sys = systems::thm2_adversary();
+        let a = Analysis::run(&sys, WsrOptions::default());
+        a.check_inclusions().unwrap();
+        let s = a.sizes();
+        assert_eq!(s.h, 3);
+        assert_eq!(s.serial, 2);
+        // The only correct schedules are the serial ones here.
+        assert_eq!(s.correct, 2);
+    }
+
+    #[test]
+    fn inclusions_hold_on_random_systems() {
+        for seed in 0..8 {
+            let cfg = RandomConfig {
+                num_txns: 2,
+                steps_per_txn: (1, 3),
+                num_vars: 2,
+                read_fraction: 0.2,
+                ..RandomConfig::default()
+            };
+            let sys = random_system(&cfg, seed);
+            let a = Analysis::run(&sys, WsrOptions::default());
+            a.check_inclusions()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn members_and_flags_are_consistent() {
+        let sys = systems::fig1();
+        let a = Analysis::run(&sys, WsrOptions::default());
+        for class in [
+            Class::Serial,
+            Class::Csr,
+            Class::Sr,
+            Class::Wsr,
+            Class::Correct,
+        ] {
+            let members = a.members(class);
+            let flags = a.flags(class);
+            for (i, &f) in flags.iter().enumerate() {
+                assert_eq!(members.contains(&i), f);
+            }
+        }
+        assert_eq!(Class::Sr.to_string(), "SR");
+    }
+
+    #[test]
+    fn banking_ladder_runs_end_to_end() {
+        // Format (3,2,4): |H| = 1260. WSR is the expensive one; use a small
+        // bound to keep the test quick while still exercising the path.
+        let sys = systems::banking();
+        let opts = WsrOptions {
+            max_len: 3,
+            uniform: true,
+        };
+        let a = Analysis::run(&sys, opts);
+        let s = a.sizes();
+        assert_eq!(s.h, 1260);
+        assert_eq!(s.serial, 6);
+        assert!(s.csr >= s.serial);
+        assert!(s.sr >= s.csr);
+        assert!(s.correct >= s.wsr);
+    }
+}

@@ -1,0 +1,103 @@
+//! `C(T)`: the set of correct schedules.
+//!
+//! Section 3.1: "A schedule is said to be *correct* if its execution
+//! preserves the consistency of the database. The set of all correct
+//! schedules of T is denoted by C(T). The set C(T) is always nonempty,
+//! since it at least contains, by our basic assumption, all serial
+//! schedules."
+//!
+//! Correctness is decided over the system's finite check space (see the
+//! substitution note in DESIGN.md).
+
+use crate::schedule::Schedule;
+use ccopt_model::exec::Executor;
+use ccopt_model::system::TransactionSystem;
+
+/// Is `h ∈ C(T)`: does executing `h` map every consistent check state to a
+/// consistent state?
+pub fn is_correct(sys: &TransactionSystem, h: &Schedule) -> bool {
+    Executor::new(sys).check_sequence_correct(h.steps()).is_ok()
+}
+
+/// Membership flags of `C(T)` over an explicit schedule list.
+pub fn correct_membership(sys: &TransactionSystem, schedules: &[Schedule]) -> Vec<bool> {
+    let ex = Executor::new(sys);
+    schedules
+        .iter()
+        .map(|h| ex.check_sequence_correct(h.steps()).is_ok())
+        .collect()
+}
+
+/// A human-readable explanation of why `h ∉ C(T)` (or `None` when correct).
+pub fn incorrectness_witness(sys: &TransactionSystem, h: &Schedule) -> Option<String> {
+    Executor::new(sys).check_sequence_correct(h.steps()).err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_schedules;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::systems;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn serial_schedules_are_always_correct() {
+        for sys in [
+            systems::banking(),
+            systems::fig1(),
+            systems::thm2_adversary(),
+        ] {
+            for s in Schedule::all_serials(&sys.format()) {
+                assert!(is_correct(&sys, &s), "serial {s} incorrect in {}", sys.name);
+            }
+        }
+    }
+
+    #[test]
+    fn thm2_adversary_rejects_the_interleaving() {
+        let sys = systems::thm2_adversary();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        assert!(!is_correct(&sys, &h));
+        let reason = incorrectness_witness(&sys, &h).unwrap();
+        assert!(reason.contains("inconsistent"), "got: {reason}");
+    }
+
+    #[test]
+    fn trivial_ic_makes_everything_correct() {
+        let sys = systems::fig1(); // TrueIc
+        for h in all_schedules(&sys.format()) {
+            assert!(is_correct(&sys, &h));
+        }
+    }
+
+    #[test]
+    fn banking_has_incorrect_interleavings() {
+        // A lost-update interleaving of withdraw (T2) inside audit (T3)
+        // breaks A + B = S - 50C.
+        let sys = systems::banking();
+        let all = all_schedules(&sys.format());
+        let flags = correct_membership(&sys, &all);
+        let incorrect = flags.iter().filter(|&&b| !b).count();
+        assert!(
+            incorrect > 0,
+            "expected some incorrect banking interleavings"
+        );
+        // And serials are among the correct ones.
+        let correct = flags.iter().filter(|&&b| b).count();
+        assert!(correct >= 6);
+    }
+
+    #[test]
+    fn membership_vector_matches_pointwise() {
+        let sys = systems::thm2_adversary();
+        let all = all_schedules(&sys.format());
+        let flags = correct_membership(&sys, &all);
+        for (h, &m) in all.iter().zip(&flags) {
+            assert_eq!(is_correct(&sys, h), m);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Enumeration and sampling of the schedule set `H`.
+//!
+//! `H` depends only on the format; its size is the multinomial coefficient
+//! `(Σ m_i)! / Π (m_i!)`. Exhaustive enumeration is used for the exact
+//! fixpoint-ratio experiments (§6: "the probability that none of the
+//! transaction steps have to wait is |P|/|H|"); uniform sampling covers the
+//! formats where `|H|` is astronomically large.
+
+use crate::schedule::Schedule;
+use ccopt_model::ids::{total_steps, StepId, TxnId};
+use rand::Rng;
+
+/// Exact `|H|` as a u128 (multinomial coefficient). Panics on overflow,
+/// which for u128 requires formats far beyond anything enumerable anyway.
+pub fn count_schedules(format: &[u32]) -> u128 {
+    let mut count: u128 = 1;
+    let mut placed: u128 = 0;
+    // Multiply binomials: C(placed + m_i, m_i) for each transaction.
+    for &m in format {
+        for k in 1..=u128::from(m) {
+            placed += 1;
+            // count *= placed; count /= k — keep exact by multiplying first.
+            count = count.checked_mul(placed).expect("|H| overflows u128");
+            count /= k;
+        }
+    }
+    count
+}
+
+/// Enumerate every schedule of `format` in lexicographic order of
+/// transaction choice. The closure receives each schedule; return `false`
+/// to stop early.
+pub fn for_each_schedule(format: &[u32], mut f: impl FnMut(&Schedule) -> bool) {
+    let total = total_steps(format);
+    let mut pcs = vec![0u32; format.len()];
+    let mut steps: Vec<StepId> = Vec::with_capacity(total);
+    recurse(format, &mut pcs, &mut steps, total, &mut f);
+}
+
+/// Depth-first generation; recursion depth equals the number of steps.
+/// Returns `false` to propagate early termination.
+fn recurse<F: FnMut(&Schedule) -> bool>(
+    format: &[u32],
+    pcs: &mut [u32],
+    steps: &mut Vec<StepId>,
+    total: usize,
+    f: &mut F,
+) -> bool {
+    if steps.len() == total {
+        return f(&Schedule::new_unchecked(steps.clone()));
+    }
+    for i in 0..format.len() {
+        if pcs[i] < format[i] {
+            steps.push(StepId::new(i as u32, pcs[i]));
+            pcs[i] += 1;
+            let keep_going = recurse(format, pcs, steps, total, f);
+            pcs[i] -= 1;
+            steps.pop();
+            if !keep_going {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Collect every schedule of `format`. Intended for small formats
+/// (`|H|` up to a few hundred thousand).
+pub fn all_schedules(format: &[u32]) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    for_each_schedule(format, |s| {
+        out.push(s.clone());
+        true
+    });
+    out
+}
+
+/// Draw a uniformly random schedule of `format`.
+///
+/// Uniformity: at each position, choose transaction `i` with probability
+/// proportional to the number of distinct completions after taking a step
+/// of `i`, which equals `remaining_i / remaining_total` of the multinomial —
+/// the standard "random interleaving" construction (equivalently: a uniformly
+/// random permutation of the multiset of transaction labels).
+pub fn sample_schedule<R: Rng + ?Sized>(format: &[u32], rng: &mut R) -> Schedule {
+    let total = total_steps(format);
+    let mut remaining: Vec<u32> = format.to_vec();
+    let mut left = total as u64;
+    let mut pcs = vec![0u32; format.len()];
+    let mut steps = Vec::with_capacity(total);
+    while left > 0 {
+        let mut pick = rng.gen_range(0..left);
+        let mut chosen = usize::MAX;
+        for (i, &r) in remaining.iter().enumerate() {
+            if pick < u64::from(r) {
+                chosen = i;
+                break;
+            }
+            pick -= u64::from(r);
+        }
+        debug_assert_ne!(chosen, usize::MAX);
+        steps.push(StepId::new(chosen as u32, pcs[chosen]));
+        pcs[chosen] += 1;
+        remaining[chosen] -= 1;
+        left -= 1;
+    }
+    Schedule::new_unchecked(steps)
+}
+
+/// All transaction ids of a format, in index order (convenience).
+pub fn txn_ids(format: &[u32]) -> Vec<TxnId> {
+    (0..format.len() as u32).map(TxnId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counts_match_multinomials() {
+        assert_eq!(count_schedules(&[]), 1);
+        assert_eq!(count_schedules(&[3]), 1);
+        assert_eq!(count_schedules(&[1, 1]), 2);
+        assert_eq!(count_schedules(&[2, 1]), 3);
+        assert_eq!(count_schedules(&[2, 2]), 6);
+        assert_eq!(count_schedules(&[3, 2, 4]), 1260); // the banking format
+        assert_eq!(count_schedules(&[2, 2, 2]), 90);
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_unique() {
+        for format in [vec![2, 2], vec![3, 2], vec![2, 2, 2], vec![1, 1, 1, 1]] {
+            let all = all_schedules(&format);
+            assert_eq!(all.len() as u128, count_schedules(&format));
+            let set: HashSet<_> = all.iter().collect();
+            assert_eq!(set.len(), all.len(), "duplicates for {format:?}");
+            for s in &all {
+                assert!(s.is_legal(&format));
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic_by_txn_choice() {
+        let all = all_schedules(&[1, 1]);
+        assert_eq!(all[0].steps()[0].txn.0, 0);
+        assert_eq!(all[1].steps()[0].txn.0, 1);
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let mut seen = 0;
+        for_each_schedule(&[2, 2], |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn sampling_is_legal_and_covers_h() {
+        let format = [2, 1];
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            let s = sample_schedule(&format, &mut rng);
+            assert!(s.is_legal(&format));
+            seen.insert(s);
+        }
+        // |H| = 3 and 200 draws should see all of them.
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // For format (1,1): two schedules, each with probability 1/2.
+        let format = [1, 1];
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut first = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let s = sample_schedule(&format, &mut rng);
+            if s.steps()[0].txn.0 == 0 {
+                first += 1;
+            }
+        }
+        let ratio = f64::from(first) / f64::from(n);
+        assert!((0.45..0.55).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn single_transaction_has_one_schedule() {
+        let all = all_schedules(&[4]);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_serial());
+    }
+}

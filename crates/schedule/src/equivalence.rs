@@ -1,0 +1,187 @@
+//! Final-state equivalence and step commutation.
+//!
+//! Two schedules are *equivalent under an interpretation* when they produce
+//! the same final global state from every check state. Under Herbrand
+//! semantics this is the equivalence underlying `SR(T)`; under the actual
+//! semantics it underlies `WSR(T)` and the semantic schedulers.
+//!
+//! *Commutation* of adjacent steps is the paper's "elementary
+//! transformation" (Fig. 4(b)): swapping two adjacent steps of different
+//! transactions. Syntactically non-conflicting steps always commute;
+//! semantically, more pairs may commute (e.g. two blind increments).
+
+use crate::schedule::Schedule;
+use ccopt_model::exec::Executor;
+use ccopt_model::system::TransactionSystem;
+
+/// Are `a` and `b` equivalent under the system's interpretation: same final
+/// globals from every check state? Execution errors make schedules
+/// inequivalent (unless both fail from the same state).
+pub fn equivalent(sys: &TransactionSystem, a: &Schedule, b: &Schedule) -> bool {
+    let ex = Executor::new(sys);
+    sys.space.initial_states.iter().all(|init| {
+        let ra = ex.run_sequence(init.clone(), a.steps()).map(|s| s.globals);
+        let rb = ex.run_sequence(init.clone(), b.steps()).map(|s| s.globals);
+        match (ra, rb) {
+            (Ok(ga), Ok(gb)) => ga == gb,
+            _ => false,
+        }
+    })
+}
+
+/// Does swapping positions `k` and `k+1` of `h` preserve the final state on
+/// every check state? Returns `None` when the swap is illegal (same
+/// transaction or out of range), `Some(true/false)` otherwise.
+pub fn swap_preserves_state(sys: &TransactionSystem, h: &Schedule, k: usize) -> Option<bool> {
+    let swapped = h.swap_adjacent(k)?;
+    Some(equivalent(sys, h, &swapped))
+}
+
+/// Do the steps at positions `k`, `k+1` commute *syntactically* (different
+/// transactions and no conflict)? Syntactic commutation implies semantic
+/// commutation under every interpretation (Herbrand's theorem direction).
+pub fn swap_is_syntactic(sys: &TransactionSystem, h: &Schedule, k: usize) -> Option<bool> {
+    let steps = h.steps();
+    if k + 1 >= steps.len() || steps[k].txn == steps[k + 1].txn {
+        return None;
+    }
+    Some(!sys.syntax.conflict(steps[k], steps[k + 1]))
+}
+
+/// All schedules reachable from `h` by repeatedly swapping adjacent
+/// *syntactically non-conflicting* steps — the homotopy class of `h` in the
+/// sense of Section 5.3. Only for small formats.
+pub fn homotopy_class(sys: &TransactionSystem, h: &Schedule) -> Vec<Schedule> {
+    use std::collections::{HashSet, VecDeque};
+    let mut seen: HashSet<Schedule> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(h.clone());
+    queue.push_back(h.clone());
+    while let Some(cur) = queue.pop_front() {
+        for k in 0..cur.len().saturating_sub(1) {
+            if swap_is_syntactic(sys, &cur, k) == Some(true) {
+                let next = cur.swap_adjacent(k).expect("validated swap");
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    let mut out: Vec<Schedule> = seen.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Is `h` connected to some *serial* schedule by elementary transformations?
+/// By the Section 5.3 discussion this coincides with conflict
+/// serializability.
+pub fn homotopic_to_serial(sys: &TransactionSystem, h: &Schedule) -> bool {
+    homotopy_class(sys, h).iter().any(Schedule::is_serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_schedules;
+    use crate::graph::is_csr;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::random::{random_system, RandomConfig};
+    use ccopt_model::systems;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn fig1_h_semantically_equals_t2_t1_serial() {
+        let sys = systems::fig1();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let t2t1 = Schedule::new_unchecked(vec![sid(1, 0), sid(0, 0), sid(0, 1)]);
+        assert!(equivalent(&sys, &h, &t2t1));
+        let t1t2 = Schedule::new_unchecked(vec![sid(0, 0), sid(0, 1), sid(1, 0)]);
+        assert!(!equivalent(&sys, &h, &t1t2));
+    }
+
+    #[test]
+    fn semantic_commutation_can_exceed_syntactic() {
+        // In fig1, T11 (x+1) and T21 (x+1) commute semantically (addition)
+        // but conflict syntactically.
+        let sys = systems::fig1();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        assert_eq!(swap_is_syntactic(&sys, &h, 0), Some(false));
+        assert_eq!(swap_preserves_state(&sys, &h, 0), Some(true));
+        // T21 (x+1) and T12 (2x) do not commute semantically.
+        assert_eq!(swap_preserves_state(&sys, &h, 1), Some(false));
+    }
+
+    #[test]
+    fn swap_bounds_and_same_txn_rejected() {
+        let sys = systems::fig1();
+        let serial = Schedule::new_unchecked(vec![sid(0, 0), sid(0, 1), sid(1, 0)]);
+        assert_eq!(swap_preserves_state(&sys, &serial, 0), None); // same txn
+        assert_eq!(swap_preserves_state(&sys, &serial, 5), None); // range
+        assert_eq!(swap_is_syntactic(&sys, &serial, 0), None);
+    }
+
+    #[test]
+    fn homotopy_class_equals_csr_on_random_systems() {
+        // Section 5.3: homotopic-to-serial == conflict-serializable.
+        for seed in 0..10 {
+            let cfg = RandomConfig {
+                num_txns: 2,
+                steps_per_txn: (1, 3),
+                num_vars: 2,
+                read_fraction: 0.2,
+                ..RandomConfig::default()
+            };
+            let sys = random_system(&cfg, seed);
+            for h in all_schedules(&sys.format()) {
+                assert_eq!(
+                    homotopic_to_serial(&sys, &h),
+                    is_csr(&sys.syntax, &h),
+                    "mismatch for {h} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn homotopy_class_contains_self_and_is_closed() {
+        let sys = systems::fig2_like();
+        let h = Schedule::serial(&sys.format(), &crate::enumerate::txn_ids(&sys.format()));
+        let class = homotopy_class(&sys, &h);
+        assert!(class.contains(&h));
+        // Closure: every member's class is the same set.
+        let other = &class[class.len() / 2];
+        let class2 = homotopy_class(&sys, other);
+        assert_eq!(class, class2);
+    }
+
+    #[test]
+    fn disjoint_transactions_have_full_homotopy_class() {
+        use ccopt_model::expr::Expr;
+        use ccopt_model::ic::TrueIc;
+        use ccopt_model::interp::ExprInterpretation;
+        use ccopt_model::syntax::SyntaxBuilder;
+        use ccopt_model::system::{StateSpace, TransactionSystem};
+        use std::sync::Arc;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x"))
+            .txn("T2", |t| t.update("y"))
+            .build();
+        let interp = ExprInterpretation::new(vec![
+            vec![Expr::add(Expr::Local(0), Expr::Const(1))],
+            vec![Expr::add(Expr::Local(0), Expr::Const(1))],
+        ]);
+        let sys = TransactionSystem::new(
+            "disjoint",
+            syn,
+            Arc::new(interp),
+            Arc::new(TrueIc),
+            StateSpace::from_ints(&[&[0, 0]]),
+        );
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0)]);
+        let class = homotopy_class(&sys, &h);
+        assert_eq!(class.len(), 2); // both schedules of H
+    }
+}

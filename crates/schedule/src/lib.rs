@@ -1,0 +1,39 @@
+//! # `ccopt-schedule` — schedules and the correctness-class hierarchy
+//!
+//! Section 3.1 of the paper: "A *schedule* (a log or a history) of a
+//! transaction system T is a permutation π of the set of steps in T such
+//! that π(T_ij) < π(T_ik) for 1 ≤ j < k ≤ m_i."
+//!
+//! This crate provides:
+//!
+//! * [`schedule`] — the [`Schedule`] type, legality,
+//!   serial schedules, permutation helpers and the multinomial count `|H|`;
+//! * [`enumerate`] — exhaustive enumeration and uniform sampling of `H`;
+//! * [`herbrand`] — symbolic execution under Herbrand semantics
+//!   (Section 4.2), producing final-state terms;
+//! * [`graph`] — the serialization (conflict) graph and conflict
+//!   serializability (CSR), the efficient sufficient test;
+//! * [`sr`] — `SR(T)`: serializability under Herbrand semantics, the
+//!   optimal class for complete syntactic information (Theorem 3);
+//! * [`wsr`] — `WSR(T)`: weak serializability (Section 4.3, Theorem 4);
+//! * [`correct`] — `C(T)`: correctness against the integrity constraints
+//!   over the system's check space;
+//! * [`equivalence`] — final-state equivalence and step-commutation tests;
+//! * [`classes`] — one-call analysis computing every class over `H`
+//!   (the data behind the paper's information/performance ladder).
+
+pub mod classes;
+pub mod correct;
+pub mod enumerate;
+pub mod equivalence;
+pub mod graph;
+pub mod herbrand;
+pub mod schedule;
+pub mod sr;
+pub mod wsr;
+
+pub use classes::{Analysis, ClassSizes};
+pub use enumerate::{all_schedules, count_schedules, sample_schedule};
+pub use graph::{ConflictGraph, SerializationVerdict};
+pub use herbrand::HerbrandCtx;
+pub use schedule::Schedule;

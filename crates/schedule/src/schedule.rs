@@ -1,0 +1,282 @@
+//! The [`Schedule`] type: a legal permutation of the steps of a format.
+
+use ccopt_model::ids::{total_steps, StepId, TxnId};
+use std::fmt;
+
+/// A schedule (log, history): every step of the format exactly once, in an
+/// order that respects each transaction's program order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Schedule(pub Vec<StepId>);
+
+impl Schedule {
+    /// Wrap a step sequence without checking legality.
+    pub fn new_unchecked(steps: Vec<StepId>) -> Self {
+        Schedule(steps)
+    }
+
+    /// Wrap a step sequence, verifying it is a legal schedule of `format`.
+    pub fn new(steps: Vec<StepId>, format: &[u32]) -> Result<Self, String> {
+        let s = Schedule(steps);
+        s.check_legal(format)?;
+        Ok(s)
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[StepId] {
+        &self.0
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty (only legal for the empty format).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Check this is a permutation of all steps of `format` respecting
+    /// program order.
+    pub fn check_legal(&self, format: &[u32]) -> Result<(), String> {
+        if self.0.len() != total_steps(format) {
+            return Err(format!(
+                "schedule has {} steps, format has {}",
+                self.0.len(),
+                total_steps(format)
+            ));
+        }
+        let mut next = vec![0u32; format.len()];
+        for &s in &self.0 {
+            let i = s.txn.index();
+            if i >= format.len() || s.idx >= format[i] {
+                return Err(format!("unknown step {s}"));
+            }
+            if s.idx != next[i] {
+                return Err(format!(
+                    "step {s} out of program order (expected index {})",
+                    next[i]
+                ));
+            }
+            next[i] += 1;
+        }
+        Ok(())
+    }
+
+    /// True when the schedule is legal for `format`.
+    pub fn is_legal(&self, format: &[u32]) -> bool {
+        self.check_legal(format).is_ok()
+    }
+
+    /// Is this schedule *serial*: all steps of each transaction contiguous?
+    pub fn is_serial(&self) -> bool {
+        let mut seen_complete: Vec<TxnId> = Vec::new();
+        let mut current: Option<TxnId> = None;
+        for &s in &self.0 {
+            match current {
+                Some(t) if t == s.txn => {}
+                _ => {
+                    if seen_complete.contains(&s.txn) {
+                        return false;
+                    }
+                    if let Some(t) = current {
+                        seen_complete.push(t);
+                    }
+                    current = Some(s.txn);
+                }
+            }
+        }
+        true
+    }
+
+    /// For a serial schedule, the transaction order; `None` when not serial.
+    pub fn serial_order(&self) -> Option<Vec<TxnId>> {
+        if !self.is_serial() {
+            return None;
+        }
+        let mut order = Vec::new();
+        for &s in &self.0 {
+            if order.last() != Some(&s.txn) {
+                order.push(s.txn);
+            }
+        }
+        Some(order)
+    }
+
+    /// The serial schedule executing transactions in the given order.
+    pub fn serial(format: &[u32], order: &[TxnId]) -> Schedule {
+        let mut steps = Vec::with_capacity(total_steps(format));
+        for &t in order {
+            for j in 0..format[t.index()] {
+                steps.push(StepId { txn: t, idx: j });
+            }
+        }
+        Schedule(steps)
+    }
+
+    /// All `n!` serial schedules of a format.
+    pub fn all_serials(format: &[u32]) -> Vec<Schedule> {
+        let n = format.len();
+        let ids: Vec<TxnId> = (0..n as u32).map(TxnId).collect();
+        permutations(&ids)
+            .into_iter()
+            .map(|order| Schedule::serial(format, &order))
+            .collect()
+    }
+
+    /// Position of step `s` in the schedule.
+    pub fn position(&self, s: StepId) -> Option<usize> {
+        self.0.iter().position(|&x| x == s)
+    }
+
+    /// Swap the steps at positions `k` and `k+1`, returning the new schedule.
+    /// Only legal when the two steps belong to different transactions.
+    pub fn swap_adjacent(&self, k: usize) -> Option<Schedule> {
+        if k + 1 >= self.0.len() || self.0[k].txn == self.0[k + 1].txn {
+            return None;
+        }
+        let mut v = self.0.clone();
+        v.swap(k, k + 1);
+        Some(Schedule(v))
+    }
+
+    /// Project the schedule to the steps of one transaction (their order is
+    /// by construction the program order).
+    pub fn project(&self, t: TxnId) -> Vec<StepId> {
+        self.0.iter().copied().filter(|s| s.txn == t).collect()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// All permutations of `items` (Heap's algorithm); order is deterministic.
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    let n = work.len();
+    if n == 0 {
+        out.push(Vec::new());
+        return out;
+    }
+    let mut c = vec![0usize; n];
+    out.push(work.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                work.swap(0, i);
+            } else {
+                work.swap(c[i], i);
+            }
+            out.push(work.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn legality_checks_order_and_completeness() {
+        let format = [2, 1];
+        let ok = Schedule::new(vec![sid(0, 0), sid(1, 0), sid(0, 1)], &format);
+        assert!(ok.is_ok());
+        // Out of program order.
+        let bad = Schedule::new(vec![sid(0, 1), sid(0, 0), sid(1, 0)], &format);
+        assert!(bad.is_err());
+        // Missing a step.
+        let bad = Schedule::new(vec![sid(0, 0), sid(0, 1)], &format);
+        assert!(bad.is_err());
+        // Unknown step.
+        let bad = Schedule::new(vec![sid(0, 0), sid(0, 1), sid(5, 0)], &format);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn serial_detection() {
+        let format = [2, 2];
+        let s = Schedule::serial(&format, &[TxnId(1), TxnId(0)]);
+        assert!(s.is_serial());
+        assert_eq!(s.serial_order(), Some(vec![TxnId(1), TxnId(0)]));
+        let interleaved = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1), sid(1, 1)]);
+        assert!(!interleaved.is_serial());
+        assert_eq!(interleaved.serial_order(), None);
+    }
+
+    #[test]
+    fn returning_to_a_finished_transaction_is_not_serial() {
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        assert!(!h.is_serial());
+    }
+
+    #[test]
+    fn all_serials_has_factorial_size() {
+        let format = [1, 1, 1];
+        let serials = Schedule::all_serials(&format);
+        assert_eq!(serials.len(), 6);
+        // All distinct and all serial.
+        let set: std::collections::HashSet<_> = serials.iter().collect();
+        assert_eq!(set.len(), 6);
+        assert!(serials.iter().all(|s| s.is_serial()));
+        assert!(serials.iter().all(|s| s.is_legal(&format)));
+    }
+
+    #[test]
+    fn swap_adjacent_respects_transactions() {
+        let format = [2, 1];
+        let h = Schedule::new(vec![sid(0, 0), sid(1, 0), sid(0, 1)], &format).unwrap();
+        // Swapping positions 0,1 (different txns) works.
+        let g = h.swap_adjacent(0).unwrap();
+        assert_eq!(g.steps()[0], sid(1, 0));
+        assert!(g.is_legal(&format));
+        // Positions out of range.
+        assert!(h.swap_adjacent(2).is_none());
+        // Same-transaction swap refused.
+        let serial = Schedule::serial(&format, &[TxnId(0), TxnId(1)]);
+        assert!(serial.swap_adjacent(0).is_none());
+    }
+
+    #[test]
+    fn projection_recovers_program_order() {
+        let h = Schedule::new_unchecked(vec![sid(1, 0), sid(0, 0), sid(1, 1), sid(0, 1)]);
+        assert_eq!(h.project(TxnId(0)), vec![sid(0, 0), sid(0, 1)]);
+        assert_eq!(h.project(TxnId(1)), vec![sid(1, 0), sid(1, 1)]);
+    }
+
+    #[test]
+    fn permutations_count_and_uniqueness() {
+        let p = permutations(&[1, 2, 3, 4]);
+        assert_eq!(p.len(), 24);
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(set.len(), 24);
+        assert_eq!(permutations::<i32>(&[]).len(), 1);
+    }
+
+    #[test]
+    fn display_is_paper_notation() {
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0)]);
+        assert_eq!(h.to_string(), "(T1,1, T2,1)");
+    }
+}

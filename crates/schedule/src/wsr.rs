@@ -1,0 +1,314 @@
+//! `WSR(T)`: weak serializability (Section 4.3).
+//!
+//! "A schedule h is said to be *weakly serializable* if starting from any
+//! state E the execution of the schedule will end with a state which is
+//! achievable by some concatenation of transactions, possibly with
+//! repetitions and omissions of transactions, also starting from state E."
+//!
+//! Weak serializability uses the actual interpretations (all information
+//! except the integrity constraints) and is the optimal class at that level
+//! (Theorem 4). Fig. 1's history `(T11, T21, T12)` is the canonical member
+//! of `WSR \ SR`.
+//!
+//! Deciding WSR over unbounded concatenations is undecidable in general; we
+//! bound the concatenation length (see [`WsrOptions`]) and document the
+//! bound in every verdict. For the paper's examples small bounds are exact.
+
+use crate::schedule::Schedule;
+use ccopt_model::exec::Executor;
+use ccopt_model::ids::TxnId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::system::TransactionSystem;
+
+/// Options controlling the bounded concatenation search.
+#[derive(Clone, Copy, Debug)]
+pub struct WsrOptions {
+    /// Maximum concatenation length (number of transaction executions).
+    pub max_len: usize,
+    /// When true (the default), one concatenation must work for *every*
+    /// start state; when false, each start state may use its own
+    /// concatenation (the weaker per-state reading of the definition).
+    pub uniform: bool,
+}
+
+impl Default for WsrOptions {
+    fn default() -> Self {
+        WsrOptions {
+            max_len: 4,
+            uniform: true,
+        }
+    }
+}
+
+/// Positive verdicts carry the witnessing concatenation(s).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WsrVerdict {
+    /// One concatenation matches the schedule on every check state.
+    Uniform(Vec<TxnId>),
+    /// Per-state witnesses (aligned with the system's check states).
+    PerState(Vec<Vec<TxnId>>),
+    /// No concatenation within the bound matches.
+    NotWeaklySerializable,
+}
+
+impl WsrVerdict {
+    /// Is the schedule weakly serializable (under either reading)?
+    pub fn is_member(&self) -> bool {
+        !matches!(self, WsrVerdict::NotWeaklySerializable)
+    }
+}
+
+/// Test `h ∈ WSR(T)` by bounded search over concatenations.
+///
+/// The search enumerates concatenations in length order (shortest witness
+/// returned). The empty concatenation is included — a schedule that is the
+/// identity on every check state is weakly serializable via omission of all
+/// transactions.
+pub fn wsr_verdict(sys: &TransactionSystem, h: &Schedule, opts: WsrOptions) -> WsrVerdict {
+    let ex = Executor::new(sys);
+    let inits = &sys.space.initial_states;
+    if inits.is_empty() {
+        // Vacuously weakly serializable; witness: empty concatenation.
+        return WsrVerdict::Uniform(Vec::new());
+    }
+    // Final state of h from every init; execution failure disqualifies.
+    let mut finals: Vec<GlobalState> = Vec::with_capacity(inits.len());
+    for init in inits {
+        match ex.run_sequence(init.clone(), h.steps()) {
+            Ok(st) => finals.push(st.globals),
+            Err(_) => return WsrVerdict::NotWeaklySerializable,
+        }
+    }
+
+    if opts.uniform {
+        match find_uniform_witness(&ex, inits, &finals, sys.num_txns(), opts.max_len) {
+            Some(w) => WsrVerdict::Uniform(w),
+            None => WsrVerdict::NotWeaklySerializable,
+        }
+    } else {
+        let mut witnesses = Vec::with_capacity(inits.len());
+        for (init, fin) in inits.iter().zip(&finals) {
+            match find_witness_for_state(&ex, init, fin, sys.num_txns(), opts.max_len) {
+                Some(w) => witnesses.push(w),
+                None => return WsrVerdict::NotWeaklySerializable,
+            }
+        }
+        WsrVerdict::PerState(witnesses)
+    }
+}
+
+/// Is `h ∈ WSR(T)` under the default options?
+pub fn is_wsr(sys: &TransactionSystem, h: &Schedule) -> bool {
+    wsr_verdict(sys, h, WsrOptions::default()).is_member()
+}
+
+fn find_uniform_witness(
+    ex: &Executor<'_>,
+    inits: &[GlobalState],
+    finals: &[GlobalState],
+    n: usize,
+    max_len: usize,
+) -> Option<Vec<TxnId>> {
+    let mut seq: Vec<TxnId> = Vec::new();
+    for len in 0..=max_len {
+        seq.clear();
+        seq.resize(len, TxnId(0));
+        if search_uniform(ex, inits, finals, n, &mut seq, 0) {
+            return Some(seq);
+        }
+    }
+    None
+}
+
+fn search_uniform(
+    ex: &Executor<'_>,
+    inits: &[GlobalState],
+    finals: &[GlobalState],
+    n: usize,
+    seq: &mut [TxnId],
+    pos: usize,
+) -> bool {
+    if pos == seq.len() {
+        return inits.iter().zip(finals).all(|(init, fin)| {
+            ex.run_concatenation(init.clone(), seq)
+                .map(|g| &g == fin)
+                .unwrap_or(false)
+        });
+    }
+    for t in 0..n {
+        seq[pos] = TxnId(t as u32);
+        if search_uniform(ex, inits, finals, n, seq, pos + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+fn find_witness_for_state(
+    ex: &Executor<'_>,
+    init: &GlobalState,
+    fin: &GlobalState,
+    n: usize,
+    max_len: usize,
+) -> Option<Vec<TxnId>> {
+    // BFS over concatenations from this single state: states reachable by
+    // serial executions, tracking the shortest generating sequence.
+    use std::collections::{HashMap, VecDeque};
+    let mut seen: HashMap<GlobalState, Vec<TxnId>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert(init.clone(), Vec::new());
+    queue.push_back(init.clone());
+    if init == fin {
+        return Some(Vec::new());
+    }
+    while let Some(g) = queue.pop_front() {
+        let path = seen[&g].clone();
+        if path.len() >= max_len {
+            continue;
+        }
+        for t in 0..n {
+            let t = TxnId(t as u32);
+            let Ok(st) = ex.run_transaction(g.clone(), t) else {
+                continue;
+            };
+            let g2 = st.globals;
+            if seen.contains_key(&g2) {
+                continue;
+            }
+            let mut p2 = path.clone();
+            p2.push(t);
+            if &g2 == fin {
+                return Some(p2);
+            }
+            seen.insert(g2.clone(), p2);
+            queue.push_back(g2);
+        }
+    }
+    None
+}
+
+/// Membership flags of `WSR(T)` over an explicit schedule list.
+pub fn wsr_membership(
+    sys: &TransactionSystem,
+    schedules: &[Schedule],
+    opts: WsrOptions,
+) -> Vec<bool> {
+    schedules
+        .iter()
+        .map(|h| wsr_verdict(sys, h, opts).is_member())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::all_schedules;
+    use crate::herbrand::HerbrandCtx;
+    use crate::sr::is_sr;
+    use ccopt_model::ids::StepId;
+    use ccopt_model::systems;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn fig1_history_is_weakly_serializable_via_t2_t1() {
+        let sys = systems::fig1();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let v = wsr_verdict(&sys, &h, WsrOptions::default());
+        assert_eq!(v, WsrVerdict::Uniform(vec![TxnId(1), TxnId(0)]));
+    }
+
+    #[test]
+    fn fig1_exhibits_the_sr_wsr_gap() {
+        let sys = systems::fig1();
+        let ctx = HerbrandCtx::for_system(&sys);
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        assert!(!is_sr(&ctx, &h));
+        assert!(is_wsr(&sys, &h));
+    }
+
+    #[test]
+    fn sr_subset_of_wsr_on_fig1() {
+        // SR ⊆ WSR: any serial-equivalent schedule is equivalent to a
+        // concatenation without repetitions or omissions.
+        let sys = systems::fig1();
+        let ctx = HerbrandCtx::for_system(&sys);
+        for h in all_schedules(&sys.format()) {
+            if is_sr(&ctx, &h) {
+                assert!(is_wsr(&sys, &h), "SR schedule {h} not WSR");
+            }
+        }
+    }
+
+    #[test]
+    fn per_state_mode_is_no_stricter_than_uniform() {
+        let sys = systems::fig1();
+        let opts_uniform = WsrOptions::default();
+        let opts_per_state = WsrOptions {
+            uniform: false,
+            ..WsrOptions::default()
+        };
+        for h in all_schedules(&sys.format()) {
+            let u = wsr_verdict(&sys, &h, opts_uniform).is_member();
+            let p = wsr_verdict(&sys, &h, opts_per_state).is_member();
+            if u {
+                assert!(p, "uniform member {h} missing per-state");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_witness_for_identity_schedules() {
+        // A system whose transactions are identities: any schedule equals
+        // the empty concatenation.
+        use ccopt_model::expr::Expr;
+        use ccopt_model::ic::TrueIc;
+        use ccopt_model::interp::ExprInterpretation;
+        use ccopt_model::syntax::SyntaxBuilder;
+        use ccopt_model::system::StateSpace;
+        use std::sync::Arc;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x"))
+            .txn("T2", |t| t.update("x"))
+            .build();
+        let interp = ExprInterpretation::new(vec![vec![Expr::Local(0)], vec![Expr::Local(0)]]);
+        let sys = ccopt_model::system::TransactionSystem::new(
+            "identity",
+            syn,
+            Arc::new(interp),
+            Arc::new(TrueIc),
+            StateSpace::from_ints(&[&[3], &[5]]),
+        );
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0)]);
+        let v = wsr_verdict(&sys, &h, WsrOptions::default());
+        assert_eq!(v, WsrVerdict::Uniform(vec![]));
+    }
+
+    #[test]
+    fn non_wsr_schedule_detected() {
+        // Theorem 2 adversary system with TrueIc and rich check states:
+        // h = (T11, T21, T12): x -> 2(x+1) - 1 = 2x + 1.
+        // Concatenations generate compositions of (x) (identity from T1) and
+        // 2x; from x=0 the reachable values are {0}... T1 alone: x+1-1 = x.
+        // T2: 2x. From 0: {0}. h gives 1 — unreachable. Not WSR.
+        let sys = systems::thm2_adversary();
+        let h = Schedule::new_unchecked(vec![sid(0, 0), sid(1, 0), sid(0, 1)]);
+        let v = wsr_verdict(&sys, &h, WsrOptions::default());
+        assert_eq!(v, WsrVerdict::NotWeaklySerializable);
+    }
+
+    #[test]
+    fn membership_vector_matches_pointwise() {
+        let sys = systems::fig1();
+        let all = all_schedules(&sys.format());
+        let opts = WsrOptions::default();
+        let bulk = wsr_membership(&sys, &all, opts);
+        for (h, &m) in all.iter().zip(&bulk) {
+            assert_eq!(wsr_verdict(&sys, h, opts).is_member(), m);
+        }
+        // All three schedules of fig1 are weakly serializable.
+        assert_eq!(bulk.iter().filter(|&&b| b).count(), 3);
+    }
+}

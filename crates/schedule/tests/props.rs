@@ -1,0 +1,98 @@
+//! Property tests for the schedule crate's core invariants.
+
+use ccopt_model::random::{random_system, RandomConfig};
+use ccopt_schedule::enumerate::{all_schedules, count_schedules, sample_schedule};
+use ccopt_schedule::graph::{csr_verdict, SerializationVerdict};
+use ccopt_schedule::herbrand::HerbrandCtx;
+use ccopt_schedule::schedule::{permutations, Schedule};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn small_format() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..=3, 1..=3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// |enumeration| equals the multinomial count, with no duplicates and
+    /// only legal schedules.
+    #[test]
+    fn enumeration_is_complete_and_legal(format in small_format()) {
+        let all = all_schedules(&format);
+        prop_assert_eq!(all.len() as u128, count_schedules(&format));
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        prop_assert_eq!(set.len(), all.len());
+        for h in &all {
+            prop_assert!(h.is_legal(&format));
+        }
+    }
+
+    /// Sampled schedules are always legal.
+    #[test]
+    fn samples_are_legal(format in small_format(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let h = sample_schedule(&format, &mut rng);
+        prop_assert!(h.is_legal(&format));
+    }
+
+    /// Serial schedules and their orders round-trip.
+    #[test]
+    fn serial_round_trip(format in small_format()) {
+        for s in Schedule::all_serials(&format) {
+            let order = s.serial_order().expect("serial");
+            prop_assert_eq!(Schedule::serial(&format, &order), s);
+        }
+    }
+
+    /// Adjacent swaps preserve legality and are involutive.
+    #[test]
+    fn swaps_are_involutive(format in small_format(), seed in 0u64..1000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let h = sample_schedule(&format, &mut rng);
+        for k in 0..h.len().saturating_sub(1) {
+            if let Some(g) = h.swap_adjacent(k) {
+                prop_assert!(g.is_legal(&format));
+                prop_assert_eq!(g.swap_adjacent(k).expect("swap back"), h.clone());
+            }
+        }
+    }
+
+    /// Herbrand symbolic execution is deterministic and every CSR witness
+    /// reproduces the final state.
+    #[test]
+    fn herbrand_and_csr_agree(seed in 0u64..300) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (1, 3),
+            num_vars: 2,
+            read_fraction: 0.25,
+            hot_fraction: 0.0,
+            num_check_states: 2,
+            value_range: (-2, 2),
+        };
+        let sys = random_system(&cfg, seed);
+        let ctx = HerbrandCtx::for_system(&sys);
+        for h in all_schedules(&sys.format()) {
+            let t1 = ctx.run_schedule(&h);
+            let t2 = ctx.run_schedule(&h);
+            prop_assert_eq!(&t1, &t2);
+            if let SerializationVerdict::Serializable(order) = csr_verdict(&sys.syntax, &h) {
+                let s = Schedule::serial(&sys.format(), &order);
+                prop_assert_eq!(ctx.run_schedule(&s), t1, "CSR witness mismatch for {}", h);
+            }
+        }
+    }
+
+    /// Permutation helper produces n! distinct outputs.
+    #[test]
+    fn permutations_count(n in 0usize..5) {
+        let items: Vec<usize> = (0..n).collect();
+        let perms = permutations(&items);
+        let expected: usize = (1..=n.max(1)).product();
+        prop_assert_eq!(perms.len(), expected);
+        let set: std::collections::HashSet<_> = perms.iter().collect();
+        prop_assert_eq!(set.len(), perms.len());
+    }
+}

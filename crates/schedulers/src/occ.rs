@@ -1,0 +1,262 @@
+//! Optimistic concurrency control with backward validation.
+//!
+//! H. T. Kung's own later line of work (Kung & Robinson 1981) fits the
+//! paper's framework as a scheduler that *never delays reads or writes* —
+//! every step is granted immediately — and pays at commit: a transaction
+//! validates when its last step arrives, checking that no transaction that
+//! committed during its lifetime wrote anything it accessed. A failed
+//! validation re-serializes the final step (abort/restart in a real
+//! engine; here the commit waits, which is what the fixpoint measure sees).
+
+use ccopt_core::info::InfoLevel;
+use ccopt_core::scheduler::OnlineScheduler;
+use ccopt_model::ids::{StepId, TxnId, VarId};
+use ccopt_model::syntax::Syntax;
+use std::collections::BTreeSet;
+
+/// The OCC scheduler (backward validation at the final step).
+#[derive(Clone, Debug)]
+pub struct OccScheduler {
+    syntax: Syntax,
+    /// Commit counter (validation clock).
+    clock: u64,
+    /// Per transaction: start tick (first step arrival).
+    start: Vec<Option<u64>>,
+    /// Per transaction: access set so far.
+    access: Vec<BTreeSet<VarId>>,
+    /// Per transaction: granted step count.
+    granted_count: Vec<u32>,
+    /// Committed write sets with commit ticks: `(tick, writes)`.
+    committed: Vec<(u64, BTreeSet<VarId>)>,
+    /// Parked final steps awaiting validation.
+    parked: Vec<StepId>,
+    forced: usize,
+}
+
+impl OccScheduler {
+    /// Build for a syntax.
+    pub fn new(syntax: Syntax) -> Self {
+        let n = syntax.num_txns();
+        OccScheduler {
+            syntax,
+            clock: 0,
+            start: vec![None; n],
+            access: vec![BTreeSet::new(); n],
+            granted_count: vec![0; n],
+            committed: Vec::new(),
+            parked: Vec::new(),
+            forced: 0,
+        }
+    }
+
+    fn is_final_step(&self, step: StepId) -> bool {
+        step.idx as usize + 1 == self.syntax.transactions[step.txn.index()].steps.len()
+    }
+
+    /// Backward validation: no committed transaction with commit tick after
+    /// our start wrote anything we accessed.
+    fn validates(&self, t: TxnId, including: Option<VarId>) -> bool {
+        let Some(start) = self.start[t.index()] else {
+            return true;
+        };
+        let mut accessed = self.access[t.index()].clone();
+        if let Some(v) = including {
+            accessed.insert(v);
+        }
+        for (tick, writes) in &self.committed {
+            if *tick > start && writes.intersection(&accessed).next().is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn commit(&mut self, t: TxnId) {
+        self.clock += 1;
+        let writes: BTreeSet<VarId> = self.access[t.index()]
+            .iter()
+            .copied()
+            .filter(|&v| {
+                self.syntax.transactions[t.index()]
+                    .steps
+                    .iter()
+                    .any(|s| s.var == v && s.kind.writes())
+            })
+            .collect();
+        self.committed.push((self.clock, writes));
+    }
+
+    fn grant(&mut self, step: StepId) {
+        let ti = step.txn.index();
+        if self.start[ti].is_none() {
+            // Read phase begins; start tick is the current commit clock.
+            self.start[ti] = Some(self.clock);
+        }
+        self.access[ti].insert(self.syntax.var_of(step));
+        self.granted_count[ti] += 1;
+        if self.is_final_step(step) {
+            self.commit(step.txn);
+        }
+    }
+
+    fn retry_parked(&mut self) -> Vec<StepId> {
+        let mut out = Vec::new();
+        loop {
+            let mut progressed = false;
+            let mut k = 0;
+            while k < self.parked.len() {
+                let cand = self.parked[k];
+                let v = self.syntax.var_of(cand);
+                if self.validates(cand.txn, Some(v)) {
+                    self.parked.remove(k);
+                    self.grant(cand);
+                    out.push(cand);
+                    progressed = true;
+                } else {
+                    k += 1;
+                }
+            }
+            if !progressed {
+                return out;
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for OccScheduler {
+    fn reset(&mut self) {
+        self.clock = 0;
+        self.start.iter_mut().for_each(|s| *s = None);
+        self.access.iter_mut().for_each(BTreeSet::clear);
+        self.granted_count.iter_mut().for_each(|c| *c = 0);
+        self.committed.clear();
+        self.parked.clear();
+        self.forced = 0;
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        let mut out = Vec::new();
+        if self.parked.iter().any(|p| p.txn == step.txn) {
+            self.parked.push(step);
+        } else if !self.is_final_step(step) {
+            // Read/write phase: optimistic, always granted.
+            self.grant(step);
+            out.push(step);
+        } else {
+            // Commit point: validate.
+            let v = self.syntax.var_of(step);
+            if self.validates(step.txn, Some(v)) {
+                self.grant(step);
+                out.push(step);
+            } else {
+                self.parked.push(step);
+            }
+        }
+        out.extend(self.retry_parked());
+        out
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        let mut out = self.retry_parked();
+        // Failed validations restart: emit in arrival order (reported via
+        // `forced_flushes`).
+        let leftovers: Vec<StepId> = std::mem::take(&mut self.parked);
+        self.forced += leftovers.len();
+        for &s in &leftovers {
+            self.grant(s);
+        }
+        out.extend(leftovers);
+        out
+    }
+
+    fn name(&self) -> &str {
+        "OCC"
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::Syntactic
+    }
+
+    fn forced_flushes(&self) -> usize {
+        self.forced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_core::fixpoint::fixpoint_set;
+    use ccopt_core::scheduler::run_scheduler;
+    use ccopt_model::systems;
+    use ccopt_schedule::enumerate::all_schedules;
+    use ccopt_schedule::graph::is_csr;
+    use ccopt_schedule::schedule::Schedule;
+
+    #[test]
+    fn serial_histories_validate() {
+        let sys = systems::fig3_pair();
+        let mut s = OccScheduler::new(sys.syntax.clone());
+        for serial in Schedule::all_serials(&sys.format()) {
+            let run = run_scheduler(&mut s, &serial);
+            assert!(run.no_delays, "serial {serial} failed OCC validation");
+        }
+    }
+
+    #[test]
+    fn fixpoints_are_a_subset_of_csr() {
+        for sys in [systems::fig1(), systems::fig3_pair(), systems::rw_pair(1)] {
+            let mut s = OccScheduler::new(sys.syntax.clone());
+            let p = fixpoint_set(&mut s, &sys.format());
+            for h in &p {
+                assert!(
+                    is_csr(&sys.syntax, h),
+                    "OCC fixpoint {h} not CSR in {}",
+                    sys.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_writer_fails_validation() {
+        use ccopt_model::ids::StepId;
+        // fig3_pair, history (T1:x, T2:y, T2:x, T1:y): T2 commits during
+        // T1's lifetime having written y which T1 later reads... T1's final
+        // step is its commit: by then T2 (committed) wrote x,y; T1 accessed
+        // x before and y at commit — validation fails.
+        let sys = systems::fig3_pair();
+        let mut s = OccScheduler::new(sys.syntax.clone());
+        s.reset();
+        assert!(!s.on_request(StepId::new(0, 0)).is_empty()); // T1 x
+        assert!(!s.on_request(StepId::new(1, 0)).is_empty()); // T2 y
+        assert!(!s.on_request(StepId::new(1, 1)).is_empty()); // T2 x + commit
+        let got = s.on_request(StepId::new(0, 1)); // T1 y + commit: fail
+        assert!(got.is_empty());
+        assert_eq!(s.finish(), vec![StepId::new(0, 1)]);
+    }
+
+    #[test]
+    fn outputs_are_legal() {
+        let sys = systems::fig3_pair();
+        let mut s = OccScheduler::new(sys.syntax.clone());
+        for h in all_schedules(&sys.format()) {
+            let run = run_scheduler(&mut s, &h);
+            assert!(run.output.is_legal(&sys.format()));
+        }
+    }
+
+    #[test]
+    fn disjoint_transactions_never_fail_validation() {
+        use ccopt_model::syntax::SyntaxBuilder;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("x"))
+            .txn("T2", |t| t.update("y").update("y"))
+            .build();
+        let mut s = OccScheduler::new(syn.clone());
+        let p = fixpoint_set(&mut s, &syn.format());
+        assert_eq!(
+            p.len() as u128,
+            ccopt_schedule::enumerate::count_schedules(&syn.format())
+        );
+    }
+}

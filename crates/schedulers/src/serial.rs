@@ -1,0 +1,184 @@
+//! The serial scheduler (Sections 1 and 4.1).
+//!
+//! "One sure way to secure consistency would be to delay all other user
+//! requests until the first user logs out, then let the second user go, and
+//! so on. [...] It requires no information about the transactions except
+//! for a user identification for each request." Theorem 2 proves this
+//! strawman *optimal* for minimum information.
+
+use ccopt_core::info::InfoLevel;
+use ccopt_core::scheduler::OnlineScheduler;
+use ccopt_model::ids::{StepId, TxnId};
+
+/// First-come serial scheduler: grants the steps of one transaction at a
+/// time, in arrival order of first steps.
+#[derive(Clone, Debug)]
+pub struct SerialScheduler {
+    /// Steps per transaction (the format — the only information used).
+    format: Vec<u32>,
+    current: Option<TxnId>,
+    granted_in_current: u32,
+    pending: Vec<StepId>,
+}
+
+impl SerialScheduler {
+    /// Build from a format.
+    pub fn new(format: &[u32]) -> Self {
+        SerialScheduler {
+            format: format.to_vec(),
+            current: None,
+            granted_in_current: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn try_grant_now(&mut self, step: StepId) -> bool {
+        match self.current {
+            None => {
+                self.current = Some(step.txn);
+                self.granted_in_current = 1;
+                true
+            }
+            Some(t) if t == step.txn => {
+                self.granted_in_current += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Finish the current transaction if complete, then drain pending steps
+    /// of (successively) the earliest-arrived transactions.
+    fn roll(&mut self) -> Vec<StepId> {
+        let mut granted = Vec::new();
+        loop {
+            if let Some(t) = self.current {
+                if self.granted_in_current == self.format[t.index()] {
+                    self.current = None;
+                    self.granted_in_current = 0;
+                } else {
+                    // Current transaction still running: grant its pending
+                    // steps in order, if any arrived while others held the
+                    // floor.
+                    if let Some(pos) = self.pending.iter().position(|s| s.txn == t) {
+                        let s = self.pending.remove(pos);
+                        self.granted_in_current += 1;
+                        granted.push(s);
+                        continue;
+                    }
+                    break;
+                }
+            } else if let Some(&first) = self.pending.first() {
+                self.pending.remove(0);
+                self.current = Some(first.txn);
+                self.granted_in_current = 1;
+                granted.push(first);
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+}
+
+impl OnlineScheduler for SerialScheduler {
+    fn reset(&mut self) {
+        self.current = None;
+        self.granted_in_current = 0;
+        self.pending.clear();
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        let mut granted = Vec::new();
+        if self.pending.iter().any(|p| p.txn == step.txn) {
+            // Program order within the queue.
+            self.pending.push(step);
+        } else if self.try_grant_now(step) {
+            granted.push(step);
+        } else {
+            self.pending.push(step);
+        }
+        granted.extend(self.roll());
+        granted
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        self.roll()
+    }
+
+    fn name(&self) -> &str {
+        "serial"
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::FormatOnly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_core::fixpoint::{fixpoint_ratio, fixpoint_set};
+    use ccopt_core::scheduler::run_scheduler;
+    use ccopt_schedule::enumerate::for_each_schedule;
+    use ccopt_schedule::schedule::Schedule;
+
+    fn sid(t: u32, j: u32) -> StepId {
+        StepId::new(t, j)
+    }
+
+    #[test]
+    fn fixpoints_are_exactly_the_serial_histories() {
+        let format = [2, 2];
+        let mut s = SerialScheduler::new(&format);
+        let p = fixpoint_set(&mut s, &format);
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(Schedule::is_serial));
+    }
+
+    #[test]
+    fn outputs_are_always_serial_and_legal() {
+        let format = [2, 1, 2];
+        let mut s = SerialScheduler::new(&format);
+        for_each_schedule(&format, |h| {
+            let run = run_scheduler(&mut s, h);
+            assert!(run.output.is_serial(), "not serial for {h}: {}", run.output);
+            assert!(run.output.is_legal(&format));
+            true
+        });
+    }
+
+    #[test]
+    fn ratio_matches_closed_form() {
+        // For format (m1, m2): |serial| = 2, |H| = C(m1+m2, m1).
+        let format = [3, 2];
+        let mut s = SerialScheduler::new(&format);
+        let r = fixpoint_ratio(&mut s, &format);
+        assert!((r - 2.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_is_granted_in_arrival_order() {
+        let mut s = SerialScheduler::new(&[1, 1, 1]);
+        s.reset();
+        assert_eq!(s.on_request(sid(2, 0)), vec![sid(2, 0)]);
+        // T3 finished (single step); next arrival gets the floor at once.
+        assert_eq!(s.on_request(sid(0, 0)), vec![sid(0, 0)]);
+        assert_eq!(s.on_request(sid(1, 0)), vec![sid(1, 0)]);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn queued_transactions_run_in_first_arrival_order() {
+        let mut s = SerialScheduler::new(&[2, 2]);
+        s.reset();
+        assert_eq!(s.on_request(sid(0, 0)), vec![sid(0, 0)]);
+        assert_eq!(s.on_request(sid(1, 0)), vec![]);
+        assert_eq!(s.on_request(sid(1, 1)), vec![]);
+        // T1 finishes; T2's two queued steps flush in order.
+        assert_eq!(
+            s.on_request(sid(0, 1)),
+            vec![sid(0, 1), sid(1, 0), sid(1, 1)]
+        );
+    }
+}

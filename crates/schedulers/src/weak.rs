@@ -1,0 +1,106 @@
+//! The weak-serialization scheduler as a packaged practical scheduler.
+//!
+//! This is the Theorem 4 optimum — the scheduler that uses complete
+//! semantic information but no integrity constraints — realized through the
+//! class machinery of `ccopt-core`. Histories like Figure 1's
+//! `(T11, T21, T12)` pass it without delay because the interpretations
+//! happen to commute, even though no syntactic scheduler may pass them.
+
+use ccopt_core::info::InfoLevel;
+use ccopt_core::optimal::OptimalScheduler;
+use ccopt_core::scheduler::OnlineScheduler;
+use ccopt_model::ids::StepId;
+use ccopt_model::system::TransactionSystem;
+use ccopt_schedule::wsr::WsrOptions;
+
+/// Weak-serialization scheduler (semantic information, no IC).
+pub struct WeakScheduler {
+    inner: OptimalScheduler,
+}
+
+impl WeakScheduler {
+    /// Build for a system with default WSR search options.
+    pub fn new(sys: &TransactionSystem) -> Self {
+        WeakScheduler {
+            inner: OptimalScheduler::for_level(sys, InfoLevel::SemanticNoIc),
+        }
+    }
+
+    /// Build with explicit WSR options (search bound / uniformity).
+    pub fn with_options(sys: &TransactionSystem, opts: WsrOptions) -> Self {
+        WeakScheduler {
+            inner: OptimalScheduler::for_level_with(sys, InfoLevel::SemanticNoIc, opts),
+        }
+    }
+
+    /// Size of the underlying WSR class.
+    pub fn class_size(&self) -> usize {
+        self.inner.class().len()
+    }
+}
+
+impl OnlineScheduler for WeakScheduler {
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn on_request(&mut self, step: StepId) -> Vec<StepId> {
+        self.inner.on_request(step)
+    }
+
+    fn finish(&mut self) -> Vec<StepId> {
+        self.inner.finish()
+    }
+
+    fn name(&self) -> &str {
+        "weak-serialization"
+    }
+
+    fn info(&self) -> InfoLevel {
+        InfoLevel::SemanticNoIc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_core::fixpoint::{fixpoint_set, is_fixpoint};
+    use ccopt_model::systems;
+    use ccopt_schedule::schedule::Schedule;
+
+    #[test]
+    fn passes_the_fig1_history() {
+        let sys = systems::fig1();
+        let mut s = WeakScheduler::new(&sys);
+        let h = Schedule::new_unchecked(vec![
+            StepId::new(0, 0),
+            StepId::new(1, 0),
+            StepId::new(0, 1),
+        ]);
+        assert!(is_fixpoint(&mut s, &h));
+        assert_eq!(s.class_size(), 3);
+    }
+
+    #[test]
+    fn dominates_the_sgt_fixpoints_on_fig1() {
+        let sys = systems::fig1();
+        let mut weak = WeakScheduler::new(&sys);
+        let mut sgt = crate::sgt::SgtScheduler::new(sys.syntax.clone());
+        let p_weak = fixpoint_set(&mut weak, &sys.format());
+        let p_sgt = fixpoint_set(&mut sgt, &sys.format());
+        assert!(p_sgt.is_subset(&p_weak));
+        assert!(p_sgt.len() < p_weak.len());
+    }
+
+    #[test]
+    fn rejects_non_wsr_histories() {
+        let sys = systems::thm2_adversary();
+        let mut s = WeakScheduler::new(&sys);
+        let h = Schedule::new_unchecked(vec![
+            StepId::new(0, 0),
+            StepId::new(1, 0),
+            StepId::new(0, 1),
+        ]);
+        assert!(!is_fixpoint(&mut s, &h));
+    }
+}

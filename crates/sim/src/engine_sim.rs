@@ -1,0 +1,286 @@
+//! Discrete-event simulation over the real database engine.
+//!
+//! Terminals submit steps of their transactions; each attempt costs
+//! *scheduling time*, a granted step costs *execution time*, a blocked step
+//! polls after a retry interval (accumulating *waiting time*), and an abort
+//! pays a restart penalty before the transaction begins again. This is the
+//! Section 6 time decomposition made operational.
+
+use crate::stats::Summary;
+use ccopt_engine::cc::ConcurrencyControl;
+use ccopt_engine::db::{Database, StepOutcome};
+use ccopt_model::ids::TxnId;
+use ccopt_model::system::TransactionSystem;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters (times in abstract milliseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Cost of one scheduler decision (charged per attempt).
+    pub scheduling_time: f64,
+    /// Cost of executing one step.
+    pub exec_time: f64,
+    /// Mean think time between a terminal's steps (exponential).
+    pub think_time: f64,
+    /// Poll interval while a step is blocked.
+    pub retry_interval: f64,
+    /// Extra delay before a restarted transaction resubmits.
+    pub restart_penalty: f64,
+    /// Number of independent batches (system instances run to completion).
+    pub batches: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Safety valve: maximum events per batch.
+    pub max_events: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheduling_time: 0.1,
+            exec_time: 1.0,
+            think_time: 2.0,
+            retry_interval: 0.5,
+            restart_penalty: 1.0,
+            batches: 20,
+            seed: 42,
+            max_events: 200_000,
+        }
+    }
+}
+
+/// Aggregated simulation output.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Concurrency control name.
+    pub cc_name: String,
+    /// Committed transactions per unit time (across batches).
+    pub throughput: f64,
+    /// Per-transaction response times.
+    pub response: Summary,
+    /// Per-transaction waiting time (poll intervals summed).
+    pub waiting: Summary,
+    /// Per-transaction scheduling time (attempts × decision cost).
+    pub scheduling: Summary,
+    /// Total aborts across batches.
+    pub aborts: usize,
+    /// Total commits across batches.
+    pub commits: usize,
+}
+
+#[derive(PartialEq)]
+struct Event {
+    time: f64,
+    terminal: usize,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then(self.terminal.cmp(&other.terminal))
+    }
+}
+
+/// Run the simulation: each batch instantiates the system once, runs every
+/// transaction to commit under `make_cc`, and accumulates timing.
+pub fn simulate_engine(
+    sys: &TransactionSystem,
+    make_cc: &dyn Fn() -> Box<dyn ConcurrencyControl>,
+    cfg: &SimConfig,
+) -> SimResult {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n = sys.num_txns();
+    let mut response = Vec::new();
+    let mut waiting = Vec::new();
+    let mut scheduling = Vec::new();
+    let mut total_time = 0.0f64;
+    let mut aborts = 0usize;
+    let mut commits = 0usize;
+    let mut cc_name = String::new();
+
+    for _batch in 0..cfg.batches {
+        let init = sys
+            .space
+            .initial_states
+            .first()
+            .cloned()
+            .unwrap_or_else(|| {
+                ccopt_model::state::GlobalState::from_ints(&vec![0; sys.syntax.num_vars()])
+            });
+        let cc = make_cc();
+        cc_name = cc.name().to_string();
+        let mut db = Database::new(sys.clone(), cc, init);
+
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut started = vec![0.0f64; n];
+        let mut waited = vec![0.0f64; n];
+        let mut sched = vec![0.0f64; n];
+        for (terminal, start) in started.iter_mut().enumerate() {
+            let at = exp_sample(&mut rng, cfg.think_time);
+            *start = at;
+            queue.push(Reverse(Event { time: at, terminal }));
+        }
+
+        let mut clock = 0.0f64;
+        let mut events = 0usize;
+        while let Some(Reverse(ev)) = queue.pop() {
+            events += 1;
+            if events > cfg.max_events {
+                break;
+            }
+            clock = ev.time;
+            let t = TxnId(ev.terminal as u32);
+            if db.committed(t) {
+                continue;
+            }
+            sched[ev.terminal] += cfg.scheduling_time;
+            match db.step(t) {
+                StepOutcome::Executed { committed } => {
+                    if committed {
+                        response.push(clock + cfg.exec_time - started[ev.terminal]);
+                        waiting.push(waited[ev.terminal]);
+                        scheduling.push(sched[ev.terminal]);
+                    } else {
+                        let think = exp_sample(&mut rng, cfg.think_time);
+                        queue.push(Reverse(Event {
+                            time: clock + cfg.exec_time + think,
+                            terminal: ev.terminal,
+                        }));
+                    }
+                }
+                StepOutcome::Waited => {
+                    waited[ev.terminal] += cfg.retry_interval;
+                    queue.push(Reverse(Event {
+                        time: clock + cfg.retry_interval,
+                        terminal: ev.terminal,
+                    }));
+                }
+                StepOutcome::Aborted => {
+                    queue.push(Reverse(Event {
+                        time: clock + cfg.restart_penalty,
+                        terminal: ev.terminal,
+                    }));
+                }
+                StepOutcome::AlreadyCommitted => {}
+            }
+        }
+        total_time += clock.max(1e-9);
+        aborts += db.metrics.aborts;
+        commits += db.metrics.commits;
+    }
+
+    SimResult {
+        cc_name,
+        throughput: commits as f64 / total_time,
+        response: Summary::of(&response),
+        waiting: Summary::of(&waiting),
+        scheduling: Summary::of(&scheduling),
+        aborts,
+        commits,
+    }
+}
+
+fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_engine::cc::{SerialCc, SgtCc, Strict2plCc};
+    use ccopt_model::systems;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            batches: 5,
+            seed: 7,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_transactions_commit() {
+        let sys = systems::fig3_pair();
+        let cfg = quick_cfg();
+        let r = simulate_engine(&sys, &|| Box::new(Strict2plCc::default()), &cfg);
+        assert_eq!(r.commits, 2 * cfg.batches);
+        assert_eq!(r.response.n, 2 * cfg.batches);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.cc_name, "strict-2PL");
+    }
+
+    #[test]
+    fn serial_waits_more_than_sgt_on_disjoint_work() {
+        // Two transactions touching disjoint variables: SGT never waits,
+        // the serial strawman always serializes.
+        use ccopt_model::expr::Expr;
+        use ccopt_model::ic::TrueIc;
+        use ccopt_model::interp::ExprInterpretation;
+        use ccopt_model::syntax::SyntaxBuilder;
+        use ccopt_model::system::{StateSpace, TransactionSystem};
+        use std::sync::Arc;
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.update("x").update("x").update("x"))
+            .txn("T2", |t| t.update("y").update("y").update("y"))
+            .build();
+        let interp = ExprInterpretation::new(
+            (0..2)
+                .map(|_| {
+                    (0..3)
+                        .map(|j| Expr::add(Expr::Local(j), Expr::Const(1)))
+                        .collect()
+                })
+                .collect(),
+        );
+        let sys = TransactionSystem::new(
+            "disjoint",
+            syn,
+            Arc::new(interp),
+            Arc::new(TrueIc),
+            StateSpace::from_ints(&[&[0, 0]]),
+        );
+        let cfg = quick_cfg();
+        let serial = simulate_engine(&sys, &|| Box::new(SerialCc::default()), &cfg);
+        let sgt = simulate_engine(&sys, &|| Box::new(SgtCc::default()), &cfg);
+        assert!(sgt.waiting.mean <= serial.waiting.mean);
+        assert_eq!(sgt.aborts, 0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let sys = systems::fig3_pair();
+        let cfg = quick_cfg();
+        let a = simulate_engine(&sys, &|| Box::new(Strict2plCc::default()), &cfg);
+        let b = simulate_engine(&sys, &|| Box::new(Strict2plCc::default()), &cfg);
+        assert_eq!(a.response, b.response);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn banking_simulates_consistently() {
+        let sys = systems::banking();
+        let cfg = SimConfig {
+            batches: 3,
+            ..quick_cfg()
+        };
+        let r = simulate_engine(&sys, &|| Box::new(SgtCc::default()), &cfg);
+        assert_eq!(r.commits, 3 * 3);
+    }
+}

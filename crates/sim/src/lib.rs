@@ -1,0 +1,34 @@
+//! # `ccopt-sim` — the Section 6 environment, simulated
+//!
+//! "There are multiple users at various terminals executing transactions
+//! which mainly involve local computations but occasionally have to access
+//! or update data shared by many users. [...] From a user's viewpoint the
+//! time for carrying out a transaction step is divided into the following
+//! three parts: scheduling time, waiting time, execution time."
+//!
+//! Two complementary simulations:
+//!
+//! * [`order_sim`] — drives the *online schedulers* of `ccopt-schedulers`
+//!   with uniformly random request histories, measuring exactly the
+//!   quantities the paper ties to the fixpoint set `P`: the probability of
+//!   a delay-free pass (`|P|/|H|`) and the discrete waiting totals.
+//! * [`engine_sim`] — a discrete-event simulation over the real
+//!   [`ccopt_engine::Database`]: terminals with exponential think times,
+//!   per-step execution times, polling retries on waits, restart penalties
+//!   on aborts; reports throughput, response, and the three-way time
+//!   decomposition.
+//!
+//! Plus [`workload`] (parameterized system families), [`stats`]
+//! (summaries) and [`report`] (aligned text tables for the experiment
+//! harness).
+
+pub mod engine_sim;
+pub mod order_sim;
+pub mod report;
+pub mod stats;
+pub mod workload;
+
+pub use engine_sim::{simulate_engine, SimConfig, SimResult};
+pub use order_sim::{delay_profile, DelayProfile};
+pub use report::Table;
+pub use stats::Summary;

@@ -1,0 +1,188 @@
+//! Parameterized workload families for the experiments.
+
+use ccopt_model::random::{random_system, RandomConfig};
+use ccopt_model::system::TransactionSystem;
+use ccopt_model::systems;
+
+/// A named workload family generating systems per seed.
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// `n` transactions, `steps` steps each, over `vars` uniformly chosen
+    /// variables.
+    Uniform {
+        /// Number of transactions (the multiprogramming level).
+        n: usize,
+        /// Steps per transaction.
+        steps: usize,
+        /// Number of variables.
+        vars: usize,
+    },
+    /// Like `Uniform` but a fraction of accesses hit variable 0.
+    Hotspot {
+        /// Number of transactions.
+        n: usize,
+        /// Steps per transaction.
+        steps: usize,
+        /// Number of variables.
+        vars: usize,
+        /// Probability that a step accesses the hot variable.
+        hot: f64,
+    },
+    /// Read-mostly: a fraction of steps are pure reads.
+    ReadMostly {
+        /// Number of transactions.
+        n: usize,
+        /// Steps per transaction.
+        steps: usize,
+        /// Number of variables.
+        vars: usize,
+        /// Fraction of read steps.
+        reads: f64,
+    },
+    /// The Section 2 banking example (fixed, seed-independent).
+    Banking,
+}
+
+impl Workload {
+    /// Instantiate the workload for a seed.
+    pub fn instantiate(&self, seed: u64) -> TransactionSystem {
+        match *self {
+            Workload::Uniform { n, steps, vars } => random_system(
+                &RandomConfig {
+                    num_txns: n,
+                    steps_per_txn: (steps, steps),
+                    num_vars: vars,
+                    read_fraction: 0.0,
+                    hot_fraction: 0.0,
+                    num_check_states: 2,
+                    value_range: (-3, 3),
+                },
+                seed,
+            ),
+            Workload::Hotspot {
+                n,
+                steps,
+                vars,
+                hot,
+            } => random_system(
+                &RandomConfig {
+                    num_txns: n,
+                    steps_per_txn: (steps, steps),
+                    num_vars: vars,
+                    read_fraction: 0.0,
+                    hot_fraction: hot,
+                    num_check_states: 2,
+                    value_range: (-3, 3),
+                },
+                seed,
+            ),
+            Workload::ReadMostly {
+                n,
+                steps,
+                vars,
+                reads,
+            } => random_system(
+                &RandomConfig {
+                    num_txns: n,
+                    steps_per_txn: (steps, steps),
+                    num_vars: vars,
+                    read_fraction: reads,
+                    hot_fraction: 0.0,
+                    num_check_states: 2,
+                    value_range: (-3, 3),
+                },
+                seed,
+            ),
+            Workload::Banking => systems::banking(),
+        }
+    }
+
+    /// Short name for tables.
+    pub fn name(&self) -> String {
+        match *self {
+            Workload::Uniform { n, steps, vars } => format!("uniform(n={n},s={steps},v={vars})"),
+            Workload::Hotspot {
+                n,
+                steps,
+                vars,
+                hot,
+            } => {
+                format!("hotspot(n={n},s={steps},v={vars},h={hot})")
+            }
+            Workload::ReadMostly {
+                n,
+                steps,
+                vars,
+                reads,
+            } => {
+                format!("readmostly(n={n},s={steps},v={vars},r={reads})")
+            }
+            Workload::Banking => "banking".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_instantiate_deterministically() {
+        let w = Workload::Uniform {
+            n: 3,
+            steps: 2,
+            vars: 2,
+        };
+        let a = w.instantiate(5);
+        let b = w.instantiate(5);
+        assert_eq!(a.syntax, b.syntax);
+        assert_eq!(a.format(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn hotspot_concentrates_accesses() {
+        let w = Workload::Hotspot {
+            n: 4,
+            steps: 3,
+            vars: 8,
+            hot: 1.0,
+        };
+        let sys = w.instantiate(1);
+        for t in &sys.syntax.transactions {
+            for s in &t.steps {
+                assert_eq!(s.var.0, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn read_mostly_has_reads() {
+        let w = Workload::ReadMostly {
+            n: 3,
+            steps: 4,
+            vars: 3,
+            reads: 0.9,
+        };
+        let sys = w.instantiate(3);
+        let reads = sys
+            .syntax
+            .transactions
+            .iter()
+            .flat_map(|t| &t.steps)
+            .filter(|s| s.kind == ccopt_model::syntax::StepKind::Read)
+            .count();
+        assert!(reads > 0);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(Workload::Banking.name().contains("banking"));
+        assert!(Workload::Uniform {
+            n: 2,
+            steps: 2,
+            vars: 2
+        }
+        .name()
+        .contains("n=2"));
+    }
+}

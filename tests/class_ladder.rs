@@ -1,0 +1,82 @@
+//! Cross-crate integration: the correctness-class ladder and the optimal
+//! schedulers, on randomized systems.
+
+use ccopt::core::fixpoint::fixpoint_set;
+use ccopt::core::info::InfoLevel;
+use ccopt::core::optimal::{class_set, ClassScheduler, OptimalScheduler};
+use ccopt::model::random::{random_system, RandomConfig};
+use ccopt::schedule::classes::{Analysis, Class};
+use ccopt::schedule::wsr::WsrOptions;
+use proptest::prelude::*;
+
+fn small_cfg(read_fraction: f64) -> RandomConfig {
+    RandomConfig {
+        num_txns: 2,
+        steps_per_txn: (1, 3),
+        num_vars: 2,
+        read_fraction,
+        hot_fraction: 0.0,
+        num_check_states: 3,
+        value_range: (-3, 3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// serial ⊆ CSR ⊆ SR ⊆ WSR ⊆ C pointwise, on random systems.
+    #[test]
+    fn ladder_inclusions_hold(seed in 0u64..500, rf in 0.0f64..0.5) {
+        let sys = random_system(&small_cfg(rf), seed);
+        let a = Analysis::run(&sys, WsrOptions::default());
+        prop_assert!(a.check_inclusions().is_ok());
+    }
+
+    /// The class scheduler's fixpoint set is exactly its class.
+    #[test]
+    fn class_scheduler_fixpoints_equal_class(seed in 0u64..200) {
+        let sys = random_system(&small_cfg(0.2), seed);
+        for class in [Class::Serial, Class::Sr, Class::Correct] {
+            let k = class_set(&sys, class, WsrOptions::default());
+            let expected: std::collections::BTreeSet<_> = k.iter().cloned().collect();
+            let mut s = ClassScheduler::new(k, "t", InfoLevel::Complete);
+            let p = fixpoint_set(&mut s, &sys.format());
+            prop_assert_eq!(p, expected);
+        }
+    }
+
+    /// Optimal fixpoint sets grow monotonically with information.
+    #[test]
+    fn optimal_ladder_is_monotone(seed in 0u64..200) {
+        let sys = random_system(&small_cfg(0.0), seed);
+        let mut prev: Option<std::collections::BTreeSet<_>> = None;
+        for level in InfoLevel::ALL {
+            let mut s = OptimalScheduler::for_level(&sys, level);
+            let p = fixpoint_set(&mut s, &sys.format());
+            if let Some(prev) = &prev {
+                prop_assert!(prev.is_subset(&p), "level {level} shrank the fixpoint set");
+            }
+            prev = Some(p);
+        }
+    }
+}
+
+#[test]
+fn ladder_on_the_banking_system_has_sensible_sizes() {
+    // One deterministic heavyweight case: the banking format (1260
+    // schedules) with a reduced WSR bound.
+    let sys = ccopt::model::systems::banking();
+    let a = Analysis::run(
+        &sys,
+        WsrOptions {
+            max_len: 3,
+            uniform: true,
+        },
+    );
+    a.check_inclusions().unwrap();
+    let s = a.sizes();
+    assert_eq!(s.h, 1260);
+    assert_eq!(s.serial, 6);
+    assert!(s.correct < s.h, "banking must have incorrect interleavings");
+    assert!(s.csr > s.serial, "banking has non-serial CSR schedules");
+}

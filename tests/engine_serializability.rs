@@ -1,0 +1,84 @@
+//! Engine-level integration: every concurrency control must be
+//! state-serializable and lose no committed work, across random systems
+//! and driver orders.
+
+use ccopt::engine::cc::{ConcurrencyControl, OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+use ccopt::engine::db::Database;
+use ccopt::model::exec::Executor;
+use ccopt::model::ids::TxnId;
+use ccopt::model::random::{random_system, RandomConfig};
+use ccopt::model::state::GlobalState;
+use ccopt::schedule::schedule::permutations;
+use proptest::prelude::*;
+
+fn all_ccs() -> Vec<Box<dyn ConcurrencyControl>> {
+    vec![
+        Box::new(SerialCc::default()),
+        Box::new(Strict2plCc::default()),
+        Box::new(SgtCc::default()),
+        Box::new(TimestampCc::default()),
+        Box::new(OccCc::default()),
+    ]
+}
+
+fn cfg() -> RandomConfig {
+    RandomConfig {
+        num_txns: 3,
+        steps_per_txn: (1, 3),
+        num_vars: 2,
+        read_fraction: 0.0,
+        hot_fraction: 0.3,
+        num_check_states: 1,
+        value_range: (-2, 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The committed state equals SOME serial execution's state, for every
+    /// CC and every round-robin driver order.
+    #[test]
+    fn state_serializability(seed in 0u64..400, perm in 0usize..6) {
+        let sys = random_system(&cfg(), seed);
+        let init = sys.space.initial_states[0].clone();
+        let ex = Executor::new(&sys);
+        let ids: Vec<TxnId> = (0..sys.num_txns() as u32).map(TxnId).collect();
+        let serial_states: Vec<GlobalState> = permutations(&ids)
+            .into_iter()
+            .map(|o| ex.run_concatenation(init.clone(), &o).expect("serial runs"))
+            .collect();
+        let orders = permutations(&ids);
+        let order = &orders[perm % orders.len()];
+        for cc in all_ccs() {
+            let name = cc.name().to_string();
+            let mut db = Database::new(sys.clone(), cc, init.clone());
+            let stats = db.run_round_robin(order, 3000);
+            prop_assert!(stats.is_some(), "{name} stalled (seed {seed})");
+            prop_assert!(db.all_committed());
+            let fin = db.globals();
+            prop_assert!(
+                serial_states.contains(&fin),
+                "{name} reached non-serializable state {fin} (seed {seed}, order {order:?})"
+            );
+        }
+    }
+
+    /// Conservation: commits equal the number of transactions; metrics are
+    /// internally consistent.
+    #[test]
+    fn conservation(seed in 0u64..400) {
+        let sys = random_system(&cfg(), seed);
+        let init = sys.space.initial_states[0].clone();
+        let ids: Vec<TxnId> = (0..sys.num_txns() as u32).map(TxnId).collect();
+        for cc in all_ccs() {
+            let name = cc.name().to_string();
+            let mut db = Database::new(sys.clone(), cc, init.clone());
+            let stats = db.run_round_robin(&ids, 3000).expect("completes");
+            prop_assert_eq!(stats.metrics.commits, sys.num_txns(), "{}", name);
+            // Each commit requires at least its steps to have executed.
+            let min_steps: usize = sys.format().iter().map(|&m| m as usize).sum();
+            prop_assert!(stats.metrics.steps_executed >= min_steps);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: the locking machinery and its geometric view
+//! must agree.
+
+use ccopt::geometry::curve::schedule_to_path;
+use ccopt::geometry::deadlock::DeadlockAnalysis;
+use ccopt::geometry::nd::GridAnalysis;
+use ccopt::geometry::space::ProgressSpace;
+use ccopt::locking::analysis::output_set;
+use ccopt::locking::conservative::ConservativePolicy;
+use ccopt::locking::policy::LockingPolicy;
+use ccopt::locking::two_phase::TwoPhasePolicy;
+use ccopt::model::ids::TxnId;
+use ccopt::model::random::{random_system, RandomConfig};
+use ccopt::schedule::enumerate::all_schedules;
+use ccopt::schedule::graph::is_csr;
+use proptest::prelude::*;
+
+fn cfg() -> RandomConfig {
+    RandomConfig {
+        num_txns: 2,
+        steps_per_txn: (1, 3),
+        num_vars: 3,
+        read_fraction: 0.0,
+        hot_fraction: 0.2,
+        num_check_states: 2,
+        value_range: (-2, 2),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A schedule is an LRS output iff its locked execution traces a
+    /// monotone block-avoiding staircase — the Section 5.3 correspondence.
+    #[test]
+    fn lrs_outputs_equal_block_avoiding_paths(seed in 0u64..300) {
+        let sys = random_system(&cfg(), seed);
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let out = output_set(&lts);
+        prop_assert!(out.complete);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        for h in all_schedules(&sys.format()) {
+            let in_output = out.schedules.contains(&h);
+            let path = schedule_to_path(&lts, &h);
+            match path {
+                Some(p) => {
+                    prop_assert!(p.avoids_blocks(&sp), "path through a block for {h}");
+                    prop_assert!(in_output, "{h} traces a path but is not an output");
+                }
+                None => prop_assert!(!in_output, "{h} is an output but has no path"),
+            }
+        }
+    }
+
+    /// Every 2PL output is conflict-serializable (correctness of 2PL).
+    #[test]
+    fn two_pl_outputs_are_csr(seed in 0u64..300) {
+        let sys = random_system(&cfg(), seed);
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        for h in output_set(&lts).schedules {
+            prop_assert!(is_csr(&sys.syntax, &h), "2PL emitted non-CSR {h}");
+        }
+    }
+
+    /// The LRS enumeration sees a deadlock state iff the geometric
+    /// deadlock region is non-empty (two transactions).
+    #[test]
+    fn deadlock_enumeration_matches_geometry(seed in 0u64..300) {
+        let sys = random_system(&cfg(), seed);
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let out = output_set(&lts);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let an = DeadlockAnalysis::new(&sp);
+        prop_assert_eq!(out.deadlock_states > 0, !an.deadlock_free());
+    }
+
+    /// Conservative (ordered, at-start) locking is deadlock-free: the
+    /// geometric doomed region is empty on every random system.
+    #[test]
+    fn conservative_locking_has_empty_deadlock_region(seed in 0u64..300) {
+        let sys = random_system(&cfg(), seed);
+        let lts = ConservativePolicy.transform(&sys.syntax);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let an = DeadlockAnalysis::new(&sp);
+        prop_assert!(an.deadlock_free(), "doomed points: {:?}", an.deadlock_region());
+        prop_assert_eq!(output_set(&lts).deadlock_states, 0);
+    }
+
+    /// The 2-D and n-D analyses agree on two-transaction systems.
+    #[test]
+    fn nd_matches_2d(seed in 0u64..200) {
+        let sys = random_system(&cfg(), seed);
+        let lts = TwoPhasePolicy.transform(&sys.syntax);
+        let nd = GridAnalysis::new(&lts);
+        let sp = ProgressSpace::new(&lts, TxnId(0), TxnId(1));
+        let d2 = DeadlockAnalysis::new(&sp);
+        prop_assert_eq!(nd.forbidden_points, sp.forbidden_points());
+        prop_assert_eq!(nd.doomed_points, d2.deadlock_region().len());
+    }
+}
+
+#[test]
+fn three_transaction_deadlock_is_caught_by_the_grid() {
+    use ccopt::model::syntax::SyntaxBuilder;
+    let syn = SyntaxBuilder::new()
+        .txn("T1", |t| t.update("x").update("y"))
+        .txn("T2", |t| t.update("y").update("z"))
+        .txn("T3", |t| t.update("z").update("x"))
+        .build();
+    let lts = TwoPhasePolicy.transform(&syn);
+    let nd = GridAnalysis::new(&lts);
+    assert!(!nd.deadlock_free());
+    // The LRS enumeration agrees.
+    let out = output_set(&lts);
+    assert!(out.deadlock_states > 0);
+    assert!(out.complete);
+}

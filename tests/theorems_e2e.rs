@@ -1,0 +1,100 @@
+//! End-to-end theorem verification beyond the canonical systems.
+
+use ccopt::core::adversary::{semantic_family, syntactic_family};
+use ccopt::core::theorems::{isomorphism_check, theorem1, theorem2, theorem3, theorem4};
+use ccopt::model::random::{random_system, RandomConfig};
+use ccopt::model::systems;
+use ccopt::schedule::wsr::WsrOptions;
+use proptest::prelude::*;
+
+#[test]
+fn theorem2_on_three_transactions() {
+    let report = theorem2(&[2, 2, 1]);
+    assert!(report.holds(), "{:?}", report.violations);
+    assert!(report.checked > 20);
+}
+
+#[test]
+fn theorem3_on_the_counter_syntax() {
+    let sys = systems::thm2_adversary();
+    let report = theorem3(&sys, 20, 3);
+    assert!(report.holds(), "{:?}", report.violations);
+}
+
+#[test]
+fn theorem4_on_fig3_pair() {
+    let sys = systems::fig3_pair();
+    let report = theorem4(&sys, 6, WsrOptions::default());
+    assert!(report.holds(), "{:?}", report.violations);
+}
+
+#[test]
+fn theorem1_on_a_format_family() {
+    // Family built from the format alone (coarsest information).
+    let family = ccopt::core::adversary::format_family(&[2, 1], 2, 24);
+    assert!(!family.is_empty());
+    let report = theorem1(&family, &[2, 1]);
+    assert!(report.holds(), "{:?}", report.violations);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The isomorphism (I ⊆ I' ⇒ P ⊇ P') holds on random systems.
+    #[test]
+    fn isomorphism_on_random_systems(seed in 0u64..200) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (1, 2),
+            num_vars: 2,
+            read_fraction: 0.0,
+            hot_fraction: 0.3,
+            num_check_states: 2,
+            value_range: (-2, 2),
+        };
+        let sys = random_system(&cfg, seed);
+        let report = isomorphism_check(&sys);
+        prop_assert!(report.holds(), "{:?}", report.violations);
+    }
+
+    /// Theorem 1 over syntactic families of random systems: the
+    /// intersection of C(T') is an upper bound witnessed by adversaries.
+    #[test]
+    fn theorem1_on_random_syntax(seed in 0u64..100) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (1, 2),
+            num_vars: 1,
+            read_fraction: 0.0,
+            hot_fraction: 0.0,
+            num_check_states: 1,
+            value_range: (-1, 1),
+        };
+        let sys = random_system(&cfg, seed);
+        let family = syntactic_family(&sys.syntax, 30);
+        prop_assert!(!family.is_empty());
+        let report = theorem1(&family, &sys.format());
+        prop_assert!(report.holds(), "{:?}", report.violations);
+    }
+
+    /// Semantic families keep the basic assumption and share projections.
+    #[test]
+    fn semantic_family_is_well_formed(seed in 0u64..100) {
+        let cfg = RandomConfig {
+            num_txns: 2,
+            steps_per_txn: (1, 2),
+            num_vars: 2,
+            read_fraction: 0.2,
+            hot_fraction: 0.0,
+            num_check_states: 2,
+            value_range: (-2, 2),
+        };
+        let sys = random_system(&cfg, seed);
+        for member in semantic_family(&sys, 6) {
+            prop_assert!(
+                ccopt::model::Executor::new(&member).verify_basic_assumption().is_ok()
+            );
+            prop_assert_eq!(&member.syntax, &sys.syntax);
+        }
+    }
+}
