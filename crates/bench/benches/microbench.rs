@@ -1,6 +1,6 @@
 //! Micro-benchmarks of the core building blocks.
 
-use ccopt_engine::cc::SgtCc;
+use ccopt_engine::cc::{ConcurrencyControl, OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
 use ccopt_engine::db::Database;
 use ccopt_model::ids::TxnId;
 use ccopt_model::state::GlobalState;
@@ -65,6 +65,68 @@ fn bench_csr_test(c: &mut Criterion) {
     });
 }
 
+/// Per-mechanism hot-path cost: one full cycle of `begin` + `STEPS`
+/// conflict-free `on_step`s per transaction + `on_commit`/`after_commit`,
+/// at multiprogramming levels n ∈ {4, 64, 256}. Transactions touch private
+/// variables so every decision is `Proceed` and the measured cost is pure
+/// bookkeeping — exactly the tables the dense-index overhaul targets.
+fn bench_cc_hot_path(c: &mut Criterion) {
+    use ccopt_model::ids::VarId;
+    use ccopt_model::syntax::StepKind;
+
+    const STEPS: u32 = 4;
+    type Factory = fn() -> Box<dyn ConcurrencyControl>;
+    let mechanisms: Vec<(&str, Factory)> = vec![
+        ("serial", || Box::new(SerialCc::default())),
+        ("2pl", || Box::new(Strict2plCc::default())),
+        ("sgt", || Box::new(SgtCc::default())),
+        ("ts", || Box::new(TimestampCc::default())),
+        ("occ", || Box::new(OccCc::default())),
+    ];
+    for &n in &[4u32, 64, 256] {
+        let mut g = c.benchmark_group(format!("cc_on_step_commit_n{n}"));
+        for (label, make) in &mechanisms {
+            g.bench_function(*label, |b| {
+                b.iter(|| {
+                    let mut cc = make();
+                    let mut tick = 0u64;
+                    for t in 0..n {
+                        cc.begin(TxnId(t), tick);
+                        tick += 1;
+                    }
+                    // The serial strawman serializes everyone; interleaving
+                    // would just measure Wait returns, so for it each txn
+                    // runs back-to-back. The real mechanisms interleave.
+                    if *label == "serial" {
+                        for t in 0..n {
+                            for j in 0..STEPS {
+                                cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
+                                tick += 1;
+                            }
+                            cc.on_commit(TxnId(t), tick);
+                            cc.after_commit(TxnId(t));
+                        }
+                    } else {
+                        for j in 0..STEPS {
+                            for t in 0..n {
+                                cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
+                                tick += 1;
+                            }
+                        }
+                        for t in 0..n {
+                            cc.on_commit(TxnId(t), tick);
+                            cc.after_commit(TxnId(t));
+                            tick += 1;
+                        }
+                    }
+                    black_box(tick)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
 fn bench_engine(c: &mut Criterion) {
     let sys = systems::hotspot(4, 3);
     let ids: Vec<TxnId> = (0..4u32).map(TxnId).collect();
@@ -87,6 +149,7 @@ criterion_group! {
         bench_herbrand,
         bench_enumeration,
         bench_csr_test,
+        bench_cc_hot_path,
         bench_engine
 }
 criterion_main!(micro);

@@ -58,6 +58,10 @@ fn bench_simulation(c: &mut Criterion) {
     let sys = systems::fig3_pair();
     let cfg = SimConfig {
         batches: 3,
+        // Sequential batches: with microsecond-scale batch work the scoped
+        // thread spawn/join would dominate and the number would stop
+        // tracking the engine hot path.
+        parallel: false,
         ..SimConfig::default()
     };
     c.bench_function("T3_engine_sim_2pl", |b| {

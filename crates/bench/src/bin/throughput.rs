@@ -1,0 +1,170 @@
+//! End-to-end throughput harness: `cargo run --release -p ccopt-bench --bin
+//! throughput`.
+//!
+//! Runs every concurrency-control mechanism against a fixed grid of
+//! workloads, sweeping several workload seeds per cell, and emits both an
+//! aligned table on stdout and `BENCH_engine.json` next to the bench
+//! crate's manifest — a machine-readable perf trajectory for future PRs to
+//! beat. All simulated statistics (commits, aborts, simulated throughput)
+//! are deterministic in the config; only the wall-clock fields vary run to
+//! run.
+//!
+//! `--quick` shrinks batches for smoke runs (CI); the JSON schema is
+//! unchanged.
+
+use ccopt_bench::t3_simulation::cc_factories;
+use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
+use ccopt_sim::report::{f3, Table};
+use ccopt_sim::workload::Workload;
+use std::time::Instant;
+
+/// Workload seeds swept per cell (aggregated into one row).
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+struct Cell {
+    workload: String,
+    cc: String,
+    commits: usize,
+    aborts: usize,
+    sim_throughput: f64,
+    response_mean: f64,
+    waiting_mean: f64,
+    wall_ms: f64,
+    commits_per_sec: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload::Uniform {
+            n: 8,
+            steps: 6,
+            vars: 32,
+        },
+        Workload::Hotspot {
+            n: 8,
+            steps: 6,
+            vars: 32,
+            hot: 0.4,
+        },
+        Workload::ReadMostly {
+            n: 8,
+            steps: 6,
+            vars: 32,
+            reads: 0.7,
+        },
+        Workload::Banking,
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = SimConfig {
+        batches: if quick { 8 } else { 64 },
+        seed: 0xC0FFEE,
+        // The multi-seed sweep below is the parallel axis; keep the inner
+        // batch loop sequential so cells do not oversubscribe the machine.
+        parallel: false,
+        ..SimConfig::default()
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for wl in workloads() {
+        // Banking is seed-independent; one instantiation is enough.
+        let seeds: &[u64] = match wl {
+            Workload::Banking => &SEEDS[..1],
+            _ => &SEEDS[..],
+        };
+        let systems: Vec<_> = seeds.iter().map(|&s| wl.instantiate(s)).collect();
+        for (name, mk) in cc_factories() {
+            let wall = Instant::now();
+            // Embarrassingly parallel multi-seed sweep: one simulation per
+            // workload seed, reduced in seed order (deterministic).
+            let results: Vec<SimResult> =
+                ccopt_par::par_map(&systems, |sys| simulate_engine(sys, mk.as_ref(), &cfg));
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let commits: usize = results.iter().map(|r| r.commits).sum();
+            let aborts: usize = results.iter().map(|r| r.aborts).sum();
+            let k = results.len() as f64;
+            cells.push(Cell {
+                workload: wl.name(),
+                cc: name.to_string(),
+                commits,
+                aborts,
+                sim_throughput: results.iter().map(|r| r.throughput).sum::<f64>() / k,
+                response_mean: results.iter().map(|r| r.response.mean).sum::<f64>() / k,
+                waiting_mean: results.iter().map(|r| r.waiting.mean).sum::<f64>() / k,
+                wall_ms,
+                commits_per_sec: commits as f64 / (wall_ms / 1e3).max(1e-9),
+            });
+        }
+    }
+
+    let mut table = Table::new(
+        "engine throughput (per CC x workload)",
+        &[
+            "workload",
+            "cc",
+            "commits",
+            "aborts",
+            "sim-thru",
+            "response",
+            "waiting",
+            "wall-ms",
+            "commits/s",
+        ],
+    );
+    for c in &cells {
+        table.row(&[
+            c.workload.clone(),
+            c.cc.clone(),
+            c.commits.to_string(),
+            c.aborts.to_string(),
+            f3(c.sim_throughput),
+            f3(c.response_mean),
+            f3(c.waiting_mean),
+            format!("{:.1}", c.wall_ms),
+            format!("{:.0}", c.commits_per_sec),
+        ]);
+    }
+    println!("{table}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
+    std::fs::write(path, to_json(&cfg, &cells)).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}
+
+/// Hand-rolled JSON (no serde in the dependency-free build environment).
+fn to_json(cfg: &SimConfig, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}}},\n",
+        cfg.batches,
+        cfg.seed,
+        SEEDS,
+        cfg.scheduling_time,
+        cfg.exec_time,
+        cfg.think_time,
+        cfg.retry_interval,
+        cfg.restart_penalty,
+    ));
+    s.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"commits\": {}, \"aborts\": {}, \"sim_throughput\": {:.6}, \"response_mean\": {:.6}, \"waiting_mean\": {:.6}, \"wall_ms\": {:.3}, \"commits_per_sec\": {:.1}}}{}\n",
+            c.workload,
+            c.cc,
+            c.commits,
+            c.aborts,
+            c.sim_throughput,
+            c.response_mean,
+            c.waiting_mean,
+            c.wall_ms,
+            c.commits_per_sec,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -9,9 +9,11 @@ use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
 use ccopt_sim::report::{f3, Table};
 use ccopt_sim::workload::Workload;
 
+/// A CC factory usable from parallel simulation batches.
+pub type CcFactory = Box<dyn Fn() -> Box<dyn ConcurrencyControl> + Sync>;
+
 /// The CC line-up with factories (fresh instance per batch).
-#[allow(clippy::type_complexity)]
-pub fn cc_factories() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn ConcurrencyControl>>)> {
+pub fn cc_factories() -> Vec<(&'static str, CcFactory)> {
     vec![
         ("serial", Box::new(|| Box::new(SerialCc::default()) as _)),
         (

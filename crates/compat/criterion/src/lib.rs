@@ -1,0 +1,208 @@
+//! In-tree compatibility shim for the slice of `criterion` this workspace
+//! uses (the build environment has no network access to crates.io).
+//!
+//! Provides `Criterion`, `bench_function`, `benchmark_group`, the
+//! `criterion_group!` / `criterion_main!` macros, and a wall-clock measuring
+//! loop: per benchmark it calibrates an iteration count so one sample takes
+//! roughly a millisecond, collects `sample_size` samples, and prints the
+//! median, min and max time per iteration. No plotting, no statistics
+//! beyond that — enough to compare hot paths before and after a change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(1);
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure `f` and print one result line.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Open a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measure `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// End the group (printing happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs the measurement loop.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, recording wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fill the target sample time?
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.1, 16.0)).ceil() as u64
+            };
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let median = s[s.len() / 2];
+        println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_ns(s[0]),
+            fmt_ns(median),
+            fmt_ns(s[s.len() - 1]),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declare a benchmark group: a function running each target under a
+/// configured `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declare the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("inner", |b| b.iter(|| black_box(3u32).pow(2)));
+        g.finish();
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt_ns(5.0).contains("ns"));
+        assert!(fmt_ns(5e4).contains("µs"));
+        assert!(fmt_ns(5e7).contains("ms"));
+        assert!(fmt_ns(5e9).contains('s'));
+    }
+}

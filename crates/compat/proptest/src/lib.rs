@@ -1,0 +1,239 @@
+//! In-tree compatibility shim for the slice of `proptest` this workspace
+//! uses (the build environment has no network access to crates.io).
+//!
+//! Supported surface: the `proptest!` macro with a
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, `name in
+//! strategy` arguments over integer/float ranges and
+//! `proptest::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`
+//! assertion macros.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the values baked into the assertion message, which is enough for the
+//! deterministic, seed-driven properties in this repository (most already
+//! take an explicit `seed in 0u64..N` argument).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration: number of generated cases per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The generator handed to strategies. Deterministic: every test function
+/// starts from the same fixed seed, so failures reproduce on rerun.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// Fixed-seed runner RNG.
+    pub fn deterministic() -> Self {
+        TestRng(SmallRng::seed_from_u64(0x70726f70_74657374))
+    }
+
+    /// Draw from a range (used by range strategies).
+    pub fn draw<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.draw(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.draw(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy producing `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.draw(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Define property tests. Each function runs `cases` times with fresh
+/// values drawn from its strategies; assertion failures panic immediately
+/// (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner_rng = $crate::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut runner_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// `assert!` under proptest's name (no shrinking, immediate panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0u64..10, y in -3i64..=3) {
+            prop_assert!(x < 10);
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn vecs_in_bounds(v in crate::collection::vec(0u32..4, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for e in v {
+                prop_assert!(e < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = crate::TestRng::deterministic();
+        let mut b = crate::TestRng::deterministic();
+        for _ in 0..10 {
+            assert_eq!(a.draw(0u64..1000), b.draw(0u64..1000));
+        }
+    }
+}

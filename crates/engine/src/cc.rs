@@ -4,10 +4,18 @@
 //! this transaction commit, and what happens on abort. The five classical
 //! mechanisms are provided; each corresponds to one scheduler of
 //! `ccopt-schedulers`, but here with real abort/rollback/restart dynamics.
+//!
+//! All bookkeeping is kept in dense, index-keyed tables ([`crate::dense`]):
+//! `TxnId` and `VarId` are dense `u32` indices, so lock tables, stamps,
+//! footprints and waits-for edges are flat `Vec` slots with O(1) access
+//! instead of O(log n) tree walks. [`ConcurrencyControl::prepare`] pre-sizes
+//! every table for a known `(num_txns, num_vars)`; without it the tables
+//! grow on demand, so bare `Default` construction keeps working.
 
+use crate::dense::{DenseBitSet, EpochBitSet, SlotMap};
 use ccopt_model::ids::{TxnId, VarId};
 use ccopt_model::syntax::StepKind;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::VecDeque;
 
 /// Decision for a step or commit request.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -22,6 +30,15 @@ pub enum CcDecision {
 
 /// A concurrency-control mechanism.
 pub trait ConcurrencyControl {
+    /// Announce the table dimensions before the first `begin`: at most
+    /// `num_txns` concurrent transactions (dense ids `0..num_txns`) over
+    /// `num_vars` variables. Implementations pre-size their dense tables so
+    /// the decision path never allocates; every mechanism also grows on
+    /// demand, so calling this is an optimization, not an obligation.
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        let _ = (num_txns, num_vars);
+    }
+
     /// A transaction (re)starts; `tick` is a monotone engine clock.
     fn begin(&mut self, t: TxnId, tick: u64);
 
@@ -46,6 +63,42 @@ pub trait ConcurrencyControl {
     /// before-images.
     fn defers_writes(&self) -> bool {
         false
+    }
+}
+
+/// Grow a per-index `Vec` of default values up to index `i`.
+#[inline]
+fn ensure_index<T: Default>(v: &mut Vec<T>, i: usize) {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
+}
+
+/// Follow a waits-for chain (`waits[w] = holder w waits on`) from `holder`,
+/// answering whether `waiter` is reachable — i.e. whether adding the edge
+/// `waiter -> holder` would close a cycle. Each transaction waits on at
+/// most one other, so this is a functional-graph walk; the epoch-cleared
+/// `visited` set terminates it on pre-existing cycles that do not involve
+/// `waiter`, no matter how long the chain is.
+fn wait_chain_reaches(
+    waits: &SlotMap<TxnId>,
+    visited: &mut EpochBitSet,
+    waiter: TxnId,
+    holder: TxnId,
+) -> bool {
+    visited.clear();
+    let mut cur = holder;
+    loop {
+        if cur == waiter {
+            return true;
+        }
+        if !visited.insert(cur.index()) {
+            return false; // walked into a cycle not involving `waiter`
+        }
+        match waits.get_copied(cur.index()) {
+            Some(next) => cur = next,
+            None => return false,
+        }
     }
 }
 
@@ -104,57 +157,53 @@ impl ConcurrencyControl for SerialCc {
 /// aborts the requester.
 #[derive(Default, Debug)]
 pub struct Strict2plCc {
-    /// Lock table: variable -> holder.
-    locks: BTreeMap<VarId, TxnId>,
-    /// Current waits: waiter -> holder.
-    waits: BTreeMap<TxnId, TxnId>,
-    /// Locks held per transaction.
-    held: BTreeMap<TxnId, BTreeSet<VarId>>,
+    /// Lock table: variable slot -> holder.
+    locks: SlotMap<TxnId>,
+    /// Current waits: waiter slot -> holder.
+    waits: SlotMap<TxnId>,
+    /// Locks held per transaction (insertion order; no duplicates, because
+    /// a lock is appended only on first acquisition).
+    held: Vec<Vec<VarId>>,
+    /// Scratch for the deadlock walk (O(1) clear per check).
+    visited: EpochBitSet,
 }
 
 impl Strict2plCc {
-    fn would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
-        // Follow the waits-for chain from `holder`; a path back to `waiter`
-        // means adding this edge closes a cycle.
-        let mut cur = holder;
-        let mut hops = 0;
-        while let Some(&next) = self.waits.get(&cur) {
-            if next == waiter {
-                return true;
-            }
-            cur = next;
-            hops += 1;
-            if hops > self.waits.len() {
-                break; // defensive: existing cycle not involving waiter
-            }
-        }
-        cur == waiter
+    fn would_deadlock(&mut self, waiter: TxnId, holder: TxnId) -> bool {
+        wait_chain_reaches(&self.waits, &mut self.visited, waiter, holder)
     }
 }
 
 impl ConcurrencyControl for Strict2plCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        self.locks.reserve_slots(num_vars);
+        self.waits.reserve_slots(num_txns);
+        ensure_index(&mut self.held, num_txns.saturating_sub(1));
+    }
+
     fn begin(&mut self, t: TxnId, _tick: u64) {
-        self.waits.remove(&t);
+        self.waits.remove(t.index());
     }
 
     fn on_step(&mut self, t: TxnId, var: VarId, _kind: StepKind) -> CcDecision {
-        match self.locks.get(&var) {
+        match self.locks.get_copied(var.index()) {
             None => {
-                self.locks.insert(var, t);
-                self.held.entry(t).or_default().insert(var);
-                self.waits.remove(&t);
+                self.locks.insert(var.index(), t);
+                ensure_index(&mut self.held, t.index());
+                self.held[t.index()].push(var);
+                self.waits.remove(t.index());
                 CcDecision::Proceed
             }
-            Some(&h) if h == t => {
-                self.waits.remove(&t);
+            Some(h) if h == t => {
+                self.waits.remove(t.index());
                 CcDecision::Proceed
             }
-            Some(&h) => {
+            Some(h) => {
                 if self.would_deadlock(t, h) {
-                    self.waits.remove(&t);
+                    self.waits.remove(t.index());
                     CcDecision::Abort
                 } else {
-                    self.waits.insert(t, h);
+                    self.waits.insert(t.index(), h);
                     CcDecision::Wait
                 }
             }
@@ -180,12 +229,12 @@ impl ConcurrencyControl for Strict2plCc {
 
 impl Strict2plCc {
     fn release_all(&mut self, t: TxnId) {
-        if let Some(vars) = self.held.remove(&t) {
-            for v in vars {
-                self.locks.remove(&v);
+        if let Some(vars) = self.held.get_mut(t.index()) {
+            for v in vars.drain(..) {
+                self.locks.remove(v.index());
             }
         }
-        self.waits.remove(&t);
+        self.waits.remove(t.index());
         // Anyone who waited on t will retry and re-insert their edges.
         self.waits.retain(|_, holder| *holder != t);
     }
@@ -200,131 +249,124 @@ impl Strict2plCc {
 /// recoverability the engine-level SGT is *strict*: accessing a variable
 /// whose last writer is still live makes the requester wait for the commit
 /// (a wait cycle aborts the requester).
+///
+/// The conflict graph is an adjacency matrix of [`DenseBitSet`] rows. The
+/// graph is acyclic by construction (cycle-closing accesses abort before
+/// their edges are inserted), so the cycle test for a batch of new edges
+/// `u -> t` reduces to one DFS: does `t` reach any such `u`?
 #[derive(Default, Debug)]
 pub struct SgtCc {
     /// Per variable: access log of (txn, kind), non-aborted entries only.
-    log: BTreeMap<VarId, Vec<(TxnId, StepKind)>>,
-    /// Edges of the serialization graph.
-    edges: BTreeSet<(TxnId, TxnId)>,
+    log: Vec<Vec<(TxnId, StepKind)>>,
+    /// Per transaction: variables whose log may mention it (for O(footprint)
+    /// abort cleanup; may contain duplicates).
+    touched: Vec<Vec<VarId>>,
+    /// Adjacency rows: `out[u]` holds the successors of `u`.
+    out: Vec<DenseBitSet>,
     /// Live transactions (cleared on abort; kept on commit).
-    live: BTreeSet<TxnId>,
+    live: DenseBitSet,
     /// Last uncommitted writer per variable.
-    dirty: BTreeMap<VarId, TxnId>,
-    /// Commit-waits: waiter -> live writer.
-    waits: BTreeMap<TxnId, TxnId>,
+    dirty: SlotMap<TxnId>,
+    /// Commit-waits: waiter slot -> live writer.
+    waits: SlotMap<TxnId>,
+    /// Scratch: sources of the edges a step would add (O(1) clear).
+    sources: EpochBitSet,
+    /// Scratch: the same sources as a dedup'd list, so the edge-insertion
+    /// pass does not re-scan the access log.
+    src_list: Vec<u32>,
+    /// Scratch: DFS visited marks (O(1) clear).
+    visited: EpochBitSet,
+    /// Scratch: DFS stack.
+    stack: Vec<u32>,
 }
 
 impl SgtCc {
-    fn has_cycle_with(&self, extra: &[(TxnId, TxnId)]) -> bool {
-        // DFS over the union of edges.
-        let mut nodes: BTreeSet<TxnId> = BTreeSet::new();
-        for &(a, b) in self.edges.iter().chain(extra) {
-            nodes.insert(a);
-            nodes.insert(b);
-        }
-        let succ = |u: TxnId| -> Vec<TxnId> {
-            self.edges
-                .iter()
-                .chain(extra)
-                .filter(|&&(a, _)| a == u)
-                .map(|&(_, b)| b)
-                .collect()
-        };
-        #[derive(PartialEq, Clone, Copy)]
-        enum C {
-            W,
-            G,
-            B,
-        }
-        let idx: BTreeMap<TxnId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        let mut color = vec![C::W; nodes.len()];
-        fn dfs(
-            u: TxnId,
-            succ: &dyn Fn(TxnId) -> Vec<TxnId>,
-            idx: &BTreeMap<TxnId, usize>,
-            color: &mut [C],
-        ) -> bool {
-            color[idx[&u]] = C::G;
-            for v in succ(u) {
-                match color[idx[&v]] {
-                    C::G => return true,
-                    C::W => {
-                        if dfs(v, succ, idx, color) {
-                            return true;
-                        }
-                    }
-                    C::B => {}
-                }
-            }
-            color[idx[&u]] = C::B;
-            false
-        }
-        for &n in &nodes {
-            if color[idx[&n]] == C::W && dfs(n, &succ, &idx, &mut color) {
+    /// Does `start` reach any member of `self.sources` in the conflict
+    /// graph? One DFS over the bitset adjacency rows, no allocation beyond
+    /// the reusable stack.
+    fn reaches_any_source(&mut self, start: usize) -> bool {
+        let out = &self.out;
+        let sources = &self.sources;
+        let visited = &mut self.visited;
+        let stack = &mut self.stack;
+        visited.clear();
+        stack.clear();
+        stack.push(start as u32);
+        visited.insert(start);
+        while let Some(u) = stack.pop() {
+            if sources.contains(u as usize) {
                 return true;
+            }
+            if let Some(row) = out.get(u as usize) {
+                for v in row.ones() {
+                    if visited.insert(v) {
+                        stack.push(v as u32);
+                    }
+                }
             }
         }
         false
     }
 }
 
-impl SgtCc {
-    fn wait_would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
-        let mut cur = holder;
-        let mut hops = 0;
-        loop {
-            if cur == waiter {
-                return true;
-            }
-            match self.waits.get(&cur) {
-                Some(&next) => cur = next,
-                None => return false,
-            }
-            hops += 1;
-            if hops > self.waits.len() + 1 {
-                return false;
-            }
-        }
-    }
-}
-
 impl ConcurrencyControl for SgtCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        ensure_index(&mut self.log, num_vars.saturating_sub(1));
+        ensure_index(&mut self.touched, num_txns.saturating_sub(1));
+        if self.out.len() < num_txns {
+            self.out
+                .resize_with(num_txns, || DenseBitSet::with_capacity(num_txns));
+        }
+        self.dirty.reserve_slots(num_vars);
+        self.waits.reserve_slots(num_txns);
+    }
+
     fn begin(&mut self, t: TxnId, _tick: u64) {
-        self.live.insert(t);
+        self.live.insert(t.index());
     }
 
     fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
         // Strictness: the last writer must have committed before anyone
         // else touches the variable.
-        if let Some(&w) = self.dirty.get(&var) {
-            if w != t && self.live.contains(&w) {
-                if self.wait_would_deadlock(t, w) {
-                    self.waits.remove(&t);
+        if let Some(w) = self.dirty.get_copied(var.index()) {
+            if w != t && self.live.contains(w.index()) {
+                if wait_chain_reaches(&self.waits, &mut self.visited, t, w) {
+                    self.waits.remove(t.index());
                     return CcDecision::Abort;
                 }
-                self.waits.insert(t, w);
+                self.waits.insert(t.index(), w);
                 return CcDecision::Wait;
             }
         }
-        let new_edges: Vec<(TxnId, TxnId)> = self
-            .log
-            .get(&var)
-            .map(|log| {
-                log.iter()
-                    .filter(|&&(u, k)| u != t && k.conflicts_with(kind))
-                    .map(|&(u, _)| (u, t))
-                    .collect()
-            })
-            .unwrap_or_default();
-        if self.has_cycle_with(&new_edges) {
-            return CcDecision::Abort;
+        // Edges this access would add: u -> t for every logged conflicting
+        // access by u != t. The graph is acyclic, so the batch closes a
+        // cycle iff t already reaches one of the sources u.
+        ensure_index(&mut self.log, var.index());
+        self.sources.clear();
+        self.src_list.clear();
+        for &(u, k) in &self.log[var.index()] {
+            if u != t && k.conflicts_with(kind) && self.sources.insert(u.index()) {
+                self.src_list.push(u.0);
+            }
         }
-        self.edges.extend(new_edges);
-        self.log.entry(var).or_default().push((t, kind));
+        if !self.src_list.is_empty() {
+            if self.reaches_any_source(t.index()) {
+                return CcDecision::Abort;
+            }
+            ensure_index(&mut self.out, t.index());
+            for i in 0..self.src_list.len() {
+                let u = self.src_list[i] as usize;
+                ensure_index(&mut self.out, u);
+                self.out[u].insert(t.index());
+            }
+        }
+        self.log[var.index()].push((t, kind));
+        ensure_index(&mut self.touched, t.index());
+        self.touched[t.index()].push(var);
         if kind.writes() {
-            self.dirty.insert(var, t);
+            self.dirty.insert(var.index(), t);
         }
-        self.waits.remove(&t);
+        self.waits.remove(t.index());
         CcDecision::Proceed
     }
 
@@ -333,20 +375,38 @@ impl ConcurrencyControl for SgtCc {
     }
 
     fn after_commit(&mut self, t: TxnId) {
-        self.live.remove(&t);
-        self.dirty.retain(|_, w| *w != t);
-        self.waits.remove(&t);
+        self.live.remove(t.index());
+        if let Some(vars) = self.touched.get(t.index()) {
+            for &v in vars {
+                if self.dirty.get_copied(v.index()) == Some(t) {
+                    self.dirty.remove(v.index());
+                }
+            }
+        }
+        self.waits.remove(t.index());
         self.waits.retain(|_, h| *h != t);
     }
 
     fn on_abort(&mut self, t: TxnId) {
-        self.live.remove(&t);
-        for log in self.log.values_mut() {
-            log.retain(|&(u, _)| u != t);
+        self.live.remove(t.index());
+        if let Some(vars) = self.touched.get_mut(t.index()) {
+            let vars = std::mem::take(vars);
+            for &v in &vars {
+                if self.dirty.get_copied(v.index()) == Some(t) {
+                    self.dirty.remove(v.index());
+                }
+                if let Some(log) = self.log.get_mut(v.index()) {
+                    log.retain(|&(u, _)| u != t);
+                }
+            }
         }
-        self.edges.retain(|&(a, b)| a != t && b != t);
-        self.dirty.retain(|_, w| *w != t);
-        self.waits.remove(&t);
+        if let Some(row) = self.out.get_mut(t.index()) {
+            row.clear();
+        }
+        for row in &mut self.out {
+            row.remove(t.index());
+        }
+        self.waits.remove(t.index());
         self.waits.retain(|_, h| *h != t);
     }
 
@@ -365,45 +425,63 @@ impl ConcurrencyControl for SgtCc {
 #[derive(Default, Debug)]
 pub struct TimestampCc {
     next: u64,
-    stamp: BTreeMap<TxnId, u64>,
-    read_stamp: BTreeMap<VarId, u64>,
-    write_stamp: BTreeMap<VarId, u64>,
-    live: BTreeSet<TxnId>,
-    dirty: BTreeMap<VarId, TxnId>,
-    waits: BTreeMap<TxnId, TxnId>,
+    /// Per-transaction stamp (live transactions only).
+    stamp: SlotMap<u64>,
+    /// Per-variable read/write stamps; 0 means "never accessed".
+    read_stamp: Vec<u64>,
+    write_stamp: Vec<u64>,
+    live: DenseBitSet,
+    /// Last uncommitted writer per variable.
+    dirty: SlotMap<TxnId>,
+    /// Per transaction: variables it wrote (for O(footprint) dirty cleanup;
+    /// may contain duplicates).
+    wrote: Vec<Vec<VarId>>,
+    /// Commit-waits: waiter slot -> live writer.
+    waits: SlotMap<TxnId>,
+    /// Scratch for the deadlock walk.
+    visited: EpochBitSet,
 }
 
 impl TimestampCc {
-    fn wait_would_deadlock(&self, waiter: TxnId, holder: TxnId) -> bool {
-        let mut cur = holder;
-        let mut hops = 0;
-        loop {
-            if cur == waiter {
-                return true;
-            }
-            match self.waits.get(&cur) {
-                Some(&next) => cur = next,
-                None => return false,
-            }
-            hops += 1;
-            if hops > self.waits.len() + 1 {
-                return false;
+    fn clear_txn(&mut self, t: TxnId) {
+        self.stamp.remove(t.index());
+        self.live.remove(t.index());
+        if let Some(vars) = self.wrote.get_mut(t.index()) {
+            let vars = std::mem::take(vars);
+            for &v in &vars {
+                if self.dirty.get_copied(v.index()) == Some(t) {
+                    self.dirty.remove(v.index());
+                }
             }
         }
+        self.waits.remove(t.index());
+        self.waits.retain(|_, h| *h != t);
     }
 }
 
 impl ConcurrencyControl for TimestampCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        self.stamp.reserve_slots(num_txns);
+        ensure_index(&mut self.read_stamp, num_vars.saturating_sub(1));
+        ensure_index(&mut self.write_stamp, num_vars.saturating_sub(1));
+        self.dirty.reserve_slots(num_vars);
+        ensure_index(&mut self.wrote, num_txns.saturating_sub(1));
+        self.waits.reserve_slots(num_txns);
+    }
+
     fn begin(&mut self, t: TxnId, _tick: u64) {
         self.next += 1;
-        self.stamp.insert(t, self.next);
-        self.live.insert(t);
+        self.stamp.insert(t.index(), self.next);
+        self.live.insert(t.index());
     }
 
     fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
-        let ts = self.stamp[&t];
-        let rts = self.read_stamp.get(&var).copied().unwrap_or(0);
-        let wts = self.write_stamp.get(&var).copied().unwrap_or(0);
+        let ts = self
+            .stamp
+            .get_copied(t.index())
+            .expect("on_step before begin");
+        let rts = self.read_stamp.get(var.index()).copied().unwrap_or(0);
+        let wts = self.write_stamp.get(var.index()).copied().unwrap_or(0);
         if kind.reads() && ts < wts {
             return CcDecision::Abort;
         }
@@ -412,24 +490,28 @@ impl ConcurrencyControl for TimestampCc {
         }
         // Strictness: wait for a live writer's commit before touching the
         // value it produced.
-        if let Some(&w) = self.dirty.get(&var) {
-            if w != t && self.live.contains(&w) {
-                if self.wait_would_deadlock(t, w) {
-                    self.waits.remove(&t);
+        if let Some(w) = self.dirty.get_copied(var.index()) {
+            if w != t && self.live.contains(w.index()) {
+                if wait_chain_reaches(&self.waits, &mut self.visited, t, w) {
+                    self.waits.remove(t.index());
                     return CcDecision::Abort;
                 }
-                self.waits.insert(t, w);
+                self.waits.insert(t.index(), w);
                 return CcDecision::Wait;
             }
         }
         if kind.reads() {
-            self.read_stamp.insert(var, rts.max(ts));
+            ensure_index(&mut self.read_stamp, var.index());
+            self.read_stamp[var.index()] = rts.max(ts);
         }
         if kind.writes() {
-            self.write_stamp.insert(var, wts.max(ts));
-            self.dirty.insert(var, t);
+            ensure_index(&mut self.write_stamp, var.index());
+            self.write_stamp[var.index()] = wts.max(ts);
+            self.dirty.insert(var.index(), t);
+            ensure_index(&mut self.wrote, t.index());
+            self.wrote[t.index()].push(var);
         }
-        self.waits.remove(&t);
+        self.waits.remove(t.index());
         CcDecision::Proceed
     }
 
@@ -438,20 +520,12 @@ impl ConcurrencyControl for TimestampCc {
     }
 
     fn after_commit(&mut self, t: TxnId) {
-        self.stamp.remove(&t);
-        self.live.remove(&t);
-        self.dirty.retain(|_, w| *w != t);
-        self.waits.remove(&t);
-        self.waits.retain(|_, h| *h != t);
+        self.clear_txn(t);
     }
 
     fn on_abort(&mut self, t: TxnId) {
-        self.stamp.remove(&t);
-        self.live.remove(&t);
-        self.dirty.retain(|_, w| *w != t);
-        self.waits.remove(&t);
-        self.waits.retain(|_, h| *h != t);
         // The variable stamps stay — standard T/O conservatism.
+        self.clear_txn(t);
     }
 
     fn name(&self) -> &str {
@@ -464,55 +538,110 @@ impl ConcurrencyControl for TimestampCc {
 // --------------------------------------------------------------------------
 
 /// OCC with backward validation: reads and writes always proceed (writes go
-/// to the store but are undone on abort by the engine's rollback); at
+/// to a local buffer and reach the store in the commit-time write phase); at
 /// commit the transaction validates against the write sets of transactions
 /// that committed after it began.
+///
+/// Footprints are [`DenseBitSet`]s, so validation is a word-wise
+/// intersection per committed writer instead of a set walk; the committed
+/// list is pruned to entries some live transaction could still conflict
+/// with, keeping long runs with many restarts bounded.
 #[derive(Default, Debug)]
 pub struct OccCc {
-    start: BTreeMap<TxnId, u64>,
-    access: BTreeMap<TxnId, BTreeSet<VarId>>,
-    writes: BTreeMap<TxnId, BTreeSet<VarId>>,
-    committed: Vec<(u64, BTreeSet<VarId>)>,
+    /// Per-transaction start tick (live transactions only).
+    start: SlotMap<u64>,
+    /// Per-transaction read+write footprint.
+    access: Vec<DenseBitSet>,
+    /// Per-transaction write footprint.
+    writes: Vec<DenseBitSet>,
+    /// Commit log: (commit tick, write footprint), oldest first.
+    committed: VecDeque<(u64, DenseBitSet)>,
+}
+
+impl OccCc {
+    /// Drop committed entries no live transaction can conflict with: a
+    /// validation only consults entries with `commit_tick > start`, starts
+    /// are handed out monotonically, so everything at or before the oldest
+    /// live start is dead weight.
+    fn prune_committed(&mut self) {
+        let oldest_live = self.start.iter().map(|(_, &s)| s).min();
+        while let Some(&(tick, _)) = self.committed.front() {
+            match oldest_live {
+                Some(min) if tick > min => break,
+                _ => {
+                    self.committed.pop_front();
+                }
+            }
+        }
+    }
 }
 
 impl ConcurrencyControl for OccCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        self.start.reserve_slots(num_txns);
+        if self.access.len() < num_txns {
+            self.access
+                .resize_with(num_txns, || DenseBitSet::with_capacity(num_vars));
+        }
+        if self.writes.len() < num_txns {
+            self.writes
+                .resize_with(num_txns, || DenseBitSet::with_capacity(num_vars));
+        }
+    }
+
     fn begin(&mut self, t: TxnId, tick: u64) {
-        self.start.insert(t, tick);
-        self.access.insert(t, BTreeSet::new());
-        self.writes.insert(t, BTreeSet::new());
+        self.start.insert(t.index(), tick);
+        ensure_index(&mut self.access, t.index());
+        ensure_index(&mut self.writes, t.index());
+        self.access[t.index()].clear();
+        self.writes[t.index()].clear();
     }
 
     fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
-        self.access.entry(t).or_default().insert(var);
+        ensure_index(&mut self.access, t.index());
+        self.access[t.index()].insert(var.index());
         if kind.writes() {
-            self.writes.entry(t).or_default().insert(var);
+            ensure_index(&mut self.writes, t.index());
+            self.writes[t.index()].insert(var.index());
         }
         CcDecision::Proceed
     }
 
     fn on_commit(&mut self, t: TxnId, tick: u64) -> CcDecision {
-        let start = self.start.get(&t).copied().unwrap_or(0);
-        let accessed = self.access.entry(t).or_default().clone();
+        let start = self.start.get_copied(t.index()).unwrap_or(0);
+        ensure_index(&mut self.access, t.index());
+        let accessed = &self.access[t.index()];
         for (commit_tick, writes) in &self.committed {
-            if *commit_tick > start && writes.intersection(&accessed).next().is_some() {
+            if *commit_tick > start && writes.intersects(accessed) {
                 return CcDecision::Abort;
             }
         }
-        let w = self.writes.entry(t).or_default().clone();
-        self.committed.push((tick, w));
+        ensure_index(&mut self.writes, t.index());
+        self.committed
+            .push_back((tick, self.writes[t.index()].clone()));
         CcDecision::Proceed
     }
 
     fn after_commit(&mut self, t: TxnId) {
-        self.start.remove(&t);
-        self.access.remove(&t);
-        self.writes.remove(&t);
+        self.start.remove(t.index());
+        if let Some(b) = self.access.get_mut(t.index()) {
+            b.clear();
+        }
+        if let Some(b) = self.writes.get_mut(t.index()) {
+            b.clear();
+        }
+        self.prune_committed();
     }
 
     fn on_abort(&mut self, t: TxnId) {
-        self.start.remove(&t);
-        self.access.remove(&t);
-        self.writes.remove(&t);
+        self.start.remove(t.index());
+        if let Some(b) = self.access.get_mut(t.index()) {
+            b.clear();
+        }
+        if let Some(b) = self.writes.get_mut(t.index()) {
+            b.clear();
+        }
+        self.prune_committed();
     }
 
     fn name(&self) -> &str {
@@ -576,6 +705,63 @@ mod tests {
             cc.on_step(t(0), v(1), StepKind::Update),
             CcDecision::Proceed
         );
+    }
+
+    #[test]
+    fn strict_2pl_detects_long_wait_chains() {
+        // A waits-for chain far past any small hop bound: t_i holds v_i and
+        // waits for v_{i+1}; the last transaction closing the loop back to
+        // v_0 must be picked as the deadlock victim.
+        const N: u32 = 100;
+        let mut cc = Strict2plCc::default();
+        cc.prepare(N as usize + 1, N as usize + 1);
+        for i in 0..=N {
+            cc.begin(t(i), 0);
+            assert_eq!(
+                cc.on_step(t(i), v(i), StepKind::Update),
+                CcDecision::Proceed
+            );
+        }
+        for i in 0..N {
+            assert_eq!(
+                cc.on_step(t(i), v(i + 1), StepKind::Update),
+                CcDecision::Wait,
+                "txn {i} should block on txn {}",
+                i + 1
+            );
+        }
+        // t_N -> v_0 closes a 101-transaction cycle.
+        assert_eq!(cc.on_step(t(N), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(N));
+        // With the victim gone, t_{N-1} can take v_N.
+        assert_eq!(
+            cc.on_step(t(N - 1), v(N), StepKind::Update),
+            CcDecision::Proceed
+        );
+    }
+
+    #[test]
+    fn strict_2pl_walk_survives_unrelated_wait_cycle() {
+        // An existing wait chain among other transactions must neither hang
+        // the walk nor produce a spurious deadlock verdict for a requester
+        // outside it.
+        let mut cc = Strict2plCc::default();
+        for i in 0..4 {
+            cc.begin(t(i), 0);
+        }
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_step(t(0), v(1), StepKind::Update), CcDecision::Wait);
+        // t2 joins the queue on v0; the chain t2 -> t0 -> t1 has no cycle.
+        assert_eq!(cc.on_step(t(2), v(0), StepKind::Update), CcDecision::Wait);
+        // t3 on v1: chain t3 -> t1 is cycle-free too.
+        assert_eq!(cc.on_step(t(3), v(1), StepKind::Update), CcDecision::Wait);
     }
 
     #[test]
@@ -699,5 +885,51 @@ mod tests {
         assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
         cc.after_commit(t(1));
         assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn occ_prunes_dead_commit_entries() {
+        let mut cc = OccCc::default();
+        // A sequence of disjoint committed transactions with no one live in
+        // between leaves nothing to validate against.
+        for round in 0..100u64 {
+            cc.begin(t(0), round * 2);
+            cc.on_step(t(0), v(0), StepKind::Update);
+            assert_eq!(cc.on_commit(t(0), round * 2 + 1), CcDecision::Proceed);
+            cc.after_commit(t(0));
+        }
+        assert!(
+            cc.committed.is_empty(),
+            "commit log should be pruned once no live txn can conflict"
+        );
+        // A long-lived reader keeps exactly the entries after its start.
+        cc.begin(t(1), 200);
+        cc.on_step(t(1), v(0), StepKind::Read);
+        for round in 0..10u64 {
+            cc.begin(t(0), 201 + round * 2);
+            cc.on_step(t(0), v(1), StepKind::Update);
+            assert_eq!(cc.on_commit(t(0), 202 + round * 2), CcDecision::Proceed);
+            cc.after_commit(t(0));
+        }
+        assert_eq!(cc.committed.len(), 10);
+        assert_eq!(cc.on_commit(t(1), 300), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        assert!(cc.committed.is_empty());
+    }
+
+    #[test]
+    fn prepare_presizes_without_changing_behavior() {
+        let mut a = Strict2plCc::default();
+        let mut b = Strict2plCc::default();
+        b.prepare(8, 8);
+        for cc in [&mut a, &mut b] {
+            cc.begin(t(0), 0);
+            cc.begin(t(1), 0);
+            assert_eq!(
+                cc.on_step(t(0), v(0), StepKind::Update),
+                CcDecision::Proceed
+            );
+            assert_eq!(cc.on_step(t(1), v(0), StepKind::Update), CcDecision::Wait);
+        }
     }
 }

@@ -1,13 +1,49 @@
 //! The database: step execution, commit, rollback, restart.
 
 use crate::cc::{CcDecision, ConcurrencyControl};
+use crate::dense::SlotMap;
 use crate::metrics::Metrics;
 use crate::storage::Storage;
 use ccopt_model::ids::{StepId, TxnId, VarId};
 use ccopt_model::state::GlobalState;
 use ccopt_model::system::TransactionSystem;
 use ccopt_model::value::Value;
-use std::collections::BTreeMap;
+
+/// Dense per-transaction write buffer: a [`SlotMap`] over variables plus a
+/// touched-list for cheap iteration and clearing. Replaces the former
+/// `BTreeMap<VarId, Value>` on the deferred-write (OCC) hot path.
+#[derive(Clone, Debug, Default)]
+struct WriteBuf {
+    slots: SlotMap<Value>,
+    touched: Vec<VarId>,
+}
+
+impl WriteBuf {
+    fn with_capacity(num_vars: usize) -> Self {
+        WriteBuf {
+            slots: SlotMap::with_capacity(num_vars),
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, var: VarId) -> Option<Value> {
+        self.slots.get_copied(var.index())
+    }
+
+    #[inline]
+    fn insert(&mut self, var: VarId, value: Value) {
+        if self.slots.insert(var.index(), value).is_none() {
+            self.touched.push(var);
+        }
+    }
+
+    fn clear(&mut self) {
+        for v in self.touched.drain(..) {
+            self.slots.remove(v.index());
+        }
+    }
+}
 
 /// Runtime state of one transaction.
 #[derive(Clone, Debug)]
@@ -16,7 +52,7 @@ struct RunTxn {
     locals: Vec<Option<Value>>,
     undo: Vec<(VarId, Value)>,
     /// Local write buffer, used when the CC defers writes (OCC).
-    wbuf: BTreeMap<VarId, Value>,
+    wbuf: WriteBuf,
     committed: bool,
     attempts: u32,
 }
@@ -59,15 +95,21 @@ pub struct Database {
 
 impl Database {
     /// Create a database over `sys` starting from `init`, using `cc`.
-    pub fn new(sys: TransactionSystem, cc: Box<dyn ConcurrencyControl>, init: GlobalState) -> Self {
+    pub fn new(
+        sys: TransactionSystem,
+        mut cc: Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+    ) -> Self {
         let format = sys.format();
+        let num_vars = sys.syntax.num_vars();
+        cc.prepare(format.len(), num_vars);
         let txns = format
             .iter()
             .map(|&m| RunTxn {
                 next_step: 0,
                 locals: vec![None; m as usize],
                 undo: Vec::new(),
-                wbuf: BTreeMap::new(),
+                wbuf: WriteBuf::with_capacity(num_vars),
                 committed: false,
                 attempts: 0,
             })
@@ -143,8 +185,7 @@ impl Database {
         let read = if deferred {
             self.txns[ti]
                 .wbuf
-                .get(&sx.var)
-                .copied()
+                .get(sx.var)
                 .unwrap_or_else(|| self.storage.get(sx.var))
         } else {
             self.storage.get(sx.var)
@@ -173,11 +214,19 @@ impl Database {
         if self.txns[ti].next_step == m {
             match self.cc.on_commit(t, self.tick) {
                 CcDecision::Proceed => {
-                    // Write phase for deferred-write CCs.
-                    let wbuf = std::mem::take(&mut self.txns[ti].wbuf);
-                    for (var, value) in wbuf {
+                    // Write phase for deferred-write CCs: apply buffered
+                    // values in touched order, draining the buffer in place.
+                    let mut touched = std::mem::take(&mut self.txns[ti].wbuf.touched);
+                    for &var in &touched {
+                        let value = self.txns[ti]
+                            .wbuf
+                            .slots
+                            .remove(var.index())
+                            .expect("touched slots are filled");
                         self.storage.set(var, value);
                     }
+                    touched.clear();
+                    self.txns[ti].wbuf.touched = touched;
                     self.txns[ti].committed = true;
                     self.cc.after_commit(t);
                     self.metrics.commits += 1;

@@ -1,0 +1,320 @@
+//! Dense, index-keyed bookkeeping structures for the hot CC path.
+//!
+//! `TxnId` and `VarId` are dense `u32` indices, so every table a
+//! concurrency-control mechanism keeps — locks, stamps, footprints,
+//! waits-for edges — can be a flat `Vec` slot per id instead of a
+//! `BTreeMap` node per entry. This module provides the three shapes the
+//! mechanisms need:
+//!
+//! * [`DenseBitSet`] — a fixed-capacity bitset over `u64` blocks
+//!   (set-membership footprints, adjacency rows, visited marks);
+//! * [`EpochBitSet`] — a bitset whose `clear` is O(1) by bumping an epoch
+//!   stamp instead of zeroing words (per-transaction scratch that resets on
+//!   every `begin`/`abort`);
+//! * [`SlotMap<T>`] — a `Vec<Option<T>>` with grow-on-demand indexing
+//!   (lock tables, waits-for edges, dirty-writer tables).
+//!
+//! All structures grow on demand so the mechanisms keep working without a
+//! [`prepare`](crate::cc::ConcurrencyControl::prepare) call (unit tests
+//! construct them bare); `prepare` pre-sizes them so the hot path never
+//! reallocates.
+
+/// A fixed-capacity bitset over `u64` blocks, growing on demand.
+#[derive(Clone, Debug, Default)]
+pub struct DenseBitSet {
+    blocks: Vec<u64>,
+}
+
+impl DenseBitSet {
+    /// A bitset pre-sized for indices `< n`.
+    pub fn with_capacity(n: usize) -> Self {
+        DenseBitSet {
+            blocks: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Reserve room for index `i`.
+    #[inline]
+    fn grow_for(&mut self, i: usize) {
+        let need = i / 64 + 1;
+        if self.blocks.len() < need {
+            self.blocks.resize(need, 0);
+        }
+    }
+
+    /// Set bit `i`; returns true when the bit was newly set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        self.grow_for(i);
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        let was = self.blocks[b] & m != 0;
+        self.blocks[b] |= m;
+        !was
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if let Some(b) = self.blocks.get_mut(i / 64) {
+            *b &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Is bit `i` set?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.blocks
+            .get(i / 64)
+            .is_some_and(|b| b & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Clear every bit (O(blocks); for O(1) clearing use [`EpochBitSet`]).
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+
+    /// Do the two sets share any member? O(blocks), no allocation.
+    pub fn intersects(&self, other: &DenseBitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Iterate set bits in increasing order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut rest = block;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let tz = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(bi * 64 + tz)
+            })
+        })
+    }
+}
+
+/// A bitset with O(1) bulk clear: each slot stores the epoch at which it
+/// was last set, and `clear` bumps the current epoch. The backing stamp
+/// array is zeroed only on the (effectively unreachable) epoch wraparound.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBitSet {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochBitSet {
+    /// An epoch set pre-sized for indices `< n`.
+    pub fn with_capacity(n: usize) -> Self {
+        EpochBitSet {
+            stamps: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    #[inline]
+    fn grow_for(&mut self, i: usize) {
+        if self.stamps.len() <= i {
+            self.stamps.resize(i + 1, 0);
+        }
+        if self.epoch == 0 {
+            self.epoch = 1;
+        }
+    }
+
+    /// Set member `i`; returns true when newly set this epoch.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        self.grow_for(i);
+        let was = self.stamps[i] == self.epoch;
+        self.stamps[i] = self.epoch;
+        !was
+    }
+
+    /// Is `i` a member this epoch?
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.epoch != 0 && self.stamps.get(i).copied() == Some(self.epoch)
+    }
+
+    /// Drop every member in O(1) (epoch bump).
+    #[inline]
+    pub fn clear(&mut self) {
+        let (next, overflow) = self.epoch.overflowing_add(1);
+        if overflow {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch = next;
+        }
+    }
+}
+
+/// A `Vec<Option<T>>` keyed by dense index, growing on demand — the dense
+/// replacement for `BTreeMap<Id, T>` point lookups.
+#[derive(Clone, Debug)]
+pub struct SlotMap<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> Default for SlotMap<T> {
+    fn default() -> Self {
+        SlotMap { slots: Vec::new() }
+    }
+}
+
+impl<T> SlotMap<T> {
+    /// A map pre-sized for indices `< n`.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        SlotMap { slots }
+    }
+
+    /// Pre-size for indices `< n` (no-op when already large enough).
+    pub fn reserve_slots(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize_with(n, || None);
+        }
+    }
+
+    /// Value at `i`, if set.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.slots.get(i).and_then(Option::as_ref)
+    }
+
+    /// Set slot `i`, returning the previous value.
+    #[inline]
+    pub fn insert(&mut self, i: usize, value: T) -> Option<T> {
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i].replace(value)
+    }
+
+    /// Clear slot `i`, returning the previous value.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> Option<T> {
+        self.slots.get_mut(i).and_then(Option::take)
+    }
+
+    /// Iterate over set slots as `(index, &value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (i, v)))
+    }
+
+    /// Drop every entry whose value fails the predicate.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize, &T) -> bool) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if matches!(slot, Some(v) if !keep(i, v)) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Number of addressable slots (not the number of set entries).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T: Copy> SlotMap<T> {
+    /// Copy of the value at `i`, if set.
+    #[inline]
+    pub fn get_copied(&self, i: usize) -> Option<T> {
+        self.slots.get(i).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_round_trip() {
+        let mut s = DenseBitSet::with_capacity(10);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(200)); // grows on demand
+        assert!(s.contains(3) && s.contains(200) && !s.contains(4));
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![3, 200]);
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bitset_intersections() {
+        let mut a = DenseBitSet::default();
+        let mut b = DenseBitSet::default();
+        a.insert(5);
+        a.insert(100);
+        b.insert(6);
+        assert!(!a.intersects(&b));
+        b.insert(100);
+        assert!(a.intersects(&b));
+        // Different block counts are handled (zip stops at the shorter).
+        let mut c = DenseBitSet::default();
+        c.insert(5);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn epoch_set_clears_in_constant_time() {
+        let mut s = EpochBitSet::with_capacity(4);
+        assert!(s.insert(1));
+        assert!(s.contains(1));
+        s.clear();
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+        // Grow-on-demand past the initial capacity.
+        assert!(s.insert(77));
+        assert!(s.contains(77));
+    }
+
+    #[test]
+    fn epoch_wraparound_resets_stamps() {
+        let mut s = EpochBitSet::with_capacity(2);
+        s.epoch = u32::MAX;
+        s.insert(0);
+        assert!(s.contains(0));
+        s.clear(); // wraps: stamps zeroed, epoch restarts at 1
+        assert!(!s.contains(0));
+        s.insert(1);
+        assert!(s.contains(1) && !s.contains(0));
+    }
+
+    #[test]
+    fn slot_map_round_trip() {
+        let mut m: SlotMap<u32> = SlotMap::with_capacity(2);
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.insert(9, 90), None); // grows
+        assert_eq!(m.get_copied(1), Some(11));
+        assert_eq!(m.get(4), None);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(1, &11), (9, &90)]);
+        m.retain(|i, _| i != 1);
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.remove(9), Some(90));
+        assert_eq!(m.remove(9), None);
+    }
+}

@@ -7,6 +7,8 @@
 //! the order-theoretic scheduler view abstracts away and the Section 6
 //! simulator needs back.
 //!
+//! * [`dense`] — dense index-keyed tables (bitsets, epoch-cleared sets,
+//!   slot maps) backing the O(1) CC hot path;
 //! * [`storage`] — the value store with undo support;
 //! * [`cc`] — the [`ConcurrencyControl`] trait and
 //!   its implementations: global-token serial execution, strict 2PL with
@@ -19,6 +21,7 @@
 
 pub mod cc;
 pub mod db;
+pub mod dense;
 pub mod metrics;
 pub mod storage;
 

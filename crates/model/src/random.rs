@@ -129,7 +129,7 @@ fn random_affine(rng: &mut SmallRng, j: usize, kind: StepKind) -> Expr {
         }
         StepKind::Update => {
             let a = *[1i64, 1, 1, 2, -1, 3]
-                .get(rng.gen_range(0..6))
+                .get(rng.gen_range(0..6usize))
                 .expect("non-empty");
             let b = rng.gen_range(-2..=2);
             Expr::add(Expr::mul(Expr::Const(a), Expr::Local(j)), Expr::Const(b))

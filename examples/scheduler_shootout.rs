@@ -32,8 +32,8 @@ fn main() {
         batches: 16,
         ..SimConfig::default()
     };
-    #[allow(clippy::type_complexity)]
-    let ccs: Vec<(&str, Box<dyn Fn() -> Box<dyn ConcurrencyControl>>)> = vec![
+    type CcFactory = Box<dyn Fn() -> Box<dyn ConcurrencyControl> + Sync>;
+    let ccs: Vec<(&str, CcFactory)> = vec![
         ("serial", Box::new(|| Box::new(SerialCc::default()) as _)),
         (
             "strict-2PL",
