@@ -1,6 +1,8 @@
 //! Micro-benchmarks of the core building blocks.
 
-use ccopt_engine::cc::{ConcurrencyControl, OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+use ccopt_engine::cc::{
+    ConcurrencyControl, MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc,
+};
 use ccopt_engine::db::Database;
 use ccopt_model::ids::TxnId;
 use ccopt_model::state::GlobalState;
@@ -82,6 +84,8 @@ fn bench_cc_hot_path(c: &mut Criterion) {
         ("sgt", || Box::new(SgtCc::default())),
         ("ts", || Box::new(TimestampCc::default())),
         ("occ", || Box::new(OccCc::default())),
+        ("mvto", || Box::new(MvtoCc::default())),
+        ("si", || Box::new(SiCc::default())),
     ];
     for &n in &[4u32, 64, 256] {
         let mut g = c.benchmark_group(format!("cc_on_step_commit_n{n}"));
@@ -135,6 +139,17 @@ fn bench_engine(c: &mut Criterion) {
             let mut db = Database::new(
                 sys.clone(),
                 Box::new(SgtCc::default()),
+                GlobalState::from_ints(&[0]),
+            );
+            black_box(db.run_round_robin(&ids, 10_000).unwrap().metrics.commits)
+        })
+    });
+    // The multi-version end-to-end path: version installs plus watermark GC.
+    c.bench_function("engine_hotspot_mvto_run", |b| {
+        b.iter(|| {
+            let mut db = Database::new(
+                sys.clone(),
+                Box::new(MvtoCc::default()),
                 GlobalState::from_ints(&[0]),
             );
             black_box(db.run_round_robin(&ids, 10_000).unwrap().metrics.commits)

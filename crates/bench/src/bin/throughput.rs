@@ -1,13 +1,15 @@
 //! End-to-end throughput harness: `cargo run --release -p ccopt-bench --bin
 //! throughput`.
 //!
-//! Runs every concurrency-control mechanism against a fixed grid of
+//! Runs every concurrency-control mechanism (all seven: the five
+//! single-version ones plus MVTO and SI) against a fixed grid of
 //! workloads, sweeping several workload seeds per cell, and emits both an
 //! aligned table on stdout and `BENCH_engine.json` next to the bench
 //! crate's manifest — a machine-readable perf trajectory for future PRs to
-//! beat. All simulated statistics (commits, aborts, simulated throughput)
-//! are deterministic in the config; only the wall-clock fields vary run to
-//! run.
+//! beat. Abort and wait counts ride alongside throughput so mechanism
+//! trade-offs (blocking vs. restarting vs. versioning) stay visible. All
+//! simulated statistics are deterministic in the config; only the
+//! wall-clock fields vary run to run.
 //!
 //! `--quick` shrinks batches for smoke runs (CI); the JSON schema is
 //! unchanged.
@@ -26,6 +28,8 @@ struct Cell {
     cc: String,
     commits: usize,
     aborts: usize,
+    waits: usize,
+    mv_write_aborts: usize,
     sim_throughput: f64,
     response_mean: f64,
     waiting_mean: f64,
@@ -51,6 +55,13 @@ fn workloads() -> Vec<Workload> {
             steps: 6,
             vars: 32,
             reads: 0.7,
+        },
+        Workload::LongReaders {
+            readers: 2,
+            read_steps: 10,
+            writers: 6,
+            write_steps: 4,
+            vars: 8,
         },
         Workload::Banking,
     ]
@@ -84,12 +95,16 @@ fn main() {
             let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
             let commits: usize = results.iter().map(|r| r.commits).sum();
             let aborts: usize = results.iter().map(|r| r.aborts).sum();
+            let waits: usize = results.iter().map(|r| r.waits).sum();
+            let mv_write_aborts: usize = results.iter().map(|r| r.mv_write_aborts).sum();
             let k = results.len() as f64;
             cells.push(Cell {
                 workload: wl.name(),
                 cc: name.to_string(),
                 commits,
                 aborts,
+                waits,
+                mv_write_aborts,
                 sim_throughput: results.iter().map(|r| r.throughput).sum::<f64>() / k,
                 response_mean: results.iter().map(|r| r.response.mean).sum::<f64>() / k,
                 waiting_mean: results.iter().map(|r| r.waiting.mean).sum::<f64>() / k,
@@ -106,6 +121,8 @@ fn main() {
             "cc",
             "commits",
             "aborts",
+            "waits",
+            "mv-aborts",
             "sim-thru",
             "response",
             "waiting",
@@ -119,6 +136,8 @@ fn main() {
             c.cc.clone(),
             c.commits.to_string(),
             c.aborts.to_string(),
+            c.waits.to_string(),
+            c.mv_write_aborts.to_string(),
             f3(c.sim_throughput),
             f3(c.response_mean),
             f3(c.waiting_mean),
@@ -137,7 +156,7 @@ fn main() {
 fn to_json(cfg: &SimConfig, cells: &[Cell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v1\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v2\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}}},\n",
         cfg.batches,
@@ -152,11 +171,13 @@ fn to_json(cfg: &SimConfig, cells: &[Cell]) -> String {
     s.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": {:?}, \"cc\": {:?}, \"commits\": {}, \"aborts\": {}, \"sim_throughput\": {:.6}, \"response_mean\": {:.6}, \"waiting_mean\": {:.6}, \"wall_ms\": {:.3}, \"commits_per_sec\": {:.1}}}{}\n",
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"sim_throughput\": {:.6}, \"response_mean\": {:.6}, \"waiting_mean\": {:.6}, \"wall_ms\": {:.3}, \"commits_per_sec\": {:.1}}}{}\n",
             c.workload,
             c.cc,
             c.commits,
             c.aborts,
+            c.waits,
+            c.mv_write_aborts,
             c.sim_throughput,
             c.response_mean,
             c.waiting_mean,

@@ -4,7 +4,9 @@
 //! and reports throughput, response time and the scheduling/waiting/
 //! execution decomposition for each engine concurrency control.
 
-use ccopt_engine::cc::{ConcurrencyControl, OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+use ccopt_engine::cc::{
+    ConcurrencyControl, MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc,
+};
 use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
 use ccopt_sim::report::{f3, Table};
 use ccopt_sim::workload::Workload;
@@ -12,7 +14,8 @@ use ccopt_sim::workload::Workload;
 /// A CC factory usable from parallel simulation batches.
 pub type CcFactory = Box<dyn Fn() -> Box<dyn ConcurrencyControl> + Sync>;
 
-/// The CC line-up with factories (fresh instance per batch).
+/// The CC line-up with factories (fresh instance per batch): the five
+/// single-version mechanisms plus the multi-version family (MVTO, SI).
 pub fn cc_factories() -> Vec<(&'static str, CcFactory)> {
     vec![
         ("serial", Box::new(|| Box::new(SerialCc::default()) as _)),
@@ -23,6 +26,8 @@ pub fn cc_factories() -> Vec<(&'static str, CcFactory)> {
         ("T/O", Box::new(|| Box::new(TimestampCc::default()) as _)),
         ("OCC", Box::new(|| Box::new(OccCc::default()) as _)),
         ("SGT", Box::new(|| Box::new(SgtCc::default()) as _)),
+        ("MVTO", Box::new(|| Box::new(MvtoCc::default()) as _)),
+        ("SI", Box::new(|| Box::new(SiCc::default()) as _)),
     ]
 }
 

@@ -64,6 +64,38 @@ pub trait ConcurrencyControl {
     fn defers_writes(&self) -> bool {
         false
     }
+
+    /// When true, the engine routes reads through the multi-version store
+    /// ([`crate::mvstore::MvStore`]) at [`read_view`](Self::read_view) and
+    /// installs commits as new versions at
+    /// [`commit_view`](Self::commit_view) instead of overwriting in place.
+    /// Multi-version mechanisms must also defer writes (versions only ever
+    /// hold committed data).
+    fn multiversion(&self) -> bool {
+        false
+    }
+
+    /// Snapshot timestamp the reads of `t` observe (multi-version
+    /// mechanisms only).
+    fn read_view(&self, t: TxnId) -> u64 {
+        let _ = t;
+        0
+    }
+
+    /// Version timestamp the buffered writes of `t` are installed at; valid
+    /// once `on_commit` returned [`CcDecision::Proceed`] (multi-version
+    /// mechanisms only).
+    fn commit_view(&self, t: TxnId) -> u64 {
+        let _ = t;
+        0
+    }
+
+    /// Oldest snapshot any live transaction may still read. Versions not
+    /// visible at or after this point are garbage
+    /// ([`crate::mvstore::MvStore::gc`]).
+    fn gc_watermark(&self) -> u64 {
+        u64::MAX
+    }
 }
 
 /// Grow a per-index `Vec` of default values up to index `i`.
@@ -653,6 +685,315 @@ impl ConcurrencyControl for OccCc {
     }
 }
 
+// --------------------------------------------------------------------------
+// Multi-version timestamp ordering.
+// --------------------------------------------------------------------------
+
+/// MVTO: every transaction reads the snapshot at its begin timestamp; a
+/// write is admitted only while it can still be appended at the writer's
+/// timestamp — if a newer committed version exists, or a younger
+/// transaction already read the version the write would supersede, the
+/// *writer* aborts (late writes abort).
+///
+/// Versions are installed at commit (deferred writes), so the chains hold
+/// committed data only and the mechanism is cascade-free. The classical
+/// commit dependency survives as a wait: an access of a variable some
+/// *older* live transaction has a buffered (pending) write on waits for
+/// that writer to resolve, instead of reading past it and dooming it. Wait
+/// edges therefore always point from larger to smaller timestamps, so they
+/// can never form a cycle — and a transaction that began before the
+/// writers (every read-only transaction in a reader-then-writer workload)
+/// never waits at all.
+///
+/// Bookkeeping is dense per-variable tables: the newest committed version
+/// timestamp, the largest snapshot that read the variable, and the pending
+/// writers. With appends validated against the committed timestamp, the
+/// per-variable read stamp is exactly the classical per-version `rts` of
+/// the version a late write would supersede.
+#[derive(Default, Debug)]
+pub struct MvtoCc {
+    next: u64,
+    /// Begin timestamp per live transaction.
+    stamp: SlotMap<u64>,
+    /// Per variable: largest snapshot timestamp that read it.
+    max_rts: Vec<u64>,
+    /// Per variable: timestamp of the newest committed version.
+    latest_wts: Vec<u64>,
+    /// Per variable: live transactions with a buffered write on it (tiny:
+    /// older pending writers make younger accessors wait).
+    pending: Vec<Vec<(TxnId, u64)>>,
+    /// Per transaction: variables it wrote (may contain duplicates).
+    wrote: Vec<Vec<VarId>>,
+}
+
+impl MvtoCc {
+    fn write_admissible(&self, var: VarId, ts: u64) -> bool {
+        let lw = self.latest_wts.get(var.index()).copied().unwrap_or(0);
+        let mr = self.max_rts.get(var.index()).copied().unwrap_or(0);
+        // A newer committed version, or a younger reader of the version we
+        // would supersede: the write arrives too late for timestamp `ts`.
+        lw <= ts && mr <= ts
+    }
+
+    /// Is there a pending (buffered, uncommitted) write on `var` by a live
+    /// transaction older than `ts`? Accessing past it would doom that
+    /// writer, so the accessor waits for it to commit or abort instead.
+    fn older_pending_writer(&self, var: VarId, t: TxnId, ts: u64) -> bool {
+        self.pending
+            .get(var.index())
+            .is_some_and(|p| p.iter().any(|&(u, uts)| u != t && uts < ts))
+    }
+
+    fn drop_pending(&mut self, t: TxnId) {
+        if let Some(vars) = self.wrote.get(t.index()) {
+            for &v in vars {
+                if let Some(p) = self.pending.get_mut(v.index()) {
+                    p.retain(|&(u, _)| u != t);
+                }
+            }
+        }
+    }
+}
+
+impl ConcurrencyControl for MvtoCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        self.stamp.reserve_slots(num_txns);
+        ensure_index(&mut self.max_rts, num_vars.saturating_sub(1));
+        ensure_index(&mut self.latest_wts, num_vars.saturating_sub(1));
+        ensure_index(&mut self.pending, num_vars.saturating_sub(1));
+        ensure_index(&mut self.wrote, num_txns.saturating_sub(1));
+    }
+
+    fn begin(&mut self, t: TxnId, _tick: u64) {
+        self.next += 1;
+        self.stamp.insert(t.index(), self.next);
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
+        let ts = self
+            .stamp
+            .get_copied(t.index())
+            .expect("on_step before begin");
+        if kind.writes() && !self.write_admissible(var, ts) {
+            return CcDecision::Abort;
+        }
+        if self.older_pending_writer(var, t, ts) {
+            return CcDecision::Wait;
+        }
+        // Every step observes its variable through the local `t_ij` the
+        // engine fills — even a blind Write's local may be consumed by the
+        // transaction's later steps — so every access registers as a read
+        // at `ts`. (Skipping this for blind writes let an older writer
+        // install a version behind an observation that was never recorded:
+        // a non-serializable history.)
+        ensure_index(&mut self.max_rts, var.index());
+        self.max_rts[var.index()] = self.max_rts[var.index()].max(ts);
+        if kind.writes() {
+            ensure_index(&mut self.wrote, t.index());
+            self.wrote[t.index()].push(var);
+            ensure_index(&mut self.pending, var.index());
+            let p = &mut self.pending[var.index()];
+            if !p.iter().any(|&(u, _)| u == t) {
+                p.push((t, ts));
+            }
+        }
+        CcDecision::Proceed
+    }
+
+    fn on_commit(&mut self, t: TxnId, _tick: u64) -> CcDecision {
+        // Revalidate the write set (defense in depth: with every access
+        // registered as a read and younger accessors waiting on pending
+        // writers, admissibility should not degrade between the write step
+        // and commit). Read-only transactions have nothing to check and
+        // always commit.
+        let ts = self
+            .stamp
+            .get_copied(t.index())
+            .expect("on_commit before begin");
+        if let Some(vars) = self.wrote.get(t.index()) {
+            if vars.iter().any(|&v| !self.write_admissible(v, ts)) {
+                return CcDecision::Abort;
+            }
+        }
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        self.drop_pending(t);
+        let ts = self.stamp.remove(t.index()).expect("commit before begin");
+        if let Some(vars) = self.wrote.get_mut(t.index()) {
+            for v in vars.drain(..) {
+                ensure_index(&mut self.latest_wts, v.index());
+                self.latest_wts[v.index()] = ts;
+            }
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.drop_pending(t);
+        self.stamp.remove(t.index());
+        if let Some(vars) = self.wrote.get_mut(t.index()) {
+            vars.clear();
+        }
+    }
+
+    fn name(&self) -> &str {
+        "MVTO"
+    }
+
+    fn defers_writes(&self) -> bool {
+        true
+    }
+
+    fn multiversion(&self) -> bool {
+        true
+    }
+
+    fn read_view(&self, t: TxnId) -> u64 {
+        self.stamp.get_copied(t.index()).unwrap_or(0)
+    }
+
+    fn commit_view(&self, t: TxnId) -> u64 {
+        self.stamp.get_copied(t.index()).unwrap_or(0)
+    }
+
+    fn gc_watermark(&self) -> u64 {
+        // Oldest live snapshot; with no one live every chain may collapse
+        // to its newest version — the next begin stamps at `next + 1`, so
+        // that is the smallest snapshot any future reader can hold.
+        self.stamp
+            .iter()
+            .map(|(_, &ts)| ts)
+            .min()
+            .unwrap_or(self.next + 1)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Snapshot isolation.
+// --------------------------------------------------------------------------
+
+/// Snapshot isolation: reads observe the commit sequence number current at
+/// begin, writes are buffered, and commit performs first-committer-wins
+/// validation — if any written variable gained a committed version after
+/// the snapshot, the transaction aborts. Reads are never validated, which
+/// is exactly why SI admits write skew: it sits outside the serializable
+/// family boundary that MVTO, 2PL and SGT stay inside.
+///
+/// A write step performs the same check against the snapshot early
+/// (first-*updater*-wins), converting certain commit-time aborts into
+/// cheaper step-time aborts without changing the admitted histories.
+#[derive(Default, Debug)]
+pub struct SiCc {
+    /// Commit sequence number; also the newest readable snapshot.
+    commit_seq: u64,
+    /// Snapshot (begin) sequence number per live transaction.
+    snap: SlotMap<u64>,
+    /// Commit sequence number assigned by a successful validation.
+    cts: SlotMap<u64>,
+    /// Per variable: commit sequence of the newest committed version.
+    latest_wts: Vec<u64>,
+    /// Per transaction: variables it wrote (may contain duplicates).
+    wrote: Vec<Vec<VarId>>,
+}
+
+impl SiCc {
+    fn overwritten_since(&self, var: VarId, snap: u64) -> bool {
+        self.latest_wts.get(var.index()).copied().unwrap_or(0) > snap
+    }
+}
+
+impl ConcurrencyControl for SiCc {
+    fn prepare(&mut self, num_txns: usize, num_vars: usize) {
+        self.snap.reserve_slots(num_txns);
+        self.cts.reserve_slots(num_txns);
+        ensure_index(&mut self.latest_wts, num_vars.saturating_sub(1));
+        ensure_index(&mut self.wrote, num_txns.saturating_sub(1));
+    }
+
+    fn begin(&mut self, t: TxnId, _tick: u64) {
+        self.snap.insert(t.index(), self.commit_seq);
+        self.cts.remove(t.index());
+    }
+
+    fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
+        if kind.writes() {
+            let snap = self
+                .snap
+                .get_copied(t.index())
+                .expect("on_step before begin");
+            if self.overwritten_since(var, snap) {
+                return CcDecision::Abort;
+            }
+            ensure_index(&mut self.wrote, t.index());
+            self.wrote[t.index()].push(var);
+        }
+        CcDecision::Proceed
+    }
+
+    fn on_commit(&mut self, t: TxnId, _tick: u64) -> CcDecision {
+        let snap = self
+            .snap
+            .get_copied(t.index())
+            .expect("on_commit before begin");
+        if let Some(vars) = self.wrote.get(t.index()) {
+            if vars.iter().any(|&v| self.overwritten_since(v, snap)) {
+                return CcDecision::Abort; // first committer already won
+            }
+        }
+        self.commit_seq += 1;
+        self.cts.insert(t.index(), self.commit_seq);
+        CcDecision::Proceed
+    }
+
+    fn after_commit(&mut self, t: TxnId) {
+        let cts = self.cts.remove(t.index()).expect("commit before begin");
+        self.snap.remove(t.index());
+        if let Some(vars) = self.wrote.get_mut(t.index()) {
+            for v in vars.drain(..) {
+                ensure_index(&mut self.latest_wts, v.index());
+                self.latest_wts[v.index()] = cts;
+            }
+        }
+    }
+
+    fn on_abort(&mut self, t: TxnId) {
+        self.snap.remove(t.index());
+        self.cts.remove(t.index());
+        if let Some(vars) = self.wrote.get_mut(t.index()) {
+            vars.clear();
+        }
+    }
+
+    fn name(&self) -> &str {
+        "SI"
+    }
+
+    fn defers_writes(&self) -> bool {
+        true
+    }
+
+    fn multiversion(&self) -> bool {
+        true
+    }
+
+    fn read_view(&self, t: TxnId) -> u64 {
+        self.snap.get_copied(t.index()).unwrap_or(0)
+    }
+
+    fn commit_view(&self, t: TxnId) -> u64 {
+        self.cts.get_copied(t.index()).unwrap_or(0)
+    }
+
+    fn gc_watermark(&self) -> u64 {
+        self.snap
+            .iter()
+            .map(|(_, &s)| s)
+            .min()
+            .unwrap_or(self.commit_seq)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -915,6 +1256,187 @@ mod tests {
         assert_eq!(cc.on_commit(t(1), 300), CcDecision::Proceed);
         cc.after_commit(t(1));
         assert!(cc.committed.is_empty());
+    }
+
+    #[test]
+    fn mvto_reads_never_block_or_abort() {
+        let mut cc = MvtoCc::default();
+        cc.begin(t(0), 0); // ts 1
+        cc.begin(t(1), 0); // ts 2
+                           // A younger writer commits a version of v0 at ts 2 ...
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // ... and the older reader still proceeds: it reads its snapshot.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+        cc.after_commit(t(0));
+    }
+
+    #[test]
+    fn mvto_aborts_late_writes() {
+        let mut cc = MvtoCc::default();
+        cc.begin(t(0), 0); // ts 1
+        cc.begin(t(1), 0); // ts 2
+                           // The younger transaction reads v0: max_rts(v0) = 2.
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
+        // The older transaction's write would supersede the version t1
+        // already read: late write, abort.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(0));
+        // Restart with a fresh, younger stamp: proceeds.
+        cc.begin(t(0), 1); // ts 3
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn mvto_blind_writes_count_as_observations() {
+        // The engine fills every step's local from the store, so a blind
+        // Write still observes its variable (later steps may consume that
+        // local). An older writer must therefore not slip under a younger
+        // blind write: it aborts like any other late write.
+        let mut cc = MvtoCc::default();
+        cc.begin(t(0), 0); // ts 1
+        cc.begin(t(1), 0); // ts 2
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Write), CcDecision::Proceed);
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Write), CcDecision::Abort);
+        cc.on_abort(t(0));
+        // The younger writer is unaffected and commits its version.
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // A restarted (now-youngest) writer proceeds past the new head.
+        cc.begin(t(0), 1); // ts 3
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Write), CcDecision::Proceed);
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn mvto_younger_access_waits_for_older_pending_writer() {
+        let mut cc = MvtoCc::default();
+        cc.begin(t(0), 0); // ts 1
+        cc.begin(t(1), 0); // ts 2
+                           // The older transaction has a buffered (pending) write on v0.
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // Reading past it would doom the pending writer; the younger
+        // transaction waits for the commit dependency instead.
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Wait);
+        assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        // Resolved: the read proceeds (and observes the ts-1 version).
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
+        // An older reader never waits on a *younger* pending writer.
+        cc.begin(t(2), 0); // ts 3
+        assert_eq!(
+            cc.on_step(t(2), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_step(t(1), v(1), StepKind::Read), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn mvto_watermark_tracks_oldest_live_snapshot() {
+        let mut cc = MvtoCc::default();
+        cc.begin(t(0), 0); // ts 1
+        cc.begin(t(1), 0); // ts 2
+        assert_eq!(cc.gc_watermark(), 1);
+        assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        assert_eq!(cc.gc_watermark(), 2);
+        assert_eq!(cc.on_commit(t(1), 2), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // Nobody live: the watermark moves past every handed-out stamp, so
+        // every chain may collapse to its newest version.
+        assert_eq!(cc.gc_watermark(), 3);
+    }
+
+    #[test]
+    fn si_first_committer_wins_on_write_write_conflict() {
+        let mut cc = SiCc::default();
+        cc.begin(t(0), 0); // snapshot 0
+        cc.begin(t(1), 0); // snapshot 0
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // First committer won; the concurrent writer must abort.
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Abort);
+        cc.on_abort(t(0));
+        // A restart sees the fresh snapshot and succeeds.
+        cc.begin(t(0), 2);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 3), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn si_aborts_stale_writers_early() {
+        let mut cc = SiCc::default();
+        cc.begin(t(0), 0); // snapshot 0
+        cc.begin(t(1), 0);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // First-updater-wins: the write step itself observes the conflict.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+    }
+
+    #[test]
+    fn si_disjoint_writers_and_readers_commit_freely() {
+        let mut cc = SiCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        cc.begin(t(2), 0);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // The reader never conflicts with anyone under SI.
+        assert_eq!(cc.on_step(t(2), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(cc.on_step(t(2), v(1), StepKind::Read), CcDecision::Proceed);
+        for (i, tick) in [(0u32, 1u64), (1, 2), (2, 3)] {
+            assert_eq!(cc.on_commit(t(i), tick), CcDecision::Proceed);
+            cc.after_commit(t(i));
+        }
+        // Commit sequence advanced once per commit.
+        assert_eq!(cc.gc_watermark(), 3);
+    }
+
+    #[test]
+    fn mv_mechanisms_declare_their_storage_contract() {
+        for cc in [
+            Box::new(MvtoCc::default()) as Box<dyn ConcurrencyControl>,
+            Box::new(SiCc::default()),
+        ] {
+            assert!(cc.multiversion());
+            assert!(cc.defers_writes(), "{} must defer writes", cc.name());
+        }
+        assert!(!SgtCc::default().multiversion());
+        assert_eq!(SgtCc::default().gc_watermark(), u64::MAX);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::cc::{CcDecision, ConcurrencyControl};
 use crate::dense::SlotMap;
 use crate::metrics::Metrics;
+use crate::mvstore::MvStore;
 use crate::storage::Storage;
 use ccopt_model::ids::{StepId, TxnId, VarId};
 use ccopt_model::state::GlobalState;
@@ -51,10 +52,20 @@ struct RunTxn {
     next_step: u32,
     locals: Vec<Option<Value>>,
     undo: Vec<(VarId, Value)>,
-    /// Local write buffer, used when the CC defers writes (OCC).
+    /// Local write buffer, used when the CC defers writes (OCC, MVTO, SI).
     wbuf: WriteBuf,
     committed: bool,
     attempts: u32,
+    /// Wait outcomes over the transaction's whole lifetime (all attempts).
+    waits: u32,
+}
+
+/// The value store behind the engine: either the single-version store with
+/// undo logs, or the multi-version store addressed by snapshot (chosen by
+/// [`ConcurrencyControl::multiversion`] at construction).
+enum Store {
+    Single(Storage),
+    Multi(MvStore),
 }
 
 /// Outcome of attempting one step.
@@ -85,10 +96,13 @@ pub struct RunStats {
 /// An in-memory database executing one transaction system instance.
 pub struct Database {
     sys: TransactionSystem,
-    storage: Storage,
+    store: Store,
     cc: Box<dyn ConcurrencyControl>,
     txns: Vec<RunTxn>,
     tick: u64,
+    /// Last watermark the multi-version store was swept at (sweeps are
+    /// skipped until the CC reports a larger one).
+    gc_watermark: u64,
     /// Counters (public for the simulator).
     pub metrics: Metrics,
 }
@@ -103,6 +117,12 @@ impl Database {
         let format = sys.format();
         let num_vars = sys.syntax.num_vars();
         cc.prepare(format.len(), num_vars);
+        // Hard contract, checked where it is cheap: a violation would
+        // otherwise surface as a mid-run panic on the first write step.
+        assert!(
+            !cc.multiversion() || cc.defers_writes(),
+            "multi-version mechanisms must defer writes: chains hold committed data only"
+        );
         let txns = format
             .iter()
             .map(|&m| RunTxn {
@@ -112,14 +132,21 @@ impl Database {
                 wbuf: WriteBuf::with_capacity(num_vars),
                 committed: false,
                 attempts: 0,
+                waits: 0,
             })
             .collect();
+        let store = if cc.multiversion() {
+            Store::Multi(MvStore::new(init))
+        } else {
+            Store::Single(Storage::new(init))
+        };
         let mut db = Database {
             sys,
-            storage: Storage::new(init),
+            store,
             cc,
             txns,
             tick: 0,
+            gc_watermark: 0,
             metrics: Metrics::default(),
         };
         for i in 0..db.txns.len() {
@@ -134,9 +161,22 @@ impl Database {
         self.cc.name().to_string()
     }
 
-    /// Current global state.
+    /// Current committed global state (the newest version of every variable
+    /// when running multi-version).
     pub fn globals(&self) -> GlobalState {
-        self.storage.snapshot()
+        match &self.store {
+            Store::Single(s) => s.snapshot(),
+            Store::Multi(mv) => mv.snapshot_latest(),
+        }
+    }
+
+    /// Live version count of the multi-version store; `None` when running
+    /// over the single-version store.
+    pub fn live_versions(&self) -> Option<usize> {
+        match &self.store {
+            Store::Single(_) => None,
+            Store::Multi(mv) => Some(mv.live_versions()),
+        }
     }
 
     /// Has every transaction committed?
@@ -154,6 +194,11 @@ impl Database {
         self.txns[t.index()].attempts
     }
 
+    /// Wait outcomes of `t` across its whole lifetime (all attempts).
+    pub fn waits(&self, t: TxnId) -> u32 {
+        self.txns[t.index()].waits
+    }
+
     /// Attempt the next step of transaction `t`.
     pub fn step(&mut self, t: TxnId) -> StepOutcome {
         let ti = t.index();
@@ -169,9 +214,13 @@ impl Database {
         match self.cc.on_step(t, sx.var, sx.kind) {
             CcDecision::Wait => {
                 self.metrics.waits += 1;
+                self.txns[ti].waits += 1;
                 return StepOutcome::Waited;
             }
             CcDecision::Abort => {
+                if sx.kind.writes() && self.cc.multiversion() {
+                    self.metrics.mv_write_aborts += 1;
+                }
                 self.abort(t);
                 return StepOutcome::Aborted;
             }
@@ -179,32 +228,61 @@ impl Database {
         }
 
         // Execute: t_ij <- x ; x <- rho(t_i1..t_ij). With deferred writes
-        // (OCC), reads see the transaction's own buffered writes first and
-        // writes stay in the buffer until the commit-time write phase.
+        // (OCC, MVTO, SI), reads see the transaction's own buffered writes
+        // first and writes stay in the buffer until the commit-time write
+        // phase; multi-version reads then address the snapshot the CC
+        // assigned at begin.
         let deferred = self.cc.defers_writes();
-        let read = if deferred {
-            self.txns[ti]
+        let read = match &self.store {
+            Store::Multi(mv) => {
+                let view = self.cc.read_view(t);
+                self.txns[ti]
+                    .wbuf
+                    .get(sx.var)
+                    .unwrap_or_else(|| mv.read_at(sx.var, view))
+            }
+            Store::Single(s) if deferred => self.txns[ti]
                 .wbuf
                 .get(sx.var)
-                .unwrap_or_else(|| self.storage.get(sx.var))
-        } else {
-            self.storage.get(sx.var)
+                .unwrap_or_else(|| s.get(sx.var)),
+            Store::Single(s) => s.get(sx.var),
         };
         self.txns[ti].locals[j as usize] = Some(read);
-        let args: Vec<Value> = self.txns[ti].locals[..=j as usize]
-            .iter()
-            .map(|v| v.expect("locals filled in order"))
-            .collect();
-        let new_value = self
-            .sys
-            .interp
-            .apply(step_id, &args)
-            .expect("engine systems use total interpretations");
-        if deferred {
-            self.txns[ti].wbuf.insert(sx.var, new_value);
-        } else {
-            let prev = self.storage.set(sx.var, new_value);
-            self.txns[ti].undo.push((sx.var, prev));
+        // Only writes evaluate the step function and reach the store: a
+        // declared Read step's function is the identity on its variable
+        // (checked in debug builds), so storage is unchanged and evaluating
+        // it would be wasted work on the read hot path. (Writing the
+        // identity back used to create undo entries for *reads*, and an
+        // aborting reader would then restore a stale before-image over a
+        // concurrent writer's value — reads are invisible to lock tables
+        // and dirty tracking, so no mechanism guarded against it. On the
+        // multi-version path it would also install phantom versions.)
+        let interp = &self.sys.interp;
+        let eval_step = |locals: &[Option<Value>]| -> Value {
+            let args: Vec<Value> = locals[..=j as usize]
+                .iter()
+                .map(|v| v.expect("locals filled in order"))
+                .collect();
+            interp
+                .apply(step_id, &args)
+                .expect("engine systems use total interpretations")
+        };
+        if sx.kind.writes() {
+            let new_value = eval_step(&self.txns[ti].locals);
+            if deferred {
+                self.txns[ti].wbuf.insert(sx.var, new_value);
+            } else {
+                let Store::Single(storage) = &mut self.store else {
+                    unreachable!("multi-version mechanisms defer writes")
+                };
+                let prev = storage.set(sx.var, new_value);
+                self.txns[ti].undo.push((sx.var, prev));
+            }
+        } else if cfg!(debug_assertions) {
+            debug_assert!(
+                eval_step(&self.txns[ti].locals) == read,
+                "declared Read step {step_id:?} is not the identity on its variable"
+            );
         }
         self.txns[ti].next_step += 1;
         self.metrics.steps_executed += 1;
@@ -216,23 +294,53 @@ impl Database {
                 CcDecision::Proceed => {
                     // Write phase for deferred-write CCs: apply buffered
                     // values in touched order, draining the buffer in place.
+                    // The single-version store overwrites; the multi-version
+                    // store appends versions at the CC's commit timestamp
+                    // (`cts` is meaningless, and unused, on the single path).
                     let mut touched = std::mem::take(&mut self.txns[ti].wbuf.touched);
+                    let cts = self.cc.commit_view(t);
                     for &var in &touched {
                         let value = self.txns[ti]
                             .wbuf
                             .slots
                             .remove(var.index())
                             .expect("touched slots are filled");
-                        self.storage.set(var, value);
+                        match &mut self.store {
+                            Store::Single(storage) => {
+                                storage.set(var, value);
+                            }
+                            Store::Multi(mv) => {
+                                mv.install(var, cts, value);
+                                self.metrics.versions_installed += 1;
+                                // The gauge samples per-chain peaks exactly:
+                                // chains only ever grow at this install.
+                                self.metrics.max_chain_len =
+                                    self.metrics.max_chain_len.max(mv.chain_len(var));
+                            }
+                        }
                     }
                     touched.clear();
                     self.txns[ti].wbuf.touched = touched;
                     self.txns[ti].committed = true;
                     self.cc.after_commit(t);
                     self.metrics.commits += 1;
+                    // A snapshot retired: sweep the version store, but only
+                    // when the watermark actually advanced — with the same
+                    // watermark nothing new is reclaimable (fresh installs
+                    // all sit above it), so the scan would be wasted work.
+                    if let Store::Multi(mv) = &mut self.store {
+                        let watermark = self.cc.gc_watermark();
+                        if watermark > self.gc_watermark {
+                            self.metrics.versions_reclaimed += mv.gc(watermark);
+                            self.gc_watermark = watermark;
+                        }
+                    }
                     StepOutcome::Executed { committed: true }
                 }
                 CcDecision::Abort => {
+                    if self.cc.multiversion() {
+                        self.metrics.mv_write_aborts += 1;
+                    }
                     self.abort(t);
                     StepOutcome::Aborted
                 }
@@ -241,6 +349,7 @@ impl Database {
                     // roll the step back so it can retry cleanly.
                     self.rollback_last_step(t);
                     self.metrics.waits += 1;
+                    self.txns[ti].waits += 1;
                     StepOutcome::Waited
                 }
             }
@@ -249,21 +358,47 @@ impl Database {
         }
     }
 
+    /// Roll back the most recent executed step (used when a commit request
+    /// waits). Only the immediate-write path can reach this; a read step
+    /// left no storage effect, so only its program counter is rewound.
     fn rollback_last_step(&mut self, t: TxnId) {
-        let ti = t.index();
-        if let Some((var, prev)) = self.txns[ti].undo.pop() {
-            self.storage.set(var, prev);
-            self.txns[ti].next_step -= 1;
-            let j = self.txns[ti].next_step;
-            self.txns[ti].locals[j as usize] = None;
+        // No deferred-write mechanism (OCC, MVTO, SI) waits at commit. If
+        // one ever did, rewinding here would leave the buffered value in
+        // `wbuf` and the retried step would re-apply its function to its
+        // own output — so keep the no-op and pin the invariant instead.
+        if self.cc.defers_writes() {
+            debug_assert!(false, "deferred-write mechanism waited at commit");
+            return;
         }
+        let ti = t.index();
+        if self.txns[ti].next_step == 0 {
+            return;
+        }
+        self.txns[ti].next_step -= 1;
+        let j = self.txns[ti].next_step;
+        let sx = self.sys.syntax.step(StepId { txn: t, idx: j });
+        if sx.kind.writes() {
+            if let Some((var, prev)) = self.txns[ti].undo.pop() {
+                let Store::Single(storage) = &mut self.store else {
+                    unreachable!("undo entries only exist on the single-version path")
+                };
+                storage.set(var, prev);
+            }
+        }
+        self.txns[ti].locals[j as usize] = None;
     }
 
     /// Abort `t`: undo its writes, reset it, notify the CC, restart.
+    /// Deferred-write mechanisms (OCC, MVTO, SI) have nothing to undo —
+    /// their buffered writes are simply dropped.
     fn abort(&mut self, t: TxnId) {
         let ti = t.index();
         let undo = std::mem::take(&mut self.txns[ti].undo);
-        self.storage.undo(&undo);
+        if let Store::Single(storage) = &mut self.store {
+            storage.undo(&undo);
+        } else {
+            debug_assert!(undo.is_empty(), "multi-version runs never log undo");
+        }
         self.txns[ti].wbuf.clear();
         self.txns[ti].next_step = 0;
         self.txns[ti].locals.iter_mut().for_each(|l| *l = None);
@@ -319,12 +454,16 @@ impl Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cc::{OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+    use crate::cc::{MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc};
     use ccopt_model::exec::Executor;
     use ccopt_model::ids::VarId;
     use ccopt_model::systems;
     use ccopt_schedule::schedule::permutations;
 
+    // SI rides along here because on these systems every concurrent pair
+    // has overlapping write sets, where first-committer-wins degenerates to
+    // serializable behavior; the write-skew boundary it actually admits is
+    // pinned by `tests/mv_anomalies.rs`.
     fn all_ccs() -> Vec<Box<dyn ConcurrencyControl>> {
         vec![
             Box::new(SerialCc::default()),
@@ -332,6 +471,8 @@ mod tests {
             Box::new(SgtCc::default()),
             Box::new(TimestampCc::default()),
             Box::new(OccCc::default()),
+            Box::new(MvtoCc::default()),
+            Box::new(SiCc::default()),
         ]
     }
 
@@ -439,6 +580,115 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// A reader/writer pair for snapshot tests: T1 reads x and y and writes
+    /// their sum to z; T2 increments x then y.
+    fn snapshot_pair() -> TransactionSystem {
+        use ccopt_model::expr::Expr;
+        use ccopt_model::ic::TrueIc;
+        use ccopt_model::interp::ExprInterpretation;
+        use ccopt_model::syntax::SyntaxBuilder;
+        use ccopt_model::system::StateSpace;
+        use std::sync::Arc;
+        let syn = SyntaxBuilder::new()
+            .vars(["x", "y", "z"])
+            .txn("reader", |t| t.read("x").read("y").write("z"))
+            .txn("writer", |t| t.update("x").update("y"))
+            .build();
+        let interp = ExprInterpretation::new(vec![
+            vec![
+                Expr::Local(0),
+                Expr::Local(1),
+                Expr::add(Expr::Local(0), Expr::Local(1)),
+            ],
+            vec![
+                Expr::add(Expr::Local(0), Expr::Const(1)),
+                Expr::add(Expr::Local(1), Expr::Const(1)),
+            ],
+        ]);
+        TransactionSystem::new(
+            "snapshot-pair",
+            syn,
+            Arc::new(interp),
+            Arc::new(TrueIc),
+            StateSpace::from_ints(&[&[10, 20, 0]]),
+        )
+    }
+
+    #[test]
+    fn mvto_snapshot_reads_see_begin_time_state() {
+        // The writer commits *between* the reader's two reads; the reader
+        // still observes the begin-time snapshot of both variables, never
+        // waits, never aborts, and its committed sum pins the old values.
+        let sys = snapshot_pair();
+        let init = sys.space.initial_states[0].clone();
+        let mut db = Database::new(sys, Box::new(MvtoCc::default()), init);
+        let reader = TxnId(0);
+        let writer = TxnId(1);
+        assert_eq!(db.step(reader), StepOutcome::Executed { committed: false }); // r(x) = 10
+        assert_eq!(db.step(writer), StepOutcome::Executed { committed: false }); // x += 1
+        assert_eq!(db.step(writer), StepOutcome::Executed { committed: true }); // y += 1, commit
+        assert_eq!(db.step(reader), StepOutcome::Executed { committed: false }); // r(y) = 20, not 21
+        assert_eq!(db.step(reader), StepOutcome::Executed { committed: true }); // z <- 30
+        let fin = db.globals();
+        assert_eq!(fin, GlobalState::from_ints(&[11, 21, 30]));
+        assert_eq!(db.attempts(reader), 1);
+        assert_eq!(db.waits(reader), 0);
+        assert_eq!(db.metrics.aborts, 0);
+        assert_eq!(db.metrics.waits, 0);
+    }
+
+    #[test]
+    fn single_version_mechanisms_cannot_run_that_interleaving_wait_free() {
+        // The same interleaving under strict 2PL: the writer blocks on the
+        // reader's lock — the contrast the multi-version store removes.
+        let sys = snapshot_pair();
+        let init = sys.space.initial_states[0].clone();
+        let mut db = Database::new(sys, Box::new(Strict2plCc::default()), init);
+        assert_eq!(
+            db.step(TxnId(0)),
+            StepOutcome::Executed { committed: false }
+        );
+        assert_eq!(db.step(TxnId(1)), StepOutcome::Waited);
+        assert!(db.waits(TxnId(1)) > 0);
+    }
+
+    #[test]
+    fn mv_gc_collapses_chains_after_quiescence() {
+        let sys = systems::hotspot(4, 3);
+        let ids: Vec<TxnId> = (0..4u32).map(TxnId).collect();
+        let init = GlobalState::from_ints(&[0]);
+        let mut db = Database::new(sys, Box::new(MvtoCc::default()), init);
+        db.run_round_robin(&ids, 10_000).expect("completes");
+        assert_eq!(db.globals().get(VarId(0)), Some(Value::Int(12)));
+        // Every committed writer installed a version; with no snapshot left
+        // alive the watermark reclaimed all history down to one version.
+        assert_eq!(db.metrics.versions_installed, 4);
+        assert_eq!(db.metrics.versions_reclaimed, 4);
+        assert_eq!(db.live_versions(), Some(1));
+        assert!(db.metrics.max_chain_len >= 2);
+        // Single-version runs report no version store.
+        let sys = systems::hotspot(2, 1);
+        let db = Database::new(
+            sys,
+            Box::new(SerialCc::default()),
+            GlobalState::from_ints(&[0]),
+        );
+        assert_eq!(db.live_versions(), None);
+    }
+
+    #[test]
+    fn si_counts_write_write_aborts() {
+        let sys = systems::hotspot(3, 2);
+        let ids: Vec<TxnId> = (0..3u32).map(TxnId).collect();
+        let mut db = Database::new(sys, Box::new(SiCc::default()), GlobalState::from_ints(&[0]));
+        db.run_round_robin(&ids, 10_000).expect("completes");
+        // First-committer-wins forces the concurrent updaters to retry; the
+        // hotspot increments still all land.
+        assert_eq!(db.globals().get(VarId(0)), Some(Value::Int(6)));
+        assert!(db.metrics.mv_write_aborts > 0);
+        assert!(db.metrics.mv_write_aborts <= db.metrics.aborts);
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //!
 //! * [`dense`] — dense index-keyed tables (bitsets, epoch-cleared sets,
 //!   slot maps) backing the O(1) CC hot path;
-//! * [`storage`] — the value store with undo support;
+//! * [`storage`] — the single-version value store with undo support;
+//! * [`mvstore`] — the multi-version value store: per-variable version
+//!   chains with watermark-driven garbage collection;
 //! * [`cc`] — the [`ConcurrencyControl`] trait and
 //!   its implementations: global-token serial execution, strict 2PL with
 //!   deadlock-cycle victim abort, SGT (abort on serialization-graph cycle),
-//!   timestamp ordering (abort on late conflict), and OCC with backward
-//!   validation;
+//!   timestamp ordering (abort on late conflict), OCC with backward
+//!   validation, MVTO (multi-version timestamp ordering: snapshot reads,
+//!   late writes abort, accesses wait on older pending writers), and
+//!   snapshot isolation (first-committer-wins write validation);
 //! * [`db`] — the [`Database`]: step execution, commit,
 //!   rollback, restart, and a round-robin driver;
 //! * [`metrics`] — commit/abort/wait counters shared by the simulator.
@@ -23,8 +27,10 @@ pub mod cc;
 pub mod db;
 pub mod dense;
 pub mod metrics;
+pub mod mvstore;
 pub mod storage;
 
 pub use cc::{CcDecision, ConcurrencyControl};
 pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
+pub use mvstore::MvStore;

@@ -12,6 +12,20 @@ pub struct Metrics {
     pub aborts: usize,
     /// Transaction commits.
     pub commits: usize,
+    /// Aborts of multi-version *writers* at validation: the write could no
+    /// longer be installed at the transaction's timestamp — under MVTO
+    /// because a newer committed version exists (write-write) or a younger
+    /// snapshot already observed the superseded version (read-write);
+    /// under SI always a first-committer-wins write-write loss. A subset
+    /// of `aborts`; always 0 for single-version mechanisms.
+    pub mv_write_aborts: usize,
+    /// Versions installed into the multi-version store (0 outside MV runs).
+    pub versions_installed: usize,
+    /// Versions reclaimed by the GC watermark (0 outside MV runs).
+    pub versions_reclaimed: usize,
+    /// Longest version chain observed across the run (gauge; 0 outside MV
+    /// runs).
+    pub max_chain_len: usize,
 }
 
 impl Metrics {
@@ -52,6 +66,7 @@ mod tests {
             waits: 2,
             aborts: 1,
             commits: 4,
+            ..Metrics::default()
         };
         assert!((m.abort_rate() - 0.25).abs() < 1e-12);
         assert!((m.wait_rate() - 0.2).abs() < 1e-12);

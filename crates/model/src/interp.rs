@@ -132,8 +132,13 @@ impl ExprInterpretation {
             .and_then(|t| t.get(site.idx as usize))
     }
 
-    /// Validate against a syntax: one expression per step, and step `j` only
-    /// reads locals `t_1..t_j`.
+    /// Validate against a syntax: one expression per step; step `j` only
+    /// reads locals `t_1..t_j`; and the declared step kinds hold — a
+    /// [`StepKind::Read`] expression is the identity on `t_j`, and a
+    /// [`StepKind::Write`] expression does not reference its own read
+    /// `t_j`. The engine relies on the kind contract (reads leave storage
+    /// untouched, writes install independent values), so violating it
+    /// would silently diverge from the executor semantics.
     pub fn validate(&self, syntax: &Syntax) -> Result<(), String> {
         if self.exprs.len() != syntax.num_txns() {
             return Err(format!(
@@ -151,7 +156,7 @@ impl ExprInterpretation {
                     es.len()
                 ));
             }
-            for (j, e) in es.iter().enumerate() {
+            for (j, (e, s)) in es.iter().zip(&t.steps).enumerate() {
                 if let Some(k) = e.max_local() {
                     if k > j {
                         return Err(format!(
@@ -161,6 +166,22 @@ impl ExprInterpretation {
                             k + 1
                         ));
                     }
+                    if s.kind == StepKind::Write && k == j {
+                        return Err(format!(
+                            "expression of T{},{} is declared Write but depends on its own read t{}",
+                            i + 1,
+                            j + 1,
+                            j + 1
+                        ));
+                    }
+                }
+                if s.kind == StepKind::Read && *e != Expr::Local(j) {
+                    return Err(format!(
+                        "expression of T{},{} is declared Read but is not the identity t{}",
+                        i + 1,
+                        j + 1,
+                        j + 1
+                    ));
                 }
             }
         }
@@ -324,6 +345,28 @@ mod tests {
         assert!(bad.validate(&syn).is_err());
         let wrong_arity = ExprInterpretation::new(vec![vec![Expr::Local(0)]]);
         assert!(wrong_arity.validate(&syn).is_err());
+    }
+
+    #[test]
+    fn validate_enforces_declared_step_kinds() {
+        let syn = SyntaxBuilder::new()
+            .txn("T1", |t| t.read("x").write("y"))
+            .build();
+        let good = ExprInterpretation::new(vec![vec![Expr::Local(0), Expr::Local(0)]]);
+        assert!(good.validate(&syn).is_ok());
+        // A declared Read whose expression is not the identity observes
+        // nothing it may observe — and would silently diverge from the
+        // engine, which leaves storage untouched for reads.
+        let fake_read = ExprInterpretation::new(vec![vec![
+            Expr::add(Expr::Local(0), Expr::Const(1)),
+            Expr::Local(0),
+        ]]);
+        assert!(fake_read.validate(&syn).is_err());
+        // A declared Write that depends on its own read t_j is really an
+        // update: under blind-write scheduling (MVTO/SI install order) it
+        // could commit non-serializable states.
+        let fake_write = ExprInterpretation::new(vec![vec![Expr::Local(0), Expr::Local(1)]]);
+        assert!(fake_write.validate(&syn).is_err());
     }
 
     #[test]

@@ -80,6 +80,11 @@ pub struct SimResult {
     pub scheduling: Summary,
     /// Total aborts across batches.
     pub aborts: usize,
+    /// Aborts charged to multi-version write-write validation (subset of
+    /// `aborts`; 0 for single-version mechanisms).
+    pub mv_write_aborts: usize,
+    /// Total wait outcomes across batches (steps that had to poll).
+    pub waits: usize,
     /// Total commits across batches.
     pub commits: usize,
 }
@@ -114,6 +119,8 @@ struct BatchOut {
     waiting: Vec<f64>,
     scheduling: Vec<f64>,
     aborts: usize,
+    mv_write_aborts: usize,
+    waits: usize,
     commits: usize,
 }
 
@@ -154,6 +161,8 @@ fn run_batch(
         waiting: Vec::with_capacity(n),
         scheduling: Vec::with_capacity(n),
         aborts: 0,
+        mv_write_aborts: 0,
+        waits: 0,
         commits: 0,
     };
     let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
@@ -210,6 +219,8 @@ fn run_batch(
         }
     }
     out.aborts = db.metrics.aborts;
+    out.mv_write_aborts = db.metrics.mv_write_aborts;
+    out.waits = db.metrics.waits;
     out.commits = db.metrics.commits;
     out
 }
@@ -237,6 +248,8 @@ pub fn simulate_engine(
     let mut scheduling = Vec::new();
     let mut total_time = 0.0f64;
     let mut aborts = 0usize;
+    let mut mv_write_aborts = 0usize;
+    let mut waits = 0usize;
     let mut commits = 0usize;
     for out in outs {
         response.extend(out.response);
@@ -244,6 +257,8 @@ pub fn simulate_engine(
         scheduling.extend(out.scheduling);
         total_time += out.clock.max(1e-9);
         aborts += out.aborts;
+        mv_write_aborts += out.mv_write_aborts;
+        waits += out.waits;
         commits += out.commits;
     }
 
@@ -254,6 +269,8 @@ pub fn simulate_engine(
         waiting: Summary::of(&waiting),
         scheduling: Summary::of(&scheduling),
         aborts,
+        mv_write_aborts,
+        waits,
         commits,
     }
 }
@@ -370,6 +387,31 @@ mod tests {
                     "{label} seed {seed}: throughput must match bit-for-bit"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn multiversion_mechanisms_run_through_the_simulator() {
+        use ccopt_engine::cc::{MvtoCc, SiCc};
+        for (label, sys) in [
+            ("fig3", systems::fig3_pair()),
+            ("banking", systems::banking()),
+        ] {
+            let cfg = quick_cfg();
+            let mvto = simulate_engine(&sys, &|| Box::new(MvtoCc::default()), &cfg);
+            assert_eq!(mvto.commits, sys.num_txns() * cfg.batches, "{label}");
+            assert_eq!(mvto.cc_name, "MVTO");
+            let si = simulate_engine(&sys, &|| Box::new(SiCc::default()), &cfg);
+            assert_eq!(si.commits, sys.num_txns() * cfg.batches, "{label}");
+            assert_eq!(si.cc_name, "SI");
+            // The parallel path stays bit-identical for the MV family too.
+            let seq = SimConfig {
+                parallel: false,
+                ..cfg
+            };
+            let mvto_seq = simulate_engine(&sys, &|| Box::new(MvtoCc::default()), &seq);
+            assert_eq!(mvto.response, mvto_seq.response, "{label}");
+            assert_eq!(mvto.aborts, mvto_seq.aborts, "{label}");
         }
     }
 

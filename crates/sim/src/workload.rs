@@ -1,8 +1,15 @@
 //! Parameterized workload families for the experiments.
 
+use ccopt_model::expr::Expr;
+use ccopt_model::ic::TrueIc;
+use ccopt_model::interp::ExprInterpretation;
 use ccopt_model::random::{random_system, RandomConfig};
-use ccopt_model::system::TransactionSystem;
+use ccopt_model::syntax::SyntaxBuilder;
+use ccopt_model::system::{StateSpace, TransactionSystem};
 use ccopt_model::systems;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A named workload family generating systems per seed.
 #[derive(Clone, Debug)]
@@ -39,8 +46,84 @@ pub enum Workload {
         /// Fraction of read steps.
         reads: f64,
     },
+    /// A few many-step read-only transactions scanning the variables over a
+    /// write-heavy background of short updaters. The readers come first
+    /// (transaction ids `0..readers`), so multi-version mechanisms give
+    /// them the oldest snapshots: this is the workload where the
+    /// multi-version vs. single-version gap is widest — MVTO readers finish
+    /// with zero waits and zero aborts while 2PL blocks them behind writer
+    /// locks and T/O aborts them on late conflicts.
+    LongReaders {
+        /// Number of read-only transactions (ids `0..readers`).
+        readers: usize,
+        /// Read steps per reader (its scan length).
+        read_steps: usize,
+        /// Number of background updater transactions.
+        writers: usize,
+        /// Update steps per writer.
+        write_steps: usize,
+        /// Number of variables. Each reader strides across the set (full
+        /// coverage when `read_steps >= vars`); each writer draws a random
+        /// `write_steps`-sized footprint from it.
+        vars: usize,
+    },
     /// The Section 2 banking example (fixed, seed-independent).
     Banking,
+}
+
+/// Build the `LongReaders` system: deterministic reader scans over the
+/// variable set, seeded random updater footprints with affine step
+/// functions.
+fn long_readers_system(
+    readers: usize,
+    read_steps: usize,
+    writers: usize,
+    write_steps: usize,
+    vars: usize,
+    seed: u64,
+) -> TransactionSystem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = SyntaxBuilder::new().vars((0..vars).map(|i| format!("v{i}")));
+    let mut exprs: Vec<Vec<Expr>> = Vec::with_capacity(readers + writers);
+    for r in 0..readers {
+        b = b.txn(&format!("R{}", r + 1), |mut t| {
+            for j in 0..read_steps {
+                // Stride the scan so every reader covers the whole set.
+                t = t.read(&format!("v{}", (r + j) % vars));
+            }
+            t
+        });
+        exprs.push((0..read_steps).map(Expr::Local).collect());
+    }
+    for w in 0..writers {
+        let footprint: Vec<usize> = (0..write_steps).map(|_| rng.gen_range(0..vars)).collect();
+        b = b.txn(&format!("W{}", w + 1), |mut t| {
+            for &v in &footprint {
+                t = t.update(&format!("v{v}"));
+            }
+            t
+        });
+        exprs.push(
+            (0..write_steps)
+                .map(|j| {
+                    let a = [1i64, 1, 2, -1][rng.gen_range(0..4usize)];
+                    let c = rng.gen_range(-2..=2);
+                    Expr::add(Expr::mul(Expr::Const(a), Expr::Local(j)), Expr::Const(c))
+                })
+                .collect(),
+        );
+    }
+    let syntax = b.build();
+    let interp = ExprInterpretation::new(exprs);
+    debug_assert!(interp.validate(&syntax).is_ok());
+    let init: Vec<i64> = vec![0; vars];
+    TransactionSystem::new(
+        &format!("long-readers-{seed}"),
+        syntax,
+        Arc::new(interp),
+        Arc::new(TrueIc),
+        StateSpace::from_ints(&[&init]),
+    )
 }
 
 impl Workload {
@@ -93,6 +176,13 @@ impl Workload {
                 },
                 seed,
             ),
+            Workload::LongReaders {
+                readers,
+                read_steps,
+                writers,
+                write_steps,
+                vars,
+            } => long_readers_system(readers, read_steps, writers, write_steps, vars, seed),
             Workload::Banking => systems::banking(),
         }
     }
@@ -116,6 +206,15 @@ impl Workload {
                 reads,
             } => {
                 format!("readmostly(n={n},s={steps},v={vars},r={reads})")
+            }
+            Workload::LongReaders {
+                readers,
+                read_steps,
+                writers,
+                write_steps,
+                vars,
+            } => {
+                format!("long_readers(r={readers}x{read_steps},w={writers}x{write_steps},v={vars})")
             }
             Workload::Banking => "banking".to_string(),
         }
@@ -172,6 +271,40 @@ mod tests {
             .filter(|s| s.kind == ccopt_model::syntax::StepKind::Read)
             .count();
         assert!(reads > 0);
+    }
+
+    #[test]
+    fn long_readers_shape_is_readers_then_writers() {
+        let w = Workload::LongReaders {
+            readers: 2,
+            read_steps: 6,
+            writers: 3,
+            write_steps: 2,
+            vars: 4,
+        };
+        let sys = w.instantiate(9);
+        assert_eq!(sys.num_txns(), 5);
+        // Readers first: ids 0..2 are pure reads covering the variable set.
+        for t in &sys.syntax.transactions[..2] {
+            assert!(t
+                .steps
+                .iter()
+                .all(|s| s.kind == ccopt_model::syntax::StepKind::Read));
+            assert_eq!(t.accessed_vars().len(), 4);
+        }
+        // Writers after: pure updates.
+        for t in &sys.syntax.transactions[2..] {
+            assert!(t
+                .steps
+                .iter()
+                .all(|s| s.kind == ccopt_model::syntax::StepKind::Update));
+        }
+        // Deterministic in the seed.
+        assert_eq!(w.instantiate(9).syntax, sys.syntax);
+        // Executable.
+        ccopt_model::exec::Executor::new(&sys)
+            .verify_basic_assumption()
+            .unwrap();
     }
 
     #[test]

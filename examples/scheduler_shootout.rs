@@ -7,7 +7,9 @@
 //! ```
 
 use ccopt::core::fixpoint::fixpoint_ratio;
-use ccopt::engine::cc::{ConcurrencyControl, OccCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+use ccopt::engine::cc::{
+    ConcurrencyControl, MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc,
+};
 use ccopt::model::systems;
 use ccopt::schedulers::suite::with_weak;
 use ccopt::sim::engine_sim::{simulate_engine, SimConfig};
@@ -42,6 +44,8 @@ fn main() {
         ("T/O", Box::new(|| Box::new(TimestampCc::default()) as _)),
         ("OCC", Box::new(|| Box::new(OccCc::default()) as _)),
         ("SGT", Box::new(|| Box::new(SgtCc::default()) as _)),
+        ("MVTO", Box::new(|| Box::new(MvtoCc::default()) as _)),
+        ("SI", Box::new(|| Box::new(SiCc::default()) as _)),
     ];
     let mut t = Table::new(
         "engine simulation on hotspot(4 txns x 2 steps)",
