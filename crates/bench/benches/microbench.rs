@@ -104,21 +104,23 @@ fn bench_cc_hot_path(c: &mut Criterion) {
                     if *label == "serial" {
                         for t in 0..n {
                             for j in 0..STEPS {
-                                cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
+                                let _ =
+                                    cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
                                 tick += 1;
                             }
-                            cc.on_commit(TxnId(t), tick);
+                            let _ = cc.on_commit(TxnId(t), tick);
                             cc.after_commit(TxnId(t));
                         }
                     } else {
                         for j in 0..STEPS {
                             for t in 0..n {
-                                cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
+                                let _ =
+                                    cc.on_step(TxnId(t), VarId(t * STEPS + j), StepKind::Update);
                                 tick += 1;
                             }
                         }
                         for t in 0..n {
-                            cc.on_commit(TxnId(t), tick);
+                            let _ = cc.on_commit(TxnId(t), tick);
                             cc.after_commit(TxnId(t));
                             tick += 1;
                         }

@@ -2,20 +2,29 @@
 //! throughput`.
 //!
 //! Runs every concurrency-control mechanism (all seven: the five
-//! single-version ones plus MVTO and SI) against a fixed grid of
-//! workloads, sweeping several workload seeds per cell, and emits both an
-//! aligned table on stdout and `BENCH_engine.json` next to the bench
+//! single-version ones plus MVTO and SI) against two grids and emits both
+//! aligned tables on stdout and `BENCH_engine.json` next to the bench
 //! crate's manifest — a machine-readable perf trajectory for future PRs to
-//! beat. Abort and wait counts ride alongside throughput so mechanism
-//! trade-offs (blocking vs. restarting vs. versioning) stay visible. All
-//! simulated statistics are deterministic in the config; only the
-//! wall-clock fields vary run to run.
+//! beat:
 //!
-//! `--quick` shrinks batches for smoke runs (CI); the JSON schema is
-//! unchanged.
+//! * the **closed-world** grid (schema `results`): the paper's fixed
+//!   transaction systems, swept over several workload seeds per cell;
+//! * the **open-world** grid (schema `open_world`): arrival-driven session
+//!   streams over recycled slots — throughput, the latency distribution
+//!   (mean/p50/p95), abort rate, and the boundedness gauges (peak slots,
+//!   peak live versions).
+//!
+//! Abort and wait counts ride alongside throughput so mechanism trade-offs
+//! (blocking vs. restarting vs. versioning) stay visible. All simulated
+//! statistics are deterministic in the config; only the wall-clock fields
+//! vary run to run.
+//!
+//! `--quick` shrinks batches and stream lengths for smoke runs (CI); the
+//! JSON schema is unchanged.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
+use ccopt_sim::open_sim::{simulate_open, OpenSimConfig, OpenSimResult};
 use ccopt_sim::report::{f3, Table};
 use ccopt_sim::workload::Workload;
 use std::time::Instant;
@@ -65,6 +74,89 @@ fn workloads() -> Vec<Workload> {
         },
         Workload::Banking,
     ]
+}
+
+/// One open-world grid cell.
+struct OpenCell {
+    workload: String,
+    cc: String,
+    committed: usize,
+    aborts: usize,
+    waits: usize,
+    mv_write_aborts: usize,
+    throughput: f64,
+    latency_mean: f64,
+    latency_p50: f64,
+    latency_p95: f64,
+    abort_rate: f64,
+    peak_slots: usize,
+    peak_live_versions: usize,
+    versions_reclaimed: usize,
+    wall_ms: f64,
+}
+
+/// The open-world grid: (label, config). Stream lengths are many times the
+/// terminal count, so every cell exercises slot recycling and version GC.
+fn open_workloads(quick: bool) -> Vec<(String, OpenSimConfig)> {
+    let total = if quick { 160 } else { 640 };
+    let base = OpenSimConfig {
+        terminals: 8,
+        total_txns: total,
+        seed: 0xC0FFEE,
+        ..OpenSimConfig::default()
+    };
+    vec![
+        (
+            format!("open_uniform(k=8,v=32,n={total})"),
+            OpenSimConfig {
+                vars: 32,
+                read_fraction: 0.5,
+                hot_fraction: 0.1,
+                ..base
+            },
+        ),
+        (
+            format!("open_hotspot(k=8,v=16,h=0.6,n={total})"),
+            OpenSimConfig {
+                vars: 16,
+                read_fraction: 0.3,
+                hot_fraction: 0.6,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn open_grid(quick: bool) -> Vec<OpenCell> {
+    let mut cells = Vec::new();
+    for (label, ocfg) in open_workloads(quick) {
+        for (name, mk) in cc_factories() {
+            let wall = Instant::now();
+            let r: OpenSimResult = simulate_open(mk.as_ref(), &ocfg);
+            assert_eq!(
+                r.committed, ocfg.total_txns,
+                "{name} did not serve the whole {label} stream"
+            );
+            cells.push(OpenCell {
+                workload: label.clone(),
+                cc: name.to_string(),
+                committed: r.committed,
+                aborts: r.aborts,
+                waits: r.waits,
+                mv_write_aborts: r.mv_write_aborts,
+                throughput: r.throughput,
+                latency_mean: r.latency.mean,
+                latency_p50: r.latency.p50,
+                latency_p95: r.latency.p95,
+                abort_rate: r.abort_rate,
+                peak_slots: r.peak_slots,
+                peak_live_versions: r.peak_live_versions,
+                versions_reclaimed: r.versions_reclaimed,
+                wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    cells
 }
 
 fn main() {
@@ -147,16 +239,52 @@ fn main() {
     }
     println!("{table}");
 
+    let open_cells = open_grid(quick);
+    let mut open_table = Table::new(
+        "open-world session streams (per CC x workload)",
+        &[
+            "workload",
+            "cc",
+            "commits",
+            "aborts",
+            "waits",
+            "thru",
+            "lat-mean",
+            "lat-p95",
+            "abort-rate",
+            "peak-slots",
+            "peak-vers",
+            "wall-ms",
+        ],
+    );
+    for c in &open_cells {
+        open_table.row(&[
+            c.workload.clone(),
+            c.cc.clone(),
+            c.committed.to_string(),
+            c.aborts.to_string(),
+            c.waits.to_string(),
+            f3(c.throughput),
+            f3(c.latency_mean),
+            f3(c.latency_p95),
+            f3(c.abort_rate),
+            c.peak_slots.to_string(),
+            c.peak_live_versions.to_string(),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    println!("{open_table}");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
-    std::fs::write(path, to_json(&cfg, &cells)).expect("write BENCH_engine.json");
+    std::fs::write(path, to_json(&cfg, &cells, &open_cells)).expect("write BENCH_engine.json");
     println!("wrote {path}");
 }
 
 /// Hand-rolled JSON (no serde in the dependency-free build environment).
-fn to_json(cfg: &SimConfig, cells: &[Cell]) -> String {
+fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v2\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v3\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}}},\n",
         cfg.batches,
@@ -184,6 +312,29 @@ fn to_json(cfg: &SimConfig, cells: &[Cell]) -> String {
             c.wall_ms,
             c.commits_per_sec,
             if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"open_world\": [\n");
+    for (i, c) in open_cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"versions_reclaimed\": {}, \"wall_ms\": {:.3}}}{}\n",
+            c.workload,
+            c.cc,
+            c.committed,
+            c.aborts,
+            c.waits,
+            c.mv_write_aborts,
+            c.throughput,
+            c.latency_mean,
+            c.latency_p50,
+            c.latency_p95,
+            c.abort_rate,
+            c.peak_slots,
+            c.peak_live_versions,
+            c.versions_reclaimed,
+            c.wall_ms,
+            if i + 1 == open_cells.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");

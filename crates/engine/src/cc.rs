@@ -12,12 +12,13 @@
 //! every table for a known `(num_txns, num_vars)`; without it the tables
 //! grow on demand, so bare `Default` construction keeps working.
 
-use crate::dense::{DenseBitSet, EpochBitSet, SlotMap};
+use crate::dense::{ensure_index, DenseBitSet, EpochBitSet, SlotMap};
 use ccopt_model::ids::{TxnId, VarId};
 use ccopt_model::syntax::StepKind;
 use std::collections::VecDeque;
 
 /// Decision for a step or commit request.
+#[must_use = "a CC decision not acted on silently drops waits and aborts"]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CcDecision {
     /// Execute now.
@@ -96,13 +97,20 @@ pub trait ConcurrencyControl {
     fn gc_watermark(&self) -> u64 {
         u64::MAX
     }
-}
 
-/// Grow a per-index `Vec` of default values up to index `i`.
-#[inline]
-fn ensure_index<T: Default>(v: &mut Vec<T>, i: usize) {
-    if v.len() <= i {
-        v.resize_with(i + 1, T::default);
+    /// The dense slot of `t` is being retired so a *different, future*
+    /// transaction can recycle it (the open-world session lifecycle;
+    /// [`after_commit`](Self::after_commit) or [`on_abort`](Self::on_abort)
+    /// has already run). Returns `true` when the mechanism has forgotten
+    /// every trace of `t` and the slot may be reused immediately; `false`
+    /// defers the retirement — the caller must retry later, after other
+    /// transactions finish. The default covers every mechanism whose
+    /// per-transaction state is already cleared at commit/abort; SGT
+    /// overrides it because committed transactions stay in its conflict
+    /// graph until no future cycle can pass through them.
+    fn retire(&mut self, t: TxnId) -> bool {
+        let _ = t;
+        true
     }
 }
 
@@ -295,7 +303,12 @@ pub struct SgtCc {
     touched: Vec<Vec<VarId>>,
     /// Adjacency rows: `out[u]` holds the successors of `u`.
     out: Vec<DenseBitSet>,
-    /// Live transactions (cleared on abort; kept on commit).
+    /// In-degree per transaction, kept in lockstep with the `out` rows.
+    /// Retirement reads it: a committed transaction acquires no new
+    /// in-edges, so in-degree 0 means no future cycle can pass through it.
+    in_deg: Vec<u32>,
+    /// Live (uncommitted) transactions; cleared on both commit and abort.
+    /// Retirement relies on finished transactions being absent here.
     live: DenseBitSet,
     /// Last uncommitted writer per variable.
     dirty: SlotMap<TxnId>,
@@ -349,6 +362,7 @@ impl ConcurrencyControl for SgtCc {
             self.out
                 .resize_with(num_txns, || DenseBitSet::with_capacity(num_txns));
         }
+        ensure_index(&mut self.in_deg, num_txns.saturating_sub(1));
         self.dirty.reserve_slots(num_vars);
         self.waits.reserve_slots(num_txns);
     }
@@ -386,10 +400,13 @@ impl ConcurrencyControl for SgtCc {
                 return CcDecision::Abort;
             }
             ensure_index(&mut self.out, t.index());
+            ensure_index(&mut self.in_deg, t.index());
             for i in 0..self.src_list.len() {
                 let u = self.src_list[i] as usize;
                 ensure_index(&mut self.out, u);
-                self.out[u].insert(t.index());
+                if self.out[u].insert(t.index()) {
+                    self.in_deg[t.index()] += 1;
+                }
             }
         }
         self.log[var.index()].push((t, kind));
@@ -433,10 +450,16 @@ impl ConcurrencyControl for SgtCc {
             }
         }
         if let Some(row) = self.out.get_mut(t.index()) {
+            for v in row.ones() {
+                self.in_deg[v] -= 1;
+            }
             row.clear();
         }
         for row in &mut self.out {
             row.remove(t.index());
+        }
+        if let Some(d) = self.in_deg.get_mut(t.index()) {
+            *d = 0;
         }
         self.waits.remove(t.index());
         self.waits.retain(|_, h| *h != t);
@@ -444,6 +467,34 @@ impl ConcurrencyControl for SgtCc {
 
     fn name(&self) -> &str {
         "SGT"
+    }
+
+    fn retire(&mut self, t: TxnId) -> bool {
+        debug_assert!(!self.live.contains(t.index()), "retiring a live txn");
+        // In-edges of a finished transaction are frozen (it makes no more
+        // accesses), so in-degree 0 means no future cycle can pass through
+        // it — only then is dropping it from the graph and the access logs
+        // sound. Its remaining out-edges could only sit on a cycle through
+        // itself, so they go too, possibly unblocking deferred retirements
+        // downstream (the caller retries those).
+        if self.in_deg.get(t.index()).copied().unwrap_or(0) != 0 {
+            return false;
+        }
+        if let Some(vars) = self.touched.get_mut(t.index()) {
+            let vars = std::mem::take(vars);
+            for &v in &vars {
+                if let Some(log) = self.log.get_mut(v.index()) {
+                    log.retain(|&(u, _)| u != t);
+                }
+            }
+        }
+        if let Some(row) = self.out.get_mut(t.index()) {
+            for v in row.ones() {
+                self.in_deg[v] -= 1;
+            }
+            row.clear();
+        }
+        true
     }
 }
 
@@ -1221,8 +1272,14 @@ mod tests {
         let mut cc = OccCc::default();
         cc.begin(t(0), 0);
         cc.begin(t(1), 0);
-        cc.on_step(t(0), v(0), StepKind::Update);
-        cc.on_step(t(1), v(1), StepKind::Update);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
         assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
         cc.after_commit(t(1));
         assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
@@ -1235,7 +1292,10 @@ mod tests {
         // between leaves nothing to validate against.
         for round in 0..100u64 {
             cc.begin(t(0), round * 2);
-            cc.on_step(t(0), v(0), StepKind::Update);
+            assert_eq!(
+                cc.on_step(t(0), v(0), StepKind::Update),
+                CcDecision::Proceed
+            );
             assert_eq!(cc.on_commit(t(0), round * 2 + 1), CcDecision::Proceed);
             cc.after_commit(t(0));
         }
@@ -1245,10 +1305,13 @@ mod tests {
         );
         // A long-lived reader keeps exactly the entries after its start.
         cc.begin(t(1), 200);
-        cc.on_step(t(1), v(0), StepKind::Read);
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
         for round in 0..10u64 {
             cc.begin(t(0), 201 + round * 2);
-            cc.on_step(t(0), v(1), StepKind::Update);
+            assert_eq!(
+                cc.on_step(t(0), v(1), StepKind::Update),
+                CcDecision::Proceed
+            );
             assert_eq!(cc.on_commit(t(0), 202 + round * 2), CcDecision::Proceed);
             cc.after_commit(t(0));
         }
@@ -1437,6 +1500,87 @@ mod tests {
         }
         assert!(!SgtCc::default().multiversion());
         assert_eq!(SgtCc::default().gc_watermark(), u64::MAX);
+    }
+
+    #[test]
+    fn sgt_retire_defers_until_no_in_edges() {
+        let mut cc = SgtCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        // T0 reads v0, T1 overwrites it: edge T0 -> T1.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // T1 has an in-edge from the still-live T0: a cycle through T1 is
+        // still possible (T1 -> T0 would close it), so its slot must not be
+        // recycled yet.
+        assert!(!cc.retire(t(1)));
+        assert_eq!(
+            cc.on_step(t(0), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        // T0 was never a successor: it retires immediately — and dropping
+        // its out-edges unblocks T1's deferred retirement.
+        assert!(cc.retire(t(0)));
+        assert!(cc.retire(t(1)));
+        // Both slots are clean for reuse: fresh transactions in the same
+        // slots inherit no edges and no log entries.
+        cc.begin(t(0), 3);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(cc.on_commit(t(0), 4), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        assert!(cc.retire(t(0)));
+    }
+
+    #[test]
+    fn sgt_abort_clears_in_degrees_for_immediate_retire() {
+        let mut cc = SgtCc::default();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // Aborting T1 removes it from the graph entirely; its slot is
+        // immediately recyclable.
+        cc.on_abort(t(1));
+        assert!(cc.retire(t(1)));
+        // T0 (still live, then committed with no in-edges) retires too.
+        assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        assert!(cc.retire(t(0)));
+    }
+
+    #[test]
+    fn retire_defaults_to_immediate_for_slot_local_mechanisms() {
+        let ccs: Vec<Box<dyn ConcurrencyControl>> = vec![
+            Box::new(SerialCc::default()),
+            Box::new(Strict2plCc::default()),
+            Box::new(TimestampCc::default()),
+            Box::new(OccCc::default()),
+            Box::new(MvtoCc::default()),
+            Box::new(SiCc::default()),
+        ];
+        for mut cc in ccs {
+            cc.begin(t(0), 0);
+            assert_eq!(
+                cc.on_step(t(0), v(0), StepKind::Update),
+                CcDecision::Proceed
+            );
+            assert_eq!(cc.on_commit(t(0), 1), CcDecision::Proceed);
+            cc.after_commit(t(0));
+            assert!(cc.retire(t(0)), "{} must free the slot", cc.name());
+        }
     }
 
     #[test]

@@ -1,74 +1,34 @@
-//! The database: step execution, commit, rollback, restart.
+//! The closed-world database driver: the paper's fixed transaction system,
+//! executed step by step with commit, rollback and restart.
+//!
+//! Since the session redesign this type is a thin adapter over
+//! [`SessionDb`]: it opens one session per transaction of the system up
+//! front, holds each transaction's program state (program counter and
+//! locals), and maps every [`step`](Database::step) onto the session
+//! operations — [`SessionDb::apply`] for accesses, [`SessionDb::commit`]
+//! at the last step. It never retires sessions (the closed world runs each
+//! transaction exactly once and then inspects it), so dense ids stay
+//! frozen exactly as the paper assumes. Shared accessors (`metrics`,
+//! `globals`, `cc_name`, `live_versions`, ...) come from the session layer
+//! through `Deref`.
 
-use crate::cc::{CcDecision, ConcurrencyControl};
-use crate::dense::SlotMap;
 use crate::metrics::Metrics;
-use crate::mvstore::MvStore;
-use crate::storage::Storage;
-use ccopt_model::ids::{StepId, TxnId, VarId};
+use crate::session::{Op, SessionDb, SessionStatus, Txn};
+use ccopt_model::ids::{StepId, TxnId};
 use ccopt_model::state::GlobalState;
 use ccopt_model::system::TransactionSystem;
 use ccopt_model::value::Value;
+use std::ops::Deref;
 
-/// Dense per-transaction write buffer: a [`SlotMap`] over variables plus a
-/// touched-list for cheap iteration and clearing. Replaces the former
-/// `BTreeMap<VarId, Value>` on the deferred-write (OCC) hot path.
-#[derive(Clone, Debug, Default)]
-struct WriteBuf {
-    slots: SlotMap<Value>,
-    touched: Vec<VarId>,
-}
-
-impl WriteBuf {
-    fn with_capacity(num_vars: usize) -> Self {
-        WriteBuf {
-            slots: SlotMap::with_capacity(num_vars),
-            touched: Vec::new(),
-        }
-    }
-
-    #[inline]
-    fn get(&self, var: VarId) -> Option<Value> {
-        self.slots.get_copied(var.index())
-    }
-
-    #[inline]
-    fn insert(&mut self, var: VarId, value: Value) {
-        if self.slots.insert(var.index(), value).is_none() {
-            self.touched.push(var);
-        }
-    }
-
-    fn clear(&mut self) {
-        for v in self.touched.drain(..) {
-            self.slots.remove(v.index());
-        }
-    }
-}
-
-/// Runtime state of one transaction.
-#[derive(Clone, Debug)]
-struct RunTxn {
+/// Program state of one closed-world transaction.
+struct Prog {
+    handle: Txn,
     next_step: u32,
     locals: Vec<Option<Value>>,
-    undo: Vec<(VarId, Value)>,
-    /// Local write buffer, used when the CC defers writes (OCC, MVTO, SI).
-    wbuf: WriteBuf,
-    committed: bool,
-    attempts: u32,
-    /// Wait outcomes over the transaction's whole lifetime (all attempts).
-    waits: u32,
-}
-
-/// The value store behind the engine: either the single-version store with
-/// undo logs, or the multi-version store addressed by snapshot (chosen by
-/// [`ConcurrencyControl::multiversion`] at construction).
-enum Store {
-    Single(Storage),
-    Multi(MvStore),
 }
 
 /// Outcome of attempting one step.
+#[must_use = "a StepOutcome not inspected loses waits and aborts"]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StepOutcome {
     /// The step executed (and the transaction committed if it was the last).
@@ -93,172 +53,104 @@ pub struct RunStats {
     pub rounds: usize,
 }
 
-/// An in-memory database executing one transaction system instance.
+/// An in-memory database executing one transaction system instance — the
+/// closed-world adapter over the open-world [`SessionDb`].
 pub struct Database {
     sys: TransactionSystem,
-    store: Store,
-    cc: Box<dyn ConcurrencyControl>,
-    txns: Vec<RunTxn>,
-    tick: u64,
-    /// Last watermark the multi-version store was swept at (sweeps are
-    /// skipped until the CC reports a larger one).
-    gc_watermark: u64,
-    /// Counters (public for the simulator).
-    pub metrics: Metrics,
+    format: Vec<u32>,
+    session: SessionDb,
+    progs: Vec<Prog>,
+}
+
+// Read-only deref: shared accessors (`metrics`, `globals`, `cc_name`,
+// `live_versions`, ...) come straight from the session layer. Deliberately
+// no `DerefMut` — mutating the session behind the adapter's back (aborting
+// or restarting a session whose program state `progs` still tracks) would
+// desynchronize the two.
+impl Deref for Database {
+    type Target = SessionDb;
+
+    fn deref(&self) -> &SessionDb {
+        &self.session
+    }
 }
 
 impl Database {
     /// Create a database over `sys` starting from `init`, using `cc`.
     pub fn new(
         sys: TransactionSystem,
-        mut cc: Box<dyn ConcurrencyControl>,
+        cc: Box<dyn crate::cc::ConcurrencyControl>,
         init: GlobalState,
     ) -> Self {
         let format = sys.format();
-        let num_vars = sys.syntax.num_vars();
-        cc.prepare(format.len(), num_vars);
-        // Hard contract, checked where it is cheap: a violation would
-        // otherwise surface as a mid-run panic on the first write step.
-        assert!(
-            !cc.multiversion() || cc.defers_writes(),
-            "multi-version mechanisms must defer writes: chains hold committed data only"
-        );
-        let txns = format
+        let mut session = SessionDb::with_capacity(cc, init, format.len());
+        let progs = format
             .iter()
-            .map(|&m| RunTxn {
+            .map(|&m| Prog {
+                handle: session.begin(),
                 next_step: 0,
                 locals: vec![None; m as usize],
-                undo: Vec::new(),
-                wbuf: WriteBuf::with_capacity(num_vars),
-                committed: false,
-                attempts: 0,
-                waits: 0,
             })
             .collect();
-        let store = if cc.multiversion() {
-            Store::Multi(MvStore::new(init))
-        } else {
-            Store::Single(Storage::new(init))
-        };
-        let mut db = Database {
+        Database {
             sys,
-            store,
-            cc,
-            txns,
-            tick: 0,
-            gc_watermark: 0,
-            metrics: Metrics::default(),
-        };
-        for i in 0..db.txns.len() {
-            db.txns[i].attempts = 1;
-            db.cc.begin(TxnId(i as u32), db.tick);
-        }
-        db
-    }
-
-    /// The concurrency control's name.
-    pub fn cc_name(&self) -> String {
-        self.cc.name().to_string()
-    }
-
-    /// Current committed global state (the newest version of every variable
-    /// when running multi-version).
-    pub fn globals(&self) -> GlobalState {
-        match &self.store {
-            Store::Single(s) => s.snapshot(),
-            Store::Multi(mv) => mv.snapshot_latest(),
-        }
-    }
-
-    /// Live version count of the multi-version store; `None` when running
-    /// over the single-version store.
-    pub fn live_versions(&self) -> Option<usize> {
-        match &self.store {
-            Store::Single(_) => None,
-            Store::Multi(mv) => Some(mv.live_versions()),
+            format,
+            session,
+            progs,
         }
     }
 
     /// Has every transaction committed?
     pub fn all_committed(&self) -> bool {
-        self.txns.iter().all(|t| t.committed)
+        self.progs
+            .iter()
+            .all(|p| self.session.status(p.handle) == SessionStatus::Committed)
     }
 
     /// Is transaction `t` committed?
     pub fn committed(&self, t: TxnId) -> bool {
-        self.txns[t.index()].committed
+        self.session.status(self.progs[t.index()].handle) == SessionStatus::Committed
     }
 
     /// Number of restart attempts of `t` so far (1 = first run).
     pub fn attempts(&self, t: TxnId) -> u32 {
-        self.txns[t.index()].attempts
+        self.session
+            .attempts(self.progs[t.index()].handle)
+            .expect("closed-world handles are never retired")
     }
 
     /// Wait outcomes of `t` across its whole lifetime (all attempts).
     pub fn waits(&self, t: TxnId) -> u32 {
-        self.txns[t.index()].waits
+        self.session
+            .waits(self.progs[t.index()].handle)
+            .expect("closed-world handles are never retired")
     }
 
     /// Attempt the next step of transaction `t`.
     pub fn step(&mut self, t: TxnId) -> StepOutcome {
         let ti = t.index();
-        if self.txns[ti].committed {
+        let h = self.progs[ti].handle;
+        if self.session.status(h) == SessionStatus::Committed {
             return StepOutcome::AlreadyCommitted;
         }
-        let m = self.sys.format()[ti];
-        let j = self.txns[ti].next_step;
-        debug_assert!(j < m);
+        let m = self.format[ti];
+        let j = self.progs[ti].next_step;
+        if j == m {
+            // Every access ran but a previous commit request waited: only
+            // the commit is outstanding.
+            return self.try_commit(ti);
+        }
         let step_id = StepId { txn: t, idx: j };
         let sx = self.sys.syntax.step(step_id);
 
-        match self.cc.on_step(t, sx.var, sx.kind) {
-            CcDecision::Wait => {
-                self.metrics.waits += 1;
-                self.txns[ti].waits += 1;
-                return StepOutcome::Waited;
-            }
-            CcDecision::Abort => {
-                if sx.kind.writes() && self.cc.multiversion() {
-                    self.metrics.mv_write_aborts += 1;
-                }
-                self.abort(t);
-                return StepOutcome::Aborted;
-            }
-            CcDecision::Proceed => {}
-        }
-
-        // Execute: t_ij <- x ; x <- rho(t_i1..t_ij). With deferred writes
-        // (OCC, MVTO, SI), reads see the transaction's own buffered writes
-        // first and writes stay in the buffer until the commit-time write
-        // phase; multi-version reads then address the snapshot the CC
-        // assigned at begin.
-        let deferred = self.cc.defers_writes();
-        let read = match &self.store {
-            Store::Multi(mv) => {
-                let view = self.cc.read_view(t);
-                self.txns[ti]
-                    .wbuf
-                    .get(sx.var)
-                    .unwrap_or_else(|| mv.read_at(sx.var, view))
-            }
-            Store::Single(s) if deferred => self.txns[ti]
-                .wbuf
-                .get(sx.var)
-                .unwrap_or_else(|| s.get(sx.var)),
-            Store::Single(s) => s.get(sx.var),
-        };
-        self.txns[ti].locals[j as usize] = Some(read);
-        // Only writes evaluate the step function and reach the store: a
-        // declared Read step's function is the identity on its variable
-        // (checked in debug builds), so storage is unchanged and evaluating
-        // it would be wasted work on the read hot path. (Writing the
-        // identity back used to create undo entries for *reads*, and an
-        // aborting reader would then restore a stale before-image over a
-        // concurrent writer's value — reads are invisible to lock tables
-        // and dirty tracking, so no mechanism guarded against it. On the
-        // multi-version path it would also install phantom versions.)
+        // Execute: t_ij <- x ; x <- rho(t_i1..t_ij). Only writes evaluate
+        // the step function: a declared Read step's function is the
+        // identity on its variable (checked in debug builds below), so
+        // evaluating it would be wasted work on the read hot path.
         let interp = &self.sys.interp;
-        let eval_step = |locals: &[Option<Value>]| -> Value {
+        let locals = &mut self.progs[ti].locals;
+        let outcome = self.session.apply(h, sx.var, sx.kind, |observed| {
+            locals[j as usize] = Some(observed);
             let args: Vec<Value> = locals[..=j as usize]
                 .iter()
                 .map(|v| v.expect("locals filled in order"))
@@ -266,148 +158,72 @@ impl Database {
             interp
                 .apply(step_id, &args)
                 .expect("engine systems use total interpretations")
-        };
-        if sx.kind.writes() {
-            let new_value = eval_step(&self.txns[ti].locals);
-            if deferred {
-                self.txns[ti].wbuf.insert(sx.var, new_value);
-            } else {
-                let Store::Single(storage) = &mut self.store else {
-                    unreachable!("multi-version mechanisms defer writes")
-                };
-                let prev = storage.set(sx.var, new_value);
-                self.txns[ti].undo.push((sx.var, prev));
+        });
+        match outcome.expect("closed-world handles are never retired") {
+            Op::Wait => StepOutcome::Waited,
+            Op::Restarted => {
+                self.reset_prog(ti);
+                StepOutcome::Aborted
             }
-        } else if cfg!(debug_assertions) {
-            debug_assert!(
-                eval_step(&self.txns[ti].locals) == read,
-                "declared Read step {step_id:?} is not the identity on its variable"
-            );
-        }
-        self.txns[ti].next_step += 1;
-        self.metrics.steps_executed += 1;
-        self.tick += 1;
-
-        // Commit at the last step.
-        if self.txns[ti].next_step == m {
-            match self.cc.on_commit(t, self.tick) {
-                CcDecision::Proceed => {
-                    // Write phase for deferred-write CCs: apply buffered
-                    // values in touched order, draining the buffer in place.
-                    // The single-version store overwrites; the multi-version
-                    // store appends versions at the CC's commit timestamp
-                    // (`cts` is meaningless, and unused, on the single path).
-                    let mut touched = std::mem::take(&mut self.txns[ti].wbuf.touched);
-                    let cts = self.cc.commit_view(t);
-                    for &var in &touched {
-                        let value = self.txns[ti]
-                            .wbuf
-                            .slots
-                            .remove(var.index())
-                            .expect("touched slots are filled");
-                        match &mut self.store {
-                            Store::Single(storage) => {
-                                storage.set(var, value);
-                            }
-                            Store::Multi(mv) => {
-                                mv.install(var, cts, value);
-                                self.metrics.versions_installed += 1;
-                                // The gauge samples per-chain peaks exactly:
-                                // chains only ever grow at this install.
-                                self.metrics.max_chain_len =
-                                    self.metrics.max_chain_len.max(mv.chain_len(var));
-                            }
-                        }
-                    }
-                    touched.clear();
-                    self.txns[ti].wbuf.touched = touched;
-                    self.txns[ti].committed = true;
-                    self.cc.after_commit(t);
-                    self.metrics.commits += 1;
-                    // A snapshot retired: sweep the version store, but only
-                    // when the watermark actually advanced — with the same
-                    // watermark nothing new is reclaimable (fresh installs
-                    // all sit above it), so the scan would be wasted work.
-                    if let Store::Multi(mv) = &mut self.store {
-                        let watermark = self.cc.gc_watermark();
-                        if watermark > self.gc_watermark {
-                            self.metrics.versions_reclaimed += mv.gc(watermark);
-                            self.gc_watermark = watermark;
-                        }
-                    }
-                    StepOutcome::Executed { committed: true }
+            Op::Done(observed) => {
+                self.progs[ti].locals[j as usize] = Some(observed);
+                #[cfg(debug_assertions)]
+                if !sx.kind.writes() {
+                    let args: Vec<Value> = self.progs[ti].locals[..=j as usize]
+                        .iter()
+                        .map(|v| v.expect("locals filled in order"))
+                        .collect();
+                    let evaluated = self
+                        .sys
+                        .interp
+                        .apply(step_id, &args)
+                        .expect("engine systems use total interpretations");
+                    debug_assert!(
+                        evaluated == observed,
+                        "declared Read step {step_id:?} is not the identity on its variable"
+                    );
                 }
-                CcDecision::Abort => {
-                    if self.cc.multiversion() {
-                        self.metrics.mv_write_aborts += 1;
-                    }
-                    self.abort(t);
-                    StepOutcome::Aborted
-                }
-                CcDecision::Wait => {
-                    // Commit-waiting is treated as a wait of the final step:
-                    // roll the step back so it can retry cleanly.
-                    self.rollback_last_step(t);
-                    self.metrics.waits += 1;
-                    self.txns[ti].waits += 1;
-                    StepOutcome::Waited
+                self.progs[ti].next_step = j + 1;
+                if j + 1 == m {
+                    self.try_commit(ti)
+                } else {
+                    StepOutcome::Executed { committed: false }
                 }
             }
-        } else {
-            StepOutcome::Executed { committed: false }
         }
     }
 
-    /// Roll back the most recent executed step (used when a commit request
-    /// waits). Only the immediate-write path can reach this; a read step
-    /// left no storage effect, so only its program counter is rewound.
-    fn rollback_last_step(&mut self, t: TxnId) {
-        // No deferred-write mechanism (OCC, MVTO, SI) waits at commit. If
-        // one ever did, rewinding here would leave the buffered value in
-        // `wbuf` and the retried step would re-apply its function to its
-        // own output — so keep the no-op and pin the invariant instead.
-        if self.cc.defers_writes() {
-            debug_assert!(false, "deferred-write mechanism waited at commit");
-            return;
-        }
-        let ti = t.index();
-        if self.txns[ti].next_step == 0 {
-            return;
-        }
-        self.txns[ti].next_step -= 1;
-        let j = self.txns[ti].next_step;
-        let sx = self.sys.syntax.step(StepId { txn: t, idx: j });
-        if sx.kind.writes() {
-            if let Some((var, prev)) = self.txns[ti].undo.pop() {
-                let Store::Single(storage) = &mut self.store else {
-                    unreachable!("undo entries only exist on the single-version path")
-                };
-                storage.set(var, prev);
+    /// Request the commit of transaction slot `ti` from the session layer.
+    fn try_commit(&mut self, ti: usize) -> StepOutcome {
+        let h = self.progs[ti].handle;
+        match self
+            .session
+            .commit(h)
+            .expect("closed-world handles are never retired")
+        {
+            Op::Done(()) => StepOutcome::Executed { committed: true },
+            Op::Wait => StepOutcome::Waited,
+            Op::Restarted => {
+                self.reset_prog(ti);
+                StepOutcome::Aborted
             }
         }
-        self.txns[ti].locals[j as usize] = None;
     }
 
-    /// Abort `t`: undo its writes, reset it, notify the CC, restart.
-    /// Deferred-write mechanisms (OCC, MVTO, SI) have nothing to undo —
-    /// their buffered writes are simply dropped.
+    /// Rewind the program after the session restarted the transaction.
+    fn reset_prog(&mut self, ti: usize) {
+        self.progs[ti].next_step = 0;
+        self.progs[ti].locals.iter_mut().for_each(|l| *l = None);
+    }
+
+    /// Force-abort `t` (the round-robin live-lock safety valve): the
+    /// session rolls it back and restarts it, and the program rewinds.
     fn abort(&mut self, t: TxnId) {
         let ti = t.index();
-        let undo = std::mem::take(&mut self.txns[ti].undo);
-        if let Store::Single(storage) = &mut self.store {
-            storage.undo(&undo);
-        } else {
-            debug_assert!(undo.is_empty(), "multi-version runs never log undo");
-        }
-        self.txns[ti].wbuf.clear();
-        self.txns[ti].next_step = 0;
-        self.txns[ti].locals.iter_mut().for_each(|l| *l = None);
-        self.cc.on_abort(t);
-        self.metrics.aborts += 1;
-        self.tick += 1;
-        // Restart immediately with a fresh CC context.
-        self.txns[ti].attempts += 1;
-        self.cc.begin(t, self.tick);
+        self.session
+            .restart(self.progs[ti].handle)
+            .expect("closed-world handles are never retired");
+        self.reset_prog(ti);
     }
 
     /// Drive the database with a round-robin policy biased by `order`:
@@ -436,7 +252,7 @@ impl Database {
                 // Everyone waited: let the CC break the tie by aborting the
                 // first waiter (live-lock safety valve; strict 2PL's cycle
                 // detection normally prevents reaching here).
-                if let Some(t) = (0..self.txns.len())
+                if let Some(t) = (0..self.progs.len())
                     .map(|i| TxnId(i as u32))
                     .find(|&t| !self.committed(t))
                 {
@@ -450,11 +266,12 @@ impl Database {
         })
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cc::{MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc};
+    use crate::cc::{
+        ConcurrencyControl, MvtoCc, OccCc, SerialCc, SgtCc, SiCc, Strict2plCc, TimestampCc,
+    };
     use ccopt_model::exec::Executor;
     use ccopt_model::ids::VarId;
     use ccopt_model::systems;
@@ -532,8 +349,8 @@ mod tests {
         let init = sys.space.initial_states[0].clone();
         let mut db = Database::new(sys, Box::new(Strict2plCc::default()), init);
         // Interleave so both take their first lock: T1 x, T2 y, then cross.
-        db.step(TxnId(0)); // T1: x
-        db.step(TxnId(1)); // T2: y
+        let _ = db.step(TxnId(0)); // T1: x
+        let _ = db.step(TxnId(1)); // T2: y
         let a = db.step(TxnId(0)); // T1 wants y -> wait
         assert_eq!(a, StepOutcome::Waited);
         let b = db.step(TxnId(1)); // T2 wants x -> deadlock -> abort
@@ -549,14 +366,14 @@ mod tests {
         let sys = systems::fig3_pair();
         let init = sys.space.initial_states[0].clone();
         let mut db = Database::new(sys.clone(), Box::new(Strict2plCc::default()), init.clone());
-        db.step(TxnId(0));
-        db.step(TxnId(1));
-        db.step(TxnId(0));
-        db.step(TxnId(1)); // T2 aborts
-                           // T2's write to y must be rolled back: finish only T1 and compare
-                           // with T1 running alone.
+        let _ = db.step(TxnId(0));
+        let _ = db.step(TxnId(1));
+        let _ = db.step(TxnId(0));
+        let _ = db.step(TxnId(1)); // T2 aborts
+                                   // T2's write to y must be rolled back: finish only T1 and compare
+                                   // with T1 running alone.
         while !db.committed(TxnId(0)) {
-            db.step(TxnId(0));
+            let _ = db.step(TxnId(0));
         }
         let ex = Executor::new(&sys);
         let solo = ex.run_transaction(init, TxnId(0)).unwrap();

@@ -19,6 +19,17 @@
 //! construct them bare); `prepare` pre-sizes them so the hot path never
 //! reallocates.
 
+/// Grow a per-index `Vec` of default values so that index `i` is
+/// addressable. The grow-on-demand companion of the dense tables below:
+/// mechanisms use it wherever a plain `Vec<T>` stands in for a map keyed by
+/// `TxnId`/`VarId`.
+#[inline]
+pub fn ensure_index<T: Default>(v: &mut Vec<T>, i: usize) {
+    if v.len() <= i {
+        v.resize_with(i + 1, T::default);
+    }
+}
+
 /// A fixed-capacity bitset over `u64` blocks, growing on demand.
 #[derive(Clone, Debug, Default)]
 pub struct DenseBitSet {
@@ -246,6 +257,17 @@ impl<T: Copy> SlotMap<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ensure_index_grows_to_fit() {
+        let mut v: Vec<u64> = Vec::new();
+        ensure_index(&mut v, 3);
+        assert_eq!(v, vec![0, 0, 0, 0]);
+        v[3] = 9;
+        ensure_index(&mut v, 1); // never shrinks or overwrites
+        assert_eq!(v[3], 9);
+        assert_eq!(v.len(), 4);
+    }
 
     #[test]
     fn bitset_round_trip() {

@@ -19,18 +19,25 @@
 //!   validation, MVTO (multi-version timestamp ordering: snapshot reads,
 //!   late writes abort, accesses wait on older pending writers), and
 //!   snapshot isolation (first-committer-wins write validation);
-//! * [`db`] — the [`Database`]: step execution, commit,
-//!   rollback, restart, and a round-robin driver;
-//! * [`metrics`] — commit/abort/wait counters shared by the simulator.
+//! * [`session`] — the open-world session layer: dynamic transactions
+//!   ([`SessionDb::begin`] / per-operation read/write/update / explicit
+//!   commit/abort) over recycled dense slots with epoch-guarded handles
+//!   and a retirement lifecycle;
+//! * [`db`] — the closed-world [`Database`]: the paper's fixed transaction
+//!   system driven step by step (with a round-robin driver), now a thin
+//!   adapter over the session layer;
+//! * [`metrics`] — commit/abort/wait counters shared by the simulators.
 
 pub mod cc;
 pub mod db;
 pub mod dense;
 pub mod metrics;
 pub mod mvstore;
+pub mod session;
 pub mod storage;
 
 pub use cc::{CcDecision, ConcurrencyControl};
 pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
+pub use session::{Op, SessionDb, SessionError, SessionStatus, Txn};

@@ -26,6 +26,10 @@ pub struct Metrics {
     /// Longest version chain observed across the run (gauge; 0 outside MV
     /// runs).
     pub max_chain_len: usize,
+    /// Sessions retired: finished transactions whose dense slot was handed
+    /// back for recycling (the open-world lifecycle; always 0 under the
+    /// closed-world driver, which never retires).
+    pub retires: usize,
 }
 
 impl Metrics {

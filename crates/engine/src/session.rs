@@ -1,0 +1,878 @@
+//! Open-world session layer: dynamic transactions over recycled dense slots.
+//!
+//! The closed-world [`crate::db::Database`] mirrors the paper's model — the
+//! full transaction system is known up front, ids are frozen, and the run
+//! ends when the last of them commits. This module is the arrival-driven
+//! substrate underneath it: clients open transactions one at a time with
+//! [`SessionDb::begin`], drive them operation by operation
+//! ([`read`](SessionDb::read) / [`write`](SessionDb::write) /
+//! [`update`](SessionDb::update)), and finish them with an explicit
+//! [`commit`](SessionDb::commit) or [`abort`](SessionDb::abort) — over an
+//! unbounded stream of transactions.
+//!
+//! The dense `TxnId` universe the concurrency-control tables are keyed by
+//! stays *bounded* because finished transactions are **retired**: their
+//! slot goes onto a free list and the next [`begin`](SessionDb::begin)
+//! recycles it. Three pieces make that safe:
+//!
+//! * a [`retire`](crate::cc::ConcurrencyControl::retire) lifecycle hook —
+//!   each mechanism confirms it has forgotten the slot (SGT defers until no
+//!   future conflict cycle can pass through the committed transaction; the
+//!   session keeps a deferred list and retries as others finish);
+//! * epoch-guarded [`Txn`] handles — every slot carries an epoch stamp,
+//!   bumped at retirement, so a stale handle held past retirement answers
+//!   [`SessionError::Stale`] instead of touching the recycled slot;
+//! * watermark-driven version GC — on the multi-version path, retiring
+//!   snapshots advance the GC watermark, so version chains stay bounded no
+//!   matter how long the stream runs.
+//!
+//! A concurrency-control **abort** does not kill the session: the slot is
+//! rolled back and a fresh attempt begins immediately (same slot, new CC
+//! context), and the operation reports [`Op::Restarted`] so the client
+//! replays its program — exactly the restart dynamics of the closed-world
+//! driver, which is now a thin adapter over this layer.
+
+use crate::cc::{CcDecision, ConcurrencyControl};
+use crate::dense::SlotMap;
+use crate::metrics::Metrics;
+use crate::mvstore::MvStore;
+use crate::storage::Storage;
+use ccopt_model::ids::{TxnId, VarId};
+use ccopt_model::state::GlobalState;
+use ccopt_model::syntax::StepKind;
+use ccopt_model::value::Value;
+use std::fmt;
+
+/// Dense per-transaction write buffer: a [`SlotMap`] over variables plus a
+/// touched-list for cheap iteration and clearing (the deferred-write path
+/// of OCC, MVTO and SI).
+#[derive(Clone, Debug, Default)]
+struct WriteBuf {
+    slots: SlotMap<Value>,
+    touched: Vec<VarId>,
+}
+
+impl WriteBuf {
+    fn with_capacity(num_vars: usize) -> Self {
+        WriteBuf {
+            slots: SlotMap::with_capacity(num_vars),
+            touched: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, var: VarId) -> Option<Value> {
+        self.slots.get_copied(var.index())
+    }
+
+    #[inline]
+    fn insert(&mut self, var: VarId, value: Value) {
+        if self.slots.insert(var.index(), value).is_none() {
+            self.touched.push(var);
+        }
+    }
+
+    fn clear(&mut self) {
+        for v in self.touched.drain(..) {
+            self.slots.remove(v.index());
+        }
+    }
+}
+
+/// The value store behind the engine: either the single-version store with
+/// undo logs, or the multi-version store addressed by snapshot (chosen by
+/// [`ConcurrencyControl::multiversion`] at construction).
+enum Store {
+    Single(Storage),
+    Multi(MvStore),
+}
+
+/// Lifecycle of one dense slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// On the free list (or pending deferred retirement).
+    Free,
+    /// An uncommitted transaction occupies the slot.
+    Running,
+    /// Committed but not yet retired.
+    Committed,
+}
+
+/// Per-slot runtime state.
+struct Slot {
+    /// Bumped at retirement; handles carry the epoch they were issued at.
+    epoch: u64,
+    status: Status,
+    /// Before-images of immediate writes (single-version mechanisms only).
+    undo: Vec<(VarId, Value)>,
+    /// Local write buffer, used when the CC defers writes (OCC, MVTO, SI).
+    wbuf: WriteBuf,
+    /// Attempts of the current occupant (1 = first run).
+    attempts: u32,
+    /// Wait outcomes of the current occupant (all attempts).
+    waits: u32,
+}
+
+impl Slot {
+    fn new(num_vars: usize) -> Self {
+        Slot {
+            epoch: 0,
+            status: Status::Free,
+            undo: Vec::new(),
+            wbuf: WriteBuf::with_capacity(num_vars),
+            attempts: 0,
+            waits: 0,
+        }
+    }
+}
+
+/// Epoch-guarded handle to one open transaction. Copyable; a copy held
+/// past [`SessionDb::retire`] goes stale rather than aliasing whatever
+/// transaction recycles the slot next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Txn {
+    slot: u32,
+    epoch: u64,
+}
+
+impl Txn {
+    /// The dense id the concurrency control sees for this transaction.
+    /// Only meaningful while the handle is live (not [`SessionError::Stale`]).
+    pub fn id(&self) -> TxnId {
+        TxnId(self.slot)
+    }
+}
+
+/// Why a session call was rejected outright (as opposed to a concurrency
+/// decision, which comes back as an [`Op`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionError {
+    /// The slot behind the handle was retired (and possibly recycled by a
+    /// newer transaction) after the handle was issued.
+    Stale,
+    /// The call needs a running transaction, but the session has already
+    /// committed (commit is final; open a new session instead).
+    AlreadyCommitted,
+    /// [`SessionDb::retire`] needs a committed transaction; this one is
+    /// still running (commit it first, or [`SessionDb::abort`] it — an
+    /// abort retires the slot on its own).
+    StillRunning,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Stale => write!(f, "stale handle: the slot was retired"),
+            SessionError::AlreadyCommitted => write!(f, "the transaction already committed"),
+            SessionError::StillRunning => write!(f, "the transaction is still running"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Concurrency outcome of one session operation.
+#[must_use = "an Op not inspected loses waits and restarts"]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op<T> {
+    /// The operation executed; accesses carry the value observed.
+    Done(T),
+    /// The concurrency control said wait: nothing changed, retry the same
+    /// call after other transactions make progress.
+    Wait,
+    /// The concurrency control aborted the transaction: its effects were
+    /// rolled back and a fresh attempt has already begun on the same slot
+    /// (the handle stays valid) — replay the program from the start.
+    Restarted,
+}
+
+impl<T> Op<T> {
+    /// Map the payload of [`Op::Done`], preserving `Wait` / `Restarted`.
+    pub fn map_done<U>(self, f: impl FnOnce(T) -> U) -> Op<U> {
+        match self {
+            Op::Done(v) => Op::Done(f(v)),
+            Op::Wait => Op::Wait,
+            Op::Restarted => Op::Restarted,
+        }
+    }
+}
+
+/// Externally visible lifecycle state of a handle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionStatus {
+    /// Uncommitted (possibly mid-restart).
+    Running,
+    /// Committed, slot not yet retired.
+    Committed,
+    /// The handle is stale: the slot was retired (abort or explicit
+    /// retirement) and may already host a different transaction.
+    Retired,
+}
+
+/// An in-memory database serving an open-ended stream of dynamic
+/// transactions over a fixed variable universe.
+///
+/// Slots are recycled through a free list; the table only grows while more
+/// sessions are simultaneously open than ever before, so the dense CC
+/// tables stay sized to the *concurrency level*, not the stream length.
+pub struct SessionDb {
+    store: Store,
+    cc: Box<dyn ConcurrencyControl>,
+    slots: Vec<Slot>,
+    /// Slots ready for reuse.
+    free: Vec<u32>,
+    /// Retired slots the concurrency control could not forget yet (SGT
+    /// keeps committed transactions with live predecessors); retried after
+    /// every commit, abort and retirement.
+    deferred: Vec<u32>,
+    num_vars: usize,
+    tick: u64,
+    /// Last watermark the multi-version store was swept at (sweeps are
+    /// skipped until the CC reports a larger one).
+    gc_watermark: u64,
+    /// Counters (public for the simulators and the closed-world driver).
+    pub metrics: Metrics,
+}
+
+impl SessionDb {
+    /// Create a session database over the variables of `init`, using `cc`.
+    pub fn new(cc: Box<dyn ConcurrencyControl>, init: GlobalState) -> Self {
+        Self::with_capacity(cc, init, 0)
+    }
+
+    /// Like [`new`](Self::new), pre-sizing the concurrency-control tables
+    /// for `expected_txns` simultaneously open sessions (an optimization:
+    /// the tables also grow on demand).
+    pub fn with_capacity(
+        mut cc: Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+        expected_txns: usize,
+    ) -> Self {
+        let num_vars = init.0.len();
+        cc.prepare(expected_txns, num_vars);
+        // Hard contract, checked where it is cheap: a violation would
+        // otherwise surface as a mid-run panic on the first write step.
+        assert!(
+            !cc.multiversion() || cc.defers_writes(),
+            "multi-version mechanisms must defer writes: chains hold committed data only"
+        );
+        let store = if cc.multiversion() {
+            Store::Multi(MvStore::new(init))
+        } else {
+            Store::Single(Storage::new(init))
+        };
+        SessionDb {
+            store,
+            cc,
+            slots: Vec::new(),
+            free: Vec::new(),
+            deferred: Vec::new(),
+            num_vars,
+            tick: 0,
+            gc_watermark: 0,
+            metrics: Metrics::default(),
+        }
+    }
+
+    // ---------------------------------------------------------------- begin
+
+    /// Open a new transaction: recycle a free dense slot (or grow the
+    /// table), register the first attempt with the concurrency control and
+    /// return the epoch-guarded handle.
+    pub fn begin(&mut self) -> Txn {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot::new(self.num_vars));
+                s
+            }
+        };
+        let ti = slot as usize;
+        debug_assert!(
+            self.slots[ti].status == Status::Free,
+            "free-list slot in use"
+        );
+        debug_assert!(self.slots[ti].undo.is_empty() && self.slots[ti].wbuf.touched.is_empty());
+        let sl = &mut self.slots[ti];
+        sl.status = Status::Running;
+        sl.attempts = 1;
+        sl.waits = 0;
+        self.cc.begin(TxnId(slot), self.tick);
+        Txn {
+            slot,
+            epoch: self.slots[ti].epoch,
+        }
+    }
+
+    // ----------------------------------------------------------- operations
+
+    /// Observe `var` (a pure read).
+    pub fn read(&mut self, h: Txn, var: VarId) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Read, |v| v)
+    }
+
+    /// Blind-write `value` to `var`; the observed old value rides along in
+    /// [`Op::Done`] (the engine treats every access as an observation).
+    pub fn write(&mut self, h: Txn, var: VarId, value: Value) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Write, |_| value)
+    }
+
+    /// Read-modify-write `var` through `f`, atomically with respect to the
+    /// concurrency control (one `Update` access).
+    pub fn update(
+        &mut self,
+        h: Txn,
+        var: VarId,
+        f: impl FnOnce(Value) -> Value,
+    ) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Update, f)
+    }
+
+    /// The general access primitive behind [`read`](Self::read) /
+    /// [`write`](Self::write) / [`update`](Self::update): one step of
+    /// declared `kind` on `var`. For writing kinds, `f` maps the observed
+    /// value to the new one (drivers whose step functions consume earlier
+    /// locals — like the closed-world adapter — capture them in `f`); for
+    /// reads, `f` is ignored. Returns the observed value.
+    ///
+    /// Reads see the transaction's own buffered writes first when the
+    /// mechanism defers writes; multi-version reads address the snapshot
+    /// the CC assigned at begin.
+    pub fn apply(
+        &mut self,
+        h: Txn,
+        var: VarId,
+        kind: StepKind,
+        f: impl FnOnce(Value) -> Value,
+    ) -> Result<Op<Value>, SessionError> {
+        let ti = self.running(h)?;
+        let t = TxnId(h.slot);
+        match self.cc.on_step(t, var, kind) {
+            CcDecision::Wait => {
+                self.metrics.waits += 1;
+                self.slots[ti].waits += 1;
+                return Ok(Op::Wait);
+            }
+            CcDecision::Abort => {
+                if kind.writes() && self.cc.multiversion() {
+                    self.metrics.mv_write_aborts += 1;
+                }
+                self.restart_slot(ti);
+                return Ok(Op::Restarted);
+            }
+            CcDecision::Proceed => {}
+        }
+        let deferred = self.cc.defers_writes();
+        let slot = &mut self.slots[ti];
+        let read = match &self.store {
+            Store::Multi(mv) => {
+                let view = self.cc.read_view(t);
+                slot.wbuf.get(var).unwrap_or_else(|| mv.read_at(var, view))
+            }
+            Store::Single(s) if deferred => slot.wbuf.get(var).unwrap_or_else(|| s.get(var)),
+            Store::Single(s) => s.get(var),
+        };
+        if kind.writes() {
+            let new_value = f(read);
+            if deferred {
+                slot.wbuf.insert(var, new_value);
+            } else {
+                let Store::Single(storage) = &mut self.store else {
+                    unreachable!("multi-version mechanisms defer writes")
+                };
+                let prev = storage.set(var, new_value);
+                slot.undo.push((var, prev));
+            }
+        }
+        self.metrics.steps_executed += 1;
+        self.tick += 1;
+        Ok(Op::Done(read))
+    }
+
+    // --------------------------------------------------------------- finish
+
+    /// Ask the concurrency control to commit the transaction. On success
+    /// the deferred write phase runs (buffered values reach the store; the
+    /// multi-version store appends them as versions at the CC's commit
+    /// timestamp) and retiring snapshots may trigger a version-GC sweep.
+    /// [`Op::Wait`] means retry the commit later — executed operations
+    /// stand; [`Op::Restarted`] means validation failed and a fresh attempt
+    /// has begun.
+    pub fn commit(&mut self, h: Txn) -> Result<Op<()>, SessionError> {
+        let ti = self.running(h)?;
+        let t = TxnId(h.slot);
+        match self.cc.on_commit(t, self.tick) {
+            CcDecision::Proceed => {
+                // Write phase for deferred-write CCs: apply buffered values
+                // in touched order, draining the buffer in place (`cts` is
+                // meaningless, and unused, on the single-version path).
+                let mut touched = std::mem::take(&mut self.slots[ti].wbuf.touched);
+                let cts = self.cc.commit_view(t);
+                for &var in &touched {
+                    let value = self.slots[ti]
+                        .wbuf
+                        .slots
+                        .remove(var.index())
+                        .expect("touched slots are filled");
+                    match &mut self.store {
+                        Store::Single(storage) => {
+                            storage.set(var, value);
+                        }
+                        Store::Multi(mv) => {
+                            mv.install(var, cts, value);
+                            self.metrics.versions_installed += 1;
+                            // The gauge samples per-chain peaks exactly:
+                            // chains only ever grow at this install.
+                            self.metrics.max_chain_len =
+                                self.metrics.max_chain_len.max(mv.chain_len(var));
+                        }
+                    }
+                }
+                touched.clear();
+                self.slots[ti].wbuf.touched = touched;
+                self.slots[ti].undo.clear();
+                self.slots[ti].status = Status::Committed;
+                self.cc.after_commit(t);
+                self.metrics.commits += 1;
+                // A snapshot retired: sweep the version store, but only
+                // when the watermark actually advanced — with the same
+                // watermark nothing new is reclaimable (fresh installs all
+                // sit above it), so the scan would be wasted work.
+                if let Store::Multi(mv) = &mut self.store {
+                    let watermark = self.cc.gc_watermark();
+                    if watermark > self.gc_watermark {
+                        self.metrics.versions_reclaimed += mv.gc(watermark);
+                        self.gc_watermark = watermark;
+                    }
+                }
+                self.drain_deferred();
+                Ok(Op::Done(()))
+            }
+            CcDecision::Abort => {
+                if self.cc.multiversion() {
+                    self.metrics.mv_write_aborts += 1;
+                }
+                self.restart_slot(ti);
+                Ok(Op::Restarted)
+            }
+            CcDecision::Wait => {
+                self.metrics.waits += 1;
+                self.slots[ti].waits += 1;
+                Ok(Op::Wait)
+            }
+        }
+    }
+
+    /// Client-initiated abort: roll the running transaction back, notify
+    /// the concurrency control, and retire the slot (every handle to this
+    /// session goes stale).
+    pub fn abort(&mut self, h: Txn) -> Result<(), SessionError> {
+        let ti = self.running(h)?;
+        let t = TxnId(h.slot);
+        self.rollback(ti);
+        self.cc.on_abort(t);
+        self.metrics.aborts += 1;
+        self.tick += 1;
+        self.retire_slot(ti);
+        Ok(())
+    }
+
+    /// Force-abort the running transaction and immediately begin a fresh
+    /// attempt on the same slot (the drivers' live-lock safety valve). The
+    /// handle stays valid.
+    pub fn restart(&mut self, h: Txn) -> Result<(), SessionError> {
+        let ti = self.running(h)?;
+        self.restart_slot(ti);
+        Ok(())
+    }
+
+    /// Retire a committed session: bump the slot epoch (stale-ing every
+    /// handle) and hand the dense slot back for recycling — immediately,
+    /// or deferred until the concurrency control can forget it.
+    pub fn retire(&mut self, h: Txn) -> Result<(), SessionError> {
+        let ti = self.slot_of(h)?;
+        match self.slots[ti].status {
+            Status::Committed => {}
+            Status::Running => return Err(SessionError::StillRunning),
+            Status::Free => unreachable!("stale handles were rejected"),
+        }
+        self.retire_slot(ti);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The concurrency control's name.
+    pub fn cc_name(&self) -> &str {
+        self.cc.name()
+    }
+
+    /// Current committed global state (the newest version of every
+    /// variable when running multi-version).
+    pub fn globals(&self) -> GlobalState {
+        match &self.store {
+            Store::Single(s) => s.snapshot(),
+            Store::Multi(mv) => mv.snapshot_latest(),
+        }
+    }
+
+    /// Live version count of the multi-version store; `None` when running
+    /// over the single-version store.
+    pub fn live_versions(&self) -> Option<usize> {
+        match &self.store {
+            Store::Single(_) => None,
+            Store::Multi(mv) => Some(mv.live_versions()),
+        }
+    }
+
+    /// Lifecycle state of a handle ([`SessionStatus::Retired`] for stale
+    /// ones).
+    pub fn status(&self, h: Txn) -> SessionStatus {
+        match self.slot_of(h) {
+            Err(_) => SessionStatus::Retired,
+            Ok(ti) => match self.slots[ti].status {
+                Status::Running => SessionStatus::Running,
+                Status::Committed => SessionStatus::Committed,
+                Status::Free => unreachable!("stale handles were rejected"),
+            },
+        }
+    }
+
+    /// Snapshot timestamp the session's reads observe (meaningful for
+    /// multi-version mechanisms; 0 otherwise). Under MVTO this is also the
+    /// serialization position of the transaction — the open-world
+    /// serializability checker samples it just before commit.
+    pub fn read_view(&self, h: Txn) -> Result<u64, SessionError> {
+        let ti = self.slot_of(h)?;
+        Ok(self.cc.read_view(TxnId(ti as u32)))
+    }
+
+    /// Does the mechanism buffer writes until commit? (Mirrors
+    /// [`ConcurrencyControl::defers_writes`]; the open-world checker needs
+    /// it to place write conflicts at commit time.)
+    pub fn defers_writes(&self) -> bool {
+        self.cc.defers_writes()
+    }
+
+    /// Is the store multi-version? (Mirrors
+    /// [`ConcurrencyControl::multiversion`].)
+    pub fn multiversion(&self) -> bool {
+        self.cc.multiversion()
+    }
+
+    /// Restart attempts of the session so far (1 = first run).
+    pub fn attempts(&self, h: Txn) -> Result<u32, SessionError> {
+        Ok(self.slots[self.slot_of(h)?].attempts)
+    }
+
+    /// Wait outcomes of the session across its whole lifetime.
+    pub fn waits(&self, h: Txn) -> Result<u32, SessionError> {
+        Ok(self.slots[self.slot_of(h)?].waits)
+    }
+
+    /// Dense-table capacity: slots ever allocated. Grows only while more
+    /// sessions are simultaneously open than ever before — the recycling
+    /// invariant the open-world tests pin.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots on the free list, ready for reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Retired slots the concurrency control has not forgotten yet.
+    pub fn pending_retires(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Sessions currently open (running or committed-unretired).
+    pub fn open_sessions(&self) -> usize {
+        self.slots.len() - self.free.len() - self.deferred.len()
+    }
+
+    /// The monotone engine clock (one tick per executed operation or
+    /// abort).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn slot_of(&self, h: Txn) -> Result<usize, SessionError> {
+        match self.slots.get(h.slot as usize) {
+            Some(sl) if sl.epoch == h.epoch => Ok(h.slot as usize),
+            _ => Err(SessionError::Stale),
+        }
+    }
+
+    fn running(&self, h: Txn) -> Result<usize, SessionError> {
+        let ti = self.slot_of(h)?;
+        match self.slots[ti].status {
+            Status::Running => Ok(ti),
+            Status::Committed => Err(SessionError::AlreadyCommitted),
+            Status::Free => unreachable!("stale handles were rejected"),
+        }
+    }
+
+    /// Undo the slot's effects on the store. Deferred-write mechanisms
+    /// have nothing to undo — their buffered writes are simply dropped.
+    fn rollback(&mut self, ti: usize) {
+        let undo = std::mem::take(&mut self.slots[ti].undo);
+        if let Store::Single(storage) = &mut self.store {
+            storage.undo(&undo);
+        } else {
+            debug_assert!(undo.is_empty(), "multi-version runs never log undo");
+        }
+        self.slots[ti].wbuf.clear();
+    }
+
+    /// CC-initiated abort: roll back, notify, and restart immediately with
+    /// a fresh CC context on the same slot.
+    fn restart_slot(&mut self, ti: usize) {
+        let t = TxnId(ti as u32);
+        self.rollback(ti);
+        self.cc.on_abort(t);
+        self.metrics.aborts += 1;
+        self.tick += 1;
+        self.slots[ti].attempts += 1;
+        self.cc.begin(t, self.tick);
+        self.drain_deferred();
+    }
+
+    fn retire_slot(&mut self, ti: usize) {
+        let sl = &mut self.slots[ti];
+        sl.epoch += 1;
+        sl.status = Status::Free;
+        sl.undo.clear();
+        sl.wbuf.clear();
+        self.metrics.retires += 1;
+        let s = ti as u32;
+        if self.cc.retire(TxnId(s)) {
+            self.free.push(s);
+        } else {
+            self.deferred.push(s);
+        }
+        self.drain_deferred();
+    }
+
+    /// Retry deferred retirements until a fixpoint: freeing one slot can
+    /// drop the in-edges pinning another (SGT's cascade).
+    fn drain_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.deferred.len() {
+                let s = self.deferred[i];
+                if self.cc.retire(TxnId(s)) {
+                    self.deferred.swap_remove(i);
+                    self.free.push(s);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed || self.deferred.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{MvtoCc, SgtCc, SiCc, Strict2plCc, TimestampCc};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn inc(x: Value) -> Value {
+        int(x.as_int().unwrap() + 1)
+    }
+
+    fn db_2pl(init: &[i64]) -> SessionDb {
+        SessionDb::new(
+            Box::new(Strict2plCc::default()),
+            GlobalState::from_ints(init),
+        )
+    }
+
+    /// Drive one read-increment-commit-retire transaction to completion.
+    fn bump(db: &mut SessionDb, var: VarId) {
+        let h = db.begin();
+        loop {
+            match db.update(h, var, inc).unwrap() {
+                Op::Done(_) => break,
+                Op::Wait | Op::Restarted => {}
+            }
+        }
+        assert_eq!(db.commit(h), Ok(Op::Done(())));
+        db.retire(h).unwrap();
+    }
+
+    #[test]
+    fn session_lifecycle_roundtrip() {
+        let mut db = db_2pl(&[10, 20]);
+        let h = db.begin();
+        assert_eq!(db.status(h), SessionStatus::Running);
+        assert_eq!(db.read(h, v(0)), Ok(Op::Done(int(10))));
+        assert_eq!(
+            db.update(h, v(1), |x| int(x.as_int().unwrap() * 2)),
+            Ok(Op::Done(int(20)))
+        );
+        assert_eq!(db.write(h, v(0), int(7)), Ok(Op::Done(int(10))));
+        assert_eq!(db.commit(h), Ok(Op::Done(())));
+        assert_eq!(db.status(h), SessionStatus::Committed);
+        assert_eq!(db.commit(h), Err(SessionError::AlreadyCommitted));
+        db.retire(h).unwrap();
+        assert_eq!(db.globals(), GlobalState::from_ints(&[7, 40]));
+        assert_eq!(db.metrics.commits, 1);
+        assert_eq!(db.metrics.retires, 1);
+    }
+
+    #[test]
+    fn stale_handles_cannot_touch_recycled_slots() {
+        let mut db = db_2pl(&[0]);
+        let old = db.begin();
+        assert_eq!(db.write(old, v(0), int(1)), Ok(Op::Done(int(0))));
+        assert_eq!(db.commit(old), Ok(Op::Done(())));
+        db.retire(old).unwrap();
+        // The next begin recycles slot 0 under a new epoch.
+        let new = db.begin();
+        assert_eq!(new.id(), old.id());
+        assert_ne!(new, old);
+        assert_eq!(db.num_slots(), 1);
+        assert_eq!(db.status(old), SessionStatus::Retired);
+        assert_eq!(db.read(old, v(0)), Err(SessionError::Stale));
+        assert_eq!(db.commit(old), Err(SessionError::Stale));
+        assert_eq!(db.retire(old), Err(SessionError::Stale));
+        assert_eq!(db.attempts(old), Err(SessionError::Stale));
+        // The live occupant is untouched by all of that.
+        assert_eq!(db.status(new), SessionStatus::Running);
+        assert_eq!(db.read(new, v(0)), Ok(Op::Done(int(1))));
+    }
+
+    #[test]
+    fn retire_requires_commit_and_abort_retires() {
+        let mut db = db_2pl(&[5]);
+        let h = db.begin();
+        assert_eq!(db.update(h, v(0), inc), Ok(Op::Done(int(5))));
+        assert_eq!(db.retire(h), Err(SessionError::StillRunning));
+        db.abort(h).unwrap();
+        // The abort rolled the write back and retired the slot.
+        assert_eq!(db.globals(), GlobalState::from_ints(&[5]));
+        assert_eq!(db.status(h), SessionStatus::Retired);
+        assert_eq!(db.metrics.aborts, 1);
+        assert_eq!(db.metrics.retires, 1);
+        assert_eq!(db.free_slots(), 1);
+    }
+
+    #[test]
+    fn cc_abort_restarts_in_place_and_client_replays() {
+        // Classic 2PL deadlock through the session API: the victim's
+        // operation reports Restarted and the replay succeeds.
+        let mut db = db_2pl(&[0, 0]);
+        let a = db.begin();
+        let b = db.begin();
+        assert_eq!(db.update(a, v(0), |x| x).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.update(b, v(1), |x| x).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.update(a, v(1), |x| x).unwrap(), Op::Wait);
+        assert_eq!(db.update(b, v(0), |x| x).unwrap(), Op::Restarted);
+        assert_eq!(db.status(b), SessionStatus::Running);
+        assert_eq!(db.attempts(b), Ok(2));
+        // A finishes; B's replay then runs clean.
+        assert_eq!(db.update(a, v(1), |x| x).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.commit(a), Ok(Op::Done(())));
+        db.retire(a).unwrap();
+        assert_eq!(db.update(b, v(1), |x| x).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.update(b, v(0), |x| x).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.commit(b), Ok(Op::Done(())));
+    }
+
+    #[test]
+    fn unbounded_stream_reuses_one_slot() {
+        let mut db = db_2pl(&[0]);
+        for _ in 0..100 {
+            bump(&mut db, v(0));
+        }
+        assert_eq!(db.globals(), GlobalState::from_ints(&[100]));
+        assert_eq!(db.num_slots(), 1, "sequential sessions must share a slot");
+        assert_eq!(db.metrics.commits, 100);
+        assert_eq!(db.metrics.retires, 100);
+    }
+
+    #[test]
+    fn mv_stream_stays_gc_bounded() {
+        for cc in [
+            Box::new(MvtoCc::default()) as Box<dyn ConcurrencyControl>,
+            Box::new(SiCc::default()),
+        ] {
+            let mut db = SessionDb::new(cc, GlobalState::from_ints(&[0, 0]));
+            for i in 0..200 {
+                bump(&mut db, v(i % 2));
+            }
+            assert_eq!(db.globals(), GlobalState::from_ints(&[100, 100]));
+            assert_eq!(db.num_slots(), 1);
+            assert!(
+                db.live_versions().unwrap() <= 4,
+                "chains must stay GC-bounded, got {:?}",
+                db.live_versions()
+            );
+            assert!(db.metrics.versions_reclaimed >= 196);
+        }
+    }
+
+    #[test]
+    fn sgt_pins_retired_slots_until_predecessors_finish() {
+        let mut db = SessionDb::new(Box::new(SgtCc::default()), GlobalState::from_ints(&[0, 1]));
+        let reader = db.begin();
+        let writer = db.begin();
+        assert_eq!(db.read(reader, v(0)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.write(writer, v(0), int(9)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.commit(writer), Ok(Op::Done(())));
+        // The writer's slot is pinned: the live reader precedes it in the
+        // conflict graph, so a cycle through it is still possible.
+        db.retire(writer).unwrap();
+        assert_eq!(db.pending_retires(), 1);
+        assert_eq!(db.free_slots(), 0);
+        // A new session must NOT reuse the pinned slot.
+        let third = db.begin();
+        assert_eq!(third.id().index(), 2);
+        // Once the reader finishes, the deferred retirement drains.
+        assert_eq!(db.commit(reader), Ok(Op::Done(())));
+        db.retire(reader).unwrap();
+        assert_eq!(db.pending_retires(), 0);
+        assert_eq!(db.free_slots(), 2);
+        db.abort(third).unwrap();
+    }
+
+    #[test]
+    fn timestamp_sessions_get_monotone_fresh_stamps_across_recycling() {
+        // A recycled slot's new occupant must look strictly younger to T/O
+        // than every retired predecessor: the late-write abort rule keeps
+        // holding with recycled ids.
+        let mut db = SessionDb::new(
+            Box::new(TimestampCc::default()),
+            GlobalState::from_ints(&[0]),
+        );
+        for _ in 0..10 {
+            bump(&mut db, v(0));
+        }
+        let h = db.begin();
+        assert_eq!(db.update(h, v(0), |x| x).unwrap(), Op::Done(int(10)));
+        assert_eq!(db.commit(h), Ok(Op::Done(())));
+        db.retire(h).unwrap();
+        assert_eq!(db.metrics.aborts, 0);
+    }
+}

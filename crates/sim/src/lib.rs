@@ -17,18 +17,26 @@
 //!   per-step execution times, polling retries on waits, restart penalties
 //!   on aborts; reports throughput, response, and the three-way time
 //!   decomposition.
+//! * [`open_sim`] — the open-world counterpart over the session API
+//!   ([`ccopt_engine::SessionDb`]): arrival-driven terminals run an
+//!   unbounded stream of dynamic transactions over recycled dense slots,
+//!   reporting throughput, the latency distribution, abort rate and the
+//!   boundedness gauges (peak slots, peak live versions), with an optional
+//!   serializability spot-check over the committed history.
 //!
 //! Plus [`workload`] (parameterized system families), [`stats`]
 //! (summaries) and [`report`] (aligned text tables for the experiment
 //! harness).
 
 pub mod engine_sim;
+pub mod open_sim;
 pub mod order_sim;
 pub mod report;
 pub mod stats;
 pub mod workload;
 
 pub use engine_sim::{simulate_engine, SimConfig, SimResult};
+pub use open_sim::{check_serializable, simulate_open, OpenSimConfig, OpenSimResult};
 pub use order_sim::{delay_profile, DelayProfile};
 pub use report::Table;
 pub use stats::Summary;

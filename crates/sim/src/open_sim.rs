@@ -1,0 +1,661 @@
+//! Open-world simulation: arrival-driven sessions over an unbounded
+//! transaction stream.
+//!
+//! Where [`crate::engine_sim`] replays the paper's closed world — a fixed
+//! transaction system run to completion — this simulator models the
+//! arrival-driven shape of a serving system: `K` terminals each keep one
+//! dynamic session open at a time against a
+//! [`SessionDb`], drawing a fresh random
+//! transaction program on every arrival, driving it operation by operation
+//! (waits poll, concurrency-control aborts restart the attempt in place),
+//! and retiring the session after commit so its dense slot recycles into
+//! the next arrival. The stream ends after
+//! [`total_txns`](OpenSimConfig::total_txns) commits — many times the
+//! dense-table capacity, which is exactly the point: slots, CC tables and
+//! (on the multi-version path) version chains must stay bounded by the
+//! *concurrency level*, never the stream length.
+//!
+//! Everything is deterministic in the seed: one event queue ordered by
+//! `(time, terminal)`, one RNG drawn in event order.
+//!
+//! With [`check`](OpenSimConfig::check) set, the simulator records the
+//! committed history and [`check_serializable`] replays it against a
+//! serial order — the conflict-graph topological order for single-version
+//! mechanisms (writes of deferred-write mechanisms placed at commit time),
+//! the begin-timestamp order for MVTO. Snapshot isolation is exempt by
+//! design (it admits write skew); callers skip the check for SI.
+
+use crate::stats::Summary;
+use ccopt_engine::cc::ConcurrencyControl;
+use ccopt_engine::session::{Op, SessionDb, Txn};
+use ccopt_model::ids::VarId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::syntax::StepKind;
+use ccopt_model::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Values live in `Z_MOD` so affine update chains stay bounded over
+/// arbitrarily long streams (no overflow, exact replay).
+const MOD: i64 = 1_000_003;
+
+/// Open-world simulation parameters (times in abstract milliseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenSimConfig {
+    /// Concurrent sessions kept alive (terminals).
+    pub terminals: usize,
+    /// Stream length: the simulation ends after this many commits.
+    pub total_txns: usize,
+    /// Number of variables in the store.
+    pub vars: usize,
+    /// Inclusive range of operations per transaction.
+    pub steps: (usize, usize),
+    /// Fraction of operations that are pure reads.
+    pub read_fraction: f64,
+    /// Probability that an operation hits the hot variable 0.
+    pub hot_fraction: f64,
+    /// Cost of one scheduler decision (charged per attempt).
+    pub scheduling_time: f64,
+    /// Cost of executing one operation.
+    pub exec_time: f64,
+    /// Mean think time between a terminal's operations (exponential).
+    pub think_time: f64,
+    /// Poll interval while an operation is blocked.
+    pub retry_interval: f64,
+    /// Extra delay before a restarted attempt resubmits.
+    pub restart_penalty: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Safety valve: maximum events processed.
+    pub max_events: usize,
+    /// Record the committed history for [`check_serializable`].
+    pub check: bool,
+}
+
+impl Default for OpenSimConfig {
+    fn default() -> Self {
+        OpenSimConfig {
+            terminals: 8,
+            total_txns: 256,
+            vars: 16,
+            steps: (2, 5),
+            read_fraction: 0.5,
+            hot_fraction: 0.2,
+            scheduling_time: 0.1,
+            exec_time: 1.0,
+            think_time: 2.0,
+            retry_interval: 0.5,
+            restart_penalty: 1.0,
+            seed: 42,
+            max_events: 4_000_000,
+            check: false,
+        }
+    }
+}
+
+/// One operation of a generated transaction program: an access of `var`
+/// with an affine step function over the variable's own value.
+#[derive(Clone, Copy, Debug)]
+pub struct OpSpec {
+    /// Variable accessed.
+    pub var: VarId,
+    /// Declared access kind.
+    pub kind: StepKind,
+    /// Multiplier of the affine update `v <- (a*v + c) mod M`.
+    pub a: i64,
+    /// Offset; a blind `Write` stores `c` alone.
+    pub c: i64,
+}
+
+impl OpSpec {
+    /// The step function: the value written given the observed one
+    /// (writing kinds; a `Read` leaves the variable unchanged).
+    pub fn eval(&self, observed: i64) -> i64 {
+        match self.kind {
+            StepKind::Read => observed,
+            StepKind::Write => self.c.rem_euclid(MOD),
+            StepKind::Update => (self.a * observed + self.c).rem_euclid(MOD),
+        }
+    }
+}
+
+/// The committed execution record of one transaction: its operations with
+/// the global sequence number each executed at, plus the ordering keys the
+/// serializability replay needs.
+#[derive(Clone, Debug)]
+pub struct CommittedTxn {
+    /// Executed operations of the committed attempt, in program order,
+    /// each with the global sequence number of its execution.
+    pub ops: Vec<(u64, OpSpec)>,
+    /// Snapshot timestamp at commit (the MVTO serialization key; 0 for
+    /// single-version mechanisms).
+    pub view: u64,
+    /// Global sequence number of the commit itself (deferred writes take
+    /// effect here).
+    pub commit_seq: u64,
+}
+
+/// Aggregated open-world simulation output.
+#[derive(Clone, Debug)]
+pub struct OpenSimResult {
+    /// Concurrency control name.
+    pub cc_name: String,
+    /// Transactions committed (== the configured stream length unless the
+    /// event budget ran out).
+    pub committed: usize,
+    /// Restarts (CC aborts) over the whole stream.
+    pub aborts: usize,
+    /// Wait outcomes over the whole stream.
+    pub waits: usize,
+    /// Sessions retired (slots recycled).
+    pub retires: usize,
+    /// Multi-version write-validation aborts (subset of `aborts`).
+    pub mv_write_aborts: usize,
+    /// Simulated clock at the end of the stream.
+    pub clock: f64,
+    /// Commits per unit of simulated time.
+    pub throughput: f64,
+    /// Per-transaction response times (arrival to commit).
+    pub latency: Summary,
+    /// Restarts per commit.
+    pub abort_rate: f64,
+    /// Dense-table capacity high-water mark: slots ever allocated. The
+    /// recycling claim is `peak_slots << committed`.
+    pub peak_slots: usize,
+    /// Most sessions simultaneously open (running or commit-pending).
+    pub peak_open_sessions: usize,
+    /// Most live versions observed in the multi-version store (0 for
+    /// single-version mechanisms); boundedness is the GC claim.
+    pub peak_live_versions: usize,
+    /// Versions reclaimed by the GC watermark over the stream.
+    pub versions_reclaimed: usize,
+    /// Committed state of the store after the wind-down (in-flight
+    /// sessions aborted).
+    pub final_state: GlobalState,
+    /// Committed history, recorded when [`OpenSimConfig::check`] was set.
+    pub history: Vec<CommittedTxn>,
+    /// Whether the store is multi-version (routes the checker).
+    pub multiversion: bool,
+    /// Whether writes were deferred to commit (places write conflicts).
+    pub defers_writes: bool,
+}
+
+#[derive(PartialEq)]
+struct Event {
+    time: f64,
+    terminal: usize,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then(self.terminal.cmp(&other.terminal))
+    }
+}
+
+struct Terminal {
+    handle: Option<Txn>,
+    prog: Vec<OpSpec>,
+    next_op: usize,
+    started_at: f64,
+    /// Ops executed by the current attempt (cleared on restart).
+    ops: Vec<(u64, OpSpec)>,
+}
+
+/// Jittered poll delay: lockstep polling livelocks under contention
+/// (every waiter retries on the same cadence), so each retry draws from
+/// `[0.5, 1.5) * retry_interval`.
+fn retry_delay(rng: &mut SmallRng, cfg: &OpenSimConfig) -> f64 {
+    cfg.retry_interval * rng.gen_range(0.5..1.5)
+}
+
+/// Jittered, attempt-scaled restart backoff. Timestamp ordering (and OCC
+/// under a hotspot) can restart-storm forever when every victim resubmits
+/// after the same constant penalty: each restart stamps the hot variables
+/// younger and kills the next elder, in lockstep. Exponentialish backoff
+/// with seeded jitter breaks the symmetry deterministically.
+fn restart_delay(rng: &mut SmallRng, cfg: &OpenSimConfig, attempts: u32) -> f64 {
+    let scale = (attempts.min(6) as f64).max(1.0);
+    cfg.restart_penalty * scale * rng.gen_range(0.5..1.5)
+}
+
+fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+/// Draw one transaction program.
+fn gen_program(rng: &mut SmallRng, cfg: &OpenSimConfig) -> Vec<OpSpec> {
+    let n = rng.gen_range(cfg.steps.0..=cfg.steps.1.max(cfg.steps.0));
+    (0..n)
+        .map(|_| {
+            let var = if cfg.vars > 1 && rng.gen_range(0.0..1.0) < cfg.hot_fraction {
+                0
+            } else {
+                rng.gen_range(0..cfg.vars)
+            };
+            let r: f64 = rng.gen_range(0.0..1.0);
+            // Non-read ops are mostly read-modify-writes; a quarter are
+            // blind writes (the paper's `Write` shape).
+            let kind = if r < cfg.read_fraction {
+                StepKind::Read
+            } else if r < cfg.read_fraction + (1.0 - cfg.read_fraction) * 0.25 {
+                StepKind::Write
+            } else {
+                StepKind::Update
+            };
+            let a = [1i64, 1, 2, -1][rng.gen_range(0..4usize)];
+            let c = rng.gen_range(-2i64..=2);
+            OpSpec {
+                var: VarId(var as u32),
+                kind,
+                a,
+                c,
+            }
+        })
+        .collect()
+}
+
+/// Submit one operation through the session API (also used by the
+/// slot-recycling differential test, so the op semantics exist in exactly
+/// one place).
+pub fn submit_op(db: &mut SessionDb, h: Txn, op: OpSpec) -> Op<Value> {
+    let r = match op.kind {
+        StepKind::Read => db.read(h, op.var),
+        StepKind::Write => db.write(h, op.var, Value::Int(op.eval(0))),
+        StepKind::Update => db.update(h, op.var, |v| {
+            Value::Int(op.eval(v.as_int().expect("open-world stores hold ints")))
+        }),
+    };
+    r.expect("open-sim handles are live")
+}
+
+/// Run the open-world simulation for one mechanism.
+pub fn simulate_open(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    cfg: &OpenSimConfig,
+) -> OpenSimResult {
+    let cc = make_cc();
+    let cc_name = cc.name().to_string();
+    let multiversion = cc.multiversion();
+    let defers_writes = cc.defers_writes();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x09E2_5EED);
+    let init = GlobalState::from_ints(&vec![0; cfg.vars]);
+    let mut db = SessionDb::with_capacity(cc, init, cfg.terminals);
+
+    let mut terminals: Vec<Terminal> = (0..cfg.terminals)
+        .map(|_| Terminal {
+            handle: None,
+            prog: Vec::new(),
+            next_op: 0,
+            started_at: 0.0,
+            ops: Vec::new(),
+        })
+        .collect();
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for terminal in 0..cfg.terminals {
+        queue.push(Reverse(Event {
+            time: exp_sample(&mut rng, cfg.think_time),
+            terminal,
+        }));
+    }
+
+    let mut clock = 0.0f64;
+    let mut committed = 0usize;
+    let mut seq = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.total_txns);
+    let mut history: Vec<CommittedTxn> = Vec::new();
+    let mut peak_slots = 0usize;
+    let mut peak_open = 0usize;
+    let mut peak_versions = 0usize;
+    let mut events = 0usize;
+
+    'sim: while let Some(Reverse(ev)) = queue.pop() {
+        events += 1;
+        if events > cfg.max_events {
+            break;
+        }
+        clock = ev.time;
+        let term = &mut terminals[ev.terminal];
+        if term.handle.is_none() {
+            // Arrival: a fresh transaction program on a recycled slot.
+            term.prog = gen_program(&mut rng, cfg);
+            term.handle = Some(db.begin());
+            term.next_op = 0;
+            term.started_at = ev.time;
+            term.ops.clear();
+        }
+        let h = term.handle.expect("just ensured");
+        if term.next_op == term.prog.len() {
+            // All operations ran: request the commit.
+            let view = db.read_view(h).expect("live handle");
+            match db.commit(h).expect("live handle") {
+                Op::Done(()) => {
+                    db.retire(h).expect("committed handle");
+                    term.handle = None;
+                    committed += 1;
+                    latencies.push(ev.time + cfg.exec_time - term.started_at);
+                    seq += 1;
+                    if cfg.check {
+                        history.push(CommittedTxn {
+                            ops: std::mem::take(&mut term.ops),
+                            view,
+                            commit_seq: seq,
+                        });
+                    }
+                    if committed >= cfg.total_txns {
+                        break 'sim;
+                    }
+                    // Next arrival after the commit's execution + think.
+                    let think = exp_sample(&mut rng, cfg.think_time);
+                    queue.push(Reverse(Event {
+                        time: ev.time + cfg.exec_time + think,
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Restarted => {
+                    term.next_op = 0;
+                    term.ops.clear();
+                    let attempts = db.attempts(h).expect("live handle");
+                    queue.push(Reverse(Event {
+                        time: ev.time + restart_delay(&mut rng, cfg, attempts),
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Wait => {
+                    queue.push(Reverse(Event {
+                        time: ev.time + retry_delay(&mut rng, cfg),
+                        terminal: ev.terminal,
+                    }));
+                }
+            }
+        } else {
+            let op = term.prog[term.next_op];
+            match submit_op(&mut db, h, op) {
+                Op::Done(_) => {
+                    seq += 1;
+                    if cfg.check {
+                        term.ops.push((seq, op));
+                    }
+                    term.next_op += 1;
+                    // The commit rides its own event right after the last
+                    // operation's execution time; earlier operations pay
+                    // execution + think.
+                    let pause = if term.next_op == term.prog.len() {
+                        cfg.exec_time
+                    } else {
+                        cfg.exec_time + exp_sample(&mut rng, cfg.think_time)
+                    };
+                    queue.push(Reverse(Event {
+                        time: ev.time + pause + cfg.scheduling_time,
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Wait => {
+                    queue.push(Reverse(Event {
+                        time: ev.time + retry_delay(&mut rng, cfg),
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Restarted => {
+                    term.next_op = 0;
+                    term.ops.clear();
+                    let attempts = db.attempts(h).expect("live handle");
+                    queue.push(Reverse(Event {
+                        time: ev.time + restart_delay(&mut rng, cfg, attempts),
+                        terminal: ev.terminal,
+                    }));
+                }
+            }
+        }
+        peak_slots = peak_slots.max(db.num_slots());
+        peak_open = peak_open.max(db.open_sessions());
+        if let Some(v) = db.live_versions() {
+            peak_versions = peak_versions.max(v);
+        }
+    }
+
+    // Wind down: abort the in-flight sessions so the final state holds
+    // committed effects only (and their slots retire cleanly). Their
+    // client-aborts are bookkeeping, not contention — excluded from the
+    // reported abort counts.
+    let stream_aborts = db.metrics.aborts;
+    for term in &mut terminals {
+        if let Some(h) = term.handle.take() {
+            db.abort(h).expect("live handle");
+        }
+    }
+    peak_slots = peak_slots.max(db.num_slots());
+
+    let m = db.metrics;
+    OpenSimResult {
+        cc_name,
+        committed,
+        aborts: stream_aborts,
+        waits: m.waits,
+        retires: m.retires,
+        mv_write_aborts: m.mv_write_aborts,
+        clock,
+        throughput: committed as f64 / clock.max(1e-9),
+        latency: Summary::of(&latencies),
+        abort_rate: if committed == 0 {
+            0.0
+        } else {
+            stream_aborts as f64 / committed as f64
+        },
+        peak_slots,
+        peak_open_sessions: peak_open,
+        peak_live_versions: peak_versions,
+        versions_reclaimed: m.versions_reclaimed,
+        final_state: db.globals(),
+        history,
+        multiversion,
+        defers_writes,
+    }
+}
+
+/// Replay the committed history against a serial order and compare final
+/// states — the open-world serializability spot-check.
+///
+/// Single-version mechanisms: build the conflict graph over the committed
+/// operations (reads conflict at their execution sequence; the writes of
+/// deferred-write mechanisms take effect at the commit sequence, matching
+/// when they reached storage), topologically sort it, and replay the
+/// transactions serially in that order. Multi-version (MVTO): replay in
+/// begin-timestamp order — MVTO's serialization theorem. A conflict cycle
+/// or a final-state mismatch is reported as `Err`.
+///
+/// Snapshot isolation admits write skew by design; callers exempt it.
+pub fn check_serializable(r: &OpenSimResult) -> Result<(), String> {
+    let order: Vec<usize> = if r.multiversion {
+        let mut idx: Vec<usize> = (0..r.history.len()).collect();
+        idx.sort_by_key(|&i| (r.history[i].view, r.history[i].commit_seq));
+        idx
+    } else {
+        topo_order(&r.history, r.defers_writes)?
+    };
+    let mut state = vec![0i64; r.final_state.len()];
+    for &i in &order {
+        for &(_, op) in &r.history[i].ops {
+            if op.kind.writes() {
+                let slot = &mut state[op.var.index()];
+                *slot = op.eval(*slot);
+            }
+        }
+    }
+    let replayed = GlobalState::from_ints(&state);
+    if replayed == r.final_state {
+        Ok(())
+    } else {
+        Err(format!(
+            "{}: serial replay of {} committed txns diverges: replay {replayed} vs engine {}",
+            r.cc_name,
+            r.history.len(),
+            r.final_state
+        ))
+    }
+}
+
+/// Conflict-graph topological order of a single-version committed history
+/// (`Err` when the conflict graph has a cycle — a serializability
+/// violation on its own).
+fn topo_order(history: &[CommittedTxn], defers_writes: bool) -> Result<Vec<usize>, String> {
+    let n = history.len();
+    // Flatten to (effect sequence, txn, var, kind): the point each access
+    // became visible to others. Reads observe at execution; the writes of
+    // a deferred-write mechanism reach storage only in the commit-time
+    // write phase, so their effect sequence is the commit's.
+    let mut accesses: Vec<(u64, usize, u32, StepKind)> = Vec::new();
+    for (i, t) in history.iter().enumerate() {
+        for &(s, op) in &t.ops {
+            let eff = if defers_writes && op.kind.writes() {
+                t.commit_seq
+            } else {
+                s
+            };
+            accesses.push((eff, i, op.var.0, op.kind));
+        }
+    }
+    accesses.sort_unstable_by_key(|&(s, i, _, _)| (s, i));
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut in_deg: Vec<usize> = vec![0; n];
+    // Per variable, every conflicting ordered pair adds an edge.
+    let mut by_var: std::collections::BTreeMap<u32, Vec<(u64, usize, StepKind)>> =
+        std::collections::BTreeMap::new();
+    for &(s, i, v, k) in &accesses {
+        by_var.entry(v).or_default().push((s, i, k));
+    }
+    for accs in by_var.values() {
+        for (x, &(_, i, ki)) in accs.iter().enumerate() {
+            for &(_, j, kj) in &accs[x + 1..] {
+                if i != j && ki.conflicts_with(kj) && !out[i].contains(&j) {
+                    out[i].push(j);
+                    in_deg[j] += 1;
+                }
+            }
+        }
+    }
+    // Kahn, smallest index first for determinism.
+    let mut ready: std::collections::BinaryHeap<Reverse<usize>> =
+        (0..n).filter(|&i| in_deg[i] == 0).map(Reverse).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(i)) = ready.pop() {
+        order.push(i);
+        for &j in &out[i] {
+            in_deg[j] -= 1;
+            if in_deg[j] == 0 {
+                ready.push(Reverse(j));
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        Err(format!(
+            "conflict cycle among {} committed transactions",
+            n - order.len()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccopt_engine::cc::{MvtoCc, OccCc, SgtCc, SiCc, Strict2plCc};
+
+    fn quick(seed: u64) -> OpenSimConfig {
+        OpenSimConfig {
+            terminals: 4,
+            total_txns: 60,
+            vars: 6,
+            seed,
+            check: true,
+            ..OpenSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_commits_exactly_and_slots_stay_bounded() {
+        let cfg = quick(7);
+        let r = simulate_open(&|| Box::new(Strict2plCc::default()), &cfg);
+        assert_eq!(r.committed, 60);
+        assert_eq!(r.history.len(), 60);
+        assert!(r.peak_slots <= cfg.terminals);
+        assert!(r.retires >= r.committed);
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.latency.n, 60);
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let cfg = quick(11);
+        let a = simulate_open(&|| Box::new(OccCc::default()), &cfg);
+        let b = simulate_open(&|| Box::new(OccCc::default()), &cfg);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.aborts, b.aborts);
+        assert_eq!(a.waits, b.waits);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.final_state, b.final_state);
+        assert!((a.throughput - b.throughput).abs() == 0.0);
+    }
+
+    #[test]
+    fn committed_histories_replay_serializably() {
+        for seed in [1u64, 2, 3] {
+            let cfg = quick(seed);
+            for (mk, name) in [
+                (
+                    (|| Box::new(Strict2plCc::default()) as Box<dyn ConcurrencyControl>)
+                        as fn() -> Box<dyn ConcurrencyControl>,
+                    "2PL",
+                ),
+                (|| Box::new(SgtCc::default()) as _, "SGT"),
+                (|| Box::new(OccCc::default()) as _, "OCC"),
+                (|| Box::new(MvtoCc::default()) as _, "MVTO"),
+            ] {
+                let r = simulate_open(&mk, &cfg);
+                assert_eq!(r.committed, 60, "{name} seed {seed}");
+                check_serializable(&r).unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn si_runs_the_stream_but_is_exempt_from_the_oracle() {
+        let cfg = quick(5);
+        let r = simulate_open(&|| Box::new(SiCc::default()), &cfg);
+        assert_eq!(r.committed, 60);
+        assert!(r.multiversion);
+        assert!(r.versions_reclaimed > 0, "SI GC must reclaim versions");
+    }
+
+    #[test]
+    fn op_spec_eval_is_bounded() {
+        let op = OpSpec {
+            var: VarId(0),
+            kind: StepKind::Update,
+            a: 2,
+            c: -2,
+        };
+        let mut v = 0i64;
+        for _ in 0..1000 {
+            v = op.eval(v);
+            assert!((0..MOD).contains(&v));
+        }
+    }
+}

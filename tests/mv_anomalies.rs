@@ -60,10 +60,10 @@ fn run_crossed(cc: Box<dyn ConcurrencyControl>) -> (GlobalState, usize) {
     let mut db = Database::new(sys, cc, init);
     // r(x) by T1, r(y) by T2, then the writes; aborted or waiting
     // transactions are driven to completion afterwards.
-    db.step(TxnId(0));
-    db.step(TxnId(1));
-    db.step(TxnId(0));
-    db.step(TxnId(1));
+    let _ = db.step(TxnId(0));
+    let _ = db.step(TxnId(1));
+    let _ = db.step(TxnId(0));
+    let _ = db.step(TxnId(1));
     db.run_round_robin(&[TxnId(0), TxnId(1)], 1000)
         .expect("completes");
     (db.globals(), db.metrics.aborts)
