@@ -133,6 +133,54 @@ fn bench_cc_hot_path(c: &mut Criterion) {
     }
 }
 
+/// The durable commit path's encoding cost, isolated: one write-set +
+/// commit record per iteration. `scratch_reuse` is what the engine ships
+/// (one [`RecordEncoder`] per log, its scratch buffer reused across
+/// commits — zero steady-state allocations); `alloc_per_commit` is the
+/// naive alternative that builds a fresh encoder (and therefore a fresh
+/// buffer) for every commit. The delta is the hot-path allocation fix.
+fn bench_wal_encoding(c: &mut Criterion) {
+    use ccopt_engine::durability::encoding::RecordEncoder;
+    use ccopt_model::ids::VarId;
+    use ccopt_model::value::Value;
+
+    let writes: Vec<(VarId, Value)> = (0..16)
+        .map(|i| (VarId(i), Value::Int(i as i64 * 7 - 3)))
+        .collect();
+    let mut g = c.benchmark_group("wal_commit_encode");
+    g.bench_function("alloc_per_commit", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            let mut enc = RecordEncoder::new();
+            enc.start_writeset(1, 2);
+            for &(v, val) in &writes {
+                enc.push_write(v, val);
+            }
+            enc.frame_into(&mut out);
+            enc.commit(1);
+            enc.frame_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("scratch_reuse", |b| {
+        let mut out = Vec::new();
+        let mut enc = RecordEncoder::new();
+        b.iter(|| {
+            out.clear();
+            enc.start_writeset(1, 2);
+            for &(v, val) in &writes {
+                enc.push_write(v, val);
+            }
+            enc.frame_into(&mut out);
+            enc.commit(1);
+            enc.frame_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_engine(c: &mut Criterion) {
     let sys = systems::hotspot(4, 3);
     let ids: Vec<TxnId> = (0..4u32).map(TxnId).collect();
@@ -167,6 +215,7 @@ criterion_group! {
         bench_enumeration,
         bench_csr_test,
         bench_cc_hot_path,
+        bench_wal_encoding,
         bench_engine
 }
 criterion_main!(micro);

@@ -11,8 +11,14 @@
 //!   transaction systems, swept over several workload seeds per cell;
 //! * the **open-world** grid (schema `open_world`): arrival-driven session
 //!   streams over recycled slots — throughput, the latency distribution
-//!   (mean/p50/p95), abort rate, and the boundedness gauges (peak slots,
-//!   peak live versions).
+//!   (mean/p50/p95), abort rate, the boundedness gauges (peak slots,
+//!   peak live versions), swept over the durability modes
+//!   (`none` / `group(8)` / `strict`): durable cells run against a real
+//!   write-ahead log, fsyncs charge simulated time to the committing
+//!   terminal, and group commit's amortized fsync is the measured claim —
+//!   the harness asserts `group` retains at least half of `none`-mode
+//!   throughput, and that every sampled committed history is strict (the
+//!   property redo-only logging rests on).
 //!
 //! Abort and wait counts ride alongside throughput so mechanism trade-offs
 //! (blocking vs. restarting vs. versioning) stay visible. All simulated
@@ -20,11 +26,15 @@
 //! vary run to run.
 //!
 //! `--quick` shrinks batches and stream lengths for smoke runs (CI); the
-//! JSON schema is unchanged.
+//! JSON schema (v4) is unchanged.
 
 use ccopt_bench::t3_simulation::cc_factories;
+use ccopt_engine::durability::scratch_path;
+use ccopt_engine::DurabilityMode;
 use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
-use ccopt_sim::open_sim::{simulate_open, OpenSimConfig, OpenSimResult};
+use ccopt_sim::open_sim::{
+    check_strict, simulate_open, simulate_open_durable, DurableConfig, OpenSimConfig, OpenSimResult,
+};
 use ccopt_sim::report::{f3, Table};
 use ccopt_sim::workload::Workload;
 use std::time::Instant;
@@ -80,6 +90,7 @@ fn workloads() -> Vec<Workload> {
 struct OpenCell {
     workload: String,
     cc: String,
+    durability: String,
     committed: usize,
     aborts: usize,
     waits: usize,
@@ -92,7 +103,17 @@ struct OpenCell {
     peak_slots: usize,
     peak_live_versions: usize,
     versions_reclaimed: usize,
+    wal_syncs: usize,
     wall_ms: f64,
+}
+
+/// Durability modes swept on the open grid.
+fn durability_modes() -> Vec<DurabilityMode> {
+    vec![
+        DurabilityMode::None,
+        DurabilityMode::group(8),
+        DurabilityMode::Strict,
+    ]
 }
 
 /// The open-world grid: (label, config). Stream lengths are many times the
@@ -130,30 +151,73 @@ fn open_workloads(quick: bool) -> Vec<(String, OpenSimConfig)> {
 fn open_grid(quick: bool) -> Vec<OpenCell> {
     let mut cells = Vec::new();
     for (label, ocfg) in open_workloads(quick) {
-        for (name, mk) in cc_factories() {
-            let wall = Instant::now();
-            let r: OpenSimResult = simulate_open(mk.as_ref(), &ocfg);
-            assert_eq!(
-                r.committed, ocfg.total_txns,
-                "{name} did not serve the whole {label} stream"
+        // Sampled committed histories feed the strictness checker.
+        let ocfg = OpenSimConfig {
+            check: true,
+            ..ocfg
+        };
+        for mode in durability_modes() {
+            for (name, mk) in cc_factories() {
+                let wall = Instant::now();
+                let r: OpenSimResult = match mode {
+                    DurabilityMode::None => simulate_open(mk.as_ref(), &ocfg),
+                    mode => {
+                        let path = scratch_path("bench-open");
+                        let r = simulate_open_durable(
+                            mk.as_ref(),
+                            &ocfg,
+                            &DurableConfig::new(path.clone(), mode),
+                        );
+                        let _ = std::fs::remove_file(&path);
+                        r
+                    }
+                };
+                assert_eq!(
+                    r.committed, ocfg.total_txns,
+                    "{name} did not serve the whole {label} stream under {mode}"
+                );
+                check_strict(&r).unwrap_or_else(|e| {
+                    panic!("{name} under {mode} produced a non-strict history: {e}")
+                });
+                cells.push(OpenCell {
+                    workload: label.clone(),
+                    cc: name.to_string(),
+                    durability: mode.to_string(),
+                    committed: r.committed,
+                    aborts: r.aborts,
+                    waits: r.waits,
+                    mv_write_aborts: r.mv_write_aborts,
+                    throughput: r.throughput,
+                    latency_mean: r.latency.mean,
+                    latency_p50: r.latency.p50,
+                    latency_p95: r.latency.p95,
+                    abort_rate: r.abort_rate,
+                    peak_slots: r.peak_slots,
+                    peak_live_versions: r.peak_live_versions,
+                    versions_reclaimed: r.versions_reclaimed,
+                    wal_syncs: r.wal_syncs,
+                    wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+                });
+            }
+        }
+    }
+    // The group-commit claim, asserted on every (workload, cc) pair:
+    // batching fsyncs keeps durable throughput within a small factor of
+    // running with no log at all.
+    for c in &cells {
+        if c.durability.starts_with("group") {
+            let baseline = cells
+                .iter()
+                .find(|b| b.durability == "none" && b.workload == c.workload && b.cc == c.cc)
+                .expect("every durable cell has a no-durability baseline");
+            assert!(
+                c.throughput >= 0.5 * baseline.throughput,
+                "{} on {}: group-commit throughput {:.4} fell below 50% of none-mode {:.4}",
+                c.cc,
+                c.workload,
+                c.throughput,
+                baseline.throughput
             );
-            cells.push(OpenCell {
-                workload: label.clone(),
-                cc: name.to_string(),
-                committed: r.committed,
-                aborts: r.aborts,
-                waits: r.waits,
-                mv_write_aborts: r.mv_write_aborts,
-                throughput: r.throughput,
-                latency_mean: r.latency.mean,
-                latency_p50: r.latency.p50,
-                latency_p95: r.latency.p95,
-                abort_rate: r.abort_rate,
-                peak_slots: r.peak_slots,
-                peak_live_versions: r.peak_live_versions,
-                versions_reclaimed: r.versions_reclaimed,
-                wall_ms: wall.elapsed().as_secs_f64() * 1e3,
-            });
         }
     }
     cells
@@ -241,10 +305,11 @@ fn main() {
 
     let open_cells = open_grid(quick);
     let mut open_table = Table::new(
-        "open-world session streams (per CC x workload)",
+        "open-world session streams (per CC x workload x durability)",
         &[
             "workload",
             "cc",
+            "dur",
             "commits",
             "aborts",
             "waits",
@@ -254,6 +319,7 @@ fn main() {
             "abort-rate",
             "peak-slots",
             "peak-vers",
+            "syncs",
             "wall-ms",
         ],
     );
@@ -261,6 +327,7 @@ fn main() {
         open_table.row(&[
             c.workload.clone(),
             c.cc.clone(),
+            c.durability.clone(),
             c.committed.to_string(),
             c.aborts.to_string(),
             c.waits.to_string(),
@@ -270,6 +337,7 @@ fn main() {
             f3(c.abort_rate),
             c.peak_slots.to_string(),
             c.peak_live_versions.to_string(),
+            c.wal_syncs.to_string(),
             format!("{:.1}", c.wall_ms),
         ]);
     }
@@ -284,9 +352,9 @@ fn main() {
 fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v3\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v4\",\n");
     s.push_str(&format!(
-        "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}}},\n",
+        "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
         cfg.seed,
         SEEDS,
@@ -295,6 +363,7 @@ fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
         cfg.think_time,
         cfg.retry_interval,
         cfg.restart_penalty,
+        OpenSimConfig::default().sync_time,
     ));
     s.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -318,9 +387,10 @@ fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
     s.push_str("  \"open_world\": [\n");
     for (i, c) in open_cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": {:?}, \"cc\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"versions_reclaimed\": {}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"durability\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"versions_reclaimed\": {}, \"wal_syncs\": {}, \"wall_ms\": {:.3}}}{}\n",
             c.workload,
             c.cc,
+            c.durability,
             c.committed,
             c.aborts,
             c.waits,
@@ -333,6 +403,7 @@ fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
             c.peak_slots,
             c.peak_live_versions,
             c.versions_reclaimed,
+            c.wal_syncs,
             c.wall_ms,
             if i + 1 == open_cells.len() { "" } else { "," },
         ));

@@ -1,0 +1,202 @@
+//! # `ccopt-durability` — redo-only write-ahead logging for the engine
+//!
+//! The engine's mechanisms are *strict*: no transaction ever reads another
+//! transaction's uncommitted write (deferred-write mechanisms buffer
+//! privately until commit; immediate-write mechanisms gate every access on
+//! the last writer's commit), and writes reach the store only under the
+//! writer's own control with before-images undone on abort. Committed
+//! state is therefore reproducible from the committed write-sets alone,
+//! applied in commit order — which is exactly what a **redo-only** log
+//! records. No undo information ever needs to be durable, so logging stays
+//! entirely off the concurrency-control decision path: one record group
+//! per commit, batched by group commit into a shared `fsync`
+//! (Larson et al., *High-Performance Concurrency Control Mechanisms for
+//! Main-Memory Databases*).
+//!
+//! * [`encoding`] — little-endian record encoding with per-record CRC32
+//!   and length framing, plus the reusable [`encoding::RecordEncoder`]
+//!   scratch buffer the hot commit path encodes into;
+//! * [`wal`] — the append-side log: [`wal::WalRecord`], the
+//!   [`wal::DurabilityMode`] policy (`Strict` / `Group` / `None`), group
+//!   commit, checkpoint rewriting, and a crash-injection hook that kills
+//!   the log at a configurable append/fsync boundary;
+//! * [`recovery`] — the read side: scan, validate checksums, truncate the
+//!   torn tail, and replay committed transactions in commit order into a
+//!   [`StoreImage`].
+//!
+//! The crate speaks `ccopt-model` vocabulary
+//! ([`VarId`](ccopt_model::ids::VarId), [`Value`]) but knows nothing of
+//! the engine; the engine's `SessionDb::open` / `checkpoint` wire it in.
+
+pub mod encoding;
+pub mod recovery;
+pub mod wal;
+
+use ccopt_model::state::GlobalState;
+use ccopt_model::value::Value;
+use std::fmt;
+use std::path::PathBuf;
+
+pub use encoding::{RecordEncoder, StoreKind};
+pub use recovery::{recover, Recovered};
+pub use wal::{DurabilityMode, Wal, WalRecord};
+
+/// A durable snapshot of a value store: the payload of a checkpoint record
+/// and the output of recovery. Mirrors the engine's two store kinds
+/// without depending on them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreImage {
+    /// Single-version store: one committed value per variable.
+    Single(Vec<Value>),
+    /// Multi-version store: per-variable chains of `(wts, value)` in
+    /// ascending `wts` order (never empty — slot 0 is the oldest retained
+    /// version).
+    Multi(Vec<Vec<(u64, Value)>>),
+}
+
+impl StoreImage {
+    /// Which store shape the image restores.
+    pub fn kind(&self) -> StoreKind {
+        match self {
+            StoreImage::Single(_) => StoreKind::Single,
+            StoreImage::Multi(_) => StoreKind::Multi,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        match self {
+            StoreImage::Single(vals) => vals.len(),
+            StoreImage::Multi(chains) => chains.len(),
+        }
+    }
+
+    /// The newest committed value of every variable — what a snapshot
+    /// taken right after recovery observes.
+    pub fn latest(&self) -> GlobalState {
+        match self {
+            StoreImage::Single(vals) => GlobalState(vals.clone()),
+            StoreImage::Multi(chains) => GlobalState(
+                chains
+                    .iter()
+                    .map(|c| c.last().expect("image chains are non-empty").1)
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Why a durability operation failed.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The log on disk does not match what the caller is opening it as
+    /// (store kind or variable count).
+    Mismatch {
+        /// What the caller expected.
+        expected: String,
+        /// What the log header records.
+        found: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O error: {e}"),
+            WalError::Mismatch { expected, found } => {
+                write!(
+                    f,
+                    "WAL shape mismatch: expected {expected}, log holds {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// A unique scratch file path for WAL tests, benches and examples,
+/// preferring locations inside the build tree (`CARGO_TARGET_TMPDIR` for
+/// integration tests and benches, the workspace `target/` otherwise) so
+/// test logs never litter the system temp directory.
+pub fn scratch_path(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::var_os("CARGO_TARGET_TMPDIR")
+        .map(PathBuf::from)
+        .or_else(|| {
+            // Walk up from the invoking crate's manifest to the enclosing
+            // `target/` directory (cargo sets CARGO_MANIFEST_DIR at runtime
+            // for tests, benches, bins and examples alike).
+            let mut dir = PathBuf::from(std::env::var_os("CARGO_MANIFEST_DIR")?);
+            loop {
+                let target = dir.join("target");
+                if target.is_dir() {
+                    return Some(target.join("wal-scratch"));
+                }
+                if !dir.pop() {
+                    return None;
+                }
+            }
+        })
+        .unwrap_or_else(std::env::temp_dir);
+    let _ = std::fs::create_dir_all(&base);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    base.join(format!("{tag}-{}-{n}.wal", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_latest_reads_chain_heads() {
+        let single = StoreImage::Single(vec![Value::Int(3), Value::Bool(true)]);
+        assert_eq!(single.kind(), StoreKind::Single);
+        assert_eq!(single.num_vars(), 2);
+        assert_eq!(single.latest().0, vec![Value::Int(3), Value::Bool(true)]);
+        let multi = StoreImage::Multi(vec![
+            vec![(0, Value::Int(1)), (5, Value::Int(9))],
+            vec![(0, Value::Int(2))],
+        ]);
+        assert_eq!(multi.kind(), StoreKind::Multi);
+        assert_eq!(multi.latest(), GlobalState::from_ints(&[9, 2]));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = WalError::from(std::io::Error::other("disk gone"));
+        assert!(e.to_string().contains("disk gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = WalError::Mismatch {
+            expected: "multi-version".into(),
+            found: "single-version".into(),
+        };
+        assert!(e.to_string().contains("multi-version"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn scratch_paths_are_unique_and_inside_a_writable_dir() {
+        let a = scratch_path("t");
+        let b = scratch_path("t");
+        assert_ne!(a, b);
+        std::fs::write(&a, b"x").unwrap();
+        let _ = std::fs::remove_file(&a);
+    }
+}

@@ -1,0 +1,417 @@
+//! Crash recovery: scan → validate checksums → truncate the torn tail →
+//! replay committed transactions in commit order.
+//!
+//! Redo-only recovery is a single forward pass. The scan walks the framed
+//! records, stopping at the first frame that is incomplete, fails its
+//! CRC, fails to decode, or is semantically impossible (a commit with no
+//! write-set, a version installed out of order) — everything from that
+//! point on is a torn tail and the file is truncated back to the last
+//! intact record boundary. Within the intact prefix, write-sets are
+//! parked per transaction and applied to the store image only when the
+//! transaction's commit record is reached, so the rebuilt state is
+//! exactly the committed prefix: a transaction whose commit record did
+//! not survive contributes nothing.
+//!
+//! On the multi-version image, write-sets install at their logged commit
+//! timestamps; per chain, commits arrive in ascending timestamp order
+//! (the engine's pending-writer waits guarantee it), so replay rebuilds
+//! the version chains append-only and the recovered `floor` — the
+//! largest timestamp seen — re-primes the engine's clocks: every
+//! post-recovery snapshot reads above the recovered history and every new
+//! version installs above every recovered one.
+
+use crate::encoding::{
+    decode_header, split_frame, Cursor, StoreKind, HEADER_LEN, TAG_ABORT, TAG_BEGIN,
+    TAG_CHECKPOINT, TAG_COMMIT, TAG_WRITESET,
+};
+use crate::wal::WalRecord;
+use crate::{StoreImage, WalError};
+use ccopt_model::ids::VarId;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The durable state rebuilt from a log.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Store shape recorded in the header.
+    pub store_kind: StoreKind,
+    /// Variable count recorded in the header.
+    pub num_vars: u32,
+    /// The committed state: checkpoint base plus every intact committed
+    /// write-set, in commit order.
+    pub image: StoreImage,
+    /// Timestamp floor: max of the checkpoint floor and every replayed
+    /// commit timestamp. Engine clocks must resume strictly above it.
+    pub floor: u64,
+    /// Committed transactions replayed.
+    pub committed: u64,
+    /// Largest transaction sequence number seen anywhere in the log
+    /// (fresh sequence numbers must start above it).
+    pub max_gsn: u64,
+    /// Bytes of torn tail dropped (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// Decode one record payload; `None` on any malformed byte (treated as
+/// corruption by the scan).
+pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor::new(payload);
+    let rec = match c.take_u8()? {
+        TAG_BEGIN => WalRecord::Begin { gsn: c.take_u64()? },
+        TAG_COMMIT => WalRecord::Commit { gsn: c.take_u64()? },
+        TAG_ABORT => WalRecord::Abort { gsn: c.take_u64()? },
+        TAG_WRITESET => {
+            let gsn = c.take_u64()?;
+            let cts = c.take_u64()?;
+            let count = c.take_u32()? as usize;
+            // Cap the preallocation by what the payload could possibly
+            // hold (a corrupted count must not drive a huge allocation).
+            let mut writes = Vec::with_capacity(count.min(payload.len() / 5 + 1));
+            for _ in 0..count {
+                let var = VarId(c.take_u32()?);
+                let value = c.take_value()?;
+                writes.push((var, value));
+            }
+            WalRecord::WriteSet { gsn, cts, writes }
+        }
+        TAG_CHECKPOINT => {
+            let floor = c.take_u64()?;
+            let kind = c.take_u8()?;
+            let n = c.take_u32()? as usize;
+            if n > payload.len() {
+                return None; // corrupted count
+            }
+            let image = match kind {
+                0 => {
+                    let mut vals = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        vals.push(c.take_value()?);
+                    }
+                    StoreImage::Single(vals)
+                }
+                1 => {
+                    let mut chains = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let len = c.take_u32()? as usize;
+                        if len == 0 || len > payload.len() {
+                            return None; // chains are never empty
+                        }
+                        let mut chain = Vec::with_capacity(len);
+                        for _ in 0..len {
+                            let wts = c.take_u64()?;
+                            let value = c.take_value()?;
+                            chain.push((wts, value));
+                        }
+                        if chain.windows(2).any(|w| w[0].0 >= w[1].0) {
+                            return None; // chains are strictly ascending
+                        }
+                        chains.push(chain);
+                    }
+                    StoreImage::Multi(chains)
+                }
+                _ => return None,
+            };
+            WalRecord::Checkpoint { floor, image }
+        }
+        _ => return None,
+    };
+    if !c.at_end() {
+        return None; // trailing garbage inside a checksummed payload
+    }
+    Some(rec)
+}
+
+/// Apply one committed write-set to the image; `false` when the install
+/// is semantically impossible (out-of-range variable, out-of-order or
+/// duplicate version), which the scan treats as corruption. Validation
+/// runs fully *before* the first mutation: a rejected record leaves the
+/// image untouched — corrupt records are never partially replayed.
+fn apply_writes(
+    image: &mut StoreImage,
+    cts: u64,
+    writes: &[(VarId, ccopt_model::value::Value)],
+) -> bool {
+    match image {
+        StoreImage::Single(vals) => {
+            if writes.iter().any(|(var, _)| var.index() >= vals.len()) {
+                return false;
+            }
+            for &(var, value) in writes {
+                vals[var.index()] = value;
+            }
+        }
+        StoreImage::Multi(chains) => {
+            let valid = writes.iter().enumerate().all(|(i, &(var, _))| {
+                chains.get(var.index()).is_some_and(|chain| {
+                    // Append-only in wts order — which also rules out two
+                    // installs of one variable at the same timestamp.
+                    chain.last().is_none_or(|&(wts, _)| wts < cts)
+                        && writes[..i].iter().all(|&(v, _)| v != var)
+                })
+            });
+            if !valid {
+                return false;
+            }
+            for &(var, value) in writes {
+                chains[var.index()].push((cts, value));
+            }
+        }
+    }
+    true
+}
+
+/// Recover the log at `path`: returns `Ok(None)` when there is no usable
+/// log (missing file, or a header/initial checkpoint too torn to read —
+/// the caller starts fresh), otherwise the rebuilt committed state. The
+/// file is truncated back to the end of its intact prefix so subsequent
+/// appends continue at a clean record boundary.
+pub fn recover(path: &Path) -> Result<Option<Recovered>, WalError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let Some((store_kind, num_vars)) = decode_header(&bytes) else {
+        return Ok(None); // torn header: nothing is recoverable
+    };
+
+    let mut image: Option<StoreImage> = None;
+    let mut floor = 0u64;
+    let mut committed = 0u64;
+    let mut max_gsn = 0u64;
+    // Write-sets parked until (unless) their commit record arrives.
+    let mut parked: HashMap<u64, (u64, Vec<(VarId, ccopt_model::value::Value)>)> = HashMap::new();
+
+    let mut pos = HEADER_LEN;
+    while pos < bytes.len() {
+        let Some((payload, frame_len)) = split_frame(&bytes[pos..]) else {
+            break; // torn or corrupt: everything from here is dropped
+        };
+        let Some(record) = decode_record(payload) else {
+            break;
+        };
+        // Apply; a semantic impossibility also ends the intact prefix.
+        let ok = match record {
+            WalRecord::Begin { gsn } => {
+                max_gsn = max_gsn.max(gsn);
+                true
+            }
+            WalRecord::Abort { gsn } => {
+                max_gsn = max_gsn.max(gsn);
+                parked.remove(&gsn);
+                true
+            }
+            WalRecord::WriteSet { gsn, cts, writes } => {
+                max_gsn = max_gsn.max(gsn);
+                parked.insert(gsn, (cts, writes));
+                true
+            }
+            WalRecord::Commit { gsn } => {
+                max_gsn = max_gsn.max(gsn);
+                match (parked.remove(&gsn), &mut image) {
+                    (Some((cts, writes)), Some(img)) => {
+                        let applied = apply_writes(img, cts, &writes);
+                        if applied {
+                            committed += 1;
+                            floor = floor.max(cts);
+                        }
+                        applied
+                    }
+                    // A commit with no write-set, or before any
+                    // checkpoint: impossible in a well-formed log.
+                    _ => false,
+                }
+            }
+            WalRecord::Checkpoint {
+                floor: f,
+                image: img,
+            } => {
+                if img.kind() == store_kind && img.num_vars() == num_vars as usize {
+                    image = Some(img);
+                    floor = floor.max(f);
+                    parked.clear();
+                    committed = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if !ok {
+            break;
+        }
+        pos += frame_len;
+    }
+
+    let truncated_bytes = (bytes.len() - pos) as u64;
+    if truncated_bytes > 0 {
+        // Drop the torn tail so appends resume at a record boundary.
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(pos as u64)?;
+        f.sync_data()?;
+    }
+
+    match image {
+        None => Ok(None), // even the initial checkpoint was torn
+        Some(image) => Ok(Some(Recovered {
+            store_kind,
+            num_vars,
+            image,
+            floor,
+            committed,
+            max_gsn,
+            truncated_bytes,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_path;
+    use crate::wal::{DurabilityMode, Wal};
+    use ccopt_model::state::GlobalState;
+    use ccopt_model::value::Value;
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn build_log(path: &std::path::Path) -> Vec<GlobalState> {
+        // Returns the committed-prefix journal: journal[k] = state after
+        // k commits.
+        let mut wal = Wal::create(
+            path,
+            DurabilityMode::Strict,
+            0,
+            &StoreImage::Single(vec![int(0), int(0)]),
+        )
+        .unwrap();
+        let mut state = [0i64, 0i64];
+        let mut journal = vec![GlobalState::from_ints(&state)];
+        for gsn in 0..5u64 {
+            wal.begin_txn(gsn);
+            let var = (gsn % 2) as usize;
+            state[var] += 10;
+            wal.start_commit(gsn, 0);
+            wal.push_write(VarId(var as u32), int(state[var]));
+            wal.finish_commit(gsn, gsn).unwrap();
+            journal.push(GlobalState::from_ints(&state));
+        }
+        // An aborted attempt leaves no durable trace.
+        wal.begin_txn(99);
+        wal.abort_txn(99);
+        wal.flush_sync().unwrap();
+        journal
+    }
+
+    #[test]
+    fn clean_log_replays_every_commit() {
+        let path = scratch_path("rec-clean");
+        let journal = build_log(&path);
+        let rec = recover(&path).unwrap().expect("recovers");
+        assert_eq!(rec.committed, 5);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.image.latest(), journal[5]);
+        assert_eq!(rec.max_gsn, 99);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_committed_prefix() {
+        let path = scratch_path("rec-trunc");
+        let journal = build_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        // The log is unrecoverable only while its header or initial
+        // checkpoint record is torn.
+        let ckpt_end = HEADER_LEN + split_frame(&full[HEADER_LEN..]).unwrap().1;
+        let trunc = scratch_path("rec-trunc-cut");
+        for cut in (0..=full.len()).rev() {
+            std::fs::write(&trunc, &full[..cut]).unwrap();
+            let rec = recover(&trunc).unwrap();
+            match rec {
+                None => assert!(
+                    cut < ckpt_end,
+                    "only a torn header/checkpoint may be unrecoverable (cut {cut})"
+                ),
+                Some(rec) => {
+                    let k = rec.committed as usize;
+                    assert!(k <= 5);
+                    assert_eq!(
+                        rec.image.latest(),
+                        journal[k],
+                        "cut {cut}: recovered state is not the {k}-commit prefix"
+                    );
+                    // The file was truncated back to the intact prefix:
+                    // recovering again is a fixpoint.
+                    let again = recover(&trunc).unwrap().expect("fixpoint");
+                    assert_eq!(again.committed, rec.committed);
+                    assert_eq!(again.truncated_bytes, 0);
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&trunc);
+    }
+
+    #[test]
+    fn bit_flips_truncate_never_replay() {
+        let path = scratch_path("rec-flip");
+        let journal = build_log(&path);
+        let full = std::fs::read(&path).unwrap();
+        let flip = scratch_path("rec-flip-cut");
+        for i in 0..full.len() {
+            let mut bad = full.clone();
+            bad[i] ^= 0x40;
+            std::fs::write(&flip, &bad).unwrap();
+            let rec = recover(&flip).unwrap();
+            if let Some(rec) = rec {
+                let k = rec.committed as usize;
+                assert_eq!(
+                    rec.image.latest(),
+                    journal[k],
+                    "flip at {i}: a corrupt record leaked into the replayed state"
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&flip);
+    }
+
+    #[test]
+    fn missing_file_recovers_to_none() {
+        let path = scratch_path("rec-missing");
+        assert!(recover(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn multi_version_replay_rebuilds_chains_at_commit_timestamps() {
+        let path = scratch_path("rec-mv");
+        let mut wal = Wal::create(
+            &path,
+            DurabilityMode::Strict,
+            0,
+            &StoreImage::Multi(vec![vec![(0, int(100))]]),
+        )
+        .unwrap();
+        for (gsn, cts) in [(0u64, 3u64), (1, 7), (2, 12)] {
+            wal.start_commit(gsn, cts);
+            wal.push_write(VarId(0), int(cts as i64));
+            wal.finish_commit(gsn, cts).unwrap();
+        }
+        drop(wal);
+        let rec = recover(&path).unwrap().expect("recovers");
+        assert_eq!(rec.floor, 12);
+        assert_eq!(rec.committed, 3);
+        match &rec.image {
+            StoreImage::Multi(chains) => {
+                assert_eq!(
+                    chains[0],
+                    vec![(0, int(100)), (3, int(3)), (7, int(7)), (12, int(12))]
+                );
+            }
+            StoreImage::Single(_) => panic!("store kind lost"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

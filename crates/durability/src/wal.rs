@@ -1,0 +1,573 @@
+//! The append side of the redo-only log: durability modes, group commit,
+//! checkpoint rewriting, and crash injection.
+//!
+//! Records are encoded into an in-memory `pending` buffer first (via the
+//! reusable [`RecordEncoder`] scratch); the [`DurabilityMode`] decides
+//! when the buffer reaches the file and is `fsync`ed:
+//!
+//! * [`Strict`](DurabilityMode::Strict) — every commit flushes and syncs
+//!   before it is acknowledged; nothing acknowledged is ever lost.
+//! * [`Group`](DurabilityMode::Group) — commits are acknowledged
+//!   immediately and batched; the buffer flushes and syncs when
+//!   `max_batch` commits are pending or the oldest pending commit is more
+//!   than `max_delay_ticks` engine ticks old. One `fsync` amortizes over
+//!   the whole batch, so throughput stays close to no-logging at a
+//!   bounded loss window (at most one batch of acknowledged commits on a
+//!   crash).
+//! * [`None`](DurabilityMode::None) — no log at all (the engine does not
+//!   construct a `Wal`).
+//!
+//! Begin and abort records ride in the buffer without ever forcing a
+//! sync: they carry no durability obligation (redo-only logging), they
+//! only document the stream and let recovery discard superseded
+//! write-sets.
+//!
+//! Crash injection (`crash_after_records` / `crash_after_syncs`) kills
+//! the log at a configurable append or fsync boundary: once the boundary
+//! is crossed, the `Wal` silently drops everything — exactly what a
+//! process kill at that point leaves on disk. The crash-recovery
+//! differential tests drive it.
+
+use crate::encoding::{encode_header, RecordEncoder, StoreKind, HEADER_LEN};
+use crate::{StoreImage, WalError};
+use ccopt_model::ids::VarId;
+use ccopt_model::value::Value;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A decoded log record (the read-side mirror of what the encoder
+/// writes; produced by [`crate::recovery`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// A transaction attempt started.
+    Begin {
+        /// Global sequence number of the attempt (never recycled).
+        gsn: u64,
+    },
+    /// The after-images of a committing transaction.
+    WriteSet {
+        /// The committing attempt.
+        gsn: u64,
+        /// Version timestamp the writes install at (0 on the
+        /// single-version store).
+        cts: u64,
+        /// `(variable, after-image)` pairs in first-write order.
+        writes: Vec<(VarId, Value)>,
+    },
+    /// The commit point: the transaction is durable iff this is intact.
+    Commit {
+        /// The committed attempt.
+        gsn: u64,
+    },
+    /// The attempt aborted (its write-set, if logged, is void).
+    Abort {
+        /// The aborted attempt.
+        gsn: u64,
+    },
+    /// A full store snapshot; replay restarts here.
+    Checkpoint {
+        /// Timestamp floor: every version in the image is at or below it,
+        /// and recovery resumes the engine's clocks above it.
+        floor: u64,
+        /// The store snapshot.
+        image: StoreImage,
+    },
+}
+
+/// When commit records reach the disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DurabilityMode {
+    /// No logging.
+    None,
+    /// Group commit: acknowledge immediately, flush+sync every
+    /// `max_batch` commits or when the oldest pending commit is
+    /// `max_delay_ticks` engine ticks old.
+    Group {
+        /// Commits per shared fsync.
+        max_batch: usize,
+        /// Deadline (engine ticks) before a partial batch flushes anyway.
+        max_delay_ticks: u64,
+    },
+    /// Flush+sync inside every commit, before it is acknowledged.
+    Strict,
+}
+
+impl DurabilityMode {
+    /// Group commit with a batch of `n` and a proportional deadline.
+    pub fn group(n: usize) -> DurabilityMode {
+        DurabilityMode::Group {
+            max_batch: n.max(1),
+            max_delay_ticks: 64 * n.max(1) as u64,
+        }
+    }
+}
+
+impl std::fmt::Display for DurabilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurabilityMode::None => write!(f, "none"),
+            DurabilityMode::Group { max_batch, .. } => write!(f, "group({max_batch})"),
+            DurabilityMode::Strict => write!(f, "strict"),
+        }
+    }
+}
+
+/// Append-side counters (exposed through the engine's metrics).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct WalStats {
+    /// Records appended (buffered or written).
+    pub records: u64,
+    /// `fsync`s issued.
+    pub syncs: u64,
+    /// Bytes written to the file.
+    pub bytes: u64,
+}
+
+/// The write-ahead log of one database.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    mode: DurabilityMode,
+    enc: RecordEncoder,
+    /// Framed records not yet written to the file.
+    pending: Vec<u8>,
+    /// Commit records in `pending`.
+    pending_commits: usize,
+    /// Tick of the oldest pending commit (deadline basis).
+    oldest_pending_commit: u64,
+    store_kind: StoreKind,
+    num_vars: u32,
+    /// Append-side counters.
+    stats: WalStats,
+    /// Crash injection: die once this many records were appended.
+    crash_after_records: Option<u64>,
+    /// Crash injection: die once this many syncs completed.
+    crash_after_syncs: Option<u64>,
+    /// The log is dead (simulated kill): drop everything silently.
+    dead: bool,
+}
+
+impl Wal {
+    /// Create a fresh log at `path` (truncating anything there): header
+    /// plus an initial checkpoint of `image`, synced.
+    pub fn create(
+        path: &Path,
+        mode: DurabilityMode,
+        floor: u64,
+        image: &StoreImage,
+    ) -> Result<Wal, WalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut wal = Wal {
+            path: path.to_path_buf(),
+            file,
+            mode,
+            enc: RecordEncoder::new(),
+            pending: Vec::new(),
+            pending_commits: 0,
+            oldest_pending_commit: 0,
+            store_kind: image.kind(),
+            num_vars: image.num_vars() as u32,
+            stats: WalStats::default(),
+            crash_after_records: None,
+            crash_after_syncs: None,
+            dead: false,
+        };
+        let header = encode_header(wal.store_kind, wal.num_vars);
+        wal.file.write_all(&header)?;
+        wal.stats.bytes += header.len() as u64;
+        wal.enc.checkpoint(floor, image);
+        wal.enc.frame_into(&mut wal.pending);
+        wal.stats.records += 1;
+        wal.flush_sync()?;
+        // The file's *existence* must survive a power failure too:
+        // persist the directory entry.
+        sync_parent_dir(&wal.path)?;
+        Ok(wal)
+    }
+
+    /// Reopen an existing, already-recovered log for appending. The
+    /// caller (recovery) has truncated the torn tail; appends go at the
+    /// end of the valid prefix.
+    pub fn append_to(
+        path: &Path,
+        mode: DurabilityMode,
+        store_kind: StoreKind,
+        num_vars: u32,
+    ) -> Result<Wal, WalError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file,
+            mode,
+            enc: RecordEncoder::new(),
+            pending: Vec::new(),
+            pending_commits: 0,
+            oldest_pending_commit: 0,
+            store_kind,
+            num_vars,
+            stats: WalStats::default(),
+            crash_after_records: None,
+            crash_after_syncs: None,
+            dead: false,
+        })
+    }
+
+    /// Append-side counters.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The policy this log flushes under.
+    pub fn mode(&self) -> DurabilityMode {
+        self.mode
+    }
+
+    /// Crash injection: the log dies (drops all further records and
+    /// syncs) once `n` records have been appended — a simulated kill at
+    /// that append boundary.
+    pub fn crash_after_records(&mut self, n: u64) {
+        self.crash_after_records = Some(n);
+        self.check_crash();
+    }
+
+    /// Crash injection: the log dies once `n` fsyncs have completed — a
+    /// simulated kill at that fsync boundary.
+    pub fn crash_after_syncs(&mut self, n: u64) {
+        self.crash_after_syncs = Some(n);
+        self.check_crash();
+    }
+
+    /// Has a crash-injection boundary been crossed?
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn check_crash(&mut self) {
+        let records_hit = self
+            .crash_after_records
+            .is_some_and(|n| self.stats.records >= n);
+        let syncs_hit = self
+            .crash_after_syncs
+            .is_some_and(|n| self.stats.syncs >= n);
+        if records_hit || syncs_hit {
+            // The process died: whatever was buffered never reaches disk.
+            self.dead = true;
+            self.pending.clear();
+            self.pending_commits = 0;
+        }
+    }
+
+    fn append_framed(&mut self) {
+        if self.dead {
+            return;
+        }
+        self.enc.frame_into(&mut self.pending);
+        self.stats.records += 1;
+        self.check_crash();
+    }
+
+    /// Log a transaction attempt start (buffered; never syncs).
+    pub fn begin_txn(&mut self, gsn: u64) {
+        self.enc.begin(gsn);
+        self.append_framed();
+    }
+
+    /// Log an abort (buffered; never syncs — aborts carry no durability
+    /// obligation under redo-only logging).
+    pub fn abort_txn(&mut self, gsn: u64) {
+        self.enc.abort(gsn);
+        self.append_framed();
+    }
+
+    /// Start the commit group of `gsn`: opens the write-set record at
+    /// version timestamp `cts` (0 on the single-version store).
+    pub fn start_commit(&mut self, gsn: u64, cts: u64) {
+        self.enc.start_writeset(gsn, cts);
+    }
+
+    /// Append one after-image to the open write-set.
+    pub fn push_write(&mut self, var: VarId, value: Value) {
+        self.enc.push_write(var, value);
+    }
+
+    /// Close the commit group: frames the write-set and the commit
+    /// record, then flushes per the durability mode. Returns `true` when
+    /// this commit paid an fsync (the group-commit batch leader or every
+    /// commit under `Strict`).
+    pub fn finish_commit(&mut self, gsn: u64, tick: u64) -> Result<bool, WalError> {
+        self.append_framed(); // the write-set
+        self.enc.commit(gsn);
+        self.append_framed();
+        if self.dead {
+            return Ok(false);
+        }
+        if self.pending_commits == 0 {
+            self.oldest_pending_commit = tick;
+        }
+        self.pending_commits += 1;
+        let flush = match self.mode {
+            DurabilityMode::Strict => true,
+            DurabilityMode::Group {
+                max_batch,
+                max_delay_ticks,
+            } => {
+                self.pending_commits >= max_batch
+                    || tick.saturating_sub(self.oldest_pending_commit) >= max_delay_ticks
+            }
+            DurabilityMode::None => false,
+        };
+        if flush {
+            self.flush_sync()?;
+        }
+        Ok(flush)
+    }
+
+    /// Flush the pending buffer to the file and sync it (graceful
+    /// shutdown, or an explicit durability point). No-op when nothing is
+    /// pending; silently dropped after a simulated crash.
+    pub fn flush_sync(&mut self) -> Result<(), WalError> {
+        if self.dead {
+            return Ok(());
+        }
+        if !self.pending.is_empty() {
+            self.file.write_all(&self.pending)?;
+            self.stats.bytes += self.pending.len() as u64;
+            self.pending.clear();
+            self.pending_commits = 0;
+        }
+        self.file.sync_data()?;
+        self.stats.syncs += 1;
+        self.check_crash();
+        Ok(())
+    }
+
+    /// Compact the log: write a fresh file holding only the header and a
+    /// checkpoint of `image`, sync it, and atomically swap it over the
+    /// old log. Pending records are discarded — their effects are inside
+    /// the image, so everything acknowledged (even group-commit-buffered)
+    /// is durable once the checkpoint lands.
+    pub fn rewrite_checkpoint(&mut self, floor: u64, image: &StoreImage) -> Result<(), WalError> {
+        if self.dead {
+            return Ok(());
+        }
+        debug_assert_eq!(image.kind(), self.store_kind);
+        debug_assert_eq!(image.num_vars() as u32, self.num_vars);
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&tmp)?;
+            let header = encode_header(self.store_kind, self.num_vars);
+            f.write_all(&header)?;
+            let mut framed = Vec::new();
+            self.enc.checkpoint(floor, image);
+            self.enc.frame_into(&mut framed);
+            f.write_all(&framed)?;
+            f.sync_data()?;
+            self.stats.bytes += (header.len() + framed.len()) as u64;
+            self.stats.records += 1;
+            self.stats.syncs += 1;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // A rename is durable only once the *directory entry* is synced;
+        // without this, a power failure after the swap could resurface
+        // the old log minus the pending records this checkpoint absorbed
+        // — acknowledged commits lost beyond the documented window.
+        sync_parent_dir(&self.path)?;
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.pending.clear();
+        self.pending_commits = 0;
+        self.check_crash();
+        Ok(())
+    }
+
+    /// Current on-disk length of the valid log (observability for tests;
+    /// includes the header).
+    pub fn file_len(&self) -> Result<u64, WalError> {
+        Ok(std::fs::metadata(&self.path)?.len())
+    }
+
+    /// Header length in bytes (records start here).
+    pub fn header_len() -> usize {
+        HEADER_LEN
+    }
+}
+
+/// Fsync the directory holding `path`, persisting creations and renames
+/// of the file itself (POSIX: data syncs make file *contents* durable,
+/// only a directory sync makes the *entry* durable).
+fn sync_parent_dir(path: &Path) -> Result<(), WalError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::recover;
+    use crate::scratch_path;
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn single_image(vals: &[i64]) -> StoreImage {
+        StoreImage::Single(vals.iter().map(|&i| int(i)).collect())
+    }
+
+    #[test]
+    fn strict_mode_syncs_every_commit() {
+        let path = scratch_path("wal-strict");
+        let mut wal =
+            Wal::create(&path, DurabilityMode::Strict, 0, &single_image(&[0, 0])).unwrap();
+        let base_syncs = wal.stats().syncs;
+        for gsn in 0..3u64 {
+            wal.begin_txn(gsn);
+            wal.start_commit(gsn, 0);
+            wal.push_write(VarId(0), int(gsn as i64 + 1));
+            assert!(wal.finish_commit(gsn, gsn).unwrap());
+        }
+        assert_eq!(wal.stats().syncs, base_syncs + 3);
+        drop(wal); // crash: nothing pending, everything already durable
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(rec.committed, 3);
+        assert_eq!(
+            rec.image.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[3, 0])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_mode_batches_syncs_and_bounds_the_loss_window() {
+        let path = scratch_path("wal-group");
+        let mode = DurabilityMode::Group {
+            max_batch: 4,
+            max_delay_ticks: u64::MAX,
+        };
+        let mut wal = Wal::create(&path, mode, 0, &single_image(&[0])).unwrap();
+        let base_syncs = wal.stats().syncs;
+        let mut leaders = 0;
+        for gsn in 0..10u64 {
+            wal.begin_txn(gsn);
+            wal.start_commit(gsn, 0);
+            wal.push_write(VarId(0), int(gsn as i64 + 1));
+            if wal.finish_commit(gsn, gsn).unwrap() {
+                leaders += 1;
+            }
+        }
+        // 10 commits, batch of 4: syncs after commits 4 and 8 only.
+        assert_eq!(leaders, 2);
+        assert_eq!(wal.stats().syncs, base_syncs + 2);
+        drop(wal); // crash with 2 commits buffered
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(rec.committed, 8, "the unsynced tail of the batch is lost");
+        assert_eq!(
+            rec.image.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[8])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_deadline_flushes_a_partial_batch() {
+        let path = scratch_path("wal-deadline");
+        let mode = DurabilityMode::Group {
+            max_batch: 100,
+            max_delay_ticks: 5,
+        };
+        let mut wal = Wal::create(&path, mode, 0, &single_image(&[0])).unwrap();
+        wal.start_commit(0, 0);
+        wal.push_write(VarId(0), int(1));
+        assert!(!wal.finish_commit(0, 10).unwrap());
+        // Next commit arrives past the deadline: the batch flushes.
+        wal.start_commit(1, 0);
+        wal.push_write(VarId(0), int(2));
+        assert!(wal.finish_commit(1, 16).unwrap());
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(rec.committed, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explicit_flush_makes_buffered_commits_durable() {
+        let path = scratch_path("wal-flush");
+        let mut wal =
+            Wal::create(&path, DurabilityMode::group(64), 0, &single_image(&[0])).unwrap();
+        wal.start_commit(0, 0);
+        wal.push_write(VarId(0), int(7));
+        assert!(!wal.finish_commit(0, 0).unwrap());
+        wal.flush_sync().unwrap();
+        drop(wal);
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(rec.committed, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_rewrite_compacts_and_preserves_state() {
+        let path = scratch_path("wal-ckpt");
+        let mut wal = Wal::create(&path, DurabilityMode::Strict, 0, &single_image(&[0])).unwrap();
+        for gsn in 0..20u64 {
+            wal.start_commit(gsn, 0);
+            wal.push_write(VarId(0), int(gsn as i64 + 1));
+            wal.finish_commit(gsn, gsn).unwrap();
+        }
+        let before = wal.file_len().unwrap();
+        wal.rewrite_checkpoint(0, &single_image(&[20])).unwrap();
+        let after = wal.file_len().unwrap();
+        assert!(
+            after < before,
+            "checkpoint must compact the log ({before} -> {after})"
+        );
+        // Post-checkpoint commits land on top of the image.
+        wal.start_commit(100, 0);
+        wal.push_write(VarId(0), int(99));
+        wal.finish_commit(100, 100).unwrap();
+        drop(wal);
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(rec.committed, 1, "only post-checkpoint commits replay");
+        assert_eq!(
+            rec.image.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[99])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_injection_kills_the_log_at_an_append_boundary() {
+        let path = scratch_path("wal-crash");
+        let mut wal = Wal::create(&path, DurabilityMode::Strict, 0, &single_image(&[0])).unwrap();
+        // Records: 1 checkpoint + (writeset + commit) per commit. Die at
+        // the 5th append: commit 1's records enter the buffer but the
+        // process is gone before they are written — only commit 0 (synced
+        // at append 3) survives.
+        wal.crash_after_records(5);
+        for gsn in 0..6u64 {
+            wal.start_commit(gsn, 0);
+            wal.push_write(VarId(0), int(gsn as i64 + 1));
+            let _ = wal.finish_commit(gsn, gsn).unwrap();
+        }
+        assert!(wal.is_dead());
+        drop(wal);
+        let rec = recover(&path).unwrap().expect("log recovers");
+        assert_eq!(
+            rec.committed, 1,
+            "the kill boundary caps the durable prefix"
+        );
+        assert_eq!(
+            rec.image.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[1])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -98,6 +98,18 @@ pub trait ConcurrencyControl {
         u64::MAX
     }
 
+    /// Crash recovery replayed a log whose versions and commits reach up
+    /// to timestamp `ts_floor`: advance every internal clock so that all
+    /// future snapshots and commit timestamps are strictly greater.
+    /// Called once, before the first `begin` of a recovered database.
+    /// Mechanisms whose clocks restart harmlessly (every table is empty
+    /// after a crash) keep the default no-op; the timestamp-based ones
+    /// override it so recovered version chains stay append-only and new
+    /// snapshots observe the whole recovered history.
+    fn resume(&mut self, ts_floor: u64) {
+        let _ = ts_floor;
+    }
+
     /// The dense slot of `t` is being retired so a *different, future*
     /// transaction can recycle it (the open-world session lifecycle;
     /// [`after_commit`](Self::after_commit) or [`on_abort`](Self::on_abort)
@@ -614,6 +626,13 @@ impl ConcurrencyControl for TimestampCc {
     fn name(&self) -> &str {
         "T/O"
     }
+
+    fn resume(&mut self, ts_floor: u64) {
+        // Not required for correctness (variable stamps do not survive a
+        // crash), but keeps the transaction clock monotone across the
+        // database's whole lifetime.
+        self.next = self.next.max(ts_floor);
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -892,6 +911,13 @@ impl ConcurrencyControl for MvtoCc {
         "MVTO"
     }
 
+    fn resume(&mut self, ts_floor: u64) {
+        // Recovered chains hold versions up to `ts_floor`: stamps resume
+        // above it so new snapshots see the whole recovered history and
+        // new installs stay append-only.
+        self.next = self.next.max(ts_floor);
+    }
+
     fn defers_writes(&self) -> bool {
         true
     }
@@ -1018,6 +1044,13 @@ impl ConcurrencyControl for SiCc {
 
     fn name(&self) -> &str {
         "SI"
+    }
+
+    fn resume(&mut self, ts_floor: u64) {
+        // The commit sequence resumes above every recovered version, so
+        // fresh snapshots (taken at `commit_seq`) observe all of them and
+        // fresh commits install strictly above the recovered chain heads.
+        self.commit_seq = self.commit_seq.max(ts_floor);
     }
 
     fn defers_writes(&self) -> bool {

@@ -22,7 +22,9 @@
 //! * [`session`] — the open-world session layer: dynamic transactions
 //!   ([`SessionDb::begin`] / per-operation read/write/update / explicit
 //!   commit/abort) over recycled dense slots with epoch-guarded handles
-//!   and a retirement lifecycle;
+//!   and a retirement lifecycle, optionally durable
+//!   ([`SessionDb::open`]): a redo-only write-ahead log with group
+//!   commit, checkpoints and crash recovery (`ccopt-durability`);
 //! * [`db`] — the closed-world [`Database`]: the paper's fixed transaction
 //!   system driven step by step (with a round-robin driver), now a thin
 //!   adapter over the session layer;
@@ -37,7 +39,9 @@ pub mod session;
 pub mod storage;
 
 pub use cc::{CcDecision, ConcurrencyControl};
+pub use ccopt_durability as durability;
+pub use ccopt_durability::{DurabilityMode, StoreImage, WalError};
 pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
-pub use session::{Op, SessionDb, SessionError, SessionStatus, Txn};
+pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn};

@@ -30,6 +30,13 @@ pub struct Metrics {
     /// back for recycling (the open-world lifecycle; always 0 under the
     /// closed-world driver, which never retires).
     pub retires: usize,
+    /// Write-ahead-log records appended (0 when durability is off).
+    pub wal_records: usize,
+    /// Write-ahead-log `fsync`s issued; under group commit this grows by
+    /// one per *batch*, not per commit (0 when durability is off).
+    pub wal_syncs: usize,
+    /// Bytes written to the write-ahead log (0 when durability is off).
+    pub wal_bytes: usize,
 }
 
 impl Metrics {

@@ -63,6 +63,39 @@ impl MvStore {
         self.chains.len()
     }
 
+    /// Rebuild a store from a durable image: per-variable `(wts, value)`
+    /// chains in ascending order (crash recovery's replay output).
+    ///
+    /// # Panics
+    /// Panics when a chain is empty or out of order — a recovered image
+    /// is validated record by record, so this indicates a caller bug.
+    pub fn from_image(chains: Vec<Vec<(u64, Value)>>) -> Self {
+        let chains: Vec<Vec<Version>> = chains
+            .into_iter()
+            .map(|chain| {
+                assert!(!chain.is_empty(), "image chains must be non-empty");
+                assert!(
+                    chain.windows(2).all(|w| w[0].0 < w[1].0),
+                    "image chains must ascend strictly by wts"
+                );
+                chain
+                    .into_iter()
+                    .map(|(wts, value)| Version { wts, value })
+                    .collect()
+            })
+            .collect();
+        MvStore { chains }
+    }
+
+    /// Export the chains as a durable image (the checkpoint payload):
+    /// per-variable `(wts, value)` lists, ascending.
+    pub fn image(&self) -> Vec<Vec<(u64, Value)>> {
+        self.chains
+            .iter()
+            .map(|chain| chain.iter().map(|v| (v.wts, v.value)).collect())
+            .collect()
+    }
+
     /// Read variable `v` at snapshot `ts`: the newest version with
     /// `wts <= ts`. The scan runs from the chain tail because snapshots
     /// overwhelmingly address the newest few versions.

@@ -50,6 +50,24 @@ impl Storage {
             self.vals[v.index()] = val;
         }
     }
+
+    /// The *committed* state: the current values with the given live undo
+    /// logs applied to a copy (the checkpoint snapshot). Sound because the
+    /// engine's mechanisms are strict — at most one uncommitted writer per
+    /// variable — so each live transaction's before-images restore
+    /// independently.
+    pub fn committed_snapshot<'a>(
+        &self,
+        live_undo: impl Iterator<Item = &'a [(VarId, Value)]>,
+    ) -> GlobalState {
+        let mut vals = self.vals.clone();
+        for log in live_undo {
+            for &(v, val) in log.iter().rev() {
+                vals[v.index()] = val;
+            }
+        }
+        GlobalState(vals)
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ pub mod stats;
 pub mod workload;
 
 pub use engine_sim::{simulate_engine, SimConfig, SimResult};
-pub use open_sim::{check_serializable, simulate_open, OpenSimConfig, OpenSimResult};
+pub use open_sim::{
+    check_serializable, check_strict, simulate_open, simulate_open_durable, DurableConfig,
+    OpenSimConfig, OpenSimResult,
+};
 pub use order_sim::{delay_profile, DelayProfile};
 pub use report::Table;
 pub use stats::Summary;

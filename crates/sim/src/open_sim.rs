@@ -24,10 +24,22 @@
 //! mechanisms (writes of deferred-write mechanisms placed at commit time),
 //! the begin-timestamp order for MVTO. Snapshot isolation is exempt by
 //! design (it admits write skew); callers skip the check for SI.
+//! [`check_strict`] asserts the property durability rests on: every
+//! committed history is strict, so redo-only logging suffices.
+//!
+//! [`simulate_open_durable`] runs the same stream against a
+//! [`SessionDb::open`]ed database: commits append to the write-ahead log,
+//! fsyncs charge [`sync_time`](OpenSimConfig::sync_time) to the
+//! committing terminal (one per commit under `Strict`; one per *batch*
+//! under group commit — the group-commit throughput claim), and an
+//! optional crash point kills the log at a configurable append/fsync
+//! boundary so tests can recover and diff against the in-memory committed
+//! prefix ([`OpenSimResult::journal`]).
 
 use crate::stats::Summary;
 use ccopt_engine::cc::ConcurrencyControl;
 use ccopt_engine::session::{Op, SessionDb, Txn};
+use ccopt_engine::DurabilityMode;
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
 use ccopt_model::syntax::StepKind;
@@ -36,6 +48,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 
 /// Values live in `Z_MOD` so affine update chains stay bounded over
 /// arbitrarily long streams (no overflow, exact replay).
@@ -66,6 +79,10 @@ pub struct OpenSimConfig {
     pub retry_interval: f64,
     /// Extra delay before a restarted attempt resubmits.
     pub restart_penalty: f64,
+    /// Cost of one log fsync, charged to the committing terminal when its
+    /// commit flushed the write-ahead log (durable runs only; group
+    /// commit amortizes it over the batch).
+    pub sync_time: f64,
     /// RNG seed.
     pub seed: u64,
     /// Safety valve: maximum events processed.
@@ -88,6 +105,7 @@ impl Default for OpenSimConfig {
             think_time: 2.0,
             retry_interval: 0.5,
             restart_penalty: 1.0,
+            sync_time: 8.0,
             seed: 42,
             max_events: 4_000_000,
             check: false,
@@ -180,6 +198,57 @@ pub struct OpenSimResult {
     pub multiversion: bool,
     /// Whether writes were deferred to commit (places write conflicts).
     pub defers_writes: bool,
+    /// Write-ahead-log records appended (durable runs only).
+    pub wal_records: usize,
+    /// Write-ahead-log fsyncs issued (durable runs only; under group
+    /// commit, far fewer than commits).
+    pub wal_syncs: usize,
+    /// Committed-prefix journal, recorded on durable runs with
+    /// [`check`](OpenSimConfig::check): `journal[k]` is the committed
+    /// state after exactly `k` commits — what a crash recovered at the
+    /// `k`-commit boundary must rebuild.
+    pub journal: Vec<GlobalState>,
+}
+
+/// Durability parameters of [`simulate_open_durable`].
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Write-ahead-log path (created or recovered by [`SessionDb::open`]).
+    pub path: PathBuf,
+    /// Flush policy.
+    pub mode: DurabilityMode,
+    /// Crash injection: kill the log at this append boundary (records).
+    pub crash_after_records: Option<u64>,
+    /// Crash injection: kill the log at this fsync boundary.
+    pub crash_after_syncs: Option<u64>,
+    /// Record the committed-prefix [`journal`](OpenSimResult::journal)
+    /// (one committed-state snapshot per commit). The crash-recovery
+    /// differential tests need it; benchmarks leave it off so durable
+    /// cells pay no per-commit snapshot cost the `none` baseline skips.
+    pub record_journal: bool,
+}
+
+impl DurableConfig {
+    /// A durable run at `path` under `mode`, with no crash injected and
+    /// no journal recording (the benchmark shape).
+    pub fn new(path: PathBuf, mode: DurabilityMode) -> Self {
+        DurableConfig {
+            path,
+            mode,
+            crash_after_records: None,
+            crash_after_syncs: None,
+            record_journal: false,
+        }
+    }
+
+    /// Like [`new`](Self::new) but recording the committed-prefix
+    /// journal (the crash-differential test shape).
+    pub fn recording(path: PathBuf, mode: DurabilityMode) -> Self {
+        DurableConfig {
+            record_journal: true,
+            ..Self::new(path, mode)
+        }
+    }
 }
 
 #[derive(PartialEq)]
@@ -285,10 +354,37 @@ pub fn submit_op(db: &mut SessionDb, h: Txn, op: OpSpec) -> Op<Value> {
     r.expect("open-sim handles are live")
 }
 
-/// Run the open-world simulation for one mechanism.
+/// Run the open-world simulation for one mechanism (no durability).
 pub fn simulate_open(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     cfg: &OpenSimConfig,
+) -> OpenSimResult {
+    simulate_open_impl(make_cc, cfg, None)
+}
+
+/// Run the open-world simulation against a durable [`SessionDb::open`]:
+/// an existing log at the path is recovered first (the stream resumes on
+/// the recovered state), commits append to the log, and fsyncs charge
+/// [`sync_time`](OpenSimConfig::sync_time) to the committing terminal.
+/// The simulation ends like a crash — nothing is flushed on exit — so
+/// under group commit the acknowledged tail inside the loss window is
+/// intentionally not durable.
+///
+/// # Panics
+/// Panics when the log cannot be opened or recovered (simulation harness
+/// convention: configuration errors are bugs in the experiment).
+pub fn simulate_open_durable(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    cfg: &OpenSimConfig,
+    dur: &DurableConfig,
+) -> OpenSimResult {
+    simulate_open_impl(make_cc, cfg, Some(dur))
+}
+
+fn simulate_open_impl(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    cfg: &OpenSimConfig,
+    dur: Option<&DurableConfig>,
 ) -> OpenSimResult {
     let cc = make_cc();
     let cc_name = cc.name().to_string();
@@ -296,7 +392,19 @@ pub fn simulate_open(
     let defers_writes = cc.defers_writes();
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x09E2_5EED);
     let init = GlobalState::from_ints(&vec![0; cfg.vars]);
-    let mut db = SessionDb::with_capacity(cc, init, cfg.terminals);
+    let mut db = match dur {
+        None => SessionDb::with_capacity(cc, init, cfg.terminals),
+        Some(d) => SessionDb::open_with_capacity(cc, init, &d.path, d.mode, cfg.terminals)
+            .expect("open the durable session database"),
+    };
+    if let Some(d) = dur {
+        if let Some(n) = d.crash_after_records {
+            db.wal_crash_after_records(n);
+        }
+        if let Some(n) = d.crash_after_syncs {
+            db.wal_crash_after_syncs(n);
+        }
+    }
 
     let mut terminals: Vec<Terminal> = (0..cfg.terminals)
         .map(|_| Terminal {
@@ -320,6 +428,13 @@ pub fn simulate_open(
     let mut seq = 0u64;
     let mut latencies: Vec<f64> = Vec::with_capacity(cfg.total_txns);
     let mut history: Vec<CommittedTxn> = Vec::new();
+    // Committed-prefix journal for the crash-recovery differential:
+    // journal[k] = committed state after k commits of *this* run.
+    let record_journal = dur.is_some_and(|d| d.record_journal);
+    let mut journal: Vec<GlobalState> = Vec::new();
+    if record_journal {
+        journal.push(db.committed_globals());
+    }
     let mut peak_slots = 0usize;
     let mut peak_open = 0usize;
     let mut peak_versions = 0usize;
@@ -344,12 +459,21 @@ pub fn simulate_open(
         if term.next_op == term.prog.len() {
             // All operations ran: request the commit.
             let view = db.read_view(h).expect("live handle");
+            let syncs_before = db.metrics.wal_syncs;
             match db.commit(h).expect("live handle") {
                 Op::Done(()) => {
                     db.retire(h).expect("committed handle");
                     term.handle = None;
                     committed += 1;
-                    latencies.push(ev.time + cfg.exec_time - term.started_at);
+                    // A commit that flushed the log pays the fsync; under
+                    // group commit only the batch leader does, which is
+                    // the whole throughput argument.
+                    let sync_cost = if db.metrics.wal_syncs > syncs_before {
+                        cfg.sync_time
+                    } else {
+                        0.0
+                    };
+                    latencies.push(ev.time + cfg.exec_time + sync_cost - term.started_at);
                     seq += 1;
                     if cfg.check {
                         history.push(CommittedTxn {
@@ -358,13 +482,16 @@ pub fn simulate_open(
                             commit_seq: seq,
                         });
                     }
+                    if record_journal {
+                        journal.push(db.committed_globals());
+                    }
                     if committed >= cfg.total_txns {
                         break 'sim;
                     }
                     // Next arrival after the commit's execution + think.
                     let think = exp_sample(&mut rng, cfg.think_time);
                     queue.push(Reverse(Event {
-                        time: ev.time + cfg.exec_time + think,
+                        time: ev.time + cfg.exec_time + sync_cost + think,
                         terminal: ev.terminal,
                     }));
                 }
@@ -466,6 +593,9 @@ pub fn simulate_open(
         history,
         multiversion,
         defers_writes,
+        wal_records: m.wal_records,
+        wal_syncs: m.wal_syncs,
+        journal,
     }
 }
 
@@ -509,6 +639,73 @@ pub fn check_serializable(r: &OpenSimResult) -> Result<(), String> {
             r.final_state
         ))
     }
+}
+
+/// Assert the committed history is **strict** — the property redo-only
+/// logging rests on: no transaction observes another's uncommitted write,
+/// and writes are installed only under their writer's control, undone
+/// before anyone else can see them on abort. Strict committed histories
+/// are reproducible from committed write-sets in commit order, so a redo
+/// log needs nothing else.
+///
+/// * Deferred-write mechanisms (OCC, MVTO, SI) are strict by
+///   construction: buffered writes reach the store only in the commit
+///   write phase, so the store never holds uncommitted data at all — the
+///   checker verifies the structural invariant that every operation
+///   executed before its transaction's commit point and trusts deferral
+///   for the rest.
+/// * Immediate-write mechanisms (serial, 2PL, SGT, T/O) install writes
+///   mid-transaction; the checker sweeps each variable's committed
+///   accesses in global execution order and rejects any access that lands
+///   inside another transaction's write-to-commit window.
+pub fn check_strict(r: &OpenSimResult) -> Result<(), String> {
+    for (i, t) in r.history.iter().enumerate() {
+        for &(s, _) in &t.ops {
+            if s >= t.commit_seq {
+                return Err(format!(
+                    "{}: txn {i} executed an op at seq {s} at/after its commit {}",
+                    r.cc_name, t.commit_seq
+                ));
+            }
+        }
+    }
+    if r.defers_writes {
+        return Ok(()); // buffered writes: the store holds committed data only
+    }
+    // Per variable: every access in (write_seq, writer_commit_seq) of a
+    // different transaction is a strictness violation.
+    let mut by_var: std::collections::BTreeMap<u32, Vec<(u64, usize, bool, u64)>> =
+        std::collections::BTreeMap::new();
+    for (i, t) in r.history.iter().enumerate() {
+        for &(s, op) in &t.ops {
+            by_var
+                .entry(op.var.0)
+                .or_default()
+                .push((s, i, op.kind.writes(), t.commit_seq));
+        }
+    }
+    for (var, accs) in &mut by_var {
+        accs.sort_unstable();
+        // The open dirty window: (owner, commit_seq of the owner).
+        let mut dirty: Option<(usize, u64)> = None;
+        for &(s, i, writes, commit_seq) in accs.iter() {
+            if let Some((owner, until)) = dirty {
+                if s >= until {
+                    dirty = None;
+                } else if i != owner {
+                    return Err(format!(
+                        "{}: txn {i} touched v{var} at seq {s}, inside txn {owner}'s \
+                         uncommitted write window (ends at {until})",
+                        r.cc_name
+                    ));
+                }
+            }
+            if writes {
+                dirty = Some((i, commit_seq));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Conflict-graph topological order of a single-version committed history

@@ -213,10 +213,12 @@ fn run_probe(db: &mut SessionDb, prog: &[OpSpec]) -> (Vec<Value>, GlobalState, M
         mv_write_aborts: after.mv_write_aborts - before.mv_write_aborts,
         versions_installed: after.versions_installed - before.versions_installed,
         // GC and chain gauges depend on the surrounding history, not the
-        // probe's behavior: excluded from the differential.
+        // probe's behavior: excluded from the differential. WAL counters
+        // stay zero here (these databases run without durability).
         versions_reclaimed: 0,
         max_chain_len: 0,
         retires: after.retires - before.retires,
+        ..Metrics::default()
     };
     (observed, db.globals(), delta, attempts)
 }
