@@ -20,22 +20,33 @@
 //!   throughput, and that every sampled committed history is strict (the
 //!   property redo-only logging rests on).
 //!
+//! * the **sharded** grid (schema `sharded`): the same open-world streams
+//!   over a [`ccopt_engine::ShardedDb`], swept over shard count ×
+//!   cross-shard ratio — single-shard fast-path commits vs. two-phase
+//!   cross-shard commits on real per-shard worker threads. Every sampled
+//!   history passes the serializability oracle (SI exempt), and the
+//!   `S = 1` cells are asserted **equal** to the open-world `none` cells:
+//!   the sharding layer adds no simulated-time distortion.
+//!
 //! Abort and wait counts ride alongside throughput so mechanism trade-offs
 //! (blocking vs. restarting vs. versioning) stay visible. All simulated
 //! statistics are deterministic in the config; only the wall-clock fields
 //! vary run to run.
 //!
-//! `--quick` shrinks batches and stream lengths for smoke runs (CI); the
-//! JSON schema (v4) is unchanged.
+//! `--quick` shrinks batches, stream lengths and the sharded grid to one
+//! mixed cell per mechanism plus its `S = 1` baseline (CI); the JSON
+//! schema (v5) is unchanged.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
 use ccopt_engine::DurabilityMode;
 use ccopt_sim::engine_sim::{simulate_engine, SimConfig, SimResult};
 use ccopt_sim::open_sim::{
-    check_strict, simulate_open, simulate_open_durable, DurableConfig, OpenSimConfig, OpenSimResult,
+    check_serializable, check_strict, simulate_open, simulate_open_durable, DurableConfig,
+    OpenSimConfig, OpenSimResult,
 };
 use ccopt_sim::report::{f3, Table};
+use ccopt_sim::shard_sim::{simulate_sharded, ShardSimConfig};
 use ccopt_sim::workload::Workload;
 use std::time::Instant;
 
@@ -146,6 +157,127 @@ fn open_workloads(quick: bool) -> Vec<(String, OpenSimConfig)> {
             },
         ),
     ]
+}
+
+/// One sharded grid cell.
+struct ShardCell {
+    workload: String,
+    cc: String,
+    shards: usize,
+    cross_ratio: f64,
+    committed: usize,
+    aborts: usize,
+    waits: usize,
+    cross_commits_observed: usize,
+    throughput: f64,
+    latency_mean: f64,
+    latency_p50: f64,
+    latency_p95: f64,
+    abort_rate: f64,
+    peak_slots: usize,
+    peak_live_versions: usize,
+    wall_ms: f64,
+}
+
+/// The (shards, cross_ratio) combinations swept. `S = 1` runs only at
+/// ratio 0 (there is nothing to cross) and doubles as the no-distortion
+/// baseline asserted against the open-world grid.
+fn shard_combos(quick: bool) -> Vec<(usize, f64)> {
+    if quick {
+        vec![(1, 0.0), (4, 0.2)]
+    } else {
+        let mut combos = vec![(1, 0.0)];
+        for s in [2usize, 4, 8] {
+            for r in [0.0, 0.2, 0.5] {
+                combos.push((s, r));
+            }
+        }
+        combos
+    }
+}
+
+/// The sharded grid over the open_uniform workload: shard count ×
+/// cross-shard ratio, serializability-checked, with the `S = 1` cells
+/// asserted identical to the open-world `none` cells.
+fn sharded_grid(quick: bool, open_cells: &[OpenCell]) -> Vec<ShardCell> {
+    let (label, base) = open_workloads(quick).into_iter().next().expect("uniform");
+    let base = OpenSimConfig {
+        check: true,
+        ..base
+    };
+    let mut cells = Vec::new();
+    for (shards, cross_ratio) in shard_combos(quick) {
+        for (name, mk) in cc_factories() {
+            let wall = Instant::now();
+            let scfg = ShardSimConfig::new(base, shards, cross_ratio);
+            let r = simulate_sharded(mk.as_ref(), &scfg);
+            assert_eq!(
+                r.committed, base.total_txns,
+                "{name} did not serve the sharded {label} stream (S={shards}, x={cross_ratio})"
+            );
+            if name != "SI" {
+                check_serializable(&r).unwrap_or_else(|e| {
+                    panic!("{name} (S={shards}, x={cross_ratio}): non-serializable history: {e}")
+                });
+            }
+            // Cross-shard transactions actually happened on crossing cells
+            // (aborted ones may retry single-shard, hence observed count).
+            let p = ccopt_engine::shard::Partition::new(base.vars, shards);
+            let cross_observed = r
+                .history
+                .iter()
+                .filter(|t| {
+                    let mut it = t.ops.iter().map(|&(_, op)| p.shard_of(op.var));
+                    let first = it.next();
+                    it.any(|s| Some(s) != first)
+                })
+                .count();
+            if shards > 1 && cross_ratio > 0.0 {
+                assert!(
+                    cross_observed > 0,
+                    "{name}: a crossing cell must commit cross-shard transactions"
+                );
+            }
+            if shards == 1 {
+                // The no-distortion claim: S = 1 must reproduce the
+                // open-world cell exactly (same workload, no durability).
+                let baseline = open_cells
+                    .iter()
+                    .find(|c| c.workload == label && c.cc == name && c.durability == "none")
+                    .expect("the open grid covers the uniform workload");
+                assert_eq!(
+                    (r.committed, r.aborts, r.waits),
+                    (baseline.committed, baseline.aborts, baseline.waits),
+                    "{name}: S=1 sharded cell diverged from the open-world grid"
+                );
+                assert!(
+                    (r.throughput - baseline.throughput).abs() < 1e-12,
+                    "{name}: S=1 sharded throughput {} != open-world {}",
+                    r.throughput,
+                    baseline.throughput
+                );
+            }
+            cells.push(ShardCell {
+                workload: label.clone(),
+                cc: name.to_string(),
+                shards,
+                cross_ratio,
+                committed: r.committed,
+                aborts: r.aborts,
+                waits: r.waits,
+                cross_commits_observed: cross_observed,
+                throughput: r.throughput,
+                latency_mean: r.latency.mean,
+                latency_p50: r.latency.p50,
+                latency_p95: r.latency.p95,
+                abort_rate: r.abort_rate,
+                peak_slots: r.peak_slots,
+                peak_live_versions: r.peak_live_versions,
+                wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    cells
 }
 
 fn open_grid(quick: bool) -> Vec<OpenCell> {
@@ -343,16 +475,64 @@ fn main() {
     }
     println!("{open_table}");
 
+    let shard_cells = sharded_grid(quick, &open_cells);
+    let mut shard_table = Table::new(
+        "sharded session streams (per CC x shards x cross-ratio; S=1 == open-world)",
+        &[
+            "workload",
+            "cc",
+            "shards",
+            "cross",
+            "commits",
+            "x-commits",
+            "aborts",
+            "waits",
+            "thru",
+            "lat-mean",
+            "lat-p95",
+            "abort-rate",
+            "peak-slots",
+            "peak-vers",
+            "wall-ms",
+        ],
+    );
+    for c in &shard_cells {
+        shard_table.row(&[
+            c.workload.clone(),
+            c.cc.clone(),
+            c.shards.to_string(),
+            format!("{:.1}", c.cross_ratio),
+            c.committed.to_string(),
+            c.cross_commits_observed.to_string(),
+            c.aborts.to_string(),
+            c.waits.to_string(),
+            f3(c.throughput),
+            f3(c.latency_mean),
+            f3(c.latency_p95),
+            f3(c.abort_rate),
+            c.peak_slots.to_string(),
+            c.peak_live_versions.to_string(),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    println!("{shard_table}");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
-    std::fs::write(path, to_json(&cfg, &cells, &open_cells)).expect("write BENCH_engine.json");
+    std::fs::write(path, to_json(&cfg, &cells, &open_cells, &shard_cells))
+        .expect("write BENCH_engine.json");
     println!("wrote {path}");
 }
 
 /// Hand-rolled JSON (no serde in the dependency-free build environment).
-fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
+fn to_json(
+    cfg: &SimConfig,
+    cells: &[Cell],
+    open_cells: &[OpenCell],
+    shard_cells: &[ShardCell],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v4\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v5\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -406,6 +586,30 @@ fn to_json(cfg: &SimConfig, cells: &[Cell], open_cells: &[OpenCell]) -> String {
             c.wal_syncs,
             c.wall_ms,
             if i + 1 == open_cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"sharded\": [\n");
+    for (i, c) in shard_cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"cross_ratio\": {:.2}, \"commits\": {}, \"cross_commits\": {}, \"aborts\": {}, \"waits\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"wall_ms\": {:.3}}}{}\n",
+            c.workload,
+            c.cc,
+            c.shards,
+            c.cross_ratio,
+            c.committed,
+            c.cross_commits_observed,
+            c.aborts,
+            c.waits,
+            c.throughput,
+            c.latency_mean,
+            c.latency_p50,
+            c.latency_p95,
+            c.abort_rate,
+            c.peak_slots,
+            c.peak_live_versions,
+            c.wall_ms,
+            if i + 1 == shard_cells.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");

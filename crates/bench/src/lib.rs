@@ -5,6 +5,16 @@
 //! the data recorded in `EXPERIMENTS.md`) and by the Criterion benches
 //! (timing the underlying computations).
 //!
+//! The `throughput` binary is the engine's perf trajectory: it sweeps
+//! the closed-world CC × workload grid, the open-world session grid
+//! across durability modes, and the sharded grid across shard count ×
+//! cross-shard ratio, asserting the headline claims in-process (full
+//! streams served, histories strict and serializable, group commit
+//! retaining ≥ 50% of no-log throughput, `S = 1` sharded cells equal to
+//! the open-world cells) and writing the machine-readable
+//! `BENCH_engine.json` (schema v5) next to this crate's manifest for
+//! future PRs to beat.
+//!
 //! | id  | artifact | module |
 //! |-----|----------|--------|
 //! | F1  | Figure 1 + §4.3 (weak serializability gap)        | [`fig1`] |

@@ -40,6 +40,16 @@ pub const TAG_COMMIT: u8 = 3;
 pub const TAG_ABORT: u8 = 4;
 /// A full store snapshot; recovery restarts from the latest intact one.
 pub const TAG_CHECKPOINT: u8 = 5;
+/// A two-phase-commit prepare: the write-set of a cross-shard transaction
+/// voted yes on this shard, durable *before* the coordinator decides.
+/// Recovery parks it as in-doubt until a matching [`TAG_RESOLVE`] (in the
+/// log, or consulted from the coordinator shard's log).
+pub const TAG_PREPARE: u8 = 6;
+/// The outcome of a prepared cross-shard transaction: commit applies the
+/// parked prepare's write-set, abort discards it. On the coordinator
+/// shard this record *is* the atomic commit point of the global
+/// transaction.
+pub const TAG_RESOLVE: u8 = 7;
 
 /// Which store shape a log belongs to (recorded in the header so recovery
 /// rebuilds the right one).
@@ -283,7 +293,28 @@ impl RecordEncoder {
         put_u32(&mut self.scratch, 0); // patched by frame_into
     }
 
-    /// Append one `(var, after-image)` pair to an open write-set.
+    /// Start a `Prepare { gsn, gtid, cts, coord, .. }` payload (the 2PC
+    /// vote of one shard); push the after-images with
+    /// [`push_write`](Self::push_write), then frame.
+    pub fn start_prepare(&mut self, gsn: u64, gtid: u64, cts: u64, coord: u32) {
+        self.reset(TAG_PREPARE);
+        put_u64(&mut self.scratch, gsn);
+        put_u64(&mut self.scratch, gtid);
+        put_u64(&mut self.scratch, cts);
+        put_u32(&mut self.scratch, coord);
+        self.count_at = Some(self.scratch.len());
+        put_u32(&mut self.scratch, 0); // patched by frame_into
+    }
+
+    /// Encode a `Resolve { gtid, commit }` payload.
+    pub fn resolve(&mut self, gtid: u64, commit: bool) {
+        self.reset(TAG_RESOLVE);
+        put_u64(&mut self.scratch, gtid);
+        self.scratch.push(commit as u8);
+    }
+
+    /// Append one `(var, after-image)` pair to an open write-set or
+    /// prepare record.
     pub fn push_write(&mut self, var: VarId, value: Value) {
         debug_assert!(self.count_at.is_some(), "push_write outside a write-set");
         put_u32(&mut self.scratch, var.0);

@@ -18,11 +18,18 @@
 //!   scratch buffer the hot commit path encodes into;
 //! * [`wal`] — the append-side log: [`wal::WalRecord`], the
 //!   [`wal::DurabilityMode`] policy (`Strict` / `Group` / `None`), group
-//!   commit, checkpoint rewriting, and a crash-injection hook that kills
-//!   the log at a configurable append/fsync boundary;
+//!   commit, checkpoint rewriting, the two-phase-commit record pair
+//!   (`Prepare` votes forced durable before the decision, `Resolve`
+//!   decisions — the coordinator shard's resolve is the atomic commit
+//!   point of a cross-shard transaction), and a crash-injection hook that
+//!   kills the log at a configurable append/fsync boundary;
 //! * [`recovery`] — the read side: scan, validate checksums, truncate the
 //!   torn tail, and replay committed transactions in commit order into a
-//!   [`StoreImage`].
+//!   [`StoreImage`]; prepared-but-undecided transactions surface as
+//!   [`recovery::InDoubt`] for the caller (the sharded engine settles
+//!   them against the coordinator shard's
+//!   [`resolutions`](recovery::Recovered::resolutions); a plain open
+//!   presumes abort).
 //!
 //! The crate speaks `ccopt-model` vocabulary
 //! ([`VarId`](ccopt_model::ids::VarId), [`Value`]) but knows nothing of
@@ -38,7 +45,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 pub use encoding::{RecordEncoder, StoreKind};
-pub use recovery::{recover, Recovered};
+pub use recovery::{apply_in_doubt, recover, InDoubt, Recovered};
 pub use wal::{DurabilityMode, Wal, WalRecord};
 
 /// A durable snapshot of a value store: the payload of a checkpoint record

@@ -22,7 +22,7 @@
 
 use crate::encoding::{
     decode_header, split_frame, Cursor, StoreKind, HEADER_LEN, TAG_ABORT, TAG_BEGIN,
-    TAG_CHECKPOINT, TAG_COMMIT, TAG_WRITESET,
+    TAG_CHECKPOINT, TAG_COMMIT, TAG_PREPARE, TAG_RESOLVE, TAG_WRITESET,
 };
 use crate::wal::WalRecord;
 use crate::{StoreImage, WalError};
@@ -48,8 +48,48 @@ pub struct Recovered {
     /// Largest transaction sequence number seen anywhere in the log
     /// (fresh sequence numbers must start above it).
     pub max_gsn: u64,
+    /// Largest global (cross-shard) transaction id seen in any prepare or
+    /// resolve record; fresh global ids must start above it.
+    pub max_gtid: u64,
     /// Bytes of torn tail dropped (0 for a clean log).
     pub truncated_bytes: u64,
+    /// Prepared (yes-voted) transactions with no decision in this log —
+    /// **in-doubt**: the crash hit between this shard's prepare and its
+    /// resolve. The caller decides each one (the sharded engine consults
+    /// the coordinator shard's [`resolutions`](Self::resolutions); a
+    /// plain single-shard open presumes abort) and applies committed ones
+    /// with [`apply_in_doubt`]. In log order.
+    pub in_doubt: Vec<InDoubt>,
+    /// Every 2PC decision in the intact prefix: `gtid -> committed?`.
+    /// Another shard's recovery consults the coordinator shard's map to
+    /// settle its own in-doubt transactions.
+    pub resolutions: HashMap<u64, bool>,
+}
+
+/// One in-doubt prepared transaction ([`Recovered::in_doubt`]).
+#[derive(Clone, Debug)]
+pub struct InDoubt {
+    /// Local attempt sequence number of the prepared attempt.
+    pub gsn: u64,
+    /// Global transaction id shared across all participating shards.
+    pub gtid: u64,
+    /// Version timestamp the writes install at if committed.
+    pub cts: u64,
+    /// Shard whose log holds the authoritative decision.
+    pub coord: u32,
+    /// The prepared write-set (local variable ids, after-images).
+    pub writes: Vec<(VarId, ccopt_model::value::Value)>,
+}
+
+/// Apply the write-set of an in-doubt transaction the caller decided to
+/// **commit** on top of a recovered image. Returns `false` when the
+/// install is semantically impossible (same rules as replay; the caller
+/// should treat that as corruption). Sound to run after the scan: a
+/// mechanism never admits a conflicting access between a transaction's
+/// prepare and its resolution, so no record later in the log touched
+/// these variables.
+pub fn apply_in_doubt(image: &mut StoreImage, p: &InDoubt) -> bool {
+    apply_writes(image, p.cts, &p.writes)
 }
 
 /// Decode one record payload; `None` on any malformed byte (treated as
@@ -63,16 +103,31 @@ pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
         TAG_WRITESET => {
             let gsn = c.take_u64()?;
             let cts = c.take_u64()?;
-            let count = c.take_u32()? as usize;
-            // Cap the preallocation by what the payload could possibly
-            // hold (a corrupted count must not drive a huge allocation).
-            let mut writes = Vec::with_capacity(count.min(payload.len() / 5 + 1));
-            for _ in 0..count {
-                let var = VarId(c.take_u32()?);
-                let value = c.take_value()?;
-                writes.push((var, value));
-            }
+            let writes = take_writes(&mut c, payload.len())?;
             WalRecord::WriteSet { gsn, cts, writes }
+        }
+        TAG_PREPARE => {
+            let gsn = c.take_u64()?;
+            let gtid = c.take_u64()?;
+            let cts = c.take_u64()?;
+            let coord = c.take_u32()?;
+            let writes = take_writes(&mut c, payload.len())?;
+            WalRecord::Prepare {
+                gsn,
+                gtid,
+                cts,
+                coord,
+                writes,
+            }
+        }
+        TAG_RESOLVE => {
+            let gtid = c.take_u64()?;
+            let commit = match c.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            WalRecord::Resolve { gtid, commit }
         }
         TAG_CHECKPOINT => {
             let floor = c.take_u64()?;
@@ -119,6 +174,24 @@ pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
         return None; // trailing garbage inside a checksummed payload
     }
     Some(rec)
+}
+
+/// Decode a counted `(var, after-image)` list (shared by write-set and
+/// prepare payloads); `None` on any malformed byte.
+fn take_writes(
+    c: &mut Cursor<'_>,
+    payload_len: usize,
+) -> Option<Vec<(VarId, ccopt_model::value::Value)>> {
+    let count = c.take_u32()? as usize;
+    // Cap the preallocation by what the payload could possibly hold (a
+    // corrupted count must not drive a huge allocation).
+    let mut writes = Vec::with_capacity(count.min(payload_len / 5 + 1));
+    for _ in 0..count {
+        let var = VarId(c.take_u32()?);
+        let value = c.take_value()?;
+        writes.push((var, value));
+    }
+    Some(writes)
 }
 
 /// Apply one committed write-set to the image; `false` when the install
@@ -179,8 +252,13 @@ pub fn recover(path: &Path) -> Result<Option<Recovered>, WalError> {
     let mut floor = 0u64;
     let mut committed = 0u64;
     let mut max_gsn = 0u64;
+    let mut max_gtid = 0u64;
     // Write-sets parked until (unless) their commit record arrives.
     let mut parked: HashMap<u64, (u64, Vec<(VarId, ccopt_model::value::Value)>)> = HashMap::new();
+    // Prepared 2PC write-sets parked until (unless) a resolve arrives;
+    // whatever is left at the end of the scan is in-doubt.
+    let mut in_doubt: Vec<InDoubt> = Vec::new();
+    let mut resolutions: HashMap<u64, bool> = HashMap::new();
 
     let mut pos = HEADER_LEN;
     while pos < bytes.len() {
@@ -222,6 +300,68 @@ pub fn recover(path: &Path) -> Result<Option<Recovered>, WalError> {
                     _ => false,
                 }
             }
+            WalRecord::Prepare {
+                gsn,
+                gtid,
+                cts,
+                coord,
+                writes,
+            } => {
+                max_gsn = max_gsn.max(gsn);
+                max_gtid = max_gtid.max(gtid);
+                // Two unresolved prepares for one gtid cannot exist in a
+                // well-formed log.
+                if in_doubt.iter().any(|p| p.gtid == gtid) {
+                    false
+                } else {
+                    in_doubt.push(InDoubt {
+                        gsn,
+                        gtid,
+                        cts,
+                        coord,
+                        writes,
+                    });
+                    true
+                }
+            }
+            WalRecord::Resolve { gtid, commit } => {
+                // Validate fully before mutating any scan state: a
+                // resolve whose apply is semantically impossible ends the
+                // intact prefix and is truncated away, so it must leave
+                // no trace — neither in `resolutions` (another shard
+                // would consult a decision this shard rejected) nor in
+                // `in_doubt` (the prepare stays undecided).
+                let accepted = match in_doubt.iter().position(|p| p.gtid == gtid) {
+                    Some(at) => {
+                        let applied = !commit
+                            || match &mut image {
+                                Some(img) => {
+                                    let p = &in_doubt[at];
+                                    // apply_writes mutates only when the
+                                    // whole write-set validates.
+                                    apply_writes(img, p.cts, &p.writes)
+                                }
+                                None => false, // resolve before any checkpoint
+                            };
+                        if applied {
+                            let p = in_doubt.remove(at);
+                            if commit {
+                                committed += 1;
+                                floor = floor.max(p.cts);
+                            }
+                        }
+                        applied
+                    }
+                    // No local prepare (e.g. re-resolved after an earlier
+                    // recovery's write-back): record the decision only.
+                    None => true,
+                };
+                if accepted {
+                    max_gtid = max_gtid.max(gtid);
+                    resolutions.insert(gtid, commit);
+                }
+                accepted
+            }
             WalRecord::Checkpoint {
                 floor: f,
                 image: img,
@@ -230,6 +370,7 @@ pub fn recover(path: &Path) -> Result<Option<Recovered>, WalError> {
                     image = Some(img);
                     floor = floor.max(f);
                     parked.clear();
+                    in_doubt.clear();
                     committed = 0;
                     true
                 } else {
@@ -260,7 +401,10 @@ pub fn recover(path: &Path) -> Result<Option<Recovered>, WalError> {
             floor,
             committed,
             max_gsn,
+            max_gtid,
             truncated_bytes,
+            in_doubt,
+            resolutions,
         })),
     }
 }
@@ -376,6 +520,94 @@ mod tests {
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&flip);
+    }
+
+    #[test]
+    fn undecided_prepares_surface_as_in_doubt() {
+        let path = scratch_path("rec-indoubt");
+        let mut wal = Wal::create(
+            &path,
+            DurabilityMode::Strict,
+            0,
+            &StoreImage::Single(vec![int(0), int(0)]),
+        )
+        .unwrap();
+        wal.begin_txn(3);
+        wal.start_prepare(3, 42, 0, 1);
+        wal.push_write(VarId(0), int(99));
+        wal.finish_prepare().unwrap();
+        drop(wal); // crash between prepare and resolve
+        let rec = recover(&path).unwrap().expect("recovers");
+        assert_eq!(rec.committed, 0, "an in-doubt prepare must not replay");
+        assert_eq!(
+            rec.image.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[0, 0])
+        );
+        assert_eq!(rec.in_doubt.len(), 1);
+        let p = &rec.in_doubt[0];
+        assert_eq!((p.gsn, p.gtid, p.coord), (3, 42, 1));
+        assert_eq!(rec.max_gtid, 42);
+        // The caller decides commit: the write-set applies on top.
+        let mut img = rec.image;
+        assert!(apply_in_doubt(&mut img, p));
+        assert_eq!(
+            img.latest(),
+            ccopt_model::state::GlobalState::from_ints(&[99, 0])
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resolve_records_decide_parked_prepares() {
+        for commit in [true, false] {
+            let path = scratch_path("rec-resolve");
+            let mut wal = Wal::create(
+                &path,
+                DurabilityMode::Strict,
+                0,
+                &StoreImage::Single(vec![int(0)]),
+            )
+            .unwrap();
+            wal.start_prepare(0, 7, 0, 0);
+            wal.push_write(VarId(0), int(5));
+            wal.finish_prepare().unwrap();
+            wal.resolve_txn(7, commit, true).unwrap();
+            drop(wal);
+            let rec = recover(&path).unwrap().expect("recovers");
+            assert!(rec.in_doubt.is_empty(), "resolved: nothing in doubt");
+            assert_eq!(rec.resolutions.get(&7), Some(&commit));
+            assert_eq!(rec.committed, u64::from(commit));
+            let expect = if commit { 5 } else { 0 };
+            assert_eq!(
+                rec.image.latest(),
+                ccopt_model::state::GlobalState::from_ints(&[expect])
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn buffered_participant_resolve_is_lost_with_the_crash() {
+        // A participant's resolve is buffered (force_sync = false): a
+        // crash before the next flush leaves the prepare in doubt — the
+        // situation the coordinator-consultation recovery settles.
+        let path = scratch_path("rec-buffered-resolve");
+        let mut wal = Wal::create(
+            &path,
+            DurabilityMode::group(64),
+            0,
+            &StoreImage::Single(vec![int(0)]),
+        )
+        .unwrap();
+        wal.start_prepare(0, 9, 0, 1);
+        wal.push_write(VarId(0), int(1));
+        wal.finish_prepare().unwrap();
+        wal.resolve_txn(9, true, false).unwrap();
+        drop(wal); // buffered resolve never reached the file
+        let rec = recover(&path).unwrap().expect("recovers");
+        assert_eq!(rec.in_doubt.len(), 1);
+        assert!(rec.resolutions.is_empty());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -73,6 +73,35 @@ pub enum WalRecord {
         /// The store snapshot.
         image: StoreImage,
     },
+    /// Two-phase commit, phase 1: this shard voted yes on a cross-shard
+    /// transaction and its write-set is durable, but the outcome is not
+    /// decided here. Recovery parks it as **in-doubt** until a
+    /// [`Resolve`](WalRecord::Resolve) record (or, after a crash, the
+    /// coordinator shard's log) decides it.
+    Prepare {
+        /// Local attempt sequence number (the shard's WAL identity).
+        gsn: u64,
+        /// Global transaction id, shared by every shard's prepare record
+        /// of the same cross-shard transaction.
+        gtid: u64,
+        /// Version timestamp the writes install at if committed (0 on the
+        /// single-version store).
+        cts: u64,
+        /// Shard index whose log holds the authoritative commit decision.
+        coord: u32,
+        /// `(variable, after-image)` pairs in first-write order (local
+        /// variable ids of this shard).
+        writes: Vec<(VarId, Value)>,
+    },
+    /// Two-phase commit, phase 2: the decision for a prepared global
+    /// transaction. On the coordinator shard this record is the commit
+    /// point of the whole cross-shard transaction.
+    Resolve {
+        /// The decided global transaction.
+        gtid: u64,
+        /// `true` applies the parked prepare; `false` discards it.
+        commit: bool,
+    },
 }
 
 /// When commit records reach the disk.
@@ -325,6 +354,46 @@ impl Wal {
             self.flush_sync()?;
         }
         Ok(flush)
+    }
+
+    /// Start the prepare record of `gsn` voting yes on global transaction
+    /// `gtid` (2PC phase 1): opens the write-set at version timestamp
+    /// `cts`, naming shard `coord` as the holder of the commit decision.
+    /// Push the after-images with [`push_write`](Self::push_write), then
+    /// [`finish_prepare`](Self::finish_prepare).
+    pub fn start_prepare(&mut self, gsn: u64, gtid: u64, cts: u64, coord: u32) {
+        self.enc.start_prepare(gsn, gtid, cts, coord);
+    }
+
+    /// Close and **force** the open prepare record: a yes-vote must be
+    /// durable before the coordinator may decide, in every durability
+    /// mode — otherwise a committed decision could survive a crash that
+    /// lost a participant's write-set.
+    pub fn finish_prepare(&mut self) -> Result<(), WalError> {
+        self.append_framed();
+        if self.dead {
+            return Ok(());
+        }
+        self.flush_sync()
+    }
+
+    /// Append the decision for prepared global transaction `gtid` (2PC
+    /// phase 2). With `force_sync` the record is flushed and fsynced
+    /// before returning — the coordinator's commit point; participants
+    /// leave it buffered (their recovery re-derives the decision from the
+    /// coordinator's log if it is lost).
+    pub fn resolve_txn(
+        &mut self,
+        gtid: u64,
+        commit: bool,
+        force_sync: bool,
+    ) -> Result<(), WalError> {
+        self.enc.resolve(gtid, commit);
+        self.append_framed();
+        if force_sync && !self.dead {
+            self.flush_sync()?;
+        }
+        Ok(())
     }
 
     /// Flush the pending buffer to the file and sync it (graceful

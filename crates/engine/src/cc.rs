@@ -30,7 +30,12 @@ pub enum CcDecision {
 }
 
 /// A concurrency-control mechanism.
-pub trait ConcurrencyControl {
+///
+/// `Send` is a supertrait so a boxed mechanism can move onto a shard
+/// worker thread ([`ccopt-par`'s `Worker`](ccopt_par::Worker) owns one
+/// `SessionDb` — and therefore one mechanism — per shard); every
+/// implementation is plain owned data, so this costs nothing.
+pub trait ConcurrencyControl: Send {
     /// Announce the table dimensions before the first `begin`: at most
     /// `num_txns` concurrent transactions (dense ids `0..num_txns`) over
     /// `num_vars` variables. Implementations pre-size their dense tables so
@@ -42,6 +47,35 @@ pub trait ConcurrencyControl {
 
     /// A transaction (re)starts; `tick` is a monotone engine clock.
     fn begin(&mut self, t: TxnId, tick: u64);
+
+    /// Like [`begin`](Self::begin), but with an externally assigned
+    /// transaction timestamp. Timestamp-based mechanisms (T/O, MVTO) use
+    /// `ts` verbatim as the transaction's stamp instead of drawing from
+    /// their internal clock; everyone else ignores it. The sharded engine
+    /// hands every global transaction one globally unique, monotone `ts`
+    /// and begins it with that stamp on *every* shard it touches, so the
+    /// per-shard timestamp orders all agree with the single global order
+    /// — the timestamp half of the cross-shard serializability argument
+    /// (`docs/SHARDING.md`). Callers must hand out strictly increasing,
+    /// never-reused `ts` values.
+    fn begin_at(&mut self, t: TxnId, tick: u64, ts: u64) {
+        let _ = ts;
+        self.begin(t, tick);
+    }
+
+    /// Require commits to respect conflict order: once enabled, a
+    /// transaction with a live (uncommitted) direct predecessor in the
+    /// conflict order must not commit before it —
+    /// [`on_commit`](Self::on_commit) answers [`CcDecision::Wait`]
+    /// instead. Mechanisms
+    /// whose serialization order already *is* their commit order (locks
+    /// held to commit, backward validation) or an externally consistent
+    /// timestamp order ([`begin_at`](Self::begin_at)) need nothing and
+    /// keep the default no-op; SGT overrides it, because its serialization
+    /// order is otherwise an arbitrary topological order that different
+    /// shards may pick inconsistently. Enabled by the sharded engine on
+    /// every shard (`docs/SHARDING.md`); never used single-shard.
+    fn enable_commit_order(&mut self) {}
 
     /// A transaction wants to execute a step on `var`.
     fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision;
@@ -335,6 +369,11 @@ pub struct SgtCc {
     visited: EpochBitSet,
     /// Scratch: DFS stack.
     stack: Vec<u32>,
+    /// Commit-order mode ([`ConcurrencyControl::enable_commit_order`]):
+    /// commits wait for live direct predecessors, making the commit order
+    /// a topological order of the conflict graph — what the sharded
+    /// engine composes across shards.
+    commit_ordered: bool,
 }
 
 impl SgtCc {
@@ -431,8 +470,34 @@ impl ConcurrencyControl for SgtCc {
         CcDecision::Proceed
     }
 
-    fn on_commit(&mut self, _t: TxnId, _tick: u64) -> CcDecision {
+    fn on_commit(&mut self, t: TxnId, _tick: u64) -> CcDecision {
+        if self.commit_ordered {
+            // A live direct predecessor would be serialized before t but
+            // commit after it, so t's commit must wait for it. Committed
+            // (unretired) predecessors already satisfy the order. The
+            // wait joins the shared waits-for graph so a commit-wait
+            // closing a cycle with strictness step-waits aborts instead
+            // of hanging (cross-shard wait cycles are invisible here; the
+            // sharded driver's restart valve breaks those).
+            let pred = self.live.ones().find(|&u| {
+                u != t.index() && self.out.get(u).is_some_and(|row| row.contains(t.index()))
+            });
+            if let Some(u) = pred {
+                let holder = TxnId(u as u32);
+                if wait_chain_reaches(&self.waits, &mut self.visited, t, holder) {
+                    self.waits.remove(t.index());
+                    return CcDecision::Abort;
+                }
+                self.waits.insert(t.index(), holder);
+                return CcDecision::Wait;
+            }
+            self.waits.remove(t.index());
+        }
         CcDecision::Proceed
+    }
+
+    fn enable_commit_order(&mut self) {
+        self.commit_ordered = true;
     }
 
     fn after_commit(&mut self, t: TxnId) {
@@ -567,6 +632,15 @@ impl ConcurrencyControl for TimestampCc {
     fn begin(&mut self, t: TxnId, _tick: u64) {
         self.next += 1;
         self.stamp.insert(t.index(), self.next);
+        self.live.insert(t.index());
+    }
+
+    fn begin_at(&mut self, t: TxnId, _tick: u64, ts: u64) {
+        // Externally assigned stamp (globally unique and monotone by the
+        // caller's contract); keep the internal clock at or above it so a
+        // later plain `begin` cannot hand out a duplicate.
+        self.next = self.next.max(ts);
+        self.stamp.insert(t.index(), ts);
         self.live.insert(t.index());
     }
 
@@ -837,6 +911,13 @@ impl ConcurrencyControl for MvtoCc {
     fn begin(&mut self, t: TxnId, _tick: u64) {
         self.next += 1;
         self.stamp.insert(t.index(), self.next);
+    }
+
+    fn begin_at(&mut self, t: TxnId, _tick: u64, ts: u64) {
+        // Snapshot *and* version timestamp come from the caller's global
+        // clock: per-shard MVTO orders then all equal the global order.
+        self.next = self.next.max(ts);
+        self.stamp.insert(t.index(), ts);
     }
 
     fn on_step(&mut self, t: TxnId, var: VarId, kind: StepKind) -> CcDecision {
@@ -1614,6 +1695,94 @@ mod tests {
             cc.after_commit(t(0));
             assert!(cc.retire(t(0)), "{} must free the slot", cc.name());
         }
+    }
+
+    #[test]
+    fn begin_at_pins_external_stamps() {
+        // T/O with externally assigned stamps orders by those stamps, not
+        // by begin order: t0 begins later but carries the older stamp.
+        let mut cc = TimestampCc::default();
+        cc.begin_at(t(1), 0, 20);
+        cc.begin_at(t(0), 0, 10);
+        assert_eq!(cc.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
+        // Stamp 10 writing past read-stamp 20 is late: abort.
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+        cc.on_abort(t(0));
+        // A plain begin after begin_at(20) must stamp above 20.
+        cc.begin(t(0), 1);
+        assert_eq!(
+            cc.on_step(t(0), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+
+        let mut mv = MvtoCc::default();
+        mv.begin_at(t(0), 0, 7);
+        assert_eq!(mv.read_view(t(0)), 7);
+        assert_eq!(mv.commit_view(t(0)), 7);
+        mv.begin_at(t(1), 0, 9);
+        // The younger snapshot reads v0; the older stamp's write is late.
+        assert_eq!(mv.on_step(t(1), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(mv.on_step(t(0), v(0), StepKind::Update), CcDecision::Abort);
+    }
+
+    #[test]
+    fn sgt_commit_order_gate_waits_for_live_predecessors() {
+        let mut cc = SgtCc::default();
+        cc.enable_commit_order();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        // Edge t0 -> t1 (t0 read v0, t1 overwrote it).
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // t1 must not commit before its live predecessor t0.
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Wait);
+        assert_eq!(cc.on_commit(t(0), 2), CcDecision::Proceed);
+        cc.after_commit(t(0));
+        // Predecessor committed: the gate opens.
+        assert_eq!(cc.on_commit(t(1), 3), CcDecision::Proceed);
+        cc.after_commit(t(1));
+        // Without the gate (default), the same shape commits immediately.
+        let mut plain = SgtCc::default();
+        plain.begin(t(0), 0);
+        plain.begin(t(1), 0);
+        assert_eq!(
+            plain.on_step(t(0), v(0), StepKind::Read),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            plain.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(plain.on_commit(t(1), 1), CcDecision::Proceed);
+    }
+
+    #[test]
+    fn sgt_commit_order_gate_aborts_wait_cycles() {
+        // A commit-wait joining a strictness step-wait into a cycle must
+        // abort rather than hang: t1 commit-waits on its live predecessor
+        // t0, while t0 step-waits on t1's dirty write.
+        let mut cc = SgtCc::default();
+        cc.enable_commit_order();
+        cc.begin(t(0), 0);
+        cc.begin(t(1), 0);
+        assert_eq!(cc.on_step(t(0), v(0), StepKind::Read), CcDecision::Proceed);
+        assert_eq!(
+            cc.on_step(t(1), v(0), StepKind::Update),
+            CcDecision::Proceed
+        );
+        assert_eq!(
+            cc.on_step(t(1), v(1), StepKind::Update),
+            CcDecision::Proceed
+        );
+        // t1's commit waits on its live predecessor t0 (edge t0 -> t1).
+        assert_eq!(cc.on_commit(t(1), 1), CcDecision::Wait);
+        // t0 steps on v1 (dirty by the live t1): the strictness wait
+        // t0 -> t1 would close a cycle with the commit-wait t1 -> t0, so
+        // the requester aborts instead of hanging.
+        assert_eq!(cc.on_step(t(0), v(1), StepKind::Read), CcDecision::Abort);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   and a retirement lifecycle, optionally durable
 //!   ([`SessionDb::open`]): a redo-only write-ahead log with group
 //!   commit, checkpoints and crash recovery (`ccopt-durability`);
+//! * [`shard`] — sharded execution: [`ShardedDb`] hash-partitions the
+//!   variable universe across independent [`SessionDb`] shards, each on
+//!   its own worker thread, with single-shard fast-path commits and
+//!   two-phase cross-shard commits (prepare votes + coordinator resolve,
+//!   in-doubt recovery by consulting the coordinator shard's log);
 //! * [`db`] — the closed-world [`Database`]: the paper's fixed transaction
 //!   system driven step by step (with a round-robin driver), now a thin
 //!   adapter over the session layer;
@@ -36,6 +41,7 @@ pub mod dense;
 pub mod metrics;
 pub mod mvstore;
 pub mod session;
+pub mod shard;
 pub mod storage;
 
 pub use cc::{CcDecision, ConcurrencyControl};
@@ -45,3 +51,4 @@ pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
 pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn};
+pub use shard::{GlobalTxn, Partition, ShardedDb, ShardedRecoveryInfo};

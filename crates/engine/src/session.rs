@@ -56,6 +56,7 @@ use crate::metrics::Metrics;
 use crate::mvstore::MvStore;
 use crate::storage::Storage;
 use ccopt_durability::encoding::StoreKind;
+use ccopt_durability::recovery::{InDoubt, Recovered};
 use ccopt_durability::{recovery, DurabilityMode, StoreImage, Wal, WalError};
 use ccopt_model::ids::{TxnId, VarId};
 use ccopt_model::state::GlobalState;
@@ -115,6 +116,11 @@ enum Status {
     Free,
     /// An uncommitted transaction occupies the slot.
     Running,
+    /// Voted yes in a two-phase commit ([`SessionDb::prepare_commit`]):
+    /// the write-set is durable and the concurrency-control decision is
+    /// locked in, but the outcome awaits the coordinator
+    /// ([`SessionDb::resolve_commit`]). No further operations run.
+    Prepared,
     /// Committed but not yet retired.
     Committed,
 }
@@ -135,6 +141,12 @@ struct Slot {
     /// Global sequence number of the current attempt — unlike the dense
     /// slot index, never recycled (the WAL's transaction identity).
     gsn: u64,
+    /// Global transaction id of the in-flight two-phase commit (valid
+    /// while [`Status::Prepared`]).
+    gtid: u64,
+    /// Commit timestamp locked in at prepare (valid while
+    /// [`Status::Prepared`]; 0 on the single-version store).
+    cts: u64,
 }
 
 impl Slot {
@@ -147,6 +159,8 @@ impl Slot {
             attempts: 0,
             waits: 0,
             gsn: 0,
+            gtid: 0,
+            cts: 0,
         }
     }
 }
@@ -182,6 +196,13 @@ pub enum SessionError {
     /// still running (commit it first, or [`SessionDb::abort`] it — an
     /// abort retires the slot on its own).
     StillRunning,
+    /// The transaction is prepared in a two-phase commit: its fate
+    /// belongs to the coordinator ([`SessionDb::resolve_commit`]); no
+    /// operation, commit or client abort may touch it meanwhile.
+    Prepared,
+    /// [`SessionDb::resolve_commit`] needs a prepared transaction; this
+    /// one never voted (call [`SessionDb::prepare_commit`] first).
+    NotPrepared,
 }
 
 impl fmt::Display for SessionError {
@@ -190,6 +211,10 @@ impl fmt::Display for SessionError {
             SessionError::Stale => write!(f, "stale handle: the slot was retired"),
             SessionError::AlreadyCommitted => write!(f, "the transaction already committed"),
             SessionError::StillRunning => write!(f, "the transaction is still running"),
+            SessionError::Prepared => {
+                write!(f, "the transaction is prepared: awaiting the 2PC decision")
+            }
+            SessionError::NotPrepared => write!(f, "the transaction is not prepared"),
         }
     }
 }
@@ -227,6 +252,8 @@ impl<T> Op<T> {
 pub enum SessionStatus {
     /// Uncommitted (possibly mid-restart).
     Running,
+    /// Yes-voted in a two-phase commit; awaiting the coordinator.
+    Prepared,
     /// Committed, slot not yet retired.
     Committed,
     /// The handle is stale: the slot was retired (abort or explicit
@@ -238,12 +265,18 @@ pub enum SessionStatus {
 /// over an existing log.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RecoveryInfo {
-    /// Committed transactions replayed from the log.
+    /// Committed transactions replayed from the log (including in-doubt
+    /// transactions the resolver decided to commit).
     pub committed: u64,
     /// Timestamp floor the engine's clocks resumed above.
     pub floor: u64,
     /// Bytes of torn log tail dropped (0 for a clean shutdown).
     pub truncated_bytes: u64,
+    /// In-doubt prepared transactions the resolver committed (2PC
+    /// participant recovery; see `docs/SHARDING.md`).
+    pub in_doubt_committed: u64,
+    /// In-doubt prepared transactions the resolver rolled back.
+    pub in_doubt_aborted: u64,
 }
 
 /// An in-memory database serving an open-ended stream of dynamic
@@ -267,6 +300,13 @@ pub struct SessionDb {
     /// Last watermark the multi-version store was swept at (sweeps are
     /// skipped until the CC reports a larger one).
     gc_watermark: u64,
+    /// External clamp on the GC watermark ([`set_gc_floor`]
+    /// (Self::set_gc_floor)); `u64::MAX` when unmanaged.
+    gc_floor: u64,
+    /// Timestamp a concurrency-control restart begins the fresh attempt
+    /// at ([`set_restart_ts`](Self::set_restart_ts)); consumed by the
+    /// restart, `None` means the mechanism's own clock.
+    restart_ts: Option<u64>,
     /// The redo-only write-ahead log (`None` when durability is off).
     wal: Option<Wal>,
     /// Next global transaction sequence number (the WAL identity).
@@ -324,6 +364,8 @@ impl SessionDb {
             num_vars,
             tick: 0,
             gc_watermark: 0,
+            gc_floor: u64::MAX,
+            restart_ts: None,
             wal: None,
             next_gsn: 0,
             max_cts: 0,
@@ -363,7 +405,7 @@ impl SessionDb {
     /// [`open`](Self::open) with pre-sized concurrency-control tables
     /// (the durable analogue of [`with_capacity`](Self::with_capacity)).
     pub fn open_with_capacity(
-        mut cc: Box<dyn ConcurrencyControl>,
+        cc: Box<dyn ConcurrencyControl>,
         init: GlobalState,
         path: impl AsRef<Path>,
         mode: DurabilityMode,
@@ -373,18 +415,75 @@ impl SessionDb {
             return Ok(Self::with_capacity(cc, init, expected_txns));
         }
         let path = path.as_ref();
+        let recovered = recovery::recover(path)?;
+        // Presumed abort: a plain single-shard open has no coordinator to
+        // consult, and an undecided prepare by definition never
+        // acknowledged — rolling it back is always consistent.
+        Self::from_recovered(cc, init, path, mode, expected_txns, recovered, &mut |_| {
+            false
+        })
+    }
+
+    /// Build a durable database over an **already-recovered** log at
+    /// `path` (`recovered` is [`recovery::recover`]'s output for that
+    /// path; `None` starts a fresh log). `resolve` decides each in-doubt
+    /// prepared transaction left by a crash between its 2PC prepare and
+    /// resolve: `true` commits its write-set on top of the recovered
+    /// state, `false` rolls it back. Decisions are appended to the log as
+    /// resolve records (and synced), so the next recovery does not
+    /// re-ask.
+    ///
+    /// The sharded engine recovers all shard logs first, then settles
+    /// each shard's in-doubt transactions against the coordinator shard's
+    /// recovered decisions — the consultation that makes cross-shard
+    /// commits atomic across crashes (`docs/SHARDING.md`).
+    pub fn from_recovered(
+        mut cc: Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+        path: &Path,
+        mode: DurabilityMode,
+        expected_txns: usize,
+        recovered: Option<Recovered>,
+        resolve: &mut dyn FnMut(&InDoubt) -> bool,
+    ) -> Result<Self, WalError> {
         let kind = if cc.multiversion() {
             StoreKind::Multi
         } else {
             StoreKind::Single
         };
-        match recovery::recover(path)? {
-            Some(rec) => {
+        match recovered {
+            Some(mut rec) => {
                 if rec.store_kind != kind || rec.num_vars as usize != init.0.len() {
                     return Err(WalError::Mismatch {
                         expected: format!("{kind} store with {} variables", init.0.len()),
                         found: format!("{} store with {} variables", rec.store_kind, rec.num_vars),
                     });
+                }
+                // Settle the in-doubt prepares, in log order, before the
+                // store is built: committed ones apply their durable
+                // write-sets on top of the replayed image.
+                let mut decisions: Vec<(u64, bool)> = Vec::new();
+                let mut in_doubt_committed = 0u64;
+                let mut in_doubt_aborted = 0u64;
+                for p in std::mem::take(&mut rec.in_doubt) {
+                    let commit = resolve(&p);
+                    if commit {
+                        if !recovery::apply_in_doubt(&mut rec.image, &p) {
+                            return Err(WalError::Mismatch {
+                                expected: "an applicable in-doubt write-set".into(),
+                                found: format!(
+                                    "gtid {} conflicts with the recovered image",
+                                    p.gtid
+                                ),
+                            });
+                        }
+                        rec.committed += 1;
+                        rec.floor = rec.floor.max(p.cts);
+                        in_doubt_committed += 1;
+                    } else {
+                        in_doubt_aborted += 1;
+                    }
+                    decisions.push((p.gtid, commit));
                 }
                 let store = match rec.image {
                     StoreImage::Single(vals) => Store::Single(Storage::new(GlobalState(vals))),
@@ -400,8 +499,20 @@ impl SessionDb {
                     committed: rec.committed,
                     floor: rec.floor,
                     truncated_bytes: rec.truncated_bytes,
+                    in_doubt_committed,
+                    in_doubt_aborted,
                 });
-                db.wal = Some(Wal::append_to(path, mode, rec.store_kind, rec.num_vars)?);
+                let mut wal = Wal::append_to(path, mode, rec.store_kind, rec.num_vars)?;
+                // Write the settlements back so they are decided exactly
+                // once: the next recovery replays them as ordinary
+                // resolve records.
+                for &(gtid, commit) in &decisions {
+                    wal.resolve_txn(gtid, commit, false)?;
+                }
+                if !decisions.is_empty() {
+                    wal.flush_sync()?;
+                }
+                db.wal = Some(wal);
                 db.refresh_wal_metrics();
                 Ok(db)
             }
@@ -428,6 +539,18 @@ impl SessionDb {
     pub fn checkpoint(&mut self) -> Result<(), WalError> {
         if self.wal.is_none() {
             return Ok(());
+        }
+        // Compaction discards the log's records; a prepared (in-doubt)
+        // vote must never be among them — discarding a durable yes-vote
+        // could leave this shard unable to honor a commit decision the
+        // coordinator already logged. The sharded coordinator only
+        // checkpoints between two-phase commits, so this is a hard error,
+        // not a debug assert.
+        if self.slots.iter().any(|sl| sl.status == Status::Prepared) {
+            return Err(WalError::Mismatch {
+                expected: "no in-flight two-phase commit during checkpoint".into(),
+                found: "a prepared transaction whose durable vote compaction would discard".into(),
+            });
         }
         let image = self.store_image();
         let floor = self.max_cts;
@@ -500,6 +623,21 @@ impl SessionDb {
     /// table), register the first attempt with the concurrency control and
     /// return the epoch-guarded handle.
     pub fn begin(&mut self) -> Txn {
+        self.begin_impl(None)
+    }
+
+    /// [`begin`](Self::begin) with an externally assigned transaction
+    /// timestamp, forwarded to [`ConcurrencyControl::begin_at`]:
+    /// timestamp-based mechanisms stamp the transaction `ts` instead of
+    /// drawing from their internal clock. The sharded engine begins every
+    /// global transaction with one global `ts` on each shard it touches,
+    /// aligning the per-shard timestamp orders. `ts` values must be
+    /// strictly increasing across calls and never reused.
+    pub fn begin_with_ts(&mut self, ts: u64) -> Txn {
+        self.begin_impl(Some(ts))
+    }
+
+    fn begin_impl(&mut self, ts: Option<u64>) -> Txn {
         let slot = match self.free.pop() {
             Some(s) => s,
             None => {
@@ -527,7 +665,10 @@ impl SessionDb {
             wal.begin_txn(gsn);
             self.refresh_wal_metrics();
         }
-        self.cc.begin(TxnId(slot), self.tick);
+        match ts {
+            None => self.cc.begin(TxnId(slot), self.tick),
+            Some(ts) => self.cc.begin_at(TxnId(slot), self.tick, ts),
+        }
         Txn {
             slot,
             epoch: self.slots[ti].epoch,
@@ -710,7 +851,7 @@ impl SessionDb {
                 // watermark nothing new is reclaimable (fresh installs all
                 // sit above it), so the scan would be wasted work.
                 if let Store::Multi(mv) = &mut self.store {
-                    let watermark = self.cc.gc_watermark();
+                    let watermark = self.cc.gc_watermark().min(self.gc_floor);
                     if watermark > self.gc_watermark {
                         self.metrics.versions_reclaimed += mv.gc(watermark);
                         self.gc_watermark = watermark;
@@ -732,6 +873,178 @@ impl SessionDb {
                 Ok(Op::Wait)
             }
         }
+    }
+
+    /// Two-phase commit, phase 1 (one shard's **vote**): run the
+    /// concurrency control's commit decision and, on
+    /// [`Op::Done`], lock the transaction into [`SessionStatus::Prepared`]
+    /// — its write-set and commit timestamp are fixed (and, with
+    /// durability on, forced to the log as a prepare record **before**
+    /// returning, in every durability mode), but nothing reaches the
+    /// store until [`resolve_commit`](Self::resolve_commit) delivers the
+    /// coordinator's decision. `gtid` is the globally unique id of the
+    /// cross-shard transaction; `coord` names the shard whose log holds
+    /// the authoritative decision (in-doubt recovery consults it).
+    ///
+    /// [`Op::Wait`] and [`Op::Restarted`] mean exactly what they mean at
+    /// [`commit`](Self::commit); a prepared transaction accepts no
+    /// further operations ([`SessionError::Prepared`]).
+    ///
+    /// # Panics
+    /// Panics when the write-ahead log fails at the I/O layer (same
+    /// contract as [`commit`](Self::commit)).
+    pub fn prepare_commit(
+        &mut self,
+        h: Txn,
+        gtid: u64,
+        coord: u32,
+    ) -> Result<Op<()>, SessionError> {
+        let ti = self.running(h)?;
+        let t = TxnId(h.slot);
+        match self.cc.on_commit(t, self.tick) {
+            CcDecision::Proceed => {}
+            CcDecision::Abort => {
+                if self.cc.multiversion() {
+                    self.metrics.mv_write_aborts += 1;
+                }
+                self.restart_slot(ti);
+                return Ok(Op::Restarted);
+            }
+            CcDecision::Wait => {
+                self.metrics.waits += 1;
+                self.slots[ti].waits += 1;
+                return Ok(Op::Wait);
+            }
+        }
+        let cts = self.cc.commit_view(t);
+        let gsn = self.slots[ti].gsn;
+        if let Some(wal) = &mut self.wal {
+            // The durable yes-vote: write-set after-images exactly as a
+            // commit would log them, but under a prepare record keyed by
+            // the global transaction id, and always fsynced — a commit
+            // decision must never outlive a lost vote.
+            wal.start_prepare(gsn, gtid, cts, coord);
+            let slot = &self.slots[ti];
+            for &var in &slot.wbuf.touched {
+                let value = slot
+                    .wbuf
+                    .slots
+                    .get_copied(var.index())
+                    .expect("touched slots are filled");
+                wal.push_write(var, value);
+            }
+            if let Store::Single(storage) = &self.store {
+                let undo = &slot.undo;
+                for (i, &(var, _)) in undo.iter().enumerate() {
+                    if undo[..i].iter().any(|&(v, _)| v == var) {
+                        continue; // first-write order, once per var
+                    }
+                    wal.push_write(var, storage.get(var));
+                }
+            }
+            if let Err(e) = wal.finish_prepare() {
+                panic!("write-ahead log failed at prepare: {e}");
+            }
+            self.refresh_wal_metrics();
+        }
+        let slot = &mut self.slots[ti];
+        slot.status = Status::Prepared;
+        slot.gtid = gtid;
+        slot.cts = cts;
+        Ok(Op::Done(()))
+    }
+
+    /// Two-phase commit, phase 2 (the coordinator's **decision**) for a
+    /// [`prepare_commit`](Self::prepare_commit)ed transaction. With
+    /// `commit`, the deferred write phase runs exactly as in
+    /// [`commit`](Self::commit) (buffered values install at the prepared
+    /// commit timestamp) and the transaction lands in
+    /// [`SessionStatus::Committed`]; otherwise it rolls back and the slot
+    /// retires, as a client abort would. The resolve record is appended
+    /// to the log; with `force_sync` it is flushed and fsynced before
+    /// returning — the coordinator shard's commit point. Participants
+    /// leave it buffered: if a crash loses it, their recovery re-derives
+    /// the decision from the coordinator's log.
+    ///
+    /// # Panics
+    /// Panics when the write-ahead log fails at the I/O layer.
+    pub fn resolve_commit(
+        &mut self,
+        h: Txn,
+        commit: bool,
+        force_sync: bool,
+    ) -> Result<(), SessionError> {
+        let ti = self.slot_of(h)?;
+        match self.slots[ti].status {
+            Status::Prepared => {}
+            Status::Running => return Err(SessionError::NotPrepared),
+            Status::Committed => return Err(SessionError::AlreadyCommitted),
+            Status::Free => unreachable!("stale handles were rejected"),
+        }
+        let t = TxnId(h.slot);
+        let gtid = self.slots[ti].gtid;
+        if commit {
+            let cts = self.slots[ti].cts;
+            let mut touched = std::mem::take(&mut self.slots[ti].wbuf.touched);
+            for &var in &touched {
+                let value = self.slots[ti]
+                    .wbuf
+                    .slots
+                    .remove(var.index())
+                    .expect("touched slots are filled");
+                match &mut self.store {
+                    Store::Single(storage) => {
+                        storage.set(var, value);
+                    }
+                    Store::Multi(mv) => {
+                        mv.install(var, cts, value);
+                        self.metrics.versions_installed += 1;
+                        self.metrics.max_chain_len =
+                            self.metrics.max_chain_len.max(mv.chain_len(var));
+                    }
+                }
+            }
+            touched.clear();
+            self.slots[ti].wbuf.touched = touched;
+            if let Some(wal) = &mut self.wal {
+                if let Err(e) = wal.resolve_txn(gtid, true, force_sync) {
+                    panic!("write-ahead log failed at resolve: {e}");
+                }
+                self.refresh_wal_metrics();
+            }
+            if self.cc.multiversion() {
+                self.max_cts = self.max_cts.max(cts);
+            }
+            self.slots[ti].undo.clear();
+            self.slots[ti].status = Status::Committed;
+            self.cc.after_commit(t);
+            self.metrics.commits += 1;
+            if let Store::Multi(mv) = &mut self.store {
+                let watermark = self.cc.gc_watermark().min(self.gc_floor);
+                if watermark > self.gc_watermark {
+                    self.metrics.versions_reclaimed += mv.gc(watermark);
+                    self.gc_watermark = watermark;
+                }
+            }
+            self.drain_deferred();
+        } else {
+            // The coordinator aborted the global transaction (some other
+            // shard failed its vote, or the client gave up): the vote is
+            // void — roll back and retire like a client abort.
+            self.slots[ti].status = Status::Running;
+            self.rollback(ti);
+            self.cc.on_abort(t);
+            if let Some(wal) = &mut self.wal {
+                if let Err(e) = wal.resolve_txn(gtid, false, force_sync) {
+                    panic!("write-ahead log failed at resolve: {e}");
+                }
+                self.refresh_wal_metrics();
+            }
+            self.metrics.aborts += 1;
+            self.tick += 1;
+            self.retire_slot(ti);
+        }
+        Ok(())
     }
 
     /// Client-initiated abort: roll the running transaction back, notify
@@ -771,6 +1084,7 @@ impl SessionDb {
         match self.slots[ti].status {
             Status::Committed => {}
             Status::Running => return Err(SessionError::StillRunning),
+            Status::Prepared => return Err(SessionError::Prepared),
             Status::Free => unreachable!("stale handles were rejected"),
         }
         self.retire_slot(ti);
@@ -804,7 +1118,7 @@ impl SessionDb {
             Store::Single(s) => s.committed_snapshot(
                 self.slots
                     .iter()
-                    .filter(|sl| sl.status == Status::Running)
+                    .filter(|sl| matches!(sl.status, Status::Running | Status::Prepared))
                     .map(|sl| sl.undo.as_slice()),
             ),
             Store::Multi(mv) => mv.snapshot_latest(),
@@ -827,6 +1141,7 @@ impl SessionDb {
             Err(_) => SessionStatus::Retired,
             Ok(ti) => match self.slots[ti].status {
                 Status::Running => SessionStatus::Running,
+                Status::Prepared => SessionStatus::Prepared,
                 Status::Committed => SessionStatus::Committed,
                 Status::Free => unreachable!("stale handles were rejected"),
             },
@@ -862,6 +1177,30 @@ impl SessionDb {
     /// [`ConcurrencyControl::multiversion`].)
     pub fn multiversion(&self) -> bool {
         self.cc.multiversion()
+    }
+
+    /// Clamp the version-GC watermark from outside: no version visible at
+    /// or after `floor` is collected, whatever the local mechanism
+    /// reports. The sharded engine sets this to the oldest *global*
+    /// transaction timestamp still active anywhere before each commit —
+    /// a shard's own live set cannot see a global snapshot that has not
+    /// reached it yet, and without the clamp its GC could collect
+    /// versions that late-arriving snapshot still needs. `u64::MAX`
+    /// removes the clamp (the default).
+    pub fn set_gc_floor(&mut self, floor: u64) {
+        self.gc_floor = floor;
+    }
+
+    /// Arm the timestamp the *next* concurrency-control restart begins
+    /// its fresh attempt at (via [`ConcurrencyControl::begin_at`]). The
+    /// sharded engine arms this before every forwarded call with a
+    /// reserved global timestamp, so an in-place restart — which happens
+    /// inside the shard, before the coordinator sees the outcome — still
+    /// stamps the new attempt from the global clock. Unconsumed values
+    /// are simply overwritten by the next call; plain sessions never arm
+    /// it.
+    pub fn set_restart_ts(&mut self, ts: u64) {
+        self.restart_ts = Some(ts);
     }
 
     /// Restart attempts of the session so far (1 = first run).
@@ -915,6 +1254,7 @@ impl SessionDb {
         let ti = self.slot_of(h)?;
         match self.slots[ti].status {
             Status::Running => Ok(ti),
+            Status::Prepared => Err(SessionError::Prepared),
             Status::Committed => Err(SessionError::AlreadyCommitted),
             Status::Free => unreachable!("stale handles were rejected"),
         }
@@ -950,7 +1290,10 @@ impl SessionDb {
             wal.begin_txn(gsn);
             self.refresh_wal_metrics();
         }
-        self.cc.begin(t, self.tick);
+        match self.restart_ts.take() {
+            None => self.cc.begin(t, self.tick),
+            Some(ts) => self.cc.begin_at(t, self.tick, ts),
+        }
         self.drain_deferred();
     }
 

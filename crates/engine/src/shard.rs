@@ -1,0 +1,1445 @@
+//! Sharded execution: hash-partitioned shards with cross-shard two-phase
+//! commit.
+//!
+//! [`ShardedDb`] splits the variable universe across `S` independent
+//! [`SessionDb`] shards — each with its own concurrency-control instance,
+//! store, and (optionally) write-ahead log — and drives every shard from
+//! its **own OS thread** through a mailbox ([`ccopt_par::Worker`]): the
+//! first genuinely parallel execution path in the engine. A transaction
+//! whose footprint stays inside one shard runs entirely locally (the
+//! common case a good partitioning maximizes); a cross-shard transaction
+//! commits through a **two-phase commit**:
+//!
+//! 1. *Prepare*: every touched shard runs its ordinary concurrency-control
+//!    commit decision ([`SessionDb::prepare_commit`]) and forces a prepare
+//!    record — the write-set under the global transaction id — to its own
+//!    log. Votes fan out to the shard threads in parallel.
+//! 2. *Resolve*: once every shard voted yes, the **coordinator shard**
+//!    (the lowest touched index) logs and fsyncs a resolve record — the
+//!    atomic commit point — after which the remaining shards apply their
+//!    write phases with buffered resolve records ([`SessionDb::
+//!    resolve_commit`]).
+//!
+//! Crash recovery ([`ShardedDb::open`]) recovers every shard log, then
+//! settles each shard's **in-doubt** transactions (prepared, no local
+//! resolve) by consulting the coordinator shard's recovered decisions:
+//! commit if and only if the coordinator's resolve record survived —
+//! presumed abort otherwise. Settlements are written back, so they are
+//! made exactly once. Every crash boundary therefore leaves all shards
+//! agreeing on every transaction's fate; the differential tests kill the
+//! coordinator at every protocol boundary to pin this.
+//!
+//! Cross-shard **serializability** (the full argument: `docs/SHARDING.md`)
+//! rests on each shard's serialization order embedding into one global
+//! order:
+//!
+//! * timestamp mechanisms (T/O, MVTO) stamp every global transaction with
+//!   one coordinator-issued global timestamp on every shard it touches
+//!   ([`SessionDb::begin_with_ts`]), so all per-shard timestamp orders
+//!   equal the global timestamp order;
+//! * commit-ordered mechanisms (serial, strict 2PL, OCC) serialize in
+//!   commit order, which the single coordinator makes globally total;
+//! * SGT is switched into commit-order mode
+//!   ([`crate::cc::ConcurrencyControl::enable_commit_order`]): commits
+//!   wait for live conflict predecessors, making each shard's commit
+//!   order a topological order of its conflict graph;
+//! * SI keeps per-shard snapshot isolation; a cross-shard read may span
+//!   two shards' snapshot boundaries (SI is exempt from the
+//!   serializability oracle either way).
+//!
+//! Waits can now cross shards where no local detector sees them (2PL lock
+//! cycles spanning shards, the serial token, SGT commit-order gates), so
+//! drivers must pair the session loop with a **wait-bound restart valve**:
+//! after too many consecutive waits, [`ShardedDb::restart`] aborts the
+//! global transaction everywhere and replays it — always safe, and the
+//! standard timeout resolution for distributed deadlocks.
+
+use crate::cc::ConcurrencyControl;
+use crate::metrics::Metrics;
+use crate::session::{Op, SessionDb, SessionError, SessionStatus, Txn};
+use ccopt_durability::recovery::{self, Recovered};
+use ccopt_durability::{DurabilityMode, WalError};
+use ccopt_model::ids::VarId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::syntax::StepKind;
+use ccopt_model::value::Value;
+use ccopt_par::{Reply, Worker};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Deterministic hash partitioning of the variable universe: global
+/// variable ids to `(shard, local id)` and back.
+///
+/// The multiplicative hash decorrelates shard assignment from id
+/// adjacency (range-correlated workloads would otherwise pile onto one
+/// shard), and depends only on `(num_vars, shards)` — recovery rebuilds
+/// the identical partition.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Global variable -> (shard, local index).
+    map: Vec<(u32, u32)>,
+    /// Per shard: the global ids it owns, in local-index order.
+    owned: Vec<Vec<VarId>>,
+}
+
+impl Partition {
+    /// Partition `num_vars` global variables across `shards` shards.
+    pub fn new(num_vars: usize, shards: usize) -> Partition {
+        assert!(shards > 0, "a sharded database needs at least one shard");
+        let mut map = Vec::with_capacity(num_vars);
+        let mut owned: Vec<Vec<VarId>> = vec![Vec::new(); shards];
+        for v in 0..num_vars as u32 {
+            let s = (((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as u32;
+            map.push((s, owned[s as usize].len() as u32));
+            owned[s as usize].push(VarId(v));
+        }
+        Partition { map, owned }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// The shard owning global variable `v`.
+    pub fn shard_of(&self, v: VarId) -> usize {
+        self.map[v.index()].0 as usize
+    }
+
+    /// The shard-local id of global variable `v`.
+    pub fn local(&self, v: VarId) -> VarId {
+        VarId(self.map[v.index()].1)
+    }
+
+    /// Global ids owned by shard `s`, in local-index order.
+    pub fn shard_vars(&self, s: usize) -> &[VarId] {
+        &self.owned[s]
+    }
+
+    /// Project a global state onto shard `s`'s local variable order.
+    fn project(&self, init: &GlobalState, s: usize) -> GlobalState {
+        GlobalState(self.owned[s].iter().map(|&v| init.0[v.index()]).collect())
+    }
+}
+
+/// Epoch-guarded handle to one open **global** transaction (the sharded
+/// analogue of [`Txn`]). Copyable; goes stale at retirement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GlobalTxn {
+    slot: u32,
+    epoch: u64,
+}
+
+/// Per-shard state of a global transaction.
+#[derive(Clone, Copy, Debug)]
+enum SubState {
+    /// Not begun on this shard.
+    Absent,
+    /// An open sub-transaction (begun at the global timestamp).
+    Running(Txn),
+    /// Voted yes in the in-flight two-phase commit.
+    Prepared(Txn),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum GStatus {
+    Free,
+    Running,
+    Committed,
+}
+
+/// Coordinator-side slot of one global transaction.
+struct GSlot {
+    epoch: u64,
+    status: GStatus,
+    /// Global timestamp of the current attempt: the transaction's stamp
+    /// on every shard, and the global transaction id of its 2PC.
+    gts: u64,
+    attempts: u32,
+    waits: u32,
+    /// Per-shard sub-transactions.
+    subs: Vec<SubState>,
+    /// Shards touched, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl GSlot {
+    fn new(shards: usize) -> GSlot {
+        GSlot {
+            epoch: 0,
+            status: GStatus::Free,
+            gts: 0,
+            attempts: 0,
+            waits: 0,
+            subs: vec![SubState::Absent; shards],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// What recovering all shard logs found ([`ShardedDb::open`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardedRecoveryInfo {
+    /// Sub-transactions replayed across all shards (a cross-shard
+    /// transaction counts once per shard it touched).
+    pub sub_committed: u64,
+    /// Largest timestamp floor over the shards; global timestamps resume
+    /// above it.
+    pub floor: u64,
+    /// Torn-tail bytes dropped, summed over the shards.
+    pub truncated_bytes: u64,
+    /// In-doubt prepares settled as **committed** by consulting their
+    /// coordinator shard's decision.
+    pub in_doubt_committed: u64,
+    /// In-doubt prepares rolled back (no durable coordinator decision:
+    /// presumed abort).
+    pub in_doubt_aborted: u64,
+}
+
+/// An in-memory database hash-partitioned across `S` shard threads, each
+/// an independent [`SessionDb`], with single-shard fast-path commits and
+/// two-phase cross-shard commits. See the [module docs](self).
+///
+/// The public API mirrors [`SessionDb`] (begin / per-operation access /
+/// commit / abort / retire, epoch-guarded handles, `Op`-shaped outcomes)
+/// and is driven by one coordinator at a time (`&mut self`); parallelism
+/// lives *inside* calls, fanning work out to the shard threads.
+pub struct ShardedDb {
+    workers: Vec<Worker<SessionDb>>,
+    partition: Partition,
+    num_vars: usize,
+    slots: Vec<GSlot>,
+    free: Vec<u32>,
+    /// Global timestamp authority: stamps, in issue order, every
+    /// transaction attempt (also serving as the 2PC global id).
+    next_gts: u64,
+    cc_name: String,
+    multiversion: bool,
+    defers: bool,
+    recovery: Option<ShardedRecoveryInfo>,
+    /// Coordinator-level counters (global outcomes; shard-level counters
+    /// aggregate separately in [`metrics`](Self::metrics)).
+    commits: usize,
+    aborts: usize,
+    waits: usize,
+    retires: usize,
+    cross_commits: usize,
+    /// Crash injection: number of durable 2PC actions (prepare fsyncs,
+    /// coordinator resolve fsyncs) allowed before every shard log dies.
+    crash_budget: Option<u64>,
+    twopc_actions: u64,
+    dead: bool,
+}
+
+impl ShardedDb {
+    /// Create an in-memory sharded database over the variables of `init`,
+    /// partitioned across `shards` shards, each running its own instance
+    /// from `make_cc`.
+    pub fn new(
+        make_cc: &dyn Fn() -> Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+        shards: usize,
+    ) -> ShardedDb {
+        Self::with_capacity(make_cc, init, shards, 0)
+    }
+
+    /// Like [`new`](Self::new), pre-sizing every shard's tables for
+    /// `expected_txns` simultaneously open global transactions.
+    pub fn with_capacity(
+        make_cc: &dyn Fn() -> Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+        shards: usize,
+        expected_txns: usize,
+    ) -> ShardedDb {
+        let partition = Partition::new(init.0.len(), shards);
+        let sample = make_cc();
+        let (cc_name, multiversion, defers) = (
+            sample.name().to_string(),
+            sample.multiversion(),
+            sample.defers_writes(),
+        );
+        drop(sample);
+        let workers = (0..shards)
+            .map(|s| {
+                let mut cc = make_cc();
+                if shards > 1 {
+                    cc.enable_commit_order();
+                }
+                Worker::spawn(SessionDb::with_capacity(
+                    cc,
+                    partition.project(&init, s),
+                    expected_txns,
+                ))
+            })
+            .collect();
+        Self::build(
+            workers,
+            partition,
+            init.0.len(),
+            cc_name,
+            multiversion,
+            defers,
+            0,
+            None,
+        )
+    }
+
+    /// Open a **durable** sharded database under directory `dir` (one
+    /// write-ahead log per shard, `dir/shard-<i>.wal`): recover every
+    /// shard log, settle in-doubt two-phase commits against their
+    /// coordinator shard's recovered decisions (commit iff the
+    /// coordinator's resolve record survived; presumed abort otherwise),
+    /// write the settlements back, and resume the stream. Fresh logs are
+    /// created where none exist. With [`DurabilityMode::None`] this is
+    /// exactly [`new`](Self::new).
+    pub fn open(
+        make_cc: &dyn Fn() -> Box<dyn ConcurrencyControl>,
+        init: GlobalState,
+        dir: impl AsRef<Path>,
+        mode: DurabilityMode,
+        shards: usize,
+        expected_txns: usize,
+    ) -> Result<ShardedDb, WalError> {
+        if matches!(mode, DurabilityMode::None) {
+            return Ok(Self::with_capacity(make_cc, init, shards, expected_txns));
+        }
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let paths: Vec<PathBuf> = (0..shards).map(|s| Self::shard_path(dir, s)).collect();
+        // Pass 1: recover every shard log (scan, validate, truncate) and
+        // collect each shard's decision table for the consultations.
+        let mut recovered: Vec<Option<Recovered>> = Vec::with_capacity(shards);
+        for p in &paths {
+            recovered.push(recovery::recover(p)?);
+        }
+        let decisions: Vec<HashMap<u64, bool>> = recovered
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .map(|r| r.resolutions.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        // Pass 2: build each shard over its recovered state, settling its
+        // in-doubt prepares against the coordinator shard's decisions.
+        let partition = Partition::new(init.0.len(), shards);
+        let sample = make_cc();
+        let (cc_name, multiversion, defers) = (
+            sample.name().to_string(),
+            sample.multiversion(),
+            sample.defers_writes(),
+        );
+        drop(sample);
+        let mut next_gts = 0u64;
+        let mut info = ShardedRecoveryInfo::default();
+        let mut any_recovered = false;
+        let mut workers = Vec::with_capacity(shards);
+        for (s, rec) in recovered.into_iter().enumerate() {
+            if let Some(r) = &rec {
+                any_recovered = true;
+                next_gts = next_gts.max(r.floor).max(r.max_gtid);
+            }
+            let mut cc = make_cc();
+            if shards > 1 {
+                cc.enable_commit_order();
+            }
+            let db = SessionDb::from_recovered(
+                cc,
+                partition.project(&init, s),
+                &paths[s],
+                mode,
+                expected_txns,
+                rec,
+                &mut |p| {
+                    decisions
+                        .get(p.coord as usize)
+                        .and_then(|m| m.get(&p.gtid))
+                        .copied()
+                        .unwrap_or(false)
+                },
+            )?;
+            if let Some(ri) = db.recovery_info() {
+                info.sub_committed += ri.committed;
+                info.floor = info.floor.max(ri.floor);
+                info.truncated_bytes += ri.truncated_bytes;
+                info.in_doubt_committed += ri.in_doubt_committed;
+                info.in_doubt_aborted += ri.in_doubt_aborted;
+            }
+            workers.push(Worker::spawn(db));
+        }
+        Ok(Self::build(
+            workers,
+            partition,
+            init.0.len(),
+            cc_name,
+            multiversion,
+            defers,
+            next_gts,
+            any_recovered.then_some(info),
+        ))
+    }
+
+    /// The per-shard log path convention of [`open`](Self::open).
+    pub fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard}.wal"))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        workers: Vec<Worker<SessionDb>>,
+        partition: Partition,
+        num_vars: usize,
+        cc_name: String,
+        multiversion: bool,
+        defers: bool,
+        next_gts: u64,
+        recovery: Option<ShardedRecoveryInfo>,
+    ) -> ShardedDb {
+        ShardedDb {
+            workers,
+            partition,
+            num_vars,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_gts,
+            cc_name,
+            multiversion,
+            defers,
+            recovery,
+            commits: 0,
+            aborts: 0,
+            waits: 0,
+            retires: 0,
+            cross_commits: 0,
+            crash_budget: None,
+            twopc_actions: 0,
+            dead: false,
+        }
+    }
+
+    // ---------------------------------------------------------------- begin
+
+    /// Open a new global transaction: recycle a free coordinator slot,
+    /// stamp the attempt with a fresh global timestamp, and return the
+    /// epoch-guarded handle. Shards are engaged lazily, at the first
+    /// operation that touches them.
+    pub fn begin(&mut self) -> GlobalTxn {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(GSlot::new(self.workers.len()));
+                s
+            }
+        };
+        self.next_gts += 1;
+        let gts = self.next_gts;
+        let sl = &mut self.slots[slot as usize];
+        debug_assert!(sl.status == GStatus::Free && sl.touched.is_empty());
+        sl.status = GStatus::Running;
+        sl.gts = gts;
+        sl.attempts = 1;
+        sl.waits = 0;
+        GlobalTxn {
+            slot,
+            epoch: sl.epoch,
+        }
+    }
+
+    // ----------------------------------------------------------- operations
+
+    /// Observe global variable `var` (a pure read).
+    pub fn read(&mut self, h: GlobalTxn, var: VarId) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Read, |v| v)
+    }
+
+    /// Blind-write `value` to `var`; the observed old value rides along.
+    pub fn write(
+        &mut self,
+        h: GlobalTxn,
+        var: VarId,
+        value: Value,
+    ) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Write, move |_| value)
+    }
+
+    /// Read-modify-write `var` through `f`, atomically with respect to
+    /// the owning shard's concurrency control.
+    pub fn update(
+        &mut self,
+        h: GlobalTxn,
+        var: VarId,
+        f: impl FnOnce(Value) -> Value + Send + 'static,
+    ) -> Result<Op<Value>, SessionError> {
+        self.apply(h, var, StepKind::Update, f)
+    }
+
+    /// The general access primitive: routes the step to the shard owning
+    /// `var` (translating to its local id) and runs it on that shard's
+    /// thread. Semantics of the returned [`Op`] mirror
+    /// [`SessionDb::apply`]; a shard-level restart restarts the **whole**
+    /// global transaction (every shard's sub-transaction rolls back) and
+    /// the client replays its program against a fresh global timestamp.
+    pub fn apply(
+        &mut self,
+        h: GlobalTxn,
+        var: VarId,
+        kind: StepKind,
+        f: impl FnOnce(Value) -> Value + Send + 'static,
+    ) -> Result<Op<Value>, SessionError> {
+        let ti = self.running(h)?;
+        if self.slots[ti]
+            .subs
+            .iter()
+            .any(|s| matches!(s, SubState::Prepared(_)))
+        {
+            // A partially prepared commit is in flight (some shard's vote
+            // said wait): only the commit retry or an abort may proceed.
+            return Err(SessionError::Prepared);
+        }
+        let si = self.partition.shard_of(var);
+        let lv = self.partition.local(var);
+        let sub = self.ensure_sub(ti, si);
+        // Reserve (without consuming) the global timestamp a shard-local
+        // restart would stamp the fresh attempt with: the restart happens
+        // inside the shard, in place, before we see the outcome.
+        let spare = self.next_gts + 1;
+        let r = self.workers[si].call(move |db| {
+            db.set_restart_ts(spare);
+            db.apply(sub, lv, kind, f).expect("sub is live")
+        });
+        Ok(match r {
+            Op::Done(v) => Op::Done(v),
+            Op::Wait => {
+                self.slots[ti].waits += 1;
+                self.waits += 1;
+                Op::Wait
+            }
+            Op::Restarted => {
+                // The shard already restarted the sub in place at `spare`;
+                // adopt that as the transaction's new global attempt.
+                self.next_gts = spare;
+                self.global_restart_keeping(ti, Some(si), spare);
+                Op::Restarted
+            }
+        })
+    }
+
+    // --------------------------------------------------------------- finish
+
+    /// Commit the global transaction. Single-shard transactions commit
+    /// entirely on their shard (the fast path, batched by that shard's
+    /// group commit); cross-shard transactions run the two-phase protocol
+    /// described in the [module docs](self). [`Op::Wait`] means retry the
+    /// commit later — shards that already voted stay prepared, and only
+    /// the outstanding votes re-run; [`Op::Restarted`] means some shard's
+    /// validation failed and a fresh global attempt has begun.
+    pub fn commit(&mut self, h: GlobalTxn) -> Result<Op<()>, SessionError> {
+        let ti = self.running(h)?;
+        let touched: Vec<usize> = self.slots[ti].touched.iter().map(|&s| s as usize).collect();
+        match touched.len() {
+            0 => {
+                // A transaction that never touched data commits trivially.
+                self.slots[ti].status = GStatus::Committed;
+                self.commits += 1;
+                Ok(Op::Done(()))
+            }
+            1 => {
+                let si = touched[0];
+                let SubState::Running(sub) = self.slots[ti].subs[si] else {
+                    unreachable!("single-shard transactions never prepare")
+                };
+                let floor = self.min_active_gts(ti);
+                let spare = self.next_gts + 1;
+                let r = self.workers[si].call(move |db| {
+                    db.set_gc_floor(floor);
+                    db.set_restart_ts(spare);
+                    db.commit(sub).expect("sub is live")
+                });
+                Ok(match r {
+                    Op::Done(()) => {
+                        self.slots[ti].status = GStatus::Committed;
+                        self.commits += 1;
+                        Op::Done(())
+                    }
+                    Op::Wait => {
+                        self.slots[ti].waits += 1;
+                        self.waits += 1;
+                        Op::Wait
+                    }
+                    Op::Restarted => {
+                        self.next_gts = spare;
+                        self.global_restart_keeping(ti, Some(si), spare);
+                        Op::Restarted
+                    }
+                })
+            }
+            _ => self.commit_cross(ti, touched),
+        }
+    }
+
+    /// The two-phase commit of a cross-shard transaction.
+    fn commit_cross(&mut self, ti: usize, mut shards: Vec<usize>) -> Result<Op<()>, SessionError> {
+        shards.sort_unstable();
+        let gtid = self.slots[ti].gts;
+        let coord = shards[0] as u32;
+        // Phase 1 — collect the outstanding votes. Already-prepared shards
+        // (from a Wait-ed earlier attempt) keep their vote.
+        let pending: Vec<(usize, Txn)> = shards
+            .iter()
+            .filter_map(|&s| match self.slots[ti].subs[s] {
+                SubState::Running(sub) => Some((s, sub)),
+                _ => None,
+            })
+            .collect();
+        // Each vote reserves its own restart timestamp (a shard whose
+        // validation fails restarts its sub in place at that stamp).
+        let spares: Vec<u64> = (0..pending.len() as u64)
+            .map(|i| self.next_gts + 1 + i)
+            .collect();
+        let outcomes: Vec<(usize, Op<()>)> = if self.crash_budget.is_some() {
+            // Crash injection needs deterministic action boundaries:
+            // sequential votes.
+            pending
+                .iter()
+                .zip(&spares)
+                .map(|(&(s, sub), &spare)| {
+                    self.before_2pc_action();
+                    let r = self.workers[s].call(move |db| {
+                        db.set_restart_ts(spare);
+                        db.prepare_commit(sub, gtid, coord).expect("sub is live")
+                    });
+                    (s, r)
+                })
+                .collect()
+        } else {
+            // The parallel path: every shard's vote (concurrency-control
+            // validation + forced prepare fsync) runs concurrently on its
+            // own thread.
+            let replies: Vec<(usize, Reply<Op<()>>)> = pending
+                .iter()
+                .zip(&spares)
+                .map(|(&(s, sub), &spare)| {
+                    let reply = self.workers[s].submit(move |db| {
+                        db.set_restart_ts(spare);
+                        db.prepare_commit(sub, gtid, coord).expect("sub is live")
+                    });
+                    (s, reply)
+                })
+                .collect();
+            replies.into_iter().map(|(s, r)| (s, r.wait())).collect()
+        };
+        let mut waited = false;
+        let mut restarted: Option<(usize, u64)> = None;
+        for (i, &(s, _)) in pending.iter().enumerate() {
+            match outcomes[i].1 {
+                Op::Done(()) => {
+                    let SubState::Running(sub) = self.slots[ti].subs[s] else {
+                        unreachable!("voting shards were running")
+                    };
+                    self.slots[ti].subs[s] = SubState::Prepared(sub);
+                }
+                Op::Wait => waited = true,
+                Op::Restarted => {
+                    if restarted.is_none() {
+                        restarted = Some((s, spares[i]));
+                    }
+                }
+            }
+        }
+        if let Some((keep, gts)) = restarted {
+            // Some shard's validation failed and restarted its sub in
+            // place: the global transaction aborts everywhere else
+            // (prepared votes are revoked — the decision was never
+            // logged) and continues as the kept shard's fresh attempt.
+            // Spares may have been stamped by multiple restarting shards;
+            // burn the whole batch to keep global timestamps unique.
+            self.next_gts += spares.len() as u64;
+            self.global_restart_keeping(ti, Some(keep), gts);
+            return Ok(Op::Restarted);
+        }
+        if waited {
+            self.slots[ti].waits += 1;
+            self.waits += 1;
+            return Ok(Op::Wait);
+        }
+        // Phase 2 — all shards voted yes. The coordinator shard's fsynced
+        // resolve record is the commit point of the global transaction.
+        let floor = self.min_active_gts(ti);
+        let SubState::Prepared(coord_sub) = self.slots[ti].subs[coord as usize] else {
+            unreachable!("coordinator voted above")
+        };
+        self.before_2pc_action();
+        self.workers[coord as usize].call(move |db| {
+            db.set_gc_floor(floor);
+            db.resolve_commit(coord_sub, true, true)
+                .expect("coordinator sub is prepared")
+        });
+        // Participants apply in parallel; their resolve records stay
+        // buffered — if a crash loses one, that shard recovers in-doubt
+        // and re-derives the decision from the coordinator's log.
+        let replies: Vec<Reply<()>> = shards[1..]
+            .iter()
+            .map(|&s| {
+                let SubState::Prepared(sub) = self.slots[ti].subs[s] else {
+                    unreachable!("participants voted above")
+                };
+                self.workers[s].submit(move |db| {
+                    db.set_gc_floor(floor);
+                    db.resolve_commit(sub, true, false)
+                        .expect("participant sub is prepared")
+                })
+            })
+            .collect();
+        for r in replies {
+            r.wait();
+        }
+        self.slots[ti].status = GStatus::Committed;
+        self.commits += 1;
+        self.cross_commits += 1;
+        Ok(Op::Done(()))
+    }
+
+    /// Client-initiated abort: roll the global transaction back on every
+    /// touched shard (revoking any prepared votes — legal, since the
+    /// commit decision was never logged) and retire the slot.
+    pub fn abort(&mut self, h: GlobalTxn) -> Result<(), SessionError> {
+        let ti = self.running(h)?;
+        self.rollback_subs(ti, None);
+        self.aborts += 1;
+        // An abort frees (retires) the slot, exactly as SessionDb counts.
+        self.retires += 1;
+        self.free_slot(ti);
+        Ok(())
+    }
+
+    /// Force-abort the running global transaction everywhere and begin a
+    /// fresh attempt on the same slot under a **new global timestamp**
+    /// (the handle stays valid; the client replays). This is the restart
+    /// valve drivers fire after too many consecutive waits — cross-shard
+    /// wait cycles are invisible to every shard-local deadlock detector,
+    /// so a timeout-style valve is the liveness backstop.
+    pub fn restart(&mut self, h: GlobalTxn) -> Result<(), SessionError> {
+        let ti = self.running(h)?;
+        self.global_restart(ti);
+        Ok(())
+    }
+
+    /// Retire a committed global transaction: retire every shard-local
+    /// sub-transaction and hand the coordinator slot back for recycling
+    /// (every handle goes stale).
+    pub fn retire(&mut self, h: GlobalTxn) -> Result<(), SessionError> {
+        let ti = self.slot_of(h)?;
+        match self.slots[ti].status {
+            GStatus::Committed => {}
+            GStatus::Running => return Err(SessionError::StillRunning),
+            GStatus::Free => unreachable!("stale handles were rejected"),
+        }
+        let replies: Vec<Reply<()>> = (0..self.workers.len())
+            .filter_map(|s| match self.slots[ti].subs[s] {
+                SubState::Running(sub) | SubState::Prepared(sub) => Some(
+                    self.workers[s].submit(move |db| db.retire(sub).expect("sub is committed")),
+                ),
+                SubState::Absent => None,
+            })
+            .collect();
+        for r in replies {
+            r.wait();
+        }
+        self.retires += 1;
+        self.free_slot(ti);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The concurrency control's name (every shard runs the same one).
+    pub fn cc_name(&self) -> &str {
+        &self.cc_name
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of global variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The shard owning global variable `v`.
+    pub fn shard_of(&self, v: VarId) -> usize {
+        self.partition.shard_of(v)
+    }
+
+    /// Global variable ids owned by shard `s`.
+    pub fn shard_vars(&self, s: usize) -> &[VarId] {
+        self.partition.shard_vars(s)
+    }
+
+    /// Is the store multi-version?
+    pub fn multiversion(&self) -> bool {
+        self.multiversion
+    }
+
+    /// Does the mechanism buffer writes until commit?
+    pub fn defers_writes(&self) -> bool {
+        self.defers
+    }
+
+    /// Current committed global state, gathered across the shards.
+    pub fn globals(&mut self) -> GlobalState {
+        self.gather(|db| db.globals())
+    }
+
+    /// The committed state only (see [`SessionDb::committed_globals`]),
+    /// gathered across the shards.
+    pub fn committed_globals(&mut self) -> GlobalState {
+        self.gather(|db| db.committed_globals())
+    }
+
+    /// Aggregated execution counters: global outcomes (commits, aborts,
+    /// waits, retires) from the coordinator — a cross-shard transaction
+    /// counts once — and store-level counters summed over the shards.
+    pub fn metrics(&self) -> Metrics {
+        let mut m = Metrics {
+            commits: self.commits,
+            aborts: self.aborts,
+            waits: self.waits,
+            retires: self.retires,
+            ..Metrics::default()
+        };
+        for w in &self.workers {
+            let sm = w.call(|db| db.metrics);
+            m.steps_executed += sm.steps_executed;
+            m.mv_write_aborts += sm.mv_write_aborts;
+            m.versions_installed += sm.versions_installed;
+            m.versions_reclaimed += sm.versions_reclaimed;
+            m.max_chain_len = m.max_chain_len.max(sm.max_chain_len);
+            m.wal_records += sm.wal_records;
+            m.wal_syncs += sm.wal_syncs;
+            m.wal_bytes += sm.wal_bytes;
+        }
+        m
+    }
+
+    /// Cross-shard transactions committed through the two-phase protocol.
+    pub fn cross_shard_commits(&self) -> usize {
+        self.cross_commits
+    }
+
+    /// Dense-table capacity across all shards: slots ever allocated,
+    /// summed (monotone — never shrinks — so the final value is the
+    /// peak). The recycling claim is that it stays a small multiple of
+    /// `terminals * shards` no matter the stream length.
+    pub fn num_slots(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.call(|db| db.num_slots()))
+            .sum()
+    }
+
+    /// Global transactions currently open (running or
+    /// committed-unretired).
+    pub fn open_sessions(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Live version count summed over the shards; `None` on
+    /// single-version stores.
+    pub fn live_versions(&self) -> Option<usize> {
+        if !self.multiversion {
+            return None;
+        }
+        Some(
+            self.workers
+                .iter()
+                .map(|w| w.call(|db| db.live_versions().unwrap_or(0)))
+                .sum(),
+        )
+    }
+
+    /// Lifecycle state of a handle.
+    pub fn status(&self, h: GlobalTxn) -> SessionStatus {
+        match self.slot_of(h) {
+            Err(_) => SessionStatus::Retired,
+            Ok(ti) => match self.slots[ti].status {
+                GStatus::Running => SessionStatus::Running,
+                GStatus::Committed => SessionStatus::Committed,
+                GStatus::Free => unreachable!("stale handles were rejected"),
+            },
+        }
+    }
+
+    /// The global timestamp of the transaction's current attempt — its
+    /// stamp on every shard, its serialization position under the
+    /// timestamp mechanisms, and its 2PC identity.
+    pub fn read_view(&self, h: GlobalTxn) -> Result<u64, SessionError> {
+        Ok(self.slots[self.slot_of(h)?].gts)
+    }
+
+    /// Restart attempts of the global transaction so far (1 = first run).
+    pub fn attempts(&self, h: GlobalTxn) -> Result<u32, SessionError> {
+        Ok(self.slots[self.slot_of(h)?].attempts)
+    }
+
+    /// Wait outcomes of the global transaction across its lifetime.
+    pub fn waits(&self, h: GlobalTxn) -> Result<u32, SessionError> {
+        Ok(self.slots[self.slot_of(h)?].waits)
+    }
+
+    /// What recovering the shard logs found, when this database was
+    /// [`open`](Self::open)ed over existing logs.
+    pub fn recovery_info(&self) -> Option<ShardedRecoveryInfo> {
+        self.recovery
+    }
+
+    // ------------------------------------------------------------ durability
+
+    /// Flush and fsync every shard's buffered log records (graceful
+    /// shutdown; also makes every participant resolve record durable).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        for w in &self.workers {
+            w.call(|db| db.sync())?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every shard: first [`sync`](Self::sync) all shards —
+    /// once every buffered participant resolve is durable, no shard will
+    /// ever again consult another's decisions for the records a
+    /// checkpoint discards (the **resolution stability rule**,
+    /// `docs/SHARDING.md`) — then compact each shard's log.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        self.sync()?;
+        for w in &self.workers {
+            w.call(|db| db.checkpoint())?;
+        }
+        Ok(())
+    }
+
+    /// Crash injection (tests): allow `n` durable two-phase-commit
+    /// actions **from this call on** — each participant's prepare fsync
+    /// and each coordinator resolve fsync counts one — then kill
+    /// **every** shard log at that boundary, as a coordinator process
+    /// crash would. Votes also run sequentially (in shard order) once
+    /// armed, so the boundaries are deterministic.
+    pub fn crash_after_2pc_actions(&mut self, n: u64) {
+        self.crash_budget = Some(n);
+        self.twopc_actions = 0;
+    }
+
+    /// Crash injection (tests): kill every shard log *now* (buffered
+    /// records, including participant resolves, are lost).
+    pub fn crash_now(&mut self) {
+        self.kill_wals();
+    }
+
+    // ------------------------------------------------------------ internals
+
+    fn slot_of(&self, h: GlobalTxn) -> Result<usize, SessionError> {
+        match self.slots.get(h.slot as usize) {
+            Some(sl) if sl.epoch == h.epoch => Ok(h.slot as usize),
+            _ => Err(SessionError::Stale),
+        }
+    }
+
+    fn running(&self, h: GlobalTxn) -> Result<usize, SessionError> {
+        let ti = self.slot_of(h)?;
+        match self.slots[ti].status {
+            GStatus::Running => Ok(ti),
+            GStatus::Committed => Err(SessionError::AlreadyCommitted),
+            GStatus::Free => unreachable!("stale handles were rejected"),
+        }
+    }
+
+    /// Begin the sub-transaction on shard `si` if absent, at the global
+    /// timestamp.
+    fn ensure_sub(&mut self, ti: usize, si: usize) -> Txn {
+        match self.slots[ti].subs[si] {
+            SubState::Running(sub) | SubState::Prepared(sub) => sub,
+            SubState::Absent => {
+                let gts = self.slots[ti].gts;
+                let sub = self.workers[si].call(move |db| db.begin_with_ts(gts));
+                self.slots[ti].subs[si] = SubState::Running(sub);
+                self.slots[ti].touched.push(si as u32);
+                sub
+            }
+        }
+    }
+
+    /// Abort every sub-transaction (revoking prepared votes) and begin a
+    /// fresh attempt under a new global timestamp.
+    fn global_restart(&mut self, ti: usize) {
+        self.next_gts += 1;
+        let gts = self.next_gts;
+        self.global_restart_keeping(ti, None, gts);
+    }
+
+    /// Restart the global transaction at timestamp `gts`: roll back every
+    /// sub-transaction *except* `keep` — a shard whose concurrency
+    /// control already restarted its sub in place (the fresh attempt,
+    /// stamped `gts`, carries over as the first touched shard of the new
+    /// global attempt).
+    fn global_restart_keeping(&mut self, ti: usize, keep: Option<usize>, gts: u64) {
+        self.rollback_subs(ti, keep);
+        self.aborts += 1;
+        let sl = &mut self.slots[ti];
+        sl.gts = gts;
+        sl.attempts += 1;
+    }
+
+    /// Roll back every sub-transaction of slot `ti` on its shard, except
+    /// the shard `keep` (which stays touched and running). Rollbacks fan
+    /// out to the shard threads and are collected before returning.
+    fn rollback_subs(&mut self, ti: usize, keep: Option<usize>) {
+        let mut replies: Vec<Reply<()>> = Vec::new();
+        for s in 0..self.workers.len() {
+            if Some(s) == keep {
+                debug_assert!(matches!(self.slots[ti].subs[s], SubState::Running(_)));
+                continue;
+            }
+            match self.slots[ti].subs[s] {
+                SubState::Running(sub) => {
+                    replies.push(
+                        self.workers[s].submit(move |db| db.abort(sub).expect("sub is live")),
+                    );
+                }
+                SubState::Prepared(sub) => {
+                    replies.push(self.workers[s].submit(move |db| {
+                        db.resolve_commit(sub, false, false)
+                            .expect("sub is prepared")
+                    }));
+                }
+                SubState::Absent => {}
+            }
+            self.slots[ti].subs[s] = SubState::Absent;
+        }
+        for r in replies {
+            r.wait();
+        }
+        let sl = &mut self.slots[ti];
+        sl.touched.clear();
+        if let Some(s) = keep {
+            sl.touched.push(s as u32);
+        }
+    }
+
+    fn free_slot(&mut self, ti: usize) {
+        let sl = &mut self.slots[ti];
+        sl.epoch += 1;
+        sl.status = GStatus::Free;
+        for s in sl.subs.iter_mut() {
+            *s = SubState::Absent;
+        }
+        sl.touched.clear();
+        self.free.push(ti as u32);
+    }
+
+    /// Oldest global timestamp of any *other* active transaction — the
+    /// shard GC floor: a snapshot that old may still arrive at any shard.
+    fn min_active_gts(&self, committing: usize) -> u64 {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, sl)| i != committing && sl.status == GStatus::Running)
+            .map(|(_, sl)| sl.gts)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Gather a per-shard state projection back into global variable
+    /// order.
+    fn gather(&mut self, f: fn(&SessionDb) -> GlobalState) -> GlobalState {
+        let mut out = vec![Value::Int(0); self.num_vars];
+        for (s, w) in self.workers.iter().enumerate() {
+            let local = w.call(move |db| f(db));
+            for (i, &v) in self.partition.shard_vars(s).iter().enumerate() {
+                out[v.index()] = local.0[i];
+            }
+        }
+        GlobalState(out)
+    }
+
+    /// Count one durable 2PC action against the crash budget, killing
+    /// every shard log exactly at the boundary.
+    fn before_2pc_action(&mut self) {
+        if let Some(budget) = self.crash_budget {
+            if !self.dead && self.twopc_actions >= budget {
+                self.kill_wals();
+            }
+        }
+        self.twopc_actions += 1;
+    }
+
+    fn kill_wals(&mut self) {
+        self.dead = true;
+        for w in &self.workers {
+            w.call(|db| db.wal_crash_after_records(0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{MvtoCc, SerialCc, SgtCc, Strict2plCc, TimestampCc};
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    fn cc_2pl() -> Box<dyn ConcurrencyControl> {
+        Box::new(Strict2plCc::default())
+    }
+
+    /// Two global variables guaranteed to live on different shards.
+    fn split_pair(db: &ShardedDb) -> (VarId, VarId) {
+        let a = v(0);
+        let b = (1..db.num_vars() as u32)
+            .map(v)
+            .find(|&x| db.shard_of(x) != db.shard_of(a))
+            .expect("at least two shards own variables");
+        (a, b)
+    }
+
+    /// Drive one update-commit-retire transaction over `vars`.
+    fn bump(db: &mut ShardedDb, vars: &[VarId]) {
+        let h = db.begin();
+        for &var in vars {
+            loop {
+                match db.update(h, var, |x| int(x.as_int().unwrap() + 1)).unwrap() {
+                    Op::Done(_) => break,
+                    Op::Wait | Op::Restarted => {}
+                }
+            }
+        }
+        loop {
+            match db.commit(h).unwrap() {
+                Op::Done(()) => break,
+                Op::Wait => {}
+                Op::Restarted => {
+                    for &var in vars {
+                        loop {
+                            match db.update(h, var, |x| int(x.as_int().unwrap() + 1)).unwrap() {
+                                Op::Done(_) => break,
+                                Op::Wait | Op::Restarted => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        db.retire(h).unwrap();
+    }
+
+    #[test]
+    fn partition_covers_every_variable_exactly_once() {
+        for shards in [1usize, 2, 3, 8] {
+            let p = Partition::new(37, shards);
+            let mut seen = [false; 37];
+            for s in 0..shards {
+                for (i, &gv) in p.shard_vars(s).iter().enumerate() {
+                    assert_eq!(p.shard_of(gv), s);
+                    assert_eq!(p.local(gv).index(), i);
+                    assert!(!seen[gv.index()], "variable owned twice");
+                    seen[gv.index()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "every variable must be owned");
+        }
+    }
+
+    #[test]
+    fn single_and_cross_shard_lifecycle() {
+        let mut db = ShardedDb::new(&cc_2pl, GlobalState::from_ints(&[10; 8]), 3);
+        let (a, b) = split_pair(&db);
+        // Cross-shard read-your-writes and 2PC commit.
+        let h = db.begin();
+        assert_eq!(
+            db.update(h, a, |x| int(x.as_int().unwrap() + 1)).unwrap(),
+            Op::Done(int(10))
+        );
+        assert_eq!(db.write(h, b, int(77)).unwrap(), Op::Done(int(10)));
+        assert_eq!(db.read(h, a).unwrap(), Op::Done(int(11)));
+        assert_eq!(db.commit(h).unwrap(), Op::Done(()));
+        assert_eq!(db.status(h), SessionStatus::Committed);
+        db.retire(h).unwrap();
+        assert_eq!(db.status(h), SessionStatus::Retired);
+        let g = db.globals();
+        assert_eq!(g.0[a.index()], int(11));
+        assert_eq!(g.0[b.index()], int(77));
+        assert_eq!(db.cross_shard_commits(), 1);
+        // Single-shard transactions stay on the fast path.
+        bump(&mut db, &[a]);
+        assert_eq!(db.cross_shard_commits(), 1);
+        assert_eq!(db.metrics().commits, 2);
+    }
+
+    #[test]
+    fn stale_handles_are_rejected() {
+        let mut db = ShardedDb::new(&cc_2pl, GlobalState::from_ints(&[0; 4]), 2);
+        let h = db.begin();
+        let _ = db.write(h, v(0), int(1)).unwrap();
+        assert_eq!(db.commit(h).unwrap(), Op::Done(()));
+        db.retire(h).unwrap();
+        let h2 = db.begin(); // recycles the slot under a new epoch
+        assert_ne!(h, h2);
+        assert_eq!(db.read(h, v(0)), Err(SessionError::Stale));
+        assert_eq!(db.commit(h), Err(SessionError::Stale));
+        db.abort(h2).unwrap();
+    }
+
+    #[test]
+    fn streams_recycle_slots_across_all_shards() {
+        let mut db = ShardedDb::new(&cc_2pl, GlobalState::from_ints(&[0; 16]), 4);
+        let (a, b) = split_pair(&db);
+        for i in 0..60 {
+            if i % 3 == 0 {
+                bump(&mut db, &[a, b]); // cross-shard
+            } else {
+                bump(&mut db, &[v(i % 16)]);
+            }
+        }
+        let m = db.metrics();
+        assert_eq!(m.commits, 60);
+        assert_eq!(m.retires, 60);
+        assert!(
+            db.num_slots() <= 2 * db.shards(),
+            "sequential streams must recycle shard slots (got {})",
+            db.num_slots()
+        );
+    }
+
+    #[test]
+    fn cross_shard_deadlock_is_broken_by_the_restart_valve() {
+        // Serial CC: each shard is one token. Two transactions take one
+        // token each, then want the other: both Wait forever — no local
+        // detector can see the cycle. The valve (client restart) breaks it.
+        let mk = || Box::new(SerialCc::default()) as Box<dyn ConcurrencyControl>;
+        let mut db = ShardedDb::new(&mk, GlobalState::from_ints(&[0; 8]), 2);
+        let (a, b) = split_pair(&db);
+        let t1 = db.begin();
+        let t2 = db.begin();
+        assert_eq!(db.write(t1, a, int(1)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.write(t2, b, int(2)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.write(t1, b, int(3)).unwrap(), Op::Wait);
+        assert_eq!(db.write(t2, a, int(4)).unwrap(), Op::Wait);
+        // Still deadlocked on retry.
+        assert_eq!(db.write(t1, b, int(3)).unwrap(), Op::Wait);
+        db.restart(t2).unwrap(); // the valve fires
+        assert_eq!(db.attempts(t2), Ok(2));
+        // t1 now runs to completion, then t2's replay does.
+        assert_eq!(db.write(t1, b, int(3)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.commit(t1).unwrap(), Op::Done(()));
+        db.retire(t1).unwrap();
+        assert_eq!(db.write(t2, b, int(2)).unwrap(), Op::Done(int(3)));
+        assert_eq!(db.write(t2, a, int(4)).unwrap(), Op::Done(int(1)));
+        assert_eq!(db.commit(t2).unwrap(), Op::Done(()));
+        db.retire(t2).unwrap();
+        let g = db.globals();
+        assert_eq!((g.0[a.index()], g.0[b.index()]), (int(4), int(2)));
+    }
+
+    #[test]
+    fn global_timestamps_serialize_timestamp_mechanisms_across_shards() {
+        // The T/O write-skew shape that per-shard local clocks would
+        // admit: t1 reads a (shard A) and writes b (shard B); t2 reads b
+        // and writes a. With one global stamp order, some late access
+        // aborts — both can never commit on opposite per-shard orders.
+        for mk in [
+            (|| Box::new(TimestampCc::default()) as Box<dyn ConcurrencyControl>)
+                as fn() -> Box<dyn ConcurrencyControl>,
+            || Box::new(MvtoCc::default()),
+        ] {
+            let mut db = ShardedDb::new(&mk, GlobalState::from_ints(&[0; 8]), 2);
+            let (a, b) = split_pair(&db);
+            let t1 = db.begin(); // gts 1
+            let t2 = db.begin(); // gts 2
+            assert_eq!(db.read(t1, a).unwrap(), Op::Done(int(0)));
+            assert_eq!(db.read(t2, b).unwrap(), Op::Done(int(0)));
+            // t2 (younger) writes a: fine. t1 (older) writing b after
+            // t2... wait: t2 read b at stamp 2, t1 writes b at stamp 1 —
+            // late, restarts.
+            let r2 = db.write(t2, a, int(9)).unwrap();
+            assert!(matches!(r2, Op::Done(_) | Op::Wait), "got {r2:?}");
+            assert_eq!(db.write(t1, b, int(9)).unwrap(), Op::Restarted);
+            db.abort(t1).unwrap();
+            db.abort(t2).unwrap();
+        }
+    }
+
+    #[test]
+    fn durable_cross_shard_commits_survive_crashes_at_every_2pc_boundary() {
+        // One cross-shard transaction over 2 shards = 3 durable 2PC
+        // actions: prepare@A, prepare@B, resolve@coordinator. Kill every
+        // shard log before action n for every n; recovery must leave all
+        // shards agreeing: committed iff the coordinator's resolve (action
+        // 2) became durable. Budget 3 = no crash during 2PC, but the drop
+        // without sync still loses the buffered participant resolve — the
+        // in-doubt-consultation path that must *commit*.
+        for budget in 0..=3u64 {
+            let dir = ccopt_durability::scratch_path(&format!("shard-2pc-{budget}"));
+            let committed_expected = budget >= 3;
+            {
+                let mut db = ShardedDb::open(
+                    &cc_2pl,
+                    GlobalState::from_ints(&[0; 8]),
+                    &dir,
+                    DurabilityMode::Strict,
+                    2,
+                    0,
+                )
+                .unwrap();
+                let (a, b) = split_pair(&db);
+                db.crash_after_2pc_actions(budget);
+                let h = db.begin();
+                assert_eq!(db.write(h, a, int(5)).unwrap(), Op::Done(int(0)));
+                assert_eq!(db.write(h, b, int(6)).unwrap(), Op::Done(int(0)));
+                // In-memory the commit always succeeds; durability of the
+                // outcome is what the budget caps.
+                assert_eq!(db.commit(h).unwrap(), Op::Done(()));
+            } // crash (drop without sync)
+            let mut db = ShardedDb::open(
+                &cc_2pl,
+                GlobalState::from_ints(&[0; 8]),
+                &dir,
+                DurabilityMode::Strict,
+                2,
+                0,
+            )
+            .unwrap();
+            let (a, b) = split_pair(&db);
+            let info = db.recovery_info().expect("logs were recovered");
+            let g = db.globals();
+            let pair = (g.0[a.index()], g.0[b.index()]);
+            if committed_expected {
+                assert_eq!(pair, (int(5), int(6)), "budget {budget}: must commit");
+                assert_eq!(
+                    info.in_doubt_committed, 1,
+                    "budget {budget}: the participant was in doubt and must consult-commit"
+                );
+            } else {
+                assert_eq!(pair, (int(0), int(0)), "budget {budget}: must abort");
+                assert_eq!(info.in_doubt_committed, 0, "budget {budget}");
+            }
+            assert!(
+                info.in_doubt_aborted + info.in_doubt_committed <= 2,
+                "budget {budget}: at most one in-doubt vote per shard"
+            );
+            // The settlements were written back: a third open re-asks
+            // nothing.
+            drop(db);
+            let db = ShardedDb::open(
+                &cc_2pl,
+                GlobalState::from_ints(&[0; 8]),
+                &dir,
+                DurabilityMode::Strict,
+                2,
+                0,
+            )
+            .unwrap();
+            let info = db.recovery_info().unwrap();
+            assert_eq!(
+                (info.in_doubt_committed, info.in_doubt_aborted),
+                (0, 0),
+                "budget {budget}: settlements must be decided exactly once"
+            );
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn durable_sharded_stream_recovers_and_checkpoints() {
+        let dir = ccopt_durability::scratch_path("shard-stream");
+        {
+            let mut db = ShardedDb::open(
+                &cc_2pl,
+                GlobalState::from_ints(&[0; 12]),
+                &dir,
+                DurabilityMode::Strict,
+                3,
+                0,
+            )
+            .unwrap();
+            let (a, b) = split_pair(&db);
+            for i in 0..12 {
+                if i % 4 == 0 {
+                    bump(&mut db, &[a, b]);
+                } else {
+                    bump(&mut db, &[v(i % 12)]);
+                }
+            }
+            db.checkpoint().unwrap();
+            bump(&mut db, &[a, b]); // one cross-shard commit on top
+        } // crash
+        let mut db = ShardedDb::open(
+            &cc_2pl,
+            GlobalState::from_ints(&[0; 12]),
+            &dir,
+            DurabilityMode::Strict,
+            3,
+            0,
+        )
+        .unwrap();
+        let (a, b) = split_pair(&db);
+        let g = db.globals();
+        // a and b: 3 cross bumps + their single-shard bumps + 1 post-ckpt.
+        let expect = {
+            let mut e = vec![0i64; 12];
+            for i in 0..12usize {
+                if i % 4 == 0 {
+                    e[a.index()] += 1;
+                    e[b.index()] += 1;
+                } else {
+                    e[i % 12] += 1;
+                }
+            }
+            e[a.index()] += 1;
+            e[b.index()] += 1;
+            e
+        };
+        assert_eq!(g, GlobalState::from_ints(&expect));
+        // The stream resumes cleanly on the recovered state.
+        bump(&mut db, &[a, b]);
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sgt_commit_order_composes_across_shards() {
+        // The mixed-transaction counterexample from docs/SHARDING.md: a
+        // cross-shard pair with opposite-direction conflicts on two
+        // shards cannot both commit under the commit-order gate.
+        let mk = || Box::new(SgtCc::default()) as Box<dyn ConcurrencyControl>;
+        let mut db = ShardedDb::new(&mk, GlobalState::from_ints(&[0; 8]), 2);
+        let (a, b) = split_pair(&db);
+        let t1 = db.begin();
+        let t2 = db.begin();
+        // Shard A: t1 reads a, t2 overwrites it (edge t1 -> t2).
+        assert_eq!(db.read(t1, a).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.write(t2, a, int(1)).unwrap(), Op::Done(int(0)));
+        // Shard B: t2 reads b, t1 overwrites it (edge t2 -> t1).
+        assert_eq!(db.read(t2, b).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.write(t1, b, int(2)).unwrap(), Op::Done(int(0)));
+        // Each commit now waits on its live predecessor on one shard: a
+        // cross-shard wait cycle — the valve restarts one and the other
+        // completes.
+        assert_eq!(db.commit(t1).unwrap(), Op::Wait);
+        assert_eq!(db.commit(t2).unwrap(), Op::Wait);
+        db.restart(t1).unwrap();
+        assert_eq!(db.commit(t2).unwrap(), Op::Done(()));
+        db.retire(t2).unwrap();
+        // t1's replay commits after t2 — serializable order t1' after t2.
+        assert_eq!(db.read(t1, a).unwrap(), Op::Done(int(1)));
+        assert_eq!(db.write(t1, b, int(2)).unwrap(), Op::Done(int(0)));
+        assert_eq!(db.commit(t1).unwrap(), Op::Done(()));
+        db.retire(t1).unwrap();
+    }
+}

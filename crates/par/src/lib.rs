@@ -1,15 +1,26 @@
-//! # `ccopt-par` — minimal deterministic fork-join parallelism
+//! # `ccopt-par` — minimal deterministic parallelism primitives
 //!
-//! A rayon stand-in built on `std::thread::scope` (the build environment
+//! A rayon stand-in built on the standard library (the build environment
 //! has no network access to crates.io, so rayon itself is unavailable).
-//! The one primitive the workspace needs is a parallel, order-preserving
-//! map: results land at the index of their input, so a parallel map
-//! followed by an in-order reduction is bit-identical to the sequential
-//! loop whenever the per-item work is itself deterministic — which the
-//! simulator guarantees by deriving an independent RNG stream per item.
+//! Two primitives cover the workspace:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — fork-join: a parallel,
+//!   order-preserving map over `std::thread::scope`. Results land at the
+//!   index of their input, so a parallel map followed by an in-order
+//!   reduction is bit-identical to the sequential loop whenever the
+//!   per-item work is itself deterministic — which the simulator
+//!   guarantees by deriving an independent RNG stream per item.
+//! * [`Worker`] — a persistent actor: one OS thread owning a piece of
+//!   state, driven through a mailbox of `FnOnce(&mut T)` jobs. Jobs from
+//!   one sender run in send order; [`Worker::submit`] returns a [`Reply`]
+//!   so a coordinator can fan a batch out to several workers and then
+//!   collect, which is how the engine's sharded database drives one
+//!   worker per shard (`ccopt-engine::shard`).
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
 
 /// Number of worker threads `par_map` uses: the machine's available
 /// parallelism, overridable with `CCOPT_THREADS` (useful to force
@@ -87,6 +98,97 @@ where
     par_map_indexed(items.len(), |i| f(&items[i]))
 }
 
+// ------------------------------------------------------------------ worker
+
+/// A boxed job for a [`Worker`]'s mailbox.
+type Job<T> = Box<dyn FnOnce(&mut T) + Send>;
+
+/// The pending answer of a [`Worker::submit`] call. Dropping it without
+/// [`wait`](Reply::wait)ing discards the result (the job still runs).
+pub struct Reply<R> {
+    rx: Receiver<R>,
+}
+
+impl<R> Reply<R> {
+    /// Block until the worker has run the job and return its result.
+    ///
+    /// # Panics
+    /// Panics when the worker died (a previous job panicked) before
+    /// producing the result.
+    pub fn wait(self) -> R {
+        self.rx.recv().expect("worker completed the job")
+    }
+}
+
+/// A persistent worker thread owning a piece of state `T`, driven through
+/// a FIFO mailbox of closures.
+///
+/// Jobs submitted from the owning coordinator run strictly in submission
+/// order, each with exclusive `&mut T` access — the actor pattern: state
+/// is owned, never shared, so `T` needs no internal synchronization.
+/// Dropping the worker closes the mailbox, drains the remaining jobs,
+/// drops `T` *on the worker thread*, and joins — so resources owned by
+/// `T` (files, logs) are fully released when `drop` returns.
+pub struct Worker<T> {
+    tx: Option<Sender<Job<T>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> Worker<T> {
+    /// Move `state` onto a fresh worker thread and open its mailbox.
+    pub fn spawn(state: T) -> Worker<T> {
+        let (tx, rx) = channel::<Job<T>>();
+        let handle = std::thread::spawn(move || {
+            let mut state = state;
+            while let Ok(job) = rx.recv() {
+                job(&mut state);
+            }
+        });
+        Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueue `f` and return a [`Reply`] for its result. Use this to fan
+    /// a batch of jobs out to several workers before collecting any of
+    /// the answers — the workers run concurrently.
+    ///
+    /// # Panics
+    /// Panics when the worker thread is gone (a previous job panicked).
+    pub fn submit<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> Reply<R> {
+        let (rtx, rrx) = channel();
+        self.tx
+            .as_ref()
+            .expect("worker mailbox open until drop")
+            .send(Box::new(move |state: &mut T| {
+                let _ = rtx.send(f(state));
+            }))
+            .expect("worker thread alive");
+        Reply { rx: rrx }
+    }
+
+    /// Run `f` on the worker and block for its result (a synchronous
+    /// round-trip through the mailbox).
+    pub fn call<R: Send + 'static>(&self, f: impl FnOnce(&mut T) -> R + Send + 'static) -> R {
+        self.submit(f).wait()
+    }
+}
+
+impl<T> Drop for Worker<T> {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loop; the join guarantees
+        // the state (and everything it owns) is dropped before we return.
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 struct SendPtr<T>(*mut T);
 
 impl<T> Clone for SendPtr<T> {
@@ -128,6 +230,46 @@ mod tests {
     fn empty_and_single() {
         assert!(par_map_indexed(0, |i| i).is_empty());
         assert_eq!(par_map_indexed(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn worker_runs_jobs_in_order_with_exclusive_state() {
+        let w = Worker::spawn(Vec::<u32>::new());
+        for i in 0..100 {
+            w.call(move |v| v.push(i));
+        }
+        let out = w.call(|v| v.clone());
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_fan_out_and_collect() {
+        let workers: Vec<Worker<u64>> = (0..4).map(Worker::spawn).collect();
+        let replies: Vec<Reply<u64>> = workers
+            .iter()
+            .map(|w| w.submit(|s| std::mem::replace(s, *s * 10)))
+            .collect();
+        let got: Vec<u64> = replies.into_iter().map(Reply::wait).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        let after: Vec<u64> = workers.iter().map(|w| w.call(|s| *s)).collect();
+        assert_eq!(after, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn drop_joins_and_releases_state() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        struct Flagged(Arc<AtomicBool>);
+        impl Drop for Flagged {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let w = Worker::spawn(Flagged(flag.clone()));
+        w.call(|_| ());
+        drop(w);
+        assert!(flag.load(Ordering::SeqCst), "state must drop before join");
     }
 
     #[test]

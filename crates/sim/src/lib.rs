@@ -23,6 +23,12 @@
 //!   reporting throughput, the latency distribution, abort rate and the
 //!   boundedness gauges (peak slots, peak live versions), with an optional
 //!   serializability spot-check over the committed history.
+//! * [`shard_sim`] — the same open-world machine over a sharded database
+//!   ([`ccopt_engine::ShardedDb`]): a cross-shard-ratio workload axis,
+//!   two-phase cross-shard commits, a wait-bound restart valve for
+//!   cross-shard deadlocks, and histories the ordinary serializability
+//!   oracle checks unchanged. With one shard it reproduces [`open_sim`]
+//!   bit for bit.
 //!
 //! Plus [`workload`] (parameterized system families), [`stats`]
 //! (summaries) and [`report`] (aligned text tables for the experiment
@@ -32,6 +38,7 @@ pub mod engine_sim;
 pub mod open_sim;
 pub mod order_sim;
 pub mod report;
+pub mod shard_sim;
 pub mod stats;
 pub mod workload;
 
@@ -42,4 +49,7 @@ pub use open_sim::{
 };
 pub use order_sim::{delay_profile, DelayProfile};
 pub use report::Table;
+pub use shard_sim::{
+    simulate_sharded, simulate_sharded_durable, ShardDurableConfig, ShardSimConfig,
+};
 pub use stats::Summary;

@@ -286,7 +286,7 @@ struct Terminal {
 /// Jittered poll delay: lockstep polling livelocks under contention
 /// (every waiter retries on the same cadence), so each retry draws from
 /// `[0.5, 1.5) * retry_interval`.
-fn retry_delay(rng: &mut SmallRng, cfg: &OpenSimConfig) -> f64 {
+pub(crate) fn retry_delay(rng: &mut SmallRng, cfg: &OpenSimConfig) -> f64 {
     cfg.retry_interval * rng.gen_range(0.5..1.5)
 }
 
@@ -295,12 +295,12 @@ fn retry_delay(rng: &mut SmallRng, cfg: &OpenSimConfig) -> f64 {
 /// after the same constant penalty: each restart stamps the hot variables
 /// younger and kills the next elder, in lockstep. Exponentialish backoff
 /// with seeded jitter breaks the symmetry deterministically.
-fn restart_delay(rng: &mut SmallRng, cfg: &OpenSimConfig, attempts: u32) -> f64 {
+pub(crate) fn restart_delay(rng: &mut SmallRng, cfg: &OpenSimConfig, attempts: u32) -> f64 {
     let scale = (attempts.min(6) as f64).max(1.0);
     cfg.restart_penalty * scale * rng.gen_range(0.5..1.5)
 }
 
-fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
+pub(crate) fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
     if mean <= 0.0 {
         return 0.0;
     }
@@ -309,7 +309,7 @@ fn exp_sample(rng: &mut SmallRng, mean: f64) -> f64 {
 }
 
 /// Draw one transaction program.
-fn gen_program(rng: &mut SmallRng, cfg: &OpenSimConfig) -> Vec<OpSpec> {
+pub(crate) fn gen_program(rng: &mut SmallRng, cfg: &OpenSimConfig) -> Vec<OpSpec> {
     let n = rng.gen_range(cfg.steps.0..=cfg.steps.1.max(cfg.steps.0));
     (0..n)
         .map(|_| {

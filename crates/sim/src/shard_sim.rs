@@ -1,0 +1,465 @@
+//! Sharded open-world simulation: arrival-driven session streams over a
+//! [`ShardedDb`], with a cross-shard-ratio workload axis.
+//!
+//! The event loop is the same discrete-event machine as
+//! [`crate::open_sim`] — `K` terminals, jittered wait polling,
+//! attempt-scaled restart backoff, deterministic in the seed — driving a
+//! hash-partitioned, worker-thread-per-shard database instead of a single
+//! [`SessionDb`](ccopt_engine::SessionDb). Each arrival draws either a
+//! **single-shard** program (all operations inside one home shard — the
+//! fast path a good partitioning maximizes) or, with probability
+//! [`cross_ratio`](ShardSimConfig::cross_ratio), a **cross-shard** program
+//! alternating between two shards, whose commit runs the two-phase
+//! protocol.
+//!
+//! With one shard and `cross_ratio = 0`, the generator, the RNG draw
+//! order and the engine decisions are *identical* to [`crate::open_sim`]:
+//! the `S = 1` cells of the sharded benchmark grid reproduce the
+//! open-world grid bit for bit — the sharding layer adds no distortion
+//! (pinned by `tests/sharded.rs` and asserted by the throughput harness).
+//!
+//! Sharding introduces one liveness hazard no shard-local mechanism can
+//! see: wait cycles *across* shards (2PL lock cycles spanning shards, the
+//! serial token, SGT's commit-order gate). The driver therefore carries a
+//! **wait-bound restart valve**: a transaction that answers `Wait` more
+//! than [`wait_restart_after`](ShardSimConfig::wait_restart_after) times
+//! in a row is force-restarted ([`ShardedDb::restart`]) — the standard
+//! timeout resolution for distributed deadlock, always safe, and off on
+//! `S = 1` (where shard-local detectors are complete).
+//!
+//! The committed history is recorded in global sequence order with global
+//! commit points and global begin timestamps, so the ordinary
+//! [`check_serializable`](crate::open_sim::check_serializable) oracle
+//! applies unchanged to cross-shard histories: conflict-graph replay over
+//! the union of all shards' conflicts for single-version mechanisms,
+//! begin-timestamp replay for MVTO, SI exempt (`docs/SHARDING.md` gives
+//! the argument for why all seven mechanisms pass it).
+
+use crate::open_sim::{
+    exp_sample, gen_program, restart_delay, retry_delay, CommittedTxn, OpSpec, OpenSimConfig,
+    OpenSimResult,
+};
+use crate::stats::Summary;
+use ccopt_engine::cc::ConcurrencyControl;
+use ccopt_engine::session::Op;
+use ccopt_engine::shard::{GlobalTxn, ShardedDb};
+use ccopt_engine::DurabilityMode;
+use ccopt_model::ids::VarId;
+use ccopt_model::state::GlobalState;
+use ccopt_model::syntax::StepKind;
+use ccopt_model::value::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::path::PathBuf;
+
+/// Sharded simulation parameters: the open-world base plus the sharding
+/// axes.
+#[derive(Clone, Debug)]
+pub struct ShardSimConfig {
+    /// The open-world parameters (terminals, stream length, variable
+    /// count, operation mix, timing costs, seed).
+    pub base: OpenSimConfig,
+    /// Number of shards the variable universe is hash-partitioned over.
+    pub shards: usize,
+    /// Probability that an arriving transaction spans two shards (its
+    /// commit then runs the two-phase protocol). Ignored on `shards = 1`.
+    pub cross_ratio: f64,
+    /// Consecutive `Wait` answers before the driver force-restarts the
+    /// transaction (the distributed-deadlock valve). Only active on
+    /// `shards > 1`.
+    pub wait_restart_after: u32,
+}
+
+impl ShardSimConfig {
+    /// A sharded configuration over `base` with `shards` shards and the
+    /// given cross-shard ratio (valve at its default of 24).
+    pub fn new(base: OpenSimConfig, shards: usize, cross_ratio: f64) -> ShardSimConfig {
+        ShardSimConfig {
+            base,
+            shards,
+            cross_ratio,
+            wait_restart_after: 24,
+        }
+    }
+}
+
+/// Durability parameters of [`simulate_sharded_durable`].
+#[derive(Clone, Debug)]
+pub struct ShardDurableConfig {
+    /// Directory holding one write-ahead log per shard.
+    pub dir: PathBuf,
+    /// Flush policy (cross-shard prepares and coordinator resolves force
+    /// their own fsyncs in every mode).
+    pub mode: DurabilityMode,
+    /// Crash injection: kill every shard log after this many durable 2PC
+    /// actions (see [`ShardedDb::crash_after_2pc_actions`]).
+    pub crash_after_2pc_actions: Option<u64>,
+    /// Record the committed-prefix journal (`journal[k]` = global
+    /// committed state after `k` commits) for the crash differentials.
+    pub record_journal: bool,
+}
+
+impl ShardDurableConfig {
+    /// A durable run under `dir`/`mode`, no crash, no journal.
+    pub fn new(dir: PathBuf, mode: DurabilityMode) -> ShardDurableConfig {
+        ShardDurableConfig {
+            dir,
+            mode,
+            crash_after_2pc_actions: None,
+            record_journal: false,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct Event {
+    time: f64,
+    terminal: usize,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are finite")
+            .then(self.terminal.cmp(&other.terminal))
+    }
+}
+
+struct Terminal {
+    handle: Option<GlobalTxn>,
+    prog: Vec<OpSpec>,
+    next_op: usize,
+    started_at: f64,
+    ops: Vec<(u64, OpSpec)>,
+    /// Consecutive `Wait` answers of the current attempt (valve input).
+    consec_waits: u32,
+}
+
+/// Draw one sharded transaction program: single-shard (all operations in
+/// one home shard) or, with probability `cross_ratio`, alternating
+/// between a home and an away shard so at least two shards are touched.
+fn gen_sharded_program(
+    rng: &mut SmallRng,
+    scfg: &ShardSimConfig,
+    shard_vars: &[Vec<VarId>],
+    nonempty: &[usize],
+) -> Vec<OpSpec> {
+    let cfg = &scfg.base;
+    let n = rng.gen_range(cfg.steps.0..=cfg.steps.1.max(cfg.steps.0));
+    let cross = nonempty.len() >= 2 && rng.gen_range(0.0..1.0) < scfg.cross_ratio;
+    let home = nonempty[rng.gen_range(0..nonempty.len())];
+    let away = if cross {
+        let mut s = nonempty[rng.gen_range(0..nonempty.len())];
+        while s == home {
+            s = nonempty[rng.gen_range(0..nonempty.len())];
+        }
+        s
+    } else {
+        home
+    };
+    (0..n)
+        .map(|i| {
+            // Odd operations of a cross transaction go to the away shard:
+            // any program of two or more operations really spans both.
+            let vars = &shard_vars[if cross && i % 2 == 1 { away } else { home }];
+            let var = if vars.len() > 1 && rng.gen_range(0.0..1.0) < cfg.hot_fraction {
+                vars[0]
+            } else {
+                vars[rng.gen_range(0..vars.len())]
+            };
+            let r: f64 = rng.gen_range(0.0..1.0);
+            let kind = if r < cfg.read_fraction {
+                StepKind::Read
+            } else if r < cfg.read_fraction + (1.0 - cfg.read_fraction) * 0.25 {
+                StepKind::Write
+            } else {
+                StepKind::Update
+            };
+            let a = [1i64, 1, 2, -1][rng.gen_range(0..4usize)];
+            let c = rng.gen_range(-2i64..=2);
+            OpSpec { var, kind, a, c }
+        })
+        .collect()
+}
+
+/// Submit one operation through the sharded API.
+fn submit_op(db: &mut ShardedDb, h: GlobalTxn, op: OpSpec) -> Op<Value> {
+    let r = match op.kind {
+        StepKind::Read => db.read(h, op.var),
+        StepKind::Write => db.write(h, op.var, Value::Int(op.eval(0))),
+        StepKind::Update => db.update(h, op.var, move |v| {
+            Value::Int(op.eval(v.as_int().expect("sharded stores hold ints")))
+        }),
+    };
+    r.expect("sharded-sim handles are live")
+}
+
+/// Run the sharded open-world simulation for one mechanism (no
+/// durability).
+pub fn simulate_sharded(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    scfg: &ShardSimConfig,
+) -> OpenSimResult {
+    simulate_sharded_impl(make_cc, scfg, None)
+}
+
+/// Run the sharded open-world simulation against a durable
+/// [`ShardedDb::open`] (one write-ahead log per shard under
+/// [`dir`](ShardDurableConfig::dir); existing logs are recovered first,
+/// in-doubt 2PC transactions settled against their coordinator shard).
+/// The simulation ends like a crash — nothing is flushed on exit.
+///
+/// # Panics
+/// Panics when the logs cannot be opened or recovered (harness
+/// convention: configuration errors are bugs in the experiment).
+pub fn simulate_sharded_durable(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    scfg: &ShardSimConfig,
+    dur: &ShardDurableConfig,
+) -> OpenSimResult {
+    simulate_sharded_impl(make_cc, scfg, Some(dur))
+}
+
+fn simulate_sharded_impl(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    scfg: &ShardSimConfig,
+    dur: Option<&ShardDurableConfig>,
+) -> OpenSimResult {
+    let cfg = &scfg.base;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x09E2_5EED);
+    let init = GlobalState::from_ints(&vec![0; cfg.vars]);
+    let mut db = match dur {
+        None => ShardedDb::with_capacity(&make_cc, init, scfg.shards, cfg.terminals),
+        Some(d) => ShardedDb::open(&make_cc, init, &d.dir, d.mode, scfg.shards, cfg.terminals)
+            .expect("open the durable sharded database"),
+    };
+    if let Some(d) = dur {
+        if let Some(n) = d.crash_after_2pc_actions {
+            db.crash_after_2pc_actions(n);
+        }
+    }
+    let cc_name = db.cc_name().to_string();
+    let multiversion = db.multiversion();
+    let defers_writes = db.defers_writes();
+    // Shard-local variable lists for the program generator, read from
+    // the database's own partition (shards that own no variables are
+    // never a home or away shard).
+    let shard_vars: Vec<Vec<VarId>> = (0..scfg.shards)
+        .map(|s| db.shard_vars(s).to_vec())
+        .collect();
+    let nonempty: Vec<usize> = (0..scfg.shards)
+        .filter(|&s| !shard_vars[s].is_empty())
+        .collect();
+    let single = scfg.shards == 1;
+
+    let mut terminals: Vec<Terminal> = (0..cfg.terminals)
+        .map(|_| Terminal {
+            handle: None,
+            prog: Vec::new(),
+            next_op: 0,
+            started_at: 0.0,
+            ops: Vec::new(),
+            consec_waits: 0,
+        })
+        .collect();
+    let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for terminal in 0..cfg.terminals {
+        queue.push(Reverse(Event {
+            time: exp_sample(&mut rng, cfg.think_time),
+            terminal,
+        }));
+    }
+
+    let mut clock = 0.0f64;
+    let mut committed = 0usize;
+    let mut seq = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(cfg.total_txns);
+    let mut history: Vec<CommittedTxn> = Vec::new();
+    let record_journal = dur.is_some_and(|d| d.record_journal);
+    let mut journal: Vec<GlobalState> = Vec::new();
+    if record_journal {
+        journal.push(db.committed_globals());
+    }
+    let mut peak_open = 0usize;
+    let mut peak_versions = 0usize;
+    let mut events = 0usize;
+
+    'sim: while let Some(Reverse(ev)) = queue.pop() {
+        events += 1;
+        if events > cfg.max_events {
+            break;
+        }
+        clock = ev.time;
+        let term = &mut terminals[ev.terminal];
+        if term.handle.is_none() {
+            term.prog = if single {
+                gen_program(&mut rng, cfg)
+            } else {
+                gen_sharded_program(&mut rng, scfg, &shard_vars, &nonempty)
+            };
+            term.handle = Some(db.begin());
+            term.next_op = 0;
+            term.started_at = ev.time;
+            term.ops.clear();
+            term.consec_waits = 0;
+        }
+        let h = term.handle.expect("just ensured");
+        // The distributed-deadlock valve: shard-local detectors cannot
+        // see cross-shard wait cycles, so persistent waiting falls back
+        // to a forced restart (safe for every mechanism).
+        let valve = !single && term.consec_waits >= scfg.wait_restart_after;
+        if valve {
+            db.restart(h).expect("live handle");
+            term.next_op = 0;
+            term.ops.clear();
+            term.consec_waits = 0;
+            let attempts = db.attempts(h).expect("live handle");
+            queue.push(Reverse(Event {
+                time: ev.time + restart_delay(&mut rng, cfg, attempts),
+                terminal: ev.terminal,
+            }));
+            peak_open = peak_open.max(db.open_sessions());
+            continue;
+        }
+        if term.next_op == term.prog.len() {
+            let view = db.read_view(h).expect("live handle");
+            match db.commit(h).expect("live handle") {
+                Op::Done(()) => {
+                    db.retire(h).expect("committed handle");
+                    term.handle = None;
+                    term.consec_waits = 0;
+                    committed += 1;
+                    latencies.push(ev.time + cfg.exec_time - term.started_at);
+                    seq += 1;
+                    if cfg.check {
+                        history.push(CommittedTxn {
+                            ops: std::mem::take(&mut term.ops),
+                            view,
+                            commit_seq: seq,
+                        });
+                    }
+                    if record_journal {
+                        journal.push(db.committed_globals());
+                    }
+                    if let Some(vs) = db.live_versions() {
+                        peak_versions = peak_versions.max(vs);
+                    }
+                    if committed >= cfg.total_txns {
+                        break 'sim;
+                    }
+                    let think = exp_sample(&mut rng, cfg.think_time);
+                    queue.push(Reverse(Event {
+                        time: ev.time + cfg.exec_time + think,
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Restarted => {
+                    term.next_op = 0;
+                    term.ops.clear();
+                    term.consec_waits = 0;
+                    let attempts = db.attempts(h).expect("live handle");
+                    queue.push(Reverse(Event {
+                        time: ev.time + restart_delay(&mut rng, cfg, attempts),
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Wait => {
+                    term.consec_waits += 1;
+                    queue.push(Reverse(Event {
+                        time: ev.time + retry_delay(&mut rng, cfg),
+                        terminal: ev.terminal,
+                    }));
+                }
+            }
+        } else {
+            let op = term.prog[term.next_op];
+            match submit_op(&mut db, h, op) {
+                Op::Done(_) => {
+                    seq += 1;
+                    if cfg.check {
+                        term.ops.push((seq, op));
+                    }
+                    term.next_op += 1;
+                    term.consec_waits = 0;
+                    let pause = if term.next_op == term.prog.len() {
+                        cfg.exec_time
+                    } else {
+                        cfg.exec_time + exp_sample(&mut rng, cfg.think_time)
+                    };
+                    queue.push(Reverse(Event {
+                        time: ev.time + pause + cfg.scheduling_time,
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Wait => {
+                    term.consec_waits += 1;
+                    queue.push(Reverse(Event {
+                        time: ev.time + retry_delay(&mut rng, cfg),
+                        terminal: ev.terminal,
+                    }));
+                }
+                Op::Restarted => {
+                    term.next_op = 0;
+                    term.ops.clear();
+                    term.consec_waits = 0;
+                    let attempts = db.attempts(h).expect("live handle");
+                    queue.push(Reverse(Event {
+                        time: ev.time + restart_delay(&mut rng, cfg, attempts),
+                        terminal: ev.terminal,
+                    }));
+                }
+            }
+        }
+        peak_open = peak_open.max(db.open_sessions());
+    }
+
+    // Wind down: abort in-flight global transactions (bookkeeping, not
+    // contention — excluded from the reported abort counts).
+    let stream_aborts = db.metrics().aborts;
+    for term in &mut terminals {
+        if let Some(h) = term.handle.take() {
+            db.abort(h).expect("live handle");
+        }
+    }
+
+    let m = db.metrics();
+    OpenSimResult {
+        cc_name,
+        committed,
+        aborts: stream_aborts,
+        waits: m.waits,
+        retires: m.retires,
+        mv_write_aborts: m.mv_write_aborts,
+        clock,
+        throughput: committed as f64 / clock.max(1e-9),
+        latency: Summary::of(&latencies),
+        abort_rate: if committed == 0 {
+            0.0
+        } else {
+            stream_aborts as f64 / committed as f64
+        },
+        // Monotone across every shard: the final sum is the peak.
+        peak_slots: db.num_slots(),
+        peak_open_sessions: peak_open,
+        peak_live_versions: peak_versions,
+        versions_reclaimed: m.versions_reclaimed,
+        final_state: db.globals(),
+        history,
+        multiversion,
+        defers_writes,
+        wal_records: m.wal_records,
+        wal_syncs: m.wal_syncs,
+        journal,
+    }
+}
