@@ -28,6 +28,14 @@
 //!   `S = 1` cells are asserted **equal** to the open-world `none` cells:
 //!   the sharding layer adds no simulated-time distortion.
 //!
+//! * the **degraded-mode** grid (schema `degraded`): the same durable
+//!   two-shard streams run twice per mechanism — a fault-free baseline
+//!   and a run with one scripted shard panic at the stream midpoint,
+//!   supervised and restarted in place from its write-ahead log. The
+//!   harness asserts full service and serializability *through* the
+//!   restart, and reports throughput retention (degraded over baseline)
+//!   plus the wall-clock time-to-recover.
+//!
 //! Abort and wait counts ride alongside throughput so mechanism trade-offs
 //! (blocking vs. restarting vs. versioning) stay visible. All simulated
 //! statistics are deterministic in the config; only the wall-clock fields
@@ -35,7 +43,7 @@
 //!
 //! `--quick` shrinks batches, stream lengths and the sharded grid to one
 //! mixed cell per mechanism plus its `S = 1` baseline (CI); the JSON
-//! schema (v5) is unchanged.
+//! schema (v6) is unchanged.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
@@ -46,7 +54,9 @@ use ccopt_sim::open_sim::{
     OpenSimConfig, OpenSimResult,
 };
 use ccopt_sim::report::{f3, Table};
-use ccopt_sim::shard_sim::{simulate_sharded, ShardSimConfig};
+use ccopt_sim::shard_sim::{
+    simulate_sharded, simulate_sharded_faulty, FaultPlan, ShardDurableConfig, ShardSimConfig,
+};
 use ccopt_sim::workload::Workload;
 use std::time::Instant;
 
@@ -177,6 +187,102 @@ struct ShardCell {
     peak_slots: usize,
     peak_live_versions: usize,
     wall_ms: f64,
+}
+
+/// One degraded-mode grid cell: the same durable sharded stream run
+/// twice — fault-free baseline vs. a mid-stream shard panic supervised
+/// in place — so the cost of serving *through* a shard restart is a
+/// measured ratio, not a claim.
+struct DegradedCell {
+    workload: String,
+    cc: String,
+    shards: usize,
+    committed: usize,
+    aborts: usize,
+    shard_restarts: usize,
+    throughput: f64,
+    baseline_throughput: f64,
+    /// Degraded over baseline simulated throughput (1.0 = free restart).
+    degraded_ratio: f64,
+    /// Wall-clock milliseconds of the supervised recovery (log replay
+    /// and in-doubt settlement included) — the time-to-recover.
+    recovery_ms: f64,
+    wall_ms: f64,
+}
+
+/// The degraded-mode grid: durable two-shard streams with one scripted
+/// shard panic at the midpoint, per mechanism. Asserts full service and
+/// serializability through the restart; reports throughput retention
+/// and time-to-recover.
+fn degraded_grid(quick: bool) -> Vec<DegradedCell> {
+    let (label, base) = open_workloads(quick).into_iter().next().expect("uniform");
+    let base = OpenSimConfig {
+        check: true,
+        ..base
+    };
+    let shards = 2;
+    let mut cells = Vec::new();
+    // The scripted worker panics are caught and supervised; keep their
+    // backtraces out of the report (real panics still print).
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected shard-worker panic"));
+        if !injected {
+            prev(info);
+        }
+    }));
+    for (name, mk) in cc_factories() {
+        let wall = Instant::now();
+        let scfg = ShardSimConfig::new(base, shards, 0.2);
+        let tag = name.replace('/', "_");
+        // Fault-free durable baseline.
+        let dir = scratch_path(&format!("bench-degraded-base-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dur = ShardDurableConfig::new(dir.clone(), DurabilityMode::Strict);
+        let b = simulate_sharded_faulty(mk.as_ref(), &scfg, Some(&dur), &FaultPlan::default());
+        let _ = std::fs::remove_dir_all(&dir);
+        // The degraded run: panic one shard halfway through the stream.
+        let dir = scratch_path(&format!("bench-degraded-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dur = ShardDurableConfig {
+            record_journal: true,
+            ..ShardDurableConfig::new(dir.clone(), DurabilityMode::Strict)
+        };
+        let plan = FaultPlan::panic_at(base.total_txns / 2, 1);
+        let r = simulate_sharded_faulty(mk.as_ref(), &scfg, Some(&dur), &plan);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            r.committed, base.total_txns,
+            "{name}: the stream must serve fully through the shard restart"
+        );
+        assert!(
+            r.shard_restarts >= 1,
+            "{name}: the scripted panic must be supervised"
+        );
+        if name != "SI" {
+            check_serializable(&r).unwrap_or_else(|e| {
+                panic!("{name}: non-serializable history through a shard restart: {e}")
+            });
+        }
+        cells.push(DegradedCell {
+            workload: label.clone(),
+            cc: name.to_string(),
+            shards,
+            committed: r.committed,
+            aborts: r.aborts,
+            shard_restarts: r.shard_restarts,
+            throughput: r.throughput,
+            baseline_throughput: b.throughput,
+            degraded_ratio: r.throughput / b.throughput.max(1e-12),
+            recovery_ms: r.recovery_secs * 1e3,
+            wall_ms: wall.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+    let _ = std::panic::take_hook();
+    cells
 }
 
 /// The (shards, cross_ratio) combinations swept. `S = 1` runs only at
@@ -517,9 +623,44 @@ fn main() {
     }
     println!("{shard_table}");
 
+    let degraded_cells = degraded_grid(quick);
+    let mut degraded_table = Table::new(
+        "degraded mode (durable 2-shard stream through a mid-run shard panic)",
+        &[
+            "workload",
+            "cc",
+            "commits",
+            "aborts",
+            "restarts",
+            "thru",
+            "baseline",
+            "ratio",
+            "recover-ms",
+            "wall-ms",
+        ],
+    );
+    for c in &degraded_cells {
+        degraded_table.row(&[
+            c.workload.clone(),
+            c.cc.clone(),
+            c.committed.to_string(),
+            c.aborts.to_string(),
+            c.shard_restarts.to_string(),
+            f3(c.throughput),
+            f3(c.baseline_throughput),
+            f3(c.degraded_ratio),
+            format!("{:.3}", c.recovery_ms),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    println!("{degraded_table}");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
-    std::fs::write(path, to_json(&cfg, &cells, &open_cells, &shard_cells))
-        .expect("write BENCH_engine.json");
+    std::fs::write(
+        path,
+        to_json(&cfg, &cells, &open_cells, &shard_cells, &degraded_cells),
+    )
+    .expect("write BENCH_engine.json");
     println!("wrote {path}");
 }
 
@@ -529,10 +670,11 @@ fn to_json(
     cells: &[Cell],
     open_cells: &[OpenCell],
     shard_cells: &[ShardCell],
+    degraded_cells: &[DegradedCell],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v5\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v6\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -610,6 +752,25 @@ fn to_json(
             c.peak_live_versions,
             c.wall_ms,
             if i + 1 == shard_cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"degraded\": [\n");
+    for (i, c) in degraded_cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"commits\": {}, \"aborts\": {}, \"shard_restarts\": {}, \"throughput\": {:.6}, \"baseline_throughput\": {:.6}, \"degraded_ratio\": {:.6}, \"recovery_ms\": {:.3}, \"wall_ms\": {:.3}}}{}\n",
+            c.workload,
+            c.cc,
+            c.shards,
+            c.committed,
+            c.aborts,
+            c.shard_restarts,
+            c.throughput,
+            c.baseline_throughput,
+            c.degraded_ratio,
+            c.recovery_ms,
+            c.wall_ms,
+            if i + 1 == degraded_cells.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");

@@ -1,0 +1,253 @@
+//! Injected storage faults and the bounded retry policy.
+//!
+//! The crash hooks (`crash_after_records` / `crash_after_syncs`) simulate
+//! a *process* death: the log silently drops everything. This module
+//! simulates the other failure axis — the **storage** misbehaving while
+//! the process lives: a transient fsync `EIO`, a short (torn) append, an
+//! `ENOSPC` mid-checkpoint. Faults are scripted per I/O boundary
+//! ([`FaultPoint`]) and fire when that boundary's operation runs for the
+//! scripted occurrence; the [`Wal`](crate::wal::Wal) reacts per
+//! [`Fault`] kind:
+//!
+//! * [`Transient`](Fault::Transient) — the operation fails with a
+//!   retryable [`io::ErrorKind`], and the log retries under its
+//!   [`RetryPolicy`]. The retry is *sound* here — unlike retrying a
+//!   failed kernel `fsync`, where the page cache may have dropped the
+//!   dirty pages the first failure covered (the "fsyncgate" trap) —
+//!   because the `Wal` keeps the full record batch in its user-space
+//!   `pending` buffer until the write lands: every append retry rewrites
+//!   the whole batch, and no commit is acknowledged before its flush
+//!   round-trip returns success.
+//! * [`Permanent`](Fault::Permanent) — the operation fails
+//!   unrecoverably. On the live log this **poisons** it (fail-stop):
+//!   every later operation returns [`WalError::Poisoned`](crate::WalError::Poisoned), because after
+//!   an unretryable write failure the on-disk suffix is unknowable and
+//!   continuing to acknowledge commits would be a lie. During a
+//!   checkpoint's tmp-write or rename stage it only fails the checkpoint
+//!   — the prior log (old checkpoint plus records) is untouched and stays
+//!   fully readable and appendable.
+//! * [`Torn`](Fault::Torn) — an append writes only a prefix of the batch
+//!   and then fails: the bytes on disk end mid-record. The log poisons
+//!   itself; recovery's checksum scan truncates the torn tail, so the
+//!   durable prefix is exactly the commits whose flush round-trip had
+//!   completed.
+//!
+//! A fault boundary index counts *successful completions* of that
+//! operation, so a transient fault keeps hitting the same boundary until
+//! its scripted failure count is spent — which is what gives the retry
+//! loop something to grind through.
+
+use std::io;
+use std::time::Duration;
+
+/// One scripted storage fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the next `times` attempts with a retryable I/O error
+    /// (`ErrorKind::Interrupted`), then let the operation succeed.
+    Transient {
+        /// Attempts that fail before the operation goes through.
+        times: u32,
+    },
+    /// Fail every attempt with an unretryable I/O error (an `EIO`-class
+    /// failure); the live log poisons itself, a checkpoint merely fails.
+    Permanent,
+    /// Write a prefix of the batch, then fail unretryably — a short
+    /// write ending mid-record. Only meaningful at
+    /// [`FaultPoint::Append`]; the log poisons itself.
+    Torn,
+}
+
+/// Which I/O boundary a fault is scripted at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// The batched `write_all` of the pending record buffer.
+    Append = 0,
+    /// The `fsync` of the live log file.
+    Sync = 1,
+    /// Writing + syncing the checkpoint's temporary file.
+    CheckpointWrite = 2,
+    /// Renaming the temporary file over the live log.
+    CheckpointRename = 3,
+}
+
+/// What the [`Wal`](crate::wal::Wal) does when a boundary fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Fired {
+    Transient,
+    Permanent,
+    Torn,
+}
+
+/// A script of storage faults, keyed by I/O boundary and occurrence
+/// index. Built with the `fail_*` builders and installed via
+/// [`Wal::set_faults`](crate::wal::Wal::set_faults):
+///
+/// ```
+/// use ccopt_durability::{Fault, StorageFaults};
+/// // The 3rd successful fsync is preceded by two transient failures;
+/// // the first checkpoint dies of ENOSPC while writing its tmp file.
+/// let faults = StorageFaults::new()
+///     .fail_sync(2, Fault::Transient { times: 2 })
+///     .fail_checkpoint_write(0, Fault::Permanent);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StorageFaults {
+    /// `(boundary index, fault)` per point; indices count successful
+    /// completions of that operation.
+    scripts: [Vec<(u64, Fault)>; 4],
+    /// Successful completions per point.
+    counts: [u64; 4],
+}
+
+impl StorageFaults {
+    /// An empty script (no faults fire).
+    pub fn new() -> StorageFaults {
+        StorageFaults::default()
+    }
+
+    /// Script `fault` at the `at`-th append of the pending buffer.
+    pub fn fail_append(mut self, at: u64, fault: Fault) -> Self {
+        self.scripts[FaultPoint::Append as usize].push((at, fault));
+        self
+    }
+
+    /// Script `fault` at the `at`-th fsync of the live log.
+    pub fn fail_sync(mut self, at: u64, fault: Fault) -> Self {
+        self.scripts[FaultPoint::Sync as usize].push((at, fault));
+        self
+    }
+
+    /// Script `fault` at the `at`-th checkpoint's tmp-file write.
+    pub fn fail_checkpoint_write(mut self, at: u64, fault: Fault) -> Self {
+        self.scripts[FaultPoint::CheckpointWrite as usize].push((at, fault));
+        self
+    }
+
+    /// Script `fault` at the `at`-th checkpoint's rename.
+    pub fn fail_checkpoint_rename(mut self, at: u64, fault: Fault) -> Self {
+        self.scripts[FaultPoint::CheckpointRename as usize].push((at, fault));
+        self
+    }
+
+    /// Whether any fault is still scripted (observability for drivers
+    /// that wait for the fault phase to end).
+    pub fn exhausted(&self) -> bool {
+        self.scripts.iter().all(|s| s.is_empty())
+    }
+
+    /// Consult the script for one attempt at `point`. Transient faults
+    /// burn one failure per call and unscript themselves when spent;
+    /// permanent/torn faults fire forever.
+    pub(crate) fn fire(&mut self, point: FaultPoint) -> Option<Fired> {
+        let i = point as usize;
+        let at = self.counts[i];
+        let pos = self.scripts[i].iter().position(|&(a, _)| a == at)?;
+        match &mut self.scripts[i][pos].1 {
+            Fault::Transient { times } => {
+                if *times == 0 {
+                    self.scripts[i].remove(pos);
+                    None
+                } else {
+                    *times -= 1;
+                    Some(Fired::Transient)
+                }
+            }
+            Fault::Permanent => Some(Fired::Permanent),
+            Fault::Torn => Some(Fired::Torn),
+        }
+    }
+
+    /// Record a successful completion at `point` (advances the boundary
+    /// index).
+    pub(crate) fn advance(&mut self, point: FaultPoint) {
+        self.counts[point as usize] += 1;
+    }
+}
+
+/// Bounded retry-with-backoff for transient storage faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure before the error surfaces
+    /// (`0` = fail on first error).
+    pub max_retries: u32,
+    /// Sleep before retry `k` is `backoff * k` (linear backoff); tests
+    /// use `Duration::ZERO`.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with no sleeping (deterministic tests).
+    pub fn immediate(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+/// The injected retryable error (an `EINTR`-class failure).
+pub(crate) fn transient_error() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected transient I/O fault")
+}
+
+/// The injected unretryable error (an `EIO`/`ENOSPC`-class failure).
+pub(crate) fn permanent_error() -> io::Error {
+    io::Error::other("injected permanent I/O fault")
+}
+
+/// Whether a raw I/O error is worth retrying (the kinds a live system
+/// sees from interrupted or momentarily-backlogged storage).
+pub(crate) fn io_error_is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_burns_down_then_unscripts() {
+        let mut f = StorageFaults::new().fail_sync(0, Fault::Transient { times: 2 });
+        assert_eq!(f.fire(FaultPoint::Sync), Some(Fired::Transient));
+        assert_eq!(f.fire(FaultPoint::Sync), Some(Fired::Transient));
+        assert_eq!(f.fire(FaultPoint::Sync), None);
+        assert!(f.exhausted());
+        f.advance(FaultPoint::Sync);
+        assert_eq!(f.fire(FaultPoint::Sync), None);
+    }
+
+    #[test]
+    fn faults_key_on_the_boundary_index() {
+        let mut f = StorageFaults::new().fail_append(1, Fault::Permanent);
+        assert_eq!(f.fire(FaultPoint::Append), None);
+        f.advance(FaultPoint::Append);
+        assert_eq!(f.fire(FaultPoint::Append), Some(Fired::Permanent));
+        // Permanent faults never unscript.
+        assert_eq!(f.fire(FaultPoint::Append), Some(Fired::Permanent));
+        assert!(!f.exhausted());
+    }
+
+    #[test]
+    fn points_are_independent() {
+        let mut f = StorageFaults::new()
+            .fail_sync(0, Fault::Torn)
+            .fail_checkpoint_rename(0, Fault::Permanent);
+        assert_eq!(f.fire(FaultPoint::Append), None);
+        assert_eq!(f.fire(FaultPoint::CheckpointWrite), None);
+        assert_eq!(f.fire(FaultPoint::Sync), Some(Fired::Torn));
+        assert_eq!(f.fire(FaultPoint::CheckpointRename), Some(Fired::Permanent));
+    }
+}

@@ -36,6 +36,7 @@
 //! the engine; the engine's `SessionDb::open` / `checkpoint` wire it in.
 
 pub mod encoding;
+pub mod faults;
 pub mod recovery;
 pub mod wal;
 
@@ -45,6 +46,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 pub use encoding::{RecordEncoder, StoreKind};
+pub use faults::{Fault, RetryPolicy, StorageFaults};
 pub use recovery::{apply_in_doubt, recover, InDoubt, Recovered};
 pub use wal::{DurabilityMode, Wal, WalRecord};
 
@@ -106,6 +108,27 @@ pub enum WalError {
         /// What the log header records.
         found: String,
     },
+    /// The log fail-stopped after an unretryable or torn write: the
+    /// on-disk suffix is unknowable, so every further operation refuses
+    /// rather than acknowledge commits it cannot guarantee. Recovery from
+    /// the file (which truncates any torn tail) is the only way forward.
+    Poisoned,
+}
+
+impl WalError {
+    /// Whether retrying the failed operation could succeed. Only
+    /// interrupted / momentarily-backlogged I/O qualifies; `Mismatch` and
+    /// `Poisoned` are terminal, as is any unretryable I/O error kind.
+    /// The [`Wal`] already retries transient failures internally under
+    /// its [`RetryPolicy`], so a surfaced transient error means the
+    /// retry budget is exhausted — the caller decides whether to wait
+    /// longer or fail over.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WalError::Io(e) => faults::io_error_is_transient(e),
+            WalError::Mismatch { .. } | WalError::Poisoned => false,
+        }
+    }
 }
 
 impl fmt::Display for WalError {
@@ -118,6 +141,9 @@ impl fmt::Display for WalError {
                     "WAL shape mismatch: expected {expected}, log holds {found}"
                 )
             }
+            WalError::Poisoned => {
+                write!(f, "WAL poisoned by an earlier unretryable write failure")
+            }
         }
     }
 }
@@ -126,7 +152,7 @@ impl std::error::Error for WalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WalError::Io(e) => Some(e),
-            WalError::Mismatch { .. } => None,
+            WalError::Mismatch { .. } | WalError::Poisoned => None,
         }
     }
 }

@@ -27,8 +27,21 @@
 //! is crossed, the `Wal` silently drops everything — exactly what a
 //! process kill at that point leaves on disk. The crash-recovery
 //! differential tests drive it.
+//!
+//! Storage-fault injection ([`Wal::set_faults`]) models the other axis:
+//! the process lives but the storage misbehaves. Transient failures are
+//! retried under the [`RetryPolicy`] (sound because the full record batch
+//! stays in the user-space `pending` buffer until a flush round-trip
+//! succeeds — every retry rewrites the whole batch, dodging the
+//! fsync-retry trap where the kernel page cache silently drops the dirty
+//! pages a failed fsync covered); permanent and torn failures poison the
+//! log fail-stop (see [`crate::faults`]).
 
 use crate::encoding::{encode_header, RecordEncoder, StoreKind, HEADER_LEN};
+use crate::faults::{
+    io_error_is_transient, permanent_error, transient_error, FaultPoint, Fired, RetryPolicy,
+    StorageFaults,
+};
 use crate::{StoreImage, WalError};
 use ccopt_model::ids::VarId;
 use ccopt_model::value::Value;
@@ -151,6 +164,8 @@ pub struct WalStats {
     pub syncs: u64,
     /// Bytes written to the file.
     pub bytes: u64,
+    /// I/O attempts retried after a transient failure.
+    pub retries: u64,
 }
 
 /// The write-ahead log of one database.
@@ -175,6 +190,13 @@ pub struct Wal {
     crash_after_syncs: Option<u64>,
     /// The log is dead (simulated kill): drop everything silently.
     dead: bool,
+    /// Scripted storage faults (see [`crate::faults`]).
+    faults: StorageFaults,
+    /// Bounded retry for transient I/O failures.
+    retry: RetryPolicy,
+    /// Fail-stop: an unretryable or torn write left the on-disk suffix
+    /// unknowable; every further operation errors.
+    poisoned: bool,
 }
 
 impl Wal {
@@ -205,6 +227,9 @@ impl Wal {
             crash_after_records: None,
             crash_after_syncs: None,
             dead: false,
+            faults: StorageFaults::default(),
+            retry: RetryPolicy::default(),
+            poisoned: false,
         };
         let header = encode_header(wal.store_kind, wal.num_vars);
         wal.file.write_all(&header)?;
@@ -243,6 +268,9 @@ impl Wal {
             crash_after_records: None,
             crash_after_syncs: None,
             dead: false,
+            faults: StorageFaults::default(),
+            retry: RetryPolicy::default(),
+            poisoned: false,
         })
     }
 
@@ -274,6 +302,21 @@ impl Wal {
     /// Has a crash-injection boundary been crossed?
     pub fn is_dead(&self) -> bool {
         self.dead
+    }
+
+    /// Install a storage-fault script (replacing any previous one).
+    pub fn set_faults(&mut self, faults: StorageFaults) {
+        self.faults = faults;
+    }
+
+    /// Set the bounded retry policy for transient I/O failures.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Has the log fail-stopped after an unretryable or torn write?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     fn check_crash(&mut self) {
@@ -329,6 +372,9 @@ impl Wal {
     /// this commit paid an fsync (the group-commit batch leader or every
     /// commit under `Strict`).
     pub fn finish_commit(&mut self, gsn: u64, tick: u64) -> Result<bool, WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         self.append_framed(); // the write-set
         self.enc.commit(gsn);
         self.append_framed();
@@ -370,6 +416,9 @@ impl Wal {
     /// mode — otherwise a committed decision could survive a crash that
     /// lost a participant's write-set.
     pub fn finish_prepare(&mut self) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         self.append_framed();
         if self.dead {
             return Ok(());
@@ -388,6 +437,9 @@ impl Wal {
         commit: bool,
         force_sync: bool,
     ) -> Result<(), WalError> {
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         self.enc.resolve(gtid, commit);
         self.append_framed();
         if force_sync && !self.dead {
@@ -398,21 +450,113 @@ impl Wal {
 
     /// Flush the pending buffer to the file and sync it (graceful
     /// shutdown, or an explicit durability point). No-op when nothing is
-    /// pending; silently dropped after a simulated crash.
+    /// pending; silently dropped after a simulated crash. Transient I/O
+    /// failures are retried under the [`RetryPolicy`]; an unretryable or
+    /// torn failure poisons the log (fail-stop) and surfaces.
     pub fn flush_sync(&mut self) -> Result<(), WalError> {
         if self.dead {
             return Ok(());
         }
-        if !self.pending.is_empty() {
-            self.file.write_all(&self.pending)?;
-            self.stats.bytes += self.pending.len() as u64;
-            self.pending.clear();
-            self.pending_commits = 0;
+        if self.poisoned {
+            return Err(WalError::Poisoned);
         }
-        self.file.sync_data()?;
-        self.stats.syncs += 1;
+        if !self.pending.is_empty() {
+            self.write_pending()?;
+        }
+        self.sync_file()?;
         self.check_crash();
         Ok(())
+    }
+
+    /// Sleep before retry `attempt` (linear backoff; no-op at zero).
+    fn backoff(&self, attempt: u32) {
+        let d = self.retry.backoff * attempt;
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Write the whole pending buffer, retrying transient failures. The
+    /// buffer is cleared only on success, so every retry rewrites the
+    /// full batch — the reason retrying is sound (nothing relies on a
+    /// kernel cache keeping dirty pages across a failed attempt). A torn
+    /// or unretryable failure poisons the log.
+    fn write_pending(&mut self) -> Result<(), WalError> {
+        let mut attempt = 0u32;
+        loop {
+            let res: std::io::Result<()> = match self.faults.fire(FaultPoint::Append) {
+                Some(Fired::Transient) => Err(transient_error()),
+                Some(Fired::Permanent) => Err(permanent_error()),
+                Some(Fired::Torn) => {
+                    // A short write: a prefix of the batch lands on disk
+                    // and the bytes end mid-record. Recovery's checksum
+                    // scan truncates this tail, so the durable prefix is
+                    // exactly the previously-synced commits.
+                    let cut = self.pending.len() / 2;
+                    let _ = self.file.write_all(&self.pending[..cut]);
+                    self.stats.bytes += cut as u64;
+                    self.poisoned = true;
+                    return Err(WalError::Io(permanent_error()));
+                }
+                None => self.file.write_all(&self.pending),
+            };
+            match res {
+                Ok(()) => {
+                    self.stats.bytes += self.pending.len() as u64;
+                    self.pending.clear();
+                    self.pending_commits = 0;
+                    self.faults.advance(FaultPoint::Append);
+                    return Ok(());
+                }
+                Err(e) if io_error_is_transient(&e) && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => {
+                    // An exhausted *transient* budget leaves the batch
+                    // intact in `pending` (nothing acknowledged, nothing
+                    // lost) — the caller may try again later. Unretryable
+                    // failures fail-stop.
+                    if !io_error_is_transient(&e) {
+                        self.poisoned = true;
+                    }
+                    return Err(WalError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Sync the live log file, retrying transient failures. Nothing is
+    /// acknowledged until this returns `Ok`, so a surfaced error never
+    /// strands an acknowledged commit.
+    fn sync_file(&mut self) -> Result<(), WalError> {
+        let mut attempt = 0u32;
+        loop {
+            let res: std::io::Result<()> = match self.faults.fire(FaultPoint::Sync) {
+                Some(Fired::Transient) => Err(transient_error()),
+                Some(Fired::Permanent | Fired::Torn) => Err(permanent_error()),
+                None => self.file.sync_data(),
+            };
+            match res {
+                Ok(()) => {
+                    self.stats.syncs += 1;
+                    self.faults.advance(FaultPoint::Sync);
+                    return Ok(());
+                }
+                Err(e) if io_error_is_transient(&e) && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => {
+                    if !io_error_is_transient(&e) {
+                        self.poisoned = true;
+                    }
+                    return Err(WalError::Io(e));
+                }
+            }
+        }
     }
 
     /// Compact the log: write a fresh file holding only the header and a
@@ -420,41 +564,129 @@ impl Wal {
     /// old log. Pending records are discarded — their effects are inside
     /// the image, so everything acknowledged (even group-commit-buffered)
     /// is durable once the checkpoint lands.
+    ///
+    /// Failure atomicity: any failure before the rename returns (ENOSPC
+    /// while writing the tmp file, the rename itself) scraps the tmp file
+    /// and leaves the prior log — old checkpoint plus records, plus the
+    /// still-pending buffer — untouched, readable, and appendable; the
+    /// error surfaces without poisoning. Failures *after* the rename
+    /// poison the log: the swap happened but its durability or the new
+    /// append handle could not be established.
     pub fn rewrite_checkpoint(&mut self, floor: u64, image: &StoreImage) -> Result<(), WalError> {
         if self.dead {
             return Ok(());
         }
+        if self.poisoned {
+            return Err(WalError::Poisoned);
+        }
         debug_assert_eq!(image.kind(), self.store_kind);
         debug_assert_eq!(image.num_vars() as u32, self.num_vars);
         let tmp = self.path.with_extension("tmp");
-        {
-            let mut f = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(&tmp)?;
-            let header = encode_header(self.store_kind, self.num_vars);
-            f.write_all(&header)?;
-            let mut framed = Vec::new();
-            self.enc.checkpoint(floor, image);
-            self.enc.frame_into(&mut framed);
-            f.write_all(&framed)?;
-            f.sync_data()?;
-            self.stats.bytes += (header.len() + framed.len()) as u64;
-            self.stats.records += 1;
-            self.stats.syncs += 1;
+        if let Err(e) = self.write_checkpoint_tmp(&tmp, floor, image) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, &self.path)?;
+        if let Err(e) = self.rename_checkpoint(&tmp) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Point of no return: the new file IS the log. Re-target the
+        // append handle first — the old handle points at the renamed-over
+        // (unlinked) inode, and nothing may be appended there once the
+        // swap happened, or acknowledged commits would flow into a dead
+        // file.
+        match OpenOptions::new().append(true).open(&self.path) {
+            Ok(f) => self.file = f,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        }
         // A rename is durable only once the *directory entry* is synced;
         // without this, a power failure after the swap could resurface
         // the old log minus the pending records this checkpoint absorbed
         // — acknowledged commits lost beyond the documented window.
-        sync_parent_dir(&self.path)?;
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        if let Err(e) = sync_parent_dir(&self.path) {
+            self.poisoned = true;
+            return Err(e);
+        }
         self.pending.clear();
         self.pending_commits = 0;
         self.check_crash();
         Ok(())
+    }
+
+    /// Write + sync the checkpoint's tmp file, retrying transient
+    /// failures. Never poisons — until the rename, the prior log is the
+    /// log.
+    fn write_checkpoint_tmp(
+        &mut self,
+        tmp: &Path,
+        floor: u64,
+        image: &StoreImage,
+    ) -> Result<(), WalError> {
+        let header = encode_header(self.store_kind, self.num_vars);
+        let mut framed = Vec::new();
+        self.enc.checkpoint(floor, image);
+        self.enc.frame_into(&mut framed);
+        let mut attempt = 0u32;
+        loop {
+            let res: std::io::Result<()> = match self.faults.fire(FaultPoint::CheckpointWrite) {
+                Some(Fired::Transient) => Err(transient_error()),
+                Some(Fired::Permanent | Fired::Torn) => Err(permanent_error()),
+                None => (|| {
+                    let mut f = OpenOptions::new()
+                        .create(true)
+                        .write(true)
+                        .truncate(true)
+                        .open(tmp)?;
+                    f.write_all(&header)?;
+                    f.write_all(&framed)?;
+                    f.sync_data()
+                })(),
+            };
+            match res {
+                Ok(()) => {
+                    self.stats.bytes += (header.len() + framed.len()) as u64;
+                    self.stats.records += 1;
+                    self.stats.syncs += 1;
+                    self.faults.advance(FaultPoint::CheckpointWrite);
+                    return Ok(());
+                }
+                Err(e) if io_error_is_transient(&e) && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(WalError::Io(e)),
+            }
+        }
+    }
+
+    /// Rename the synced tmp file over the live log, retrying transient
+    /// failures. Never poisons — a failed rename leaves the prior log in
+    /// place.
+    fn rename_checkpoint(&mut self, tmp: &Path) -> Result<(), WalError> {
+        let mut attempt = 0u32;
+        loop {
+            let res: std::io::Result<()> = match self.faults.fire(FaultPoint::CheckpointRename) {
+                Some(Fired::Transient) => Err(transient_error()),
+                Some(Fired::Permanent | Fired::Torn) => Err(permanent_error()),
+                None => std::fs::rename(tmp, &self.path),
+            };
+            match res {
+                Ok(()) => {
+                    self.faults.advance(FaultPoint::CheckpointRename);
+                    return Ok(());
+                }
+                Err(e) if io_error_is_transient(&e) && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.backoff(attempt);
+                }
+                Err(e) => return Err(WalError::Io(e)),
+            }
+        }
     }
 
     /// Current on-disk length of the valid log (observability for tests;

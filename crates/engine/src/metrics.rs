@@ -37,6 +37,15 @@ pub struct Metrics {
     pub wal_syncs: usize,
     /// Bytes written to the write-ahead log (0 when durability is off).
     pub wal_bytes: usize,
+    /// Crashed shard workers detected and restarted by the sharded
+    /// supervisor (0 outside sharded runs).
+    pub shard_restarts: usize,
+    /// Write-ahead-log I/O attempts retried after a transient storage
+    /// fault (0 when durability is off or the storage behaves).
+    pub io_retries: usize,
+    /// Transactions aborted by load shedding: an operation arrived while
+    /// its shard's bounded mailbox was full (0 outside sharded runs).
+    pub shed_aborts: usize,
 }
 
 impl Metrics {

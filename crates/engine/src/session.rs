@@ -203,6 +203,13 @@ pub enum SessionError {
     /// [`SessionDb::resolve_commit`] needs a prepared transaction; this
     /// one never voted (call [`SessionDb::prepare_commit`] first).
     NotPrepared,
+    /// The shard that owned this transaction's state crashed (a worker
+    /// panic — typically the fail-stop reaction to an unretryable log
+    /// fault) and its in-flight work was failed by the supervisor while
+    /// the shard recovers from its own log. The transaction's fate is
+    /// decided: nothing uncommitted survives. Abort the handle and retry
+    /// the whole transaction; surviving shards keep serving throughout.
+    ShardDown,
 }
 
 impl fmt::Display for SessionError {
@@ -215,6 +222,12 @@ impl fmt::Display for SessionError {
                 write!(f, "the transaction is prepared: awaiting the 2PC decision")
             }
             SessionError::NotPrepared => write!(f, "the transaction is not prepared"),
+            SessionError::ShardDown => {
+                write!(
+                    f,
+                    "the owning shard crashed; abort and retry the transaction"
+                )
+            }
         }
     }
 }
@@ -599,6 +612,22 @@ impl SessionDb {
         }
     }
 
+    /// Fault injection: install a storage-fault script on the log (see
+    /// [`ccopt_durability::StorageFaults`]). No-op without durability.
+    pub fn wal_set_faults(&mut self, faults: ccopt_durability::StorageFaults) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_faults(faults);
+        }
+    }
+
+    /// Set the log's bounded retry policy for transient storage faults.
+    /// No-op without durability.
+    pub fn wal_set_retry(&mut self, retry: ccopt_durability::RetryPolicy) {
+        if let Some(wal) = &mut self.wal {
+            wal.set_retry(retry);
+        }
+    }
+
     /// The committed state as a durable image (checkpoint payload).
     fn store_image(&self) -> StoreImage {
         match &self.store {
@@ -614,6 +643,7 @@ impl SessionDb {
             self.metrics.wal_records = s.records as usize;
             self.metrics.wal_syncs = s.syncs as usize;
             self.metrics.wal_bytes = s.bytes as usize;
+            self.metrics.io_retries = s.retries as usize;
         }
     }
 

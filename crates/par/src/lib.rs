@@ -16,10 +16,29 @@
 //!   so a coordinator can fan a batch out to several workers and then
 //!   collect, which is how the engine's sharded database drives one
 //!   worker per shard (`ccopt-engine::shard`).
+//!
+//! ## Fault containment
+//!
+//! A worker is a *fault domain*: each job runs under
+//! [`std::panic::catch_unwind`], so a panicking job kills
+//! only its own worker, never the process. The state is dropped on the
+//! worker thread at the point of death — for a shard database this closes
+//! its write-ahead log *without* a final flush, which is exactly crash
+//! semantics: recovery replays the durable prefix. After death every
+//! interaction returns [`WorkerError`] instead of panicking, and queued
+//! jobs that will never run resolve their [`Reply`]s as errors, so a
+//! supervisor can detect the crash, fail the in-flight work, and respawn.
+//!
+//! The mailbox is optionally bounded ([`Worker::set_capacity`]):
+//! [`Worker::try_submit`] refuses with [`SubmitError::Full`] instead of
+//! queueing unboundedly, giving the layer above a backpressure signal to
+//! shed load.
 
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Number of worker threads `par_map` uses: the machine's available
@@ -100,23 +119,55 @@ where
 
 // ------------------------------------------------------------------ worker
 
+/// The worker thread died (a previous job panicked) before — or while —
+/// running the interaction that returned this error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkerError;
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker thread dead (a job panicked)")
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Why [`Worker::try_submit`] refused a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The worker thread died (a previous job panicked).
+    Dead,
+    /// The bounded mailbox is at capacity — backpressure; shed or retry.
+    Full,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Dead => write!(f, "worker thread dead (a job panicked)"),
+            SubmitError::Full => write!(f, "worker mailbox full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// A boxed job for a [`Worker`]'s mailbox.
 type Job<T> = Box<dyn FnOnce(&mut T) + Send>;
 
 /// The pending answer of a [`Worker::submit`] call. Dropping it without
 /// [`wait`](Reply::wait)ing discards the result (the job still runs).
+#[derive(Debug)]
 pub struct Reply<R> {
     rx: Receiver<R>,
 }
 
 impl<R> Reply<R> {
-    /// Block until the worker has run the job and return its result.
-    ///
-    /// # Panics
-    /// Panics when the worker died (a previous job panicked) before
-    /// producing the result.
-    pub fn wait(self) -> R {
-        self.rx.recv().expect("worker completed the job")
+    /// Block until the worker has run the job and return its result, or
+    /// [`WorkerError`] when the worker died (this job or an earlier one
+    /// panicked) before producing it.
+    pub fn wait(self) -> Result<R, WorkerError> {
+        self.rx.recv().map_err(|_| WorkerError)
     }
 }
 
@@ -129,52 +180,154 @@ impl<R> Reply<R> {
 /// Dropping the worker closes the mailbox, drains the remaining jobs,
 /// drops `T` *on the worker thread*, and joins — so resources owned by
 /// `T` (files, logs) are fully released when `drop` returns.
+///
+/// A job that panics kills the worker, not the process: the panic is
+/// caught, the state is dropped on the worker thread (mid-flight, as a
+/// crash would leave it), queued jobs are discarded, and every later
+/// interaction returns [`WorkerError`].
 pub struct Worker<T> {
     tx: Option<Sender<Job<T>>>,
     handle: Option<JoinHandle<()>>,
+    alive: Arc<AtomicBool>,
+    /// Jobs submitted but not yet completed (mailbox depth).
+    pending: Arc<AtomicUsize>,
+    /// Mailbox bound for [`try_submit`](Worker::try_submit);
+    /// `usize::MAX` = unbounded.
+    capacity: Arc<AtomicUsize>,
 }
 
 impl<T: Send + 'static> Worker<T> {
     /// Move `state` onto a fresh worker thread and open its mailbox.
     pub fn spawn(state: T) -> Worker<T> {
         let (tx, rx) = channel::<Job<T>>();
-        let handle = std::thread::spawn(move || {
-            let mut state = state;
-            while let Ok(job) = rx.recv() {
-                job(&mut state);
-            }
-        });
+        let alive = Arc::new(AtomicBool::new(true));
+        let pending = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let alive = alive.clone();
+            let pending = pending.clone();
+            std::thread::spawn(move || {
+                let mut state = state;
+                while let Ok(job) = rx.recv() {
+                    let ok = catch_unwind(AssertUnwindSafe(|| job(&mut state))).is_ok();
+                    pending.fetch_sub(1, Ordering::Release);
+                    if !ok {
+                        // Fault containment: mark the domain dead *before*
+                        // dropping the state so observers never see a live
+                        // flag over a dropped state. Dropping here (on the
+                        // worker thread, mid-flight) gives crash semantics
+                        // to whatever the state owns — a WAL file closes
+                        // without a final flush, so recovery sees exactly
+                        // the durable prefix. Queued jobs die with the
+                        // receiver; their Reply senders drop and every
+                        // wait() resolves to Err(WorkerError).
+                        alive.store(false, Ordering::Release);
+                        drop(state);
+                        return;
+                    }
+                }
+            })
+        };
         Worker {
             tx: Some(tx),
             handle: Some(handle),
+            alive,
+            pending,
+            capacity: Arc::new(AtomicUsize::new(usize::MAX)),
         }
     }
 
-    /// Enqueue `f` and return a [`Reply`] for its result. Use this to fan
-    /// a batch of jobs out to several workers before collecting any of
-    /// the answers — the workers run concurrently.
-    ///
-    /// # Panics
-    /// Panics when the worker thread is gone (a previous job panicked).
+    /// Whether the worker thread is still serving jobs. A `true` may be
+    /// stale the instant it is read (the worker may be dying right now);
+    /// `false` is definitive.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn queue_len(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// Bound the mailbox at `cap` jobs for [`try_submit`](Self::try_submit)
+    /// (`usize::MAX` = unbounded, the default). [`submit`](Self::submit)
+    /// ignores the bound — control-plane jobs must never be shed.
+    pub fn set_capacity(&self, cap: usize) {
+        self.capacity.store(cap, Ordering::Release);
+    }
+
+    /// Whether the bounded mailbox is at capacity right now — the
+    /// backpressure signal a coordinator can check *before* spending any
+    /// per-operation setup work on a job it would have to shed.
+    pub fn is_full(&self) -> bool {
+        self.pending.load(Ordering::Acquire) >= self.capacity.load(Ordering::Acquire)
+    }
+
+    /// Close the mailbox and join the worker thread in place: queued jobs
+    /// drain (or die with the receiver if the worker already panicked),
+    /// the state — and everything it owns, such as log file handles — is
+    /// fully dropped before this returns, and every later interaction
+    /// returns [`WorkerError`]. A supervisor calls this before recovering
+    /// a crashed shard's log in place, guaranteeing the dying worker's
+    /// file handle is closed first.
+    pub fn shutdown(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Enqueue `f` and return a [`Reply`] for its result, or
+    /// [`WorkerError`] when the worker is dead. Use this to fan a batch
+    /// of jobs out to several workers before collecting any of the
+    /// answers — the workers run concurrently. Ignores the mailbox bound
+    /// (see [`try_submit`](Self::try_submit) for backpressure).
     pub fn submit<R: Send + 'static>(
         &self,
         f: impl FnOnce(&mut T) -> R + Send + 'static,
-    ) -> Reply<R> {
+    ) -> Result<Reply<R>, WorkerError> {
+        if !self.is_alive() {
+            return Err(WorkerError);
+        }
+        let Some(tx) = self.tx.as_ref() else {
+            // The mailbox was closed by an explicit shutdown.
+            return Err(WorkerError);
+        };
         let (rtx, rrx) = channel();
-        self.tx
-            .as_ref()
-            .expect("worker mailbox open until drop")
-            .send(Box::new(move |state: &mut T| {
-                let _ = rtx.send(f(state));
-            }))
-            .expect("worker thread alive");
-        Reply { rx: rrx }
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        let sent = tx.send(Box::new(move |state: &mut T| {
+            let _ = rtx.send(f(state));
+        }));
+        if sent.is_err() {
+            // The worker died between the liveness check and the send;
+            // the job never entered the mailbox.
+            self.pending.fetch_sub(1, Ordering::Release);
+            return Err(WorkerError);
+        }
+        Ok(Reply { rx: rrx })
+    }
+
+    /// Like [`submit`](Self::submit), but refuse with
+    /// [`SubmitError::Full`] when the mailbox is at the configured
+    /// capacity — the backpressure path for data-plane jobs.
+    pub fn try_submit<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> Result<Reply<R>, SubmitError> {
+        if self.pending.load(Ordering::Acquire) >= self.capacity.load(Ordering::Acquire) {
+            return Err(SubmitError::Full);
+        }
+        self.submit(f).map_err(|WorkerError| SubmitError::Dead)
     }
 
     /// Run `f` on the worker and block for its result (a synchronous
-    /// round-trip through the mailbox).
-    pub fn call<R: Send + 'static>(&self, f: impl FnOnce(&mut T) -> R + Send + 'static) -> R {
-        self.submit(f).wait()
+    /// round-trip through the mailbox), or [`WorkerError`] when the
+    /// worker is dead or dies running `f`.
+    pub fn call<R: Send + 'static>(
+        &self,
+        f: impl FnOnce(&mut T) -> R + Send + 'static,
+    ) -> Result<R, WorkerError> {
+        self.submit(f)?.wait()
     }
 }
 
@@ -236,9 +389,9 @@ mod tests {
     fn worker_runs_jobs_in_order_with_exclusive_state() {
         let w = Worker::spawn(Vec::<u32>::new());
         for i in 0..100 {
-            w.call(move |v| v.push(i));
+            w.call(move |v| v.push(i)).unwrap();
         }
-        let out = w.call(|v| v.clone());
+        let out = w.call(|v| v.clone()).unwrap();
         assert_eq!(out, (0..100).collect::<Vec<_>>());
     }
 
@@ -247,11 +400,11 @@ mod tests {
         let workers: Vec<Worker<u64>> = (0..4).map(Worker::spawn).collect();
         let replies: Vec<Reply<u64>> = workers
             .iter()
-            .map(|w| w.submit(|s| std::mem::replace(s, *s * 10)))
+            .map(|w| w.submit(|s| std::mem::replace(s, *s * 10)).unwrap())
             .collect();
-        let got: Vec<u64> = replies.into_iter().map(Reply::wait).collect();
+        let got: Vec<u64> = replies.into_iter().map(|r| r.wait().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 2, 3]);
-        let after: Vec<u64> = workers.iter().map(|w| w.call(|s| *s)).collect();
+        let after: Vec<u64> = workers.iter().map(|w| w.call(|s| *s).unwrap()).collect();
         assert_eq!(after, vec![0, 10, 20, 30]);
     }
 
@@ -267,7 +420,7 @@ mod tests {
         }
         let flag = Arc::new(AtomicBool::new(false));
         let w = Worker::spawn(Flagged(flag.clone()));
-        w.call(|_| ());
+        w.call(|_| ()).unwrap();
         drop(w);
         assert!(flag.load(Ordering::SeqCst), "state must drop before join");
     }
@@ -281,5 +434,94 @@ mod tests {
             i
         });
         assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_kills_worker_not_process() {
+        let w = Worker::spawn(0u32);
+        let r = w.call(|_| panic!("injected"));
+        assert_eq!(r, Err(WorkerError));
+        // The error return is the definitive death signal; the liveness
+        // flag flips moments later (the reply channel drops during the
+        // unwind, before the worker loop observes the panic).
+        while w.is_alive() {
+            std::thread::yield_now();
+        }
+        // Every later interaction is a clean error, never a panic.
+        assert!(w.submit(|s| *s).is_err());
+        assert_eq!(w.call(|s| *s), Err(WorkerError));
+        assert_eq!(w.try_submit(|s| *s).unwrap_err(), SubmitError::Dead);
+    }
+
+    #[test]
+    fn panic_drops_state_on_worker_thread() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        struct Flagged(Arc<AtomicBool>);
+        impl Drop for Flagged {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let w = Worker::spawn(Flagged(flag.clone()));
+        assert!(w.call(|_| panic!("injected")).is_err());
+        // The catch-unwind path drops the state at the point of death;
+        // wait for the worker thread to finish doing so.
+        while !flag.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        assert!(!w.is_alive());
+    }
+
+    #[test]
+    fn queued_jobs_after_panic_resolve_as_errors() {
+        let w = Worker::spawn(0u64);
+        // A slow first job keeps the mailbox backed up so the panic and
+        // the victims are all queued together.
+        let _slow = w
+            .submit(|_| std::thread::sleep(std::time::Duration::from_millis(20)))
+            .unwrap();
+        let bomb = w.submit(|_| panic!("injected")).unwrap();
+        let victims: Vec<Reply<u64>> = (0..4).map(|_| w.submit(|s| *s).unwrap()).collect();
+        assert!(bomb.wait().is_err());
+        for v in victims {
+            assert_eq!(v.wait(), Err(WorkerError));
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_and_closes_the_mailbox() {
+        let mut w = Worker::spawn(5u32);
+        assert_eq!(w.call(|s| *s).unwrap(), 5);
+        w.shutdown();
+        assert!(!w.is_alive());
+        assert_eq!(w.call(|s| *s), Err(WorkerError));
+        assert!(w.submit(|s| *s).is_err());
+        // Shutting down twice is fine.
+        w.shutdown();
+    }
+
+    #[test]
+    fn bounded_mailbox_sheds_when_full() {
+        let w = Worker::spawn(());
+        w.set_capacity(2);
+        let (gate_tx, gate_rx) = channel::<()>();
+        // Stall the worker so submissions pile up deterministically.
+        let stalled = w
+            .submit(move |_| {
+                let _ = gate_rx.recv();
+            })
+            .unwrap();
+        let queued = w.try_submit(|_| ()).unwrap();
+        assert_eq!(w.try_submit(|_| ()).unwrap_err(), SubmitError::Full);
+        // Control-plane submit ignores the bound.
+        let control = w.submit(|_| ()).unwrap();
+        gate_tx.send(()).unwrap();
+        stalled.wait().unwrap();
+        queued.wait().unwrap();
+        control.wait().unwrap();
+        // Drained: accepted again.
+        w.try_submit(|_| ()).unwrap().wait().unwrap();
     }
 }

@@ -208,6 +208,19 @@ pub struct OpenSimResult {
     /// state after exactly `k` commits — what a crash recovered at the
     /// `k`-commit boundary must rebuild.
     pub journal: Vec<GlobalState>,
+    /// Crashed shard workers supervised and restarted in place (0
+    /// outside sharded fault runs).
+    pub shard_restarts: usize,
+    /// Transactions aborted by load shedding at a full shard mailbox (0
+    /// outside bounded-queue sharded runs).
+    pub shed_aborts: usize,
+    /// Write-ahead-log I/O attempts retried after a transient storage
+    /// fault (0 unless storage faults were injected).
+    pub io_retries: usize,
+    /// Wall-clock seconds of the most recent supervised shard recovery —
+    /// the time-to-recover of the degraded-mode benchmark (0 when no
+    /// shard was restarted).
+    pub recovery_secs: f64,
 }
 
 /// Durability parameters of [`simulate_open_durable`].
@@ -596,6 +609,10 @@ fn simulate_open_impl(
         wal_records: m.wal_records,
         wal_syncs: m.wal_syncs,
         journal,
+        shard_restarts: 0,
+        shed_aborts: 0,
+        io_retries: m.io_retries,
+        recovery_secs: 0.0,
     }
 }
 

@@ -34,6 +34,19 @@
 //! the union of all shards' conflicts for single-version mechanisms,
 //! begin-timestamp replay for MVTO, SI exempt (`docs/SHARDING.md` gives
 //! the argument for why all seven mechanisms pass it).
+//!
+//! A [`FaultPlan`] scripts faults into a run
+//! ([`simulate_sharded_faulty`]): shard-worker panics and transient
+//! storage faults fire at configured commit counts, and shard mailboxes
+//! can be bounded so overload sheds. The driver treats a failed global
+//! transaction ([`ShardDown`](ccopt_engine::SessionError::ShardDown))
+//! like any other loss: abort, back off on the existing jittered restart
+//! delay, and redrive — so the stream still serves fully once the faults
+//! stop (the liveness claim of `tests/faults.rs`). On durable runs with
+//! the journal on, the simulation asserts after every supervised
+//! recovery that the committed global state still equals the journal
+//! head: a shard crash never loses or invents a committed transaction
+//! (`docs/FAULTS.md`).
 
 use crate::open_sim::{
     exp_sample, gen_program, restart_delay, retry_delay, CommittedTxn, OpSpec, OpenSimConfig,
@@ -41,7 +54,8 @@ use crate::open_sim::{
 };
 use crate::stats::Summary;
 use ccopt_engine::cc::ConcurrencyControl;
-use ccopt_engine::session::Op;
+use ccopt_engine::durability::{Fault, StorageFaults};
+use ccopt_engine::session::{Op, SessionError};
 use ccopt_engine::shard::{GlobalTxn, ShardedDb};
 use ccopt_engine::DurabilityMode;
 use ccopt_model::ids::VarId;
@@ -109,6 +123,35 @@ impl ShardDurableConfig {
             mode,
             crash_after_2pc_actions: None,
             record_journal: false,
+        }
+    }
+}
+
+/// Scripted faults for [`simulate_sharded_faulty`]: each entry fires once,
+/// when the global committed count first reaches its threshold, so a plan
+/// is deterministic in the seed like everything else in the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// `(after_commits, shard)`: panic the shard's worker thread — the
+    /// supervisor restarts it in place (recovering its log on durable
+    /// runs) and fails the global transactions that had state there.
+    pub shard_panics: Vec<(usize, usize)>,
+    /// `(after_commits, shard, times)`: script `times` transient fsync
+    /// failures on the shard's write-ahead log (durable runs only; the
+    /// log retries on bounded backoff and the run proceeds).
+    pub transient_sync_faults: Vec<(usize, usize, u32)>,
+    /// Bound every shard mailbox at this many jobs (`None` = unbounded):
+    /// operations arriving at a full shard are shed — the transaction
+    /// restarts instead of queueing behind the backlog.
+    pub queue_capacity: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan panicking `shard` after `after_commits` commits.
+    pub fn panic_at(after_commits: usize, shard: usize) -> FaultPlan {
+        FaultPlan {
+            shard_panics: vec![(after_commits, shard)],
+            ..FaultPlan::default()
         }
     }
 }
@@ -193,16 +236,17 @@ fn gen_sharded_program(
         .collect()
 }
 
-/// Submit one operation through the sharded API.
-fn submit_op(db: &mut ShardedDb, h: GlobalTxn, op: OpSpec) -> Op<Value> {
-    let r = match op.kind {
+/// Submit one operation through the sharded API. `Err` is a failed
+/// global transaction (its shard crashed or is down) for the driver's
+/// abort-and-redrive path.
+fn submit_op(db: &mut ShardedDb, h: GlobalTxn, op: OpSpec) -> Result<Op<Value>, SessionError> {
+    match op.kind {
         StepKind::Read => db.read(h, op.var),
         StepKind::Write => db.write(h, op.var, Value::Int(op.eval(0))),
         StepKind::Update => db.update(h, op.var, move |v| {
             Value::Int(op.eval(v.as_int().expect("sharded stores hold ints")))
         }),
-    };
-    r.expect("sharded-sim handles are live")
+    }
 }
 
 /// Run the sharded open-world simulation for one mechanism (no
@@ -211,7 +255,7 @@ pub fn simulate_sharded(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     scfg: &ShardSimConfig,
 ) -> OpenSimResult {
-    simulate_sharded_impl(make_cc, scfg, None)
+    simulate_sharded_impl(make_cc, scfg, None, None)
 }
 
 /// Run the sharded open-world simulation against a durable
@@ -228,13 +272,33 @@ pub fn simulate_sharded_durable(
     scfg: &ShardSimConfig,
     dur: &ShardDurableConfig,
 ) -> OpenSimResult {
-    simulate_sharded_impl(make_cc, scfg, Some(dur))
+    simulate_sharded_impl(make_cc, scfg, Some(dur), None)
+}
+
+/// Run the sharded open-world simulation under a scripted [`FaultPlan`]
+/// (optionally durable). Shard panics are supervised in place; failed
+/// global transactions are aborted and redriven by the terminals on the
+/// ordinary jittered restart backoff, so the stream serves fully once
+/// the plan's faults have fired.
+///
+/// # Panics
+/// Panics when the logs cannot be opened, or — on durable journal runs —
+/// when a supervised recovery loses committed state (the committed-prefix
+/// consistency assertion).
+pub fn simulate_sharded_faulty(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    scfg: &ShardSimConfig,
+    dur: Option<&ShardDurableConfig>,
+    plan: &FaultPlan,
+) -> OpenSimResult {
+    simulate_sharded_impl(make_cc, scfg, dur, Some(plan))
 }
 
 fn simulate_sharded_impl(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     scfg: &ShardSimConfig,
     dur: Option<&ShardDurableConfig>,
+    plan: Option<&FaultPlan>,
 ) -> OpenSimResult {
     let cfg = &scfg.base;
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x09E2_5EED);
@@ -248,6 +312,14 @@ fn simulate_sharded_impl(
         if let Some(n) = d.crash_after_2pc_actions {
             db.crash_after_2pc_actions(n);
         }
+    }
+    // Pending scripted faults, drained as their commit thresholds pass.
+    let mut due_panics = plan.map(|p| p.shard_panics.clone()).unwrap_or_default();
+    let mut due_io = plan
+        .map(|p| p.transient_sync_faults.clone())
+        .unwrap_or_default();
+    if let Some(cap) = plan.and_then(|p| p.queue_capacity) {
+        db.set_queue_capacity(cap);
     }
     let cc_name = db.cc_name().to_string();
     let multiversion = db.multiversion();
@@ -295,6 +367,23 @@ fn simulate_sharded_impl(
     let mut peak_versions = 0usize;
     let mut events = 0usize;
 
+    // A failed global transaction (its shard crashed mid-flight or is
+    // down): abort it, back off on the ordinary jittered restart delay,
+    // and let the terminal redrive a fresh transaction — fault recovery
+    // is just another restart to the open-world driver.
+    macro_rules! shard_down {
+        ($term:expr, $h:expr, $ev:expr) => {{
+            let _ = db.abort($h);
+            $term.handle = None;
+            $term.ops.clear();
+            $term.consec_waits = 0;
+            queue.push(Reverse(Event {
+                time: $ev.time + restart_delay(&mut rng, cfg, 2),
+                terminal: $ev.terminal,
+            }));
+        }};
+    }
+
     'sim: while let Some(Reverse(ev)) = queue.pop() {
         events += 1;
         if events > cfg.max_events {
@@ -320,7 +409,10 @@ fn simulate_sharded_impl(
         // to a forced restart (safe for every mechanism).
         let valve = !single && term.consec_waits >= scfg.wait_restart_after;
         if valve {
-            db.restart(h).expect("live handle");
+            if db.restart(h).is_err() {
+                shard_down!(term, h, ev);
+                continue 'sim;
+            }
             term.next_op = 0;
             term.ops.clear();
             term.consec_waits = 0;
@@ -333,8 +425,19 @@ fn simulate_sharded_impl(
             continue;
         }
         if term.next_op == term.prog.len() {
-            let view = db.read_view(h).expect("live handle");
-            match db.commit(h).expect("live handle") {
+            let Ok(view) = db.read_view(h) else {
+                shard_down!(term, h, ev);
+                continue 'sim;
+            };
+            let outcome = match db.commit(h) {
+                Ok(o) => o,
+                Err(SessionError::ShardDown) => {
+                    shard_down!(term, h, ev);
+                    continue 'sim;
+                }
+                Err(e) => panic!("sharded-sim commit: {e}"),
+            };
+            match outcome {
                 Op::Done(()) => {
                     db.retire(h).expect("committed handle");
                     term.handle = None;
@@ -354,6 +457,48 @@ fn simulate_sharded_impl(
                     }
                     if let Some(vs) = db.live_versions() {
                         peak_versions = peak_versions.max(vs);
+                    }
+                    // Fire the scripted faults whose commit thresholds
+                    // just passed; supervise crashes right away so the
+                    // committed-prefix assertion sees the recovered
+                    // state (terminals discover their failed
+                    // transactions on their next operation).
+                    let mut panicked = false;
+                    due_panics.retain(|&(at, s)| {
+                        if committed >= at {
+                            if !db.shard_is_down(s) {
+                                db.panic_shard(s);
+                            }
+                            panicked = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    due_io.retain(|&(at, s, times)| {
+                        if committed >= at {
+                            db.set_shard_faults(
+                                s,
+                                StorageFaults::new().fail_sync(0, Fault::Transient { times }),
+                            );
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if panicked {
+                        db.check_shards();
+                        if record_journal {
+                            // Committed-prefix consistency after every
+                            // recovery: a supervised restart must
+                            // rebuild exactly the committed state — no
+                            // committed transaction lost, none invented.
+                            assert_eq!(
+                                &db.committed_globals(),
+                                journal.last().expect("journal holds the initial state"),
+                                "sharded fault sim: supervised recovery lost committed state"
+                            );
+                        }
                     }
                     if committed >= cfg.total_txns {
                         break 'sim;
@@ -384,7 +529,15 @@ fn simulate_sharded_impl(
             }
         } else {
             let op = term.prog[term.next_op];
-            match submit_op(&mut db, h, op) {
+            let outcome = match submit_op(&mut db, h, op) {
+                Ok(o) => o,
+                Err(SessionError::ShardDown) => {
+                    shard_down!(term, h, ev);
+                    continue 'sim;
+                }
+                Err(e) => panic!("sharded-sim operation: {e}"),
+            };
+            match outcome {
                 Op::Done(_) => {
                     seq += 1;
                     if cfg.check {
@@ -461,5 +614,12 @@ fn simulate_sharded_impl(
         wal_records: m.wal_records,
         wal_syncs: m.wal_syncs,
         journal,
+        shard_restarts: m.shard_restarts,
+        shed_aborts: m.shed_aborts,
+        io_retries: m.io_retries,
+        recovery_secs: db
+            .last_recovery_time()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
     }
 }

@@ -128,6 +128,7 @@ fn coordinator_crash_at_every_boundary_recovers_a_consistent_prefix() {
     // prefix (no shard-mixed state), and a second recovery must find
     // nothing in doubt.
     for (name, mk) in factories() {
+        let mk_cc = move || mk();
         for budget in [0u64, 1, 2, 3, 4, 7, 10] {
             let dir = ccopt_engine::durability::scratch_path(&format!(
                 "shard-sim-crash-{budget}-{}",
@@ -151,11 +152,11 @@ fn coordinator_crash_at_every_boundary_recovers_a_consistent_prefix() {
                 crash_after_2pc_actions: Some(budget),
                 record_journal: true,
             };
-            let r = simulate_sharded_durable(&move || mk(), &scfg, &dur);
+            let r = simulate_sharded_durable(&mk_cc, &scfg, &dur);
             assert_eq!(r.committed, 40, "{name} budget {budget}: sim serves fully");
             // Recover and diff against the committed-prefix journal.
             let mut db = ShardedDb::open(
-                &move || mk(),
+                &mk_cc,
                 GlobalState::from_ints(&[0; 8]),
                 &dir,
                 DurabilityMode::Strict,
@@ -178,7 +179,7 @@ fn coordinator_crash_at_every_boundary_recovers_a_consistent_prefix() {
             drop(db);
             // Nothing stays in doubt: the settlement was written back.
             let db = ShardedDb::open(
-                &move || mk(),
+                &mk_cc,
                 GlobalState::from_ints(&[0; 8]),
                 &dir,
                 DurabilityMode::Strict,
