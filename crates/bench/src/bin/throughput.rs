@@ -41,9 +41,18 @@
 //! statistics are deterministic in the config; only the wall-clock fields
 //! vary run to run.
 //!
+//! Schema v7 adds the trace-plane observability columns to every
+//! open-world and sharded cell: deterministic commit-latency percentiles
+//! in engine ticks (`commit_lat_ticks_p50`/`p99`, from the always-on
+//! fixed-bucket histogram), the per-cell contention table
+//! (`top_contended`: the most wait/abort-attributed variables) and the
+//! abort attribution (`aborts_by_rule`: conflict-rule name to count).
+//! Degraded cells additionally report `recovery_replayed`, the
+//! deterministic size of the supervised recovery in replayed commits.
+//!
 //! `--quick` shrinks batches, stream lengths and the sharded grid to one
 //! mixed cell per mechanism plus its `S = 1` baseline (CI); the JSON
-//! schema (v6) is unchanged.
+//! schema (v7) is unchanged.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
@@ -125,6 +134,10 @@ struct OpenCell {
     peak_live_versions: usize,
     versions_reclaimed: usize,
     wal_syncs: usize,
+    commit_lat_ticks_p50: u64,
+    commit_lat_ticks_p99: u64,
+    top_contended: Vec<(u32, usize, usize)>,
+    aborts_by_rule: Vec<(&'static str, usize)>,
     wall_ms: f64,
 }
 
@@ -186,6 +199,10 @@ struct ShardCell {
     abort_rate: f64,
     peak_slots: usize,
     peak_live_versions: usize,
+    commit_lat_ticks_p50: u64,
+    commit_lat_ticks_p99: u64,
+    top_contended: Vec<(u32, usize, usize)>,
+    aborts_by_rule: Vec<(&'static str, usize)>,
     wall_ms: f64,
 }
 
@@ -207,6 +224,9 @@ struct DegradedCell {
     /// Wall-clock milliseconds of the supervised recovery (log replay
     /// and in-doubt settlement included) — the time-to-recover.
     recovery_ms: f64,
+    /// Committed sub-transactions replayed by the supervised recovery —
+    /// the deterministic recovery size.
+    recovery_replayed: u64,
     wall_ms: f64,
 }
 
@@ -278,6 +298,7 @@ fn degraded_grid(quick: bool) -> Vec<DegradedCell> {
             baseline_throughput: b.throughput,
             degraded_ratio: r.throughput / b.throughput.max(1e-12),
             recovery_ms: r.recovery_secs * 1e3,
+            recovery_replayed: r.recovery_replayed,
             wall_ms: wall.elapsed().as_secs_f64() * 1e3,
         });
     }
@@ -379,6 +400,10 @@ fn sharded_grid(quick: bool, open_cells: &[OpenCell]) -> Vec<ShardCell> {
                 abort_rate: r.abort_rate,
                 peak_slots: r.peak_slots,
                 peak_live_versions: r.peak_live_versions,
+                commit_lat_ticks_p50: r.commit_lat_ticks_p50,
+                commit_lat_ticks_p99: r.commit_lat_ticks_p99,
+                top_contended: r.top_contended.clone(),
+                aborts_by_rule: r.aborts_by_rule.clone(),
                 wall_ms: wall.elapsed().as_secs_f64() * 1e3,
             });
         }
@@ -434,6 +459,10 @@ fn open_grid(quick: bool) -> Vec<OpenCell> {
                     peak_live_versions: r.peak_live_versions,
                     versions_reclaimed: r.versions_reclaimed,
                     wal_syncs: r.wal_syncs,
+                    commit_lat_ticks_p50: r.commit_lat_ticks_p50,
+                    commit_lat_ticks_p99: r.commit_lat_ticks_p99,
+                    top_contended: r.top_contended.clone(),
+                    aborts_by_rule: r.aborts_by_rule.clone(),
                     wall_ms: wall.elapsed().as_secs_f64() * 1e3,
                 });
             }
@@ -558,6 +587,9 @@ fn main() {
             "peak-slots",
             "peak-vers",
             "syncs",
+            "clat-p50",
+            "clat-p99",
+            "hot-var",
             "wall-ms",
         ],
     );
@@ -576,6 +608,11 @@ fn main() {
             c.peak_slots.to_string(),
             c.peak_live_versions.to_string(),
             c.wal_syncs.to_string(),
+            c.commit_lat_ticks_p50.to_string(),
+            c.commit_lat_ticks_p99.to_string(),
+            c.top_contended
+                .first()
+                .map_or_else(|| "-".to_string(), |&(v, _, _)| format!("v{v}")),
             format!("{:.1}", c.wall_ms),
         ]);
     }
@@ -664,6 +701,26 @@ fn main() {
     println!("wrote {path}");
 }
 
+/// Encode a contention table as a JSON array of rows.
+fn json_contended(rows: &[(u32, usize, usize)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|&(var, waits, aborts)| {
+            format!("{{\"var\": {var}, \"waits\": {waits}, \"aborts\": {aborts}}}")
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// Encode an abort attribution as a JSON object (rule name to count).
+fn json_rules(rows: &[(&'static str, usize)]) -> String {
+    let rows: Vec<String> = rows
+        .iter()
+        .map(|&(rule, n)| format!("{rule:?}: {n}"))
+        .collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
 /// Hand-rolled JSON (no serde in the dependency-free build environment).
 fn to_json(
     cfg: &SimConfig,
@@ -674,7 +731,7 @@ fn to_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v6\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v7\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -709,7 +766,7 @@ fn to_json(
     s.push_str("  \"open_world\": [\n");
     for (i, c) in open_cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": {:?}, \"cc\": {:?}, \"durability\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"versions_reclaimed\": {}, \"wal_syncs\": {}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"durability\": {:?}, \"commits\": {}, \"aborts\": {}, \"waits\": {}, \"mv_write_aborts\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"versions_reclaimed\": {}, \"wal_syncs\": {}, \"commit_lat_ticks_p50\": {}, \"commit_lat_ticks_p99\": {}, \"top_contended\": {}, \"aborts_by_rule\": {}, \"wall_ms\": {:.3}}}{}\n",
             c.workload,
             c.cc,
             c.durability,
@@ -726,6 +783,10 @@ fn to_json(
             c.peak_live_versions,
             c.versions_reclaimed,
             c.wal_syncs,
+            c.commit_lat_ticks_p50,
+            c.commit_lat_ticks_p99,
+            json_contended(&c.top_contended),
+            json_rules(&c.aborts_by_rule),
             c.wall_ms,
             if i + 1 == open_cells.len() { "" } else { "," },
         ));
@@ -734,7 +795,7 @@ fn to_json(
     s.push_str("  \"sharded\": [\n");
     for (i, c) in shard_cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"cross_ratio\": {:.2}, \"commits\": {}, \"cross_commits\": {}, \"aborts\": {}, \"waits\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"cross_ratio\": {:.2}, \"commits\": {}, \"cross_commits\": {}, \"aborts\": {}, \"waits\": {}, \"throughput\": {:.6}, \"latency_mean\": {:.6}, \"latency_p50\": {:.6}, \"latency_p95\": {:.6}, \"abort_rate\": {:.6}, \"peak_slots\": {}, \"peak_live_versions\": {}, \"commit_lat_ticks_p50\": {}, \"commit_lat_ticks_p99\": {}, \"top_contended\": {}, \"aborts_by_rule\": {}, \"wall_ms\": {:.3}}}{}\n",
             c.workload,
             c.cc,
             c.shards,
@@ -750,6 +811,10 @@ fn to_json(
             c.abort_rate,
             c.peak_slots,
             c.peak_live_versions,
+            c.commit_lat_ticks_p50,
+            c.commit_lat_ticks_p99,
+            json_contended(&c.top_contended),
+            json_rules(&c.aborts_by_rule),
             c.wall_ms,
             if i + 1 == shard_cells.len() { "" } else { "," },
         ));
@@ -758,7 +823,7 @@ fn to_json(
     s.push_str("  \"degraded\": [\n");
     for (i, c) in degraded_cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"commits\": {}, \"aborts\": {}, \"shard_restarts\": {}, \"throughput\": {:.6}, \"baseline_throughput\": {:.6}, \"degraded_ratio\": {:.6}, \"recovery_ms\": {:.3}, \"wall_ms\": {:.3}}}{}\n",
+            "    {{\"workload\": {:?}, \"cc\": {:?}, \"shards\": {}, \"commits\": {}, \"aborts\": {}, \"shard_restarts\": {}, \"throughput\": {:.6}, \"baseline_throughput\": {:.6}, \"degraded_ratio\": {:.6}, \"recovery_ms\": {:.3}, \"recovery_replayed\": {}, \"wall_ms\": {:.3}}}{}\n",
             c.workload,
             c.cc,
             c.shards,
@@ -769,6 +834,7 @@ fn to_json(
             c.baseline_throughput,
             c.degraded_ratio,
             c.recovery_ms,
+            c.recovery_replayed,
             c.wall_ms,
             if i + 1 == degraded_cells.len() { "" } else { "," },
         ));

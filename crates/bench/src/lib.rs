@@ -12,8 +12,12 @@
 //! streams served, histories strict and serializable, group commit
 //! retaining ≥ 50% of no-log throughput, `S = 1` sharded cells equal to
 //! the open-world cells) and writing the machine-readable
-//! `BENCH_engine.json` (schema v5) next to this crate's manifest for
-//! future PRs to beat.
+//! `BENCH_engine.json` (schema v7: v6's fault-tolerance columns plus
+//! commit-latency percentiles, top-contended variables, and per-rule
+//! abort attribution from the trace plane) next to this crate's manifest
+//! for future PRs to beat. The `trace_smoke` binary is the observability
+//! gate: one traced, durable, mid-2PC-crash run per mechanism whose
+//! JSONL sink and flight-recorder dumps it validates line by line.
 //!
 //! | id  | artifact | module |
 //! |-----|----------|--------|

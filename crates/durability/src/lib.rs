@@ -48,7 +48,7 @@ use std::path::PathBuf;
 pub use encoding::{RecordEncoder, StoreKind};
 pub use faults::{Fault, RetryPolicy, StorageFaults};
 pub use recovery::{apply_in_doubt, recover, InDoubt, Recovered};
-pub use wal::{DurabilityMode, Wal, WalRecord};
+pub use wal::{DurabilityMode, Wal, WalHistograms, WalRecord};
 
 /// A durable snapshot of a value store: the payload of a checkpoint record
 /// and the output of recovery. Mirrors the engine's two store kinds

@@ -45,9 +45,11 @@ use crate::faults::{
 use crate::{StoreImage, WalError};
 use ccopt_model::ids::VarId;
 use ccopt_model::value::Value;
+use ccopt_trace::Histogram;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// A decoded log record (the read-side mirror of what the encoder
 /// writes; produced by [`crate::recovery`]).
@@ -168,6 +170,23 @@ pub struct WalStats {
     pub retries: u64,
 }
 
+/// Append-side latency and batching distributions. Always on (recording
+/// is a few instructions). The two I/O histograms are wall-clock and so
+/// vary run to run; the batch histogram counts commits per flushed group
+/// and is fully deterministic under a deterministic driver.
+#[derive(Clone, Debug, Default)]
+pub struct WalHistograms {
+    /// Nanoseconds per successful batch write to the file (the append
+    /// syscall, excluding retries' backoff sleeps).
+    pub append_nanos: Histogram,
+    /// Nanoseconds per successful `fsync`.
+    pub fsync_nanos: Histogram,
+    /// Commit records per flushed batch: 1 under `Strict`, up to
+    /// `max_batch` under group commit — the direct view of how well the
+    /// group is amortizing its fsyncs.
+    pub flush_batch_commits: Histogram,
+}
+
 /// The write-ahead log of one database.
 pub struct Wal {
     path: PathBuf,
@@ -184,6 +203,8 @@ pub struct Wal {
     num_vars: u32,
     /// Append-side counters.
     stats: WalStats,
+    /// Append-side latency/batching distributions.
+    hist: WalHistograms,
     /// Crash injection: die once this many records were appended.
     crash_after_records: Option<u64>,
     /// Crash injection: die once this many syncs completed.
@@ -224,6 +245,7 @@ impl Wal {
             store_kind: image.kind(),
             num_vars: image.num_vars() as u32,
             stats: WalStats::default(),
+            hist: WalHistograms::default(),
             crash_after_records: None,
             crash_after_syncs: None,
             dead: false,
@@ -265,6 +287,7 @@ impl Wal {
             store_kind,
             num_vars,
             stats: WalStats::default(),
+            hist: WalHistograms::default(),
             crash_after_records: None,
             crash_after_syncs: None,
             dead: false,
@@ -277,6 +300,11 @@ impl Wal {
     /// Append-side counters.
     pub fn stats(&self) -> WalStats {
         self.stats
+    }
+
+    /// Append-side latency and batching distributions.
+    pub fn histograms(&self) -> &WalHistograms {
+        &self.hist
     }
 
     /// The policy this log flushes under.
@@ -461,6 +489,9 @@ impl Wal {
             return Err(WalError::Poisoned);
         }
         if !self.pending.is_empty() {
+            self.hist
+                .flush_batch_commits
+                .record(self.pending_commits as u64);
             self.write_pending()?;
         }
         self.sync_file()?;
@@ -484,6 +515,7 @@ impl Wal {
     fn write_pending(&mut self) -> Result<(), WalError> {
         let mut attempt = 0u32;
         loop {
+            let t0 = Instant::now();
             let res: std::io::Result<()> = match self.faults.fire(FaultPoint::Append) {
                 Some(Fired::Transient) => Err(transient_error()),
                 Some(Fired::Permanent) => Err(permanent_error()),
@@ -502,6 +534,9 @@ impl Wal {
             };
             match res {
                 Ok(()) => {
+                    self.hist
+                        .append_nanos
+                        .record(t0.elapsed().as_nanos() as u64);
                     self.stats.bytes += self.pending.len() as u64;
                     self.pending.clear();
                     self.pending_commits = 0;
@@ -533,6 +568,7 @@ impl Wal {
     fn sync_file(&mut self) -> Result<(), WalError> {
         let mut attempt = 0u32;
         loop {
+            let t0 = Instant::now();
             let res: std::io::Result<()> = match self.faults.fire(FaultPoint::Sync) {
                 Some(Fired::Transient) => Err(transient_error()),
                 Some(Fired::Permanent | Fired::Torn) => Err(permanent_error()),
@@ -540,6 +576,7 @@ impl Wal {
             };
             match res {
                 Ok(()) => {
+                    self.hist.fsync_nanos.record(t0.elapsed().as_nanos() as u64);
                     self.stats.syncs += 1;
                     self.faults.advance(FaultPoint::Sync);
                     return Ok(());

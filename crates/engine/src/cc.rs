@@ -15,6 +15,7 @@
 use crate::dense::{ensure_index, DenseBitSet, EpochBitSet, SlotMap};
 use ccopt_model::ids::{TxnId, VarId};
 use ccopt_model::syntax::StepKind;
+pub use ccopt_trace::ConflictRule;
 use std::collections::VecDeque;
 
 /// Decision for a step or commit request.
@@ -27,6 +28,46 @@ pub enum CcDecision {
     Wait,
     /// Abort the requesting transaction (rollback and restart).
     Abort,
+}
+
+/// Attribution of a non-[`Proceed`](CcDecision::Proceed) decision: which
+/// rule fired, over which variable, against whom. Recorded by every
+/// mechanism on its Wait/Abort paths (never on the Proceed hot path) and
+/// read back through [`ConcurrencyControl::last_conflict`] by the session
+/// layer, which feeds the contention tables and the trace plane.
+///
+/// `opponent` is the opponent's dense slot at decision time. For live
+/// opponents (lock holders, dirty writers, pending writers) the slot
+/// resolves exactly; for already-committed opponents (OCC backward
+/// validation, SI first-committer) it resolves to the attempt currently
+/// occupying the slot — exact until the opponent's session retires and
+/// the slot recycles, best-effort after.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CcConflict {
+    /// The rule that fired.
+    pub rule: ConflictRule,
+    /// The contended variable, when the rule names one.
+    pub var: Option<VarId>,
+    /// The opponent transaction's dense slot, when known.
+    pub opponent: Option<TxnId>,
+}
+
+impl CcConflict {
+    fn new(rule: ConflictRule, var: VarId, opponent: TxnId) -> CcConflict {
+        CcConflict {
+            rule,
+            var: Some(var),
+            opponent: Some(opponent),
+        }
+    }
+
+    fn var_only(rule: ConflictRule, var: VarId) -> CcConflict {
+        CcConflict {
+            rule,
+            var: Some(var),
+            opponent: None,
+        }
+    }
 }
 
 /// A concurrency-control mechanism.
@@ -91,6 +132,16 @@ pub trait ConcurrencyControl: Send {
 
     /// Name for reports.
     fn name(&self) -> &str;
+
+    /// Attribution of the most recent [`Wait`](CcDecision::Wait) or
+    /// [`Abort`](CcDecision::Abort) this mechanism returned: the rule that
+    /// fired, the contended variable, the opponent. Valid immediately
+    /// after the non-Proceed decision (the value is not cleared on later
+    /// Proceeds, so read it right away). The default returns `None`;
+    /// every in-tree mechanism overrides it.
+    fn last_conflict(&self) -> Option<CcConflict> {
+        None
+    }
 
     /// When true, the engine buffers the transaction's writes locally and
     /// applies them to storage only at commit (OCC's write phase). When
@@ -197,19 +248,23 @@ fn wait_chain_reaches(
 #[derive(Default, Debug)]
 pub struct SerialCc {
     holder: Option<TxnId>,
+    conflict: Option<CcConflict>,
 }
 
 impl ConcurrencyControl for SerialCc {
     fn begin(&mut self, _t: TxnId, _tick: u64) {}
 
-    fn on_step(&mut self, t: TxnId, _var: VarId, _kind: StepKind) -> CcDecision {
+    fn on_step(&mut self, t: TxnId, var: VarId, _kind: StepKind) -> CcDecision {
         match self.holder {
             None => {
                 self.holder = Some(t);
                 CcDecision::Proceed
             }
             Some(h) if h == t => CcDecision::Proceed,
-            Some(_) => CcDecision::Wait,
+            Some(h) => {
+                self.conflict = Some(CcConflict::new(ConflictRule::LockWait, var, h));
+                CcDecision::Wait
+            }
         }
     }
 
@@ -232,6 +287,10 @@ impl ConcurrencyControl for SerialCc {
     fn name(&self) -> &str {
         "serial"
     }
+
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
+    }
 }
 
 // --------------------------------------------------------------------------
@@ -252,6 +311,8 @@ pub struct Strict2plCc {
     held: Vec<Vec<VarId>>,
     /// Scratch for the deadlock walk (O(1) clear per check).
     visited: EpochBitSet,
+    /// Attribution of the last Wait/Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl Strict2plCc {
@@ -287,9 +348,11 @@ impl ConcurrencyControl for Strict2plCc {
             Some(h) => {
                 if self.would_deadlock(t, h) {
                     self.waits.remove(t.index());
+                    self.conflict = Some(CcConflict::new(ConflictRule::Deadlock, var, h));
                     CcDecision::Abort
                 } else {
                     self.waits.insert(t.index(), h);
+                    self.conflict = Some(CcConflict::new(ConflictRule::LockWait, var, h));
                     CcDecision::Wait
                 }
             }
@@ -310,6 +373,10 @@ impl ConcurrencyControl for Strict2plCc {
 
     fn name(&self) -> &str {
         "strict-2PL"
+    }
+
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
     }
 }
 
@@ -374,6 +441,8 @@ pub struct SgtCc {
     /// a topological order of the conflict graph — what the sharded
     /// engine composes across shards.
     commit_ordered: bool,
+    /// Attribution of the last Wait/Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl SgtCc {
@@ -429,9 +498,11 @@ impl ConcurrencyControl for SgtCc {
             if w != t && self.live.contains(w.index()) {
                 if wait_chain_reaches(&self.waits, &mut self.visited, t, w) {
                     self.waits.remove(t.index());
+                    self.conflict = Some(CcConflict::new(ConflictRule::Deadlock, var, w));
                     return CcDecision::Abort;
                 }
                 self.waits.insert(t.index(), w);
+                self.conflict = Some(CcConflict::new(ConflictRule::DirtyWait, var, w));
                 return CcDecision::Wait;
             }
         }
@@ -448,6 +519,11 @@ impl ConcurrencyControl for SgtCc {
         }
         if !self.src_list.is_empty() {
             if self.reaches_any_source(t.index()) {
+                self.conflict = Some(CcConflict::new(
+                    ConflictRule::SgtCycle,
+                    var,
+                    TxnId(self.src_list[0]),
+                ));
                 return CcDecision::Abort;
             }
             ensure_index(&mut self.out, t.index());
@@ -486,9 +562,19 @@ impl ConcurrencyControl for SgtCc {
                 let holder = TxnId(u as u32);
                 if wait_chain_reaches(&self.waits, &mut self.visited, t, holder) {
                     self.waits.remove(t.index());
+                    self.conflict = Some(CcConflict {
+                        rule: ConflictRule::Deadlock,
+                        var: None,
+                        opponent: Some(holder),
+                    });
                     return CcDecision::Abort;
                 }
                 self.waits.insert(t.index(), holder);
+                self.conflict = Some(CcConflict {
+                    rule: ConflictRule::CommitOrderWait,
+                    var: None,
+                    opponent: Some(holder),
+                });
                 return CcDecision::Wait;
             }
             self.waits.remove(t.index());
@@ -546,6 +632,10 @@ impl ConcurrencyControl for SgtCc {
         "SGT"
     }
 
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
+    }
+
     fn retire(&mut self, t: TxnId) -> bool {
         debug_assert!(!self.live.contains(t.index()), "retiring a live txn");
         // In-edges of a finished transaction are frozen (it makes no more
@@ -600,6 +690,8 @@ pub struct TimestampCc {
     waits: SlotMap<TxnId>,
     /// Scratch for the deadlock walk.
     visited: EpochBitSet,
+    /// Attribution of the last Wait/Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl TimestampCc {
@@ -651,10 +743,26 @@ impl ConcurrencyControl for TimestampCc {
             .expect("on_step before begin");
         let rts = self.read_stamp.get(var.index()).copied().unwrap_or(0);
         let wts = self.write_stamp.get(var.index()).copied().unwrap_or(0);
+        // The stamping opponent is the live dirty writer when there is
+        // one; a committed stamper has left no identity behind.
+        let stamper = self
+            .dirty
+            .get_copied(var.index())
+            .filter(|w| *w != t && self.live.contains(w.index()));
         if kind.reads() && ts < wts {
+            self.conflict = Some(CcConflict {
+                rule: ConflictRule::ReadTooLate,
+                var: Some(var),
+                opponent: stamper,
+            });
             return CcDecision::Abort;
         }
         if kind.writes() && (ts < rts || ts < wts) {
+            self.conflict = Some(CcConflict {
+                rule: ConflictRule::WriteTooLate,
+                var: Some(var),
+                opponent: stamper,
+            });
             return CcDecision::Abort;
         }
         // Strictness: wait for a live writer's commit before touching the
@@ -663,9 +771,11 @@ impl ConcurrencyControl for TimestampCc {
             if w != t && self.live.contains(w.index()) {
                 if wait_chain_reaches(&self.waits, &mut self.visited, t, w) {
                     self.waits.remove(t.index());
+                    self.conflict = Some(CcConflict::new(ConflictRule::Deadlock, var, w));
                     return CcDecision::Abort;
                 }
                 self.waits.insert(t.index(), w);
+                self.conflict = Some(CcConflict::new(ConflictRule::DirtyWait, var, w));
                 return CcDecision::Wait;
             }
         }
@@ -701,6 +811,10 @@ impl ConcurrencyControl for TimestampCc {
         "T/O"
     }
 
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
+    }
+
     fn resume(&mut self, ts_floor: u64) {
         // Not required for correctness (variable stamps do not survive a
         // crash), but keeps the transaction clock monotone across the
@@ -730,8 +844,12 @@ pub struct OccCc {
     access: Vec<DenseBitSet>,
     /// Per-transaction write footprint.
     writes: Vec<DenseBitSet>,
-    /// Commit log: (commit tick, write footprint), oldest first.
-    committed: VecDeque<(u64, DenseBitSet)>,
+    /// Commit log: (commit tick, committer slot, write footprint),
+    /// oldest first. The slot attributes validation failures to their
+    /// opponent (exact until the committer's slot recycles).
+    committed: VecDeque<(u64, TxnId, DenseBitSet)>,
+    /// Attribution of the last Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl OccCc {
@@ -741,7 +859,7 @@ impl OccCc {
     /// live start is dead weight.
     fn prune_committed(&mut self) {
         let oldest_live = self.start.iter().map(|(_, &s)| s).min();
-        while let Some(&(tick, _)) = self.committed.front() {
+        while let Some(&(tick, _, _)) = self.committed.front() {
             match oldest_live {
                 Some(min) if tick > min => break,
                 _ => {
@@ -787,14 +905,25 @@ impl ConcurrencyControl for OccCc {
         let start = self.start.get_copied(t.index()).unwrap_or(0);
         ensure_index(&mut self.access, t.index());
         let accessed = &self.access[t.index()];
-        for (commit_tick, writes) in &self.committed {
+        for (commit_tick, committer, writes) in &self.committed {
             if *commit_tick > start && writes.intersects(accessed) {
+                // Attribution (off the success path): the first variable
+                // of the intersection and the committer that wrote it.
+                let var = accessed
+                    .ones()
+                    .find(|&v| writes.contains(v))
+                    .map(|v| VarId(v as u32));
+                self.conflict = Some(CcConflict {
+                    rule: ConflictRule::OccValidation,
+                    var,
+                    opponent: Some(*committer),
+                });
                 return CcDecision::Abort;
             }
         }
         ensure_index(&mut self.writes, t.index());
         self.committed
-            .push_back((tick, self.writes[t.index()].clone()));
+            .push_back((tick, t, self.writes[t.index()].clone()));
         CcDecision::Proceed
     }
 
@@ -822,6 +951,10 @@ impl ConcurrencyControl for OccCc {
 
     fn name(&self) -> &str {
         "OCC"
+    }
+
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
     }
 
     fn defers_writes(&self) -> bool {
@@ -863,29 +996,49 @@ pub struct MvtoCc {
     max_rts: Vec<u64>,
     /// Per variable: timestamp of the newest committed version.
     latest_wts: Vec<u64>,
+    /// Per variable: the slot that committed the newest version (opponent
+    /// attribution for late writes; exact until the slot recycles).
+    latest_writer: Vec<Option<TxnId>>,
     /// Per variable: live transactions with a buffered write on it (tiny:
     /// older pending writers make younger accessors wait).
     pending: Vec<Vec<(TxnId, u64)>>,
     /// Per transaction: variables it wrote (may contain duplicates).
     wrote: Vec<Vec<VarId>>,
+    /// Attribution of the last Wait/Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl MvtoCc {
-    fn write_admissible(&self, var: VarId, ts: u64) -> bool {
+    /// Why a write on `var` can no longer be installed at timestamp `ts`
+    /// (`None` = admissible): a newer committed version exists, or a
+    /// younger reader already observed the version the write would
+    /// supersede — the write arrives too late.
+    fn write_conflict(&self, var: VarId, ts: u64) -> Option<CcConflict> {
         let lw = self.latest_wts.get(var.index()).copied().unwrap_or(0);
         let mr = self.max_rts.get(var.index()).copied().unwrap_or(0);
-        // A newer committed version, or a younger reader of the version we
-        // would supersede: the write arrives too late for timestamp `ts`.
-        lw <= ts && mr <= ts
+        if lw > ts {
+            Some(CcConflict {
+                rule: ConflictRule::MvWriteTooLate,
+                var: Some(var),
+                opponent: self.latest_writer.get(var.index()).copied().flatten(),
+            })
+        } else if mr > ts {
+            // The younger reader's identity is not kept (only the max
+            // snapshot stamp is).
+            Some(CcConflict::var_only(ConflictRule::MvWriteTooLate, var))
+        } else {
+            None
+        }
     }
 
-    /// Is there a pending (buffered, uncommitted) write on `var` by a live
-    /// transaction older than `ts`? Accessing past it would doom that
-    /// writer, so the accessor waits for it to commit or abort instead.
-    fn older_pending_writer(&self, var: VarId, t: TxnId, ts: u64) -> bool {
+    /// The pending (buffered, uncommitted) write on `var` by a live
+    /// transaction older than `ts`, if any. Accessing past it would doom
+    /// that writer, so the accessor waits for it to commit or abort.
+    fn older_pending_writer(&self, var: VarId, t: TxnId, ts: u64) -> Option<TxnId> {
         self.pending
             .get(var.index())
-            .is_some_and(|p| p.iter().any(|&(u, uts)| u != t && uts < ts))
+            .and_then(|p| p.iter().find(|&&(u, uts)| u != t && uts < ts))
+            .map(|&(u, _)| u)
     }
 
     fn drop_pending(&mut self, t: TxnId) {
@@ -925,10 +1078,14 @@ impl ConcurrencyControl for MvtoCc {
             .stamp
             .get_copied(t.index())
             .expect("on_step before begin");
-        if kind.writes() && !self.write_admissible(var, ts) {
-            return CcDecision::Abort;
+        if kind.writes() {
+            if let Some(c) = self.write_conflict(var, ts) {
+                self.conflict = Some(c);
+                return CcDecision::Abort;
+            }
         }
-        if self.older_pending_writer(var, t, ts) {
+        if let Some(w) = self.older_pending_writer(var, t, ts) {
+            self.conflict = Some(CcConflict::new(ConflictRule::MvPendingWait, var, w));
             return CcDecision::Wait;
         }
         // Every step observes its variable through the local `t_ij` the
@@ -962,7 +1119,8 @@ impl ConcurrencyControl for MvtoCc {
             .get_copied(t.index())
             .expect("on_commit before begin");
         if let Some(vars) = self.wrote.get(t.index()) {
-            if vars.iter().any(|&v| !self.write_admissible(v, ts)) {
+            if let Some(c) = vars.iter().find_map(|&v| self.write_conflict(v, ts)) {
+                self.conflict = Some(c);
                 return CcDecision::Abort;
             }
         }
@@ -976,6 +1134,8 @@ impl ConcurrencyControl for MvtoCc {
             for v in vars.drain(..) {
                 ensure_index(&mut self.latest_wts, v.index());
                 self.latest_wts[v.index()] = ts;
+                ensure_index(&mut self.latest_writer, v.index());
+                self.latest_writer[v.index()] = Some(t);
             }
         }
     }
@@ -990,6 +1150,10 @@ impl ConcurrencyControl for MvtoCc {
 
     fn name(&self) -> &str {
         "MVTO"
+    }
+
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
     }
 
     fn resume(&mut self, ts_floor: u64) {
@@ -1051,13 +1215,27 @@ pub struct SiCc {
     cts: SlotMap<u64>,
     /// Per variable: commit sequence of the newest committed version.
     latest_wts: Vec<u64>,
+    /// Per variable: the slot that committed the newest version (opponent
+    /// attribution for validation failures; exact until the slot
+    /// recycles).
+    latest_writer: Vec<Option<TxnId>>,
     /// Per transaction: variables it wrote (may contain duplicates).
     wrote: Vec<Vec<VarId>>,
+    /// Attribution of the last Wait/Abort.
+    conflict: Option<CcConflict>,
 }
 
 impl SiCc {
     fn overwritten_since(&self, var: VarId, snap: u64) -> bool {
         self.latest_wts.get(var.index()).copied().unwrap_or(0) > snap
+    }
+
+    fn loser_conflict(&self, rule: ConflictRule, var: VarId) -> CcConflict {
+        CcConflict {
+            rule,
+            var: Some(var),
+            opponent: self.latest_writer.get(var.index()).copied().flatten(),
+        }
     }
 }
 
@@ -1081,6 +1259,7 @@ impl ConcurrencyControl for SiCc {
                 .get_copied(t.index())
                 .expect("on_step before begin");
             if self.overwritten_since(var, snap) {
+                self.conflict = Some(self.loser_conflict(ConflictRule::SiFirstUpdater, var));
                 return CcDecision::Abort;
             }
             ensure_index(&mut self.wrote, t.index());
@@ -1095,8 +1274,10 @@ impl ConcurrencyControl for SiCc {
             .get_copied(t.index())
             .expect("on_commit before begin");
         if let Some(vars) = self.wrote.get(t.index()) {
-            if vars.iter().any(|&v| self.overwritten_since(v, snap)) {
-                return CcDecision::Abort; // first committer already won
+            if let Some(&v) = vars.iter().find(|&&v| self.overwritten_since(v, snap)) {
+                // First committer already won.
+                self.conflict = Some(self.loser_conflict(ConflictRule::SiFirstCommitter, v));
+                return CcDecision::Abort;
             }
         }
         self.commit_seq += 1;
@@ -1111,6 +1292,8 @@ impl ConcurrencyControl for SiCc {
             for v in vars.drain(..) {
                 ensure_index(&mut self.latest_wts, v.index());
                 self.latest_wts[v.index()] = cts;
+                ensure_index(&mut self.latest_writer, v.index());
+                self.latest_writer[v.index()] = Some(t);
             }
         }
     }
@@ -1125,6 +1308,10 @@ impl ConcurrencyControl for SiCc {
 
     fn name(&self) -> &str {
         "SI"
+    }
+
+    fn last_conflict(&self) -> Option<CcConflict> {
+        self.conflict
     }
 
     fn resume(&mut self, ts_floor: u64) {

@@ -33,7 +33,18 @@
 //! * [`db`] — the closed-world [`Database`]: the paper's fixed transaction
 //!   system driven step by step (with a round-robin driver), now a thin
 //!   adapter over the session layer;
-//! * [`metrics`] — commit/abort/wait counters shared by the simulators.
+//! * [`metrics`] — commit/abort/wait counters (with per-conflict-rule
+//!   abort attribution) shared by the simulators.
+//!
+//! Observability rides on `ccopt-trace` (re-exported as [`trace`]):
+//! every mechanism attributes its Wait/Abort decisions
+//! ([`ConcurrencyControl::last_conflict`]), the session layer emits
+//! lifecycle events through an optional [`trace::Tracer`]
+//! ([`SessionDb::set_tracer`]) and keeps per-variable contention tables
+//! ([`SessionDb::top_contended`]) plus tick-based latency histograms
+//! ([`SessionDb::commit_latency_ticks`]), and the sharded supervisor
+//! dumps per-shard flight-recorder rings when a worker dies
+//! (`docs/OBSERVABILITY.md`).
 
 pub mod cc;
 pub mod db;
@@ -44,11 +55,13 @@ pub mod session;
 pub mod shard;
 pub mod storage;
 
-pub use cc::{CcDecision, ConcurrencyControl};
+pub use cc::{CcConflict, CcDecision, ConcurrencyControl};
 pub use ccopt_durability as durability;
 pub use ccopt_durability::{DurabilityMode, StoreImage, WalError};
+pub use ccopt_trace as trace;
+pub use ccopt_trace::{ConflictRule, Histogram, TraceConfig, TraceHub, Tracer};
 pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
-pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn};
+pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn, VarContention};
 pub use shard::{GlobalTxn, Partition, ShardedDb, ShardedRecoveryInfo};

@@ -1,5 +1,7 @@
 //! Execution counters.
 
+use ccopt_trace::ConflictRule;
+
 /// Counters collected by the engine and consumed by the simulator's
 /// reports.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -46,6 +48,11 @@ pub struct Metrics {
     /// Transactions aborted by load shedding: an operation arrived while
     /// its shard's bounded mailbox was full (0 outside sharded runs).
     pub shed_aborts: usize,
+    /// `aborts` broken down by the conflict rule that fired, indexed by
+    /// [`ConflictRule::index`]. Rows sum to `aborts`; aborts the mechanism
+    /// did not attribute land under [`ConflictRule::Unattributed`] and
+    /// client-requested rollbacks under [`ConflictRule::Client`].
+    pub aborts_by_rule: [usize; ConflictRule::COUNT],
 }
 
 impl Metrics {
@@ -64,6 +71,52 @@ impl Metrics {
             0.0
         } else {
             self.waits as f64 / self.steps_executed as f64
+        }
+    }
+
+    /// Aborts attributed to `rule`.
+    pub fn aborts_for(&self, rule: ConflictRule) -> usize {
+        self.aborts_by_rule[rule.index()]
+    }
+
+    /// A copy of the current counters, for later [`Metrics::diff`]. The
+    /// struct is `Copy`, so this is just a named, intention-revealing
+    /// clone: tests snapshot before an operation and assert on the delta
+    /// instead of on absolute counts that break whenever setup changes.
+    pub fn snapshot(&self) -> Metrics {
+        *self
+    }
+
+    /// The counters accumulated since `earlier` (elementwise saturating
+    /// subtraction — a counter that somehow went backwards reads 0 rather
+    /// than wrapping). Gauges are not differenced: `max_chain_len` keeps
+    /// its current value.
+    pub fn diff(&self, earlier: &Metrics) -> Metrics {
+        let mut aborts_by_rule = [0usize; ConflictRule::COUNT];
+        for (i, slot) in aborts_by_rule.iter_mut().enumerate() {
+            *slot = self.aborts_by_rule[i].saturating_sub(earlier.aborts_by_rule[i]);
+        }
+        Metrics {
+            steps_executed: self.steps_executed.saturating_sub(earlier.steps_executed),
+            waits: self.waits.saturating_sub(earlier.waits),
+            aborts: self.aborts.saturating_sub(earlier.aborts),
+            commits: self.commits.saturating_sub(earlier.commits),
+            mv_write_aborts: self.mv_write_aborts.saturating_sub(earlier.mv_write_aborts),
+            versions_installed: self
+                .versions_installed
+                .saturating_sub(earlier.versions_installed),
+            versions_reclaimed: self
+                .versions_reclaimed
+                .saturating_sub(earlier.versions_reclaimed),
+            max_chain_len: self.max_chain_len,
+            retires: self.retires.saturating_sub(earlier.retires),
+            wal_records: self.wal_records.saturating_sub(earlier.wal_records),
+            wal_syncs: self.wal_syncs.saturating_sub(earlier.wal_syncs),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
+            shard_restarts: self.shard_restarts.saturating_sub(earlier.shard_restarts),
+            io_retries: self.io_retries.saturating_sub(earlier.io_retries),
+            shed_aborts: self.shed_aborts.saturating_sub(earlier.shed_aborts),
+            aborts_by_rule,
         }
     }
 }
@@ -90,5 +143,34 @@ mod tests {
         };
         assert!((m.abort_rate() - 0.25).abs() < 1e-12);
         assert!((m.wait_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_reports_the_delta_and_keeps_gauges() {
+        let mut before = Metrics {
+            steps_executed: 10,
+            aborts: 2,
+            commits: 5,
+            max_chain_len: 3,
+            ..Metrics::default()
+        };
+        before.aborts_by_rule[ConflictRule::Deadlock.index()] = 2;
+        let mut after = before;
+        after.steps_executed = 25;
+        after.aborts = 3;
+        after.commits = 11;
+        after.max_chain_len = 4;
+        after.aborts_by_rule[ConflictRule::Deadlock.index()] = 3;
+        let d = after.diff(&before);
+        assert_eq!(d.steps_executed, 15);
+        assert_eq!(d.aborts, 1);
+        assert_eq!(d.commits, 6);
+        assert_eq!(d.max_chain_len, 4); // gauge: current value, not a delta
+        assert_eq!(d.aborts_for(ConflictRule::Deadlock), 1);
+        assert_eq!(d.aborts_for(ConflictRule::LockWait), 0);
+        // A snapshot diffed against itself is all-zero counters.
+        let z = after.diff(&after.snapshot());
+        assert_eq!(z.commits, 0);
+        assert_eq!(z.aborts_by_rule, [0; ConflictRule::COUNT]);
     }
 }

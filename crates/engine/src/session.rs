@@ -50,7 +50,7 @@
 //! fresh recycled slots. [`SessionDb::checkpoint`] compacts the log to a
 //! snapshot record.
 
-use crate::cc::{CcDecision, ConcurrencyControl};
+use crate::cc::{CcConflict, CcDecision, ConcurrencyControl};
 use crate::dense::SlotMap;
 use crate::metrics::Metrics;
 use crate::mvstore::MvStore;
@@ -62,6 +62,7 @@ use ccopt_model::ids::{TxnId, VarId};
 use ccopt_model::state::GlobalState;
 use ccopt_model::syntax::StepKind;
 use ccopt_model::value::Value;
+use ccopt_trace::{ConflictRule, EventKind, Histogram, Tracer, Verdict};
 use std::fmt;
 use std::path::Path;
 
@@ -147,6 +148,9 @@ struct Slot {
     /// Commit timestamp locked in at prepare (valid while
     /// [`Status::Prepared`]; 0 on the single-version store).
     cts: u64,
+    /// Engine tick the occupant's *first* attempt began at (commit
+    /// latency measures the whole session, restarts included).
+    begin_tick: u64,
 }
 
 impl Slot {
@@ -161,6 +165,7 @@ impl Slot {
             gsn: 0,
             gtid: 0,
             cts: 0,
+            begin_tick: 0,
         }
     }
 }
@@ -292,6 +297,26 @@ pub struct RecoveryInfo {
     pub in_doubt_aborted: u64,
 }
 
+/// One row of the per-variable contention table: how often the
+/// concurrency control attributed a wait or an abort to the variable
+/// (see [`SessionDb::top_contended`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VarContention {
+    /// The contended variable.
+    pub var: VarId,
+    /// Wait decisions attributed to it.
+    pub waits: usize,
+    /// Aborts attributed to it.
+    pub aborts: usize,
+}
+
+impl VarContention {
+    /// Waits plus aborts (the contention ranking key).
+    pub fn total(&self) -> usize {
+        self.waits + self.aborts
+    }
+}
+
 /// An in-memory database serving an open-ended stream of dynamic
 /// transactions over a fixed variable universe.
 ///
@@ -329,6 +354,17 @@ pub struct SessionDb {
     max_cts: u64,
     /// What recovery found, when this database was opened over a log.
     recovery: Option<RecoveryInfo>,
+    /// Lifecycle tracer; off by default, making every emission site a
+    /// single branch ([`set_tracer`](Self::set_tracer)).
+    tracer: Tracer,
+    /// Per-variable wait counts, attributed by the concurrency control.
+    waits_by_var: Vec<usize>,
+    /// Per-variable abort counts, attributed by the concurrency control.
+    aborts_by_var: Vec<usize>,
+    /// Commit latency in engine ticks, session begin (first attempt) to
+    /// commit decision. Tick-based: deterministic runs reproduce it
+    /// bit-for-bit.
+    commit_latency_ticks: Histogram,
     /// Counters (public for the simulators and the closed-world driver).
     pub metrics: Metrics,
 }
@@ -383,6 +419,10 @@ impl SessionDb {
             next_gsn: 0,
             max_cts: 0,
             recovery: None,
+            tracer: Tracer::off(),
+            waits_by_var: vec![0; num_vars],
+            aborts_by_var: vec![0; num_vars],
+            commit_latency_ticks: Histogram::new(),
             metrics: Metrics::default(),
         }
     }
@@ -590,6 +630,13 @@ impl SessionDb {
         self.wal.as_ref().map_or(DurabilityMode::None, |w| w.mode())
     }
 
+    /// The log's append/fsync/group-flush distributions (`None` when
+    /// durability is off). See
+    /// [`WalHistograms`](ccopt_durability::WalHistograms).
+    pub fn wal_histograms(&self) -> Option<&ccopt_durability::WalHistograms> {
+        self.wal.as_ref().map(|w| w.histograms())
+    }
+
     /// What crash recovery found, when this database was opened over an
     /// existing log.
     pub fn recovery_info(&self) -> Option<RecoveryInfo> {
@@ -689,6 +736,11 @@ impl SessionDb {
         sl.attempts = 1;
         sl.waits = 0;
         sl.gsn = gsn;
+        sl.begin_tick = self.tick;
+        if self.tracer.is_on() {
+            let tick = self.tick;
+            self.tracer.emit(tick, EventKind::TxnBegin { txn: gsn });
+        }
         if let Some(wal) = &mut self.wal {
             // Buffered, never synced: begins carry no durability
             // obligation under redo-only logging.
@@ -750,14 +802,14 @@ impl SessionDb {
         let t = TxnId(h.slot);
         match self.cc.on_step(t, var, kind) {
             CcDecision::Wait => {
-                self.metrics.waits += 1;
-                self.slots[ti].waits += 1;
+                self.note_wait(ti);
                 return Ok(Op::Wait);
             }
             CcDecision::Abort => {
                 if kind.writes() && self.cc.multiversion() {
                     self.metrics.mv_write_aborts += 1;
                 }
+                self.note_cc_abort(ti);
                 self.restart_slot(ti);
                 return Ok(Op::Restarted);
             }
@@ -787,6 +839,22 @@ impl SessionDb {
         }
         self.metrics.steps_executed += 1;
         self.tick += 1;
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            let ev = if kind.writes() {
+                EventKind::StepWrite {
+                    txn: gsn,
+                    var: var.0,
+                }
+            } else {
+                EventKind::StepRead {
+                    txn: gsn,
+                    var: var.0,
+                }
+            };
+            self.tracer.emit(tick, ev);
+        }
         Ok(Op::Done(read))
     }
 
@@ -811,7 +879,19 @@ impl SessionDb {
     pub fn commit(&mut self, h: Txn) -> Result<Op<()>, SessionError> {
         let ti = self.running(h)?;
         let t = TxnId(h.slot);
-        match self.cc.on_commit(t, self.tick) {
+        let decision = self.cc.on_commit(t, self.tick);
+        if self.tracer.is_on() {
+            let verdict = match decision {
+                CcDecision::Proceed => Verdict::Proceed,
+                CcDecision::Wait => Verdict::Wait,
+                CcDecision::Abort => Verdict::Abort,
+            };
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer
+                .emit(tick, EventKind::CcDecision { txn: gsn, verdict });
+        }
+        match decision {
             CcDecision::Proceed => {
                 // Write phase for deferred-write CCs: apply buffered values
                 // in touched order, draining the buffer in place (`cts` is
@@ -876,6 +956,13 @@ impl SessionDb {
                 self.slots[ti].status = Status::Committed;
                 self.cc.after_commit(t);
                 self.metrics.commits += 1;
+                self.commit_latency_ticks
+                    .record(self.tick - self.slots[ti].begin_tick);
+                if self.tracer.is_on() {
+                    let gsn = self.slots[ti].gsn;
+                    let tick = self.tick;
+                    self.tracer.emit(tick, EventKind::Commit { txn: gsn });
+                }
                 // A snapshot retired: sweep the version store, but only
                 // when the watermark actually advanced — with the same
                 // watermark nothing new is reclaimable (fresh installs all
@@ -894,12 +981,12 @@ impl SessionDb {
                 if self.cc.multiversion() {
                     self.metrics.mv_write_aborts += 1;
                 }
+                self.note_cc_abort(ti);
                 self.restart_slot(ti);
                 Ok(Op::Restarted)
             }
             CcDecision::Wait => {
-                self.metrics.waits += 1;
-                self.slots[ti].waits += 1;
+                self.note_wait(ti);
                 Ok(Op::Wait)
             }
         }
@@ -931,18 +1018,30 @@ impl SessionDb {
     ) -> Result<Op<()>, SessionError> {
         let ti = self.running(h)?;
         let t = TxnId(h.slot);
-        match self.cc.on_commit(t, self.tick) {
+        let decision = self.cc.on_commit(t, self.tick);
+        if self.tracer.is_on() {
+            let verdict = match decision {
+                CcDecision::Proceed => Verdict::Proceed,
+                CcDecision::Wait => Verdict::Wait,
+                CcDecision::Abort => Verdict::Abort,
+            };
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer
+                .emit(tick, EventKind::CcDecision { txn: gsn, verdict });
+        }
+        match decision {
             CcDecision::Proceed => {}
             CcDecision::Abort => {
                 if self.cc.multiversion() {
                     self.metrics.mv_write_aborts += 1;
                 }
+                self.note_cc_abort(ti);
                 self.restart_slot(ti);
                 return Ok(Op::Restarted);
             }
             CcDecision::Wait => {
-                self.metrics.waits += 1;
-                self.slots[ti].waits += 1;
+                self.note_wait(ti);
                 return Ok(Op::Wait);
             }
         }
@@ -981,6 +1080,18 @@ impl SessionDb {
         slot.status = Status::Prepared;
         slot.gtid = gtid;
         slot.cts = cts;
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(
+                tick,
+                EventKind::Prepare {
+                    txn: gsn,
+                    gtid,
+                    vote: true,
+                },
+            );
+        }
         Ok(Op::Done(()))
     }
 
@@ -1013,6 +1124,10 @@ impl SessionDb {
         }
         let t = TxnId(h.slot);
         let gtid = self.slots[ti].gtid;
+        if self.tracer.is_on() {
+            let tick = self.tick;
+            self.tracer.emit(tick, EventKind::Resolve { gtid, commit });
+        }
         if commit {
             let cts = self.slots[ti].cts;
             let mut touched = std::mem::take(&mut self.slots[ti].wbuf.touched);
@@ -1049,6 +1164,13 @@ impl SessionDb {
             self.slots[ti].status = Status::Committed;
             self.cc.after_commit(t);
             self.metrics.commits += 1;
+            self.commit_latency_ticks
+                .record(self.tick - self.slots[ti].begin_tick);
+            if self.tracer.is_on() {
+                let gsn = self.slots[ti].gsn;
+                let tick = self.tick;
+                self.tracer.emit(tick, EventKind::Commit { txn: gsn });
+            }
             if let Store::Multi(mv) = &mut self.store {
                 let watermark = self.cc.gc_watermark().min(self.gc_floor);
                 if watermark > self.gc_watermark {
@@ -1060,7 +1182,10 @@ impl SessionDb {
         } else {
             // The coordinator aborted the global transaction (some other
             // shard failed its vote, or the client gave up): the vote is
-            // void — roll back and retire like a client abort.
+            // void — roll back and retire like a client abort. This shard
+            // only sees the decision, not its cause, so the abort is
+            // attributed to the client; the coordinator's own metrics
+            // carry the real reason (shed, failover) when it knows one.
             self.slots[ti].status = Status::Running;
             self.rollback(ti);
             self.cc.on_abort(t);
@@ -1071,7 +1196,21 @@ impl SessionDb {
                 self.refresh_wal_metrics();
             }
             self.metrics.aborts += 1;
+            self.metrics.aborts_by_rule[ConflictRule::Client.index()] += 1;
             self.tick += 1;
+            if self.tracer.is_on() {
+                let gsn = self.slots[ti].gsn;
+                let tick = self.tick;
+                self.tracer.emit(
+                    tick,
+                    EventKind::Abort {
+                        txn: gsn,
+                        rule: ConflictRule::Client,
+                        var: None,
+                        opponent: None,
+                    },
+                );
+            }
             self.retire_slot(ti);
         }
         Ok(())
@@ -1092,16 +1231,45 @@ impl SessionDb {
             self.refresh_wal_metrics();
         }
         self.metrics.aborts += 1;
+        self.metrics.aborts_by_rule[ConflictRule::Client.index()] += 1;
         self.tick += 1;
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(
+                tick,
+                EventKind::Abort {
+                    txn: gsn,
+                    rule: ConflictRule::Client,
+                    var: None,
+                    opponent: None,
+                },
+            );
+        }
         self.retire_slot(ti);
         Ok(())
     }
 
     /// Force-abort the running transaction and immediately begin a fresh
     /// attempt on the same slot (the drivers' live-lock safety valve). The
-    /// handle stays valid.
+    /// handle stays valid. Attributed like a client abort: the forced
+    /// restart is a driver decision, not a concurrency-control rule.
     pub fn restart(&mut self, h: Txn) -> Result<(), SessionError> {
         let ti = self.running(h)?;
+        self.metrics.aborts_by_rule[ConflictRule::Client.index()] += 1;
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(
+                tick,
+                EventKind::Abort {
+                    txn: gsn,
+                    rule: ConflictRule::Client,
+                    var: None,
+                    opponent: None,
+                },
+            );
+        }
         self.restart_slot(ti);
         Ok(())
     }
@@ -1271,6 +1439,129 @@ impl SessionDb {
         self.tick
     }
 
+    // -------------------------------------------------------- observability
+
+    /// Attach a lifecycle tracer (minted by a
+    /// [`TraceHub`](ccopt_trace::TraceHub)). The default tracer is off,
+    /// and with it off every emission site is a single branch — no
+    /// allocation, no I/O — so untraced runs are unchanged.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Whether a tracer is attached and recording.
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_on()
+    }
+
+    /// Commit latency (session begin, first attempt, to commit decision)
+    /// in engine ticks, as a fixed-bucket histogram. Always on — recording
+    /// is a few instructions — and tick-based, so deterministic runs
+    /// reproduce the percentiles bit-for-bit.
+    pub fn commit_latency_ticks(&self) -> &Histogram {
+        &self.commit_latency_ticks
+    }
+
+    /// Contention counters attributed to `var` by the concurrency
+    /// control: `(waits, aborts)`.
+    pub fn contention(&self, var: VarId) -> (usize, usize) {
+        (
+            self.waits_by_var.get(var.index()).copied().unwrap_or(0),
+            self.aborts_by_var.get(var.index()).copied().unwrap_or(0),
+        )
+    }
+
+    /// The `n` most contended variables — ranked by attributed waits plus
+    /// aborts, descending (ties broken by variable id, so the table is
+    /// deterministic); variables with no contention are omitted.
+    pub fn top_contended(&self, n: usize) -> Vec<VarContention> {
+        let mut rows: Vec<VarContention> = (0..self.num_vars)
+            .filter_map(|i| {
+                let row = VarContention {
+                    var: VarId(i as u32),
+                    waits: self.waits_by_var[i],
+                    aborts: self.aborts_by_var[i],
+                };
+                (row.total() > 0).then_some(row)
+            })
+            .collect();
+        rows.sort_by_key(|r| (std::cmp::Reverse(r.total()), r.var.0));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Book a concurrency-control Wait decision: counters, per-variable
+    /// contention (when the mechanism attributed one) and the trace
+    /// event.
+    fn note_wait(&mut self, ti: usize) {
+        self.metrics.waits += 1;
+        self.slots[ti].waits += 1;
+        let c = self.cc.last_conflict();
+        if let Some(var) = c.and_then(|c| c.var) {
+            if let Some(slot) = self.waits_by_var.get_mut(var.index()) {
+                *slot += 1;
+            }
+        }
+        if self.tracer.is_on() {
+            let (rule, var, opponent) = self.conflict_parts(c);
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(
+                tick,
+                EventKind::Wait {
+                    txn: gsn,
+                    rule,
+                    var,
+                    opponent,
+                },
+            );
+        }
+    }
+
+    /// Book a concurrency-control Abort decision (attribution and the
+    /// trace event; the rollback itself is `restart_slot`, which the
+    /// caller invokes next).
+    fn note_cc_abort(&mut self, ti: usize) {
+        let c = self.cc.last_conflict();
+        let rule = c.map_or(ConflictRule::Unattributed, |c| c.rule);
+        self.metrics.aborts_by_rule[rule.index()] += 1;
+        if let Some(var) = c.and_then(|c| c.var) {
+            if let Some(slot) = self.aborts_by_var.get_mut(var.index()) {
+                *slot += 1;
+            }
+        }
+        if self.tracer.is_on() {
+            let (rule, var, opponent) = self.conflict_parts(c);
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(
+                tick,
+                EventKind::Abort {
+                    txn: gsn,
+                    rule,
+                    var,
+                    opponent,
+                },
+            );
+        }
+    }
+
+    /// Translate a mechanism conflict into event fields: the opponent's
+    /// dense slot becomes its global sequence number (exact while the
+    /// opponent's slot is un-recycled — always true at the moment of the
+    /// decision).
+    fn conflict_parts(&self, c: Option<CcConflict>) -> (ConflictRule, Option<u32>, Option<u64>) {
+        match c {
+            None => (ConflictRule::Unattributed, None, None),
+            Some(c) => (
+                c.rule,
+                c.var.map(|v| v.0),
+                c.opponent
+                    .and_then(|o| self.slots.get(o.index()).map(|sl| sl.gsn)),
+            ),
+        }
+    }
+
     // ------------------------------------------------------------ internals
 
     fn slot_of(&self, h: Txn) -> Result<usize, SessionError> {
@@ -1324,10 +1615,20 @@ impl SessionDb {
             None => self.cc.begin(t, self.tick),
             Some(ts) => self.cc.begin_at(t, self.tick, ts),
         }
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(tick, EventKind::TxnBegin { txn: gsn });
+        }
         self.drain_deferred();
     }
 
     fn retire_slot(&mut self, ti: usize) {
+        if self.tracer.is_on() {
+            let gsn = self.slots[ti].gsn;
+            let tick = self.tick;
+            self.tracer.emit(tick, EventKind::Retire { txn: gsn });
+        }
         let sl = &mut self.slots[ti];
         sl.epoch += 1;
         sl.status = Status::Free;
@@ -1409,6 +1710,7 @@ mod tests {
     #[test]
     fn session_lifecycle_roundtrip() {
         let mut db = db_2pl(&[10, 20]);
+        let before = db.metrics.snapshot();
         let h = db.begin();
         assert_eq!(db.status(h), SessionStatus::Running);
         assert_eq!(db.read(h, v(0)), Ok(Op::Done(int(10))));
@@ -1422,8 +1724,8 @@ mod tests {
         assert_eq!(db.commit(h), Err(SessionError::AlreadyCommitted));
         db.retire(h).unwrap();
         assert_eq!(db.globals(), GlobalState::from_ints(&[7, 40]));
-        assert_eq!(db.metrics.commits, 1);
-        assert_eq!(db.metrics.retires, 1);
+        let d = db.metrics.diff(&before);
+        assert_eq!((d.commits, d.retires), (1, 1));
     }
 
     #[test]
@@ -1451,6 +1753,7 @@ mod tests {
     #[test]
     fn retire_requires_commit_and_abort_retires() {
         let mut db = db_2pl(&[5]);
+        let before = db.metrics.snapshot();
         let h = db.begin();
         assert_eq!(db.update(h, v(0), inc), Ok(Op::Done(int(5))));
         assert_eq!(db.retire(h), Err(SessionError::StillRunning));
@@ -1458,8 +1761,8 @@ mod tests {
         // The abort rolled the write back and retired the slot.
         assert_eq!(db.globals(), GlobalState::from_ints(&[5]));
         assert_eq!(db.status(h), SessionStatus::Retired);
-        assert_eq!(db.metrics.aborts, 1);
-        assert_eq!(db.metrics.retires, 1);
+        let d = db.metrics.diff(&before);
+        assert_eq!((d.aborts, d.retires), (1, 1));
         assert_eq!(db.free_slots(), 1);
     }
 
@@ -1488,13 +1791,14 @@ mod tests {
     #[test]
     fn unbounded_stream_reuses_one_slot() {
         let mut db = db_2pl(&[0]);
+        let before = db.metrics.snapshot();
         for _ in 0..100 {
             bump(&mut db, v(0));
         }
         assert_eq!(db.globals(), GlobalState::from_ints(&[100]));
         assert_eq!(db.num_slots(), 1, "sequential sessions must share a slot");
-        assert_eq!(db.metrics.commits, 100);
-        assert_eq!(db.metrics.retires, 100);
+        let d = db.metrics.diff(&before);
+        assert_eq!((d.commits, d.retires), (100, 100));
     }
 
     #[test]
@@ -1594,12 +1898,13 @@ mod tests {
                 mode,
             )
             .unwrap();
+            let before = db.metrics.snapshot();
             for _ in 0..10 {
                 bump(&mut db, v(0));
             }
-            // 10 commits, batch of 4: two shared fsyncs (plus the one
-            // taken by log creation), 8 commits durable.
-            assert_eq!(db.metrics.wal_syncs, 3);
+            // 10 commits, batch of 4: two shared fsyncs, 8 commits
+            // durable (log creation's own fsync is outside the delta).
+            assert_eq!(db.metrics.diff(&before).wal_syncs, 2);
         } // crash with 2 acknowledged commits still buffered
         let db = SessionDb::open(
             Box::new(Strict2plCc::default()),
@@ -1767,9 +2072,10 @@ mod tests {
             DurabilityMode::None,
         )
         .unwrap();
+        let before = db.metrics.snapshot();
         bump(&mut db, v(0));
         assert_eq!(db.durability_mode(), DurabilityMode::None);
-        assert_eq!(db.metrics.wal_records, 0);
+        assert_eq!(db.metrics.diff(&before).wal_records, 0);
         assert!(!path.exists(), "None mode must not touch the disk");
         db.checkpoint().unwrap(); // no-op
         db.sync().unwrap(); // no-op
@@ -1820,6 +2126,7 @@ mod tests {
             Box::new(TimestampCc::default()),
             GlobalState::from_ints(&[0]),
         );
+        let before = db.metrics.snapshot();
         for _ in 0..10 {
             bump(&mut db, v(0));
         }
@@ -1827,6 +2134,6 @@ mod tests {
         assert_eq!(db.update(h, v(0), |x| x).unwrap(), Op::Done(int(10)));
         assert_eq!(db.commit(h), Ok(Op::Done(())));
         db.retire(h).unwrap();
-        assert_eq!(db.metrics.aborts, 0);
+        assert_eq!(db.metrics.diff(&before).aborts, 0);
     }
 }

@@ -76,16 +76,18 @@
 
 use crate::cc::ConcurrencyControl;
 use crate::metrics::Metrics;
-use crate::session::{Op, SessionDb, SessionError, SessionStatus, Txn};
+use crate::session::{Op, SessionDb, SessionError, SessionStatus, Txn, VarContention};
 use ccopt_durability::recovery::{self, Recovered};
-use ccopt_durability::{DurabilityMode, RetryPolicy, StorageFaults, WalError};
+use ccopt_durability::{DurabilityMode, RetryPolicy, StorageFaults, WalError, WalHistograms};
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
 use ccopt_model::syntax::StepKind;
 use ccopt_model::value::Value;
 use ccopt_par::{Reply, Worker, WorkerError};
+use ccopt_trace::{ConflictRule, EventKind, Histogram, TraceConfig, TraceHub, Tracer};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-shard 2PC vote replies, tagged with their shard index (`Err` is a
@@ -226,6 +228,39 @@ pub struct ShardedRecoveryInfo {
     pub in_doubt_aborted: u64,
 }
 
+/// Wall-clock histograms of the cross-shard two-phase commit
+/// ([`ShardedDb::twopc_histograms`]). Always on — recording is a few
+/// instructions per protocol round — but wall-clock, so not reproduced
+/// across runs (unlike the tick-based commit-latency histogram).
+#[derive(Clone, Debug, Default)]
+pub struct TwoPcHistograms {
+    /// Phase-1 duration in nanoseconds per vote round: vote submission
+    /// to the last vote collected (validation + forced prepare fsyncs).
+    pub prepare_nanos: Histogram,
+    /// Phase-2 duration in nanoseconds per **completed** resolve: the
+    /// coordinator's resolve fsync through the last participant apply
+    /// (rounds cut short by a shard crash are not recorded; the
+    /// recovery histograms cover those).
+    pub resolve_nanos: Histogram,
+    /// Outstanding votes per phase-1 round — the prepare fan-out width
+    /// (shards that stayed prepared across a `Wait`ed retry don't
+    /// re-vote, so a retry's round is narrower).
+    pub prepare_fanout: Histogram,
+}
+
+/// Cost of supervised shard restarts ([`ShardedDb::recovery_histograms`]):
+/// one sample per restart handled by the fault supervisor.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryHistograms {
+    /// Wall-clock nanoseconds per restart: worker teardown, log
+    /// recovery (when durable), respawn, and in-flight settlement.
+    pub nanos: Histogram,
+    /// The deterministic size of each recovery: committed
+    /// sub-transactions replayed from the recovered log (0 for a
+    /// volatile shard, which respawns empty).
+    pub replayed_commits: Histogram,
+}
+
 /// An in-memory database hash-partitioned across `S` shard threads, each
 /// an independent [`SessionDb`], with single-shard fast-path commits and
 /// two-phase cross-shard commits. See the [module docs](self).
@@ -291,6 +326,27 @@ pub struct ShardedDb<'a> {
     twopc_jobs: u64,
     /// Wall-clock duration of the most recent supervised shard restart.
     last_recovery: Option<Duration>,
+    /// Committed sub-transactions replayed by the most recent supervised
+    /// restart — the deterministic size of that recovery.
+    last_recovery_replayed: Option<u64>,
+    // --- observability (trace plane) ---
+    /// Shared tracing state when tracing is on ([`set_trace`](Self::
+    /// set_trace)): the global order stamp, the JSONL sink, and the
+    /// per-shard flight-recorder rings the supervisor dumps on a crash.
+    trace_hub: Option<Arc<TraceHub>>,
+    /// The supervisor's own tracer (emitting as shard id `S`, one past
+    /// the data shards): `ShardDown` / `ShardUp` around supervised
+    /// restarts and the coordinator-plane abort attributions (shed,
+    /// failover). Off unless tracing is on.
+    coord_tracer: Tracer,
+    /// Two-phase-commit phase timings and fan-out widths (always on).
+    twopc_hist: TwoPcHistograms,
+    /// Supervised-restart cost (always on).
+    recovery_hist: RecoveryHistograms,
+    /// Transactions failed by shard-crash supervision (their slot parked
+    /// as [`GStatus::Failed`]); the coordinator's share of the abort
+    /// attribution table.
+    failover_fails: usize,
 }
 
 impl<'a> ShardedDb<'a> {
@@ -491,6 +547,12 @@ impl<'a> ShardedDb<'a> {
             panic_at_2pc_job: None,
             twopc_jobs: 0,
             last_recovery: None,
+            last_recovery_replayed: None,
+            trace_hub: None,
+            coord_tracer: Tracer::off(),
+            twopc_hist: TwoPcHistograms::default(),
+            recovery_hist: RecoveryHistograms::default(),
+            failover_fails: 0,
         }
     }
 
@@ -586,6 +648,18 @@ impl<'a> ShardedDb<'a> {
             // — instead of queueing unboundedly; the client replays after
             // its usual backoff, by which time the queue has drained.
             self.shed_aborts += 1;
+            if self.coord_tracer.is_on() {
+                let (gts, tick) = (self.slots[ti].gts, self.next_gts);
+                self.coord_tracer.emit(
+                    tick,
+                    EventKind::Abort {
+                        txn: gts,
+                        rule: ConflictRule::Shed,
+                        var: Some(var.0),
+                        opponent: None,
+                    },
+                );
+            }
             self.global_restart(ti);
             return Ok(Op::Restarted);
         }
@@ -711,6 +785,7 @@ impl<'a> ShardedDb<'a> {
             .map(|i| self.next_gts + 1 + i)
             .collect();
         let sequential = self.crash_budget.is_some() || self.panic_at_2pc_job.is_some();
+        let t_prepare = Instant::now();
         let outcomes: Vec<(usize, Result<Op<()>, WorkerError>)> = if sequential {
             // Crash and panic injection need deterministic action
             // boundaries: sequential votes.
@@ -746,6 +821,12 @@ impl<'a> ShardedDb<'a> {
                 .map(|(s, r)| (s, r.and_then(|rep| rep.wait())))
                 .collect()
         };
+        if !pending.is_empty() {
+            self.twopc_hist.prepare_fanout.record(pending.len() as u64);
+            self.twopc_hist
+                .prepare_nanos
+                .record(t_prepare.elapsed().as_nanos() as u64);
+        }
         // A shard that died during its vote never logged a resolve, so
         // the decision was never made: supervise each crashed shard (the
         // supervision fails this transaction — it has state on the dead
@@ -804,6 +885,7 @@ impl<'a> ShardedDb<'a> {
         let SubState::Prepared(coord_sub) = self.slots[ti].subs[coord as usize] else {
             unreachable!("coordinator voted above")
         };
+        let t_resolve = Instant::now();
         self.before_2pc_action();
         let resolve = self.twopc_call(coord as usize, move |db| {
             db.set_gc_floor(floor);
@@ -874,6 +956,9 @@ impl<'a> ShardedDb<'a> {
         for s in crashed {
             self.supervise_crash(s);
         }
+        self.twopc_hist
+            .resolve_nanos
+            .record(t_resolve.elapsed().as_nanos() as u64);
         Ok(Op::Done(()))
     }
 
@@ -1010,6 +1095,18 @@ impl<'a> ShardedDb<'a> {
             shed_aborts: self.shed_aborts,
             ..Metrics::default()
         };
+        // Abort attribution: shard-level rows carry the concurrency-
+        // control causes — every CC-triggered global restart stems from
+        // one shard's in-place abort, which recorded the real rule;
+        // collateral rollbacks on sibling shards are shard-level `Client`
+        // rows and are excluded. The coordinator adds its own causes
+        // (backpressure sheds, crash failovers), and whatever remains of
+        // the global abort count — explicit client aborts, driver restart
+        // valves — reports as `Client`, so the rows sum to `aborts`
+        // (best-effort: a 2PC round where several shards restart at once
+        // attributes each shard's cause, and a failover counts before its
+        // handle is aborted, both absorbed by the saturating remainder).
+        let client = ConflictRule::Client.index();
         for w in &self.workers {
             let sm = w.call(|db| db.metrics).unwrap_or_default();
             m.steps_executed += sm.steps_executed;
@@ -1021,7 +1118,16 @@ impl<'a> ShardedDb<'a> {
             m.wal_syncs += sm.wal_syncs;
             m.wal_bytes += sm.wal_bytes;
             m.io_retries += sm.io_retries;
+            for (i, &n) in sm.aborts_by_rule.iter().enumerate() {
+                if i != client {
+                    m.aborts_by_rule[i] += n;
+                }
+            }
         }
+        m.aborts_by_rule[ConflictRule::Shed.index()] += self.shed_aborts;
+        m.aborts_by_rule[ConflictRule::ShardFailover.index()] += self.failover_fails;
+        let attributed: usize = m.aborts_by_rule.iter().sum();
+        m.aborts_by_rule[client] = m.aborts.saturating_sub(attributed);
         m
     }
 
@@ -1387,9 +1493,119 @@ impl<'a> ShardedDb<'a> {
     }
 
     /// Wall-clock duration of the most recent supervised shard restart
-    /// (log recovery included), when one has happened.
+    /// (log recovery included), when one has happened: the last sample
+    /// fed into [`recovery_histograms`](Self::recovery_histograms). For
+    /// a reproducible measure of the same restart, use
+    /// [`last_recovery_replayed`](Self::last_recovery_replayed).
     pub fn last_recovery_time(&self) -> Option<Duration> {
         self.last_recovery
+    }
+
+    /// Committed sub-transactions replayed by the most recent supervised
+    /// shard restart — the deterministic companion of
+    /// [`last_recovery_time`](Self::last_recovery_time): a function of
+    /// the log contents alone, so identical runs report it identically.
+    pub fn last_recovery_replayed(&self) -> Option<u64> {
+        self.last_recovery_replayed
+    }
+
+    // -------------------------------------------------------- observability
+
+    /// Turn on the trace plane for this database: build the shared
+    /// [`TraceHub`] from `cfg` (opening the JSONL sink when configured),
+    /// attach one tracer per shard worker, and keep a coordinator tracer
+    /// (shard id `S`, one past the data shards) for supervisor events.
+    /// Restarted shards get fresh tracers automatically. Call before
+    /// driving transactions; without it the engine's emission sites stay
+    /// single-branch no-ops.
+    pub fn set_trace(&mut self, cfg: &TraceConfig) -> std::io::Result<()> {
+        let hub = Arc::new(TraceHub::new(cfg)?);
+        for s in 0..self.workers.len() {
+            if self.down[s] {
+                continue;
+            }
+            let tracer = hub.tracer(s as u32);
+            let _ = self.workers[s].call(move |db| db.set_tracer(tracer));
+        }
+        self.coord_tracer = hub.tracer(self.workers.len() as u32);
+        self.trace_hub = Some(hub);
+        Ok(())
+    }
+
+    /// The shared tracing state, when [`set_trace`](Self::set_trace) was
+    /// called: rings for flight-recorder dumps, merged-event snapshots,
+    /// and the sink.
+    pub fn trace_hub(&self) -> Option<&Arc<TraceHub>> {
+        self.trace_hub.as_ref()
+    }
+
+    /// Flush the JSONL trace sink (no-op when tracing is off or
+    /// sink-less). Call before reading the sink file.
+    pub fn flush_trace(&self) {
+        if let Some(hub) = &self.trace_hub {
+            hub.flush();
+        }
+    }
+
+    /// Two-phase-commit phase timings and fan-out widths (always on).
+    pub fn twopc_histograms(&self) -> &TwoPcHistograms {
+        &self.twopc_hist
+    }
+
+    /// Supervised-restart cost distributions (always on): one sample per
+    /// restart the fault supervisor handled.
+    pub fn recovery_histograms(&self) -> &RecoveryHistograms {
+        &self.recovery_hist
+    }
+
+    /// Commit latency in engine ticks, merged over the shards (see
+    /// [`SessionDb::commit_latency_ticks`]); tick-based, so deterministic
+    /// runs reproduce it bit-for-bit. A dead or down shard contributes
+    /// nothing.
+    pub fn commit_latency_ticks(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for w in &self.workers {
+            if let Ok(sh) = w.call(|db| db.commit_latency_ticks().clone()) {
+                h.merge(&sh);
+            }
+        }
+        h
+    }
+
+    /// The write-ahead logs' append/fsync/group-flush distributions,
+    /// merged over the shards; `None` without durability.
+    pub fn wal_histograms(&self) -> Option<WalHistograms> {
+        self.durable.as_ref()?;
+        let mut out = WalHistograms::default();
+        for w in &self.workers {
+            if let Ok(Some(sh)) = w.call(|db| db.wal_histograms().cloned()) {
+                out.append_nanos.merge(&sh.append_nanos);
+                out.fsync_nanos.merge(&sh.fsync_nanos);
+                out.flush_batch_commits.merge(&sh.flush_batch_commits);
+            }
+        }
+        Some(out)
+    }
+
+    /// The `n` most contended **global** variables: every shard's
+    /// attribution table ([`SessionDb::top_contended`]) translated back
+    /// to global ids and re-ranked (waits plus aborts descending, ties by
+    /// variable id — deterministic).
+    pub fn top_contended(&self, n: usize) -> Vec<VarContention> {
+        let mut rows: Vec<VarContention> = Vec::new();
+        for (s, w) in self.workers.iter().enumerate() {
+            // Each shard owns disjoint variables, so rows never merge;
+            // asking each shard for its own top-n keeps the union a
+            // superset of the global top-n.
+            let local = w.call(move |db| db.top_contended(n)).unwrap_or_default();
+            rows.extend(local.into_iter().map(|r| VarContention {
+                var: self.partition.shard_vars(s)[r.var.index()],
+                ..r
+            }));
+        }
+        rows.sort_by_key(|r| (std::cmp::Reverse(r.total()), r.var.0));
+        rows.truncate(n);
+        rows
     }
 
     /// Bound every shard's mailbox at `cap` data-plane jobs: an operation
@@ -1504,7 +1720,20 @@ impl<'a> ShardedDb<'a> {
         }
         let t0 = Instant::now();
         self.shard_restarts += 1;
-        self.respawn_shard(s);
+        // Dump the dead shard's flight recorder first: the hub holds the
+        // ring, so it survives the worker — the respawn below mints the
+        // replacement a fresh one.
+        if let Some(hub) = &self.trace_hub {
+            let _ = hub.dump_ring(s as u32);
+        }
+        let tick = self.next_gts;
+        self.coord_tracer
+            .emit(tick, EventKind::ShardDown { shard: s as u32 });
+        let replayed = self.respawn_shard(s);
+        if !self.down[s] {
+            self.coord_tracer
+                .emit(tick, EventKind::ShardUp { shard: s as u32 });
+        }
         for ti in 0..self.slots.len() {
             if matches!(self.slots[ti].subs[s], SubState::Absent) {
                 continue;
@@ -1532,7 +1761,11 @@ impl<'a> ShardedDb<'a> {
                 }
             }
         }
-        self.last_recovery = Some(t0.elapsed());
+        let elapsed = t0.elapsed();
+        self.recovery_hist.nanos.record(elapsed.as_nanos() as u64);
+        self.recovery_hist.replayed_commits.record(replayed);
+        self.last_recovery = Some(elapsed);
+        self.last_recovery_replayed = Some(replayed);
     }
 
     /// Tear down a crashed shard worker and start a replacement in place:
@@ -1541,21 +1774,23 @@ impl<'a> ShardedDb<'a> {
     /// projection otherwise — volatile shards have nothing to recover, a
     /// documented data loss. Unrecoverable storage marks the shard
     /// permanently down instead; the other shards keep serving either
-    /// way.
-    fn respawn_shard(&mut self, s: usize) {
+    /// way. Returns the deterministic size of the recovery: committed
+    /// sub-transactions replayed from the recovered log (0 when volatile
+    /// or down).
+    fn respawn_shard(&mut self, s: usize) -> u64 {
         // Join the dead worker first so its SessionDb — and the log file
         // handle it owns — is fully dropped before recovery reopens the
         // file.
         self.workers[s].shutdown();
         let durable = self.durable.clone();
         let proj = self.partition.project(&self.init, s);
-        let db = if let Some((dir, mode)) = durable {
+        let mut db = if let Some((dir, mode)) = durable {
             let path = Self::shard_path(&dir, s);
             let rec = match recovery::recover(&path) {
                 Ok(rec) => rec,
                 Err(_) => {
                     self.down[s] = true;
-                    return;
+                    return 0;
                 }
             };
             if let Some(r) = &rec {
@@ -1584,7 +1819,7 @@ impl<'a> ShardedDb<'a> {
                 Ok(db) => db,
                 Err(_) => {
                     self.down[s] = true;
-                    return;
+                    return 0;
                 }
             }
         } else {
@@ -1594,11 +1829,16 @@ impl<'a> ShardedDb<'a> {
             }
             SessionDb::with_capacity(cc, proj, self.expected_txns)
         };
+        let replayed = db.recovery_info().map_or(0, |ri| ri.committed);
+        if let Some(hub) = &self.trace_hub {
+            db.set_tracer(hub.tracer(s as u32));
+        }
         let w = Worker::spawn(db);
         if let Some(cap) = self.queue_capacity {
             w.set_capacity(cap);
         }
         self.workers[s] = w;
+        replayed
     }
 
     /// The crashed shard held state of a transaction whose commit point
@@ -1637,6 +1877,19 @@ impl<'a> ShardedDb<'a> {
     /// [`GStatus::Failed`] — the client sees [`SessionError::ShardDown`]
     /// and aborts the handle.
     fn fail_slot(&mut self, ti: usize, crashed: usize) {
+        self.failover_fails += 1;
+        if self.coord_tracer.is_on() {
+            let (gts, tick) = (self.slots[ti].gts, self.next_gts);
+            self.coord_tracer.emit(
+                tick,
+                EventKind::Abort {
+                    txn: gts,
+                    rule: ConflictRule::ShardFailover,
+                    var: None,
+                    opponent: None,
+                },
+            );
+        }
         if self.slots[ti].touched.len() > 1 {
             let gts = self.slots[ti].gts;
             self.decided.entry(gts).or_insert(false);
@@ -1793,6 +2046,7 @@ mod tests {
     #[test]
     fn streams_recycle_slots_across_all_shards() {
         let mut db = ShardedDb::new(&cc_2pl, GlobalState::from_ints(&[0; 16]), 4);
+        let before = db.metrics().snapshot();
         let (a, b) = split_pair(&db);
         for i in 0..60 {
             if i % 3 == 0 {
@@ -1801,9 +2055,8 @@ mod tests {
                 bump(&mut db, &[v(i % 16)]);
             }
         }
-        let m = db.metrics();
-        assert_eq!(m.commits, 60);
-        assert_eq!(m.retires, 60);
+        let d = db.metrics().diff(&before);
+        assert_eq!((d.commits, d.retires), (60, 60));
         assert!(
             db.num_slots() <= 2 * db.shards(),
             "sequential streams must recycle shard slots (got {})",
@@ -2173,6 +2426,11 @@ mod tests {
         let m = db.metrics();
         assert_eq!(m.shed_aborts, 1);
         assert_eq!(m.shard_restarts, 0, "shedding is not a crash");
+        assert_eq!(
+            m.aborts_for(ConflictRule::Shed),
+            1,
+            "the shed abort is attributed"
+        );
     }
 
     #[test]
@@ -2235,13 +2493,14 @@ mod tests {
             sa,
             StorageFaults::new().fail_sync(1, Fault::Transient { times: 2 }),
         );
+        let before = db.metrics().snapshot();
         bump(&mut db, &[a]);
         bump(&mut db, &[a]);
         bump(&mut db, &[b]);
-        let m = db.metrics();
-        assert_eq!(m.commits, 3);
-        assert_eq!(m.io_retries, 2, "both transient failures were retried");
-        assert_eq!(m.shard_restarts, 0);
+        let d = db.metrics().diff(&before);
+        assert_eq!(d.commits, 3);
+        assert_eq!(d.io_retries, 2, "both transient failures were retried");
+        assert_eq!(d.shard_restarts, 0);
         drop(db);
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -39,7 +39,7 @@
 use crate::stats::Summary;
 use ccopt_engine::cc::ConcurrencyControl;
 use ccopt_engine::session::{Op, SessionDb, Txn};
-use ccopt_engine::DurabilityMode;
+use ccopt_engine::{ConflictRule, DurabilityMode, TraceConfig, TraceHub};
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
 use ccopt_model::syntax::StepKind;
@@ -221,6 +221,38 @@ pub struct OpenSimResult {
     /// the time-to-recover of the degraded-mode benchmark (0 when no
     /// shard was restarted).
     pub recovery_secs: f64,
+    /// Committed (sub-)transactions replayed by the most recent recovery
+    /// — the deterministic recovery size: startup log recovery on durable
+    /// open-world runs, the last supervised shard restart on sharded
+    /// fault runs (0 when nothing was recovered).
+    pub recovery_replayed: u64,
+    /// Commit latency p50 in engine ticks, from the always-on
+    /// fixed-bucket histogram — tick-based, so deterministic runs
+    /// reproduce it bit-for-bit (unlike the wall-ish `latency` summary).
+    pub commit_lat_ticks_p50: u64,
+    /// Commit latency p99 in engine ticks.
+    pub commit_lat_ticks_p99: u64,
+    /// The most contended variables, `(variable id, waits, aborts)`,
+    /// ranked by waits plus aborts descending (at most
+    /// [`TOP_CONTENDED`] rows; empty under no contention).
+    pub top_contended: Vec<(u32, usize, usize)>,
+    /// Abort attribution over the stream: `(conflict rule name, count)`
+    /// for every rule with a non-zero count, in rule order.
+    pub aborts_by_rule: Vec<(&'static str, usize)>,
+}
+
+/// Contention-table depth reported in [`OpenSimResult::top_contended`].
+pub const TOP_CONTENDED: usize = 4;
+
+/// Name the non-zero rows of an abort-attribution table — `(rule name,
+/// count)`, in rule order — for reports.
+pub fn named_abort_rules(table: &[usize; ConflictRule::COUNT]) -> Vec<(&'static str, usize)> {
+    ConflictRule::ALL
+        .iter()
+        .zip(table)
+        .filter(|(_, &n)| n > 0)
+        .map(|(r, &n)| (r.name(), n))
+        .collect()
 }
 
 /// Durability parameters of [`simulate_open_durable`].
@@ -372,7 +404,25 @@ pub fn simulate_open(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     cfg: &OpenSimConfig,
 ) -> OpenSimResult {
-    simulate_open_impl(make_cc, cfg, None)
+    simulate_open_impl(make_cc, cfg, None, None)
+}
+
+/// Run the open-world simulation with the trace plane on: lifecycle
+/// events stream to the configured JSONL sink (flushed before returning)
+/// and/or the flight-recorder ring. The traced run makes exactly the
+/// same engine decisions as the untraced one — tracing observes, never
+/// steers — which the tracing-off differential test pins the other way
+/// around.
+///
+/// # Panics
+/// Panics when the sink cannot be created (harness convention).
+pub fn simulate_open_traced(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    cfg: &OpenSimConfig,
+    dur: Option<&DurableConfig>,
+    trace: &TraceConfig,
+) -> OpenSimResult {
+    simulate_open_impl(make_cc, cfg, dur, Some(trace))
 }
 
 /// Run the open-world simulation against a durable [`SessionDb::open`]:
@@ -391,13 +441,14 @@ pub fn simulate_open_durable(
     cfg: &OpenSimConfig,
     dur: &DurableConfig,
 ) -> OpenSimResult {
-    simulate_open_impl(make_cc, cfg, Some(dur))
+    simulate_open_impl(make_cc, cfg, Some(dur), None)
 }
 
 fn simulate_open_impl(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     cfg: &OpenSimConfig,
     dur: Option<&DurableConfig>,
+    trace: Option<&TraceConfig>,
 ) -> OpenSimResult {
     let cc = make_cc();
     let cc_name = cc.name().to_string();
@@ -417,6 +468,10 @@ fn simulate_open_impl(
         if let Some(n) = d.crash_after_syncs {
             db.wal_crash_after_syncs(n);
         }
+    }
+    let hub = trace.map(|tc| TraceHub::new(tc).expect("open the trace sink"));
+    if let Some(hub) = &hub {
+        db.set_tracer(hub.tracer(0));
     }
 
     let mut terminals: Vec<Terminal> = (0..cfg.terminals)
@@ -575,13 +630,25 @@ fn simulate_open_impl(
     // client-aborts are bookkeeping, not contention — excluded from the
     // reported abort counts.
     let stream_aborts = db.metrics.aborts;
+    // Attribution is snapshotted with the stream's abort count: the
+    // wind-down client-aborts below are bookkeeping and stay out of both.
+    let aborts_by_rule = named_abort_rules(&db.metrics.aborts_by_rule);
     for term in &mut terminals {
         if let Some(h) = term.handle.take() {
             db.abort(h).expect("live handle");
         }
     }
     peak_slots = peak_slots.max(db.num_slots());
+    if let Some(hub) = &hub {
+        hub.flush();
+    }
 
+    let clat = db.commit_latency_ticks().clone();
+    let top_contended: Vec<(u32, usize, usize)> = db
+        .top_contended(TOP_CONTENDED)
+        .iter()
+        .map(|r| (r.var.0, r.waits, r.aborts))
+        .collect();
     let m = db.metrics;
     OpenSimResult {
         cc_name,
@@ -613,6 +680,11 @@ fn simulate_open_impl(
         shed_aborts: 0,
         io_retries: m.io_retries,
         recovery_secs: 0.0,
+        recovery_replayed: db.recovery_info().map_or(0, |ri| ri.committed),
+        commit_lat_ticks_p50: clat.quantile(0.5),
+        commit_lat_ticks_p99: clat.quantile(0.99),
+        top_contended,
+        aborts_by_rule,
     }
 }
 

@@ -49,15 +49,15 @@
 //! (`docs/FAULTS.md`).
 
 use crate::open_sim::{
-    exp_sample, gen_program, restart_delay, retry_delay, CommittedTxn, OpSpec, OpenSimConfig,
-    OpenSimResult,
+    exp_sample, gen_program, named_abort_rules, restart_delay, retry_delay, CommittedTxn, OpSpec,
+    OpenSimConfig, OpenSimResult, TOP_CONTENDED,
 };
 use crate::stats::Summary;
 use ccopt_engine::cc::ConcurrencyControl;
 use ccopt_engine::durability::{Fault, StorageFaults};
 use ccopt_engine::session::{Op, SessionError};
 use ccopt_engine::shard::{GlobalTxn, ShardedDb};
-use ccopt_engine::DurabilityMode;
+use ccopt_engine::{DurabilityMode, TraceConfig};
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
 use ccopt_model::syntax::StepKind;
@@ -255,7 +255,29 @@ pub fn simulate_sharded(
     make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
     scfg: &ShardSimConfig,
 ) -> OpenSimResult {
-    simulate_sharded_impl(make_cc, scfg, None, None)
+    simulate_sharded_impl(make_cc, scfg, None, None, None)
+}
+
+/// Run the sharded simulation with the trace plane on
+/// ([`ShardedDb::set_trace`]): every shard streams lifecycle events to
+/// the shared JSONL sink (flushed before returning), keeps a
+/// flight-recorder ring the supervisor dumps on a worker crash (under
+/// [`dump_dir`](ccopt_engine::TraceConfig::dump_dir)), and the merged
+/// trace is totally ordered by the hub's global stamp. Composes with a
+/// [`FaultPlan`] and durability — the traced faulty run is exactly the
+/// flight-recorder acceptance scenario.
+///
+/// # Panics
+/// Panics when the logs or the trace sink cannot be created (harness
+/// convention).
+pub fn simulate_sharded_traced(
+    make_cc: &(dyn Fn() -> Box<dyn ConcurrencyControl> + Sync),
+    scfg: &ShardSimConfig,
+    dur: Option<&ShardDurableConfig>,
+    plan: Option<&FaultPlan>,
+    trace: &TraceConfig,
+) -> OpenSimResult {
+    simulate_sharded_impl(make_cc, scfg, dur, plan, Some(trace))
 }
 
 /// Run the sharded open-world simulation against a durable
@@ -272,7 +294,7 @@ pub fn simulate_sharded_durable(
     scfg: &ShardSimConfig,
     dur: &ShardDurableConfig,
 ) -> OpenSimResult {
-    simulate_sharded_impl(make_cc, scfg, Some(dur), None)
+    simulate_sharded_impl(make_cc, scfg, Some(dur), None, None)
 }
 
 /// Run the sharded open-world simulation under a scripted [`FaultPlan`]
@@ -291,7 +313,7 @@ pub fn simulate_sharded_faulty(
     dur: Option<&ShardDurableConfig>,
     plan: &FaultPlan,
 ) -> OpenSimResult {
-    simulate_sharded_impl(make_cc, scfg, dur, Some(plan))
+    simulate_sharded_impl(make_cc, scfg, dur, Some(plan), None)
 }
 
 fn simulate_sharded_impl(
@@ -299,6 +321,7 @@ fn simulate_sharded_impl(
     scfg: &ShardSimConfig,
     dur: Option<&ShardDurableConfig>,
     plan: Option<&FaultPlan>,
+    trace: Option<&TraceConfig>,
 ) -> OpenSimResult {
     let cfg = &scfg.base;
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x09E2_5EED);
@@ -320,6 +343,9 @@ fn simulate_sharded_impl(
         .unwrap_or_default();
     if let Some(cap) = plan.and_then(|p| p.queue_capacity) {
         db.set_queue_capacity(cap);
+    }
+    if let Some(tc) = trace {
+        db.set_trace(tc).expect("open the trace sink");
     }
     let cc_name = db.cc_name().to_string();
     let multiversion = db.multiversion();
@@ -579,13 +605,24 @@ fn simulate_sharded_impl(
 
     // Wind down: abort in-flight global transactions (bookkeeping, not
     // contention — excluded from the reported abort counts).
-    let stream_aborts = db.metrics().aborts;
+    // Attribution is snapshotted with the stream's abort count: the
+    // wind-down client-aborts below are bookkeeping and stay out of both.
+    let pre = db.metrics();
+    let stream_aborts = pre.aborts;
+    let aborts_by_rule = named_abort_rules(&pre.aborts_by_rule);
     for term in &mut terminals {
         if let Some(h) = term.handle.take() {
             db.abort(h).expect("live handle");
         }
     }
+    db.flush_trace();
 
+    let clat = db.commit_latency_ticks();
+    let top_contended: Vec<(u32, usize, usize)> = db
+        .top_contended(TOP_CONTENDED)
+        .iter()
+        .map(|r| (r.var.0, r.waits, r.aborts))
+        .collect();
     let m = db.metrics();
     OpenSimResult {
         cc_name,
@@ -621,5 +658,10 @@ fn simulate_sharded_impl(
             .last_recovery_time()
             .map(|d| d.as_secs_f64())
             .unwrap_or(0.0),
+        recovery_replayed: db.last_recovery_replayed().unwrap_or(0),
+        commit_lat_ticks_p50: clat.quantile(0.5),
+        commit_lat_ticks_p99: clat.quantile(0.99),
+        top_contended,
+        aborts_by_rule,
     }
 }

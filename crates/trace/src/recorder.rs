@@ -1,0 +1,129 @@
+//! The flight recorder: a bounded ring of the last-N events.
+//!
+//! One ring lives beside each shard's tracer, shared (`Arc<Mutex<_>>`)
+//! with the coordinating layer, so when a shard worker panics — dropping
+//! its database and tracer mid-flight — the supervisor still holds the
+//! ring and can dump the tail of history that led to the crash.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// A bounded ring buffer of [`TraceEvent`]s. Pushing beyond capacity
+/// evicts the oldest event and counts it as dropped.
+#[derive(Clone, Debug, Default)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events (`cap == 0` keeps none).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted (or refused at `cap == 0`) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain the held events, oldest first (the ring ends empty).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Encode the held events as JSONL, one line per event, oldest first.
+    pub fn dump_jsonl(&self) -> String {
+        let mut s = String::new();
+        for ev in &self.buf {
+            s.push_str(&ev.to_jsonl());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Merge per-shard event streams into one totally ordered trace: sort by
+/// the global stamp `gseq` (unique across shards by construction).
+pub fn merge_ordered(mut events: Vec<TraceEvent>) -> Vec<TraceEvent> {
+    events.sort_by_key(|e| e.gseq);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(gseq: u64, shard: u32) -> TraceEvent {
+        TraceEvent {
+            gseq,
+            shard,
+            seq: gseq,
+            tick: 0,
+            kind: EventKind::TxnBegin { txn: gseq },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_and_counts_drops() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.push(ev(i, 0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.events().map(|e| e.gseq).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(r.dump_jsonl().lines().count(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut r = FlightRecorder::new(0);
+        r.push(ev(1, 0));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_orders_across_shards() {
+        let events = vec![ev(5, 1), ev(2, 0), ev(9, 1), ev(1, 0)];
+        let merged = merge_ordered(events);
+        let order: Vec<u64> = merged.iter().map(|e| e.gseq).collect();
+        assert_eq!(order, vec![1, 2, 5, 9]);
+    }
+}
