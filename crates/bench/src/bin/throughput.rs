@@ -50,9 +50,24 @@
 //! Degraded cells additionally report `recovery_replayed`, the
 //! deterministic size of the supervised recovery in replayed commits.
 //!
-//! `--quick` shrinks batches, stream lengths and the sharded grid to one
-//! mixed cell per mechanism plus its `S = 1` baseline (CI); the JSON
-//! schema (v7) is unchanged.
+//! * the **served** grid (schema `served`): the real thing — a
+//!   [`ccopt_net::Server`] on a loopback TCP socket under an open-loop
+//!   fleet of wire clients ([`ccopt_client::Client`]), one OS thread per
+//!   connection, arrivals on a fixed schedule that does *not* slow down
+//!   when the server does. Per mechanism the harness first calibrates the
+//!   closed-loop saturation throughput of the fleet, then offers
+//!   0.5× / 1× / 2× that rate and reports delivered throughput, the
+//!   arrival-to-ack latency distribution (p50/p99, including the
+//!   open-loop queueing delay — this is where the overload hockey stick
+//!   lives) and the admission-control shed rate. Unlike every other
+//!   grid, these numbers are wall-clock measurements of real sockets and
+//!   threads, so they vary run to run; the shape (saturation plateau,
+//!   p99 blow-up and shed onset past 1×) is the reproducible claim.
+//!
+//! Schema v8 adds the `served` grid. `--quick` shrinks batches, stream
+//! lengths and the sharded grid to one mixed cell per mechanism plus its
+//! `S = 1` baseline, and shrinks the served fleet (CI); the JSON schema
+//! (v8) is unchanged by `--quick`.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
@@ -67,7 +82,7 @@ use ccopt_sim::shard_sim::{
     simulate_sharded, simulate_sharded_faulty, FaultPlan, ShardDurableConfig, ShardSimConfig,
 };
 use ccopt_sim::workload::Workload;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Workload seeds swept per cell (aggregated into one row).
 const SEEDS: [u64; 3] = [1, 2, 3];
@@ -490,6 +505,264 @@ fn open_grid(quick: bool) -> Vec<OpenCell> {
     cells
 }
 
+// ---------------------------------------------------------- served grid
+
+/// One served grid cell: the real TCP server under an open-loop fleet at
+/// a fixed offered rate. All fields are wall-clock measurements.
+struct ServedCell {
+    cc: &'static str,
+    conns: usize,
+    /// Offered rate as a multiple of the calibrated saturation rate.
+    multiplier: f64,
+    /// Offered arrival rate, txns/s across the whole fleet.
+    offered: f64,
+    arrivals: usize,
+    committed: usize,
+    shed: usize,
+    aborted: usize,
+    /// Delivered commits/s over the cell's wall time.
+    throughput: f64,
+    shed_rate: f64,
+    lat_p50_us: u64,
+    lat_p99_us: u64,
+    lat_max_us: u64,
+    wall_ms: f64,
+}
+
+/// What one open-loop arrival came to.
+enum ServedOutcome {
+    Committed,
+    Shed,
+    Aborted,
+}
+
+/// Run one transaction (two affine updates on random vars + commit),
+/// replaying on `Restarted`. A `Shed` at begin is a dropped arrival —
+/// open-loop clients do not retry, that is the admission story. `Wait`
+/// answers are retried on a small backoff: a hot resend loop across a
+/// 100+-connection fleet would drown the engine in retry traffic and
+/// measure the spam, not the system.
+fn served_txn(
+    c: &mut ccopt_client::Client,
+    rng: &mut rand::rngs::SmallRng,
+    vars: u32,
+) -> ServedOutcome {
+    use ccopt_client::ClientError;
+    use ccopt_engine::Op;
+    use rand::Rng;
+
+    let backoff = Duration::from_micros(200);
+    let h = match c.begin() {
+        Ok(h) => h,
+        Err(ClientError::Shed) => return ServedOutcome::Shed,
+        Err(e) => panic!("served begin: {e}"),
+    };
+    let (a, b) = (rng.gen_range(0..vars), rng.gen_range(0..vars));
+    'attempt: for attempt in 0.. {
+        if attempt >= 64 {
+            c.abort(h).expect("served abort");
+            return ServedOutcome::Aborted;
+        }
+        if attempt > 0 {
+            // Jittered replay backoff: a restart storm resolves faster
+            // when the contenders spread out.
+            std::thread::sleep(Duration::from_micros(rng.gen_range(0..400)));
+        }
+        for var in [a, b] {
+            loop {
+                match c.update(h, var, 1, 1).expect("served update") {
+                    Op::Done(_) => break,
+                    Op::Wait => std::thread::sleep(backoff),
+                    Op::Restarted => continue 'attempt,
+                }
+            }
+        }
+        loop {
+            match c.commit(h).expect("served commit") {
+                Op::Done(()) => return ServedOutcome::Committed,
+                Op::Wait => std::thread::sleep(backoff),
+                Op::Restarted => continue 'attempt,
+            }
+        }
+    }
+    unreachable!()
+}
+
+/// One open-loop connection: `arrivals` transactions on a fixed schedule
+/// of `interval` apart, phase-shifted by `phase` so the fleet's
+/// aggregate arrival process is uniform rather than `conns`-wide
+/// synchronized waves (which would race the admission budget in
+/// lockstep and shed alternating arrivals). Falling behind does not
+/// slow the schedule down — the backlog shows up as arrival-to-ack
+/// latency.
+#[allow(clippy::too_many_arguments)]
+fn served_conn(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    vars: u32,
+    arrivals: usize,
+    interval: Duration,
+    phase: Duration,
+) -> (usize, usize, usize, ccopt_trace::Histogram) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut client = ccopt_client::Client::connect(addr).expect("served connect");
+    let mut lat = ccopt_trace::Histogram::new();
+    let (mut committed, mut shed, mut aborted) = (0, 0, 0);
+    let start = Instant::now();
+    for k in 0..arrivals {
+        let due = interval * k as u32 + phase;
+        let elapsed = start.elapsed();
+        if elapsed < due {
+            std::thread::sleep(due - elapsed);
+        }
+        match served_txn(&mut client, &mut rng, vars) {
+            ServedOutcome::Committed => {
+                committed += 1;
+                lat.record((start.elapsed() - due).as_micros() as u64);
+            }
+            ServedOutcome::Shed => shed += 1,
+            ServedOutcome::Aborted => aborted += 1,
+        }
+    }
+    (committed, shed, aborted, lat)
+}
+
+/// Closed-loop calibration: the fleet runs back to back for `dur`; its
+/// aggregate commit rate is the saturation estimate the open-loop sweep
+/// is anchored to.
+fn served_saturation(addr: std::net::SocketAddr, conns: usize, vars: u32, dur: Duration) -> f64 {
+    use rand::SeedableRng;
+    let wall = Instant::now();
+    let total: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|i| {
+                s.spawn(move || {
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5EED + i as u64);
+                    let mut client = ccopt_client::Client::connect(addr).expect("calib connect");
+                    let start = Instant::now();
+                    let mut n = 0;
+                    while start.elapsed() < dur {
+                        match served_txn(&mut client, &mut rng, vars) {
+                            ServedOutcome::Committed => n += 1,
+                            // Closed-loop shed: yield the seat race
+                            // instead of hammering begin.
+                            ServedOutcome::Shed => std::thread::sleep(Duration::from_micros(500)),
+                            ServedOutcome::Aborted => {}
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("calib")).sum()
+    });
+    total as f64 / wall.elapsed().as_secs_f64()
+}
+
+/// The served grid: per mechanism, calibrate saturation then offer
+/// 0.5× / 1× / 2× of it. `max_txns` is held at half the fleet size so
+/// overload has an admission-control response to measure, not just a
+/// queue.
+fn served_grid(quick: bool) -> Vec<ServedCell> {
+    use ccopt_net::{Server, ServerConfig};
+
+    let conns = if quick { 16 } else { 120 };
+    let vars = 256u32;
+    let ccs: &[&'static str] = if quick {
+        &["strict-2PL"]
+    } else {
+        &["strict-2PL", "SI"]
+    };
+    let multipliers: &[f64] = if quick { &[0.5, 2.0] } else { &[0.5, 1.0, 2.0] };
+    let calib_dur = Duration::from_millis(if quick { 200 } else { 600 });
+    let measure_dur = Duration::from_millis(if quick { 300 } else { 1500 });
+
+    let mut cells = Vec::new();
+    for &cc in ccs {
+        let server = Server::start(ServerConfig {
+            cc: cc.to_string(),
+            num_vars: vars as usize,
+            shards: 4,
+            max_txns: (conns / 2).max(8),
+            ..ServerConfig::default()
+        })
+        .expect("served grid server");
+        let addr = server.local_addr();
+
+        let saturation = served_saturation(addr, conns, vars, calib_dur).max(1.0);
+        for &m in multipliers {
+            let offered = saturation * m;
+            let per_conn = offered / conns as f64;
+            let interval = Duration::from_secs_f64(1.0 / per_conn.max(1e-6));
+            let arrivals_per_conn = ((measure_dur.as_secs_f64() * per_conn).ceil() as usize).max(1);
+
+            let wall = Instant::now();
+            let results: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..conns)
+                    .map(|i| {
+                        let phase = interval.mul_f64(i as f64 / conns as f64);
+                        s.spawn(move || {
+                            served_conn(
+                                addr,
+                                0xFACE + i as u64,
+                                vars,
+                                arrivals_per_conn,
+                                interval,
+                                phase,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("conn"))
+                    .collect()
+            });
+            let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+            let mut lat = ccopt_trace::Histogram::new();
+            let (mut committed, mut shed, mut aborted) = (0usize, 0usize, 0usize);
+            for (c, sh, ab, h) in &results {
+                committed += c;
+                shed += sh;
+                aborted += ab;
+                lat.merge(h);
+            }
+            let arrivals = arrivals_per_conn * conns;
+            cells.push(ServedCell {
+                cc,
+                conns,
+                multiplier: m,
+                offered,
+                arrivals,
+                committed,
+                shed,
+                aborted,
+                throughput: committed as f64 / (wall_ms / 1e3).max(1e-9),
+                shed_rate: shed as f64 / arrivals.max(1) as f64,
+                lat_p50_us: lat.quantile(0.5),
+                lat_p99_us: lat.quantile(0.99),
+                lat_max_us: lat.max(),
+                wall_ms,
+            });
+        }
+        let stats = server.shutdown().expect("served grid drain");
+        let acked: usize = cells
+            .iter()
+            .filter(|c| c.cc == cc)
+            .map(|c| c.committed)
+            .sum();
+        // The server additionally counts calibration commits, hence >=.
+        assert!(
+            stats.commits as usize >= acked,
+            "served: {acked} ack'd commits exceed the server's count of {}",
+            stats.commits,
+        );
+    }
+    cells
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cfg = SimConfig {
@@ -692,10 +965,57 @@ fn main() {
     }
     println!("{degraded_table}");
 
+    let served_cells = served_grid(quick);
+    let mut served_table = Table::new(
+        "served system (open-loop TCP fleet vs calibrated saturation)",
+        &[
+            "cc",
+            "conns",
+            "mult",
+            "offered/s",
+            "arrivals",
+            "commits",
+            "shed",
+            "aborts",
+            "thru/s",
+            "shed-rate",
+            "p50-us",
+            "p99-us",
+            "max-us",
+            "wall-ms",
+        ],
+    );
+    for c in &served_cells {
+        served_table.row(&[
+            c.cc.to_string(),
+            c.conns.to_string(),
+            format!("{:.1}", c.multiplier),
+            format!("{:.0}", c.offered),
+            c.arrivals.to_string(),
+            c.committed.to_string(),
+            c.shed.to_string(),
+            c.aborted.to_string(),
+            format!("{:.0}", c.throughput),
+            f3(c.shed_rate),
+            c.lat_p50_us.to_string(),
+            c.lat_p99_us.to_string(),
+            c.lat_max_us.to_string(),
+            format!("{:.1}", c.wall_ms),
+        ]);
+    }
+    println!("{served_table}");
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
     std::fs::write(
         path,
-        to_json(&cfg, &cells, &open_cells, &shard_cells, &degraded_cells),
+        to_json(
+            &cfg,
+            &cells,
+            &open_cells,
+            &shard_cells,
+            &degraded_cells,
+            &served_cells,
+        ),
     )
     .expect("write BENCH_engine.json");
     println!("wrote {path}");
@@ -728,10 +1048,11 @@ fn to_json(
     open_cells: &[OpenCell],
     shard_cells: &[ShardCell],
     degraded_cells: &[DegradedCell],
+    served_cells: &[ServedCell],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v7\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v8\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -837,6 +1158,28 @@ fn to_json(
             c.recovery_replayed,
             c.wall_ms,
             if i + 1 == degraded_cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"served\": [\n");
+    for (i, c) in served_cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"cc\": {:?}, \"conns\": {}, \"multiplier\": {:.2}, \"offered_per_sec\": {:.1}, \"arrivals\": {}, \"commits\": {}, \"shed\": {}, \"aborts\": {}, \"throughput\": {:.1}, \"shed_rate\": {:.6}, \"latency_us_p50\": {}, \"latency_us_p99\": {}, \"latency_us_max\": {}, \"wall_ms\": {:.3}}}{}\n",
+            c.cc,
+            c.conns,
+            c.multiplier,
+            c.offered,
+            c.arrivals,
+            c.committed,
+            c.shed,
+            c.aborted,
+            c.throughput,
+            c.shed_rate,
+            c.lat_p50_us,
+            c.lat_p99_us,
+            c.lat_max_us,
+            c.wall_ms,
+            if i + 1 == served_cells.len() { "" } else { "," },
         ));
     }
     s.push_str("  ]\n}\n");

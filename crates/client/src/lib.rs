@@ -1,0 +1,305 @@
+//! # `ccopt-client` — the wire client
+//!
+//! A blocking TCP client for the served system (`ccopt-net`) that
+//! mirrors the in-process session API, so a program written against
+//! [`SessionDb`](ccopt_engine::SessionDb) reads identically over the
+//! wire: [`Client::begin`] returns a [`TxnHandle`], operations return
+//! [`Op<Value>`](Op) with the same `Done` / `Wait` / `Restarted`
+//! semantics (`Wait` = retry the same call, `Restarted` = replay the
+//! program on the same handle), and [`Client::commit`] returns
+//! `Op<()>`.
+//!
+//! Two surfaces share one socket:
+//!
+//! * the **sync surface** (`begin`/`read`/`write`/`update`/`commit`/
+//!   `abort`) sends one request and blocks for its response — the
+//!   differential tests use it to pin wire semantics to the in-process
+//!   engine;
+//! * the **pipelined surface** ([`Client::send`] / [`Client::recv`])
+//!   exposes raw request ids so a driver can keep many requests in
+//!   flight on one connection — the open-loop bench uses it to push a
+//!   connection past the server's admission caps.
+//!
+//! Admission-control refusals surface as typed errors:
+//! [`ClientError::Shed`] (back off and retry) and
+//! [`ClientError::Draining`] (the server is going away).
+
+use ccopt_engine::Op;
+use ccopt_model::value::Value;
+use ccopt_net::error::{FrameError, WireError};
+use ccopt_net::frame::{
+    decode_response, encode_request, read_frame, write_frame, ErrCode, Request, Response,
+};
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A wire-client failure, following the `WalError` pattern: `Display` +
+/// `std::error::Error` with `source()` chaining to the I/O or wire
+/// cause. Server-side per-request refusals are data, not I/O, so they
+/// get their own variants.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, send, or receive).
+    Io(io::Error),
+    /// The server's bytes did not frame or decode.
+    Wire(WireError),
+    /// Admission control refused the request; back off and retry.
+    Shed,
+    /// The server is draining: no new transactions (existing ones may
+    /// still finish).
+    Draining,
+    /// The server refused the request outright.
+    Server {
+        /// Why.
+        code: ErrCode,
+        /// The server's detail message.
+        msg: String,
+    },
+    /// The server answered something the protocol does not allow here
+    /// (e.g. a `Began` to a `Commit`), or an unknown request id.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(_) => write!(f, "socket I/O failed"),
+            ClientError::Wire(e) => write!(f, "invalid server frame: {e}"),
+            ClientError::Shed => {
+                write!(f, "request shed by admission control; retry after backoff")
+            }
+            ClientError::Draining => write!(f, "server is draining"),
+            ClientError::Server { code, msg } => write!(f, "server refused: {code} ({msg})"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// An open transaction on the server, named by its server-issued token.
+/// Epoch-style staleness is enforced server-side: a finished token
+/// answers `UnknownTxn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TxnHandle {
+    token: u64,
+}
+
+impl TxnHandle {
+    /// The wire token (for the pipelined surface's raw requests).
+    pub fn token(self) -> u64 {
+        self.token
+    }
+}
+
+/// A connection to a `ccopt-server`.
+pub struct Client {
+    stream: TcpStream,
+    next_req: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_req: 0,
+        })
+    }
+
+    /// Bound every receive; `None` blocks forever (the default).
+    pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    // ----------------------------------------------------- sync surface
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Ping", &other)),
+        }
+    }
+
+    /// Open a transaction. Admission refusals surface as
+    /// [`ClientError::Shed`] / [`ClientError::Draining`] so callers can
+    /// back off.
+    pub fn begin(&mut self) -> Result<TxnHandle, ClientError> {
+        match self.roundtrip(&Request::Begin)? {
+            Response::Began { txn } => Ok(TxnHandle { token: txn }),
+            Response::Shed => Err(ClientError::Shed),
+            Response::Draining => Err(ClientError::Draining),
+            other => Err(unexpected("Begin", &other)),
+        }
+    }
+
+    /// Observe variable `var`. [`Op`] semantics mirror the session API.
+    pub fn read(&mut self, h: TxnHandle, var: u32) -> Result<Op<Value>, ClientError> {
+        self.op(&Request::Read { txn: h.token, var })
+    }
+
+    /// Blind-write `value` to `var`; the observed old value rides along.
+    pub fn write(
+        &mut self,
+        h: TxnHandle,
+        var: u32,
+        value: Value,
+    ) -> Result<Op<Value>, ClientError> {
+        self.op(&Request::Write {
+            txn: h.token,
+            var,
+            value,
+        })
+    }
+
+    /// Read-modify-write `var ← a·var + c`
+    /// ([`ccopt_engine::affine_eval`]), atomic under the owning shard's
+    /// concurrency control.
+    pub fn update(
+        &mut self,
+        h: TxnHandle,
+        var: u32,
+        a: i64,
+        c: i64,
+    ) -> Result<Op<Value>, ClientError> {
+        self.op(&Request::Update {
+            txn: h.token,
+            var,
+            a,
+            c,
+        })
+    }
+
+    /// Commit. `Op::Done(())` means durable to the server's configured
+    /// mode and the handle is finished; `Wait` = retry the commit;
+    /// `Restarted` = validation failed, replay the program on the same
+    /// handle.
+    pub fn commit(&mut self, h: TxnHandle) -> Result<Op<()>, ClientError> {
+        match self.roundtrip(&Request::Commit { txn: h.token })? {
+            Response::Committed => Ok(Op::Done(())),
+            Response::Wait => Ok(Op::Wait),
+            Response::Restarted => Ok(Op::Restarted),
+            Response::Shed => Err(ClientError::Shed),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(unexpected("Commit", &other)),
+        }
+    }
+
+    /// Abort; the handle is finished either way.
+    pub fn abort(&mut self, h: TxnHandle) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Abort { txn: h.token })? {
+            Response::Aborted => Ok(()),
+            Response::Shed => Err(ClientError::Shed),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(unexpected("Abort", &other)),
+        }
+    }
+
+    /// Ask the server to drain gracefully and exit.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Draining => Ok(()),
+            other => Err(unexpected("Shutdown", &other)),
+        }
+    }
+
+    // ------------------------------------------------ pipelined surface
+
+    /// Send a request without waiting; returns its request id. Pair with
+    /// [`recv`](Client::recv) to drain responses in server order.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        self.next_req += 1;
+        let id = self.next_req;
+        write_frame(&mut self.stream, &encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Receive the next response in stream order as `(request id,
+    /// response)`. An EOF here means the server closed the connection.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        decode_response(&payload).map_err(ClientError::Wire)
+    }
+
+    // ------------------------------------------------------------ plumbing
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
+        let (got, resp) = self.recv()?;
+        if got != id {
+            return Err(ClientError::Protocol(format!(
+                "response for request {got}, expected {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    fn op(&mut self, req: &Request) -> Result<Op<Value>, ClientError> {
+        match self.roundtrip(req)? {
+            Response::Done { value } => Ok(Op::Done(value)),
+            Response::Wait => Ok(Op::Wait),
+            Response::Restarted => Ok(Op::Restarted),
+            Response::Shed => Err(ClientError::Shed),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(unexpected("operation", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("unexpected response to {what}: {got:?}"))
+}
+
+/// Map a pipelined [`Response`] back onto the session API's
+/// [`Op<Value>`] view, the same mapping the sync surface applies — for
+/// drivers using [`Client::send`]/[`Client::recv`] directly.
+pub fn response_to_op(resp: &Response) -> Result<Op<Value>, ClientError> {
+    match resp {
+        Response::Done { value } => Ok(Op::Done(*value)),
+        Response::Wait => Ok(Op::Wait),
+        Response::Restarted => Ok(Op::Restarted),
+        Response::Shed => Err(ClientError::Shed),
+        Response::Draining => Err(ClientError::Draining),
+        Response::Err { code, msg } => Err(ClientError::Server {
+            code: *code,
+            msg: msg.clone(),
+        }),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response {other:?}"
+        ))),
+    }
+}

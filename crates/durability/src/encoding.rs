@@ -129,7 +129,10 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_value(buf: &mut Vec<u8>, v: Value) {
+/// Append a tagged [`Value`] (the codec [`Cursor::take_value`] reads).
+/// Public because the served system's wire protocol (`ccopt-net`) reuses
+/// the WAL's value encoding verbatim.
+pub fn put_value(buf: &mut Vec<u8>, v: Value) {
     match v {
         Value::Int(i) => {
             buf.push(0);
@@ -179,6 +182,17 @@ impl<'a> Cursor<'a> {
     /// Read one byte.
     pub fn take_u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
+    }
+
+    /// Read a little-endian u16.
+    pub fn take_u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
     }
 
     /// Read a little-endian u32.

@@ -1346,6 +1346,28 @@ impl ConcurrencyControl for SiCc {
     }
 }
 
+/// The canonical mechanism names, in the order every bench and report
+/// uses: the five single-version mechanisms plus the multi-version
+/// family.
+pub const MECHANISM_NAMES: [&str; 7] = ["serial", "strict-2PL", "T/O", "OCC", "SGT", "MVTO", "SI"];
+
+/// Construct a fresh default-configured mechanism by its canonical name
+/// (one of [`MECHANISM_NAMES`]). `None` for unknown names. This is the
+/// lookup the served system's `--cc` flag resolves through, so a server
+/// and an in-process run of the same name get identical mechanisms.
+pub fn cc_by_name(name: &str) -> Option<Box<dyn ConcurrencyControl>> {
+    Some(match name {
+        "serial" => Box::new(SerialCc::default()),
+        "strict-2PL" => Box::new(Strict2plCc::default()),
+        "T/O" => Box::new(TimestampCc::default()),
+        "OCC" => Box::new(OccCc::default()),
+        "SGT" => Box::new(SgtCc::default()),
+        "MVTO" => Box::new(MvtoCc::default()),
+        "SI" => Box::new(SiCc::default()),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,7 +55,7 @@ pub mod session;
 pub mod shard;
 pub mod storage;
 
-pub use cc::{CcConflict, CcDecision, ConcurrencyControl};
+pub use cc::{cc_by_name, CcConflict, CcDecision, ConcurrencyControl, MECHANISM_NAMES};
 pub use ccopt_durability as durability;
 pub use ccopt_durability::{DurabilityMode, StoreImage, WalError};
 pub use ccopt_trace as trace;
@@ -64,4 +64,4 @@ pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
 pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn, VarContention};
-pub use shard::{GlobalTxn, Partition, ShardedDb, ShardedRecoveryInfo};
+pub use shard::{affine_eval, BatchOp, GlobalTxn, Partition, ShardedDb, ShardedRecoveryInfo};

@@ -700,6 +700,118 @@ impl<'a> ShardedDb<'a> {
         })
     }
 
+    /// Submit a run of operations in one call, amortizing the per-op
+    /// worker round trip flagged in the roadmap: maximal runs of
+    /// consecutive operations owned by the *same* shard travel in a
+    /// single mailbox message and execute back-to-back on that shard's
+    /// thread, so a k-op single-shard transaction costs one round trip
+    /// instead of k. Outcomes come back per operation, in submission
+    /// order, and execution stops at the first non-[`Op::Done`] outcome:
+    /// operations after it are **not attempted** (the returned vector is
+    /// short). Per operation the contract is identical to
+    /// [`ShardedDb::apply`] — a trailing [`Op::Wait`] means retry from
+    /// that operation, a trailing [`Op::Restarted`] means the whole
+    /// global transaction restarted and the client replays its program.
+    pub fn apply_batch(
+        &mut self,
+        h: GlobalTxn,
+        ops: &[BatchOp],
+    ) -> Result<Vec<Op<Value>>, SessionError> {
+        let mut out = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            // The maximal same-shard run starting at `i`.
+            let si = self.partition.shard_of(ops[i].var());
+            let mut j = i + 1;
+            while j < ops.len() && self.partition.shard_of(ops[j].var()) == si {
+                j += 1;
+            }
+            // Pre-flight checks mirror `apply`, once per run.
+            let ti = self.running(h)?;
+            if self.slots[ti]
+                .subs
+                .iter()
+                .any(|s| matches!(s, SubState::Prepared(_)))
+            {
+                return Err(SessionError::Prepared);
+            }
+            if self.down[si] {
+                return Err(SessionError::ShardDown);
+            }
+            if self.workers[si].is_full() {
+                self.shed_aborts += 1;
+                if self.coord_tracer.is_on() {
+                    let (gts, tick) = (self.slots[ti].gts, self.next_gts);
+                    self.coord_tracer.emit(
+                        tick,
+                        EventKind::Abort {
+                            txn: gts,
+                            rule: ConflictRule::Shed,
+                            var: Some(ops[i].var().0),
+                            opponent: None,
+                        },
+                    );
+                }
+                self.global_restart(ti);
+                out.push(Op::Restarted);
+                return Ok(out);
+            }
+            let sub = self.ensure_sub(ti, si)?;
+            let run: Vec<(VarId, BatchOp)> = ops[i..j]
+                .iter()
+                .map(|op| (self.partition.local(op.var()), *op))
+                .collect();
+            let spare = self.next_gts + 1;
+            let rs = match self.workers[si].call(move |db| {
+                db.set_restart_ts(spare);
+                let mut rs = Vec::with_capacity(run.len());
+                for (lv, op) in run {
+                    let r = match op {
+                        BatchOp::Read(_) => db.apply(sub, lv, StepKind::Read, |v| v),
+                        BatchOp::Write(_, val) => db.apply(sub, lv, StepKind::Write, move |_| val),
+                        BatchOp::Affine { a, c, .. } => {
+                            db.apply(sub, lv, StepKind::Update, move |v| affine_eval(a, c, v))
+                        }
+                    }
+                    .expect("sub is live");
+                    let done = matches!(r, Op::Done(_));
+                    rs.push(r);
+                    if !done {
+                        break;
+                    }
+                }
+                rs
+            }) {
+                Ok(rs) => rs,
+                Err(WorkerError) => {
+                    self.supervise_crash(si);
+                    return Err(SessionError::ShardDown);
+                }
+            };
+            for r in rs {
+                match r {
+                    Op::Done(v) => out.push(Op::Done(v)),
+                    Op::Wait => {
+                        self.slots[ti].waits += 1;
+                        self.waits += 1;
+                        out.push(Op::Wait);
+                        return Ok(out);
+                    }
+                    Op::Restarted => {
+                        // The shard restarted the sub in place at `spare`;
+                        // adopt it as the new global attempt.
+                        self.next_gts = spare;
+                        self.global_restart_keeping(ti, Some(si), spare);
+                        out.push(Op::Restarted);
+                        return Ok(out);
+                    }
+                }
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
     // --------------------------------------------------------------- finish
 
     /// Commit the global transaction. Single-shard transactions commit
@@ -1926,6 +2038,49 @@ impl<'a> ShardedDb<'a> {
         sl.touched.clear();
         sl.status = GStatus::Failed;
     }
+}
+
+/// One operation of a batched submission ([`ShardedDb::apply_batch`]).
+///
+/// This is the closed set of step shapes the wire protocol can express:
+/// unlike [`ShardedDb::update`]'s arbitrary closure, an affine update is
+/// plain data, so a whole run of operations moves to a shard worker in
+/// one mailbox message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Observe a variable.
+    Read(VarId),
+    /// Blind-write a value (the observed old value rides along).
+    Write(VarId, Value),
+    /// Read-modify-write `v ← a·v + c` ([`affine_eval`]).
+    Affine {
+        /// The updated variable.
+        var: VarId,
+        /// Multiplier.
+        a: i64,
+        /// Offset.
+        c: i64,
+    },
+}
+
+impl BatchOp {
+    /// The variable the operation touches (what routes it to a shard).
+    pub fn var(&self) -> VarId {
+        match *self {
+            BatchOp::Read(v) | BatchOp::Write(v, _) => v,
+            BatchOp::Affine { var, .. } => var,
+        }
+    }
+}
+
+/// The affine update function of [`BatchOp::Affine`]: `a·v + c` over
+/// wrapping `i64` arithmetic, reading booleans as 0/1 and symbolic terms
+/// as 0 (total, so a malformed wire request can never panic a shard).
+/// Public so wire clients can predict a served update's result exactly —
+/// the served-vs-in-process differential test leans on this.
+pub fn affine_eval(a: i64, c: i64, observed: Value) -> Value {
+    let v = observed.as_int().unwrap_or(0);
+    Value::Int(a.wrapping_mul(v).wrapping_add(c))
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! The `ccopt-server` binary: a [`ccopt_net::Server`] behind flags.
+//!
+//! ```text
+//! ccopt-server [--addr 127.0.0.1:0] [--cc strict-2PL] [--shards 4]
+//!              [--vars 64] [--data-dir PATH] [--durability strict|group:N|none]
+//!              [--max-txns 256] [--pipeline 64] [--queue 1024]
+//!              [--shard-queue 256] [--grace-ms 2000] [--trace PATH]
+//!              [--wait-valve 24]
+//! ```
+//!
+//! Prints `listening on <addr>` (machine-parseable — the smoke tests
+//! scrape the ephemeral port from it), serves until a wire `Shutdown`
+//! request drains it, then prints the drain stats and exits 0. Flag
+//! errors exit 2; startup errors (bad log, bind failure) exit 1.
+
+use ccopt_durability::DurabilityMode;
+use ccopt_net::{Server, ServerConfig};
+use ccopt_trace::TraceConfig;
+use std::io::Write;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccopt-server [--addr A] [--cc NAME] [--shards N] [--vars N] \
+         [--data-dir PATH] [--durability strict|group:N|none] [--max-txns N] \
+         [--pipeline N] [--queue N] [--shard-queue N] [--grace-ms N] [--trace PATH] \
+         [--wait-valve N]"
+    );
+    eprintln!("mechanisms: {}", ccopt_engine::MECHANISM_NAMES.join(", "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--cc" => cfg.cc = val(),
+            "--shards" => cfg.shards = parse(&val()),
+            "--vars" => cfg.num_vars = parse(&val()),
+            "--data-dir" => cfg.dir = Some(val().into()),
+            "--durability" => {
+                let v = val();
+                cfg.mode = match v.as_str() {
+                    "strict" => DurabilityMode::Strict,
+                    "none" => DurabilityMode::None,
+                    s => match s.strip_prefix("group:") {
+                        Some(n) => DurabilityMode::group(parse(n)),
+                        None => usage(),
+                    },
+                };
+            }
+            "--max-txns" => cfg.max_txns = parse(&val()),
+            "--pipeline" => cfg.pipeline = parse(&val()),
+            "--queue" => cfg.queue = parse(&val()),
+            "--shard-queue" => cfg.shard_queue = parse(&val()),
+            "--grace-ms" => cfg.drain_grace = Duration::from_millis(parse::<u64>(&val())),
+            "--wait-valve" => cfg.wait_valve = parse(&val()),
+            "--trace" => cfg.trace = Some(TraceConfig::to_sink(val())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    // A durable server defaults to strict logging unless told otherwise.
+    if cfg.dir.is_some() && matches!(cfg.mode, DurabilityMode::None) {
+        cfg.mode = DurabilityMode::Strict;
+    }
+
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccopt-server: {e}");
+            let mut src = std::error::Error::source(&e);
+            while let Some(s) = src {
+                eprintln!("  caused by: {s}");
+                src = s.source();
+            }
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    println!(
+        "cc={} shards={} vars={} durable={}",
+        cfg.cc,
+        cfg.shards,
+        cfg.num_vars,
+        cfg.dir.is_some()
+    );
+    let _ = std::io::stdout().flush();
+
+    match server.wait() {
+        Ok(stats) => {
+            println!(
+                "drained: commits={} aborted_on_drain={} sheds={}",
+                stats.commits, stats.aborted_on_drain, stats.sheds
+            );
+        }
+        Err(e) => {
+            eprintln!("ccopt-server: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage())
+}

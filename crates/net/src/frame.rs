@@ -1,0 +1,508 @@
+//! The wire protocol: CRC-framed requests and responses.
+//!
+//! Every message travels as one frame with the write-ahead log's framing
+//! convention ([`ccopt_durability::encoding`]):
+//!
+//! ```text
+//! [payload_len: u32 LE] [crc32(payload): u32 LE] [payload bytes]
+//! ```
+//!
+//! so both ends validate each message independently and detect
+//! corruption or desynchronization at the frame boundary. Payloads begin
+//! with a one-byte opcode followed by the **request id** — a client-chosen
+//! `u64` echoed verbatim in the response, which is what lets a connection
+//! pipeline many requests and match answers out of a single ordered
+//! stream. All integers are little-endian; [`Value`]s use the WAL's
+//! tagged value codec verbatim ([`encoding::put_value`] /
+//! [`encoding::Cursor::take_value`]).
+//!
+//! Decoding is **total**: any byte sequence either decodes or returns a
+//! [`WireError`]; nothing in this module panics on wire input, and a
+//! frame's length prefix is checked against [`MAX_FRAME`]
+//! *before* any allocation.
+
+use crate::error::{FrameError, WireError};
+use ccopt_durability::encoding::{self, Cursor};
+use ccopt_model::value::Value;
+use std::io::{Read, Write};
+
+/// Largest accepted payload. Every legitimate message is tens of bytes;
+/// the cap exists so a hostile or corrupt length prefix cannot balloon
+/// allocation.
+pub const MAX_FRAME: u32 = 64 * 1024;
+
+// Request opcodes.
+const OP_PING: u8 = 1;
+const OP_BEGIN: u8 = 2;
+const OP_READ: u8 = 3;
+const OP_WRITE: u8 = 4;
+const OP_UPDATE: u8 = 5;
+const OP_COMMIT: u8 = 6;
+const OP_ABORT: u8 = 7;
+const OP_SHUTDOWN: u8 = 8;
+
+// Response opcodes.
+const RESP_PONG: u8 = 1;
+const RESP_BEGAN: u8 = 2;
+const RESP_DONE: u8 = 3;
+const RESP_WAIT: u8 = 4;
+const RESP_RESTARTED: u8 = 5;
+const RESP_COMMITTED: u8 = 6;
+const RESP_ABORTED: u8 = 7;
+const RESP_SHED: u8 = 8;
+const RESP_DRAINING: u8 = 9;
+const RESP_ERR: u8 = 10;
+
+/// A client request. Transactions are named by the server-issued token
+/// from [`Response::Began`]; operations mirror the session API's op
+/// surface, with the arbitrary update closure narrowed to the affine
+/// family `v ← a·v + c` ([`ccopt_engine::affine_eval`]) so an update is
+/// plain data on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered [`Response::Pong`].
+    Ping,
+    /// Open a transaction; answered [`Response::Began`] (or
+    /// [`Response::Shed`] / [`Response::Draining`] under admission
+    /// control).
+    Begin,
+    /// Observe a variable.
+    Read {
+        /// The transaction token.
+        txn: u64,
+        /// The global variable id.
+        var: u32,
+    },
+    /// Blind-write a value (the observed old value rides along in
+    /// [`Response::Done`]).
+    Write {
+        /// The transaction token.
+        txn: u64,
+        /// The global variable id.
+        var: u32,
+        /// The value to install.
+        value: Value,
+    },
+    /// Read-modify-write `v ← a·v + c`, atomic under the owning shard's
+    /// concurrency control.
+    Update {
+        /// The transaction token.
+        txn: u64,
+        /// The global variable id.
+        var: u32,
+        /// Multiplier.
+        a: i64,
+        /// Offset.
+        c: i64,
+    },
+    /// Commit the transaction (the token dies on
+    /// [`Response::Committed`], survives `Wait`/`Restarted`).
+    Commit {
+        /// The transaction token.
+        txn: u64,
+    },
+    /// Abort the transaction (the token dies).
+    Abort {
+        /// The transaction token.
+        txn: u64,
+    },
+    /// Ask the server to drain gracefully and exit; answered
+    /// [`Response::Draining`].
+    Shutdown,
+}
+
+/// Why the server refused a request outright (the payload of
+/// [`Response::Err`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The transaction token is unknown (never issued, already finished,
+    /// or its connection died). Begin a new transaction.
+    UnknownTxn,
+    /// The request decoded as a frame but not as a meaningful operation
+    /// (unknown variable id, bad opcode reported at decode time, ...).
+    Malformed,
+    /// The shard owning the touched variable crashed mid-flight; nothing
+    /// uncommitted there survives. The transaction is dead — begin a new
+    /// one (the rest of the database keeps serving).
+    ShardDown,
+    /// The operation is illegal in the transaction's current state (e.g.
+    /// operating on a transaction parked in a prepared two-phase commit).
+    BadState,
+}
+
+impl ErrCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrCode::UnknownTxn => 0,
+            ErrCode::Malformed => 1,
+            ErrCode::ShardDown => 2,
+            ErrCode::BadState => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<ErrCode> {
+        Some(match b {
+            0 => ErrCode::UnknownTxn,
+            1 => ErrCode::Malformed,
+            2 => ErrCode::ShardDown,
+            3 => ErrCode::BadState,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrCode::UnknownTxn => write!(f, "unknown transaction token"),
+            ErrCode::Malformed => write!(f, "malformed request"),
+            ErrCode::ShardDown => write!(f, "owning shard is down"),
+            ErrCode::BadState => write!(f, "illegal in the transaction's current state"),
+        }
+    }
+}
+
+/// A server response, echoing the request's id. `Wait` and `Restarted`
+/// carry the session layer's [`Op`](ccopt_engine::Op) semantics onto the
+/// wire: `Wait` = retry the same operation after a backoff, `Restarted` =
+/// the whole transaction restarted under a fresh timestamp, replay its
+/// program on the same token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The server is alive.
+    Pong,
+    /// A transaction opened.
+    Began {
+        /// Its token, the `txn` of every subsequent request.
+        txn: u64,
+    },
+    /// The operation executed; for reads and updates `value` is the
+    /// observed value, for writes the overwritten one.
+    Done {
+        /// The observed value.
+        value: Value,
+    },
+    /// The operation blocked; retry it.
+    Wait,
+    /// The transaction restarted; replay its program on the same token.
+    Restarted,
+    /// The commit is durable (to the configured durability mode).
+    Committed,
+    /// The abort took effect.
+    Aborted,
+    /// Admission control refused the request: a bounded queue was full.
+    /// Back off and retry; the transaction state is unchanged (a shed
+    /// `Begin` opened nothing, a shed operation restarted the
+    /// transaction — the server answers `Restarted` in that case, never
+    /// `Shed`).
+    Shed,
+    /// The server is draining: no new transactions. Also the
+    /// acknowledgement of [`Request::Shutdown`].
+    Draining,
+    /// The request was refused outright.
+    Err {
+        /// Why.
+        code: ErrCode,
+        /// Human-readable detail (short, ASCII).
+        msg: String,
+    },
+}
+
+// ------------------------------------------------------------- framing
+
+/// Append one frame (length + CRC + payload) to `out`.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&encoding::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Write one frame to a stream (no flush; callers batch and flush).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    frame_into(&mut buf, payload);
+    w.write_all(&buf)
+}
+
+/// Read one frame off a stream. `Ok(None)` is a clean EOF **at a frame
+/// boundary** (the peer closed between messages); EOF inside a frame is
+/// an error like any other truncation. The length prefix is validated
+/// against [`MAX_FRAME`] before the payload is
+/// allocated, and the checksum before the payload is returned.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut head = [0u8; 8];
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside a frame header",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(head[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(FrameError::Wire(WireError::Oversized { len }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if encoding::crc32(&payload) != crc {
+        return Err(FrameError::Wire(WireError::Checksum));
+    }
+    Ok(Some(payload))
+}
+
+// ------------------------------------------------------------ requests
+
+/// Encode a request payload (frame it with [`frame_into`] /
+/// [`write_frame`] to put it on a wire).
+pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    let op = match req {
+        Request::Ping => OP_PING,
+        Request::Begin => OP_BEGIN,
+        Request::Read { .. } => OP_READ,
+        Request::Write { .. } => OP_WRITE,
+        Request::Update { .. } => OP_UPDATE,
+        Request::Commit { .. } => OP_COMMIT,
+        Request::Abort { .. } => OP_ABORT,
+        Request::Shutdown => OP_SHUTDOWN,
+    };
+    b.push(op);
+    b.extend_from_slice(&req_id.to_le_bytes());
+    match *req {
+        Request::Ping | Request::Begin | Request::Shutdown => {}
+        Request::Read { txn, var } => {
+            b.extend_from_slice(&txn.to_le_bytes());
+            b.extend_from_slice(&var.to_le_bytes());
+        }
+        Request::Write { txn, var, value } => {
+            b.extend_from_slice(&txn.to_le_bytes());
+            b.extend_from_slice(&var.to_le_bytes());
+            encoding::put_value(&mut b, value);
+        }
+        Request::Update { txn, var, a, c } => {
+            b.extend_from_slice(&txn.to_le_bytes());
+            b.extend_from_slice(&var.to_le_bytes());
+            b.extend_from_slice(&a.to_le_bytes());
+            b.extend_from_slice(&c.to_le_bytes());
+        }
+        Request::Commit { txn } | Request::Abort { txn } => {
+            b.extend_from_slice(&txn.to_le_bytes());
+        }
+    }
+    b
+}
+
+/// Decode a request payload. Total: any byte sequence either decodes or
+/// returns [`WireError::Malformed`] (trailing bytes included).
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
+    let mut c = Cursor::new(payload);
+    let op = c.take_u8().ok_or(WireError::Malformed)?;
+    let req_id = c.take_u64().ok_or(WireError::Malformed)?;
+    let req = match op {
+        OP_PING => Request::Ping,
+        OP_BEGIN => Request::Begin,
+        OP_READ => Request::Read {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+            var: c.take_u32().ok_or(WireError::Malformed)?,
+        },
+        OP_WRITE => Request::Write {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+            var: c.take_u32().ok_or(WireError::Malformed)?,
+            value: c.take_value().ok_or(WireError::Malformed)?,
+        },
+        OP_UPDATE => Request::Update {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+            var: c.take_u32().ok_or(WireError::Malformed)?,
+            a: c.take_u64().ok_or(WireError::Malformed)? as i64,
+            c: c.take_u64().ok_or(WireError::Malformed)? as i64,
+        },
+        OP_COMMIT => Request::Commit {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+        },
+        OP_ABORT => Request::Abort {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+        },
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return Err(WireError::Malformed),
+    };
+    if !c.at_end() {
+        return Err(WireError::Malformed);
+    }
+    Ok((req_id, req))
+}
+
+// ----------------------------------------------------------- responses
+
+/// Encode a response payload.
+pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
+    let mut b = Vec::with_capacity(32);
+    let op = match resp {
+        Response::Pong => RESP_PONG,
+        Response::Began { .. } => RESP_BEGAN,
+        Response::Done { .. } => RESP_DONE,
+        Response::Wait => RESP_WAIT,
+        Response::Restarted => RESP_RESTARTED,
+        Response::Committed => RESP_COMMITTED,
+        Response::Aborted => RESP_ABORTED,
+        Response::Shed => RESP_SHED,
+        Response::Draining => RESP_DRAINING,
+        Response::Err { .. } => RESP_ERR,
+    };
+    b.push(op);
+    b.extend_from_slice(&req_id.to_le_bytes());
+    match resp {
+        Response::Began { txn } => b.extend_from_slice(&txn.to_le_bytes()),
+        Response::Done { value } => encoding::put_value(&mut b, *value),
+        Response::Err { code, msg } => {
+            b.push(code.to_byte());
+            let bytes = msg.as_bytes();
+            let n = bytes.len().min(u16::MAX as usize);
+            b.extend_from_slice(&(n as u16).to_le_bytes());
+            b.extend_from_slice(&bytes[..n]);
+        }
+        _ => {}
+    }
+    b
+}
+
+/// Decode a response payload. Total, like [`decode_request`].
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
+    let mut c = Cursor::new(payload);
+    let op = c.take_u8().ok_or(WireError::Malformed)?;
+    let req_id = c.take_u64().ok_or(WireError::Malformed)?;
+    let resp = match op {
+        RESP_PONG => Response::Pong,
+        RESP_BEGAN => Response::Began {
+            txn: c.take_u64().ok_or(WireError::Malformed)?,
+        },
+        RESP_DONE => Response::Done {
+            value: c.take_value().ok_or(WireError::Malformed)?,
+        },
+        RESP_WAIT => Response::Wait,
+        RESP_RESTARTED => Response::Restarted,
+        RESP_COMMITTED => Response::Committed,
+        RESP_ABORTED => Response::Aborted,
+        RESP_SHED => Response::Shed,
+        RESP_DRAINING => Response::Draining,
+        RESP_ERR => {
+            let code = ErrCode::from_byte(c.take_u8().ok_or(WireError::Malformed)?)
+                .ok_or(WireError::Malformed)?;
+            let n = c.take_u16().ok_or(WireError::Malformed)? as usize;
+            let bytes = c.take_bytes(n).ok_or(WireError::Malformed)?;
+            let msg = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed)?
+                .to_string();
+            Response::Err { code, msg }
+        }
+        _ => return Err(WireError::Malformed),
+    };
+    if !c.at_end() {
+        return Err(WireError::Malformed);
+    }
+    Ok((req_id, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::Begin,
+            Request::Read { txn: 7, var: 3 },
+            Request::Write {
+                txn: 7,
+                var: 3,
+                value: Value::Int(-9),
+            },
+            Request::Update {
+                txn: 7,
+                var: 3,
+                a: -2,
+                c: i64::MAX,
+            },
+            Request::Commit { txn: 7 },
+            Request::Abort { txn: 7 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Began { txn: 42 },
+            Response::Done {
+                value: Value::Bool(true),
+            },
+            Response::Wait,
+            Response::Restarted,
+            Response::Committed,
+            Response::Aborted,
+            Response::Shed,
+            Response::Draining,
+            Response::Err {
+                code: ErrCode::UnknownTxn,
+                msg: "token 9 was retired".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in all_requests() {
+            let p = encode_request(11, &req);
+            assert_eq!(decode_request(&p), Ok((11, req)));
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in all_responses() {
+            let p = encode_response(13, &resp);
+            assert_eq!(decode_response(&p), Ok((13, resp)));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut p = encode_request(1, &Request::Begin);
+        p.push(0);
+        assert_eq!(decode_request(&p), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut wire = Vec::new();
+        for req in all_requests() {
+            write_frame(&mut wire, &encode_request(1, &req)).unwrap();
+        }
+        let mut r = &wire[..];
+        for req in all_requests() {
+            let p = read_frame(&mut r).unwrap().expect("frame present");
+            assert_eq!(decode_request(&p).unwrap().1, req);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame(&mut &wire[..]) {
+            Err(FrameError::Wire(WireError::Oversized { len })) => assert_eq!(len, u32::MAX),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

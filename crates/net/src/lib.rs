@@ -1,0 +1,37 @@
+//! # `ccopt-net` — the served system
+//!
+//! The engine so far ran in-process: one address space, simulated
+//! arrival streams. This crate is ROADMAP item 3's "millions of users
+//! story": a TCP front-end serving the session API over a
+//! length-prefixed, CRC-framed wire protocol, so concurrency-control
+//! mechanisms face *real* concurrent load — independent clients on real
+//! sockets — instead of a driver loop.
+//!
+//! * [`frame`] — the wire protocol: the write-ahead log's framing
+//!   convention (`[len][crc32][payload]`, [`ccopt_durability::encoding`])
+//!   carrying request/response payloads with client-chosen request ids
+//!   for pipelining; decoding is total (never panics on wire input);
+//! * [`server`] — the [`Server`]: accept/reader/writer threads around
+//!   one engine thread that owns a [`ccopt_engine::ShardedDb`], batches
+//!   consecutive same-transaction operations through
+//!   [`ccopt_engine::ShardedDb::apply_batch`], sheds load at three
+//!   bounded layers, and drains gracefully on shutdown;
+//! * [`error`] — [`ServerError`] / [`WireError`] / [`FrameError`]
+//!   following the `WalError` pattern (Display + Error + source
+//!   chaining).
+//!
+//! The `ccopt-server` binary wraps [`Server`] with flags
+//! (`--addr --cc --shards --data-dir ...`); `ccopt-client` is the
+//! mirror-image client crate; `docs/SERVER.md` specifies the protocol,
+//! admission control, and drain semantics.
+
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use error::{FrameError, ServerError, WireError};
+pub use frame::{
+    decode_request, decode_response, encode_request, encode_response, frame_into, read_frame,
+    write_frame, ErrCode, Request, Response, MAX_FRAME,
+};
+pub use server::{DrainStats, Server, ServerConfig};

@@ -1,0 +1,933 @@
+//! The TCP front-end: connection handling, request pipelining, admission
+//! control, and graceful drain over a [`ShardedDb`].
+//!
+//! # Threads
+//!
+//! One **accept** thread polls the listener; each connection gets a
+//! **reader** thread (decode frames, admission-check, forward to the
+//! engine) and a **writer** thread (frame and batch responses back out).
+//! One **engine** thread owns the [`ShardedDb`] and is the only thread
+//! that touches it: every connection's requests are multiplexed onto it
+//! through one bounded channel, and consecutive data operations of the
+//! same transaction are submitted through [`ShardedDb::apply_batch`] so a
+//! pipelining client amortizes the per-operation shard-mailbox round
+//! trip.
+//!
+//! # Admission control
+//!
+//! Three bounded layers, each answering [`Response::Shed`] (or the
+//! equivalent) instead of queueing unboundedly:
+//!
+//! 1. **per-connection pipeline cap** — at most `pipeline` requests may
+//!    be awaiting responses on one connection; excess requests are shed
+//!    by the reader thread without ever reaching the engine. This also
+//!    bounds every per-connection outbox: the writer never holds more
+//!    than `pipeline` undelivered responses.
+//! 2. **engine queue** — one bounded channel in front of the engine
+//!    thread; readers `try_send` and shed on overflow.
+//! 3. **transaction cap and shard mailboxes** — `Begin` is shed when
+//!    `max_txns` transactions are live; admitted operations still hit the
+//!    existing per-shard bounded mailboxes ([`ShardedDb::
+//!    set_queue_capacity`]), whose overflow restarts the transaction
+//!    through the engine's `shed_aborts` / `ConflictRule::Shed`
+//!    accounting and answers [`Response::Restarted`].
+//!
+//! # Drain
+//!
+//! [`Server::shutdown`] (or a wire [`Request::Shutdown`]) starts a
+//! drain: new transactions are refused with [`Response::Draining`],
+//! in-flight transactions get a grace period to finish, stragglers are
+//! aborted, the logs are synced, and `DrainStart`/`DrainDone` trace
+//! events bracket the whole episode. [`Server::kill`] is the opposite:
+//! drop everything without a final sync — the crash the durability tests
+//! recover from.
+
+use crate::error::{FrameError, ServerError};
+use crate::frame::{
+    decode_request, encode_response, frame_into, read_frame, ErrCode, Request, Response,
+};
+use ccopt_durability::DurabilityMode;
+use ccopt_engine::{
+    cc_by_name, BatchOp, ConcurrencyControl, GlobalTxn, Op, SessionError, ShardedDb,
+};
+use ccopt_model::ids::VarId;
+use ccopt_model::state::GlobalState;
+use ccopt_trace::{EventKind, TraceConfig, Tracer};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` is a volatile single-machine setup
+/// bound to an ephemeral localhost port.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks an ephemeral port).
+    pub addr: String,
+    /// Concurrency-control mechanism, by canonical name
+    /// ([`ccopt_engine::MECHANISM_NAMES`]).
+    pub cc: String,
+    /// Size of the variable universe (requests naming a variable outside
+    /// `0..num_vars` are refused as malformed).
+    pub num_vars: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Data directory for the write-ahead logs; `None` runs volatile.
+    pub dir: Option<PathBuf>,
+    /// Durability mode of the shard logs (ignored when `dir` is `None`).
+    pub mode: DurabilityMode,
+    /// Admission cap: maximum simultaneously live transactions; `Begin`
+    /// beyond it is shed.
+    pub max_txns: usize,
+    /// Admission cap: maximum in-flight (unanswered) requests per
+    /// connection; excess requests are shed by the reader thread.
+    pub pipeline: usize,
+    /// Admission cap: bound of the engine's request queue; overflow is
+    /// shed by the reader thread.
+    pub queue: usize,
+    /// Bound of each shard's mailbox (0 = unbounded); overflow restarts
+    /// the transaction through the engine's shed accounting.
+    pub shard_queue: usize,
+    /// Trace configuration; the server adds its network-plane events to
+    /// the same hub the engine traces through.
+    pub trace: Option<TraceConfig>,
+    /// How long a drain waits for in-flight transactions before aborting
+    /// the stragglers.
+    pub drain_grace: Duration,
+    /// The distributed-deadlock valve: after this many *consecutive*
+    /// `Wait` answers, the transaction is force-restarted
+    /// ([`ShardedDb::restart`]) and the client told [`Response::
+    /// Restarted`]. Cross-shard wait cycles are invisible to every
+    /// shard-local deadlock detector, so without this a pair of wire
+    /// clients can ping-pong `Wait` retries forever. 0 disables it.
+    pub wait_valve: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cc: "strict-2PL".to_string(),
+            num_vars: 64,
+            shards: 4,
+            dir: None,
+            mode: DurabilityMode::None,
+            max_txns: 256,
+            pipeline: 64,
+            queue: 1024,
+            shard_queue: 256,
+            trace: None,
+            drain_grace: Duration::from_secs(2),
+            wait_valve: 24,
+        }
+    }
+}
+
+/// What a finished server reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrainStats {
+    /// Transactions committed over the server's lifetime.
+    pub commits: u64,
+    /// Transactions still live when the drain grace expired, aborted to
+    /// finish the drain.
+    pub aborted_on_drain: usize,
+    /// Requests refused by admission control (all three layers).
+    pub sheds: u64,
+}
+
+// ------------------------------------------------------------- messages
+
+enum ToEngine {
+    /// A connection opened; `out` is its response outbox.
+    Conn { id: u64, out: mpsc::Sender<Vec<u8>> },
+    /// A connection closed; abort its transactions.
+    Gone { id: u64 },
+    /// One decoded request.
+    Req {
+        conn: u64,
+        req_id: u64,
+        req: Request,
+    },
+    /// Start a graceful drain (same effect as a wire `Shutdown`).
+    Drain,
+    /// Exit immediately without syncing (simulated crash).
+    Kill,
+}
+
+// --------------------------------------------------------------- server
+
+/// A running server. Dropping it without calling
+/// [`shutdown`](Server::shutdown) / [`kill`](Server::kill) kills it.
+pub struct Server {
+    addr: SocketAddr,
+    tx: SyncSender<ToEngine>,
+    done_rx: Receiver<DrainStats>,
+    stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    sheds: Arc<AtomicU64>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, open (or recover) the engine, and start serving. Fails
+    /// synchronously on an unknown mechanism, a bind error, or a log
+    /// that does not recover.
+    pub fn start(cfg: ServerConfig) -> Result<Server, ServerError> {
+        if cc_by_name(&cfg.cc).is_none() {
+            return Err(ServerError::UnknownMechanism(cfg.cc));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let (tx, rx) = mpsc::sync_channel::<ToEngine>(cfg.queue.max(1));
+        let (done_tx, done_rx) = mpsc::channel::<DrainStats>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServerError>>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let kill = Arc::new(AtomicBool::new(false));
+        let sheds = Arc::new(AtomicU64::new(0));
+        let conns = Arc::new(Mutex::new(HashMap::new()));
+
+        let engine = {
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            let kill = Arc::clone(&kill);
+            let sheds = Arc::clone(&sheds);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("ccopt-net-engine".to_string())
+                .spawn(move || engine_thread(cfg, rx, ready_tx, done_tx, stop, kill, sheds, conns))
+                .expect("spawn engine thread")
+        };
+        // Engine startup (recovery included) is synchronous: a log that
+        // does not open fails `start`, not the first request.
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = engine.join();
+                return Err(e);
+            }
+            Err(_) => {
+                let _ = engine.join();
+                return Err(ServerError::Stopped);
+            }
+        }
+
+        let accept = {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let sheds = Arc::clone(&sheds);
+            let conns = Arc::clone(&conns);
+            let pipeline = cfg.pipeline.max(1);
+            std::thread::Builder::new()
+                .name("ccopt-net-accept".to_string())
+                .spawn(move || accept_thread(listener, tx, stop, sheds, conns, pipeline))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            tx,
+            done_rx,
+            stop,
+            kill,
+            sheds,
+            conns,
+            accept: Some(accept),
+            engine: Some(engine),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed_count(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Gracefully drain and stop: refuse new transactions, give
+    /// in-flight ones the configured grace, abort stragglers, sync the
+    /// logs, close every connection.
+    pub fn shutdown(mut self) -> Result<DrainStats, ServerError> {
+        let _ = self.tx.send(ToEngine::Drain);
+        let stats = self.done_rx.recv().map_err(|_| ServerError::Stopped)?;
+        self.join();
+        Ok(stats)
+    }
+
+    /// Block until the server stops on its own (a wire
+    /// [`Request::Shutdown`] drained it). This is what the `ccopt-server`
+    /// binary parks on.
+    pub fn wait(mut self) -> Result<DrainStats, ServerError> {
+        let stats = self.done_rx.recv().map_err(|_| ServerError::Stopped)?;
+        self.join();
+        Ok(stats)
+    }
+
+    /// Simulated crash: stop immediately **without** a final log sync —
+    /// exactly the fate committed transactions must survive under
+    /// [`DurabilityMode::Strict`]. In-flight work is abandoned.
+    pub fn kill(mut self) {
+        self.kill.store(true, Ordering::SeqCst);
+        let _ = self.tx.try_send(ToEngine::Kill);
+        let _ = self.done_rx.recv();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for (_, s) in self.conns.lock().unwrap().drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.engine.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.engine.is_some() {
+            self.kill.store(true, Ordering::SeqCst);
+            let _ = self.tx.try_send(ToEngine::Kill);
+            let _ = self.done_rx.recv();
+            self.join();
+        }
+    }
+}
+
+// --------------------------------------------------------- accept plane
+
+fn accept_thread(
+    listener: TcpListener,
+    tx: SyncSender<ToEngine>,
+    stop: Arc<AtomicBool>,
+    sheds: Arc<AtomicU64>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    pipeline: usize,
+) {
+    let mut next_id = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                next_id += 1;
+                let id = next_id;
+                let _ = stream.set_nodelay(true);
+                let (out_tx, out_rx) = mpsc::channel::<Vec<u8>>();
+                // Registration order matters: the engine must learn of
+                // the connection before any of its requests.
+                if tx
+                    .send(ToEngine::Conn {
+                        id,
+                        out: out_tx.clone(),
+                    })
+                    .is_err()
+                {
+                    return; // engine gone; stop accepting
+                }
+                if let (Ok(write_half), Ok(registered)) = (stream.try_clone(), stream.try_clone()) {
+                    conns.lock().unwrap().insert(id, registered);
+                    let inflight = Arc::new(AtomicUsize::new(0));
+                    {
+                        let inflight = Arc::clone(&inflight);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("ccopt-net-w{id}"))
+                            .spawn(move || writer_thread(write_half, out_rx, inflight));
+                    }
+                    {
+                        let tx = tx.clone();
+                        let sheds = Arc::clone(&sheds);
+                        let conns = Arc::clone(&conns);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("ccopt-net-r{id}"))
+                            .spawn(move || {
+                                reader_thread(stream, id, tx, out_tx, inflight, pipeline, sheds);
+                                conns.lock().unwrap().remove(&id);
+                            });
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Decode frames, admission-check, forward. Every accepted request
+/// produces exactly one response; the in-flight counter goes up here and
+/// down in the writer, so `pipeline` bounds both the engine's exposure
+/// to this connection and the outbox length.
+fn reader_thread(
+    mut stream: TcpStream,
+    id: u64,
+    tx: SyncSender<ToEngine>,
+    out: mpsc::Sender<Vec<u8>>,
+    inflight: Arc<AtomicUsize>,
+    pipeline: usize,
+    sheds: Arc<AtomicU64>,
+) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // clean close
+            Err(FrameError::Io(_)) | Err(FrameError::Wire(_)) => break,
+        };
+        let (req_id, req) = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(_) => {
+                // The frame was intact (CRC passed) but the payload does
+                // not decode. Answer when the request id is recoverable
+                // (opcode byte + 8 id bytes), else close: "always answer
+                // or close cleanly".
+                if payload.len() >= 9 {
+                    let req_id = u64::from_le_bytes(payload[1..9].try_into().unwrap());
+                    inflight.fetch_add(1, Ordering::SeqCst);
+                    let resp = Response::Err {
+                        code: ErrCode::Malformed,
+                        msg: "request payload does not decode".to_string(),
+                    };
+                    if out.send(encode_response(req_id, &resp)).is_err() {
+                        break;
+                    }
+                    continue;
+                }
+                break;
+            }
+        };
+        let in_flight = inflight.fetch_add(1, Ordering::SeqCst);
+        let shed = in_flight >= pipeline;
+        if shed {
+            sheds.fetch_add(1, Ordering::Relaxed);
+            if out.send(encode_response(req_id, &Response::Shed)).is_err() {
+                break;
+            }
+            continue;
+        }
+        match tx.try_send(ToEngine::Req {
+            conn: id,
+            req_id,
+            req,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                sheds.fetch_add(1, Ordering::Relaxed);
+                if out.send(encode_response(req_id, &Response::Shed)).is_err() {
+                    break;
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = tx.send(ToEngine::Gone { id });
+}
+
+/// Frame and write responses, batching everything already queued into
+/// one flush (the write-side half of pipelining).
+fn writer_thread(stream: TcpStream, out_rx: mpsc::Receiver<Vec<u8>>, inflight: Arc<AtomicUsize>) {
+    let mut w = std::io::BufWriter::new(stream);
+    let mut buf = Vec::with_capacity(4096);
+    while let Ok(payload) = out_rx.recv() {
+        buf.clear();
+        frame_into(&mut buf, &payload);
+        inflight.fetch_sub(1, Ordering::SeqCst);
+        // Greedily batch whatever else is ready before flushing.
+        while let Ok(p) = out_rx.try_recv() {
+            frame_into(&mut buf, &p);
+            inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if w.write_all(&buf).is_err() || w.flush().is_err() {
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------- engine plane
+
+struct Engine<'a> {
+    db: ShardedDb<'a>,
+    tracer: Tracer,
+    conns: HashMap<u64, mpsc::Sender<Vec<u8>>>,
+    /// token -> (engine handle, owning connection)
+    txns: HashMap<u64, (GlobalTxn, u64)>,
+    /// token -> consecutive `Wait` answers (valve input; reset by any
+    /// other outcome, fires [`ShardedDb::restart`] at `wait_valve`).
+    waits: HashMap<u64, u32>,
+    /// See [`ServerConfig::wait_valve`].
+    wait_valve: u32,
+    next_token: u64,
+    max_txns: usize,
+    num_vars: u32,
+    sheds: Arc<AtomicU64>,
+    commits: u64,
+    /// Engine "tick" for trace timestamps: one per processed message.
+    tick: u64,
+    draining: bool,
+    deadline: Option<Instant>,
+    grace: Duration,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn engine_thread(
+    cfg: ServerConfig,
+    rx: Receiver<ToEngine>,
+    ready_tx: mpsc::Sender<Result<(), ServerError>>,
+    done_tx: mpsc::Sender<DrainStats>,
+    stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    sheds: Arc<AtomicU64>,
+    conn_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
+) {
+    // The factory lives on this thread's stack for the `ShardedDb`'s
+    // whole life — the borrow that makes `ShardedDb<'a>` workable here.
+    let cc_name = cfg.cc.clone();
+    let make_cc: Box<dyn Fn() -> Box<dyn ConcurrencyControl>> =
+        Box::new(move || cc_by_name(&cc_name).expect("name validated at start"));
+    let init = GlobalState::from_ints(&vec![0; cfg.num_vars]);
+    let mut db = match &cfg.dir {
+        Some(dir) => {
+            match ShardedDb::open(&*make_cc, init, dir, cfg.mode, cfg.shards, cfg.max_txns) {
+                Ok(db) => db,
+                Err(e) => {
+                    let _ = ready_tx.send(Err(ServerError::Wal(e)));
+                    return;
+                }
+            }
+        }
+        None => ShardedDb::with_capacity(&*make_cc, init, cfg.shards, cfg.max_txns),
+    };
+    if cfg.shard_queue > 0 {
+        db.set_queue_capacity(cfg.shard_queue);
+    }
+    let mut tracer = Tracer::off();
+    if let Some(tc) = &cfg.trace {
+        if let Err(e) = db.set_trace(tc) {
+            let _ = ready_tx.send(Err(ServerError::Io(e)));
+            return;
+        }
+        // The server plane emits as shard id S+1 (one past the
+        // coordinator's S), so merged traces stay totally ordered.
+        if let Some(hub) = db.trace_hub() {
+            tracer = hub.tracer(cfg.shards as u32 + 1);
+        }
+    }
+    let _ = ready_tx.send(Ok(()));
+
+    let mut eng = Engine {
+        db,
+        tracer,
+        conns: HashMap::new(),
+        txns: HashMap::new(),
+        waits: HashMap::new(),
+        wait_valve: cfg.wait_valve,
+        next_token: 0,
+        max_txns: cfg.max_txns.max(1),
+        num_vars: cfg.num_vars as u32,
+        sheds,
+        commits: 0,
+        tick: 0,
+        draining: false,
+        deadline: None,
+        grace: cfg.drain_grace,
+    };
+    let mut batch: Vec<ToEngine> = Vec::with_capacity(256);
+    let mut killed = false;
+    'serve: loop {
+        if kill.load(Ordering::SeqCst) {
+            killed = true;
+            break 'serve;
+        }
+        batch.clear();
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(m) => batch.push(m),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break 'serve,
+        }
+        while batch.len() < 256 {
+            match rx.try_recv() {
+                Ok(m) => batch.push(m),
+                Err(_) => break,
+            }
+        }
+        eng.process(&batch);
+        if eng.draining {
+            let expired = eng.deadline.map(|d| Instant::now() >= d).unwrap_or(true);
+            if eng.txns.is_empty() || expired {
+                break 'serve;
+            }
+        }
+    }
+
+    let mut stats = DrainStats {
+        commits: eng.commits,
+        aborted_on_drain: 0,
+        sheds: eng.sheds.load(Ordering::Relaxed),
+    };
+    if !killed {
+        // Abort stragglers, sync the logs, close the books.
+        let leftovers: Vec<GlobalTxn> = eng.txns.values().map(|&(h, _)| h).collect();
+        stats.aborted_on_drain = leftovers.len();
+        for h in leftovers {
+            let _ = eng.db.abort(h);
+        }
+        eng.txns.clear();
+        eng.waits.clear();
+        let _ = eng.db.sync();
+        if eng.draining && eng.tracer.is_on() {
+            let t = eng.tick;
+            eng.tracer.emit(t, EventKind::DrainDone);
+        }
+        eng.db.flush_trace();
+    }
+    // Wake every connection so its threads exit.
+    stop.store(true, Ordering::SeqCst);
+    for (_, s) in conn_streams.lock().unwrap().drain() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    let _ = done_tx.send(stats);
+    // `killed` drops the database without the sync above: the write-ahead
+    // logs close mid-stream, which is the crash the recovery path serves.
+}
+
+impl Engine<'_> {
+    fn process(&mut self, msgs: &[ToEngine]) {
+        // Coalesce consecutive data operations of the same (conn, txn)
+        // into one `apply_batch` run.
+        let mut run: Vec<(u64, BatchOp)> = Vec::new();
+        let mut run_key: Option<(u64, u64)> = None;
+        for m in msgs {
+            self.tick += 1;
+            if let ToEngine::Req { conn, req_id, req } = m {
+                if let Some(op) = data_op(req) {
+                    let key = (*conn, op.0);
+                    if run_key == Some(key) {
+                        run.push((*req_id, op.1));
+                        continue;
+                    }
+                    self.flush_run(&mut run_key, &mut run);
+                    run_key = Some(key);
+                    run.push((*req_id, op.1));
+                    continue;
+                }
+            }
+            self.flush_run(&mut run_key, &mut run);
+            self.handle(m);
+        }
+        self.flush_run(&mut run_key, &mut run);
+    }
+
+    fn handle(&mut self, m: &ToEngine) {
+        match m {
+            ToEngine::Conn { id, out } => {
+                self.conns.insert(*id, out.clone());
+                if self.tracer.is_on() {
+                    let t = self.tick;
+                    self.tracer.emit(t, EventKind::ConnAccept { conn: *id });
+                }
+            }
+            ToEngine::Gone { id } => {
+                // A dead connection's transactions are aborted: nobody
+                // can ever speak for their tokens again.
+                let orphans: Vec<u64> = self
+                    .txns
+                    .iter()
+                    .filter(|(_, (_, c))| c == id)
+                    .map(|(&tok, _)| tok)
+                    .collect();
+                for tok in orphans {
+                    if let Some((h, _)) = self.txns.remove(&tok) {
+                        self.waits.remove(&tok);
+                        let _ = self.db.abort(h);
+                    }
+                }
+                self.conns.remove(id);
+                if self.tracer.is_on() {
+                    let t = self.tick;
+                    self.tracer.emit(t, EventKind::ConnClose { conn: *id });
+                }
+            }
+            ToEngine::Req { conn, req_id, req } => self.request(*conn, *req_id, req),
+            ToEngine::Drain => self.begin_drain(),
+            ToEngine::Kill => {}
+        }
+    }
+
+    fn request(&mut self, conn: u64, req_id: u64, req: &Request) {
+        match req {
+            Request::Ping => self.respond(conn, req_id, &Response::Pong),
+            Request::Begin => {
+                if self.draining {
+                    self.respond(conn, req_id, &Response::Draining);
+                } else if self.txns.len() >= self.max_txns {
+                    self.sheds.fetch_add(1, Ordering::Relaxed);
+                    if self.tracer.is_on() {
+                        let t = self.tick;
+                        self.tracer.emit(t, EventKind::RequestShed { conn });
+                    }
+                    self.respond(conn, req_id, &Response::Shed);
+                } else {
+                    let h = self.db.begin();
+                    self.next_token += 1;
+                    let token = self.next_token;
+                    self.txns.insert(token, (h, conn));
+                    self.respond(conn, req_id, &Response::Began { txn: token });
+                }
+            }
+            Request::Commit { txn } => {
+                let Some(&(h, _)) = self.txns.get(txn) else {
+                    self.unknown(conn, req_id, *txn);
+                    return;
+                };
+                match self.db.commit(h) {
+                    Ok(Op::Done(())) => {
+                        let _ = self.db.retire(h);
+                        self.txns.remove(txn);
+                        self.waits.remove(txn);
+                        self.commits += 1;
+                        self.respond(conn, req_id, &Response::Committed);
+                    }
+                    Ok(Op::Wait) => {
+                        let resp = self.waited(*txn, h);
+                        self.respond(conn, req_id, &resp);
+                    }
+                    Ok(Op::Restarted) => {
+                        self.waits.remove(txn);
+                        self.respond(conn, req_id, &Response::Restarted);
+                    }
+                    Err(e) => self.session_error(conn, req_id, *txn, e),
+                }
+            }
+            Request::Abort { txn } => {
+                let Some(&(h, _)) = self.txns.get(txn) else {
+                    self.unknown(conn, req_id, *txn);
+                    return;
+                };
+                match self.db.abort(h) {
+                    Ok(()) => {
+                        self.txns.remove(txn);
+                        self.waits.remove(txn);
+                        self.respond(conn, req_id, &Response::Aborted);
+                    }
+                    Err(e) => self.session_error(conn, req_id, *txn, e),
+                }
+            }
+            Request::Shutdown => {
+                self.respond(conn, req_id, &Response::Draining);
+                self.begin_drain();
+            }
+            // Data ops arrive through `flush_run`, but a lone op can
+            // still land here if the compiler's pattern ordering changes;
+            // route it through the same path.
+            Request::Read { .. } | Request::Write { .. } | Request::Update { .. } => {
+                if let Some((txn, op)) = data_op(req) {
+                    let mut key = Some((conn, txn));
+                    let mut run = vec![(req_id, op)];
+                    self.flush_run(&mut key, &mut run);
+                }
+            }
+        }
+    }
+
+    /// Execute a coalesced run of data operations through
+    /// [`ShardedDb::apply_batch`] and answer each request. Operations the
+    /// engine did not attempt (everything after the run's first
+    /// non-`Done` outcome) mirror that trailing outcome, preserving the
+    /// session contract a pipelining client already handles: `Wait` =
+    /// resend, `Restarted` = replay the program.
+    fn flush_run(&mut self, key: &mut Option<(u64, u64)>, run: &mut Vec<(u64, BatchOp)>) {
+        let Some((conn, token)) = key.take() else {
+            debug_assert!(run.is_empty());
+            return;
+        };
+        let ops = std::mem::take(run);
+        if ops.is_empty() {
+            return;
+        }
+        // Validate variable ids up front: an out-of-universe id must be
+        // refused before it reaches a shard (a malformed request must
+        // never panic a worker).
+        for (req_id, op) in &ops {
+            if op.var().0 >= self.num_vars {
+                self.respond(
+                    conn,
+                    *req_id,
+                    &Response::Err {
+                        code: ErrCode::Malformed,
+                        msg: format!("variable {} outside 0..{}", op.var().0, self.num_vars),
+                    },
+                );
+                // Answer the rest individually through a fresh pass that
+                // keeps positions aligned; simplest is to re-run the
+                // remainder as its own run.
+                let rest: Vec<(u64, BatchOp)> =
+                    ops.iter().filter(|(r, _)| r != req_id).copied().collect();
+                if !rest.is_empty() {
+                    let mut k = Some((conn, token));
+                    let mut rest = rest;
+                    self.flush_run(&mut k, &mut rest);
+                }
+                return;
+            }
+        }
+        let Some(&(h, _)) = self.txns.get(&token) else {
+            for (req_id, _) in &ops {
+                self.unknown(conn, *req_id, token);
+            }
+            return;
+        };
+        let batch: Vec<BatchOp> = ops.iter().map(|&(_, op)| op).collect();
+        match self.db.apply_batch(h, &batch) {
+            Ok(outs) => {
+                // `apply_batch` short-circuits at the first non-`Done`
+                // outcome, so at most the *last* entry is `Wait`/
+                // `Restarted` — that trailing outcome also answers the
+                // unattempted ops. A trailing `Wait` feeds the
+                // distributed-deadlock valve, which may turn the whole
+                // answer into `Restarted` (the attempt replays anyway).
+                let trailing = match outs.last() {
+                    Some(Op::Restarted) => {
+                        self.waits.remove(&token);
+                        Response::Restarted
+                    }
+                    Some(Op::Wait) => self.waited(token, h),
+                    _ => {
+                        self.waits.remove(&token);
+                        Response::Wait // unreachable: short only on non-Done
+                    }
+                };
+                for (i, (req_id, _)) in ops.iter().enumerate() {
+                    let resp = match outs.get(i) {
+                        Some(Op::Done(v)) => Response::Done { value: *v },
+                        _ => trailing.clone(),
+                    };
+                    self.respond(conn, *req_id, &resp);
+                }
+            }
+            Err(e) => {
+                for (req_id, _) in &ops {
+                    self.session_error(conn, *req_id, token, e);
+                }
+            }
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        if !self.draining {
+            self.draining = true;
+            self.deadline = Some(Instant::now() + self.grace);
+            if self.tracer.is_on() {
+                let t = self.tick;
+                self.tracer.emit(t, EventKind::DrainStart);
+            }
+        }
+    }
+
+    /// Record one `Wait` answer for `token` and fire the
+    /// distributed-deadlock valve when the bound is reached: two wire
+    /// clients in a cross-shard lock cycle would otherwise exchange
+    /// `Wait` retries forever, because no shard-local deadlock detector
+    /// can see the cycle. Firing force-restarts the transaction
+    /// ([`ShardedDb::restart`]) and answers `Restarted`, which the
+    /// client already handles by replaying its program on the same
+    /// token.
+    fn waited(&mut self, token: u64, h: GlobalTxn) -> Response {
+        if self.wait_valve == 0 {
+            return Response::Wait;
+        }
+        let n = self.waits.entry(token).or_insert(0);
+        *n += 1;
+        if *n < self.wait_valve {
+            return Response::Wait;
+        }
+        self.waits.remove(&token);
+        match self.db.restart(h) {
+            Ok(()) => Response::Restarted,
+            // Not restartable (already terminal); let the client's next
+            // request surface the real state.
+            Err(_) => Response::Wait,
+        }
+    }
+
+    fn session_error(&mut self, conn: u64, req_id: u64, token: u64, e: SessionError) {
+        let resp = match e {
+            SessionError::Stale => {
+                self.txns.remove(&token);
+                self.waits.remove(&token);
+                Response::Err {
+                    code: ErrCode::UnknownTxn,
+                    msg: "the transaction is gone".to_string(),
+                }
+            }
+            SessionError::ShardDown => {
+                // The transaction is dead; free the handle and the token.
+                if let Some((h, _)) = self.txns.remove(&token) {
+                    self.waits.remove(&token);
+                    let _ = self.db.abort(h);
+                }
+                Response::Err {
+                    code: ErrCode::ShardDown,
+                    msg: "owning shard crashed; begin a new transaction".to_string(),
+                }
+            }
+            SessionError::AlreadyCommitted
+            | SessionError::StillRunning
+            | SessionError::Prepared
+            | SessionError::NotPrepared => Response::Err {
+                code: ErrCode::BadState,
+                msg: e.to_string(),
+            },
+        };
+        self.respond(conn, req_id, &resp);
+    }
+
+    fn unknown(&mut self, conn: u64, req_id: u64, token: u64) {
+        self.respond(
+            conn,
+            req_id,
+            &Response::Err {
+                code: ErrCode::UnknownTxn,
+                msg: format!("no transaction {token}"),
+            },
+        );
+    }
+
+    fn respond(&mut self, conn: u64, req_id: u64, resp: &Response) {
+        if let Some(out) = self.conns.get(&conn) {
+            // A dead writer is handled by the reader's `Gone`; dropping
+            // the response here is safe because the connection is gone.
+            let _ = out.send(encode_response(req_id, resp));
+        }
+    }
+}
+
+/// A request's data-op shape `(txn, op)`, if it is one.
+fn data_op(req: &Request) -> Option<(u64, BatchOp)> {
+    Some(match *req {
+        Request::Read { txn, var } => (txn, BatchOp::Read(VarId(var))),
+        Request::Write { txn, var, value } => (txn, BatchOp::Write(VarId(var), value)),
+        Request::Update { txn, var, a, c } => (
+            txn,
+            BatchOp::Affine {
+                var: VarId(var),
+                a,
+                c,
+            },
+        ),
+        _ => return None,
+    })
+}

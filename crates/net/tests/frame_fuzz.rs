@@ -1,0 +1,213 @@
+//! Wire-protocol robustness, mirroring the WAL's `wal_fuzz.rs`:
+//! truncation, bit flips, and oversized length prefixes — against the
+//! decoders (totality: `Err`, never a panic) and against a **live
+//! server** (it answers or closes the abused connection cleanly, and
+//! keeps serving well-formed connections afterwards). CI runs a reduced
+//! case count (`CI` env var); local runs go deeper.
+
+use ccopt_client::Client;
+use ccopt_model::value::Value;
+use ccopt_net::{
+    decode_request, decode_response, encode_request, frame_into, read_frame, FrameError, Request,
+    Server, ServerConfig, WireError, MAX_FRAME,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn cases() -> u32 {
+    if std::env::var_os("CI").is_some() {
+        8
+    } else {
+        48
+    }
+}
+
+fn sample_requests(rng: &mut SmallRng) -> Vec<Request> {
+    let mut reqs = vec![
+        Request::Ping,
+        Request::Begin,
+        Request::Shutdown,
+        Request::Commit { txn: rng.gen() },
+        Request::Abort { txn: rng.gen() },
+        Request::Read {
+            txn: rng.gen(),
+            var: rng.gen_range(0..128),
+        },
+        Request::Write {
+            txn: rng.gen(),
+            var: rng.gen_range(0..128),
+            value: Value::Int(rng.gen_range(-1000..1000)),
+        },
+        Request::Update {
+            txn: rng.gen(),
+            var: rng.gen_range(0..128),
+            a: rng.gen_range(-9..9),
+            c: rng.gen_range(-9..9),
+        },
+    ];
+    reqs.truncate(rng.gen_range(3..=reqs.len()));
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Decoding arbitrary bytes never panics: every byte soup is either
+    /// a valid message or a `WireError`.
+    #[test]
+    fn decoders_are_total_on_random_bytes(seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let n = rng.gen_range(0..64usize);
+            let bytes: Vec<u8> = (0..n).map(|_| rng.gen::<u32>() as u8).collect();
+            let _ = decode_request(&bytes);
+            let _ = decode_response(&bytes);
+        }
+    }
+
+    /// Truncating or flipping a valid frame stream never panics the
+    /// frame reader, and a flipped frame never decodes silently as a
+    /// *different* valid message without the CRC catching it first.
+    #[test]
+    fn framed_streams_survive_truncation_and_flips(seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut wire = Vec::new();
+        for (i, req) in sample_requests(&mut rng).iter().enumerate() {
+            frame_into(&mut wire, &encode_request(i as u64, req));
+        }
+        // Truncation at any byte: reads yield frames then EOF or error.
+        for _ in 0..8 {
+            let cut = rng.gen_range(0..=wire.len());
+            let mut r = &wire[..cut];
+            while let Ok(Some(p)) = read_frame(&mut r) {
+                let _ = decode_request(&p);
+            }
+        }
+        // A single bit flip: every frame that still validates its CRC
+        // must decode to the identical request (the flip either hits a
+        // frame, which the CRC rejects, or hits nothing we return).
+        for _ in 0..8 {
+            let mut bad = wire.clone();
+            let at = rng.gen_range(0..bad.len());
+            bad[at] ^= 1 << rng.gen_range(0..8u32);
+            let mut r = &bad[..];
+            while let Ok(Some(p)) = read_frame(&mut r) {
+                let _ = decode_request(&p);
+            }
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_before_allocation() {
+    for len in [MAX_FRAME + 1, u32::MAX / 2, u32::MAX] {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut &wire[..]) {
+            Err(FrameError::Wire(WireError::Oversized { len: got })) => assert_eq!(got, len),
+            other => panic!("length {len} not refused: {other:?}"),
+        }
+    }
+}
+
+/// Abuse a live server with garbage, truncated frames, oversized
+/// prefixes, and bit-flipped valid traffic. The server must never die:
+/// after every abusive connection, a well-formed connection still
+/// commits.
+#[test]
+fn live_server_survives_garbage_connections() {
+    let server = Server::start(ServerConfig {
+        num_vars: 16,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut rng = SmallRng::seed_from_u64(0xFEED);
+
+    for round in 0..12 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+        match round % 4 {
+            0 => {
+                // Pure garbage bytes.
+                let n = rng.gen_range(1..256usize);
+                let junk: Vec<u8> = (0..n).map(|_| rng.gen::<u32>() as u8).collect();
+                let _ = s.write_all(&junk);
+            }
+            1 => {
+                // An oversized length prefix.
+                let mut wire = Vec::new();
+                wire.extend_from_slice(&u32::MAX.to_le_bytes());
+                wire.extend_from_slice(&rng.gen::<u32>().to_le_bytes());
+                let _ = s.write_all(&wire);
+            }
+            2 => {
+                // A valid frame cut short.
+                let mut wire = Vec::new();
+                frame_into(&mut wire, &encode_request(1, &Request::Begin));
+                let cut = rng.gen_range(1..wire.len());
+                let _ = s.write_all(&wire[..cut]);
+            }
+            _ => {
+                // Valid traffic with one flipped bit.
+                let mut wire = Vec::new();
+                frame_into(&mut wire, &encode_request(1, &Request::Begin));
+                frame_into(&mut wire, &encode_request(2, &Request::Ping));
+                let at = rng.gen_range(0..wire.len());
+                wire[at] ^= 1 << rng.gen_range(0..8u32);
+                let _ = s.write_all(&wire);
+            }
+        }
+        drop(s);
+
+        // The server is still alive and serving.
+        let mut good = Client::connect(addr).expect("server still accepts");
+        good.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let h = good.begin().expect("server still begins");
+        assert!(matches!(
+            good.write(h, 0, Value::Int(round as i64)).expect("op"),
+            ccopt_engine::Op::Done(_)
+        ));
+        assert!(matches!(
+            good.commit(h).expect("commit"),
+            ccopt_engine::Op::Done(())
+        ));
+    }
+    let stats = server.shutdown().expect("drain");
+    assert!(stats.commits >= 12, "every good connection committed");
+}
+
+/// A frame whose *payload* is malformed (good CRC, bad contents) gets an
+/// answer — the protocol promise is "answer or close", and with the
+/// request id recoverable the server answers.
+#[test]
+fn malformed_payload_with_recoverable_id_is_answered() {
+    let server = Server::start(ServerConfig {
+        num_vars: 8,
+        shards: 1,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let mut s = TcpStream::connect(server.local_addr()).expect("connect");
+    // Opcode 0xEE does not exist; id 77 is recoverable from bytes 1..9.
+    let mut payload = vec![0xEE];
+    payload.extend_from_slice(&77u64.to_le_bytes());
+    let mut wire = Vec::new();
+    frame_into(&mut wire, &payload);
+    s.write_all(&wire).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let resp = read_frame(&mut s)
+        .expect("frame")
+        .expect("answered, not closed");
+    let (id, resp) = decode_response(&resp).expect("decodes");
+    assert_eq!(id, 77);
+    assert!(matches!(resp, ccopt_net::Response::Err { .. }));
+    server.shutdown().expect("drain");
+}

@@ -1,0 +1,202 @@
+//! Process-level smoke for the `ccopt-server` binary: a multi-connection
+//! workload against a strict-durability server, a SIGKILL mid-life, a
+//! recovery on the same data directory that must show **exactly** the
+//! acknowledged commits, and finally a graceful wire-initiated drain
+//! whose committed state round-trips through one more reopen.
+//!
+//! This is the served analogue of the engine's crash-recovery tests: the
+//! crash is a real process kill, not a dropped struct, so it also covers
+//! the binary's stdout contract (`listening on <addr>`) that operators
+//! and CI scrape.
+
+use ccopt_client::{Client, ClientError, TxnHandle};
+use ccopt_durability::scratch_path;
+use ccopt_engine::Op;
+use ccopt_model::value::Value;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+const VARS: u32 = 8;
+const WRITERS: usize = 3;
+const TXNS_PER_WRITER: usize = 25;
+
+struct ServerProc {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+fn spawn_server(dir: &Path) -> ServerProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ccopt-server"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--cc",
+            "strict-2PL",
+            "--shards",
+            "2",
+            "--vars",
+            "8",
+            "--durability",
+            "strict",
+            "--data-dir",
+        ])
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn ccopt-server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("read banner");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .trim()
+        .to_string();
+    ServerProc {
+        child,
+        stdout,
+        addr,
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    let mut c = Client::connect(addr).expect("connect");
+    c.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    c
+}
+
+/// Begin, retrying on admission shed with a small backoff.
+fn begin_retrying(c: &mut Client) -> TxnHandle {
+    loop {
+        match c.begin() {
+            Ok(h) => return h,
+            Err(ClientError::Shed) => std::thread::sleep(Duration::from_millis(2)),
+            Err(e) => panic!("begin: {e}"),
+        }
+    }
+}
+
+/// Commit one increment of `var_a` and `var_b` (a cross-shard txn),
+/// replaying on `Restarted` until the commit is acknowledged.
+fn transfer(c: &mut Client, var_a: u32, var_b: u32) {
+    let h = begin_retrying(c);
+    'attempt: loop {
+        for var in [var_a, var_b] {
+            loop {
+                match c.update(h, var, 1, 1).expect("update") {
+                    Op::Done(_) => break,
+                    Op::Wait => std::thread::sleep(Duration::from_millis(1)),
+                    Op::Restarted => continue 'attempt,
+                }
+            }
+        }
+        match c.commit(h).expect("commit") {
+            Op::Done(()) => return,
+            Op::Wait => std::thread::sleep(Duration::from_millis(1)),
+            Op::Restarted => continue 'attempt,
+        }
+    }
+}
+
+/// Read the full committed image through a read-only transaction.
+fn snapshot(c: &mut Client) -> Vec<i64> {
+    let h = begin_retrying(c);
+    let mut out = Vec::new();
+    'attempt: loop {
+        out.clear();
+        for var in 0..VARS {
+            loop {
+                match c.read(h, var).expect("read") {
+                    Op::Done(v) => {
+                        out.push(v.as_int().expect("int var"));
+                        break;
+                    }
+                    Op::Wait => std::thread::sleep(Duration::from_millis(1)),
+                    Op::Restarted => continue 'attempt,
+                }
+            }
+        }
+        break;
+    }
+    c.abort(h).expect("abort reader");
+    out
+}
+
+#[test]
+fn binary_survives_kill_and_drains_clean() {
+    let dir = scratch_path("served-smoke");
+
+    // ----- life 1: concurrent writers, then SIGKILL -------------------
+    let server = spawn_server(&dir);
+    let addr = server.addr.clone();
+    let handles: Vec<_> = (0..WRITERS as u32)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = connect(&addr);
+                for _ in 0..TXNS_PER_WRITER {
+                    // Vars t and 4+t live on different halves of the
+                    // keyspace, so each txn crosses shards.
+                    transfer(&mut c, t, 4 + t);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+
+    // Every commit above was acknowledged under strict durability, so
+    // the image after a hard kill is exact, not just bounded.
+    let mut expect = vec![0i64; VARS as usize];
+    for t in 0..WRITERS {
+        expect[t] = TXNS_PER_WRITER as i64;
+        expect[4 + t] = TXNS_PER_WRITER as i64;
+    }
+    let mut server = server;
+    server.child.kill().expect("SIGKILL");
+    server.child.wait().expect("reap");
+
+    // ----- life 2: recover, verify, write more, drain gracefully ------
+    let mut server = spawn_server(&dir);
+    let mut c = connect(&server.addr);
+    assert_eq!(
+        snapshot(&mut c),
+        expect,
+        "recovered image must equal the acknowledged commits"
+    );
+    transfer(&mut c, 0, 7); // the server keeps accepting writes post-recovery
+    expect[0] += 1;
+    expect[7] += 1;
+
+    c.shutdown_server().expect("wire shutdown accepted");
+    // New transactions are refused while draining (the server may finish
+    // closing first, which surfaces as an I/O error — both are clean).
+    match c.begin() {
+        Err(ClientError::Draining) | Err(ClientError::Io(_)) => {}
+        other => panic!("begin during drain: {other:?}"),
+    }
+    let status = server.child.wait().expect("reap");
+    assert!(status.success(), "drained server exits 0, got {status:?}");
+    let mut tail = String::new();
+    std::io::Read::read_to_string(&mut server.stdout, &mut tail).expect("drain stats");
+    assert!(
+        tail.contains("drained: commits="),
+        "binary reports drain stats, got {tail:?}"
+    );
+
+    // ----- life 3: the drained image reopens exactly ------------------
+    let mut server = spawn_server(&dir);
+    let mut c = connect(&server.addr);
+    assert_eq!(snapshot(&mut c), expect, "drained image reopens exactly");
+    let h = begin_retrying(&mut c);
+    assert!(c.write(h, 3, Value::Int(0)).is_ok());
+    c.shutdown_server().expect("second drain");
+    assert!(server.child.wait().expect("reap").success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,95 @@
+//! The distributed-deadlock valve: two wire clients in a cross-shard
+//! lock cycle must both finish, because the server force-restarts a
+//! transaction after `wait_valve` consecutive `Wait` answers.
+//!
+//! Shard-local deadlock detection cannot see this cycle — client A
+//! holds the lock on shard 0's variable and waits for shard 1's, client
+//! B the reverse — so without the server-side valve both naive
+//! retry-loop clients would exchange `Wait` responses forever. The test
+//! is the hang: it only passes because somebody's attempt comes back
+//! `Restarted`.
+
+use ccopt_client::Client;
+use ccopt_engine::Op;
+use ccopt_model::value::Value;
+use ccopt_net::{Server, ServerConfig};
+use std::sync::Barrier;
+use std::time::Duration;
+
+/// With two shards, variable 0 hashes to shard 0 and variable 1 to
+/// shard 1 (Fibonacci-hash partition) — the two sides of the cycle.
+const FIRST: [u32; 2] = [0, 1];
+
+fn increment_both(client: &mut Client, first: u32, rendezvous: &Barrier) {
+    let second = 1 - first;
+    let h = client.begin().expect("begin");
+    let mut met = false;
+    'attempt: loop {
+        for var in [first, second] {
+            loop {
+                match client.update(h, var, 1, 1).expect("update") {
+                    Op::Done(_) => break,
+                    Op::Wait => std::thread::sleep(Duration::from_micros(300)),
+                    Op::Restarted => {
+                        std::thread::sleep(Duration::from_micros(700 * (1 + first as u64)));
+                        continue 'attempt;
+                    }
+                }
+            }
+            // Both sides hold their first lock before either asks for
+            // its second: the deadlock is guaranteed, not racy. Only
+            // the first attempt synchronises; replays run free.
+            if var == first && !met {
+                met = true;
+                rendezvous.wait();
+            }
+        }
+        loop {
+            match client.commit(h).expect("commit") {
+                Op::Done(()) => return,
+                Op::Wait => std::thread::sleep(Duration::from_micros(300)),
+                Op::Restarted => {
+                    std::thread::sleep(Duration::from_micros(700 * (1 + first as u64)));
+                    continue 'attempt;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_shard_deadlock_is_broken_by_the_wait_valve() {
+    let server = Server::start(ServerConfig {
+        cc: "strict-2PL".to_string(),
+        num_vars: 2,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server");
+    let addr = server.local_addr();
+
+    let rendezvous = Barrier::new(2);
+    std::thread::scope(|s| {
+        for first in FIRST {
+            let rendezvous = &rendezvous;
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                increment_both(&mut c, first, rendezvous);
+            });
+        }
+    });
+
+    // Both committed and both incremented both variables.
+    let mut c = Client::connect(addr).expect("connect");
+    let h = c.begin().expect("begin");
+    for var in FIRST {
+        match c.read(h, var).expect("read") {
+            Op::Done(v) => assert_eq!(v, Value::Int(2), "variable {var}"),
+            other => panic!("snapshot read of {var} returned {other:?}"),
+        }
+    }
+    c.abort(h).expect("abort");
+
+    let stats = server.shutdown().expect("drain");
+    assert_eq!(stats.commits, 2);
+}

@@ -234,6 +234,26 @@ pub enum EventKind {
         /// The recovered shard.
         shard: u32,
     },
+    /// The server accepted a client connection (network plane).
+    ConnAccept {
+        /// The server-assigned connection id.
+        conn: u64,
+    },
+    /// A client connection closed (EOF, I/O error, or drain).
+    ConnClose {
+        /// The closed connection.
+        conn: u64,
+    },
+    /// Admission control refused a request on a connection (the request
+    /// was answered with a load-shed response, not queued).
+    RequestShed {
+        /// The shed connection.
+        conn: u64,
+    },
+    /// Graceful drain began: no new transactions are admitted.
+    DrainStart,
+    /// Graceful drain finished: in-flight work settled, logs synced.
+    DrainDone,
 }
 
 impl EventKind {
@@ -252,6 +272,11 @@ impl EventKind {
             EventKind::Retire { .. } => "retire",
             EventKind::ShardDown { .. } => "shard_down",
             EventKind::ShardUp { .. } => "shard_up",
+            EventKind::ConnAccept { .. } => "conn_accept",
+            EventKind::ConnClose { .. } => "conn_close",
+            EventKind::RequestShed { .. } => "request_shed",
+            EventKind::DrainStart => "drain_start",
+            EventKind::DrainDone => "drain_done",
         }
     }
 }
@@ -327,6 +352,12 @@ impl TraceEvent {
             EventKind::ShardDown { shard } | EventKind::ShardUp { shard } => {
                 s.push_str(&format!(",\"down_shard\":{shard}"));
             }
+            EventKind::ConnAccept { conn }
+            | EventKind::ConnClose { conn }
+            | EventKind::RequestShed { conn } => {
+                s.push_str(&format!(",\"conn\":{conn}"));
+            }
+            EventKind::DrainStart | EventKind::DrainDone => {}
         }
         s.push('}');
         s
@@ -397,6 +428,11 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         "retire",
         "shard_down",
         "shard_up",
+        "conn_accept",
+        "conn_close",
+        "request_shed",
+        "drain_start",
+        "drain_done",
     ];
     let event: &'static str = known
         .iter()
@@ -443,6 +479,10 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         "shard_down" | "shard_up" => {
             num("down_shard")?;
         }
+        "conn_accept" | "conn_close" | "request_shed" => {
+            num("conn")?;
+        }
+        "drain_start" | "drain_done" => {}
         _ => unreachable!(),
     }
     Ok(event)
@@ -509,6 +549,11 @@ mod tests {
             EventKind::Retire { txn: 1 },
             EventKind::ShardDown { shard: 3 },
             EventKind::ShardUp { shard: 3 },
+            EventKind::ConnAccept { conn: 11 },
+            EventKind::ConnClose { conn: 11 },
+            EventKind::RequestShed { conn: 11 },
+            EventKind::DrainStart,
+            EventKind::DrainDone,
         ];
         for kind in kinds {
             let line = ev(kind).to_jsonl();
