@@ -67,7 +67,17 @@
 //! Schema v8 adds the `served` grid. `--quick` shrinks batches, stream
 //! lengths and the sharded grid to one mixed cell per mechanism plus its
 //! `S = 1` baseline, and shrinks the served fleet (CI); the JSON schema
-//! (v8) is unchanged by `--quick`.
+//! is unchanged by `--quick`.
+//!
+//! Schema v9 turns the ops plane **on** for the served grid — every cell
+//! now runs with the metrics sampler live and one `Subscribe` client
+//! draining the trace stream for the server's whole lifetime (recorded
+//! in `served_ops`) — and adds the `ops_overhead` guard: the same fixed
+//! closed-loop workload run alternately against an ops-off and an
+//! ops-on server (best-of-N wall clock each), asserting the observed
+//! throughput ratio stays within the "observation never perturbs"
+//! budget. The ratio, both absolute rates, and the subscriber's
+//! delivered/dropped event counts land in the `ops_overhead` object.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
@@ -660,11 +670,61 @@ fn served_saturation(addr: std::net::SocketAddr, conns: usize, vars: u32, dur: D
     total as f64 / wall.elapsed().as_secs_f64()
 }
 
+/// What the live ops plane did while the served grid ran: the sampler
+/// cadence and the lifetime totals of the one `Subscribe` client that
+/// drained the trace stream alongside every cell.
+struct ServedOps {
+    sampler_ms: u64,
+    sub_events: usize,
+    sub_dropped: u64,
+}
+
+/// A live `Subscribe` client draining the server's trace stream on its
+/// own thread until told to stop. `finish` returns the delivered-event
+/// count and the final in-stream cumulative dropped count — the ops
+/// plane's "drop, never back-pressure" contract made measurable.
+struct Subscriber {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: std::thread::JoinHandle<(usize, u64)>,
+}
+
+fn spawn_subscriber(addr: std::net::SocketAddr) -> Subscriber {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let flag = std::sync::Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut sub = ccopt_client::Client::connect(addr).expect("subscriber connect");
+        sub.set_timeout(Some(Duration::from_millis(20)))
+            .expect("subscriber timeout");
+        sub.subscribe().expect("subscribe");
+        let (mut events, mut dropped) = (0usize, 0u64);
+        while !flag.load(Ordering::Relaxed) {
+            // `Err` here is the read timeout elapsing on an idle stream;
+            // loop back to check the stop flag.
+            if let Ok((d, _line)) = sub.recv_event() {
+                events += 1;
+                dropped = d;
+            }
+        }
+        (events, dropped)
+    });
+    Subscriber { stop, handle }
+}
+
+impl Subscriber {
+    fn finish(self) -> (usize, u64) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        self.handle.join().expect("subscriber thread")
+    }
+}
+
 /// The served grid: per mechanism, calibrate saturation then offer
 /// 0.5× / 1× / 2× of it. `max_txns` is held at half the fleet size so
 /// overload has an admission-control response to measure, not just a
-/// queue.
-fn served_grid(quick: bool) -> Vec<ServedCell> {
+/// queue. Since schema v9 every cell runs with the ops plane live —
+/// sampler on, one subscriber draining — because those are the numbers
+/// an operated production server would show.
+fn served_grid(quick: bool) -> (Vec<ServedCell>, ServedOps) {
     use ccopt_net::{Server, ServerConfig};
 
     let conns = if quick { 16 } else { 120 };
@@ -678,6 +738,12 @@ fn served_grid(quick: bool) -> Vec<ServedCell> {
     let calib_dur = Duration::from_millis(if quick { 200 } else { 600 });
     let measure_dur = Duration::from_millis(if quick { 300 } else { 1500 });
 
+    let sampler = Duration::from_millis(250);
+    let mut ops = ServedOps {
+        sampler_ms: sampler.as_millis() as u64,
+        sub_events: 0,
+        sub_dropped: 0,
+    };
     let mut cells = Vec::new();
     for &cc in ccs {
         let server = Server::start(ServerConfig {
@@ -685,10 +751,15 @@ fn served_grid(quick: bool) -> Vec<ServedCell> {
             num_vars: vars as usize,
             shards: 4,
             max_txns: (conns / 2).max(8),
+            sample_interval: sampler,
             ..ServerConfig::default()
         })
         .expect("served grid server");
         let addr = server.local_addr();
+        // The ops plane is live for the whole cell: the sampler ticks
+        // and one subscriber drains the trace stream while the fleet
+        // runs — the measured throughput is an *observed* server's.
+        let subscriber = spawn_subscriber(addr);
 
         let saturation = served_saturation(addr, conns, vars, calib_dur).max(1.0);
         for &m in multipliers {
@@ -747,6 +818,9 @@ fn served_grid(quick: bool) -> Vec<ServedCell> {
                 wall_ms,
             });
         }
+        let (ev, dr) = subscriber.finish();
+        ops.sub_events += ev;
+        ops.sub_dropped += dr;
         let stats = server.shutdown().expect("served grid drain");
         let acked: usize = cells
             .iter()
@@ -760,11 +834,117 @@ fn served_grid(quick: bool) -> Vec<ServedCell> {
             stats.commits,
         );
     }
-    cells
+    assert!(ops.sub_events > 0, "the live subscriber saw traffic");
+    (cells, ops)
+}
+
+/// The "observation never perturbs" budget, measured: one fixed
+/// closed-loop workload (every connection commits exactly
+/// `txns_per_conn` transactions, retrying sheds and aborts) run
+/// alternately against an ops-off server (sampler disabled, nothing
+/// subscribed) and an ops-on one (sampler at 100 ms plus one live
+/// subscriber draining the trace stream). Best-of-N wall clock on each
+/// side squeezes scheduler noise out of the ratio.
+struct OpsOverheadCell {
+    conns: usize,
+    txns_per_conn: usize,
+    trials: usize,
+    commits_per_sec_off: f64,
+    commits_per_sec_on: f64,
+    /// Ops-on throughput over ops-off throughput (1.0 = free).
+    ratio: f64,
+    sub_events: usize,
+    sub_dropped: u64,
+}
+
+fn ops_overhead(quick: bool) -> OpsOverheadCell {
+    use ccopt_net::{Server, ServerConfig};
+    use rand::SeedableRng;
+
+    let conns = 4usize;
+    let vars = 64u32;
+    let txns_per_conn = if quick { 200 } else { 800 };
+    let trials = if quick { 3 } else { 5 };
+
+    let mut sub_events = 0usize;
+    let mut sub_dropped = 0u64;
+    let mut run = |ops_on: bool, trial: usize| -> f64 {
+        let server = Server::start(ServerConfig {
+            num_vars: vars as usize,
+            shards: 2,
+            max_txns: conns * 2,
+            sample_interval: if ops_on {
+                Duration::from_millis(100)
+            } else {
+                Duration::ZERO
+            },
+            ..ServerConfig::default()
+        })
+        .expect("ops overhead server");
+        let addr = server.local_addr();
+        let subscriber = ops_on.then(|| spawn_subscriber(addr));
+
+        let wall = Instant::now();
+        std::thread::scope(|s| {
+            for i in 0..conns {
+                s.spawn(move || {
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                        0x0B5_0000 + (trial * conns + i) as u64,
+                    );
+                    let mut client =
+                        ccopt_client::Client::connect(addr).expect("ops overhead connect");
+                    let mut done = 0usize;
+                    while done < txns_per_conn {
+                        match served_txn(&mut client, &mut rng, vars) {
+                            ServedOutcome::Committed => done += 1,
+                            ServedOutcome::Shed => std::thread::sleep(Duration::from_micros(500)),
+                            ServedOutcome::Aborted => {}
+                        }
+                    }
+                });
+            }
+        });
+        let secs = wall.elapsed().as_secs_f64();
+
+        if let Some(sub) = subscriber {
+            let (ev, dr) = sub.finish();
+            sub_events += ev;
+            sub_dropped += dr;
+        }
+        server.shutdown().expect("ops overhead drain");
+        (conns * txns_per_conn) as f64 / secs.max(1e-9)
+    };
+
+    let (mut best_off, mut best_on) = (0f64, 0f64);
+    for t in 0..trials {
+        best_off = best_off.max(run(false, t));
+        best_on = best_on.max(run(true, t));
+    }
+    let ratio = best_on / best_off;
+    assert!(sub_events > 0, "the ops-on runs streamed trace events");
+    // The 3% budget is the checked-in claim; --quick (CI hardware,
+    // parallel jobs, tiny run) only sanity-checks the order of
+    // magnitude.
+    let floor = if quick { 0.70 } else { 0.97 };
+    assert!(
+        ratio >= floor,
+        "ops plane is not free: on/off throughput ratio {ratio:.4} < {floor}"
+    );
+    OpsOverheadCell {
+        conns,
+        txns_per_conn,
+        trials,
+        commits_per_sec_off: best_off,
+        commits_per_sec_on: best_on,
+        ratio,
+        sub_events,
+        sub_dropped,
+    }
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+
     let cfg = SimConfig {
         batches: if quick { 8 } else { 64 },
         seed: 0xC0FFEE,
@@ -965,7 +1145,7 @@ fn main() {
     }
     println!("{degraded_table}");
 
-    let served_cells = served_grid(quick);
+    let (served_cells, served_ops) = served_grid(quick);
     let mut served_table = Table::new(
         "served system (open-loop TCP fleet vs calibrated saturation)",
         &[
@@ -1004,6 +1184,17 @@ fn main() {
         ]);
     }
     println!("{served_table}");
+    println!(
+        "served ops plane: sampler every {}ms, subscriber drained {} events ({} dropped)",
+        served_ops.sampler_ms, served_ops.sub_events, served_ops.sub_dropped
+    );
+
+    let ops = ops_overhead(quick);
+    println!(
+        "ops overhead: off {:.0} commits/s, on {:.0} commits/s, ratio {:.4} \
+         ({} events to the live subscriber, {} dropped)",
+        ops.commits_per_sec_off, ops.commits_per_sec_on, ops.ratio, ops.sub_events, ops.sub_dropped
+    );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
     std::fs::write(
@@ -1015,6 +1206,8 @@ fn main() {
             &shard_cells,
             &degraded_cells,
             &served_cells,
+            &served_ops,
+            &ops,
         ),
     )
     .expect("write BENCH_engine.json");
@@ -1042,6 +1235,7 @@ fn json_rules(rows: &[(&'static str, usize)]) -> String {
 }
 
 /// Hand-rolled JSON (no serde in the dependency-free build environment).
+#[allow(clippy::too_many_arguments)]
 fn to_json(
     cfg: &SimConfig,
     cells: &[Cell],
@@ -1049,10 +1243,12 @@ fn to_json(
     shard_cells: &[ShardCell],
     degraded_cells: &[DegradedCell],
     served_cells: &[ServedCell],
+    served_ops: &ServedOps,
+    ops: &OpsOverheadCell,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v8\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v9\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -1182,6 +1378,22 @@ fn to_json(
             if i + 1 == served_cells.len() { "" } else { "," },
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"served_ops\": {{\"sampler_ms\": {}, \"subscriber\": true, \"sub_events\": {}, \"sub_dropped\": {}}},\n",
+        served_ops.sampler_ms, served_ops.sub_events, served_ops.sub_dropped,
+    ));
+    s.push_str(&format!(
+        "  \"ops_overhead\": {{\"conns\": {}, \"txns_per_conn\": {}, \"trials\": {}, \"commits_per_sec_off\": {:.1}, \"commits_per_sec_on\": {:.1}, \"ratio\": {:.6}, \"sub_events\": {}, \"sub_dropped\": {}}}\n",
+        ops.conns,
+        ops.txns_per_conn,
+        ops.trials,
+        ops.commits_per_sec_off,
+        ops.commits_per_sec_on,
+        ops.ratio,
+        ops.sub_events,
+        ops.sub_dropped,
+    ));
+    s.push_str("}\n");
     s
 }

@@ -20,6 +20,11 @@
 //!   flight on one connection — the open-loop bench uses it to push a
 //!   connection past the server's admission caps.
 //!
+//! A third, read-only **ops surface** ([`Client::stats`],
+//! [`Client::health`], [`Client::subscribe`] / [`Client::recv_event`])
+//! speaks the introspection opcodes; the `ccopt-top` binary is built on
+//! it.
+//!
 //! Admission-control refusals surface as typed errors:
 //! [`ClientError::Shed`] (back off and retry) and
 //! [`ClientError::Draining`] (the server is going away).
@@ -30,8 +35,10 @@ use ccopt_net::error::{FrameError, WireError};
 use ccopt_net::frame::{
     decode_response, encode_request, read_frame, write_frame, ErrCode, Request, Response,
 };
+use ccopt_net::stats::{HealthReport, ServerStats};
 use std::fmt;
 use std::io;
+use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -118,9 +125,17 @@ impl TxnHandle {
 }
 
 /// A connection to a `ccopt-server`.
+///
+/// Receives are buffered: one kernel read can deliver many frames,
+/// which is what makes draining a high-volume `Subscribe` stream cheap
+/// enough to not perturb the machine it is observing.
 pub struct Client {
-    stream: TcpStream,
+    stream: BufReader<TcpStream>,
     next_req: u64,
+    /// Events already received but not yet handed out: the server
+    /// delivers subscription events in batch frames; `recv_event`
+    /// hands them back one at a time.
+    pending_events: std::collections::VecDeque<(u64, String)>,
 }
 
 impl Client {
@@ -129,14 +144,15 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
-            stream,
+            stream: BufReader::with_capacity(64 * 1024, stream),
             next_req: 0,
+            pending_events: std::collections::VecDeque::new(),
         })
     }
 
     /// Bound every receive; `None` blocks forever (the default).
     pub fn set_timeout(&mut self, t: Option<Duration>) -> Result<(), ClientError> {
-        self.stream.set_read_timeout(t)?;
+        self.stream.get_ref().set_read_timeout(t)?;
         Ok(())
     }
 
@@ -232,6 +248,59 @@ impl Client {
         }
     }
 
+    // ----------------------------------------------------- ops surface
+
+    /// Fetch the server's structured [`ServerStats`] snapshot: engine
+    /// counters with abort attribution, commit-latency quantiles,
+    /// per-shard health, the per-layer shed ledger, gauges, and the
+    /// sampler's time-series.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats { stats } => Ok(*stats),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Fetch the compact liveness report (`/healthz` over the wire).
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.roundtrip(&Request::Health)? {
+            Response::Health { report } => Ok(report),
+            other => Err(unexpected("Health", &other)),
+        }
+    }
+
+    /// Subscribe this connection to the server's live trace stream.
+    /// After the acknowledgement, [`recv_event`](Client::recv_event)
+    /// yields JSONL trace lines; responses to other in-flight requests
+    /// on this connection are interleaved, so a dedicated connection is
+    /// the simple way to consume a subscription.
+    pub fn subscribe(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Subscribe)? {
+            Response::Subscribed => Ok(()),
+            Response::Draining => Err(ClientError::Draining),
+            other => Err(unexpected("Subscribe", &other)),
+        }
+    }
+
+    /// Receive the next trace event from an active subscription as
+    /// `(events dropped so far, JSONL line)`. The dropped count is the
+    /// subscription's running total: a slow consumer sees it grow
+    /// instead of ever slowing the server down.
+    pub fn recv_event(&mut self) -> Result<(u64, String), ClientError> {
+        loop {
+            if let Some(e) = self.pending_events.pop_front() {
+                return Ok(e);
+            }
+            match self.recv()? {
+                (_, Response::Events { dropped, lines }) => {
+                    self.pending_events
+                        .extend(lines.into_iter().map(|l| (dropped, l)));
+                }
+                (_, other) => return Err(unexpected("subscription stream", &other)),
+            }
+        }
+    }
+
     // ------------------------------------------------ pipelined surface
 
     /// Send a request without waiting; returns its request id. Pair with
@@ -239,7 +308,7 @@ impl Client {
     pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
         self.next_req += 1;
         let id = self.next_req;
-        write_frame(&mut self.stream, &encode_request(id, req))?;
+        write_frame(&mut self.stream.get_ref(), &encode_request(id, req))?;
         Ok(id)
     }
 

@@ -64,4 +64,6 @@ pub use db::{Database, RunStats, StepOutcome};
 pub use metrics::Metrics;
 pub use mvstore::MvStore;
 pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn, VarContention};
-pub use shard::{affine_eval, BatchOp, GlobalTxn, Partition, ShardedDb, ShardedRecoveryInfo};
+pub use shard::{
+    affine_eval, BatchOp, GlobalTxn, Partition, ShardStatus, ShardedDb, ShardedRecoveryInfo,
+};

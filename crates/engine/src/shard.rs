@@ -319,6 +319,9 @@ pub struct ShardedDb<'a> {
     /// Mailbox bound applied to every (re)spawned shard worker.
     queue_capacity: Option<usize>,
     shard_restarts: usize,
+    /// Supervised restarts broken down by shard (sums to
+    /// `shard_restarts`), for per-shard health reporting.
+    restarts_by_shard: Vec<usize>,
     shed_aborts: usize,
     /// Fault injection: 2PC job index (votes, coordinator resolve,
     /// participant resolves, counted from arming) replaced with a panic.
@@ -543,6 +546,7 @@ impl<'a> ShardedDb<'a> {
             down: vec![false; shards],
             queue_capacity: None,
             shard_restarts: 0,
+            restarts_by_shard: vec![0; shards],
             shed_aborts: 0,
             panic_at_2pc_job: None,
             twopc_jobs: 0,
@@ -1745,6 +1749,19 @@ impl<'a> ShardedDb<'a> {
         handled
     }
 
+    /// Per-shard liveness: alive/down flags and supervised restart
+    /// counts. Atomic reads only — no worker round-trips — so this is
+    /// safe to call from a health probe at any rate.
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        (0..self.workers.len())
+            .map(|s| ShardStatus {
+                alive: self.workers[s].is_alive(),
+                down: self.down[s],
+                restarts: self.restarts_by_shard[s] as u64,
+            })
+            .collect()
+    }
+
     /// Fault injection (tests): kill shard `s`'s worker now, exactly as a
     /// shard-local bug would — the bomb job panics on the worker thread,
     /// which drops the shard state mid-flight (its log closes without a
@@ -1832,6 +1849,7 @@ impl<'a> ShardedDb<'a> {
         }
         let t0 = Instant::now();
         self.shard_restarts += 1;
+        self.restarts_by_shard[s] += 1;
         // Dump the dead shard's flight recorder first: the hub holds the
         // ring, so it survives the worker — the respawn below mints the
         // replacement a fresh one.
@@ -2038,6 +2056,23 @@ impl<'a> ShardedDb<'a> {
         sl.touched.clear();
         sl.status = GStatus::Failed;
     }
+}
+
+/// One shard's liveness, as the supervisor sees it without touching the
+/// worker ([`ShardedDb::shard_statuses`]): atomic flag reads only, so a
+/// health probe costs the data plane nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The worker thread is running (its panic flag is clear). A crashed
+    /// worker reports `false` until the next operation routed there
+    /// triggers supervision, which restarts it in place.
+    pub alive: bool,
+    /// The shard is permanently down: its storage could not be recovered
+    /// after a crash, and every operation routed there fails while the
+    /// other shards keep serving.
+    pub down: bool,
+    /// Supervised restarts of this shard so far.
+    pub restarts: u64,
 }
 
 /// One operation of a batched submission ([`ShardedDb::apply_batch`]).

@@ -5,13 +5,18 @@
 //!              [--vars 64] [--data-dir PATH] [--durability strict|group:N|none]
 //!              [--max-txns 256] [--pipeline 64] [--queue 1024]
 //!              [--shard-queue 256] [--grace-ms 2000] [--trace PATH]
-//!              [--wait-valve 24]
+//!              [--wait-valve 24] [--metrics-addr A] [--stats-interval-ms N]
 //! ```
 //!
 //! Prints `listening on <addr>` (machine-parseable — the smoke tests
 //! scrape the ephemeral port from it), serves until a wire `Shutdown`
 //! request drains it, then prints the drain stats and exits 0. Flag
 //! errors exit 2; startup errors (bad log, bind failure) exit 1.
+//!
+//! `--metrics-addr` starts the ops HTTP listener (`metrics on <addr>` is
+//! printed for port scraping); `--stats-interval-ms N` sets the sampler
+//! period *and* turns on the periodic machine-parseable `stats ...`
+//! stdout line (off by default).
 
 use ccopt_durability::DurabilityMode;
 use ccopt_net::{Server, ServerConfig};
@@ -24,7 +29,7 @@ fn usage() -> ! {
         "usage: ccopt-server [--addr A] [--cc NAME] [--shards N] [--vars N] \
          [--data-dir PATH] [--durability strict|group:N|none] [--max-txns N] \
          [--pipeline N] [--queue N] [--shard-queue N] [--grace-ms N] [--trace PATH] \
-         [--wait-valve N]"
+         [--wait-valve N] [--metrics-addr A] [--stats-interval-ms N]"
     );
     eprintln!("mechanisms: {}", ccopt_engine::MECHANISM_NAMES.join(", "));
     std::process::exit(2);
@@ -59,6 +64,11 @@ fn main() {
             "--grace-ms" => cfg.drain_grace = Duration::from_millis(parse::<u64>(&val())),
             "--wait-valve" => cfg.wait_valve = parse(&val()),
             "--trace" => cfg.trace = Some(TraceConfig::to_sink(val())),
+            "--metrics-addr" => cfg.metrics_addr = Some(val()),
+            "--stats-interval-ms" => {
+                cfg.sample_interval = Duration::from_millis(parse::<u64>(&val()));
+                cfg.stats_line = true;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -81,6 +91,9 @@ fn main() {
         }
     };
     println!("listening on {}", server.local_addr());
+    if let Some(m) = server.metrics_addr() {
+        println!("metrics on {m}");
+    }
     println!(
         "cc={} shards={} vars={} durable={}",
         cfg.cc,
@@ -93,8 +106,14 @@ fn main() {
     match server.wait() {
         Ok(stats) => {
             println!(
-                "drained: commits={} aborted_on_drain={} sheds={}",
-                stats.commits, stats.aborted_on_drain, stats.sheds
+                "drained: commits={} aborted_on_drain={} sheds={} \
+                 sheds_pipeline={} sheds_queue={} sheds_txns={}",
+                stats.commits,
+                stats.aborted_on_drain,
+                stats.sheds(),
+                stats.sheds_pipeline,
+                stats.sheds_queue,
+                stats.sheds_txns
             );
         }
         Err(e) => {

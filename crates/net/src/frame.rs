@@ -22,13 +22,14 @@
 //! *before* any allocation.
 
 use crate::error::{FrameError, WireError};
+use crate::stats::{self, HealthReport, ServerStats};
 use ccopt_durability::encoding::{self, Cursor};
 use ccopt_model::value::Value;
 use std::io::{Read, Write};
 
-/// Largest accepted payload. Every legitimate message is tens of bytes;
-/// the cap exists so a hostile or corrupt length prefix cannot balloon
-/// allocation.
+/// Largest accepted payload. Every legitimate message is tens of bytes
+/// (a Stats snapshot a few tens of KiB); the cap exists so a hostile or
+/// corrupt length prefix cannot balloon allocation.
 pub const MAX_FRAME: u32 = 64 * 1024;
 
 // Request opcodes.
@@ -40,6 +41,9 @@ const OP_UPDATE: u8 = 5;
 const OP_COMMIT: u8 = 6;
 const OP_ABORT: u8 = 7;
 const OP_SHUTDOWN: u8 = 8;
+const OP_STATS: u8 = 9;
+const OP_HEALTH: u8 = 10;
+const OP_SUBSCRIBE: u8 = 11;
 
 // Response opcodes.
 const RESP_PONG: u8 = 1;
@@ -52,6 +56,10 @@ const RESP_ABORTED: u8 = 7;
 const RESP_SHED: u8 = 8;
 const RESP_DRAINING: u8 = 9;
 const RESP_ERR: u8 = 10;
+const RESP_STATS: u8 = 11;
+const RESP_HEALTH: u8 = 12;
+const RESP_SUBSCRIBED: u8 = 13;
+const RESP_EVENT: u8 = 14;
 
 /// A client request. Transactions are named by the server-issued token
 /// from [`Response::Began`]; operations mirror the session API's op
@@ -109,6 +117,18 @@ pub enum Request {
     /// Ask the server to drain gracefully and exit; answered
     /// [`Response::Draining`].
     Shutdown,
+    /// Ask for the full introspection snapshot; answered
+    /// [`Response::Stats`]. Read-only and engine-cheap — safe to poll.
+    Stats,
+    /// Ask for the compact liveness report; answered
+    /// [`Response::Health`].
+    Health,
+    /// Attach a live trace subscription to this connection; answered
+    /// [`Response::Subscribed`], then a stream of [`Response::Events`]
+    /// frames (echoing this request's id) until the connection closes.
+    /// The per-subscriber buffer is bounded: a slow reader loses events
+    /// (counted in-stream), never slows the engine.
+    Subscribe,
 }
 
 /// Why the server refused a request outright (the payload of
@@ -206,6 +226,31 @@ pub enum Response {
         /// Human-readable detail (short, ASCII).
         msg: String,
     },
+    /// The introspection snapshot ([`Request::Stats`]).
+    Stats {
+        /// The snapshot (boxed: it dwarfs every other variant).
+        stats: Box<ServerStats>,
+    },
+    /// The liveness report ([`Request::Health`]).
+    Health {
+        /// The report.
+        report: HealthReport,
+    },
+    /// The subscription is live; [`Response::Events`] frames follow.
+    Subscribed,
+    /// A batch of streamed trace events on a live subscription. The
+    /// server packs whatever the subscriber's ring had ready into one
+    /// frame — on a busy server that amortizes the framing, syscall and
+    /// wake-up cost per event, which is what keeps observation from
+    /// perturbing the workload being observed.
+    Events {
+        /// Events dropped on this subscription so far (cumulative): a
+        /// jump between consecutive frames is the in-stream drop report.
+        dropped: u64,
+        /// Each event as one schema-valid JSONL line
+        /// ([`ccopt_trace::validate_jsonl_line`]), in stream order.
+        lines: Vec<String>,
+    },
 }
 
 // ------------------------------------------------------------- framing
@@ -275,11 +320,19 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         Request::Commit { .. } => OP_COMMIT,
         Request::Abort { .. } => OP_ABORT,
         Request::Shutdown => OP_SHUTDOWN,
+        Request::Stats => OP_STATS,
+        Request::Health => OP_HEALTH,
+        Request::Subscribe => OP_SUBSCRIBE,
     };
     b.push(op);
     b.extend_from_slice(&req_id.to_le_bytes());
     match *req {
-        Request::Ping | Request::Begin | Request::Shutdown => {}
+        Request::Ping
+        | Request::Begin
+        | Request::Shutdown
+        | Request::Stats
+        | Request::Health
+        | Request::Subscribe => {}
         Request::Read { txn, var } => {
             b.extend_from_slice(&txn.to_le_bytes());
             b.extend_from_slice(&var.to_le_bytes());
@@ -333,6 +386,9 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
             txn: c.take_u64().ok_or(WireError::Malformed)?,
         },
         OP_SHUTDOWN => Request::Shutdown,
+        OP_STATS => Request::Stats,
+        OP_HEALTH => Request::Health,
+        OP_SUBSCRIBE => Request::Subscribe,
         _ => return Err(WireError::Malformed),
     };
     if !c.at_end() {
@@ -357,6 +413,10 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
         Response::Shed => RESP_SHED,
         Response::Draining => RESP_DRAINING,
         Response::Err { .. } => RESP_ERR,
+        Response::Stats { .. } => RESP_STATS,
+        Response::Health { .. } => RESP_HEALTH,
+        Response::Subscribed => RESP_SUBSCRIBED,
+        Response::Events { .. } => RESP_EVENT,
     };
     b.push(op);
     b.extend_from_slice(&req_id.to_le_bytes());
@@ -369,6 +429,19 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
             let n = bytes.len().min(u16::MAX as usize);
             b.extend_from_slice(&(n as u16).to_le_bytes());
             b.extend_from_slice(&bytes[..n]);
+        }
+        Response::Stats { stats } => stats::put_stats(&mut b, stats),
+        Response::Health { report } => stats::put_health(&mut b, report),
+        Response::Events { dropped, lines } => {
+            b.extend_from_slice(&dropped.to_le_bytes());
+            let count = lines.len().min(u16::MAX as usize);
+            b.extend_from_slice(&(count as u16).to_le_bytes());
+            for line in &lines[..count] {
+                let bytes = line.as_bytes();
+                let n = bytes.len().min(u16::MAX as usize);
+                b.extend_from_slice(&(n as u16).to_le_bytes());
+                b.extend_from_slice(&bytes[..n]);
+            }
         }
         _ => {}
     }
@@ -404,6 +477,28 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
                 .to_string();
             Response::Err { code, msg }
         }
+        RESP_STATS => Response::Stats {
+            stats: Box::new(stats::take_stats(&mut c).ok_or(WireError::Malformed)?),
+        },
+        RESP_HEALTH => Response::Health {
+            report: stats::take_health(&mut c).ok_or(WireError::Malformed)?,
+        },
+        RESP_SUBSCRIBED => Response::Subscribed,
+        RESP_EVENT => {
+            let dropped = c.take_u64().ok_or(WireError::Malformed)?;
+            let count = c.take_u16().ok_or(WireError::Malformed)? as usize;
+            let mut lines = Vec::new();
+            for _ in 0..count {
+                let n = c.take_u16().ok_or(WireError::Malformed)? as usize;
+                let bytes = c.take_bytes(n).ok_or(WireError::Malformed)?;
+                lines.push(
+                    std::str::from_utf8(bytes)
+                        .map_err(|_| WireError::Malformed)?
+                        .to_string(),
+                );
+            }
+            Response::Events { dropped, lines }
+        }
         _ => return Err(WireError::Malformed),
     };
     if !c.at_end() {
@@ -435,6 +530,9 @@ mod tests {
             Request::Commit { txn: 7 },
             Request::Abort { txn: 7 },
             Request::Shutdown,
+            Request::Stats,
+            Request::Health,
+            Request::Subscribe,
         ]
     }
 
@@ -454,6 +552,41 @@ mod tests {
             Response::Err {
                 code: ErrCode::UnknownTxn,
                 msg: "token 9 was retired".into(),
+            },
+            Response::Stats {
+                stats: Box::new(ServerStats {
+                    uptime_ms: 99,
+                    cc: "occ".into(),
+                    num_vars: 8,
+                    shards: vec![crate::stats::ShardHealth {
+                        alive: true,
+                        down: false,
+                        restarts: 1,
+                    }],
+                    series: vec![crate::stats::SamplePoint {
+                        at_ms: 50,
+                        commits: 2,
+                        ..Default::default()
+                    }],
+                    ..Default::default()
+                }),
+            },
+            Response::Health {
+                report: HealthReport {
+                    degraded: true,
+                    draining: false,
+                    shards: 2,
+                    shards_down: 1,
+                },
+            },
+            Response::Subscribed,
+            Response::Events {
+                dropped: 3,
+                lines: vec![
+                    "{\"gseq\":1,\"shard\":0,\"seq\":1,\"tick\":0,\"event\":\"drain_start\"}"
+                        .into(),
+                    "{\"gseq\":2,\"shard\":0,\"seq\":2,\"tick\":1,\"event\":\"drain_done\"}".into(),
+                ],
             },
         ]
     }

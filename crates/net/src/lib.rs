@@ -16,6 +16,10 @@
 //!   consecutive same-transaction operations through
 //!   [`ccopt_engine::ShardedDb::apply_batch`], sheds load at three
 //!   bounded layers, and drains gracefully on shutdown;
+//! * [`stats`] — the ops plane's data model: [`ServerStats`] snapshots
+//!   (answering [`Request::Stats`]), the sampler's [`SamplePoint`]
+//!   time-series, [`HealthReport`], their total wire codecs, and the
+//!   dependency-free Prometheus text exposition served at `/metrics`;
 //! * [`error`] — [`ServerError`] / [`WireError`] / [`FrameError`]
 //!   following the `WalError` pattern (Display + Error + source
 //!   chaining).
@@ -28,6 +32,7 @@
 pub mod error;
 pub mod frame;
 pub mod server;
+pub mod stats;
 
 pub use error::{FrameError, ServerError, WireError};
 pub use frame::{
@@ -35,3 +40,7 @@ pub use frame::{
     write_frame, ErrCode, Request, Response, MAX_FRAME,
 };
 pub use server::{DrainStats, Server, ServerConfig};
+pub use stats::{
+    parse_prometheus, render_prometheus, sample, ContendedVar, HealthReport, SamplePoint,
+    ServerStats, ShardHealth,
+};

@@ -41,23 +41,48 @@
 //! events bracket the whole episode. [`Server::kill`] is the opposite:
 //! drop everything without a final sync — the crash the durability tests
 //! recover from.
+//!
+//! # Ops plane
+//!
+//! The running server is introspectable without perturbing the data
+//! plane:
+//!
+//! * [`Request::Stats`] / [`Request::Health`] answer a structured
+//!   [`ServerStats`] snapshot / [`HealthReport`] computed fresh on the
+//!   engine thread (read-only — no transaction state changes);
+//! * a **sampler** on the engine thread snapshots [`Metrics::diff`]
+//!   every [`ServerConfig::sample_interval`] into a bounded time-series
+//!   ring of [`SamplePoint`]s (commits/s, shed rate, queue depth,
+//!   windowed p99), carried in every snapshot;
+//! * [`ServerConfig::metrics_addr`] starts a dependency-free HTTP
+//!   listener serving the Prometheus text exposition at `/metrics` and
+//!   liveness at `/healthz` (503 `degraded` while any shard is down);
+//! * [`Request::Subscribe`] streams schema-valid JSONL trace events to
+//!   the connection through a bounded per-subscriber ring
+//!   ([`ServerConfig::subscriber_ring`]) that **drops and counts**
+//!   instead of ever back-pressuring the engine: a pump thread forwards
+//!   events only while the writer has credit, so a subscriber that never
+//!   reads costs the engine one failed length check per event.
 
 use crate::error::{FrameError, ServerError};
 use crate::frame::{
     decode_request, encode_response, frame_into, read_frame, ErrCode, Request, Response,
 };
+use crate::stats::{
+    render_prometheus, ContendedVar, HealthReport, SamplePoint, ServerStats, ShardHealth,
+};
 use ccopt_durability::DurabilityMode;
 use ccopt_engine::{
-    cc_by_name, BatchOp, ConcurrencyControl, GlobalTxn, Op, SessionError, ShardedDb,
+    cc_by_name, BatchOp, ConcurrencyControl, GlobalTxn, Metrics, Op, SessionError, ShardedDb,
 };
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
-use ccopt_trace::{EventKind, TraceConfig, Tracer};
-use std::collections::HashMap;
-use std::io::Write;
+use ccopt_trace::{EventKind, Histogram, TraceConfig, TraceSubscription, Tracer};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -106,6 +131,29 @@ pub struct ServerConfig {
     /// shard-local deadlock detector, so without this a pair of wire
     /// clients can ping-pong `Wait` retries forever. 0 disables it.
     pub wait_valve: u32,
+    /// Bind address of the ops-plane HTTP listener (`/metrics`,
+    /// `/healthz`); `None` (the default) serves no HTTP.
+    pub metrics_addr: Option<String>,
+    /// Sampler period: every interval the engine thread snapshots
+    /// [`Metrics::diff`] into the time-series ring. `Duration::ZERO`
+    /// disables the sampler (the true ops-off baseline).
+    pub sample_interval: Duration,
+    /// Capacity of the sampler's time-series ring (oldest points are
+    /// evicted first).
+    pub sample_ring: usize,
+    /// Capacity of each trace subscriber's ring. When a subscriber's
+    /// connection cannot keep up, events beyond this bound are dropped
+    /// and counted — never queued against the engine.
+    pub subscriber_ring: usize,
+    /// Ceiling on events delivered per second per subscriber (0 =
+    /// unpaced). The subscription is a sampled observability stream,
+    /// not a replication log: pacing the pump bounds the CPU the ops
+    /// plane can take from the data plane on a saturated box, and the
+    /// overflow shows up honestly in the in-stream dropped count.
+    pub subscriber_rate: usize,
+    /// Print a machine-parseable `stats ...` line on stdout at every
+    /// sampler tick (the `--stats-interval` flag; off by default).
+    pub stats_line: bool,
 }
 
 impl Default for ServerConfig {
@@ -124,6 +172,12 @@ impl Default for ServerConfig {
             trace: None,
             drain_grace: Duration::from_secs(2),
             wait_valve: 24,
+            metrics_addr: None,
+            sample_interval: Duration::from_secs(1),
+            sample_ring: 360,
+            subscriber_ring: 4096,
+            subscriber_rate: 10_000,
+            stats_line: false,
         }
     }
 }
@@ -136,15 +190,67 @@ pub struct DrainStats {
     /// Transactions still live when the drain grace expired, aborted to
     /// finish the drain.
     pub aborted_on_drain: usize,
-    /// Requests refused by admission control (all three layers).
-    pub sheds: u64,
+    /// Requests shed by the per-connection pipeline cap.
+    pub sheds_pipeline: u64,
+    /// Requests shed by the bounded engine queue.
+    pub sheds_queue: u64,
+    /// `Begin`s shed by the live-transaction budget.
+    pub sheds_txns: u64,
+}
+
+impl DrainStats {
+    /// Requests refused by admission control, all wire layers combined
+    /// (shard-mailbox sheds live in [`Metrics::shed_aborts`], not here).
+    pub fn sheds(&self) -> u64 {
+        self.sheds_pipeline + self.sheds_queue + self.sheds_txns
+    }
+}
+
+/// Per-admission-layer shed counters, shared by the reader threads (the
+/// pipeline and queue layers) and the engine (the transaction budget).
+/// The ledger invariant `pipeline + queue + txns == total` holds by
+/// construction: there is no combined counter to drift.
+#[derive(Debug, Default)]
+struct ShedCounters {
+    pipeline: AtomicU64,
+    queue: AtomicU64,
+    txns: AtomicU64,
+}
+
+impl ShedCounters {
+    fn total(&self) -> u64 {
+        self.pipeline.load(Ordering::Relaxed)
+            + self.queue.load(Ordering::Relaxed)
+            + self.txns.load(Ordering::Relaxed)
+    }
+}
+
+/// What the engine publishes for the ops-plane HTTP listener: the last
+/// sampler snapshot (for `/metrics`) plus health flags refreshed every
+/// engine-loop iteration (for `/healthz`, which must flip within
+/// milliseconds of a shard crash regardless of the sampler period).
+#[derive(Default)]
+struct OpsShared {
+    published: Mutex<Option<ServerStats>>,
+    degraded: AtomicBool,
+    draining: AtomicBool,
+    shards: AtomicU32,
+    shards_down: AtomicU32,
+}
+
+/// One writer-bound message. `credit` is the in-flight counter the
+/// writer decrements after framing: responses to wire requests return
+/// pipeline credit, subscription events return pump credit.
+struct OutMsg {
+    bytes: Vec<u8>,
+    credit: Option<Arc<AtomicUsize>>,
 }
 
 // ------------------------------------------------------------- messages
 
 enum ToEngine {
     /// A connection opened; `out` is its response outbox.
-    Conn { id: u64, out: mpsc::Sender<Vec<u8>> },
+    Conn { id: u64, out: mpsc::Sender<OutMsg> },
     /// A connection closed; abort its transactions.
     Gone { id: u64 },
     /// One decoded request.
@@ -155,6 +261,9 @@ enum ToEngine {
     },
     /// Start a graceful drain (same effect as a wire `Shutdown`).
     Drain,
+    /// Fault injection: panic shard `s`'s worker (see
+    /// [`Server::panic_shard`]).
+    PanicShard(usize),
     /// Exit immediately without syncing (simulated crash).
     Kill,
 }
@@ -165,14 +274,16 @@ enum ToEngine {
 /// [`shutdown`](Server::shutdown) / [`kill`](Server::kill) kills it.
 pub struct Server {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     tx: SyncSender<ToEngine>,
     done_rx: Receiver<DrainStats>,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
-    sheds: Arc<AtomicU64>,
+    sheds: Arc<ShedCounters>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     accept: Option<JoinHandle<()>>,
     engine: Option<JoinHandle<()>>,
+    ops_http: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -187,13 +298,42 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        // The ops-plane HTTP listener binds synchronously too: a bad
+        // `--metrics-addr` fails `start`, not the first scrape.
+        let ops_listener = match &cfg.metrics_addr {
+            Some(a) => {
+                let l = TcpListener::bind(a)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &ops_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
         let (tx, rx) = mpsc::sync_channel::<ToEngine>(cfg.queue.max(1));
         let (done_tx, done_rx) = mpsc::channel::<DrainStats>();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServerError>>();
         let stop = Arc::new(AtomicBool::new(false));
         let kill = Arc::new(AtomicBool::new(false));
-        let sheds = Arc::new(AtomicU64::new(0));
+        let sheds = Arc::new(ShedCounters::default());
         let conns = Arc::new(Mutex::new(HashMap::new()));
+        let queue_depth = Arc::new(AtomicUsize::new(0));
+        let ops = Arc::new(OpsShared {
+            shards: AtomicU32::new(cfg.shards as u32),
+            ..OpsShared::default()
+        });
+
+        let ops_http = ops_listener.map(|l| {
+            let ops = Arc::clone(&ops);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ccopt-net-ops".to_string())
+                .spawn(move || ops_http_thread(l, ops, stop))
+                .expect("spawn ops http thread")
+        });
 
         let engine = {
             let cfg = cfg.clone();
@@ -201,9 +341,24 @@ impl Server {
             let kill = Arc::clone(&kill);
             let sheds = Arc::clone(&sheds);
             let conns = Arc::clone(&conns);
+            let ops = Arc::clone(&ops);
+            let queue_depth = Arc::clone(&queue_depth);
             std::thread::Builder::new()
                 .name("ccopt-net-engine".to_string())
-                .spawn(move || engine_thread(cfg, rx, ready_tx, done_tx, stop, kill, sheds, conns))
+                .spawn(move || {
+                    engine_thread(
+                        cfg,
+                        rx,
+                        ready_tx,
+                        done_tx,
+                        stop,
+                        kill,
+                        sheds,
+                        conns,
+                        ops,
+                        queue_depth,
+                    )
+                })
                 .expect("spawn engine thread")
         };
         // Engine startup (recovery included) is synchronous: a log that
@@ -225,15 +380,19 @@ impl Server {
             let stop = Arc::clone(&stop);
             let sheds = Arc::clone(&sheds);
             let conns = Arc::clone(&conns);
+            let queue_depth = Arc::clone(&queue_depth);
             let pipeline = cfg.pipeline.max(1);
             std::thread::Builder::new()
                 .name("ccopt-net-accept".to_string())
-                .spawn(move || accept_thread(listener, tx, stop, sheds, conns, pipeline))
+                .spawn(move || {
+                    accept_thread(listener, tx, stop, sheds, conns, pipeline, queue_depth)
+                })
                 .expect("spawn accept thread")
         };
 
         Ok(Server {
             addr,
+            metrics_addr,
             tx,
             done_rx,
             stop,
@@ -242,6 +401,7 @@ impl Server {
             conns,
             accept: Some(accept),
             engine: Some(engine),
+            ops_http,
         })
     }
 
@@ -250,9 +410,24 @@ impl Server {
         self.addr
     }
 
-    /// Requests shed by admission control so far.
+    /// The bound address of the ops-plane HTTP listener, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Requests shed by admission control so far (all wire layers).
     pub fn shed_count(&self) -> u64 {
-        self.sheds.load(Ordering::Relaxed)
+        self.sheds.total()
+    }
+
+    /// Fault injection (tests): panic shard `s`'s worker on the engine
+    /// thread, exactly as [`ShardedDb::panic_shard`] does in-process —
+    /// the shard dies mid-flight and supervision kicks in at its next
+    /// touch. This is how the ops-plane tests flip `/healthz` to
+    /// degraded mid-run.
+    pub fn panic_shard(&self, s: usize) {
+        let _ = self.tx.send(ToEngine::PanicShard(s));
     }
 
     /// Gracefully drain and stop: refuse new transactions, give
@@ -295,6 +470,9 @@ impl Server {
         if let Some(h) = self.engine.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.ops_http.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -311,13 +489,15 @@ impl Drop for Server {
 
 // --------------------------------------------------------- accept plane
 
+#[allow(clippy::too_many_arguments)]
 fn accept_thread(
     listener: TcpListener,
     tx: SyncSender<ToEngine>,
     stop: Arc<AtomicBool>,
-    sheds: Arc<AtomicU64>,
+    sheds: Arc<ShedCounters>,
     conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
     pipeline: usize,
+    queue_depth: Arc<AtomicUsize>,
 ) {
     let mut next_id = 0u64;
     while !stop.load(Ordering::SeqCst) {
@@ -326,7 +506,7 @@ fn accept_thread(
                 next_id += 1;
                 let id = next_id;
                 let _ = stream.set_nodelay(true);
-                let (out_tx, out_rx) = mpsc::channel::<Vec<u8>>();
+                let (out_tx, out_rx) = mpsc::channel::<OutMsg>();
                 // Registration order matters: the engine must learn of
                 // the connection before any of its requests.
                 if tx
@@ -351,10 +531,20 @@ fn accept_thread(
                         let tx = tx.clone();
                         let sheds = Arc::clone(&sheds);
                         let conns = Arc::clone(&conns);
+                        let queue_depth = Arc::clone(&queue_depth);
                         let _ = std::thread::Builder::new()
                             .name(format!("ccopt-net-r{id}"))
                             .spawn(move || {
-                                reader_thread(stream, id, tx, out_tx, inflight, pipeline, sheds);
+                                reader_thread(
+                                    stream,
+                                    id,
+                                    tx,
+                                    out_tx,
+                                    inflight,
+                                    pipeline,
+                                    sheds,
+                                    queue_depth,
+                                );
                                 conns.lock().unwrap().remove(&id);
                             });
                     }
@@ -372,15 +562,21 @@ fn accept_thread(
 /// produces exactly one response; the in-flight counter goes up here and
 /// down in the writer, so `pipeline` bounds both the engine's exposure
 /// to this connection and the outbox length.
+#[allow(clippy::too_many_arguments)]
 fn reader_thread(
     mut stream: TcpStream,
     id: u64,
     tx: SyncSender<ToEngine>,
-    out: mpsc::Sender<Vec<u8>>,
+    out: mpsc::Sender<OutMsg>,
     inflight: Arc<AtomicUsize>,
     pipeline: usize,
-    sheds: Arc<AtomicU64>,
+    sheds: Arc<ShedCounters>,
+    queue_depth: Arc<AtomicUsize>,
 ) {
+    let reply = |payload: Vec<u8>| OutMsg {
+        bytes: payload,
+        credit: None,
+    };
     loop {
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
@@ -401,7 +597,7 @@ fn reader_thread(
                         code: ErrCode::Malformed,
                         msg: "request payload does not decode".to_string(),
                     };
-                    if out.send(encode_response(req_id, &resp)).is_err() {
+                    if out.send(reply(encode_response(req_id, &resp))).is_err() {
                         break;
                     }
                     continue;
@@ -412,12 +608,18 @@ fn reader_thread(
         let in_flight = inflight.fetch_add(1, Ordering::SeqCst);
         let shed = in_flight >= pipeline;
         if shed {
-            sheds.fetch_add(1, Ordering::Relaxed);
-            if out.send(encode_response(req_id, &Response::Shed)).is_err() {
+            sheds.pipeline.fetch_add(1, Ordering::Relaxed);
+            let msg = reply(encode_response(req_id, &Response::Shed));
+            if out.send(msg).is_err() {
                 break;
             }
             continue;
         }
+        // Count the request into the queue-depth gauge BEFORE the send:
+        // once `try_send` succeeds the engine may dequeue (and decrement)
+        // immediately, and add-after-send would let the gauge transiently
+        // wrap below zero. A refused send undoes the increment.
+        queue_depth.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(ToEngine::Req {
             conn: id,
             req_id,
@@ -425,8 +627,10 @@ fn reader_thread(
         }) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
-                sheds.fetch_add(1, Ordering::Relaxed);
-                if out.send(encode_response(req_id, &Response::Shed)).is_err() {
+                queue_depth.fetch_sub(1, Ordering::Relaxed);
+                sheds.queue.fetch_add(1, Ordering::Relaxed);
+                let msg = reply(encode_response(req_id, &Response::Shed));
+                if out.send(msg).is_err() {
                     break;
                 }
             }
@@ -438,18 +642,28 @@ fn reader_thread(
 }
 
 /// Frame and write responses, batching everything already queued into
-/// one flush (the write-side half of pipelining).
-fn writer_thread(stream: TcpStream, out_rx: mpsc::Receiver<Vec<u8>>, inflight: Arc<AtomicUsize>) {
+/// one flush (the write-side half of pipelining). Each message returns
+/// credit to whoever bounded it: the connection's in-flight counter for
+/// request responses, a pump's counter for subscription events.
+fn writer_thread(stream: TcpStream, out_rx: mpsc::Receiver<OutMsg>, inflight: Arc<AtomicUsize>) {
     let mut w = std::io::BufWriter::new(stream);
     let mut buf = Vec::with_capacity(4096);
-    while let Ok(payload) = out_rx.recv() {
-        buf.clear();
-        frame_into(&mut buf, &payload);
-        inflight.fetch_sub(1, Ordering::SeqCst);
-        // Greedily batch whatever else is ready before flushing.
-        while let Ok(p) = out_rx.try_recv() {
-            frame_into(&mut buf, &p);
+    let done = |m: &OutMsg| match &m.credit {
+        Some(c) => {
+            c.fetch_sub(1, Ordering::SeqCst);
+        }
+        None => {
             inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+    };
+    while let Ok(msg) = out_rx.recv() {
+        buf.clear();
+        frame_into(&mut buf, &msg.bytes);
+        done(&msg);
+        // Greedily batch whatever else is ready before flushing.
+        while let Ok(m) = out_rx.try_recv() {
+            frame_into(&mut buf, &m.bytes);
+            done(&m);
         }
         if w.write_all(&buf).is_err() || w.flush().is_err() {
             return;
@@ -459,10 +673,25 @@ fn writer_thread(stream: TcpStream, out_rx: mpsc::Receiver<Vec<u8>>, inflight: A
 
 // --------------------------------------------------------- engine plane
 
+/// One live trace subscription owned by a connection: the hub-side id
+/// (to unsubscribe) and the stop flag its pump thread polls.
+struct SubEntry {
+    hub_id: u64,
+    stop: Arc<AtomicBool>,
+}
+
+/// How many [`Response::Events`] batch frames a pump may have
+/// undelivered in the writer channel at once. Beyond this the pump
+/// leaves events in the subscriber's bounded ring, where overflow
+/// drops-and-counts — so a subscriber that never reads bounds its whole
+/// footprint to `SUB_CREDIT` bounded frames plus one ring, and costs
+/// the engine nothing.
+const SUB_CREDIT: usize = 8;
+
 struct Engine<'a> {
     db: ShardedDb<'a>,
     tracer: Tracer,
-    conns: HashMap<u64, mpsc::Sender<Vec<u8>>>,
+    conns: HashMap<u64, mpsc::Sender<OutMsg>>,
     /// token -> (engine handle, owning connection)
     txns: HashMap<u64, (GlobalTxn, u64)>,
     /// token -> consecutive `Wait` answers (valve input; reset by any
@@ -473,13 +702,33 @@ struct Engine<'a> {
     next_token: u64,
     max_txns: usize,
     num_vars: u32,
-    sheds: Arc<AtomicU64>,
+    sheds: Arc<ShedCounters>,
     commits: u64,
     /// Engine "tick" for trace timestamps: one per processed message.
     tick: u64,
     draining: bool,
     deadline: Option<Instant>,
     grace: Duration,
+    // ---- ops plane ----
+    cc_name: String,
+    shards: usize,
+    started: Instant,
+    /// Live trace subscriptions by owning connection.
+    subs: HashMap<u64, Vec<SubEntry>>,
+    subscriber_ring: usize,
+    subscriber_rate: usize,
+    /// Global stop flag, shared with pump threads.
+    stop: Arc<AtomicBool>,
+    ops: Arc<OpsShared>,
+    queue_depth: Arc<AtomicUsize>,
+    sample_interval: Duration,
+    next_sample: Instant,
+    prev_metrics: Metrics,
+    prev_hist: Histogram,
+    prev_wire_sheds: u64,
+    series: VecDeque<SamplePoint>,
+    sample_ring: usize,
+    stats_line: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -490,8 +739,10 @@ fn engine_thread(
     done_tx: mpsc::Sender<DrainStats>,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
-    sheds: Arc<AtomicU64>,
+    sheds: Arc<ShedCounters>,
     conn_streams: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    ops: Arc<OpsShared>,
+    queue_depth: Arc<AtomicUsize>,
 ) {
     // The factory lives on this thread's stack for the `ShardedDb`'s
     // whole life — the borrow that makes `ShardedDb<'a>` workable here.
@@ -526,8 +777,7 @@ fn engine_thread(
             tracer = hub.tracer(cfg.shards as u32 + 1);
         }
     }
-    let _ = ready_tx.send(Ok(()));
-
+    let now = Instant::now();
     let mut eng = Engine {
         db,
         tracer,
@@ -544,7 +794,35 @@ fn engine_thread(
         draining: false,
         deadline: None,
         grace: cfg.drain_grace,
+        cc_name: cfg.cc.clone(),
+        shards: cfg.shards,
+        started: now,
+        subs: HashMap::new(),
+        subscriber_ring: cfg.subscriber_ring.max(1),
+        subscriber_rate: cfg.subscriber_rate,
+        stop: Arc::clone(&stop),
+        ops,
+        queue_depth,
+        sample_interval: cfg.sample_interval,
+        next_sample: now + cfg.sample_interval,
+        prev_metrics: Metrics::default(),
+        prev_hist: Histogram::new(),
+        prev_wire_sheds: 0,
+        series: VecDeque::new(),
+        sample_ring: cfg.sample_ring.max(1),
+        stats_line: cfg.stats_line,
     };
+    // Publish a baseline snapshot so `/metrics` answers from the first
+    // scrape and the first sample point diffs against startup, not zero.
+    eng.prev_metrics = eng.db.metrics();
+    eng.prev_hist = eng.db.commit_latency_ticks();
+    let first = eng.snapshot();
+    *eng.ops.published.lock().unwrap() = Some(first);
+    eng.publish_health();
+    // Readiness is signalled only now: `start` returning guarantees the
+    // first `/metrics` scrape has a snapshot to serve.
+    let _ = ready_tx.send(Ok(()));
+
     let mut batch: Vec<ToEngine> = Vec::with_capacity(256);
     let mut killed = false;
     'serve: loop {
@@ -565,6 +843,8 @@ fn engine_thread(
             }
         }
         eng.process(&batch);
+        eng.publish_health();
+        eng.maybe_sample();
         if eng.draining {
             let expired = eng.deadline.map(|d| Instant::now() >= d).unwrap_or(true);
             if eng.txns.is_empty() || expired {
@@ -573,10 +853,19 @@ fn engine_thread(
         }
     }
 
+    // Stop every subscription pump before tearing the engine down.
+    for entries in eng.subs.values() {
+        for e in entries {
+            e.stop.store(true, Ordering::SeqCst);
+        }
+    }
+
     let mut stats = DrainStats {
         commits: eng.commits,
         aborted_on_drain: 0,
-        sheds: eng.sheds.load(Ordering::Relaxed),
+        sheds_pipeline: eng.sheds.pipeline.load(Ordering::Relaxed),
+        sheds_queue: eng.sheds.queue.load(Ordering::Relaxed),
+        sheds_txns: eng.sheds.txns.load(Ordering::Relaxed),
     };
     if !killed {
         // Abort stragglers, sync the logs, close the books.
@@ -613,6 +902,9 @@ impl Engine<'_> {
         for m in msgs {
             self.tick += 1;
             if let ToEngine::Req { conn, req_id, req } = m {
+                // The reader counted this request into the queue-depth
+                // gauge before sending it.
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 if let Some(op) = data_op(req) {
                     let key = (*conn, op.0);
                     if run_key == Some(key) {
@@ -655,6 +947,20 @@ impl Engine<'_> {
                         let _ = self.db.abort(h);
                     }
                 }
+                // Its trace subscriptions end with it: detach from the
+                // hub (emit stops immediately) and stop the pumps.
+                if let Some(entries) = self.subs.remove(id) {
+                    for e in entries {
+                        if let Some(hub) = self.db.trace_hub() {
+                            hub.unsubscribe(e.hub_id);
+                        }
+                        e.stop.store(true, Ordering::SeqCst);
+                        if self.tracer.is_on() {
+                            let t = self.tick;
+                            self.tracer.emit(t, EventKind::SubscribeEnd { conn: *id });
+                        }
+                    }
+                }
                 self.conns.remove(id);
                 if self.tracer.is_on() {
                     let t = self.tick;
@@ -663,6 +969,11 @@ impl Engine<'_> {
             }
             ToEngine::Req { conn, req_id, req } => self.request(*conn, *req_id, req),
             ToEngine::Drain => self.begin_drain(),
+            ToEngine::PanicShard(s) => {
+                if *s < self.shards {
+                    self.db.panic_shard(*s);
+                }
+            }
             ToEngine::Kill => {}
         }
     }
@@ -674,7 +985,7 @@ impl Engine<'_> {
                 if self.draining {
                     self.respond(conn, req_id, &Response::Draining);
                 } else if self.txns.len() >= self.max_txns {
-                    self.sheds.fetch_add(1, Ordering::Relaxed);
+                    self.sheds.txns.fetch_add(1, Ordering::Relaxed);
                     if self.tracer.is_on() {
                         let t = self.tick;
                         self.tracer.emit(t, EventKind::RequestShed { conn });
@@ -730,6 +1041,21 @@ impl Engine<'_> {
                 self.respond(conn, req_id, &Response::Draining);
                 self.begin_drain();
             }
+            Request::Stats => {
+                let snap = self.snapshot();
+                self.respond(
+                    conn,
+                    req_id,
+                    &Response::Stats {
+                        stats: Box::new(snap),
+                    },
+                );
+            }
+            Request::Health => {
+                let report = self.health();
+                self.respond(conn, req_id, &Response::Health { report });
+            }
+            Request::Subscribe => self.subscribe(conn, req_id),
             // Data ops arrive through `flush_run`, but a lone op can
             // still land here if the compiler's pattern ordering changes;
             // route it through the same path.
@@ -826,6 +1152,198 @@ impl Engine<'_> {
         }
     }
 
+    // ------------------------------------------------------- ops plane
+
+    /// Build a fresh [`ServerStats`] snapshot. Read-only over the
+    /// [`ShardedDb`]: aggregating counters, draining per-shard
+    /// contention tallies, and cloning the sample ring — no transaction
+    /// state is touched, which is what keeps `Stats` requests invisible
+    /// to the data plane.
+    fn snapshot(&mut self) -> ServerStats {
+        let metrics = self.db.metrics();
+        let hist = self.db.commit_latency_ticks();
+        let (subscribers, sub_dropped) = match self.db.trace_hub() {
+            Some(hub) => (hub.subscriber_count() as u32, hub.subscribers_dropped()),
+            None => (0, 0),
+        };
+        ServerStats {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            cc: self.cc_name.clone(),
+            num_vars: self.num_vars,
+            conns: self.conns.len() as u32,
+            live_txns: self.txns.len() as u32,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed) as u32,
+            draining: self.draining,
+            shards: self
+                .db
+                .shard_statuses()
+                .iter()
+                .map(|s| ShardHealth {
+                    alive: s.alive,
+                    down: s.down,
+                    restarts: s.restarts,
+                })
+                .collect(),
+            metrics,
+            commit_p50_ticks: hist.quantile(0.5),
+            commit_p99_ticks: hist.quantile(0.99),
+            top_contended: self
+                .db
+                .top_contended(8)
+                .iter()
+                .map(|v| ContendedVar {
+                    var: v.var.0,
+                    waits: v.waits as u64,
+                    aborts: v.aborts as u64,
+                })
+                .collect(),
+            sheds_pipeline: self.sheds.pipeline.load(Ordering::Relaxed),
+            sheds_queue: self.sheds.queue.load(Ordering::Relaxed),
+            sheds_txns: self.sheds.txns.load(Ordering::Relaxed),
+            subscribers,
+            sub_dropped,
+            series: self.series.iter().copied().collect(),
+        }
+    }
+
+    fn health(&mut self) -> HealthReport {
+        let statuses = self.db.shard_statuses();
+        let down = statuses.iter().filter(|s| s.down || !s.alive).count() as u32;
+        HealthReport {
+            degraded: down > 0,
+            draining: self.draining,
+            shards: statuses.len() as u32,
+            shards_down: down,
+        }
+    }
+
+    /// Refresh the `/healthz` flags. Runs every engine-loop iteration
+    /// (a handful of atomic stores), so a shard crash flips the health
+    /// endpoint within ~25ms regardless of the sampler period.
+    fn publish_health(&mut self) {
+        let report = self.health();
+        self.ops.degraded.store(report.degraded, Ordering::Relaxed);
+        self.ops.draining.store(report.draining, Ordering::Relaxed);
+        self.ops.shards.store(report.shards, Ordering::Relaxed);
+        self.ops
+            .shards_down
+            .store(report.shards_down, Ordering::Relaxed);
+    }
+
+    /// The sampler: at every interval boundary, snapshot, derive the
+    /// window's [`SamplePoint`] from [`Metrics::diff`] and
+    /// [`Histogram::diff`], push it into the bounded ring, and publish
+    /// the snapshot for the HTTP listener.
+    fn maybe_sample(&mut self) {
+        if self.sample_interval.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        if now < self.next_sample {
+            return;
+        }
+        // One point per elapsed boundary would backfill idle periods
+        // with zeros; one point per wakeup with a late timestamp keeps
+        // the series honest instead.
+        while self.next_sample <= now {
+            self.next_sample += self.sample_interval;
+        }
+        let snap = self.snapshot();
+        let hist = self.db.commit_latency_ticks();
+        let dm = snap.metrics.diff(&self.prev_metrics);
+        let wire_sheds = snap.sheds_total();
+        let point = SamplePoint {
+            at_ms: snap.uptime_ms,
+            interval_ms: self.sample_interval.as_millis() as u64,
+            commits: dm.commits as u64,
+            aborts: dm.aborts as u64,
+            sheds: wire_sheds.saturating_sub(self.prev_wire_sheds),
+            shed_aborts: dm.shed_aborts as u64,
+            queue_depth: snap.queue_depth,
+            live_txns: snap.live_txns,
+            p99_ticks: hist.diff(&self.prev_hist).quantile(0.99),
+        };
+        self.prev_metrics = snap.metrics;
+        self.prev_hist = hist;
+        self.prev_wire_sheds = wire_sheds;
+        if self.series.len() >= self.sample_ring {
+            self.series.pop_front();
+        }
+        self.series.push_back(point);
+        if self.stats_line {
+            println!(
+                "stats at_ms={} commits={} aborts={} sheds={} shed_aborts={} \
+                 queue_depth={} live_txns={} p99_ticks={}",
+                point.at_ms,
+                point.commits,
+                point.aborts,
+                point.sheds,
+                point.shed_aborts,
+                point.queue_depth,
+                point.live_txns,
+                point.p99_ticks
+            );
+        }
+        let mut snap = snap;
+        snap.series = self.series.iter().copied().collect();
+        *self.ops.published.lock().unwrap() = Some(snap);
+    }
+
+    /// Handle [`Request::Subscribe`]: attach a bounded ring to the trace
+    /// hub (creating a sink-less hub if the server runs untraced) and
+    /// spawn a pump thread that forwards buffered events to the
+    /// connection under [`SUB_CREDIT`] flow control.
+    fn subscribe(&mut self, conn: u64, req_id: u64) {
+        if self.draining {
+            self.respond(conn, req_id, &Response::Draining);
+            return;
+        }
+        let Some(out) = self.conns.get(&conn).cloned() else {
+            return;
+        };
+        if self.db.trace_hub().is_none() {
+            // A default config has no sink and a zero-capacity flight
+            // recorder: the hub exists only to fan events out to
+            // subscribers. PR 7's differential suite proved traced and
+            // untraced runs behaviorally identical, so flipping tracing
+            // on here does not perturb the data plane.
+            if self.db.set_trace(&TraceConfig::default()).is_err() {
+                self.respond(
+                    conn,
+                    req_id,
+                    &Response::Err {
+                        code: ErrCode::BadState,
+                        msg: "tracing could not be enabled".to_string(),
+                    },
+                );
+                return;
+            }
+            if let Some(hub) = self.db.trace_hub() {
+                self.tracer = hub.tracer(self.shards as u32 + 1);
+            }
+        }
+        let Some(hub) = self.db.trace_hub() else {
+            return;
+        };
+        let sub = hub.subscribe(self.subscriber_ring);
+        let hub_id = sub.id();
+        let stop = Arc::new(AtomicBool::new(false));
+        self.subs.entry(conn).or_default().push(SubEntry {
+            hub_id,
+            stop: Arc::clone(&stop),
+        });
+        {
+            let t = self.tick;
+            self.tracer.emit(t, EventKind::SubscribeStart { conn });
+        }
+        self.respond(conn, req_id, &Response::Subscribed);
+        let global_stop = Arc::clone(&self.stop);
+        let rate = self.subscriber_rate;
+        let _ = std::thread::Builder::new()
+            .name(format!("ccopt-net-sub{hub_id}"))
+            .spawn(move || subscription_pump(sub, out, req_id, rate, stop, global_stop));
+    }
+
     fn begin_drain(&mut self) {
         if !self.draining {
             self.draining = true;
@@ -910,9 +1428,179 @@ impl Engine<'_> {
         if let Some(out) = self.conns.get(&conn) {
             // A dead writer is handled by the reader's `Gone`; dropping
             // the response here is safe because the connection is gone.
-            let _ = out.send(encode_response(req_id, resp));
+            let _ = out.send(OutMsg {
+                bytes: encode_response(req_id, resp),
+                credit: None,
+            });
         }
     }
+}
+
+// ------------------------------------------------------------ ops plane
+
+/// Forward a subscription's buffered trace lines to its connection.
+///
+/// The pump is the isolation layer between the engine and a slow
+/// subscriber: it takes lines out of the bounded [`TraceSubscription`]
+/// ring only while it holds credit (at most [`SUB_CREDIT`] batch
+/// frames undelivered in the writer channel), sleeping otherwise. A
+/// subscriber that never reads therefore stalls only this thread; the
+/// engine keeps emitting into the ring, which drops-and-counts on
+/// overflow, and the running dropped total rides along in every
+/// [`Response::Events`] frame.
+///
+/// Each round drains one bounded batch and packs it into as few
+/// [`Response::Events`] frames as fit under a per-frame byte cap: one
+/// channel push, one writer wake-up and one client read then carry
+/// hundreds of events instead of one — the difference between an ops
+/// plane that perturbs a single-core box and one that does not.
+///
+/// `rate` ([`ServerConfig::subscriber_rate`]) caps delivery: at most
+/// `rate / 100` lines per 10 ms round, the rest left to the ring's
+/// drop-and-count. Zero runs the pump unpaced.
+fn subscription_pump(
+    sub: TraceSubscription,
+    out: mpsc::Sender<OutMsg>,
+    req_id: u64,
+    rate: usize,
+    stop: Arc<AtomicBool>,
+    global_stop: Arc<AtomicBool>,
+) {
+    // Lines drained per unpaced round, and a payload cap keeping every
+    // frame well under `MAX_FRAME` even with maximum-length lines.
+    const ROUND_LINES: usize = 256;
+    const BATCH_BYTES: usize = 32 * 1024;
+    const ROUND: Duration = Duration::from_millis(10);
+    let per_round = if rate == 0 {
+        ROUND_LINES
+    } else {
+        (rate / 100).max(1)
+    };
+    let credit = Arc::new(AtomicUsize::new(0));
+    loop {
+        if stop.load(Ordering::SeqCst) || global_stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if credit.load(Ordering::SeqCst) >= SUB_CREDIT {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        let (lines, dropped) = sub.drain_up_to(per_round);
+        if lines.is_empty() {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        }
+        let mut batch: Vec<String> = Vec::new();
+        let mut bytes = 0usize;
+        for line in lines {
+            if !batch.is_empty() && bytes + line.len() > BATCH_BYTES {
+                if !send_events(&out, req_id, dropped, std::mem::take(&mut batch), &credit) {
+                    return; // connection gone
+                }
+                bytes = 0;
+            }
+            bytes += line.len();
+            batch.push(line);
+        }
+        if !batch.is_empty() && !send_events(&out, req_id, dropped, batch, &credit) {
+            return; // connection gone
+        }
+        if rate != 0 {
+            std::thread::sleep(ROUND);
+        }
+    }
+}
+
+/// Push one [`Response::Events`] frame into the connection's writer
+/// channel, charging the pump's credit. Returns `false` when the
+/// connection is gone.
+fn send_events(
+    out: &mpsc::Sender<OutMsg>,
+    req_id: u64,
+    dropped: u64,
+    lines: Vec<String>,
+    credit: &Arc<AtomicUsize>,
+) -> bool {
+    credit.fetch_add(1, Ordering::SeqCst);
+    out.send(OutMsg {
+        bytes: encode_response(req_id, &Response::Events { dropped, lines }),
+        credit: Some(Arc::clone(credit)),
+    })
+    .is_ok()
+}
+
+/// The dependency-free ops HTTP listener: `GET /metrics` serves the
+/// Prometheus text exposition of the last published snapshot,
+/// `GET /healthz` answers `200 ok` / `503 degraded` / `503 draining`
+/// from flags the engine refreshes every loop iteration.
+fn ops_http_thread(listener: TcpListener, ops: Arc<OpsShared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_http(stream, &ops),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_http(mut stream: TcpStream, ops: &OpsShared) {
+    // The accepted stream may inherit the listener's nonblocking mode on
+    // some platforms; the request read must block (bounded by timeout).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(n) if n > 0 => n,
+        _ => return,
+    };
+    let head = String::from_utf8_lossy(&buf[..n]);
+    let path = head
+        .strip_prefix("GET ")
+        .and_then(|r| r.split_whitespace().next())
+        .unwrap_or("");
+    let (status, ctype, body) = match path {
+        "/metrics" => match ops.published.lock().unwrap().as_ref() {
+            Some(snap) => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                render_prometheus(snap),
+            ),
+            None => (
+                "503 Service Unavailable",
+                "text/plain",
+                "no sample yet\n".to_string(),
+            ),
+        },
+        "/healthz" => {
+            if ops.degraded.load(Ordering::Relaxed) {
+                let down = ops.shards_down.load(Ordering::Relaxed);
+                let total = ops.shards.load(Ordering::Relaxed);
+                (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("degraded: {down}/{total} shards down\n"),
+                )
+            } else if ops.draining.load(Ordering::Relaxed) {
+                (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "draining\n".to_string(),
+                )
+            } else {
+                ("200 OK", "text/plain", "ok\n".to_string())
+            }
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// A request's data-op shape `(txn, op)`, if it is one.

@@ -31,6 +31,9 @@ fn sample_requests(rng: &mut SmallRng) -> Vec<Request> {
         Request::Ping,
         Request::Begin,
         Request::Shutdown,
+        Request::Stats,
+        Request::Health,
+        Request::Subscribe,
         Request::Commit { txn: rng.gen() },
         Request::Abort { txn: rng.gen() },
         Request::Read {
@@ -182,6 +185,50 @@ fn live_server_survives_garbage_connections() {
     }
     let stats = server.shutdown().expect("drain");
     assert!(stats.commits >= 12, "every good connection committed");
+}
+
+/// The ops opcodes under the same abuse: truncated and bit-flipped
+/// `Stats` / `Health` / `Subscribe` frames are answered or the
+/// connection closed — never a panic, never a wedged server — and the
+/// ops plane still answers a well-formed snapshot afterwards.
+#[test]
+fn ops_opcodes_survive_truncation_and_flips_against_a_live_server() {
+    let server = Server::start(ServerConfig {
+        num_vars: 8,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut rng = SmallRng::seed_from_u64(0x0B5C_F7A6);
+
+    let ops_reqs = [Request::Stats, Request::Health, Request::Subscribe];
+    for round in 0..12 {
+        let req = &ops_reqs[round % ops_reqs.len()];
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &encode_request(1, req));
+        if round % 2 == 0 {
+            // Cut short mid-frame.
+            let cut = rng.gen_range(1..wire.len());
+            let _ = s.write_all(&wire[..cut]);
+        } else {
+            // One flipped bit somewhere in the frame.
+            let at = rng.gen_range(0..wire.len());
+            wire[at] ^= 1 << rng.gen_range(0..8u32);
+            let _ = s.write_all(&wire);
+        }
+        drop(s);
+
+        // The ops plane still answers a clean snapshot.
+        let mut good = Client::connect(addr).expect("server still accepts");
+        good.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let stats = good.stats().expect("stats still served");
+        assert_eq!(stats.shards.len(), 2);
+        good.health().expect("health still served");
+    }
+    server.shutdown().expect("drain");
 }
 
 /// A frame whose *payload* is malformed (good CRC, bad contents) gets an

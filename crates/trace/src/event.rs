@@ -254,6 +254,16 @@ pub enum EventKind {
     DrainStart,
     /// Graceful drain finished: in-flight work settled, logs synced.
     DrainDone,
+    /// A connection attached a live trace subscription (ops plane).
+    SubscribeStart {
+        /// The subscribing connection.
+        conn: u64,
+    },
+    /// A live trace subscription detached (connection closed or drain).
+    SubscribeEnd {
+        /// The unsubscribing connection.
+        conn: u64,
+    },
 }
 
 impl EventKind {
@@ -277,6 +287,8 @@ impl EventKind {
             EventKind::RequestShed { .. } => "request_shed",
             EventKind::DrainStart => "drain_start",
             EventKind::DrainDone => "drain_done",
+            EventKind::SubscribeStart { .. } => "subscribe_start",
+            EventKind::SubscribeEnd { .. } => "subscribe_end",
         }
     }
 }
@@ -354,7 +366,9 @@ impl TraceEvent {
             }
             EventKind::ConnAccept { conn }
             | EventKind::ConnClose { conn }
-            | EventKind::RequestShed { conn } => {
+            | EventKind::RequestShed { conn }
+            | EventKind::SubscribeStart { conn }
+            | EventKind::SubscribeEnd { conn } => {
                 s.push_str(&format!(",\"conn\":{conn}"));
             }
             EventKind::DrainStart | EventKind::DrainDone => {}
@@ -433,6 +447,8 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         "request_shed",
         "drain_start",
         "drain_done",
+        "subscribe_start",
+        "subscribe_end",
     ];
     let event: &'static str = known
         .iter()
@@ -479,7 +495,7 @@ pub fn validate_jsonl_line(line: &str) -> Result<&'static str, String> {
         "shard_down" | "shard_up" => {
             num("down_shard")?;
         }
-        "conn_accept" | "conn_close" | "request_shed" => {
+        "conn_accept" | "conn_close" | "request_shed" | "subscribe_start" | "subscribe_end" => {
             num("conn")?;
         }
         "drain_start" | "drain_done" => {}
@@ -554,6 +570,8 @@ mod tests {
             EventKind::RequestShed { conn: 11 },
             EventKind::DrainStart,
             EventKind::DrainDone,
+            EventKind::SubscribeStart { conn: 11 },
+            EventKind::SubscribeEnd { conn: 11 },
         ];
         for kind in kinds {
             let line = ev(kind).to_jsonl();

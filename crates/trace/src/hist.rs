@@ -99,6 +99,25 @@ impl Histogram {
         }
     }
 
+    /// The histogram of samples recorded since `earlier` was snapshotted
+    /// (per-bucket saturating subtraction), for interval percentiles in
+    /// a sampler: `now.diff(&prev).quantile(0.99)` is the p99 of the
+    /// window. `min`/`max` are gauges over the whole run, not the
+    /// window, so the interval quantile stays clamped conservatively.
+    pub fn diff(&self, earlier: &Histogram) -> Histogram {
+        let mut d = Histogram {
+            buckets: [0; 64],
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        };
+        for (i, b) in d.buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        d
+    }
+
     /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
     /// where the cumulative count crosses it, clamped to the observed
     /// max — a deterministic, conservative estimate. 0 when empty.
@@ -169,6 +188,27 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn diff_isolates_the_window() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(10);
+        }
+        let snap = h.clone();
+        for _ in 0..5 {
+            h.record(1000);
+        }
+        let window = h.diff(&snap);
+        assert_eq!(window.count(), 5);
+        assert_eq!(window.sum(), 5000);
+        // Every windowed sample is 1000 → bucket 10, upper bound 1023,
+        // clamped to the observed max.
+        assert_eq!(window.quantile(0.5), 1000);
+        // Diffing against itself is empty.
+        assert_eq!(h.diff(&h).count(), 0);
+        assert_eq!(h.diff(&h).quantile(0.99), 0);
     }
 
     #[test]

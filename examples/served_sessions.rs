@@ -125,8 +125,10 @@ fn main() {
     let stats = server.shutdown().expect("drain");
     println!(
         "\nserver drained: commits={} aborted_on_drain={} sheds={}",
-        stats.commits, stats.aborted_on_drain, stats.sheds
+        stats.commits,
+        stats.aborted_on_drain,
+        stats.sheds()
     );
     assert_eq!(stats.commits as usize, CLIENTS * TRANSFERS);
-    assert!(stats.sheds as usize >= sheds, "server counted our sheds");
+    assert!(stats.sheds() as usize >= sheds, "server counted our sheds");
 }
