@@ -78,6 +78,25 @@
 //! throughput ratio stays within the "observation never perturbs"
 //! budget. The ratio, both absolute rates, and the subscriber's
 //! delivered/dropped event counts land in the `ops_overhead` object.
+//!
+//! Schema v10 adds the `batched` arm — the messaging-tax A/B this
+//! repo's batched-submission work is measured by:
+//!
+//! * `batched.tax` (engine level, the acceptance gate): one
+//!   deterministic conflict-free stream run three ways — direct
+//!   `SessionDb` calls, per-op `ShardedDb` calls at `S = 1` (every op
+//!   one mailbox round-trip: the historic ~60× overhead), and
+//!   [`ccopt_engine::ShardedDb::submit_group`] with whole transactions
+//!   grouped per message. Taxes are wall-clock ratios against the
+//!   unsharded run; the grouped tax is **asserted ≤ 6×**, and the
+//!   engine's own `shard_msgs` counters report the round-trip collapse
+//!   exactly.
+//! * `batched.wire` (served level): the same closed-loop fleet — via
+//!   the one shared [`closed_loop`] anchor that also calibrates the
+//!   `served` grid and drives `ops_overhead` — running per-op
+//!   transactions vs the wire batch opcode (`Batch`: one frame, many
+//!   ops, commit included), so the RTT amortization is a measured
+//!   speedup, not a claim.
 
 use ccopt_bench::t3_simulation::cc_factories;
 use ccopt_engine::durability::scratch_path;
@@ -638,22 +657,50 @@ fn served_conn(
     (committed, shed, aborted, lat)
 }
 
-/// Closed-loop calibration: the fleet runs back to back for `dur`; its
-/// aggregate commit rate is the saturation estimate the open-loop sweep
-/// is anchored to.
-fn served_saturation(addr: std::net::SocketAddr, conns: usize, vars: u32, dur: Duration) -> f64 {
+/// How long a closed-loop seat is held.
+enum RunFor {
+    /// Run back to back until the wall clock says stop.
+    Elapsed(Duration),
+    /// Run until this many transactions committed on this connection.
+    Commits(usize),
+}
+
+/// The shared closed-loop anchor: `conns` scoped threads each run
+/// `txn` back to back — sleeping out admission sheds, not counting
+/// aborts — until the goal is met. Returns (total commits, wall
+/// seconds). Every wall-clock arm that needs a closed-loop rate
+/// (`served` calibration, `ops_overhead`, the `batched` wire A/B)
+/// anchors here, so "closed loop" means exactly one thing in this
+/// harness.
+fn closed_loop<F>(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    seed_base: u64,
+    goal: RunFor,
+    txn: F,
+) -> (usize, f64)
+where
+    F: Fn(&mut ccopt_client::Client, &mut rand::rngs::SmallRng) -> ServedOutcome + Sync,
+{
     use rand::SeedableRng;
+    let (txn, goal) = (&txn, &goal);
     let wall = Instant::now();
     let total: usize = std::thread::scope(|s| {
         let handles: Vec<_> = (0..conns)
             .map(|i| {
                 s.spawn(move || {
-                    let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5EED + i as u64);
-                    let mut client = ccopt_client::Client::connect(addr).expect("calib connect");
+                    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed_base + i as u64);
+                    let mut client =
+                        ccopt_client::Client::connect(addr).expect("closed-loop connect");
                     let start = Instant::now();
-                    let mut n = 0;
-                    while start.elapsed() < dur {
-                        match served_txn(&mut client, &mut rng, vars) {
+                    let mut n = 0usize;
+                    loop {
+                        match *goal {
+                            RunFor::Elapsed(dur) if start.elapsed() >= dur => break,
+                            RunFor::Commits(k) if n >= k => break,
+                            _ => {}
+                        }
+                        match txn(&mut client, &mut rng) {
                             ServedOutcome::Committed => n += 1,
                             // Closed-loop shed: yield the seat race
                             // instead of hammering begin.
@@ -665,9 +712,22 @@ fn served_saturation(addr: std::net::SocketAddr, conns: usize, vars: u32, dur: D
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("calib")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("closed-loop conn"))
+            .sum()
     });
-    total as f64 / wall.elapsed().as_secs_f64()
+    (total, wall.elapsed().as_secs_f64())
+}
+
+/// Closed-loop calibration: the fleet runs back to back for `dur`; its
+/// aggregate commit rate is the saturation estimate the open-loop sweep
+/// is anchored to.
+fn served_saturation(addr: std::net::SocketAddr, conns: usize, vars: u32, dur: Duration) -> f64 {
+    let (total, secs) = closed_loop(addr, conns, 0x5EED, RunFor::Elapsed(dur), |c, rng| {
+        served_txn(c, rng, vars)
+    });
+    total as f64 / secs
 }
 
 /// What the live ops plane did while the served grid ran: the sampler
@@ -859,7 +919,6 @@ struct OpsOverheadCell {
 
 fn ops_overhead(quick: bool) -> OpsOverheadCell {
     use ccopt_net::{Server, ServerConfig};
-    use rand::SeedableRng;
 
     let conns = 4usize;
     let vars = 64u32;
@@ -884,27 +943,14 @@ fn ops_overhead(quick: bool) -> OpsOverheadCell {
         let addr = server.local_addr();
         let subscriber = ops_on.then(|| spawn_subscriber(addr));
 
-        let wall = Instant::now();
-        std::thread::scope(|s| {
-            for i in 0..conns {
-                s.spawn(move || {
-                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
-                        0x0B5_0000 + (trial * conns + i) as u64,
-                    );
-                    let mut client =
-                        ccopt_client::Client::connect(addr).expect("ops overhead connect");
-                    let mut done = 0usize;
-                    while done < txns_per_conn {
-                        match served_txn(&mut client, &mut rng, vars) {
-                            ServedOutcome::Committed => done += 1,
-                            ServedOutcome::Shed => std::thread::sleep(Duration::from_micros(500)),
-                            ServedOutcome::Aborted => {}
-                        }
-                    }
-                });
-            }
-        });
-        let secs = wall.elapsed().as_secs_f64();
+        let (total, secs) = closed_loop(
+            addr,
+            conns,
+            0x0B5_0000 + (trial * conns) as u64,
+            RunFor::Commits(txns_per_conn),
+            |c, rng| served_txn(c, rng, vars),
+        );
+        debug_assert_eq!(total, conns * txns_per_conn);
 
         if let Some(sub) = subscriber {
             let (ev, dr) = sub.finish();
@@ -912,7 +958,7 @@ fn ops_overhead(quick: bool) -> OpsOverheadCell {
             sub_dropped += dr;
         }
         server.shutdown().expect("ops overhead drain");
-        (conns * txns_per_conn) as f64 / secs.max(1e-9)
+        total as f64 / secs.max(1e-9)
     };
 
     let (mut best_off, mut best_on) = (0f64, 0f64);
@@ -940,6 +986,312 @@ fn ops_overhead(quick: bool) -> OpsOverheadCell {
         sub_events,
         sub_dropped,
     }
+}
+
+// --------------------------------------------------------- batched arm
+
+/// One closed-loop transaction through the wire **batch** opcode: the
+/// same two affine bumps as [`served_txn`], but the whole run — commit
+/// included — rides a single `Batch` frame, replayed under the
+/// partial-batch contract. The A/B against [`served_txn`] (which pays
+/// one RTT per op plus one for the commit) is the wire RTT tax.
+fn batched_txn(
+    c: &mut ccopt_client::Client,
+    rng: &mut rand::rngs::SmallRng,
+    vars: u32,
+) -> ServedOutcome {
+    use ccopt_client::ClientError;
+    use ccopt_engine::{BatchOp, Op};
+    use ccopt_model::VarId;
+    use rand::Rng;
+
+    let backoff = Duration::from_micros(200);
+    let h = match c.begin() {
+        Ok(h) => h,
+        Err(ClientError::Shed) => return ServedOutcome::Shed,
+        Err(e) => panic!("batched begin: {e}"),
+    };
+    let (a, b) = (rng.gen_range(0..vars), rng.gen_range(0..vars));
+    let program = [
+        BatchOp::Affine {
+            var: VarId(a),
+            a: 1,
+            c: 1,
+        },
+        BatchOp::Affine {
+            var: VarId(b),
+            a: 1,
+            c: 1,
+        },
+    ];
+    let mut cursor = 0usize;
+    for attempt in 0.. {
+        if attempt >= 64 {
+            c.abort(h).expect("batched abort");
+            return ServedOutcome::Aborted;
+        }
+        let (results, commit) = c
+            .batch(h, &program[cursor..], true)
+            .expect("batched submit");
+        match results.last() {
+            Some(Op::Restarted) => {
+                cursor = 0;
+                std::thread::sleep(Duration::from_micros(rng.gen_range(0..400)));
+                continue;
+            }
+            Some(Op::Wait) => {
+                cursor += results.len() - 1;
+                std::thread::sleep(backoff);
+                continue;
+            }
+            _ => cursor += results.len(),
+        }
+        match commit {
+            Some(Op::Done(())) => return ServedOutcome::Committed,
+            Some(Op::Wait) => std::thread::sleep(backoff),
+            Some(Op::Restarted) | None => cursor = 0,
+        }
+    }
+    unreachable!()
+}
+
+/// The wire-level batching A/B: identical servers, the identical
+/// closed-loop fleet (via the one shared [`closed_loop`] anchor),
+/// per-op vs batched transactions. Wall-clock, so the *speedup* shape
+/// is the claim, not the absolute rates.
+struct BatchedWireCell {
+    cc: &'static str,
+    conns: usize,
+    per_op_per_sec: f64,
+    batched_per_sec: f64,
+    /// Batched over per-op closed-loop commit rate.
+    speedup: f64,
+}
+
+fn batched_wire(quick: bool) -> BatchedWireCell {
+    use ccopt_net::{Server, ServerConfig};
+
+    let conns = if quick { 8 } else { 32 };
+    let vars = 256u32;
+    let dur = Duration::from_millis(if quick { 250 } else { 800 });
+    let cc = "strict-2PL";
+    let rate = |batched: bool| {
+        let server = Server::start(ServerConfig {
+            cc: cc.to_string(),
+            num_vars: vars as usize,
+            shards: 4,
+            max_txns: conns * 2,
+            ..ServerConfig::default()
+        })
+        .expect("batched wire server");
+        let addr = server.local_addr();
+        let (total, secs) = closed_loop(addr, conns, 0xBA7C, RunFor::Elapsed(dur), |c, rng| {
+            if batched {
+                batched_txn(c, rng, vars)
+            } else {
+                served_txn(c, rng, vars)
+            }
+        });
+        server.shutdown().expect("batched wire drain");
+        total as f64 / secs.max(1e-9)
+    };
+    let per_op_per_sec = rate(false);
+    let batched_per_sec = rate(true);
+    BatchedWireCell {
+        cc,
+        conns,
+        per_op_per_sec,
+        batched_per_sec,
+        speedup: batched_per_sec / per_op_per_sec.max(1e-9),
+    }
+}
+
+/// One engine-level messaging-tax cell: the same deterministic stream,
+/// three submission paths, wall-clock ratios against the unsharded run.
+struct BatchedTaxCell {
+    cc: String,
+    txns: usize,
+    ops: usize,
+    unsharded_ms: f64,
+    per_op_ms: f64,
+    grouped_ms: f64,
+    /// Per-op `S = 1` wall over unsharded wall — the historic ~60×.
+    per_op_tax: f64,
+    /// Grouped `S = 1` wall over unsharded wall — asserted ≤ 6×.
+    grouped_tax: f64,
+    per_op_msgs: usize,
+    grouped_msgs: usize,
+}
+
+/// Transactions grouped per `submit_group` message.
+const TAX_GROUP: usize = 128;
+/// Ops per transaction in the tax stream.
+const TAX_OPS: usize = 8;
+
+/// The tax stream: transaction `i` bumps `TAX_OPS` consecutive
+/// variables owned by slot `i % TAX_GROUP`, so any `TAX_GROUP`
+/// consecutive transactions touch disjoint variables — concurrent
+/// group members never conflict and every path commits every
+/// transaction. Read-modify-write affine ops, so each op does real
+/// concurrency-control work and the A/B prices the *messaging*, not
+/// the allocator. The difference between the paths is then pure
+/// submission overhead.
+fn tax_program(i: usize) -> Vec<u32> {
+    (0..TAX_OPS)
+        .map(|p| ((i % TAX_GROUP) * TAX_OPS + p) as u32)
+        .collect()
+}
+
+/// The engine-level messaging-tax A/B — the number the batched-
+/// submission work is measured by. See the module docs for the three
+/// paths; the `S = 1` shard worker is a real thread behind a mailbox
+/// in all sharded runs, so the wall-clock ratios price the actual
+/// round-trips, and the engine's `shard_msgs` counter reports their
+/// count exactly.
+fn batched_tax(quick: bool) -> Vec<BatchedTaxCell> {
+    use ccopt_engine::{affine_eval, BatchOp, GroupReq, Op, SessionDb, ShardedDb};
+    use ccopt_model::{GlobalState, VarId};
+
+    let txns = if quick { 1_000 } else { 4_000 };
+    let vars = TAX_GROUP * TAX_OPS;
+    // Best-of-N wall clock per path: the unsharded baseline is fast
+    // enough that a single scheduler hiccup would swamp the ratio.
+    let trials = 3;
+    let mut cells = Vec::new();
+    for (name, mk) in cc_factories() {
+        if !matches!(name, "strict-2PL" | "SI") {
+            continue; // one locking and one multi-version representative
+        }
+        let init = GlobalState::from_ints(&vec![0i64; vars]);
+
+        // Path 1: direct `SessionDb` calls — no threads, no messages.
+        let unsharded = || {
+            let mut db = SessionDb::new(mk(), init.clone());
+            let wall = Instant::now();
+            for i in 0..txns {
+                let h = db.begin();
+                for v in tax_program(i) {
+                    match db
+                        .update(h, VarId(v), |x| affine_eval(1, 1, x))
+                        .expect("unsharded update")
+                    {
+                        Op::Done(_) => {}
+                        other => {
+                            panic!("{name}: unsharded tax stream must not conflict: {other:?}")
+                        }
+                    }
+                }
+                assert!(matches!(db.commit(h), Ok(Op::Done(()))), "{name}: commit");
+                db.retire(h).expect("unsharded retire");
+            }
+            (wall.elapsed().as_secs_f64() * 1e3, 0usize)
+        };
+
+        // Path 2: `ShardedDb` at S = 1, one mailbox round-trip per op
+        // (plus commit and retire) — the messaging tax at its worst.
+        let per_op = || {
+            let mut db = ShardedDb::new(mk.as_ref(), init.clone(), 1);
+            let wall = Instant::now();
+            for i in 0..txns {
+                let h = db.begin();
+                for v in tax_program(i) {
+                    match db
+                        .update(h, VarId(v), |x| affine_eval(1, 1, x))
+                        .expect("per-op update")
+                    {
+                        Op::Done(_) => {}
+                        other => panic!("{name}: per-op tax stream must not conflict: {other:?}"),
+                    }
+                }
+                assert!(matches!(db.commit(h), Ok(Op::Done(()))), "{name}: commit");
+                db.retire(h).expect("per-op retire");
+            }
+            (wall.elapsed().as_secs_f64() * 1e3, db.metrics().shard_msgs)
+        };
+
+        // Path 3: `submit_group` at S = 1, whole transactions —
+        // begins, runs, commits, retires — grouped per message.
+        let grouped = || {
+            let mut db = ShardedDb::new(mk.as_ref(), init.clone(), 1);
+            let wall = Instant::now();
+            let mut done = 0usize;
+            while done < txns {
+                let n = TAX_GROUP.min(txns - done);
+                let reqs: Vec<GroupReq> = (done..done + n)
+                    .map(|i| GroupReq {
+                        h: db.begin(),
+                        ops: tax_program(i)
+                            .into_iter()
+                            .map(|v| BatchOp::Affine {
+                                var: VarId(v),
+                                a: 1,
+                                c: 1,
+                            })
+                            .collect(),
+                        commit: true,
+                    })
+                    .collect();
+                for (k, resp) in db.submit_group(reqs).into_iter().enumerate() {
+                    let outs = resp.results.expect("grouped run");
+                    assert!(
+                        outs.iter().all(|o| matches!(o, Op::Done(_))),
+                        "{name}: grouped tax stream must not conflict (txn {})",
+                        done + k
+                    );
+                    assert!(
+                        matches!(resp.commit, Some(Ok(Op::Done(())))),
+                        "{name}: grouped commit (txn {})",
+                        done + k
+                    );
+                }
+                done += n;
+            }
+            (wall.elapsed().as_secs_f64() * 1e3, db.metrics().shard_msgs)
+        };
+
+        let best = |run: &dyn Fn() -> (f64, usize)| {
+            (0..trials)
+                .map(|_| run())
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("trials > 0")
+        };
+        let (unsharded_ms, _) = best(&unsharded);
+        let (per_op_ms, per_op_msgs) = best(&per_op);
+        let (grouped_ms, grouped_msgs) = best(&grouped);
+
+        let cell = BatchedTaxCell {
+            cc: name.to_string(),
+            txns,
+            ops: txns * TAX_OPS,
+            unsharded_ms,
+            per_op_ms,
+            grouped_ms,
+            per_op_tax: per_op_ms / unsharded_ms.max(1e-9),
+            grouped_tax: grouped_ms / unsharded_ms.max(1e-9),
+            per_op_msgs,
+            grouped_msgs,
+        };
+        // The acceptance gate: batching must collapse the messaging
+        // tax to single digits. The message counts are deterministic;
+        // the wall-clock gate is what the messages actually cost.
+        assert!(
+            cell.grouped_msgs * 10 <= cell.per_op_msgs,
+            "{name}: grouping left {} of {} messages standing",
+            cell.grouped_msgs,
+            cell.per_op_msgs
+        );
+        assert!(
+            cell.grouped_tax <= 6.0,
+            "{name}: grouped messaging tax {:.2}x exceeds the 6x budget \
+             (unsharded {:.2}ms, grouped {:.2}ms; per-op was {:.2}x)",
+            cell.grouped_tax,
+            cell.unsharded_ms,
+            cell.grouped_ms,
+            cell.per_op_tax
+        );
+        cells.push(cell);
+    }
+    cells
 }
 
 fn main() {
@@ -1196,6 +1548,45 @@ fn main() {
         ops.commits_per_sec_off, ops.commits_per_sec_on, ops.ratio, ops.sub_events, ops.sub_dropped
     );
 
+    let tax_cells = batched_tax(quick);
+    let mut tax_table = Table::new(
+        "batched messaging tax (S=1 wall vs unsharded; grouped must be <= 6x)",
+        &[
+            "cc",
+            "txns",
+            "ops",
+            "unsharded-ms",
+            "per-op-ms",
+            "grouped-ms",
+            "per-op-tax",
+            "grouped-tax",
+            "per-op-msgs",
+            "grouped-msgs",
+        ],
+    );
+    for c in &tax_cells {
+        tax_table.row(&[
+            c.cc.clone(),
+            c.txns.to_string(),
+            c.ops.to_string(),
+            format!("{:.2}", c.unsharded_ms),
+            format!("{:.2}", c.per_op_ms),
+            format!("{:.2}", c.grouped_ms),
+            format!("{:.1}x", c.per_op_tax),
+            format!("{:.1}x", c.grouped_tax),
+            c.per_op_msgs.to_string(),
+            c.grouped_msgs.to_string(),
+        ]);
+    }
+    println!("{tax_table}");
+
+    let wire = batched_wire(quick);
+    println!(
+        "batched wire A/B ({}, {} conns): per-op {:.0} commits/s, batched {:.0} commits/s, \
+         speedup {:.2}x",
+        wire.cc, wire.conns, wire.per_op_per_sec, wire.batched_per_sec, wire.speedup
+    );
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
     std::fs::write(
         path,
@@ -1208,6 +1599,8 @@ fn main() {
             &served_cells,
             &served_ops,
             &ops,
+            &tax_cells,
+            &wire,
         ),
     )
     .expect("write BENCH_engine.json");
@@ -1245,10 +1638,12 @@ fn to_json(
     served_cells: &[ServedCell],
     served_ops: &ServedOps,
     ops: &OpsOverheadCell,
+    tax_cells: &[BatchedTaxCell],
+    wire: &BatchedWireCell,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"ccopt-bench/throughput/v9\",\n");
+    s.push_str("  \"schema\": \"ccopt-bench/throughput/v10\",\n");
     s.push_str(&format!(
         "  \"config\": {{\"batches\": {}, \"seed\": {}, \"workload_seeds\": {:?}, \"scheduling_time\": {}, \"exec_time\": {}, \"think_time\": {}, \"retry_interval\": {}, \"restart_penalty\": {}, \"sync_time\": {}}},\n",
         cfg.batches,
@@ -1384,7 +1779,7 @@ fn to_json(
         served_ops.sampler_ms, served_ops.sub_events, served_ops.sub_dropped,
     ));
     s.push_str(&format!(
-        "  \"ops_overhead\": {{\"conns\": {}, \"txns_per_conn\": {}, \"trials\": {}, \"commits_per_sec_off\": {:.1}, \"commits_per_sec_on\": {:.1}, \"ratio\": {:.6}, \"sub_events\": {}, \"sub_dropped\": {}}}\n",
+        "  \"ops_overhead\": {{\"conns\": {}, \"txns_per_conn\": {}, \"trials\": {}, \"commits_per_sec_off\": {:.1}, \"commits_per_sec_on\": {:.1}, \"ratio\": {:.6}, \"sub_events\": {}, \"sub_dropped\": {}}},\n",
         ops.conns,
         ops.txns_per_conn,
         ops.trials,
@@ -1394,6 +1789,31 @@ fn to_json(
         ops.sub_events,
         ops.sub_dropped,
     ));
+    s.push_str("  \"batched\": {\n");
+    s.push_str("    \"tax\": [\n");
+    for (i, c) in tax_cells.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"cc\": {:?}, \"txns\": {}, \"ops\": {}, \"group\": {}, \"unsharded_ms\": {:.3}, \"per_op_ms\": {:.3}, \"grouped_ms\": {:.3}, \"per_op_tax\": {:.2}, \"grouped_tax\": {:.2}, \"per_op_msgs\": {}, \"grouped_msgs\": {}}}{}\n",
+            c.cc,
+            c.txns,
+            c.ops,
+            TAX_GROUP,
+            c.unsharded_ms,
+            c.per_op_ms,
+            c.grouped_ms,
+            c.per_op_tax,
+            c.grouped_tax,
+            c.per_op_msgs,
+            c.grouped_msgs,
+            if i + 1 == tax_cells.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("    ],\n");
+    s.push_str(&format!(
+        "    \"wire\": {{\"cc\": {:?}, \"conns\": {}, \"per_op_per_sec\": {:.1}, \"batched_per_sec\": {:.1}, \"speedup\": {:.3}}}\n",
+        wire.cc, wire.conns, wire.per_op_per_sec, wire.batched_per_sec, wire.speedup,
+    ));
+    s.push_str("  }\n");
     s.push_str("}\n");
     s
 }

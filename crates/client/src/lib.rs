@@ -29,11 +29,12 @@
 //! [`ClientError::Shed`] (back off and retry) and
 //! [`ClientError::Draining`] (the server is going away).
 
-use ccopt_engine::Op;
+use ccopt_engine::{BatchOp, Op};
 use ccopt_model::value::Value;
 use ccopt_net::error::{FrameError, WireError};
 use ccopt_net::frame::{
-    decode_response, encode_request, read_frame, write_frame, ErrCode, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, BatchCommit, BatchOutcome, ErrCode,
+    Request, Response,
 };
 use ccopt_net::stats::{HealthReport, ServerStats};
 use std::fmt;
@@ -123,6 +124,11 @@ impl TxnHandle {
         self.token
     }
 }
+
+/// What [`Client::batch`] answers: the per-op outcomes (submission
+/// order, stopping at the first non-`Done`) and the commit's outcome
+/// when one was requested and attempted.
+pub type BatchReply = (Vec<Op<Value>>, Option<Op<()>>);
 
 /// A connection to a `ccopt-server`.
 ///
@@ -227,6 +233,50 @@ impl Client {
             Response::Shed => Err(ClientError::Shed),
             Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
             other => Err(unexpected("Commit", &other)),
+        }
+    }
+
+    /// Submit many operations — optionally followed by the commit — in
+    /// **one frame**, the batched analogue of pipelining `read`/
+    /// `write`/`update` (+ `commit`) calls: one RTT for the whole run
+    /// instead of one per op. Returns the per-op outcomes and the
+    /// commit's outcome under the partial-batch contract: `results` is
+    /// in submission order and stops at the first non-`Done` outcome
+    /// (a trailing [`Op::Wait`] = resume from that op, a trailing
+    /// [`Op::Restarted`] = replay the whole program on the same
+    /// handle); the commit outcome is `Some` only when `commit` was
+    /// requested **and** every op completed `Done` — `Some(Op::Done
+    /// (()))` finishes the handle.
+    pub fn batch(
+        &mut self,
+        h: TxnHandle,
+        ops: &[BatchOp],
+        commit: bool,
+    ) -> Result<BatchReply, ClientError> {
+        let req = Request::Batch {
+            txn: h.token,
+            ops: ops.to_vec(),
+            commit,
+        };
+        match self.roundtrip(&req)? {
+            Response::Batch { results, commit } => Ok((
+                results
+                    .into_iter()
+                    .map(|r| match r {
+                        BatchOutcome::Done { value } => Op::Done(value),
+                        BatchOutcome::Wait => Op::Wait,
+                        BatchOutcome::Restarted => Op::Restarted,
+                    })
+                    .collect(),
+                commit.map(|c| match c {
+                    BatchCommit::Committed => Op::Done(()),
+                    BatchCommit::Wait => Op::Wait,
+                    BatchCommit::Restarted => Op::Restarted,
+                }),
+            )),
+            Response::Shed => Err(ClientError::Shed),
+            Response::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(unexpected("Batch", &other)),
         }
     }
 

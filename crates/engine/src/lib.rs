@@ -65,5 +65,6 @@ pub use metrics::Metrics;
 pub use mvstore::MvStore;
 pub use session::{Op, RecoveryInfo, SessionDb, SessionError, SessionStatus, Txn, VarContention};
 pub use shard::{
-    affine_eval, BatchOp, GlobalTxn, Partition, ShardStatus, ShardedDb, ShardedRecoveryInfo,
+    affine_eval, BatchOp, GlobalTxn, GroupReq, GroupResp, Partition, ShardStatus, ShardedDb,
+    ShardedRecoveryInfo,
 };

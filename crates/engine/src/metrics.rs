@@ -48,6 +48,17 @@ pub struct Metrics {
     /// Transactions aborted by load shedding: an operation arrived while
     /// its shard's bounded mailbox was full (0 outside sharded runs).
     pub shed_aborts: usize,
+    /// Coordinator→shard mailbox round-trips on the operation lifecycle
+    /// (lazy begins, operation runs, single-shard commits, retires; 2PC
+    /// protocol messages are counted separately under `twopc_actions` in
+    /// the sharded coordinator). The messaging tax is
+    /// `shard_msgs / batched_ops` round-trips per operation: 1.0+ on the
+    /// per-op path, a small fraction under batched submission (0 outside
+    /// sharded runs).
+    pub shard_msgs: usize,
+    /// Data operations carried by those `shard_msgs` messages (0 outside
+    /// sharded runs).
+    pub batched_ops: usize,
     /// `aborts` broken down by the conflict rule that fired, indexed by
     /// [`ConflictRule::index`]. Rows sum to `aborts`; aborts the mechanism
     /// did not attribute land under [`ConflictRule::Unattributed`] and
@@ -116,6 +127,8 @@ impl Metrics {
             shard_restarts: self.shard_restarts.saturating_sub(earlier.shard_restarts),
             io_retries: self.io_retries.saturating_sub(earlier.io_retries),
             shed_aborts: self.shed_aborts.saturating_sub(earlier.shed_aborts),
+            shard_msgs: self.shard_msgs.saturating_sub(earlier.shard_msgs),
+            batched_ops: self.batched_ops.saturating_sub(earlier.batched_ops),
             aborts_by_rule,
         }
     }

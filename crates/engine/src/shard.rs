@@ -350,6 +350,13 @@ pub struct ShardedDb<'a> {
     /// as [`GStatus::Failed`]); the coordinator's share of the abort
     /// attribution table.
     failover_fails: usize,
+    /// Coordinator→shard mailbox round-trips on the operation lifecycle
+    /// (lazy begins, runs, single-shard commits, retires); the numerator
+    /// of the messaging tax.
+    shard_msgs: usize,
+    /// Data operations those messages carried; the denominator of the
+    /// messaging tax.
+    batched_ops: usize,
 }
 
 impl<'a> ShardedDb<'a> {
@@ -557,6 +564,8 @@ impl<'a> ShardedDb<'a> {
             twopc_hist: TwoPcHistograms::default(),
             recovery_hist: RecoveryHistograms::default(),
             failover_fails: 0,
+            shard_msgs: 0,
+            batched_ops: 0,
         }
     }
 
@@ -673,6 +682,8 @@ impl<'a> ShardedDb<'a> {
         // restart would stamp the fresh attempt with: the restart happens
         // inside the shard, in place, before we see the outcome.
         let spare = self.next_gts + 1;
+        self.shard_msgs += 1;
+        self.batched_ops += 1;
         let r = match self.workers[si].call(move |db| {
             db.set_restart_ts(spare);
             db.apply(sub, lv, kind, f).expect("sub is live")
@@ -766,6 +777,8 @@ impl<'a> ShardedDb<'a> {
                 .map(|op| (self.partition.local(op.var()), *op))
                 .collect();
             let spare = self.next_gts + 1;
+            self.shard_msgs += 1;
+            self.batched_ops += run.len();
             let rs = match self.workers[si].call(move |db| {
                 db.set_restart_ts(spare);
                 let mut rs = Vec::with_capacity(run.len());
@@ -816,6 +829,361 @@ impl<'a> ShardedDb<'a> {
         Ok(out)
     }
 
+    /// Submit a group of **independent transactions'** batches in as few
+    /// mailbox messages as possible — the cross-transaction half of the
+    /// batched-submission story (the server's engine thread collects
+    /// runs from many connections into one group per pass).
+    ///
+    /// Requests whose operations (and prior shard footprint) sit on a
+    /// single shard are packed into **one message per shard**, carrying
+    /// every such transaction's run — and, when
+    /// [`commit`](GroupReq::commit) is set, its single-shard commit and
+    /// retire too, so a whole k-op transaction costs one round trip
+    /// instead of `k + 2`. Groups execute in first-appearance order of
+    /// their shard; requests that span shards fall back to
+    /// [`apply_batch`](Self::apply_batch) (and the ordinary
+    /// [`commit`](Self::commit)) after the packed groups, in submission
+    /// order.
+    ///
+    /// **Equivalence contract** (proved by the batched differential
+    /// suite): the outcomes are bit-identical to driving the same
+    /// requests sequentially through the per-operation API in the
+    /// canonical order above. Restart timestamps are consumed *lazily
+    /// inside the shard* — each transaction's potential restart stamp is
+    /// `cur + 1` where `cur` advances only when a restart actually
+    /// consumes it — exactly the stamp sequence the per-op path issues.
+    /// One intentional divergence: the GC floor of a piggybacked commit
+    /// is computed at submission (pessimistically low), so
+    /// multi-version reclamation *timing* may differ; no concurrency
+    /// decision reads the floor, so outcomes and final state do not.
+    ///
+    /// Per request the partial-batch contract of
+    /// [`apply_batch`](Self::apply_batch) holds: results stop at the
+    /// first non-[`Op::Done`] outcome, and the piggybacked commit is
+    /// attempted only when every operation completed `Done`
+    /// ([`GroupResp::commit`] is `None` otherwise). A committed request
+    /// is also retired — its handle is dead on return. Each handle may
+    /// appear at most once per group.
+    pub fn submit_group(&mut self, reqs: Vec<GroupReq>) -> Vec<GroupResp> {
+        let mut resps: Vec<GroupResp> = (0..reqs.len())
+            .map(|_| GroupResp {
+                results: Ok(Vec::new()),
+                commit: None,
+            })
+            .collect();
+        // Classify: pack single-shard requests per shard, keep the rest
+        // (cross-shard footprints, trivial no-touch commits) for the
+        // sequential tail.
+        enum Class {
+            Packed,
+            Tail,
+        }
+        let mut shard_groups: Vec<Vec<usize>> = vec![Vec::new(); self.workers.len()];
+        let mut shard_order: Vec<usize> = Vec::new();
+        let mut classes: Vec<Class> = Vec::with_capacity(reqs.len());
+        for (k, req) in reqs.iter().enumerate() {
+            let ti = match self.running(req.h) {
+                Ok(ti) => ti,
+                Err(e) => {
+                    resps[k].results = Err(e);
+                    classes.push(Class::Tail);
+                    continue;
+                }
+            };
+            if self.slots[ti]
+                .subs
+                .iter()
+                .any(|s| matches!(s, SubState::Prepared(_)))
+            {
+                if req.ops.is_empty() && req.commit {
+                    // A cross-shard commit retry: the tail's generic
+                    // commit path resumes the two-phase protocol.
+                    classes.push(Class::Tail);
+                } else {
+                    resps[k].results = Err(SessionError::Prepared);
+                    classes.push(Class::Tail);
+                }
+                continue;
+            }
+            // The request's whole footprint: shards its ops touch plus
+            // shards already engaged by earlier operations.
+            let mut home: Option<usize> = None;
+            let mut single = true;
+            for op in &req.ops {
+                let s = self.partition.shard_of(op.var());
+                match home {
+                    None => home = Some(s),
+                    Some(h) if h != s => {
+                        single = false;
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if single {
+                for &s in &self.slots[ti].touched {
+                    let s = s as usize;
+                    match home {
+                        None => home = Some(s),
+                        Some(h) if h != s => {
+                            single = false;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            match (single, home) {
+                (true, Some(si)) => {
+                    if shard_groups[si].is_empty() {
+                        shard_order.push(si);
+                    }
+                    shard_groups[si].push(k);
+                    classes.push(Class::Packed);
+                }
+                // No ops and nothing touched: a trivial commit (or a
+                // no-op), handled in the tail without any message.
+                _ => classes.push(Class::Tail),
+            }
+        }
+        // One message per shard, in first-appearance order.
+        for si in shard_order {
+            let members = std::mem::take(&mut shard_groups[si]);
+            self.group_shard(si, &members, &reqs, &mut resps);
+        }
+        // The sequential tail: cross-shard and trivial requests through
+        // the per-run machinery, in submission order.
+        for (k, req) in reqs.iter().enumerate() {
+            if !matches!(classes[k], Class::Tail) || resps[k].results.is_err() {
+                continue;
+            }
+            if !req.ops.is_empty() {
+                match self.apply_batch(req.h, &req.ops) {
+                    Ok(rs) => {
+                        let complete = rs.len() == req.ops.len()
+                            && rs.iter().all(|r| matches!(r, Op::Done(_)));
+                        resps[k].results = Ok(rs);
+                        if !complete {
+                            continue;
+                        }
+                    }
+                    Err(e) => {
+                        resps[k].results = Err(e);
+                        continue;
+                    }
+                }
+            }
+            if req.commit {
+                let c = self.commit(req.h);
+                if let Ok(Op::Done(())) = c {
+                    let _ = self.retire(req.h);
+                }
+                resps[k].commit = Some(c);
+            }
+        }
+        resps
+    }
+
+    /// Execute one shard's packed group: a single mailbox message
+    /// carrying every member's (lazy begin, run, optional commit +
+    /// retire), with restart stamps consumed lazily in execution order.
+    fn group_shard(
+        &mut self,
+        si: usize,
+        members: &[usize],
+        reqs: &[GroupReq],
+        resps: &mut [GroupResp],
+    ) {
+        if self.down[si] {
+            for &k in members {
+                resps[k].results = Err(SessionError::ShardDown);
+            }
+            return;
+        }
+        if self.workers[si].is_full() {
+            // Backpressure sheds the whole group — the batched analogue
+            // of the per-op shed: every member restarts under a fresh
+            // stamp and replays after its backoff.
+            for &k in members {
+                let ti = match self.running(reqs[k].h) {
+                    Ok(ti) => ti,
+                    Err(e) => {
+                        resps[k].results = Err(e);
+                        continue;
+                    }
+                };
+                self.shed_aborts += 1;
+                if self.coord_tracer.is_on() {
+                    let (gts, tick) = (self.slots[ti].gts, self.next_gts);
+                    self.coord_tracer.emit(
+                        tick,
+                        EventKind::Abort {
+                            txn: gts,
+                            rule: ConflictRule::Shed,
+                            var: reqs[k].ops.first().map(|op| op.var().0),
+                            opponent: None,
+                        },
+                    );
+                }
+                self.global_restart(ti);
+                resps[k].results = Ok(vec![Op::Restarted]);
+            }
+            return;
+        }
+        struct Job {
+            sub: Option<Txn>,
+            gts: u64,
+            run: Vec<(VarId, BatchOp)>,
+            commit: bool,
+            floor: u64,
+        }
+        struct JobOut {
+            sub: Txn,
+            results: Vec<Op<Value>>,
+            /// Restart stamp consumed by this job (ops or commit).
+            consumed: Option<u64>,
+            commit: Option<Op<()>>,
+            retired: bool,
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(members.len());
+        for &k in members {
+            let ti = self.slot_of(reqs[k].h).expect("pre-flighted");
+            let sub = match self.slots[ti].subs[si] {
+                SubState::Running(sub) => Some(sub),
+                SubState::Absent => None,
+                SubState::Prepared(_) => unreachable!("pre-flighted"),
+            };
+            jobs.push(Job {
+                sub,
+                gts: self.slots[ti].gts,
+                run: reqs[k]
+                    .ops
+                    .iter()
+                    .map(|op| (self.partition.local(op.var()), *op))
+                    .collect(),
+                commit: reqs[k].commit,
+                floor: self.min_active_gts(ti),
+            });
+        }
+        self.shard_msgs += 1;
+        self.batched_ops += jobs.iter().map(|j| j.run.len()).sum::<usize>();
+        let base = self.next_gts;
+        let outs = match self.workers[si].call(move |db| {
+            let mut cur = base;
+            let mut outs: Vec<JobOut> = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let sub = match job.sub {
+                    Some(s) => s,
+                    None => db.begin_with_ts(job.gts),
+                };
+                let mut results = Vec::with_capacity(job.run.len());
+                let mut consumed = None;
+                let mut all_done = true;
+                db.set_restart_ts(cur + 1);
+                for (lv, op) in job.run {
+                    let r = match op {
+                        BatchOp::Read(_) => db.apply(sub, lv, StepKind::Read, |v| v),
+                        BatchOp::Write(_, val) => db.apply(sub, lv, StepKind::Write, move |_| val),
+                        BatchOp::Affine { a, c, .. } => {
+                            db.apply(sub, lv, StepKind::Update, move |v| affine_eval(a, c, v))
+                        }
+                    }
+                    .expect("sub is live");
+                    let done = matches!(r, Op::Done(_));
+                    if matches!(r, Op::Restarted) {
+                        consumed = Some(cur + 1);
+                        cur += 1;
+                    }
+                    results.push(r);
+                    if !done {
+                        all_done = false;
+                        break;
+                    }
+                }
+                let mut commit = None;
+                let mut retired = false;
+                if job.commit && all_done {
+                    db.set_gc_floor(job.floor);
+                    db.set_restart_ts(cur + 1);
+                    let r = db.commit(sub).expect("sub is live");
+                    match r {
+                        Op::Done(()) => {
+                            db.retire(sub).expect("sub is committed");
+                            retired = true;
+                        }
+                        Op::Restarted => {
+                            consumed = Some(cur + 1);
+                            cur += 1;
+                        }
+                        Op::Wait => {}
+                    }
+                    commit = Some(r);
+                }
+                outs.push(JobOut {
+                    sub,
+                    results,
+                    consumed,
+                    commit,
+                    retired,
+                });
+            }
+            outs
+        }) {
+            Ok(outs) => outs,
+            Err(WorkerError) => {
+                self.supervise_crash(si);
+                for &k in members {
+                    resps[k].results = Err(SessionError::ShardDown);
+                }
+                return;
+            }
+        };
+        for (&k, out) in members.iter().zip(outs) {
+            let ti = self.slot_of(reqs[k].h).expect("pre-flighted");
+            if matches!(self.slots[ti].subs[si], SubState::Absent) {
+                self.slots[ti].subs[si] = SubState::Running(out.sub);
+                self.slots[ti].touched.push(si as u32);
+            }
+            for r in &out.results {
+                match r {
+                    Op::Done(_) => {}
+                    Op::Wait => {
+                        self.slots[ti].waits += 1;
+                        self.waits += 1;
+                    }
+                    Op::Restarted => {
+                        let stamp = out.consumed.expect("a restart consumed its stamp");
+                        self.next_gts = self.next_gts.max(stamp);
+                        self.global_restart_keeping(ti, Some(si), stamp);
+                    }
+                }
+            }
+            if let Some(c) = out.commit {
+                match c {
+                    Op::Done(()) => {
+                        self.slots[ti].status = GStatus::Committed;
+                        self.commits += 1;
+                        if out.retired {
+                            self.retires += 1;
+                            self.free_slot(ti);
+                        }
+                    }
+                    Op::Wait => {
+                        self.slots[ti].waits += 1;
+                        self.waits += 1;
+                    }
+                    Op::Restarted => {
+                        let stamp = out.consumed.expect("a restart consumed its stamp");
+                        self.next_gts = self.next_gts.max(stamp);
+                        self.global_restart_keeping(ti, Some(si), stamp);
+                    }
+                }
+                resps[k].commit = Some(Ok(c));
+            }
+            resps[k].results = Ok(out.results);
+        }
+    }
+
     // --------------------------------------------------------------- finish
 
     /// Commit the global transaction. Single-shard transactions commit
@@ -842,6 +1210,7 @@ impl<'a> ShardedDb<'a> {
                 };
                 let floor = self.min_active_gts(ti);
                 let spare = self.next_gts + 1;
+                self.shard_msgs += 1;
                 let r = match self.workers[si].call(move |db| {
                     db.set_gc_floor(floor);
                     db.set_restart_ts(spare);
@@ -1136,6 +1505,7 @@ impl<'a> ShardedDb<'a> {
                 SubState::Absent => {}
             }
         }
+        self.shard_msgs += replies.len();
         for (s, r) in replies {
             if r.wait().is_err() {
                 crashed.push(s);
@@ -1209,6 +1579,8 @@ impl<'a> ShardedDb<'a> {
             retires: self.retires,
             shard_restarts: self.shard_restarts,
             shed_aborts: self.shed_aborts,
+            shard_msgs: self.shard_msgs,
+            batched_ops: self.batched_ops,
             ..Metrics::default()
         };
         // Abort attribution: shard-level rows carry the concurrency-
@@ -1427,6 +1799,7 @@ impl<'a> ShardedDb<'a> {
             SubState::Running(sub) | SubState::Prepared(sub) => Ok(sub),
             SubState::Absent => {
                 let gts = self.slots[ti].gts;
+                self.shard_msgs += 1;
                 match self.workers[si].call(move |db| db.begin_with_ts(gts)) {
                     Ok(sub) => {
                         self.slots[ti].subs[si] = SubState::Running(sub);
@@ -2106,6 +2479,34 @@ impl BatchOp {
             BatchOp::Affine { var, .. } => var,
         }
     }
+}
+
+/// One transaction's contribution to a [`ShardedDb::submit_group`] call:
+/// a run of operations (possibly empty) and, optionally, the
+/// transaction's commit piggybacked on the same shard message.
+#[derive(Clone, Debug)]
+pub struct GroupReq {
+    /// The transaction the run belongs to.
+    pub h: GlobalTxn,
+    /// The operations, in program order (may be empty for a commit-only
+    /// request).
+    pub ops: Vec<BatchOp>,
+    /// Attempt to commit (and retire) after the run; honored only when
+    /// every operation completes [`Op::Done`].
+    pub commit: bool,
+}
+
+/// What one [`GroupReq`] came to.
+#[derive(Clone, Debug)]
+pub struct GroupResp {
+    /// Per-operation outcomes under the partial-batch contract of
+    /// [`ShardedDb::apply_batch`]: in submission order, stopping at the
+    /// first non-[`Op::Done`] outcome.
+    pub results: Result<Vec<Op<Value>>, SessionError>,
+    /// The commit outcome; `None` when no commit was requested or the
+    /// run did not complete. On `Ok(Op::Done(()))` the transaction was
+    /// also retired — the handle is dead.
+    pub commit: Option<Result<Op<()>, SessionError>>,
 }
 
 /// The affine update function of [`BatchOp::Affine`]: `a·v + c` over

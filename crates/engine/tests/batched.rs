@@ -1,0 +1,433 @@
+//! Batched vs per-op submission: the bit-identical differential.
+//!
+//! Batched submission ([`ShardedDb::apply_batch`], and the cross-
+//! transaction [`ShardedDb::submit_group`]) exists purely to amortize
+//! coordinator→shard mailbox round-trips; it must change NOTHING about
+//! what the engine decides. This suite replays one recorded workload —
+//! the same transactions, the same operations, the same deterministic
+//! schedule — through three submission paths:
+//!
+//! * **per-op**: every operation is its own `read`/`write`/`update`
+//!   call (one mailbox round-trip each), commits and retires their own
+//!   calls — the original, trusted path;
+//! * **batch**: each transaction's run travels through `apply_batch`,
+//!   commit and retire still separate calls;
+//! * **group**: every live transaction's remaining run *and* its commit
+//!   travel together in one `submit_group` call per scheduler round —
+//!   the server engine's shape.
+//!
+//! and asserts the outcomes are **bit-identical** across all 7
+//! mechanisms × shard counts {1, 2, 8}: per-transaction commit results,
+//! final database state, and every metric that must agree (commits,
+//! aborts by rule, waits, steps, retires, versions installed). Metrics
+//! that measure the *messaging* itself (`shard_msgs`, `batched_ops`)
+//! differ by design — that difference is the point, and the last test
+//! pins the direction: group submission must use a small fraction of
+//! the per-op path's messages.
+//!
+//! The one legal divergence: multi-version GC *timing* (`versions_
+//! reclaimed`, `max_chain_len`), because a piggybacked commit's GC
+//! floor is computed at submission (pessimistically low) — the design
+//! note in docs/SHARDING.md spells out why no decision reads the floor.
+//!
+//! Why the schedule makes the comparison exact: the driver mirrors
+//! `submit_group`'s documented canonical order (single-shard requests
+//! grouped per shard in first-appearance order, cross-shard requests
+//! trailing in submission order) and executes the per-op and batch
+//! paths in that same order, so all three paths perform the same global
+//! operation sequence — and the engine's lazy restart-stamp rule
+//! guarantees the same timestamps.
+
+use ccopt_engine::{
+    affine_eval, cc_by_name, BatchOp, GlobalTxn, GroupReq, Metrics, Op, SessionError, ShardedDb,
+    MECHANISM_NAMES,
+};
+use ccopt_model::{GlobalState, Value, VarId};
+
+const NUM_VARS: usize = 16;
+const TXNS: usize = 12;
+const ROUND_CAP: usize = 500;
+/// Consecutive `Wait` answers before the driver fires
+/// [`ShardedDb::restart`] — the same valve every real driver has.
+const WAIT_VALVE: u32 = 8;
+
+/// Tiny deterministic RNG (SplitMix64) so the recorded workload is
+/// identical in every run and path.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    PerOp,
+    Batch,
+    Group,
+}
+
+/// Record the workload: each transaction's program, fixed up front.
+/// Half the transactions are pinned to a single shard (batched
+/// submission's packed path), half roam the whole universe (the
+/// cross-shard tail and 2PC).
+fn record_programs(db: &mut ShardedDb, shards: usize, seed: u64) -> Vec<Vec<BatchOp>> {
+    let mut rng = Rng(seed);
+    let by_shard: Vec<Vec<u32>> = (0..shards)
+        .map(|s| {
+            (0..NUM_VARS as u32)
+                .filter(|&v| db.shard_of(VarId(v)) == s)
+                .collect()
+        })
+        .collect();
+    (0..TXNS)
+        .map(|i| {
+            let len = 2 + rng.below(4);
+            let home: Option<&Vec<u32>> = if i % 2 == 0 {
+                // Pinned to one shard (guaranteed non-empty: every
+                // shard owns ≥ NUM_VARS/shards variables).
+                Some(&by_shard[i / 2 % shards])
+            } else {
+                None
+            };
+            (0..len)
+                .map(|_| {
+                    let var = match home {
+                        Some(vars) => VarId(vars[rng.below(vars.len())]),
+                        None => VarId(rng.below(NUM_VARS) as u32),
+                    };
+                    match rng.below(3) {
+                        0 => BatchOp::Read(var),
+                        1 => BatchOp::Write(var, Value::Int(rng.below(100) as i64)),
+                        _ => BatchOp::Affine {
+                            var,
+                            a: 1 + rng.below(3) as i64,
+                            c: rng.below(10) as i64,
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Per-transaction driver state, including the mirror of the engine's
+/// shard footprint (`touched`) that the canonical-order computation
+/// needs.
+struct TxnState {
+    h: GlobalTxn,
+    cursor: usize,
+    committed: bool,
+    touched: Vec<usize>,
+    wait_streak: u32,
+}
+
+impl TxnState {
+    fn touch(&mut self, s: usize) {
+        if !self.touched.contains(&s) {
+            self.touched.push(s);
+        }
+    }
+}
+
+/// The driver's mirror of `submit_group`'s canonical execution order
+/// over this round's requests (`(txn index, chunk)` pairs): requests
+/// whose chunk *and* prior footprint sit on one shard group per shard
+/// in first-appearance order; everything else trails in submission
+/// order.
+fn canonical_order(
+    reqs: &[(usize, Vec<BatchOp>)],
+    states: &[TxnState],
+    db: &ShardedDb,
+) -> Vec<usize> {
+    let mut shard_order: Vec<usize> = Vec::new();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); db.shards()];
+    let mut tail: Vec<usize> = Vec::new();
+    for (k, (ti, chunk)) in reqs.iter().enumerate() {
+        let mut set: Vec<usize> = Vec::new();
+        for op in chunk {
+            let s = db.shard_of(op.var());
+            if !set.contains(&s) {
+                set.push(s);
+            }
+        }
+        for &s in &states[*ti].touched {
+            if !set.contains(&s) {
+                set.push(s);
+            }
+        }
+        match set.len() {
+            1 => {
+                let s = set[0];
+                if groups[s].is_empty() {
+                    shard_order.push(s);
+                }
+                groups[s].push(k);
+            }
+            _ => tail.push(k),
+        }
+    }
+    let mut order = Vec::with_capacity(reqs.len());
+    for s in shard_order {
+        order.extend(groups[s].iter().copied());
+    }
+    order.extend(tail);
+    order
+}
+
+/// Apply one settled request's outcomes to the driver state, mirroring
+/// exactly what the engine did: advance the cursor over `Done`s, track
+/// touched shards of attempted ops, reset on `Restarted`, and run the
+/// wait valve. Returns true when the transaction finished.
+#[allow(clippy::too_many_arguments)]
+fn settle(
+    db: &mut ShardedDb,
+    st: &mut TxnState,
+    chunk: &[BatchOp],
+    outs: &[Op<Value>],
+    commit: Option<Op<()>>,
+    mode: Mode,
+) {
+    // Every attempted op engaged its shard (`ensure_sub` runs before
+    // the outcome), including the trailing non-`Done` one.
+    for op in &chunk[..outs.len()] {
+        let s = db.shard_of(op.var());
+        st.touch(s);
+    }
+    match outs.last() {
+        Some(Op::Restarted) => {
+            st.cursor = 0;
+            st.touched.clear();
+            st.wait_streak = 0;
+            return;
+        }
+        Some(Op::Wait) => {
+            st.cursor += outs.len() - 1;
+            st.wait_streak += 1;
+            if st.wait_streak >= WAIT_VALVE {
+                db.restart(st.h).expect("live handle");
+                st.cursor = 0;
+                st.touched.clear();
+                st.wait_streak = 0;
+            }
+            return;
+        }
+        _ => {
+            st.cursor += outs.len();
+            st.wait_streak = 0;
+        }
+    }
+    match commit {
+        Some(Op::Done(())) => {
+            // The group path retires inside the engine; the other two
+            // retire explicitly to keep the lifecycles identical.
+            if mode != Mode::Group {
+                db.retire(st.h).expect("committed");
+            }
+            st.committed = true;
+        }
+        Some(Op::Wait) => {
+            st.wait_streak += 1;
+            if st.wait_streak >= WAIT_VALVE {
+                db.restart(st.h).expect("live handle");
+                st.cursor = 0;
+                st.touched.clear();
+                st.wait_streak = 0;
+            }
+        }
+        Some(Op::Restarted) => {
+            st.cursor = 0;
+            st.touched.clear();
+            st.wait_streak = 0;
+        }
+        None => {}
+    }
+}
+
+/// Replay the recorded programs through one submission path. Returns
+/// (commits in driver order, final state, committed state, metrics).
+fn replay(
+    cc: &str,
+    shards: usize,
+    seed: u64,
+    mode: Mode,
+) -> (Vec<bool>, GlobalState, GlobalState, Metrics) {
+    let make = move || cc_by_name(cc).expect("known mechanism");
+    let init = GlobalState::from_ints(&[7; NUM_VARS]);
+    let mut db = ShardedDb::new(&make, init, shards);
+    let programs = record_programs(&mut db, shards, seed);
+    let mut states: Vec<TxnState> = programs
+        .iter()
+        .map(|_| TxnState {
+            h: db.begin(),
+            cursor: 0,
+            committed: false,
+            touched: Vec::new(),
+            wait_streak: 0,
+        })
+        .collect();
+    for _round in 0..ROUND_CAP {
+        // This round's requests: each live transaction's remaining
+        // program, commit always requested (it only fires when the
+        // whole run completes).
+        let reqs: Vec<(usize, Vec<BatchOp>)> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| !st.committed)
+            .map(|(ti, st)| (ti, programs[ti][st.cursor..].to_vec()))
+            .collect();
+        if reqs.is_empty() {
+            break;
+        }
+        match mode {
+            Mode::Group => {
+                let greqs: Vec<GroupReq> = reqs
+                    .iter()
+                    .map(|(ti, chunk)| GroupReq {
+                        h: states[*ti].h,
+                        ops: chunk.clone(),
+                        commit: true,
+                    })
+                    .collect();
+                let resps = db.submit_group(greqs);
+                for ((ti, chunk), resp) in reqs.iter().zip(resps) {
+                    let outs = resp.results.expect("live handle");
+                    let commit = resp.commit.map(|c| c.expect("live handle"));
+                    settle(&mut db, &mut states[*ti], chunk, &outs, commit, mode);
+                }
+            }
+            Mode::PerOp | Mode::Batch => {
+                // Same global op order as the engine's group execution.
+                for k in canonical_order(&reqs, &states, &db) {
+                    let (ti, chunk) = &reqs[k];
+                    let h = states[*ti].h;
+                    let outs: Vec<Op<Value>> = match mode {
+                        Mode::Batch => db.apply_batch(h, chunk).expect("live handle"),
+                        _ => {
+                            let mut outs = Vec::new();
+                            for op in chunk {
+                                let r = run_one(&mut db, h, op).expect("live handle");
+                                let done = matches!(r, Op::Done(_));
+                                outs.push(r);
+                                if !done {
+                                    break;
+                                }
+                            }
+                            outs
+                        }
+                    };
+                    let all_done =
+                        outs.len() == chunk.len() && outs.iter().all(|r| matches!(r, Op::Done(_)));
+                    let commit = if all_done {
+                        Some(db.commit(h).expect("live handle"))
+                    } else {
+                        None
+                    };
+                    settle(&mut db, &mut states[*ti], chunk, &outs, commit, mode);
+                }
+            }
+        }
+    }
+    // Under `serial` one straggler can still be live at the cap when
+    // schedules livelock; every path hits the same cap the same way.
+    let commits: Vec<bool> = states.iter().map(|st| st.committed).collect();
+    for st in &states {
+        if !st.committed {
+            let _ = db.abort(st.h);
+        }
+    }
+    let (g, c, m) = (db.globals(), db.committed_globals(), db.metrics());
+    (commits, g, c, m)
+}
+
+fn run_one(db: &mut ShardedDb, h: GlobalTxn, op: &BatchOp) -> Result<Op<Value>, SessionError> {
+    match *op {
+        BatchOp::Read(var) => db.read(h, var),
+        BatchOp::Write(var, value) => db.write(h, var, value),
+        BatchOp::Affine { var, a, c } => db.update(h, var, move |v| affine_eval(a, c, v)),
+    }
+}
+
+/// The metrics that must agree bit-for-bit between submission paths:
+/// everything except the messaging tallies (different by design) and
+/// multi-version GC timing (`versions_reclaimed`, `max_chain_len` —
+/// the pessimistic group-commit floor legally delays reclamation).
+fn decision_metrics(m: &Metrics) -> Metrics {
+    Metrics {
+        shard_msgs: 0,
+        batched_ops: 0,
+        versions_reclaimed: 0,
+        max_chain_len: 0,
+        ..*m
+    }
+}
+
+#[test]
+fn batched_submission_is_bit_identical_for_every_mechanism() {
+    for cc in MECHANISM_NAMES {
+        for shards in [1usize, 2, 8] {
+            let seed = 0xD1FF_0000 + shards as u64;
+            let (commits_a, g_a, c_a, m_a) = replay(cc, shards, seed, Mode::PerOp);
+            let (commits_b, g_b, c_b, m_b) = replay(cc, shards, seed, Mode::Batch);
+            let (commits_c, g_c, c_c, m_c) = replay(cc, shards, seed, Mode::Group);
+            let ctx = format!("{cc} S={shards}");
+            assert!(
+                commits_a.iter().filter(|&&c| c).count() > 0,
+                "{ctx}: workload must commit something to be a meaningful differential"
+            );
+            assert_eq!(
+                commits_a, commits_b,
+                "{ctx}: per-op vs batch commit outcomes"
+            );
+            assert_eq!(
+                commits_a, commits_c,
+                "{ctx}: per-op vs group commit outcomes"
+            );
+            assert_eq!(g_a, g_b, "{ctx}: per-op vs batch final state");
+            assert_eq!(g_a, g_c, "{ctx}: per-op vs group final state");
+            assert_eq!(c_a, c_b, "{ctx}: per-op vs batch committed state");
+            assert_eq!(c_a, c_c, "{ctx}: per-op vs group committed state");
+            assert_eq!(
+                decision_metrics(&m_a),
+                decision_metrics(&m_b),
+                "{ctx}: per-op vs batch decision metrics"
+            );
+            assert_eq!(
+                decision_metrics(&m_a),
+                decision_metrics(&m_c),
+                "{ctx}: per-op vs group decision metrics"
+            );
+        }
+    }
+}
+
+#[test]
+fn group_submission_kills_the_messaging_tax() {
+    for cc in ["strict-2PL", "SI"] {
+        for shards in [1usize, 2] {
+            let seed = 0xD1FF_0000 + shards as u64;
+            let (_, _, _, per_op) = replay(cc, shards, seed, Mode::PerOp);
+            let (_, _, _, group) = replay(cc, shards, seed, Mode::Group);
+            // Same ops executed (proved bit-identical above), far fewer
+            // messages: whole transactions — begin, run, commit, retire
+            // — ride one message on the packed path.
+            assert_eq!(per_op.batched_ops, group.batched_ops, "{cc} S={shards}");
+            assert!(
+                group.shard_msgs * 2 <= per_op.shard_msgs,
+                "{cc} S={shards}: group used {} messages vs per-op {} — \
+                 batching bought less than 2×",
+                group.shard_msgs,
+                per_op.shard_msgs
+            );
+        }
+    }
+}

@@ -24,6 +24,8 @@
 use crate::error::{FrameError, WireError};
 use crate::stats::{self, HealthReport, ServerStats};
 use ccopt_durability::encoding::{self, Cursor};
+use ccopt_engine::BatchOp;
+use ccopt_model::ids::VarId;
 use ccopt_model::value::Value;
 use std::io::{Read, Write};
 
@@ -31,6 +33,13 @@ use std::io::{Read, Write};
 /// (a Stats snapshot a few tens of KiB); the cap exists so a hostile or
 /// corrupt length prefix cannot balloon allocation.
 pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// Largest operation count accepted in one [`Request::Batch`], checked
+/// at decode time **before** any per-op allocation — a hostile count
+/// prefix cannot balloon allocation any more than a hostile frame
+/// length can. Generous: a batch this size still fits [`MAX_FRAME`]
+/// with the largest per-op encoding.
+pub const MAX_BATCH_OPS: usize = 1024;
 
 // Request opcodes.
 const OP_PING: u8 = 1;
@@ -44,6 +53,7 @@ const OP_SHUTDOWN: u8 = 8;
 const OP_STATS: u8 = 9;
 const OP_HEALTH: u8 = 10;
 const OP_SUBSCRIBE: u8 = 11;
+const OP_BATCH: u8 = 12;
 
 // Response opcodes.
 const RESP_PONG: u8 = 1;
@@ -60,6 +70,17 @@ const RESP_STATS: u8 = 11;
 const RESP_HEALTH: u8 = 12;
 const RESP_SUBSCRIBED: u8 = 13;
 const RESP_EVENT: u8 = 14;
+const RESP_BATCH: u8 = 15;
+
+// Per-op tags inside a Batch request.
+const BOP_READ: u8 = 0;
+const BOP_WRITE: u8 = 1;
+const BOP_AFFINE: u8 = 2;
+
+// Per-op outcome tags inside a Batch response.
+const BOUT_DONE: u8 = 0;
+const BOUT_WAIT: u8 = 1;
+const BOUT_RESTARTED: u8 = 2;
 
 /// A client request. Transactions are named by the server-issued token
 /// from [`Response::Began`]; operations mirror the session API's op
@@ -129,6 +150,22 @@ pub enum Request {
     /// The per-subscriber buffer is bounded: a slow reader loses events
     /// (counted in-stream), never slows the engine.
     Subscribe,
+    /// Many operations of **one transaction** in one frame — the wire
+    /// half of batched submission, killing the one-RTT-per-op tax the
+    /// way [`ccopt_engine::ShardedDb::apply_batch`] kills the
+    /// one-message-per-op tax below. Answered by
+    /// exactly one [`Response::Batch`] (or a whole-request refusal:
+    /// `Err`, never per-op errors). At most [`MAX_BATCH_OPS`]
+    /// operations; more is malformed.
+    Batch {
+        /// The transaction token.
+        txn: u64,
+        /// The operations, in program order.
+        ops: Vec<BatchOp>,
+        /// Piggyback the transaction's commit after the last operation;
+        /// attempted only when every operation completes `Done`.
+        commit: bool,
+    },
 }
 
 /// Why the server refused a request outright (the payload of
@@ -180,6 +217,40 @@ impl std::fmt::Display for ErrCode {
             ErrCode::BadState => write!(f, "illegal in the transaction's current state"),
         }
     }
+}
+
+/// One operation's outcome inside a [`Response::Batch`], mirroring the
+/// per-op responses: `Done` carries the observed value, a trailing
+/// `Wait` means resume the program **from that operation**, a trailing
+/// `Restarted` means the whole transaction restarted — replay its
+/// program on the same token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The operation executed; `value` is the observed value.
+    Done {
+        /// The observed value.
+        value: Value,
+    },
+    /// The operation blocked; retry from it.
+    Wait,
+    /// The transaction restarted; replay its program.
+    Restarted,
+}
+
+/// The piggybacked commit's outcome inside a [`Response::Batch`],
+/// mirroring [`Response::Committed`] / `Wait` / `Restarted`: the token
+/// dies on `Committed`, survives the other two (retry the commit /
+/// replay the program).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchCommit {
+    /// The commit is durable (to the configured durability mode).
+    Committed,
+    /// The commit blocked; retry it (a commit-only [`Request::Batch`]
+    /// or a plain [`Request::Commit`]).
+    Wait,
+    /// Commit-time validation failed and the transaction restarted;
+    /// replay its program.
+    Restarted,
 }
 
 /// A server response, echoing the request's id. `Wait` and `Restarted`
@@ -250,6 +321,18 @@ pub enum Response {
         /// Each event as one schema-valid JSONL line
         /// ([`ccopt_trace::validate_jsonl_line`]), in stream order.
         lines: Vec<String>,
+    },
+    /// The outcomes of a [`Request::Batch`] — the **partial-batch
+    /// contract**: `results` comes back in submission order and stops
+    /// at the first non-`Done` outcome (operations after it were not
+    /// attempted; the vector is short). `commit` is present only when
+    /// the request asked for one *and* every operation completed
+    /// `Done`.
+    Batch {
+        /// Per-operation outcomes, short at the first non-`Done`.
+        results: Vec<BatchOutcome>,
+        /// The piggybacked commit's outcome, when attempted.
+        commit: Option<BatchCommit>,
     },
 }
 
@@ -323,6 +406,7 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         Request::Stats => OP_STATS,
         Request::Health => OP_HEALTH,
         Request::Subscribe => OP_SUBSCRIBE,
+        Request::Batch { .. } => OP_BATCH,
     };
     b.push(op);
     b.extend_from_slice(&req_id.to_le_bytes());
@@ -333,6 +417,35 @@ pub fn encode_request(req_id: u64, req: &Request) -> Vec<u8> {
         | Request::Stats
         | Request::Health
         | Request::Subscribe => {}
+        Request::Batch {
+            txn,
+            ref ops,
+            commit,
+        } => {
+            debug_assert!(ops.len() <= MAX_BATCH_OPS);
+            b.extend_from_slice(&txn.to_le_bytes());
+            b.push(commit as u8);
+            b.extend_from_slice(&(ops.len().min(MAX_BATCH_OPS) as u16).to_le_bytes());
+            for op in ops.iter().take(MAX_BATCH_OPS) {
+                match *op {
+                    BatchOp::Read(var) => {
+                        b.push(BOP_READ);
+                        b.extend_from_slice(&var.0.to_le_bytes());
+                    }
+                    BatchOp::Write(var, value) => {
+                        b.push(BOP_WRITE);
+                        b.extend_from_slice(&var.0.to_le_bytes());
+                        encoding::put_value(&mut b, value);
+                    }
+                    BatchOp::Affine { var, a, c } => {
+                        b.push(BOP_AFFINE);
+                        b.extend_from_slice(&var.0.to_le_bytes());
+                        b.extend_from_slice(&a.to_le_bytes());
+                        b.extend_from_slice(&c.to_le_bytes());
+                    }
+                }
+            }
+        }
         Request::Read { txn, var } => {
             b.extend_from_slice(&txn.to_le_bytes());
             b.extend_from_slice(&var.to_le_bytes());
@@ -389,6 +502,36 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), WireError> {
         OP_STATS => Request::Stats,
         OP_HEALTH => Request::Health,
         OP_SUBSCRIBE => Request::Subscribe,
+        OP_BATCH => {
+            let txn = c.take_u64().ok_or(WireError::Malformed)?;
+            let commit = match c.take_u8().ok_or(WireError::Malformed)? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed),
+            };
+            let count = c.take_u16().ok_or(WireError::Malformed)? as usize;
+            if count > MAX_BATCH_OPS {
+                return Err(WireError::Malformed);
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let op = match c.take_u8().ok_or(WireError::Malformed)? {
+                    BOP_READ => BatchOp::Read(VarId(c.take_u32().ok_or(WireError::Malformed)?)),
+                    BOP_WRITE => BatchOp::Write(
+                        VarId(c.take_u32().ok_or(WireError::Malformed)?),
+                        c.take_value().ok_or(WireError::Malformed)?,
+                    ),
+                    BOP_AFFINE => BatchOp::Affine {
+                        var: VarId(c.take_u32().ok_or(WireError::Malformed)?),
+                        a: c.take_u64().ok_or(WireError::Malformed)? as i64,
+                        c: c.take_u64().ok_or(WireError::Malformed)? as i64,
+                    },
+                    _ => return Err(WireError::Malformed),
+                };
+                ops.push(op);
+            }
+            Request::Batch { txn, ops, commit }
+        }
         _ => return Err(WireError::Malformed),
     };
     if !c.at_end() {
@@ -417,6 +560,7 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
         Response::Health { .. } => RESP_HEALTH,
         Response::Subscribed => RESP_SUBSCRIBED,
         Response::Events { .. } => RESP_EVENT,
+        Response::Batch { .. } => RESP_BATCH,
     };
     b.push(op);
     b.extend_from_slice(&req_id.to_le_bytes());
@@ -442,6 +586,27 @@ pub fn encode_response(req_id: u64, resp: &Response) -> Vec<u8> {
                 b.extend_from_slice(&(n as u16).to_le_bytes());
                 b.extend_from_slice(&bytes[..n]);
             }
+        }
+        Response::Batch { results, commit } => {
+            debug_assert!(results.len() <= MAX_BATCH_OPS);
+            let count = results.len().min(MAX_BATCH_OPS);
+            b.extend_from_slice(&(count as u16).to_le_bytes());
+            for r in &results[..count] {
+                match r {
+                    BatchOutcome::Done { value } => {
+                        b.push(BOUT_DONE);
+                        encoding::put_value(&mut b, *value);
+                    }
+                    BatchOutcome::Wait => b.push(BOUT_WAIT),
+                    BatchOutcome::Restarted => b.push(BOUT_RESTARTED),
+                }
+            }
+            b.push(match commit {
+                None => 0,
+                Some(BatchCommit::Committed) => 1,
+                Some(BatchCommit::Wait) => 2,
+                Some(BatchCommit::Restarted) => 3,
+            });
         }
         _ => {}
     }
@@ -499,6 +664,32 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), WireError> {
             }
             Response::Events { dropped, lines }
         }
+        RESP_BATCH => {
+            let count = c.take_u16().ok_or(WireError::Malformed)? as usize;
+            if count > MAX_BATCH_OPS {
+                return Err(WireError::Malformed);
+            }
+            let mut results = Vec::with_capacity(count);
+            for _ in 0..count {
+                let r = match c.take_u8().ok_or(WireError::Malformed)? {
+                    BOUT_DONE => BatchOutcome::Done {
+                        value: c.take_value().ok_or(WireError::Malformed)?,
+                    },
+                    BOUT_WAIT => BatchOutcome::Wait,
+                    BOUT_RESTARTED => BatchOutcome::Restarted,
+                    _ => return Err(WireError::Malformed),
+                };
+                results.push(r);
+            }
+            let commit = match c.take_u8().ok_or(WireError::Malformed)? {
+                0 => None,
+                1 => Some(BatchCommit::Committed),
+                2 => Some(BatchCommit::Wait),
+                3 => Some(BatchCommit::Restarted),
+                _ => return Err(WireError::Malformed),
+            };
+            Response::Batch { results, commit }
+        }
         _ => return Err(WireError::Malformed),
     };
     if !c.at_end() {
@@ -533,6 +724,24 @@ mod tests {
             Request::Stats,
             Request::Health,
             Request::Subscribe,
+            Request::Batch {
+                txn: 7,
+                ops: vec![
+                    BatchOp::Read(VarId(3)),
+                    BatchOp::Write(VarId(4), Value::Int(-9)),
+                    BatchOp::Affine {
+                        var: VarId(5),
+                        a: -2,
+                        c: i64::MAX,
+                    },
+                ],
+                commit: true,
+            },
+            Request::Batch {
+                txn: 8,
+                ops: vec![],
+                commit: false,
+            },
         ]
     }
 
@@ -580,6 +789,32 @@ mod tests {
                 },
             },
             Response::Subscribed,
+            Response::Batch {
+                results: vec![
+                    BatchOutcome::Done {
+                        value: Value::Int(12),
+                    },
+                    BatchOutcome::Done {
+                        value: Value::Bool(false),
+                    },
+                    BatchOutcome::Restarted,
+                ],
+                commit: None,
+            },
+            Response::Batch {
+                results: vec![BatchOutcome::Done {
+                    value: Value::Int(1),
+                }],
+                commit: Some(BatchCommit::Committed),
+            },
+            Response::Batch {
+                results: vec![BatchOutcome::Wait],
+                commit: Some(BatchCommit::Wait),
+            },
+            Response::Batch {
+                results: vec![],
+                commit: Some(BatchCommit::Restarted),
+            },
             Response::Events {
                 dropped: 3,
                 lines: vec![
@@ -611,6 +846,36 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let mut p = encode_request(1, &Request::Begin);
         p.push(0);
+        assert_eq!(decode_request(&p), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn oversized_batch_op_count_is_rejected_before_allocating() {
+        // A hand-built Batch payload claiming u16::MAX ops with no op
+        // bytes behind the claim: the count check must fire before any
+        // per-op decoding or allocation.
+        let mut p = Vec::new();
+        p.push(OP_BATCH);
+        p.extend_from_slice(&1u64.to_le_bytes()); // req_id
+        p.extend_from_slice(&7u64.to_le_bytes()); // txn
+        p.push(0); // commit = false
+        p.extend_from_slice(&u16::MAX.to_le_bytes()); // op count
+        assert_eq!(decode_request(&p), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn batch_commit_flag_must_be_boolean() {
+        let mut p = encode_request(
+            1,
+            &Request::Batch {
+                txn: 7,
+                ops: vec![],
+                commit: false,
+            },
+        );
+        // Flip the commit flag byte (right after opcode + req_id + txn)
+        // to a non-boolean value.
+        p[1 + 8 + 8] = 2;
         assert_eq!(decode_request(&p), Err(WireError::Malformed));
     }
 

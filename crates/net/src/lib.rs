@@ -37,7 +37,7 @@ pub mod stats;
 pub use error::{FrameError, ServerError, WireError};
 pub use frame::{
     decode_request, decode_response, encode_request, encode_response, frame_into, read_frame,
-    write_frame, ErrCode, Request, Response, MAX_FRAME,
+    write_frame, BatchCommit, BatchOutcome, ErrCode, Request, Response, MAX_BATCH_OPS, MAX_FRAME,
 };
 pub use server::{DrainStats, Server, ServerConfig};
 pub use stats::{

@@ -66,14 +66,16 @@
 
 use crate::error::{FrameError, ServerError};
 use crate::frame::{
-    decode_request, encode_response, frame_into, read_frame, ErrCode, Request, Response,
+    decode_request, encode_response, frame_into, read_frame, BatchCommit, BatchOutcome, ErrCode,
+    Request, Response,
 };
 use crate::stats::{
     render_prometheus, ContendedVar, HealthReport, SamplePoint, ServerStats, ShardHealth,
 };
 use ccopt_durability::DurabilityMode;
 use ccopt_engine::{
-    cc_by_name, BatchOp, ConcurrencyControl, GlobalTxn, Metrics, Op, SessionError, ShardedDb,
+    cc_by_name, BatchOp, ConcurrencyControl, GlobalTxn, GroupReq, GroupResp, Metrics, Op,
+    SessionError, ShardedDb,
 };
 use ccopt_model::ids::VarId;
 use ccopt_model::state::GlobalState;
@@ -893,34 +895,386 @@ fn engine_thread(
     // logs close mid-stream, which is the crash the recovery path serves.
 }
 
+/// One transaction's accumulated work inside a drain pass, on its way
+/// into a [`ShardedDb::submit_group`] call: the ops of its pipelined
+/// per-op requests and wire batches, concatenated in arrival order, with
+/// per-request segment boundaries kept so each request gets its own
+/// answer back.
+struct PendEntry {
+    conn: u64,
+    token: u64,
+    segs: Vec<Seg>,
+    ops: Vec<BatchOp>,
+    /// The request id of the commit-bearing request, if any; set by a
+    /// plain `Commit` or a wire `Batch { commit: true }`. An entry with
+    /// a commit is sealed — a later request on the same token flushes
+    /// the whole group first (its execution depends on this outcome).
+    commit_req: Option<u64>,
+    /// The commit came from a wire `Batch` (answer inside its
+    /// `Response::Batch`) rather than a plain `Commit`.
+    commit_is_batch: bool,
+}
+
+/// One request's slice of a [`PendEntry`]'s concatenated ops.
+enum Seg {
+    /// A per-op request (`Read`/`Write`/`Update`): one op, one
+    /// single-op response.
+    Single { req_id: u64 },
+    /// A wire `Batch` covering the next `n` ops: one
+    /// [`Response::Batch`].
+    Wire { req_id: u64, n: usize },
+}
+
+/// The per-pass accumulator of [`PendEntry`]s, in first-arrival order.
+#[derive(Default)]
+struct Pending {
+    entries: Vec<PendEntry>,
+    index: HashMap<(u64, u64), usize>,
+}
+
+impl Pending {
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 impl Engine<'_> {
     fn process(&mut self, msgs: &[ToEngine]) {
-        // Coalesce consecutive data operations of the same (conn, txn)
-        // into one `apply_batch` run.
-        let mut run: Vec<(u64, BatchOp)> = Vec::new();
-        let mut run_key: Option<(u64, u64)> = None;
+        // Group submit: accumulate every transaction's data ops, wire
+        // batches and commits across the whole drained pass — across
+        // connections — and hand them to the engine as ONE
+        // `submit_group` call per flush, so independent transactions
+        // share shard messages instead of paying a round trip each.
+        // Requests that only read engine-adjacent state (`Ping`,
+        // `Begin`, `Stats`, `Health`) interleave without flushing;
+        // anything that mutates transaction or server lifecycle state
+        // (aborts, drains, faults, subscriptions, dead connections) is a
+        // barrier: the pending group flushes first, preserving arrival
+        // order where it is observable.
+        let mut pending = Pending::default();
         for m in msgs {
             self.tick += 1;
-            if let ToEngine::Req { conn, req_id, req } = m {
-                // The reader counted this request into the queue-depth
-                // gauge before sending it.
-                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                if let Some(op) = data_op(req) {
-                    let key = (*conn, op.0);
-                    if run_key == Some(key) {
-                        run.push((*req_id, op.1));
-                        continue;
+            match m {
+                ToEngine::Req { conn, req_id, req } => {
+                    // The reader counted this request into the
+                    // queue-depth gauge before sending it.
+                    self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    match req {
+                        Request::Read { .. }
+                        | Request::Write { .. }
+                        | Request::Update { .. }
+                        | Request::Batch { .. }
+                        | Request::Commit { .. } => self.enqueue(&mut pending, *conn, *req_id, req),
+                        Request::Ping | Request::Begin | Request::Stats | Request::Health => {
+                            self.request(*conn, *req_id, req)
+                        }
+                        Request::Abort { .. } | Request::Shutdown | Request::Subscribe => {
+                            self.flush_group(&mut pending);
+                            self.request(*conn, *req_id, req);
+                        }
                     }
-                    self.flush_run(&mut run_key, &mut run);
-                    run_key = Some(key);
-                    run.push((*req_id, op.1));
-                    continue;
+                }
+                ToEngine::Conn { .. } => self.handle(m),
+                ToEngine::Gone { .. }
+                | ToEngine::Drain
+                | ToEngine::PanicShard(_)
+                | ToEngine::Kill => {
+                    self.flush_group(&mut pending);
+                    self.handle(m);
                 }
             }
-            self.flush_run(&mut run_key, &mut run);
-            self.handle(m);
         }
-        self.flush_run(&mut run_key, &mut run);
+        self.flush_group(&mut pending);
+    }
+
+    /// Append one groupable request to the pass's pending group.
+    fn enqueue(&mut self, pending: &mut Pending, conn: u64, req_id: u64, req: &Request) {
+        let token = match req {
+            Request::Read { txn, .. }
+            | Request::Write { txn, .. }
+            | Request::Update { txn, .. }
+            | Request::Batch { txn, .. }
+            | Request::Commit { txn } => *txn,
+            _ => unreachable!("only groupable requests are enqueued"),
+        };
+        // Malformed variable ids are refused before anything reaches a
+        // shard; for a wire batch the whole request is refused (its
+        // contract: one response, never per-op errors).
+        let num_vars = self.num_vars;
+        let bad_var = move |ops: &[BatchOp]| ops.iter().find(|op| op.var().0 >= num_vars).copied();
+        match req {
+            Request::Read { .. } | Request::Write { .. } | Request::Update { .. } => {
+                let (_, op) = data_op(req).expect("data requests carry an op");
+                if let Some(op) = bad_var(&[op]) {
+                    let msg = format!("variable {} outside 0..{}", op.var().0, self.num_vars);
+                    self.respond(
+                        conn,
+                        req_id,
+                        &Response::Err {
+                            code: ErrCode::Malformed,
+                            msg,
+                        },
+                    );
+                    return;
+                }
+            }
+            Request::Batch { ops, .. } => {
+                if let Some(op) = bad_var(ops) {
+                    let msg = format!("variable {} outside 0..{}", op.var().0, self.num_vars);
+                    self.respond(
+                        conn,
+                        req_id,
+                        &Response::Err {
+                            code: ErrCode::Malformed,
+                            msg,
+                        },
+                    );
+                    return;
+                }
+            }
+            _ => {}
+        }
+        if let Some(&ix) = pending.index.get(&(conn, token)) {
+            if pending.entries[ix].commit_req.is_some() {
+                // Pipelined past a commit: what this request means
+                // depends on that commit's outcome, so the group
+                // flushes and the request starts a fresh entry.
+                self.flush_group(pending);
+            }
+        }
+        let ix = match pending.index.get(&(conn, token)) {
+            Some(&ix) => ix,
+            None => {
+                pending.entries.push(PendEntry {
+                    conn,
+                    token,
+                    segs: Vec::new(),
+                    ops: Vec::new(),
+                    commit_req: None,
+                    commit_is_batch: false,
+                });
+                let ix = pending.entries.len() - 1;
+                pending.index.insert((conn, token), ix);
+                ix
+            }
+        };
+        let e = &mut pending.entries[ix];
+        match req {
+            Request::Read { .. } | Request::Write { .. } | Request::Update { .. } => {
+                let (_, op) = data_op(req).expect("data requests carry an op");
+                e.segs.push(Seg::Single { req_id });
+                e.ops.push(op);
+            }
+            Request::Batch { ops, commit, .. } => {
+                e.segs.push(Seg::Wire {
+                    req_id,
+                    n: ops.len(),
+                });
+                e.ops.extend_from_slice(ops);
+                if *commit {
+                    e.commit_req = Some(req_id);
+                    e.commit_is_batch = true;
+                }
+            }
+            Request::Commit { .. } => {
+                e.commit_req = Some(req_id);
+                e.commit_is_batch = false;
+            }
+            _ => unreachable!("only groupable requests are enqueued"),
+        }
+    }
+
+    /// Submit the pass's pending group through
+    /// [`ShardedDb::submit_group`] and answer every request it carried.
+    fn flush_group(&mut self, pending: &mut Pending) {
+        if pending.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut pending.entries);
+        pending.index.clear();
+        let mut reqs: Vec<GroupReq> = Vec::with_capacity(entries.len());
+        let mut live: Vec<(PendEntry, GlobalTxn)> = Vec::with_capacity(entries.len());
+        for e in entries {
+            let Some(&(h, _)) = self.txns.get(&e.token) else {
+                for seg in &e.segs {
+                    let (Seg::Single { req_id } | Seg::Wire { req_id, .. }) = seg;
+                    self.unknown(e.conn, *req_id, e.token);
+                }
+                if let (Some(req_id), false) = (e.commit_req, e.commit_is_batch) {
+                    self.unknown(e.conn, req_id, e.token);
+                }
+                continue;
+            };
+            reqs.push(GroupReq {
+                h,
+                ops: e.ops.clone(),
+                commit: e.commit_req.is_some(),
+            });
+            live.push((e, h));
+        }
+        let resps = self.db.submit_group(reqs);
+        debug_assert_eq!(resps.len(), live.len());
+        for ((e, h), resp) in live.into_iter().zip(resps) {
+            self.settle(&e, h, resp);
+        }
+    }
+
+    /// Answer every request of one settled [`PendEntry`].
+    fn settle(&mut self, e: &PendEntry, h: GlobalTxn, resp: GroupResp) {
+        let (conn, token) = (e.conn, e.token);
+        let results = match resp.results {
+            Ok(results) => results,
+            Err(err) => {
+                // The whole entry failed before any op ran (stale
+                // handle, shard down, prepared): every request it
+                // carried gets the mapped error.
+                for seg in &e.segs {
+                    let (Seg::Single { req_id } | Seg::Wire { req_id, .. }) = seg;
+                    self.session_error(conn, *req_id, token, err);
+                }
+                if let (Some(req_id), false) = (e.commit_req, e.commit_is_batch) {
+                    self.session_error(conn, req_id, token, err);
+                }
+                return;
+            }
+        };
+        // Trailing analysis, once per entry (mirrors `flush_run`): a
+        // trailing `Wait` feeds the distributed-deadlock valve, which
+        // may turn the whole answer into `Restarted`.
+        let trailing = match results.last() {
+            Some(Op::Restarted) => {
+                self.waits.remove(&token);
+                Some(Response::Restarted)
+            }
+            Some(Op::Wait) => Some(self.waited(token, h)),
+            Some(Op::Done(_)) if results.len() == e.ops.len() => {
+                self.waits.remove(&token);
+                None
+            }
+            _ => None,
+        };
+        let trailing_out = match &trailing {
+            Some(Response::Restarted) => BatchOutcome::Restarted,
+            _ => BatchOutcome::Wait,
+        };
+        let mut pos = 0usize;
+        for seg in &e.segs {
+            match *seg {
+                Seg::Single { req_id } => {
+                    let resp = match results.get(pos) {
+                        Some(Op::Done(v)) => Response::Done { value: *v },
+                        _ => trailing.clone().unwrap_or(Response::Wait),
+                    };
+                    self.respond(conn, req_id, &resp);
+                    pos += 1;
+                }
+                Seg::Wire { req_id, n } => {
+                    let avail = results.len().saturating_sub(pos).min(n);
+                    let mut outs: Vec<BatchOutcome> = results[pos..pos + avail]
+                        .iter()
+                        .map(|r| match r {
+                            Op::Done(v) => BatchOutcome::Done { value: *v },
+                            Op::Wait => trailing_out.clone(),
+                            Op::Restarted => BatchOutcome::Restarted,
+                        })
+                        .collect();
+                    if avail < n
+                        && outs
+                            .last()
+                            .is_none_or(|o| matches!(o, BatchOutcome::Done { .. }))
+                    {
+                        // The run stopped before reaching (or finishing)
+                        // this batch: its next op answers the trailing
+                        // outcome — "resume here" keeps the client's
+                        // replay contract identical to the per-op path.
+                        outs.push(trailing_out.clone());
+                    }
+                    pos += n;
+                    let commit = if e.commit_is_batch && e.commit_req == Some(req_id) {
+                        match resp.commit {
+                            Some(Ok(Op::Done(()))) => {
+                                self.txns.remove(&token);
+                                self.waits.remove(&token);
+                                self.commits += 1;
+                                Some(BatchCommit::Committed)
+                            }
+                            Some(Ok(Op::Wait)) => match self.waited(token, h) {
+                                Response::Restarted => Some(BatchCommit::Restarted),
+                                _ => Some(BatchCommit::Wait),
+                            },
+                            Some(Ok(Op::Restarted)) => {
+                                self.waits.remove(&token);
+                                Some(BatchCommit::Restarted)
+                            }
+                            Some(Err(err)) => {
+                                self.session_error(conn, req_id, token, err);
+                                continue;
+                            }
+                            None => None,
+                        }
+                    } else {
+                        None
+                    };
+                    self.respond(
+                        conn,
+                        req_id,
+                        &Response::Batch {
+                            results: outs,
+                            commit,
+                        },
+                    );
+                }
+            }
+        }
+        if let (Some(req_id), false) = (e.commit_req, e.commit_is_batch) {
+            match resp.commit {
+                Some(Ok(Op::Done(()))) => {
+                    self.txns.remove(&token);
+                    self.waits.remove(&token);
+                    self.commits += 1;
+                    self.respond(conn, req_id, &Response::Committed);
+                }
+                Some(Ok(Op::Wait)) => {
+                    let r = self.waited(token, h);
+                    self.respond(conn, req_id, &r);
+                }
+                Some(Ok(Op::Restarted)) => {
+                    self.waits.remove(&token);
+                    self.respond(conn, req_id, &Response::Restarted);
+                }
+                Some(Err(err)) => self.session_error(conn, req_id, token, err),
+                None => {
+                    // The run ended short, so the group never attempted
+                    // this plain `Commit`. It still owes an answer with
+                    // today's sequential semantics: commit whatever the
+                    // transaction's current attempt holds.
+                    self.do_commit(conn, req_id, token, h);
+                }
+            }
+        }
+    }
+
+    /// The plain-`Commit` execution path (shared by [`request`]
+    /// (Self::request) and the group fallback).
+    fn do_commit(&mut self, conn: u64, req_id: u64, token: u64, h: GlobalTxn) {
+        match self.db.commit(h) {
+            Ok(Op::Done(())) => {
+                let _ = self.db.retire(h);
+                self.txns.remove(&token);
+                self.waits.remove(&token);
+                self.commits += 1;
+                self.respond(conn, req_id, &Response::Committed);
+            }
+            Ok(Op::Wait) => {
+                let resp = self.waited(token, h);
+                self.respond(conn, req_id, &resp);
+            }
+            Ok(Op::Restarted) => {
+                self.waits.remove(&token);
+                self.respond(conn, req_id, &Response::Restarted);
+            }
+            Err(e) => self.session_error(conn, req_id, token, e),
+        }
     }
 
     fn handle(&mut self, m: &ToEngine) {
@@ -1004,24 +1358,7 @@ impl Engine<'_> {
                     self.unknown(conn, req_id, *txn);
                     return;
                 };
-                match self.db.commit(h) {
-                    Ok(Op::Done(())) => {
-                        let _ = self.db.retire(h);
-                        self.txns.remove(txn);
-                        self.waits.remove(txn);
-                        self.commits += 1;
-                        self.respond(conn, req_id, &Response::Committed);
-                    }
-                    Ok(Op::Wait) => {
-                        let resp = self.waited(*txn, h);
-                        self.respond(conn, req_id, &resp);
-                    }
-                    Ok(Op::Restarted) => {
-                        self.waits.remove(txn);
-                        self.respond(conn, req_id, &Response::Restarted);
-                    }
-                    Err(e) => self.session_error(conn, req_id, *txn, e),
-                }
+                self.do_commit(conn, req_id, *txn, h);
             }
             Request::Abort { txn } => {
                 let Some(&(h, _)) = self.txns.get(txn) else {
@@ -1056,98 +1393,17 @@ impl Engine<'_> {
                 self.respond(conn, req_id, &Response::Health { report });
             }
             Request::Subscribe => self.subscribe(conn, req_id),
-            // Data ops arrive through `flush_run`, but a lone op can
-            // still land here if the compiler's pattern ordering changes;
-            // route it through the same path.
-            Request::Read { .. } | Request::Write { .. } | Request::Update { .. } => {
-                if let Some((txn, op)) = data_op(req) {
-                    let mut key = Some((conn, txn));
-                    let mut run = vec![(req_id, op)];
-                    self.flush_run(&mut key, &mut run);
-                }
-            }
-        }
-    }
-
-    /// Execute a coalesced run of data operations through
-    /// [`ShardedDb::apply_batch`] and answer each request. Operations the
-    /// engine did not attempt (everything after the run's first
-    /// non-`Done` outcome) mirror that trailing outcome, preserving the
-    /// session contract a pipelining client already handles: `Wait` =
-    /// resend, `Restarted` = replay the program.
-    fn flush_run(&mut self, key: &mut Option<(u64, u64)>, run: &mut Vec<(u64, BatchOp)>) {
-        let Some((conn, token)) = key.take() else {
-            debug_assert!(run.is_empty());
-            return;
-        };
-        let ops = std::mem::take(run);
-        if ops.is_empty() {
-            return;
-        }
-        // Validate variable ids up front: an out-of-universe id must be
-        // refused before it reaches a shard (a malformed request must
-        // never panic a worker).
-        for (req_id, op) in &ops {
-            if op.var().0 >= self.num_vars {
-                self.respond(
-                    conn,
-                    *req_id,
-                    &Response::Err {
-                        code: ErrCode::Malformed,
-                        msg: format!("variable {} outside 0..{}", op.var().0, self.num_vars),
-                    },
-                );
-                // Answer the rest individually through a fresh pass that
-                // keeps positions aligned; simplest is to re-run the
-                // remainder as its own run.
-                let rest: Vec<(u64, BatchOp)> =
-                    ops.iter().filter(|(r, _)| r != req_id).copied().collect();
-                if !rest.is_empty() {
-                    let mut k = Some((conn, token));
-                    let mut rest = rest;
-                    self.flush_run(&mut k, &mut rest);
-                }
-                return;
-            }
-        }
-        let Some(&(h, _)) = self.txns.get(&token) else {
-            for (req_id, _) in &ops {
-                self.unknown(conn, *req_id, token);
-            }
-            return;
-        };
-        let batch: Vec<BatchOp> = ops.iter().map(|&(_, op)| op).collect();
-        match self.db.apply_batch(h, &batch) {
-            Ok(outs) => {
-                // `apply_batch` short-circuits at the first non-`Done`
-                // outcome, so at most the *last* entry is `Wait`/
-                // `Restarted` — that trailing outcome also answers the
-                // unattempted ops. A trailing `Wait` feeds the
-                // distributed-deadlock valve, which may turn the whole
-                // answer into `Restarted` (the attempt replays anyway).
-                let trailing = match outs.last() {
-                    Some(Op::Restarted) => {
-                        self.waits.remove(&token);
-                        Response::Restarted
-                    }
-                    Some(Op::Wait) => self.waited(token, h),
-                    _ => {
-                        self.waits.remove(&token);
-                        Response::Wait // unreachable: short only on non-Done
-                    }
-                };
-                for (i, (req_id, _)) in ops.iter().enumerate() {
-                    let resp = match outs.get(i) {
-                        Some(Op::Done(v)) => Response::Done { value: *v },
-                        _ => trailing.clone(),
-                    };
-                    self.respond(conn, *req_id, &resp);
-                }
-            }
-            Err(e) => {
-                for (req_id, _) in &ops {
-                    self.session_error(conn, *req_id, token, e);
-                }
+            // Data ops and batches normally arrive through the group
+            // accumulator in `process`, but a lone one can still land
+            // here (e.g. via `handle`); route it through the same
+            // machinery as a one-entry group.
+            Request::Read { .. }
+            | Request::Write { .. }
+            | Request::Update { .. }
+            | Request::Batch { .. } => {
+                let mut pending = Pending::default();
+                self.enqueue(&mut pending, conn, req_id, req);
+                self.flush_group(&mut pending);
             }
         }
     }

@@ -6,10 +6,12 @@
 //! case count (`CI` env var); local runs go deeper.
 
 use ccopt_client::Client;
+use ccopt_engine::BatchOp;
 use ccopt_model::value::Value;
+use ccopt_model::VarId;
 use ccopt_net::{
     decode_request, decode_response, encode_request, frame_into, read_frame, FrameError, Request,
-    Server, ServerConfig, WireError, MAX_FRAME,
+    Server, ServerConfig, WireError, MAX_BATCH_OPS, MAX_FRAME,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -26,8 +28,31 @@ fn cases() -> u32 {
     }
 }
 
+fn sample_batch(rng: &mut SmallRng) -> Request {
+    let ops = (0..rng.gen_range(0..6usize))
+        .map(|_| {
+            let var = VarId(rng.gen_range(0..128));
+            match rng.gen_range(0..3u32) {
+                0 => BatchOp::Read(var),
+                1 => BatchOp::Write(var, Value::Int(rng.gen_range(-1000..1000))),
+                _ => BatchOp::Affine {
+                    var,
+                    a: rng.gen_range(-9..9),
+                    c: rng.gen_range(-9..9),
+                },
+            }
+        })
+        .collect();
+    Request::Batch {
+        txn: rng.gen(),
+        ops,
+        commit: rng.gen(),
+    }
+}
+
 fn sample_requests(rng: &mut SmallRng) -> Vec<Request> {
     let mut reqs = vec![
+        sample_batch(rng),
         Request::Ping,
         Request::Begin,
         Request::Shutdown,
@@ -102,6 +127,44 @@ proptest! {
                 let _ = decode_request(&p);
             }
         }
+    }
+
+    /// The batch opcode's payload decoder is total: truncation at every
+    /// byte, and an op-count field rewritten to lie (including counts
+    /// past [`MAX_BATCH_OPS`], which must be refused before any
+    /// allocation), yield `Err` — never a panic, never a bogus `Ok`
+    /// claiming more ops than the payload carries.
+    #[test]
+    fn batch_payload_decoder_is_total(seed in 0u64..100_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let req = sample_batch(&mut rng);
+        let ops_len = match &req {
+            Request::Batch { ops, .. } => ops.len(),
+            _ => unreachable!(),
+        };
+        let payload = encode_request(rng.gen(), &req);
+        // Truncation at every byte boundary.
+        for cut in 0..payload.len() {
+            let _ = decode_request(&payload[..cut]);
+        }
+        // The count field (opcode + id + txn + commit = byte 18) lies.
+        for count in [ops_len as u64 + 1, 999, MAX_BATCH_OPS as u64, MAX_BATCH_OPS as u64 + 1, u16::MAX as u64] {
+            let mut bad = payload.clone();
+            bad[18..20].copy_from_slice(&(count as u16).to_le_bytes());
+            match decode_request(&bad) {
+                Ok((_, Request::Batch { ops, .. })) => assert_eq!(
+                    ops.len(),
+                    count as usize,
+                    "a decode that claims success must have read every op"
+                ),
+                Ok(other) => panic!("count lie decoded as {other:?}"),
+                Err(_) => {}
+            }
+        }
+        // Arbitrary trailing garbage after a valid batch payload.
+        let mut padded = payload.clone();
+        padded.extend((0..rng.gen_range(1..8usize)).map(|_| rng.gen::<u32>() as u8));
+        assert!(decode_request(&padded).is_err(), "trailing bytes must be rejected");
     }
 }
 
@@ -185,6 +248,101 @@ fn live_server_survives_garbage_connections() {
     }
     let stats = server.shutdown().expect("drain");
     assert!(stats.commits >= 12, "every good connection committed");
+}
+
+/// The batch opcode against a live server: truncated batch frames,
+/// op counts rewritten past [`MAX_BATCH_OPS`], and **interleaved
+/// partial frames** — a connection that dribbles half a batch frame
+/// while other connections run real batch traffic. The server answers
+/// or closes every abused connection and keeps serving batches.
+#[test]
+fn live_server_survives_batch_abuse_and_interleaved_partials() {
+    let server = Server::start(ServerConfig {
+        num_vars: 16,
+        shards: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+    let mut rng = SmallRng::seed_from_u64(0x000B_A7C4);
+
+    // A connection that never finishes its frame: send the first half
+    // of a valid batch frame and leave the socket open across all the
+    // rounds below — the reader must not wedge the engine on it.
+    let mut dribble = TcpStream::connect(addr).expect("connect");
+    dribble
+        .set_write_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    {
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &encode_request(9, &sample_batch(&mut rng)));
+        dribble.write_all(&wire[..wire.len() / 2]).unwrap();
+    }
+
+    for round in 0..9 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_write_timeout(Some(Duration::from_secs(2))).unwrap();
+        match round % 3 {
+            0 => {
+                // A batch frame cut short mid-op.
+                let mut wire = Vec::new();
+                frame_into(&mut wire, &encode_request(1, &sample_batch(&mut rng)));
+                let cut = rng.gen_range(1..wire.len());
+                let _ = s.write_all(&wire[..cut]);
+            }
+            1 => {
+                // The op count rewritten to an oversized lie — the CRC
+                // is recomputed so only the decoder can refuse it.
+                let mut payload = encode_request(2, &sample_batch(&mut rng));
+                payload[18..20].copy_from_slice(&((MAX_BATCH_OPS + 1) as u16).to_le_bytes());
+                let mut wire = Vec::new();
+                frame_into(&mut wire, &payload);
+                let _ = s.write_all(&wire);
+                // "Answer or close": the id is recoverable, so an
+                // answer must come back if the socket stays open.
+                s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+                if let Ok(Some(p)) = read_frame(&mut s) {
+                    let (id, resp) = decode_response(&p).expect("decodes");
+                    assert_eq!(id, 2);
+                    assert!(matches!(resp, ccopt_net::Response::Err { .. }));
+                }
+            }
+            _ => {
+                // Another partial frame, interleaved with the dribbler:
+                // a few more bytes trickle onto the long-lived socket
+                // too, still never completing its frame.
+                let mut wire = Vec::new();
+                frame_into(&mut wire, &encode_request(3, &sample_batch(&mut rng)));
+                let _ = s.write_all(&wire[..wire.len().min(9)]);
+                let _ = dribble.write_all(&[rng.gen::<u32>() as u8]);
+            }
+        }
+        drop(s);
+
+        // Well-formed batch traffic still commits.
+        let mut good = Client::connect(addr).expect("server still accepts");
+        good.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let h = good.begin().expect("server still begins");
+        let (results, commit) = good
+            .batch(
+                h,
+                &[
+                    BatchOp::Write(VarId(round as u32), Value::Int(round as i64)),
+                    BatchOp::Affine {
+                        var: VarId(round as u32),
+                        a: 1,
+                        c: 1,
+                    },
+                ],
+                true,
+            )
+            .expect("batch still served");
+        assert_eq!(results.len(), 2);
+        assert!(matches!(commit, Some(ccopt_engine::Op::Done(()))));
+    }
+    drop(dribble);
+    let stats = server.shutdown().expect("drain");
+    assert!(stats.commits >= 9, "every good batch committed");
 }
 
 /// The ops opcodes under the same abuse: truncated and bit-flipped

@@ -11,7 +11,7 @@
 
 use ccopt_client::{Client, ClientError, TxnHandle};
 use ccopt_durability::scratch_path;
-use ccopt_engine::Op;
+use ccopt_engine::{BatchOp, Op};
 use ccopt_model::value::Value;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
@@ -196,6 +196,139 @@ fn binary_survives_kill_and_drains_clean() {
     let h = begin_retrying(&mut c);
     assert!(c.write(h, 3, Value::Int(0)).is_ok());
     c.shutdown_server().expect("second drain");
+    assert!(server.child.wait().expect("reap").success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One canary transaction through the wire **batch** path: both vars
+/// written to the same `seq` in a single `Batch{..., commit: true}`
+/// frame, replayed under the partial-batch contract (trailing `Wait` =
+/// resume from that op, trailing `Restarted` = replay the program)
+/// until the commit is acknowledged. Returns `false` when the socket
+/// dies instead — the expected end once the server is SIGKILLed.
+fn batch_canary(c: &mut Client, h: TxnHandle, var_a: u32, var_b: u32, seq: i64) -> bool {
+    let program = [
+        BatchOp::Write(ccopt_model::VarId(var_a), Value::Int(seq)),
+        BatchOp::Write(ccopt_model::VarId(var_b), Value::Int(seq)),
+    ];
+    let mut cursor = 0usize;
+    loop {
+        let (results, commit) = match c.batch(h, &program[cursor..], true) {
+            Ok(r) => r,
+            Err(ClientError::Shed) => {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            Err(_) => return false,
+        };
+        match results.last() {
+            Some(Op::Restarted) => {
+                cursor = 0;
+                continue;
+            }
+            Some(Op::Wait) => {
+                cursor += results.len() - 1;
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            _ => cursor += results.len(),
+        }
+        debug_assert_eq!(cursor, program.len());
+        match commit {
+            Some(Op::Done(())) => return true,
+            Some(Op::Wait) => {
+                // Resubmit the (now empty) remainder until the commit
+                // stops waiting.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(Op::Restarted) | None => cursor = 0,
+        }
+    }
+}
+
+/// The mid-batch crash: writers stream multi-var canary transactions
+/// through the wire batch opcode while the server takes a SIGKILL, and
+/// the recovered image must show **per-transaction** atomicity — every
+/// canary pair equal (no torn transaction, even though both writes and
+/// the commit shared one frame) and at least every *acknowledged*
+/// sequence present — never "whatever prefix of the batch got applied".
+#[test]
+fn kill_mid_batch_preserves_per_transaction_atomicity() {
+    let dir = scratch_path("served-batch-kill");
+    let mut server = spawn_server(&dir);
+    let addr = server.addr.clone();
+
+    // Writer t owns the cross-shard canary pair (t, 4+t) and bumps it
+    // with consecutive seq values until the server disappears.
+    let handles: Vec<_> = (0..WRITERS as u32)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = connect(&addr);
+                let mut acked = 0i64;
+                for seq in 1.. {
+                    let h = match c.begin() {
+                        Ok(h) => h,
+                        Err(ClientError::Shed) => {
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        }
+                        Err(_) => break,
+                    };
+                    if !batch_canary(&mut c, h, t, 4 + t, seq) {
+                        break;
+                    }
+                    acked = seq;
+                }
+                (t as usize, acked)
+            })
+        })
+        .collect();
+
+    // Let the writers get deep into their stream, then pull the plug
+    // mid-flight: some batch frames will be in the engine, some on the
+    // wire, some half-committed.
+    std::thread::sleep(Duration::from_millis(400));
+    server.child.kill().expect("SIGKILL");
+    server.child.wait().expect("reap");
+    let acked: Vec<(usize, i64)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("writer thread"))
+        .collect();
+    assert!(
+        acked.iter().any(|&(_, n)| n > 0),
+        "at least one canary must be acknowledged before the kill for \
+         the recovery assertion to mean anything: {acked:?}"
+    );
+
+    // Recover and check the canaries. Strict durability acknowledged
+    // exactly `acked[t]`; a commit that was in flight at the kill may
+    // also have landed — but only as a whole transaction.
+    let mut server = spawn_server(&dir);
+    let mut c = connect(&server.addr);
+    let image = snapshot(&mut c);
+    for &(t, n) in &acked {
+        let (a, b) = (image[t], image[t + 4]);
+        assert_eq!(
+            a, b,
+            "writer {t}: canary pair torn ({a} vs {b}) — atomicity must \
+             be per-transaction, never per-batch-prefix"
+        );
+        assert!(
+            a >= n,
+            "writer {t}: acknowledged seq {n} missing after recovery (found {a})"
+        );
+        assert!(
+            a <= n + 1,
+            "writer {t}: recovered seq {a} was never submitted (acked {n})"
+        );
+    }
+
+    // The recovered server still takes batches, and drains clean.
+    let h = begin_retrying(&mut c);
+    assert!(batch_canary(&mut c, h, 0, 7, 1_000), "post-recovery batch");
+    c.shutdown_server().expect("drain");
     assert!(server.child.wait().expect("reap").success());
 
     std::fs::remove_dir_all(&dir).ok();
